@@ -1,0 +1,126 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! * QCR μ policy: uniform eigenvalue shift vs dual-refined diagonal —
+//!   B&B work on indefinite SOS-1 instances;
+//! * candidate-boundary budget: optimizer time vs plan quality knob;
+//! * intermediate store: S3 vs a Redis/Pocket-like fast store (paper §5.2
+//!   "opportunity to further increase its performance");
+//! * quota regime: 2020 (64 MB steps, 3008 MB cap) vs 2021 (1 MB steps,
+//!   10,240 MB) — the paper's §5.1 future-work extension.
+
+use ampsinf_core::{AmpsConfig, Optimizer};
+use ampsinf_linalg::Matrix;
+use ampsinf_model::zoo;
+use ampsinf_solver::bb::solve_miqp;
+use ampsinf_solver::{BbOptions, ConvexifyMethod, MiqpProblem, VarKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Indefinite SOS-1 MIQP (off-diagonal coupling makes the QCR step earn
+/// its keep).
+fn indefinite_instance(groups: usize, width: usize, seed: u64) -> MiqpProblem {
+    let n = groups * width;
+    let mut h = Matrix::zeros(n, n);
+    let mut s = seed;
+    let mut rng = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f64) / (u32::MAX as f64) * 2.0 - 1.0
+    };
+    for r in 0..n {
+        for c in (r + 1)..n {
+            let v = (rng() * 2.0).round();
+            h[(r, c)] = v;
+            h[(c, r)] = v;
+        }
+    }
+    let c: Vec<f64> = (0..n).map(|_| (rng() * 3.0).round()).collect();
+    let mut p = MiqpProblem::new(h, c, vec![VarKind::Binary; n]);
+    for g in 0..groups {
+        let idx: Vec<usize> = (g * width..(g + 1) * width).collect();
+        p.add_pick_one(&idx);
+    }
+    p
+}
+
+fn ablation_qcr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_qcr");
+    group.sample_size(10);
+    for method in [ConvexifyMethod::EigenShift, ConvexifyMethod::DualRefine] {
+        let p = indefinite_instance(3, 6, 99);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method:?}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    black_box(solve_miqp(
+                        p,
+                        BbOptions {
+                            convexify: method,
+                            ..Default::default()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_candidate_budget");
+    group.sample_size(10);
+    let g = zoo::resnet50();
+    for budget in [8usize, 16, 24] {
+        let cfg = AmpsConfig {
+            max_candidate_boundaries: budget,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &cfg, |b, cfg| {
+            b.iter(|| black_box(Optimizer::new(cfg.clone()).optimize(&g).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_store");
+    group.sample_size(10);
+    let g = zoo::xception();
+    for (name, store) in [
+        ("s3", ampsinf_faas::StoreKind::s3()),
+        ("fast", ampsinf_faas::StoreKind::fast_store()),
+    ] {
+        let cfg = AmpsConfig {
+            store,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(Optimizer::new(cfg.clone()).optimize(&g).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_quotas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_quotas");
+    group.sample_size(10);
+    let g = zoo::resnet50();
+    for (name, cfg) in [
+        ("lambda2020", AmpsConfig::default()),
+        ("lambda2021", AmpsConfig::default().lambda_2021()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(Optimizer::new(cfg.clone()).optimize(&g).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_qcr,
+    ablation_candidates,
+    ablation_store,
+    ablation_quotas
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end optimizer overhead per evaluation model — the paper's §5.4
+//! "within a few seconds on a laptop" claim, as a tracked benchmark.
+
+use ampsinf_core::{AmpsConfig, Optimizer};
+use ampsinf_model::zoo;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(10);
+    for g in [
+        zoo::mobilenet_v1(),
+        zoo::resnet50(),
+        zoo::inception_v3(),
+        zoo::xception(),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(&g.name), &g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    Optimizer::new(AmpsConfig::default())
+                        .optimize(g)
+                        .expect("feasible"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimize_with_slo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_slo");
+    group.sample_size(10);
+    let g = zoo::resnet50();
+    // SLO near the feasibility edge forces the joint MIQP path.
+    let free = Optimizer::new(AmpsConfig::default()).optimize(&g).unwrap();
+    let slo = free.plan.predicted_time_s * 0.9;
+    group.bench_function("resnet50_tight_slo", |b| {
+        b.iter(|| {
+            black_box(
+                Optimizer::new(AmpsConfig::default().with_slo(slo))
+                    .optimize(&g)
+                    .expect("feasible"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize, bench_optimize_with_slo);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for the optimization stack: simplex, active-set QP,
+//! and branch-and-bound MIQP at AMPS-Inf-like problem shapes.
+
+use ampsinf_linalg::Matrix;
+use ampsinf_solver::bb::solve_miqp;
+use ampsinf_solver::{BbOptions, LpProblem, MiqpProblem, QpProblem, Relation, VarKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A feasible LP with `n` variables and `n` rows.
+fn lp_instance(n: usize) -> LpProblem {
+    let mut lp = LpProblem::new((0..n).map(|i| 1.0 + (i % 7) as f64).collect());
+    for r in 0..n {
+        let mut row = vec![0.0; n];
+        row[r] = 1.0;
+        row[(r + 1) % n] = 1.0;
+        lp.add_row(row, Relation::Ge, 1.0 + (r % 3) as f64);
+    }
+    lp
+}
+
+/// A convex QP over the simplex with `n` variables.
+fn qp_instance(n: usize) -> QpProblem {
+    let diag: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let mut qp = QpProblem::new(Matrix::from_diag(&diag), vec![0.0; n]);
+    qp.eq.push((vec![1.0; n], 1.0));
+    qp.lb = vec![0.0; n];
+    qp.ub = vec![1.0; n];
+    qp
+}
+
+/// A SOS-1-structured MIQP like AMPS-Inf's per-cut problem: `groups`
+/// pick-one groups of `width` binaries with diagonal cost curvature.
+fn miqp_instance(groups: usize, width: usize) -> MiqpProblem {
+    let n = groups * width;
+    let diag: Vec<f64> = (0..n)
+        .map(|i| 0.5 + ((i * 37) % 11) as f64 / 10.0)
+        .collect();
+    let c: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 / 10.0).collect();
+    let mut p = MiqpProblem::new(Matrix::from_diag(&diag), c, vec![VarKind::Binary; n]);
+    for g in 0..groups {
+        let idx: Vec<usize> = (g * width..(g + 1) * width).collect();
+        p.add_pick_one(&idx);
+    }
+    p
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_simplex");
+    for n in [10usize, 30, 60] {
+        let lp = lp_instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lp, |b, lp| {
+            b.iter(|| black_box(lp.solve()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_qp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qp_active_set");
+    for n in [10usize, 40, 80] {
+        let qp = qp_instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &qp, |b, qp| {
+            b.iter(|| black_box(qp.solve()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_miqp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miqp_bb");
+    group.sample_size(10);
+    for (groups, width) in [(2usize, 8usize), (4, 8), (4, 12)] {
+        let p = miqp_instance(groups, width);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{groups}x{width}")),
+            &p,
+            |b, p| b.iter(|| black_box(solve_miqp(p, BbOptions::default()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_qp, bench_miqp);
+criterion_main!(benches);

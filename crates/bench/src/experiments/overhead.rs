@@ -1,0 +1,55 @@
+//! §5.4 optimizer-overhead accounting: "the running time overhead of
+//! AMPS-Inf incurred by the MIQP solver is within a few seconds on a
+//! laptop"; "AMPS-Inf took a few milliseconds to accomplish the
+//! configuration calculations" (§5.2).
+
+use crate::Table;
+use ampsinf_core::{AmpsConfig, Optimizer};
+use ampsinf_model::zoo;
+
+/// Optimizer overhead per evaluation model.
+pub fn overhead() -> Table {
+    let cfg = AmpsConfig::default();
+    let mut t = Table::new(
+        "overhead",
+        "Optimizer overhead (cut enumeration + MIQP solving)",
+        &["solve time (s)", "cuts", "MIQPs", "lambdas", "paper bound (s)"],
+    );
+    for g in [
+        zoo::mobilenet_v1(),
+        zoo::resnet50(),
+        zoo::inception_v3(),
+        zoo::xception(),
+    ] {
+        let r = Optimizer::new(cfg.clone()).optimize(&g).unwrap();
+        t.row_all(
+            g.name.clone(),
+            &[
+                r.solve_time.as_secs_f64(),
+                r.cuts_considered as f64,
+                r.miqps_solved as f64,
+                r.plan.num_lambdas() as f64,
+                5.0,
+            ],
+        );
+    }
+    t.notes = "Shape: end-to-end optimization stays within the paper's 'few seconds on a \
+               laptop' bound for every model."
+        .into();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_within_paper_bound() {
+        let t = overhead();
+        for (label, v) in &t.rows {
+            // Generous CI allowance over the paper's "few seconds".
+            assert!(v[0].unwrap() < 30.0, "{label}: {:?} s", v[0]);
+            assert!(v[1].unwrap() >= 1.0);
+        }
+    }
+}

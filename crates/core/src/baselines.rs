@@ -1,0 +1,314 @@
+//! The paper's three comparison baselines (§5.1):
+//!
+//! * **Baseline 1** — random cut, one random memory size for all lambdas
+//!   (the paper's ResNet50 instance: 10 lambdas at 1024 MB);
+//! * **Baseline 2** — pack layers from the *last* layer backwards until a
+//!   platform limit is about to hit, maximum memory everywhere;
+//! * **Baseline 3** — the cost-optimal configuration via exhaustive
+//!   search (we use an exact DP over *every* boundary position, a strictly
+//!   larger search space than the Optimizer's candidate set — so Baseline 3
+//!   lower-bounds AMPS-Inf's cost, matching §5.3's "≈ 9% increase in cost"
+//!   relationship).
+
+use crate::config::AmpsConfig;
+use crate::cuts::segment_feasible;
+use crate::plan::{ExecutionPlan, PartitionPlan};
+use ampsinf_model::LayerGraph;
+use ampsinf_profiler::{quick_eval, Profile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Evaluates a complete plan's predicted chain time and cost (cold chain,
+/// same arithmetic as the optimizer / platform).
+pub fn predict(profile: &Profile, plan: &mut ExecutionPlan, cfg: &AmpsConfig) -> bool {
+    let n = profile.num_layers();
+    let mut time = 0.0;
+    let mut cost = 0.0;
+    for (i, p) in plan.partitions.iter().enumerate() {
+        let is_first = i == 0;
+        let is_last = p.end == n - 1;
+        match quick_eval(
+            profile, p.start, p.end, p.memory_mb, &cfg.quotas, &cfg.prices, &cfg.perf,
+            &cfg.store, is_first, is_last,
+        ) {
+            Ok(e) => {
+                time += e.duration_s;
+                cost += e.dollars;
+            }
+            Err(_) => return false,
+        }
+    }
+    plan.predicted_time_s = time;
+    plan.predicted_cost = cost;
+    true
+}
+
+/// Baseline 1: random feasible cut + one random memory for all lambdas.
+///
+/// Rejection-samples until feasible (bounded attempts); deterministic under
+/// `seed`.
+pub fn b1_random(graph: &LayerGraph, cfg: &AmpsConfig, seed: u64) -> Option<ExecutionPlan> {
+    let profile = Profile::of(graph);
+    let n = profile.num_layers();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blocks = cfg.quotas.memory_blocks();
+    for _attempt in 0..10_000 {
+        let k = rng.gen_range(1..=cfg.max_partitions);
+        // k-1 distinct random interior boundaries.
+        let mut bounds: Vec<usize> = (0..k - 1)
+            .map(|_| rng.gen_range(0..n - 1))
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        bounds.push(n - 1);
+        // Feasibility of every segment.
+        let mut start = 0usize;
+        let mut floor = 0u32;
+        let mut ok = true;
+        for &end in &bounds {
+            if !segment_feasible(&profile, start, end, cfg) {
+                ok = false;
+                break;
+            }
+            floor = floor.max(
+                profile
+                    .memory_floor(start, end, &cfg.quotas, &cfg.perf)
+                    .expect("feasible segment has a floor"),
+            );
+            start = end + 1;
+        }
+        if !ok {
+            continue;
+        }
+        // One random memory size shared by all lambdas, at or above the
+        // largest floor (the paper's Baseline 1 gave every lambda 1024 MB).
+        let feasible_blocks: Vec<u32> = blocks.iter().copied().filter(|&m| m >= floor).collect();
+        if feasible_blocks.is_empty() {
+            continue;
+        }
+        let mem = feasible_blocks[rng.gen_range(0..feasible_blocks.len())];
+        let mut plan = ExecutionPlan {
+            model: graph.name.clone(),
+            partitions: bounds_to_parts(&bounds, mem),
+            predicted_time_s: 0.0,
+            predicted_cost: 0.0,
+        };
+        if predict(&profile, &mut plan, cfg) {
+            return Some(plan);
+        }
+    }
+    None
+}
+
+/// Baseline 2: greedy pack from the last layer; maximum memory everywhere.
+pub fn b2_greedy_max(graph: &LayerGraph, cfg: &AmpsConfig) -> Option<ExecutionPlan> {
+    let profile = Profile::of(graph);
+    let n = profile.num_layers();
+    let max_mem = cfg.quotas.memory_max_mb;
+    // Walk backwards, extending each partition toward the front until a
+    // platform limit "is about to hit".
+    let mut bounds_rev: Vec<usize> = Vec::new();
+    let mut end = n - 1;
+    loop {
+        let mut start = end;
+        while start > 0 && segment_feasible(&profile, start - 1, end, cfg) {
+            start -= 1;
+        }
+        if !segment_feasible(&profile, start, end, cfg) {
+            return None; // a single layer breaks a limit: unsplittable
+        }
+        bounds_rev.push(end);
+        if start == 0 {
+            break;
+        }
+        end = start - 1;
+    }
+    bounds_rev.reverse();
+    let mut plan = ExecutionPlan {
+        model: graph.name.clone(),
+        partitions: bounds_to_parts(&bounds_rev, max_mem),
+        predicted_time_s: 0.0,
+        predicted_cost: 0.0,
+    };
+    predict(&profile, &mut plan, cfg).then_some(plan)
+}
+
+/// Baseline 3: exact cost-optimal plan by dynamic programming over every
+/// boundary position and every feasible memory block.
+pub fn b3_optimal(graph: &LayerGraph, cfg: &AmpsConfig) -> Option<ExecutionPlan> {
+    let profile = Profile::of(graph);
+    let n = profile.num_layers();
+    // best[s] = (cost to serve layers s..n-1, chosen end, chosen memory)
+    let mut best: Vec<Option<(f64, usize, u32)>> = vec![None; n + 1];
+    // Base: beyond the last layer costs nothing.
+    let mut parts_from: Vec<Option<(usize, u32)>> = vec![None; n];
+    let mut cost_from: Vec<f64> = vec![f64::INFINITY; n + 1];
+    cost_from[n] = 0.0;
+    for s in (0..n).rev() {
+        let mut best_here: Option<(f64, usize, u32)> = None;
+        for e in s..n {
+            if !segment_feasible(&profile, s, e, cfg) {
+                // Larger segments only grow weights; once deployment (4)
+                // breaks it stays broken, but the layer cap / tmp also
+                // monotone — safe to stop extending.
+                if !profile.fits_deployment(s, e, &cfg.quotas) {
+                    break;
+                }
+                continue;
+            }
+            if cost_from[e + 1].is_infinite() {
+                continue;
+            }
+            let is_first = s == 0;
+            let is_last = e == n - 1;
+            for mem in profile.feasible_memories(s, e, &cfg.quotas, &cfg.perf) {
+                if let Ok(eval) = quick_eval(
+                    &profile, s, e, mem, &cfg.quotas, &cfg.prices, &cfg.perf, &cfg.store,
+                    is_first, is_last,
+                ) {
+                    let total = eval.dollars + cost_from[e + 1];
+                    if best_here.is_none_or(|(c, _, _)| total < c) {
+                        best_here = Some((total, e, mem));
+                    }
+                }
+            }
+        }
+        if let Some((c, e, mem)) = best_here {
+            cost_from[s] = c;
+            parts_from[s] = Some((e, mem));
+        }
+        best[s] = best_here;
+    }
+    // Reconstruct.
+    let mut partitions = Vec::new();
+    let mut s = 0usize;
+    while s < n {
+        let (e, mem) = parts_from[s]?;
+        partitions.push(PartitionPlan {
+            start: s,
+            end: e,
+            memory_mb: mem,
+        });
+        s = e + 1;
+    }
+    let mut plan = ExecutionPlan {
+        model: graph.name.clone(),
+        partitions,
+        predicted_time_s: 0.0,
+        predicted_cost: 0.0,
+    };
+    predict(&profile, &mut plan, cfg).then_some(plan)
+}
+
+fn bounds_to_parts(bounds: &[usize], mem: u32) -> Vec<PartitionPlan> {
+    let mut start = 0usize;
+    let mut parts = Vec::with_capacity(bounds.len());
+    for &end in bounds {
+        parts.push(PartitionPlan {
+            start,
+            end,
+            memory_mb: mem,
+        });
+        start = end + 1;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Optimizer;
+    use ampsinf_model::zoo;
+
+    #[test]
+    fn b1_is_feasible_and_deterministic() {
+        let g = zoo::resnet50();
+        let cfg = AmpsConfig::default();
+        let a = b1_random(&g, &cfg, 7).unwrap();
+        let b = b1_random(&g, &cfg, 7).unwrap();
+        assert_eq!(a.bounds(), b.bounds());
+        assert_eq!(a.memories(), b.memories());
+        a.validate(g.num_layers()).unwrap();
+        // One shared memory size.
+        let mems = a.memories();
+        assert!(mems.iter().all(|&m| m == mems[0]));
+    }
+
+    #[test]
+    fn b2_uses_max_memory_and_fewest_greedy_parts() {
+        let g = zoo::resnet50();
+        let cfg = AmpsConfig::default();
+        let plan = b2_greedy_max(&g, &cfg).unwrap();
+        plan.validate(g.num_layers()).unwrap();
+        assert!(plan.memories().iter().all(|&m| m == 3008));
+        // The paper's B2 ResNet50 produced few (4) lambdas; greedy packing
+        // must land near the deployment-limit-implied minimum of 2–4.
+        assert!(plan.num_lambdas() >= 2 && plan.num_lambdas() <= 5, "{plan}");
+    }
+
+    #[test]
+    fn b3_is_cheapest_of_all() {
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default();
+        let b3 = b3_optimal(&g, &cfg).unwrap();
+        let b1 = b1_random(&g, &cfg, 3).unwrap();
+        let b2 = b2_greedy_max(&g, &cfg).unwrap();
+        assert!(b3.predicted_cost <= b1.predicted_cost + 1e-12);
+        assert!(b3.predicted_cost <= b2.predicted_cost + 1e-12);
+    }
+
+    #[test]
+    fn amps_within_tolerance_of_b3_and_not_slower() {
+        // The §5.3 relationship: AMPS-Inf trades ≤ cost_tolerance extra
+        // cost for equal-or-better completion time vs the cost optimum.
+        let g = zoo::resnet50();
+        let cfg = AmpsConfig::default();
+        let b3 = b3_optimal(&g, &cfg).unwrap();
+        let amps = Optimizer::new(cfg.clone()).optimize(&g).unwrap().plan;
+        // The tolerance budget is measured against AMPS's own candidate
+        // space; B3 searches every boundary, so the paper-observed overhead
+        // is tolerance + a small candidate gap (§5.3 reports 9–14%).
+        assert!(
+            amps.predicted_cost <= b3.predicted_cost * (1.0 + cfg.cost_tolerance + 0.10) + 1e-12,
+            "amps {} vs b3 {}",
+            amps.predicted_cost,
+            b3.predicted_cost
+        );
+        assert!(
+            amps.predicted_time_s <= b3.predicted_time_s * 1.02 + 1e-9,
+            "amps {}s vs b3 {}s",
+            amps.predicted_time_s,
+            b3.predicted_time_s
+        );
+    }
+
+    #[test]
+    fn b3_beats_or_matches_amps_on_cost() {
+        // B3 searches a superset of boundary positions: it can only be
+        // cheaper or equal.
+        let g = zoo::xception();
+        let cfg = AmpsConfig::default();
+        let b3 = b3_optimal(&g, &cfg).unwrap();
+        let amps = Optimizer::new(cfg).optimize(&g).unwrap().plan;
+        assert!(b3.predicted_cost <= amps.predicted_cost + 1e-12);
+    }
+
+    #[test]
+    fn predict_rejects_broken_plans() {
+        let g = zoo::resnet50();
+        let cfg = AmpsConfig::default();
+        let profile = Profile::of(&g);
+        // Whole-model single partition is undeployable.
+        let mut plan = ExecutionPlan {
+            model: g.name.clone(),
+            partitions: vec![PartitionPlan {
+                start: 0,
+                end: g.num_layers() - 1,
+                memory_mb: 3008,
+            }],
+            predicted_time_s: 0.0,
+            predicted_cost: 0.0,
+        };
+        assert!(!predict(&profile, &mut plan, &cfg));
+    }
+}

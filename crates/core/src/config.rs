@@ -1,0 +1,100 @@
+//! AMPS-Inf configuration.
+
+use ampsinf_faas::{PerfModel, PriceSheet, Quotas, StoreKind};
+use ampsinf_solver::ConvexifyMethod;
+
+/// All knobs of an AMPS-Inf run.
+#[derive(Debug, Clone)]
+pub struct AmpsConfig {
+    /// Platform quotas (2020 preset by default; 2021 for the extension).
+    pub quotas: Quotas,
+    /// Price sheet.
+    pub prices: PriceSheet,
+    /// Lambda performance law.
+    pub perf: PerfModel,
+    /// Intermediate storage backend.
+    pub store: StoreKind,
+    /// Response-time SLO in seconds (`None` = no SLO row).
+    pub slo_s: Option<f64>,
+    /// Paper constraint (6): cap on layers per partition, as a fraction of
+    /// the model's layer count (removes "intuitively unpromising"
+    /// lopsided cuts). 1.0 disables the cap.
+    pub max_partition_fraction: f64,
+    /// Maximum number of partitions considered (the paper's `K`).
+    pub max_partitions: usize,
+    /// Convexification policy for the MIQP.
+    pub convexify: ConvexifyMethod,
+    /// Time preference: among plans within `(1 + cost_tolerance)` of the
+    /// minimum cost, pick the fastest. This encodes the paper's
+    /// "cost-efficiency *and* timely-response" double objective — AMPS-Inf
+    /// lands within ~9–14% of Baseline 3's optimal cost while being
+    /// slightly faster (paper §5.3).
+    pub cost_tolerance: f64,
+    /// Cap on candidate boundary positions for large models (the paper's
+    /// search-space reduction); boundaries are chosen at the cheapest
+    /// transfer points.
+    pub max_candidate_boundaries: usize,
+    /// Images per request the plan is optimized for (paper §5.4: the batch
+    /// plans pick larger memory blocks, e.g. MobileNet 2048/2176 MB at
+    /// batch 10).
+    pub batch_size: u64,
+}
+
+impl Default for AmpsConfig {
+    fn default() -> Self {
+        AmpsConfig {
+            quotas: Quotas::lambda_2020(),
+            prices: PriceSheet::aws_2020(),
+            perf: PerfModel::default(),
+            store: StoreKind::s3(),
+            slo_s: None,
+            max_partition_fraction: 1.0,
+            max_partitions: 10,
+            convexify: ConvexifyMethod::DualRefine,
+            cost_tolerance: 0.10,
+            max_candidate_boundaries: 24,
+            batch_size: 1,
+        }
+    }
+}
+
+impl AmpsConfig {
+    /// Config with a response-time SLO.
+    pub fn with_slo(mut self, slo_s: f64) -> Self {
+        self.slo_s = Some(slo_s);
+        self
+    }
+
+    /// Config on the post-2020 quota preset (paper §5.1 future work).
+    pub fn lambda_2021(mut self) -> Self {
+        self.quotas = Quotas::lambda_2021();
+        self
+    }
+
+    /// Config optimized for batches of `batch` images per request.
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        assert!(batch >= 1, "batch must be at least 1");
+        self.batch_size = batch;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_2020_aws() {
+        let c = AmpsConfig::default();
+        assert_eq!(c.quotas.memory_max_mb, 3008);
+        assert!(c.slo_s.is_none());
+        assert!(c.cost_tolerance > 0.0);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = AmpsConfig::default().with_slo(30.0).lambda_2021();
+        assert_eq!(c.slo_s, Some(30.0));
+        assert_eq!(c.quotas.memory_max_mb, 10_240);
+    }
+}

@@ -1,0 +1,299 @@
+//! The Coordinator component (paper §4): package each partition, deploy
+//! the lambdas, chain invocations through storage, return the prediction.
+
+use crate::config::AmpsConfig;
+use crate::plan::ExecutionPlan;
+use ampsinf_faas::platform::{DeployError, FunctionId, InvokeError, Platform};
+use ampsinf_faas::runtime::PartitionWork;
+use ampsinf_faas::InvocationOutcome;
+use ampsinf_model::LayerGraph;
+
+/// A deployed chain of partition lambdas.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// Function ids in chain order.
+    pub functions: Vec<FunctionId>,
+    /// Partition work profiles in chain order.
+    pub works: Vec<PartitionWork>,
+    /// Wall-clock deployment duration (uploads proceed in parallel; the
+    /// paper counts this once per job in its end-to-end §2.2 times).
+    pub deploy_s: f64,
+}
+
+/// Measurements of one served request (the paper's per-figure metrics).
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Job deployment time (once per job).
+    pub deploy_s: f64,
+    /// Sum of per-lambda model+weights loading time (paper Fig. 5).
+    pub load_s: f64,
+    /// Sum of per-lambda framework-import time (not part of Fig. 5's
+    /// "loading", reported separately).
+    pub import_s: f64,
+    /// Sum of per-lambda compute time (paper Fig. 6 "prediction time").
+    pub predict_s: f64,
+    /// Chain wall-clock from trigger to prediction (excludes deployment).
+    pub inference_s: f64,
+    /// End-to-end completion: deployment + inference (paper §2.2.1).
+    pub e2e_s: f64,
+    /// Dollars directly billed to this request (compute + requests +
+    /// storage fees).
+    pub dollars: f64,
+    /// Per-lambda outcomes in chain order.
+    pub outcomes: Vec<InvocationOutcome>,
+}
+
+/// A batch serving result (paper §5.4).
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Wall-clock completion of the whole batch (excluding deployment).
+    pub completion_s: f64,
+    /// Completion including the one-off deployment.
+    pub e2e_s: f64,
+    /// Total dollars for the batch.
+    pub dollars: f64,
+    /// Per-image reports.
+    pub jobs: Vec<JobReport>,
+}
+
+/// The Coordinator: executes plans on a platform.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    cfg: AmpsConfig,
+}
+
+impl Coordinator {
+    /// Creates a coordinator.
+    pub fn new(cfg: AmpsConfig) -> Self {
+        Coordinator { cfg }
+    }
+
+    /// Builds a platform matching this coordinator's configuration.
+    pub fn platform(&self) -> Platform {
+        Platform::new(
+            self.cfg.quotas,
+            self.cfg.prices,
+            self.cfg.perf,
+            self.cfg.store,
+        )
+    }
+
+    /// Packages and deploys every partition of `plan`.
+    pub fn deploy(
+        &self,
+        platform: &mut Platform,
+        graph: &LayerGraph,
+        plan: &ExecutionPlan,
+    ) -> Result<Deployment, DeployError> {
+        plan.validate(graph.num_layers())
+            .expect("structurally valid plan");
+        let mut functions = Vec::with_capacity(plan.partitions.len());
+        let mut works = Vec::with_capacity(plan.partitions.len());
+        let mut deploy_s = 0.0f64;
+        for (i, p) in plan.partitions.iter().enumerate() {
+            let work = PartitionWork::from_segment(graph, p.start, p.end);
+            let spec = work.function_spec(format!("{}-part{}", plan.model, i), p.memory_mb);
+            let (fid, d) = platform.deploy(spec)?;
+            functions.push(fid);
+            works.push(work);
+            deploy_s = deploy_s.max(d); // parallel uploads
+        }
+        Ok(Deployment {
+            functions,
+            works,
+            deploy_s,
+        })
+    }
+
+    /// Serves one request through the chain, starting at `t0`.
+    ///
+    /// `tag` disambiguates intermediate-object keys between requests.
+    pub fn serve_one(
+        &self,
+        platform: &mut Platform,
+        dep: &Deployment,
+        t0: f64,
+        tag: &str,
+    ) -> Result<JobReport, InvokeError> {
+        let k = dep.functions.len();
+        let mut outcomes = Vec::with_capacity(k);
+        let mut now = t0;
+        for i in 0..k {
+            let input_key = (i > 0).then(|| format!("{tag}/b{}", i - 1));
+            let output_key = (i + 1 < k).then(|| format!("{tag}/b{i}"));
+            let work = dep.works[i].invocation(input_key, output_key);
+            let out = platform.invoke(dep.functions[i], now, &work)?;
+            now = out.end;
+            outcomes.push(out);
+        }
+        let load_s: f64 = outcomes.iter().map(|o| o.breakdown.load_s).sum();
+        let import_s: f64 = outcomes.iter().map(|o| o.breakdown.import_s).sum();
+        let predict_s: f64 = outcomes.iter().map(|o| o.breakdown.compute_s).sum();
+        let dollars: f64 = outcomes.iter().map(|o| o.dollars).sum();
+        let inference_s = now - t0;
+        Ok(JobReport {
+            deploy_s: dep.deploy_s,
+            load_s,
+            import_s,
+            predict_s,
+            inference_s,
+            e2e_s: dep.deploy_s + inference_s,
+            dollars,
+            outcomes,
+        })
+    }
+
+    /// Serves `images` requests in parallel (paper Table 5): all chains
+    /// start at `t0`; completion is the slowest chain.
+    pub fn serve_parallel(
+        &self,
+        platform: &mut Platform,
+        dep: &Deployment,
+        images: usize,
+        t0: f64,
+    ) -> Result<BatchReport, InvokeError> {
+        let mut jobs = Vec::with_capacity(images);
+        for img in 0..images {
+            let r = self.serve_one(platform, dep, t0, &format!("img{img}"))?;
+            jobs.push(r);
+        }
+        let completion_s = jobs
+            .iter()
+            .map(|j| j.inference_s)
+            .fold(0.0f64, f64::max);
+        let dollars = jobs.iter().map(|j| j.dollars).sum();
+        Ok(BatchReport {
+            completion_s,
+            e2e_s: dep.deploy_s + completion_s,
+            dollars,
+            jobs,
+        })
+    }
+
+    /// Serves `images` requests strictly one after another (the paper's
+    /// AMPS-Inf-Seq mode in Fig. 13); later requests hit warm containers.
+    pub fn serve_sequential(
+        &self,
+        platform: &mut Platform,
+        dep: &Deployment,
+        images: usize,
+        t0: f64,
+    ) -> Result<BatchReport, InvokeError> {
+        let mut jobs = Vec::with_capacity(images);
+        let mut now = t0;
+        for img in 0..images {
+            let r = self.serve_one(platform, dep, now, &format!("img{img}"))?;
+            now += r.inference_s;
+            jobs.push(r);
+        }
+        let completion_s = now - t0;
+        let dollars = jobs.iter().map(|j| j.dollars).sum();
+        Ok(BatchReport {
+            completion_s,
+            e2e_s: dep.deploy_s + completion_s,
+            dollars,
+            jobs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Optimizer;
+    use ampsinf_model::zoo;
+
+    fn optimized(graph: &ampsinf_model::LayerGraph) -> (Coordinator, ExecutionPlan) {
+        let cfg = AmpsConfig::default();
+        let plan = Optimizer::new(cfg.clone()).optimize(graph).unwrap().plan;
+        (Coordinator::new(cfg), plan)
+    }
+
+    #[test]
+    fn serve_one_matches_prediction() {
+        // The optimizer's predicted (time, cost) must equal the platform's
+        // measured cold-chain behaviour: prediction IS simulation.
+        for g in [zoo::mobilenet_v1(), zoo::resnet50()] {
+            let (coord, plan) = optimized(&g);
+            let mut platform = coord.platform();
+            let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
+            let report = coord.serve_one(&mut platform, &dep, 0.0, "req0").unwrap();
+            assert!(
+                (report.inference_s - plan.predicted_time_s).abs() < 1e-6,
+                "{}: measured {} vs predicted {}",
+                g.name,
+                report.inference_s,
+                plan.predicted_time_s
+            );
+            assert!(
+                (report.dollars - plan.predicted_cost).abs() < 1e-9,
+                "{}: measured {} vs predicted {}",
+                g.name,
+                report.dollars,
+                plan.predicted_cost
+            );
+        }
+    }
+
+    #[test]
+    fn deployment_time_counted_once() {
+        let g = zoo::mobilenet_v1();
+        let (coord, plan) = optimized(&g);
+        let mut platform = coord.platform();
+        let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
+        assert!(dep.deploy_s > 0.0);
+        let report = coord.serve_one(&mut platform, &dep, 0.0, "r").unwrap();
+        assert!((report.e2e_s - (dep.deploy_s + report.inference_s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_batch_gets_warm_speedup() {
+        let g = zoo::mobilenet_v1();
+        let (coord, plan) = optimized(&g);
+        let mut platform = coord.platform();
+        let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
+        let batch = coord
+            .serve_sequential(&mut platform, &dep, 3, 0.0)
+            .unwrap();
+        assert_eq!(batch.jobs.len(), 3);
+        // First request cold, later ones warm and faster.
+        assert!(batch.jobs[1].inference_s < batch.jobs[0].inference_s);
+        assert!(batch.jobs[1].outcomes.iter().all(|o| o.warm));
+    }
+
+    #[test]
+    fn parallel_batch_completion_is_max_not_sum() {
+        let g = zoo::mobilenet_v1();
+        let (coord, plan) = optimized(&g);
+        let mut platform = coord.platform();
+        let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
+        let batch = coord.serve_parallel(&mut platform, &dep, 5, 0.0).unwrap();
+        let max_inf = batch
+            .jobs
+            .iter()
+            .map(|j| j.inference_s)
+            .fold(0.0f64, f64::max);
+        let sum_inf: f64 = batch.jobs.iter().map(|j| j.inference_s).sum();
+        assert!((batch.completion_s - max_inf).abs() < 1e-12);
+        assert!(batch.completion_s < sum_inf);
+        // Cost still sums over all images.
+        assert!(batch.dollars > batch.jobs[0].dollars * 4.0);
+    }
+
+    #[test]
+    fn chain_objects_flow_through_storage() {
+        let g = zoo::resnet50();
+        let (coord, plan) = optimized(&g);
+        assert!(plan.num_lambdas() >= 2);
+        let mut platform = coord.platform();
+        let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
+        coord.serve_one(&mut platform, &dep, 0.0, "req").unwrap();
+        // Intermediate objects exist for every interior boundary.
+        for i in 0..plan.num_lambdas() - 1 {
+            assert!(platform.store.size_of(&format!("req/b{i}")).is_some());
+        }
+        // Settlement charges at-rest storage for them.
+        let settled = platform.settle_storage(1000.0);
+        assert!(settled > 0.0);
+    }
+}

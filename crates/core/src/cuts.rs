@@ -1,0 +1,308 @@
+//! Cut enumeration — the Profiler's "all the possible ways for the
+//! partition" (paper §4), pruned by the platform constraints.
+//!
+//! A *cut* is a strictly increasing list of end-layer indices whose last
+//! entry is the final layer (the paper's 3-layer example (1,2) ↦ bounds
+//! `[0, 2]`). Small models are enumerated exhaustively over every
+//! position; large models first select a bounded set of candidate
+//! boundaries at the cheapest transfer points (the paper's constraint (6)
+//! rationale: "reducing search space by removing intuitively unpromising
+//! solutions"), then enumerate combinations under a budget.
+
+use crate::config::AmpsConfig;
+use ampsinf_profiler::Profile;
+
+/// Exhaustive enumeration threshold: models with at most this many layers
+/// enumerate every boundary position.
+const EXHAUSTIVE_LAYERS: usize = 14;
+
+/// Budget on the number of cuts returned (documented cap; enumeration
+/// walks small partition counts first, which is where optima live — every
+/// extra lambda pays import/transfer overhead).
+const CUT_BUDGET: usize = 20_000;
+
+/// Chooses candidate boundary positions (end-layer indices, excluding the
+/// final layer) for a model.
+pub fn candidate_boundaries(profile: &Profile, cfg: &AmpsConfig) -> Vec<usize> {
+    let n = profile.num_layers();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let all: Vec<usize> = (0..n - 1).collect();
+    if n - 1 <= cfg.max_candidate_boundaries || n <= EXHAUSTIVE_LAYERS {
+        return all;
+    }
+    // Bucket the layer range and take the cheapest-transfer position in
+    // each bucket: spreads candidates while preferring block edges where
+    // little data crosses (residual adds close their skip connections
+    // there, so `p` is a single small tensor).
+    let buckets = cfg.max_candidate_boundaries;
+    let mut picks = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let lo = b * (n - 1) / buckets;
+        let hi = ((b + 1) * (n - 1) / buckets).min(n - 1);
+        if lo >= hi {
+            continue;
+        }
+        let best = (lo..hi)
+            .min_by_key(|&k| (profile.boundary_bytes[k], k))
+            .expect("non-empty bucket");
+        picks.push(best);
+    }
+    // Feasibility-critical boundaries: greedy left-to-right packing against
+    // the deployment limit. Without these, thinning can drop the only
+    // boundary separating two weight-heavy layers and declare a perfectly
+    // splittable model infeasible (e.g. adjacent embedding-scale layers).
+    let mut start = 0usize;
+    for k in 0..n - 1 {
+        if !profile.fits_deployment(start, k + 1, &cfg.quotas) {
+            picks.push(k);
+            start = k + 1;
+        }
+    }
+    picks.sort_unstable();
+    picks.dedup();
+    picks
+}
+
+/// True when the segment `[start, end]` can be a partition: deployment
+/// limit (4), temporary storage (5), layer cap (6), and a feasible memory
+/// block (7).
+pub fn segment_feasible(profile: &Profile, start: usize, end: usize, cfg: &AmpsConfig) -> bool {
+    let n = profile.num_layers();
+    let cap = (cfg.max_partition_fraction * n as f64).ceil() as usize;
+    if end + 1 - start > cap.max(1) {
+        return false;
+    }
+    profile.fits_deployment(start, end, &cfg.quotas)
+        && profile.fits_tmp(start, end, &cfg.quotas)
+        && profile
+            .memory_floor(start, end, &cfg.quotas, &cfg.perf)
+            .is_some()
+}
+
+/// Enumerates feasible cuts over the candidate boundaries, smallest
+/// partition counts first, up to the internal budget.
+pub fn enumerate_cuts(profile: &Profile, cfg: &AmpsConfig) -> Vec<Vec<usize>> {
+    let n = profile.num_layers();
+    let mut cands = candidate_boundaries(profile, cfg);
+    cands.push(n - 1); // the final boundary is always available
+    let mut cuts = Vec::new();
+
+    // Iterative deepening on the partition count keeps low-k cuts first.
+    for k in 1..=cfg.max_partitions {
+        let before = cuts.len();
+        extend(profile, cfg, &cands, 0, k, &mut Vec::new(), &mut cuts);
+        if cuts.len() >= CUT_BUDGET {
+            cuts.truncate(CUT_BUDGET);
+            break;
+        }
+        // If no cut of size k exists and none smaller either, larger k may
+        // still work (deployment limit forces more partitions), so only
+        // stop early when we have results and k already exceeds what the
+        // budget can extend.
+        let _ = before;
+    }
+    cuts
+}
+
+/// Recursive extension: cover layers from `start` with exactly `k` more
+/// partitions ending at candidate positions.
+fn extend(
+    profile: &Profile,
+    cfg: &AmpsConfig,
+    cands: &[usize],
+    start: usize,
+    k: usize,
+    acc: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if out.len() >= CUT_BUDGET {
+        return;
+    }
+    let n = profile.num_layers();
+    if k == 1 {
+        let end = n - 1;
+        if end >= start && segment_feasible(profile, start, end, cfg) {
+            let mut cut = acc.clone();
+            cut.push(end);
+            out.push(cut);
+        }
+        return;
+    }
+    for &end in cands {
+        if end < start || end >= n - 1 {
+            continue;
+        }
+        if !segment_feasible(profile, start, end, cfg) {
+            continue;
+        }
+        acc.push(end);
+        extend(profile, cfg, cands, end + 1, k - 1, acc, out);
+        acc.pop();
+        if out.len() >= CUT_BUDGET {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampsinf_model::zoo;
+
+    #[test]
+    fn three_layer_example_matches_paper() {
+        // Paper §4: a 3-layer model has cuts (3), (1,2), (2,1), (1,1,1).
+        // Our chain has an input layer + 3 dense layers = 4 graph layers;
+        // boundaries between compute layers give the same 4 compositions
+        // once the input layer rides with the first partition... the count
+        // over 4 layers with k ≤ 4 partitions of an unconstrained small
+        // model is 2^(4-1) = 8.
+        let g = zoo::linear_chain(3, 8);
+        let profile = Profile::of(&g);
+        let cfg = AmpsConfig {
+            max_partitions: 4,
+            ..Default::default()
+        };
+        let cuts = enumerate_cuts(&profile, &cfg);
+        assert_eq!(cuts.len(), 8);
+        // All end at the final layer, strictly increasing.
+        for cut in &cuts {
+            assert_eq!(*cut.last().unwrap(), g.num_layers() - 1);
+            assert!(cut.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn max_partitions_caps_cut_size() {
+        let g = zoo::linear_chain(3, 8);
+        let profile = Profile::of(&g);
+        let cfg = AmpsConfig {
+            max_partitions: 2,
+            ..Default::default()
+        };
+        let cuts = enumerate_cuts(&profile, &cfg);
+        assert!(cuts.iter().all(|c| c.len() <= 2));
+        assert_eq!(cuts.len(), 4); // (4), and 3 two-way splits
+    }
+
+    #[test]
+    fn resnet_whole_model_cut_infeasible() {
+        // ResNet50 cannot be a single partition (deployment limit).
+        let g = zoo::resnet50();
+        let profile = Profile::of(&g);
+        let cfg = AmpsConfig::default();
+        let cuts = enumerate_cuts(&profile, &cfg);
+        assert!(!cuts.is_empty());
+        assert!(cuts.iter().all(|c| c.len() >= 2));
+        // Every enumerated cut is fully feasible.
+        for cut in cuts.iter().take(200) {
+            let mut start = 0;
+            for &end in cut {
+                assert!(segment_feasible(&profile, start, end, &cfg));
+                start = end + 1;
+            }
+        }
+    }
+
+    #[test]
+    fn mobilenet_includes_single_lambda_cut() {
+        let g = zoo::mobilenet_v1();
+        let profile = Profile::of(&g);
+        let cfg = AmpsConfig::default();
+        let cuts = enumerate_cuts(&profile, &cfg);
+        assert!(cuts.iter().any(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn candidates_prefer_cheap_boundaries() {
+        let g = zoo::resnet50();
+        let profile = Profile::of(&g);
+        let cfg = AmpsConfig::default();
+        let cands = candidate_boundaries(&profile, &cfg);
+        // Bucketed picks plus feasibility-critical packing boundaries
+        // (ResNet50 needs at most a couple of the latter).
+        assert!(cands.len() <= cfg.max_candidate_boundaries + 4);
+        assert!(!cands.is_empty());
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        // The majority of candidates sit at cheap boundaries: strictly
+        // below the global max transfer.
+        let max_b = *profile.boundary_bytes.iter().max().unwrap();
+        let cheap = cands
+            .iter()
+            .filter(|&&k| profile.boundary_bytes[k] < max_b)
+            .count();
+        assert!(cheap * 2 > cands.len());
+    }
+
+    #[test]
+    fn feasibility_critical_boundaries_always_present() {
+        // Two adjacent ~74 MB layers: the boundary between them is the
+        // only legal split and must survive candidate thinning.
+        use ampsinf_model::{Activation, LayerGraph, LayerOp, TensorShape};
+        let mut g = LayerGraph::new("two-giants");
+        let i = g.add(
+            "input",
+            LayerOp::Input {
+                shape: TensorShape::Flat(1024),
+            },
+            &[],
+        );
+        let a = g.add(
+            "giant_a",
+            LayerOp::Dense {
+                units: 18_000,
+                use_bias: false,
+                activation: Activation::Linear,
+            },
+            &[i],
+        );
+        let b = g.add(
+            "giant_b",
+            LayerOp::Dense {
+                units: 1024,
+                use_bias: false,
+                activation: Activation::Linear,
+            },
+            &[a],
+        );
+        let _ = g.add(
+            "out",
+            LayerOp::Dense {
+                units: 10,
+                use_bias: true,
+                activation: Activation::Softmax,
+            },
+            &[b],
+        );
+        let profile = Profile::of(&g);
+        let cfg = AmpsConfig::default();
+        let cuts = enumerate_cuts(&profile, &cfg);
+        assert!(
+            !cuts.is_empty(),
+            "the giant/giant boundary must be offered"
+        );
+    }
+
+    #[test]
+    fn partition_fraction_constraint6() {
+        let g = zoo::linear_chain(7, 8); // 8 layers
+        let profile = Profile::of(&g);
+        let cfg = AmpsConfig {
+            max_partition_fraction: 0.5, // ≤ 4 layers per partition
+            max_partitions: 8,
+            ..Default::default()
+        };
+        let cuts = enumerate_cuts(&profile, &cfg);
+        for cut in &cuts {
+            let mut start = 0;
+            for &end in cut {
+                assert!(end + 1 - start <= 4, "{cut:?}");
+                start = end + 1;
+            }
+        }
+        // The single-partition cut (8 layers) must be excluded.
+        assert!(cuts.iter().all(|c| c.len() >= 2));
+    }
+}

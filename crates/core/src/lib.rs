@@ -1,0 +1,38 @@
+//! AMPS-Inf — the paper's primary contribution.
+//!
+//! Given a pre-trained model, AMPS-Inf jointly decides (1) how to split the
+//! layer graph into contiguous partitions and (2) which Lambda memory block
+//! to give each partition, minimizing monetary cost subject to a
+//! response-time SLO and the platform's deployment/temporary-storage limits
+//! (paper §3), then deploys and coordinates the chain (§4).
+//!
+//! * [`config`] — knobs: platform presets, SLO, constraint-(6) cap, QCR
+//!   policy, time-preference ε;
+//! * [`cuts`] — cut enumeration with constraint-(4)/(5)/(6) pruning (the
+//!   Profiler's "all the possible ways for the partition", Fig. 4);
+//! * [`miqp_build`] — assembly of the per-cut 0-1 quadratic program
+//!   (Eq. 12–14) with SOS-1 memory rows (Eq. 1) and the SLO row;
+//! * [`optimizer`] — the Optimizer component: enumerate → solve → select;
+//! * [`baselines`] — the paper's Baseline 1 (random), Baseline 2
+//!   (greedy-from-last-layer + max memory), Baseline 3 (exhaustive
+//!   optimum via DP over all boundaries);
+//! * [`coordinator`] — the Coordinator component: package partitions,
+//!   deploy, chain invocations through storage, return predictions;
+//! * [`plan`] — serializable execution/provisioning plans.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod coordinator;
+pub mod cuts;
+pub mod miqp_build;
+pub mod optimizer;
+pub mod plan;
+pub mod trace;
+
+pub use config::AmpsConfig;
+pub use coordinator::{Coordinator, JobReport};
+pub use optimizer::{OptimizeError, Optimizer};
+pub use plan::{ExecutionPlan, PartitionPlan};
+pub use trace::Timeline;

@@ -1,0 +1,157 @@
+//! Execution and resource-provisioning plans — the Optimizer's output
+//! ("best configuration (Partitions, Lambdas' memories)", paper Fig. 3).
+
+use serde::{Deserialize, Serialize};
+
+/// One partition's placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// First layer index (inclusive).
+    pub start: usize,
+    /// Last layer index (inclusive).
+    pub end: usize,
+    /// Lambda memory block, MB.
+    pub memory_mb: u32,
+}
+
+/// A complete serverless deployment plan for one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Model name.
+    pub model: String,
+    /// Partitions in chain order.
+    pub partitions: Vec<PartitionPlan>,
+    /// Predicted end-to-end inference duration (cold chain), seconds.
+    pub predicted_time_s: f64,
+    /// Predicted inference cost, dollars.
+    pub predicted_cost: f64,
+}
+
+impl ExecutionPlan {
+    /// Number of lambdas provisioned.
+    pub fn num_lambdas(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The memory allocations in chain order (the tuple the paper reports,
+    /// e.g. ResNet50 → 1536/1408/1408/1344 MB).
+    pub fn memories(&self) -> Vec<u32> {
+        self.partitions.iter().map(|p| p.memory_mb).collect()
+    }
+
+    /// Partition boundaries as (inclusive) end-layer indices.
+    pub fn bounds(&self) -> Vec<usize> {
+        self.partitions.iter().map(|p| p.end).collect()
+    }
+
+    /// Checks structural sanity against a model with `num_layers` layers:
+    /// contiguous, complete coverage, ordered.
+    pub fn validate(&self, num_layers: usize) -> Result<(), String> {
+        if self.partitions.is_empty() {
+            return Err("empty plan".into());
+        }
+        if self.partitions[0].start != 0 {
+            return Err("plan must start at layer 0".into());
+        }
+        for w in self.partitions.windows(2) {
+            if w[1].start != w[0].end + 1 {
+                return Err(format!(
+                    "gap between partitions: {} .. {}",
+                    w[0].end, w[1].start
+                ));
+            }
+        }
+        let last = self.partitions.last().unwrap();
+        if last.end != num_layers - 1 {
+            return Err(format!(
+                "plan ends at {} but the model has {} layers",
+                last.end, num_layers
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for ExecutionPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} lambda(s) [",
+            self.model,
+            self.partitions.len()
+        )?;
+        for (i, p) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "L{}..L{} @{}MB", p.start, p.end, p.memory_mb)?;
+        }
+        write!(
+            f,
+            "] predicted {:.2}s / ${:.5}",
+            self.predicted_time_s, self.predicted_cost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ExecutionPlan {
+        ExecutionPlan {
+            model: "m".into(),
+            partitions: vec![
+                PartitionPlan {
+                    start: 0,
+                    end: 9,
+                    memory_mb: 512,
+                },
+                PartitionPlan {
+                    start: 10,
+                    end: 19,
+                    memory_mb: 1024,
+                },
+            ],
+            predicted_time_s: 3.0,
+            predicted_cost: 0.001,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let p = plan();
+        assert_eq!(p.num_lambdas(), 2);
+        assert_eq!(p.memories(), vec![512, 1024]);
+        assert_eq!(p.bounds(), vec![9, 19]);
+    }
+
+    #[test]
+    fn validation_passes_on_complete_coverage() {
+        assert!(plan().validate(20).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_gaps_and_wrong_end() {
+        let mut p = plan();
+        p.partitions[1].start = 11;
+        assert!(p.validate(20).is_err());
+        let p2 = plan();
+        assert!(p2.validate(25).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = plan();
+        let s = serde_json::to_string(&p).unwrap();
+        let back: ExecutionPlan = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = plan().to_string();
+        assert!(s.contains("2 lambda(s)"));
+        assert!(s.contains("@512MB"));
+    }
+}

@@ -1,0 +1,155 @@
+//! A minimal discrete-event engine.
+//!
+//! Batch experiments (paper §5.4: ten images in parallel, 100 images in 10
+//! batches) need event ordering across concurrently executing lambdas; this
+//! queue provides deterministic time-then-FIFO ordering.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: fire time plus payload.
+struct Scheduled<T> {
+    at: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap; earliest time (then lowest
+        // seq) must pop first.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulation time (the fire time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: f64, payload: T) {
+        let at = at.max(self.now);
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` after a delay from now.
+    pub fn schedule_in(&mut self, delay: f64, payload: T) {
+        debug_assert!(delay >= 0.0, "negative delay");
+        self.schedule_at(self.now + delay.max(0.0), payload);
+    }
+
+    /// Pops the next event, advancing the clock to its fire time.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(3.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1.0, "first");
+        q.schedule_at(1.0, "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn clock_advances_and_relative_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule_in(5.0, 1u32);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 5.0);
+        assert_eq!(q.now(), 5.0);
+        q.schedule_in(2.0, 2u32);
+        assert_eq!(q.pop(), Some((7.0, 2u32)));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, "x");
+        q.pop();
+        q.schedule_at(1.0, "late");
+        assert_eq!(q.pop(), Some((10.0, "late")));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_in(1.0, 0);
+        assert_eq!(q.len(), 1);
+    }
+}

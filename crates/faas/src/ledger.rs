@@ -1,0 +1,123 @@
+//! Itemized cost accounting.
+//!
+//! The paper's Eq. (3) decomposes a lambda's cost into compute (`v·T`),
+//! intermediate storage (`q·T·H`), request fees (`G`, `U`) and invocation
+//! (`I`); SageMaker comparisons add VM time. The ledger keeps each dollar
+//! attributed so the repro harness can print the same decompositions.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost category, mirroring the paper's cost-model terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostItem {
+    /// Lambda GB-seconds (the paper's `v_{j,i} · T`).
+    LambdaCompute,
+    /// Lambda invocation fee (the paper's `I`).
+    LambdaRequest,
+    /// Storage PUT fee (the paper's `U`).
+    StoragePut,
+    /// Storage GET fee (the paper's `G`).
+    StorageGet,
+    /// Storage at-rest cost over time (the paper's `H`).
+    StorageAtRest,
+    /// VM instance time (SageMaker notebook / hosting).
+    VmTime,
+    /// Data transfer fees.
+    DataTransfer,
+}
+
+/// One ledger line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostEntry {
+    /// What kind of charge.
+    pub item: CostItem,
+    /// Dollars.
+    pub dollars: f64,
+    /// Free-form attribution (function name, object key, …).
+    pub note: String,
+}
+
+/// Append-only cost ledger.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CostLedger {
+    entries: Vec<CostEntry>,
+}
+
+impl CostLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a charge.
+    pub fn charge(&mut self, item: CostItem, dollars: f64, note: impl Into<String>) {
+        debug_assert!(dollars >= 0.0, "negative charge");
+        self.entries.push(CostEntry {
+            item,
+            dollars,
+            note: note.into(),
+        });
+    }
+
+    /// Total dollars across all entries.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|e| e.dollars).sum()
+    }
+
+    /// Total dollars for one category.
+    pub fn total_of(&self, item: CostItem) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.item == item)
+            .map(|e| e.dollars)
+            .sum()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[CostEntry] {
+        &self.entries
+    }
+
+    /// Moves all entries of `other` into `self`.
+    pub fn absorb(&mut self, other: CostLedger) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_by_category() {
+        let mut l = CostLedger::new();
+        l.charge(CostItem::LambdaCompute, 0.001, "f1");
+        l.charge(CostItem::LambdaCompute, 0.002, "f2");
+        l.charge(CostItem::StoragePut, 0.000005, "obj");
+        assert!((l.total() - 0.003005).abs() < 1e-12);
+        assert!((l.total_of(CostItem::LambdaCompute) - 0.003).abs() < 1e-12);
+        assert!((l.total_of(CostItem::VmTime) - 0.0).abs() < 1e-15);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = CostLedger::new();
+        a.charge(CostItem::VmTime, 0.01, "sage1");
+        let mut b = CostLedger::new();
+        b.charge(CostItem::LambdaRequest, 0.0000002, "f");
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+        assert!((a.total() - 0.0100002).abs() < 1e-12);
+    }
+}

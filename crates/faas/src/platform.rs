@@ -1,0 +1,615 @@
+//! The serverless platform: deployment quotas, invocation semantics,
+//! warm-start tracking, billing.
+
+use crate::ledger::{CostItem, CostLedger};
+use crate::perf::{DurationBreakdown, LambdaPerf, PerfModel};
+use crate::pricing::PriceSheet;
+use crate::quotas::Quotas;
+use crate::storage::{ObjectStore, StoreKind};
+use crate::MB;
+
+/// Handle to a deployed function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FunctionId(pub usize);
+
+/// What gets deployed: code plus function layers (the paper attaches the
+/// trimmed dependencies and each partition's weights as Lambda layers).
+#[derive(Debug, Clone)]
+pub struct FunctionSpec {
+    /// Function name.
+    pub name: String,
+    /// Memory block, MB.
+    pub memory_mb: u32,
+    /// Handler code size, bytes (the paper's `F`).
+    pub code_bytes: u64,
+    /// Unzipped layer sizes, bytes (dependencies `D`, weights `y·e`).
+    pub layer_bytes: Vec<u64>,
+}
+
+impl FunctionSpec {
+    /// Total unzipped deployment size (paper constraint (4) LHS).
+    pub fn package_bytes(&self) -> u64 {
+        self.code_bytes + self.layer_bytes.iter().sum::<u64>()
+    }
+}
+
+/// Why a deployment was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The requested memory is not an allocatable block.
+    InvalidMemory(u32),
+    /// Unzipped package exceeds the platform cap (paper constraint (4)).
+    PackageTooLarge {
+        /// Requested package size in bytes.
+        got: u64,
+        /// Platform cap in bytes.
+        limit: u64,
+    },
+    /// More function layers than the platform allows.
+    TooManyLayers(usize),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::InvalidMemory(mb) => write!(f, "invalid memory block {mb} MB"),
+            DeployError::PackageTooLarge { got, limit } => write!(
+                f,
+                "package {:.1} MB exceeds the {:.0} MB deployment limit",
+                *got as f64 / MB as f64,
+                *limit as f64 / MB as f64
+            ),
+            DeployError::TooManyLayers(n) => write!(f, "{n} layers exceed the platform cap"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Why an invocation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvokeError {
+    /// Resident footprint cannot fit the memory block at all.
+    OutOfMemory {
+        /// Resident footprint, MB.
+        footprint_mb: f64,
+        /// Configured memory, MB.
+        memory_mb: u32,
+    },
+    /// `/tmp` usage exceeds the temporary-storage cap (paper constraint (5)).
+    TmpExceeded {
+        /// Requested bytes.
+        got: u64,
+        /// Cap in bytes.
+        limit: u64,
+    },
+    /// Execution exceeded the platform timeout.
+    Timeout {
+        /// Computed duration, seconds.
+        duration_s: f64,
+    },
+    /// A required input object is missing from storage.
+    MissingInput(String),
+    /// Storage stayed unavailable through the retry budget.
+    StorageUnavailable(String),
+    /// Unknown function id.
+    NoSuchFunction,
+}
+
+impl std::fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvokeError::OutOfMemory {
+                footprint_mb,
+                memory_mb,
+            } => write!(f, "{footprint_mb:.0} MB footprint cannot run in {memory_mb} MB"),
+            InvokeError::TmpExceeded { got, limit } => write!(
+                f,
+                "tmp usage {:.1} MB exceeds {:.0} MB",
+                *got as f64 / MB as f64,
+                *limit as f64 / MB as f64
+            ),
+            InvokeError::Timeout { duration_s } => {
+                write!(f, "execution of {duration_s:.1} s exceeds the timeout")
+            }
+            InvokeError::MissingInput(k) => write!(f, "missing input object {k}"),
+            InvokeError::StorageUnavailable(k) => {
+                write!(f, "storage unavailable for object {k}")
+            }
+            InvokeError::NoSuchFunction => write!(f, "unknown function"),
+        }
+    }
+}
+
+impl std::error::Error for InvokeError {}
+
+/// Work performed by one invocation.
+#[derive(Debug, Clone, Default)]
+pub struct InvocationWork {
+    /// Weight bytes to deserialize on (cold) start.
+    pub load_bytes: u64,
+    /// Compute FLOPs.
+    pub flops: u64,
+    /// Resident bytes beyond the runtime footprint (weights ×2 +
+    /// activations + staged input).
+    pub resident_bytes: u64,
+    /// `/tmp` bytes used (weight files + previous partition's output).
+    pub tmp_bytes: u64,
+    /// Input object keys read from storage before compute.
+    pub reads: Vec<String>,
+    /// Output objects written after compute: `(key, bytes)`.
+    pub writes: Vec<(String, u64)>,
+}
+
+/// Result of a successful invocation.
+#[derive(Debug, Clone)]
+pub struct InvocationOutcome {
+    /// When the invocation started.
+    pub start: f64,
+    /// When it finished.
+    pub end: f64,
+    /// Phase breakdown.
+    pub breakdown: DurationBreakdown,
+    /// Billed duration (rounded up to the billing granularity).
+    pub billed_s: f64,
+    /// Dollars charged for this invocation (compute + request + storage
+    /// request fees).
+    pub dollars: f64,
+    /// Whether the container was warm (import/load skipped).
+    pub warm: bool,
+}
+
+impl InvocationOutcome {
+    /// Wall-clock duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DeployedFunction {
+    spec: FunctionSpec,
+    /// Warm container pool: `busy_until` per live instance. Lambda scales
+    /// out under concurrency — a request arriving while all instances are
+    /// busy gets a fresh (cold) instance; an idle instance within the
+    /// keep-alive window is reused warm.
+    instances: Vec<f64>,
+    /// Total cold starts observed (metrics).
+    cold_starts: usize,
+}
+
+/// Container keep-alive window for warm starts, seconds.
+const KEEP_ALIVE_S: f64 = 600.0;
+
+/// The simulated platform.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Active quota preset.
+    pub quotas: Quotas,
+    /// Active price sheet.
+    pub prices: PriceSheet,
+    /// Performance-law constants.
+    pub perf: PerfModel,
+    /// Intermediate object storage.
+    pub store: ObjectStore,
+    /// Itemized cost ledger.
+    pub ledger: CostLedger,
+    functions: Vec<DeployedFunction>,
+}
+
+impl Platform {
+    /// Creates a platform with the 2020 AWS presets and an S3 store.
+    pub fn aws_2020() -> Self {
+        Platform::new(
+            Quotas::lambda_2020(),
+            PriceSheet::aws_2020(),
+            PerfModel::default(),
+            StoreKind::s3(),
+        )
+    }
+
+    /// Creates a platform from explicit presets.
+    pub fn new(quotas: Quotas, prices: PriceSheet, perf: PerfModel, store: StoreKind) -> Self {
+        Platform {
+            quotas,
+            prices,
+            perf,
+            store: ObjectStore::new(store),
+            ledger: CostLedger::new(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Validates a spec against the quotas without deploying.
+    pub fn validate_spec(&self, spec: &FunctionSpec) -> Result<(), DeployError> {
+        if !self.quotas.is_valid_memory(spec.memory_mb) {
+            return Err(DeployError::InvalidMemory(spec.memory_mb));
+        }
+        let limit = u64::from(self.quotas.deploy_limit_mb) * MB;
+        let got = spec.package_bytes();
+        if got > limit {
+            return Err(DeployError::PackageTooLarge { got, limit });
+        }
+        if spec.layer_bytes.len() > self.quotas.max_layers as usize {
+            return Err(DeployError::TooManyLayers(spec.layer_bytes.len()));
+        }
+        Ok(())
+    }
+
+    /// Deploys a function; returns its id and the deployment duration
+    /// (model upload + function creation — counted in the paper's
+    /// end-to-end completion times, §2.2.1).
+    pub fn deploy(&mut self, spec: FunctionSpec) -> Result<(FunctionId, f64), DeployError> {
+        self.validate_spec(&spec)?;
+        // Dependencies are pre-published layers referenced by ARN (paper
+        // §2.1): only the model/weights layers upload at deploy time — the
+        // largest layer is assumed to be the shared dependency layer when
+        // several exist.
+        let uploaded: u64 = if spec.layer_bytes.len() > 1 {
+            spec.package_bytes() - spec.layer_bytes.iter().copied().max().unwrap_or(0)
+        } else {
+            spec.package_bytes()
+        };
+        let duration =
+            self.perf.deploy_fixed_s + uploaded as f64 / (self.perf.deploy_upload_mbps * 1e6);
+        let id = FunctionId(self.functions.len());
+        self.functions.push(DeployedFunction {
+            spec,
+            instances: Vec::new(),
+            cold_starts: 0,
+        });
+        Ok((id, duration))
+    }
+
+    /// Deployed function count.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// The spec of a deployed function.
+    pub fn spec(&self, id: FunctionId) -> Option<&FunctionSpec> {
+        self.functions.get(id.0).map(|f| &f.spec)
+    }
+
+    /// Cold starts a function has incurred (instances spun up).
+    pub fn cold_starts(&self, id: FunctionId) -> usize {
+        self.functions.get(id.0).map_or(0, |f| f.cold_starts)
+    }
+
+    /// Live container instances of a function.
+    pub fn instance_count(&self, id: FunctionId) -> usize {
+        self.functions.get(id.0).map_or(0, |f| f.instances.len())
+    }
+
+    /// Invokes function `id` starting at absolute time `start`.
+    ///
+    /// Sequencing inside the invocation: cold start → import → weight load
+    /// → storage reads → compute → storage writes → response. Warm
+    /// containers (< 10 min since last finish) skip cold/import/load, as a
+    /// kept-alive Lambda sandbox with a cached model would.
+    pub fn invoke(
+        &mut self,
+        id: FunctionId,
+        start: f64,
+        work: &InvocationWork,
+    ) -> Result<InvocationOutcome, InvokeError> {
+        let func = self
+            .functions
+            .get(id.0)
+            .ok_or(InvokeError::NoSuchFunction)?;
+        let spec = func.spec.clone();
+        // Instance selection: reuse the most-recently-idle warm instance
+        // that is free at `start` and within keep-alive; otherwise a fresh
+        // cold instance handles this (possibly concurrent) request.
+        let warm_slot = func
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, &busy_until)| {
+                start >= busy_until && start - busy_until <= KEEP_ALIVE_S
+            })
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i);
+        let warm = warm_slot.is_some();
+
+        let perf = LambdaPerf::new(&self.perf, spec.memory_mb);
+        let footprint_mb =
+            self.perf.runtime_footprint_mb + work.resident_bytes as f64 / MB as f64;
+        if perf.is_oom(footprint_mb) {
+            return Err(InvokeError::OutOfMemory {
+                footprint_mb,
+                memory_mb: spec.memory_mb,
+            });
+        }
+        let tmp_limit = u64::from(self.quotas.tmp_limit_mb) * MB;
+        if work.tmp_bytes > tmp_limit {
+            return Err(InvokeError::TmpExceeded {
+                got: work.tmp_bytes,
+                limit: tmp_limit,
+            });
+        }
+
+        let mut b = DurationBreakdown::default();
+        if !warm {
+            b.cold_s = perf.cold_start(spec.package_bytes());
+            b.import_s = perf.cpu_time(perf.import_work(), footprint_mb);
+            b.load_s = perf.cpu_time(perf.load_work(work.load_bytes), footprint_mb);
+        }
+        // Storage reads (charged fees; missing keys abort).
+        let mut fees = 0.0;
+        for key in &work.reads {
+            let op = self
+                .store
+                .get(key, &self.prices, &mut self.ledger)
+                .map_err(|e| match e {
+                    crate::storage::StorageError::NotFound(k) => InvokeError::MissingInput(k),
+                    crate::storage::StorageError::Unavailable { key, .. } => {
+                        InvokeError::StorageUnavailable(key)
+                    }
+                })?;
+            b.transfer_s += op.duration_s;
+            fees += op.fee;
+        }
+        b.compute_s = perf.cpu_time(perf.compute_work(work.flops), footprint_mb);
+        // Storage writes happen after compute; objects become visible at
+        // the write-completion instant.
+        let pre_write = start + b.cold_s + b.import_s + b.load_s + b.transfer_s + b.compute_s;
+        let mut write_s = 0.0;
+        for (key, bytes) in &work.writes {
+            let op = self
+                .store
+                .put(
+                    key.clone(),
+                    *bytes,
+                    pre_write + write_s,
+                    &self.prices,
+                    &mut self.ledger,
+                )
+                .map_err(|e| match e {
+                    crate::storage::StorageError::Unavailable { key, .. } => {
+                        InvokeError::StorageUnavailable(key)
+                    }
+                    crate::storage::StorageError::NotFound(k) => InvokeError::MissingInput(k),
+                })?;
+            write_s += op.duration_s;
+            fees += op.fee;
+        }
+        b.transfer_s += write_s;
+        b.fixed_s = self.perf.fixed_overhead_s;
+
+        let duration = b.total();
+        if duration > self.quotas.timeout_s {
+            return Err(InvokeError::Timeout {
+                duration_s: duration,
+            });
+        }
+
+        let billed = self.prices.billed_duration(duration);
+        let compute_cost = self.prices.lambda_compute_cost(duration, spec.memory_mb);
+        self.ledger
+            .charge(CostItem::LambdaCompute, compute_cost, spec.name.clone());
+        self.ledger
+            .charge(CostItem::LambdaRequest, self.prices.lambda_request, spec.name.clone());
+
+        let func = &mut self.functions[id.0];
+        match warm_slot {
+            Some(i) => func.instances[i] = start + duration,
+            None => {
+                func.instances.push(start + duration);
+                func.cold_starts += 1;
+            }
+        }
+        Ok(InvocationOutcome {
+            start,
+            end: start + duration,
+            breakdown: b,
+            billed_s: billed,
+            dollars: compute_cost + self.prices.lambda_request + fees,
+            warm,
+        })
+    }
+
+    /// Settles at-rest storage charges up to `until`; call once per job.
+    pub fn settle_storage(&mut self, until: f64) -> f64 {
+        let prices = self.prices;
+        self.store
+            .settle_storage(until, &prices, &mut self.ledger)
+    }
+
+    /// Total dollars accrued so far.
+    pub fn total_cost(&self) -> f64 {
+        self.ledger.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(mem: u32, weights_mb: u64) -> FunctionSpec {
+        FunctionSpec {
+            name: format!("f{mem}"),
+            memory_mb: mem,
+            code_bytes: MB,
+            layer_bytes: vec![169 * MB, weights_mb * MB],
+        }
+    }
+
+    #[test]
+    fn deploy_enforces_package_limit() {
+        let mut p = Platform::aws_2020();
+        // 1 + 169 + 98 = 268 MB > 250 MB: the paper's Table 1 ResNet50 case.
+        let err = p.deploy(spec(1024, 98)).unwrap_err();
+        assert!(matches!(err, DeployError::PackageTooLarge { .. }));
+        // 1 + 169 + 17 = 187 MB: MobileNet fits.
+        assert!(p.deploy(spec(1024, 17)).is_ok());
+    }
+
+    #[test]
+    fn deploy_enforces_memory_blocks_and_layers() {
+        let mut p = Platform::aws_2020();
+        let mut s = spec(1000, 10);
+        s.memory_mb = 1000; // not a 64 MB-aligned block
+        assert!(matches!(
+            p.deploy(s).unwrap_err(),
+            DeployError::InvalidMemory(1000)
+        ));
+        let mut s = spec(1024, 10);
+        s.layer_bytes = vec![MB; 6];
+        assert!(matches!(
+            p.deploy(s).unwrap_err(),
+            DeployError::TooManyLayers(6)
+        ));
+    }
+
+    #[test]
+    fn invoke_bills_compute_and_request() {
+        let mut p = Platform::aws_2020();
+        let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_140_000_000,
+            resident_bytes: 40 * MB,
+            tmp_bytes: 20 * MB,
+            ..Default::default()
+        };
+        let out = p.invoke(id, 0.0, &work).unwrap();
+        assert!(!out.warm);
+        assert!(out.duration() > 1.0 && out.duration() < 20.0);
+        let expect = p.prices.lambda_compute_cost(out.duration(), 1024) + p.prices.lambda_request;
+        assert!((out.dollars - expect).abs() < 1e-12);
+        assert!(p.ledger.total_of(CostItem::LambdaCompute) > 0.0);
+    }
+
+    #[test]
+    fn warm_invocations_skip_cold_phases() {
+        let mut p = Platform::aws_2020();
+        let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        let first = p.invoke(id, 0.0, &work).unwrap();
+        let second = p.invoke(id, first.end + 1.0, &work).unwrap();
+        assert!(second.warm);
+        assert_eq!(second.breakdown.import_s, 0.0);
+        assert_eq!(second.breakdown.load_s, 0.0);
+        assert!(second.duration() < first.duration());
+        // Cold again after the keep-alive lapses.
+        let third = p.invoke(id, second.end + KEEP_ALIVE_S + 1.0, &work).unwrap();
+        assert!(!third.warm);
+    }
+
+    #[test]
+    fn concurrent_invocations_scale_out_cold() {
+        // Two requests at the same instant: Lambda spins two instances,
+        // both cold; a third after they finish rides one of them warm.
+        let mut p = Platform::aws_2020();
+        let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        let a = p.invoke(id, 0.0, &work).unwrap();
+        let b = p.invoke(id, 0.0, &work).unwrap();
+        assert!(!a.warm && !b.warm);
+        assert_eq!(p.cold_starts(id), 2);
+        assert_eq!(p.instance_count(id), 2);
+        let c = p.invoke(id, a.end.max(b.end) + 0.5, &work).unwrap();
+        assert!(c.warm);
+        assert_eq!(p.cold_starts(id), 2);
+    }
+
+    #[test]
+    fn overlapping_chain_requests_do_not_share_busy_instances() {
+        let mut p = Platform::aws_2020();
+        let (id, _) = p.deploy(spec(1024, 10)).unwrap();
+        let work = InvocationWork {
+            load_bytes: 10 * MB,
+            flops: 3_000_000_000,
+            resident_bytes: 30 * MB,
+            ..Default::default()
+        };
+        let first = p.invoke(id, 0.0, &work).unwrap();
+        // Second request arrives while the first instance is busy.
+        let second = p.invoke(id, first.end - 1.0, &work).unwrap();
+        assert!(!second.warm, "busy instance must not be reused");
+        assert_eq!(p.instance_count(id), 2);
+    }
+
+    #[test]
+    fn chain_via_storage() {
+        let mut p = Platform::aws_2020();
+        let (f1, _) = p.deploy(spec(1024, 10)).unwrap();
+        let (f2, _) = p.deploy(spec(1024, 10)).unwrap();
+        let w1 = InvocationWork {
+            load_bytes: 10 * MB,
+            flops: 500_000_000,
+            resident_bytes: 30 * MB,
+            writes: vec![("inter/0".into(), 2 * MB)],
+            ..Default::default()
+        };
+        let o1 = p.invoke(f1, 0.0, &w1).unwrap();
+        let w2 = InvocationWork {
+            load_bytes: 10 * MB,
+            flops: 500_000_000,
+            resident_bytes: 30 * MB,
+            reads: vec!["inter/0".into()],
+            ..Default::default()
+        };
+        let o2 = p.invoke(f2, o1.end, &w2).unwrap();
+        assert!(o2.end > o1.end);
+        assert!(p.ledger.total_of(CostItem::StoragePut) > 0.0);
+        assert!(p.ledger.total_of(CostItem::StorageGet) > 0.0);
+        let settled = p.settle_storage(o2.end);
+        assert!(settled >= 0.0);
+    }
+
+    #[test]
+    fn missing_input_fails() {
+        let mut p = Platform::aws_2020();
+        let (id, _) = p.deploy(spec(1024, 10)).unwrap();
+        let w = InvocationWork {
+            reads: vec!["never-written".into()],
+            ..Default::default()
+        };
+        assert!(matches!(
+            p.invoke(id, 0.0, &w).unwrap_err(),
+            InvokeError::MissingInput(_)
+        ));
+    }
+
+    #[test]
+    fn tmp_limit_enforced() {
+        let mut p = Platform::aws_2020();
+        let (id, _) = p.deploy(spec(3008, 10)).unwrap();
+        let w = InvocationWork {
+            tmp_bytes: 600 * MB,
+            ..Default::default()
+        };
+        assert!(matches!(
+            p.invoke(id, 0.0, &w).unwrap_err(),
+            InvokeError::TmpExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn oom_at_tiny_memory() {
+        let mut p = Platform::aws_2020();
+        let (id, _) = p.deploy(spec(128, 10)).unwrap();
+        let w = InvocationWork {
+            load_bytes: 10 * MB,
+            flops: 1_000_000,
+            resident_bytes: 30 * MB,
+            ..Default::default()
+        };
+        assert!(matches!(
+            p.invoke(id, 0.0, &w).unwrap_err(),
+            InvokeError::OutOfMemory { .. }
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! Symbolic execution bridge: model partitions → platform work.
+//!
+//! The paper's Coordinator packages each partition (YAML + weights +
+//! dependency layers) into a lambda and chains invocations through S3
+//! (§4). This module turns a [`CutAccounting`] segment into the
+//! [`FunctionSpec`] / [`InvocationWork`] the platform consumes, using the
+//! paper's sizing conventions: dependencies `D` = 169 MB, handler `F` ≈
+//! 1 MB, weights `y·e` = params × 4.
+
+use crate::platform::{FunctionSpec, InvocationWork};
+use crate::MB;
+use ampsinf_model::graph::{CutAccounting, LayerGraph};
+use serde::{Deserialize, Serialize};
+
+/// The trimmed TF/Keras dependency-layer size the paper measures (169 MB).
+pub const DEPS_BYTES: u64 = 169 * MB;
+/// Handler-code size (the paper's `F`).
+pub const CODE_BYTES: u64 = MB;
+
+/// Work profile of one model partition on one lambda.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionWork {
+    /// Segment accounting from the model graph.
+    pub seg: CutAccounting,
+}
+
+/// Phase inputs for a whole (unpartitioned) model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkPhases {
+    /// Weight bytes to load.
+    pub weight_bytes: u64,
+    /// FLOPs to execute.
+    pub flops: u64,
+    /// Activation bytes materialized.
+    pub activation_bytes: u64,
+}
+
+impl PartitionWork {
+    /// Builds the work profile for layers `[start, end]` of `graph`.
+    pub fn from_segment(graph: &LayerGraph, start: usize, end: usize) -> Self {
+        PartitionWork {
+            seg: graph.segment(start, end),
+        }
+    }
+
+    /// Work profiles for a list of contiguous partitions given by their
+    /// (inclusive) boundaries; `bounds` holds each partition's last layer
+    /// index, strictly increasing, ending at `num_layers()-1`.
+    pub fn chain(graph: &LayerGraph, bounds: &[usize]) -> Vec<Self> {
+        assert!(!bounds.is_empty(), "at least one partition required");
+        assert_eq!(
+            *bounds.last().unwrap(),
+            graph.num_layers() - 1,
+            "last partition must end at the final layer"
+        );
+        let mut start = 0usize;
+        let mut out = Vec::with_capacity(bounds.len());
+        for &end in bounds {
+            assert!(end >= start, "bounds must be strictly increasing");
+            out.push(Self::from_segment(graph, start, end));
+            start = end + 1;
+        }
+        out
+    }
+
+    /// The unzipped deployment package for this partition: handler +
+    /// dependency layer + weights layer (paper constraint (4) LHS:
+    /// `y·e + D + F`).
+    pub fn function_spec(&self, name: impl Into<String>, memory_mb: u32) -> FunctionSpec {
+        FunctionSpec {
+            name: name.into(),
+            memory_mb,
+            code_bytes: CODE_BYTES,
+            layer_bytes: vec![DEPS_BYTES, self.seg.weight_bytes],
+        }
+    }
+
+    /// Resident footprint beyond the runtime: weights twice (file +
+    /// in-memory graph) plus materialized activations plus staged input.
+    pub fn resident_bytes(&self) -> u64 {
+        2 * self.seg.weight_bytes + self.seg.activation_bytes + self.seg.input_bytes
+    }
+
+    /// `/tmp` usage: weight files plus the previous partition's output
+    /// staged as a file (paper constraint (5) LHS: `y·z + p_{i-1}`).
+    pub fn tmp_bytes(&self) -> u64 {
+        self.seg.weight_bytes + self.seg.input_bytes
+    }
+
+    /// Invocation work, wiring the storage keys: reads `input_key` (None
+    /// for the first partition, whose image arrives with the trigger) and
+    /// writes `output_key` (None for the last partition, which returns the
+    /// prediction in the response).
+    pub fn invocation(
+        &self,
+        input_key: Option<String>,
+        output_key: Option<String>,
+    ) -> InvocationWork {
+        InvocationWork {
+            load_bytes: self.seg.weight_bytes,
+            flops: self.seg.flops,
+            resident_bytes: self.resident_bytes(),
+            tmp_bytes: self.tmp_bytes(),
+            reads: input_key.into_iter().collect(),
+            writes: output_key
+                .map(|k| (k, self.seg.output_bytes))
+                .into_iter()
+                .collect(),
+        }
+    }
+}
+
+/// Whole-model work (the single-lambda deployments of §2.2.1).
+pub fn whole_model(graph: &LayerGraph) -> PartitionWork {
+    PartitionWork::from_segment(graph, 0, graph.num_layers() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use ampsinf_model::zoo;
+
+    #[test]
+    fn mobilenet_fits_one_lambda_resnet_does_not() {
+        // The paper's Table 1 / §2.2 premise, via actual quota checks.
+        let p = Platform::aws_2020();
+        let mob = whole_model(&zoo::mobilenet_v1());
+        assert!(p.validate_spec(&mob.function_spec("mobilenet", 512)).is_ok());
+        let rn = whole_model(&zoo::resnet50());
+        assert!(p.validate_spec(&rn.function_spec("resnet50", 1024)).is_err());
+        let inc = whole_model(&zoo::inception_v3());
+        assert!(p
+            .validate_spec(&inc.function_spec("inception", 1024))
+            .is_err());
+    }
+
+    #[test]
+    fn table1_deployment_sizes() {
+        // Table 1: ResNet50 267 MB, InceptionV3 261 MB (model + 169 MB
+        // deps + handler).
+        let rn = whole_model(&zoo::resnet50())
+            .function_spec("r", 1024)
+            .package_bytes() as f64
+            / MB as f64;
+        assert!((rn - 267.0).abs() < 2.0, "{rn} MB");
+        let inc = whole_model(&zoo::inception_v3())
+            .function_spec("i", 1024)
+            .package_bytes() as f64
+            / MB as f64;
+        assert!((inc - 261.0).abs() < 2.0, "{inc} MB");
+    }
+
+    #[test]
+    fn chain_bounds_partition_the_model() {
+        let g = zoo::mobilenet_v1();
+        let n = g.num_layers();
+        let parts = PartitionWork::chain(&g, &[30, 60, n - 1]);
+        assert_eq!(parts.len(), 3);
+        let total_w: u64 = parts.iter().map(|p| p.seg.weight_bytes).sum();
+        assert_eq!(total_w, g.weight_bytes());
+        // Adjacent boundary sizes agree.
+        assert_eq!(parts[0].seg.output_bytes, parts[1].seg.input_bytes);
+        assert_eq!(parts[1].seg.output_bytes, parts[2].seg.input_bytes);
+    }
+
+    #[test]
+    fn invocation_wiring() {
+        let g = zoo::mobilenet_v1();
+        let parts = PartitionWork::chain(&g, &[40, g.num_layers() - 1]);
+        let w0 = parts[0].invocation(None, Some("inter/0".into()));
+        assert!(w0.reads.is_empty());
+        assert_eq!(w0.writes.len(), 1);
+        assert_eq!(w0.writes[0].1, parts[0].seg.output_bytes);
+        let w1 = parts[1].invocation(Some("inter/0".into()), None);
+        assert_eq!(w1.reads, vec!["inter/0".to_string()]);
+        assert!(w1.writes.is_empty());
+        assert_eq!(w1.load_bytes, parts[1].seg.weight_bytes);
+    }
+
+    #[test]
+    fn tmp_accounting_follows_constraint5() {
+        let g = zoo::resnet50();
+        let parts = PartitionWork::chain(&g, &[80, g.num_layers() - 1]);
+        for p in &parts {
+            assert_eq!(p.tmp_bytes(), p.seg.weight_bytes + p.seg.input_bytes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "last partition must end")]
+    fn chain_requires_full_coverage() {
+        let g = zoo::mobilenet_v1();
+        PartitionWork::chain(&g, &[10, 20]);
+    }
+}

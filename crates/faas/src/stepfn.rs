@@ -1,0 +1,177 @@
+//! Step-Functions-style workflow orchestration.
+//!
+//! The paper measured AWS Step Functions and rejected them for AMPS-Inf:
+//! "the state transitions take nearly 15s which would cost more and lead
+//! to a larger completion time" (footnote 2). SerFer, the compared
+//! system, *does* orchestrate its lambda chain this way — so the
+//! comparator needs a real workflow substrate, not a constant.
+
+use crate::platform::{InvocationWork, InvokeError, Platform};
+use crate::FunctionId;
+
+/// Default state-transition latency (paper footnote 2: "nearly 15 s").
+pub const DEFAULT_TRANSITION_LATENCY_S: f64 = 15.0;
+/// AWS Standard Workflows price per state transition ($0.025 / 1,000).
+pub const DEFAULT_TRANSITION_COST: f64 = 0.000_025;
+
+/// One Task state: a function invocation with its work description.
+#[derive(Debug, Clone)]
+pub struct StepState {
+    /// State name (shows up in execution traces).
+    pub name: String,
+    /// The lambda this state invokes.
+    pub function: FunctionId,
+    /// The invocation's work.
+    pub work: InvocationWork,
+}
+
+/// A sequential state machine over deployed lambdas.
+#[derive(Debug, Clone)]
+pub struct StepFunction {
+    /// Workflow name.
+    pub name: String,
+    /// Task states in execution order.
+    pub states: Vec<StepState>,
+    /// Latency per state transition.
+    pub transition_latency_s: f64,
+    /// Fee per state transition.
+    pub transition_cost: f64,
+}
+
+/// Trace of one workflow execution.
+#[derive(Debug, Clone)]
+pub struct StepExecution {
+    /// When the workflow finished.
+    pub end: f64,
+    /// Dollars: transitions + the invocations' direct costs.
+    pub dollars: f64,
+    /// State transitions performed (enter + between states + exit).
+    pub transitions: usize,
+    /// Seconds spent purely in transitions.
+    pub transition_time_s: f64,
+    /// Per-state completion times.
+    pub state_ends: Vec<f64>,
+}
+
+impl StepFunction {
+    /// A standard-workflow machine over the given states.
+    pub fn standard(name: impl Into<String>, states: Vec<StepState>) -> Self {
+        StepFunction {
+            name: name.into(),
+            states,
+            transition_latency_s: DEFAULT_TRANSITION_LATENCY_S,
+            transition_cost: DEFAULT_TRANSITION_COST,
+        }
+    }
+
+    /// Total transitions for one execution: workflow entry, one between
+    /// each consecutive state pair, and workflow exit.
+    pub fn num_transitions(&self) -> usize {
+        self.states.len() + 1
+    }
+
+    /// Executes the machine starting at `t0`.
+    pub fn execute(
+        &self,
+        platform: &mut Platform,
+        t0: f64,
+    ) -> Result<StepExecution, InvokeError> {
+        let mut now = t0;
+        let mut dollars = 0.0;
+        let mut transition_time = 0.0;
+        let mut state_ends = Vec::with_capacity(self.states.len());
+        // Workflow entry transition.
+        now += self.transition_latency_s;
+        transition_time += self.transition_latency_s;
+        dollars += self.transition_cost;
+        for (i, state) in self.states.iter().enumerate() {
+            if i > 0 {
+                now += self.transition_latency_s;
+                transition_time += self.transition_latency_s;
+                dollars += self.transition_cost;
+            }
+            let out = platform.invoke(state.function, now, &state.work)?;
+            now = out.end;
+            dollars += out.dollars;
+            state_ends.push(now);
+        }
+        // Workflow exit transition.
+        now += self.transition_latency_s;
+        transition_time += self.transition_latency_s;
+        dollars += self.transition_cost;
+        Ok(StepExecution {
+            end: now,
+            dollars,
+            transitions: self.num_transitions(),
+            transition_time_s: transition_time,
+            state_ends,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::FunctionSpec;
+    use crate::MB;
+
+    fn deploy_two(platform: &mut Platform) -> Vec<StepState> {
+        (0..2)
+            .map(|i| {
+                let (fid, _) = platform
+                    .deploy(FunctionSpec {
+                        name: format!("s{i}"),
+                        memory_mb: 1024,
+                        code_bytes: MB,
+                        layer_bytes: vec![169 * MB, 10 * MB],
+                    })
+                    .unwrap();
+                StepState {
+                    name: format!("state{i}"),
+                    function: fid,
+                    work: InvocationWork {
+                        load_bytes: 10 * MB,
+                        flops: 500_000_000,
+                        resident_bytes: 30 * MB,
+                        ..Default::default()
+                    },
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transitions_counted_and_timed() {
+        let mut p = Platform::aws_2020();
+        let states = deploy_two(&mut p);
+        let sf = StepFunction::standard("wf", states);
+        assert_eq!(sf.num_transitions(), 3);
+        let exec = sf.execute(&mut p, 0.0).unwrap();
+        assert_eq!(exec.transitions, 3);
+        assert!((exec.transition_time_s - 45.0).abs() < 1e-12);
+        assert!(exec.end > 45.0);
+        assert_eq!(exec.state_ends.len(), 2);
+    }
+
+    #[test]
+    fn costs_include_transitions_and_invocations() {
+        let mut p = Platform::aws_2020();
+        let states = deploy_two(&mut p);
+        let sf = StepFunction::standard("wf", states);
+        let exec = sf.execute(&mut p, 0.0).unwrap();
+        assert!(exec.dollars > 3.0 * DEFAULT_TRANSITION_COST);
+    }
+
+    #[test]
+    fn paper_footnote_magnitude() {
+        // The paper's observed ~108 s completion for a step-function-driven
+        // ~10-lambda chain is dominated by ~11 transitions × 15 s.
+        let mut p = Platform::aws_2020();
+        let states: Vec<StepState> = (0..10)
+            .flat_map(|_| deploy_two(&mut p).into_iter().take(1))
+            .collect();
+        let sf = StepFunction::standard("wf10", states);
+        let exec = sf.execute(&mut p, 0.0).unwrap();
+        assert!(exec.transition_time_s >= 150.0);
+    }
+}

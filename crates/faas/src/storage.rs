@@ -1,0 +1,359 @@
+//! Intermediate object storage (S3 and faster alternatives).
+//!
+//! The paper uses S3 to carry intermediate tensors between chained lambdas
+//! ("because of the missing feature of inter-lambda communication", §2.2)
+//! and notes that a faster store (Redis/ElastiCache, Pocket) would improve
+//! performance further (§5.2). [`StoreKind`] models both.
+
+use crate::ledger::{CostItem, CostLedger};
+use crate::pricing::PriceSheet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Storage backend characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreKind {
+    /// Human-readable backend name.
+    pub name: &'static str,
+    /// Transfer bandwidth, MB/s (the paper's `B`).
+    pub bandwidth_mbps: f64,
+    /// Per-request latency, seconds.
+    pub request_latency_s: f64,
+    /// Whether request/storage fees apply (S3 yes, self-managed no —
+    /// a self-managed store's instance cost is billed separately).
+    pub billed_requests: bool,
+    /// Probability that a single request fails transiently (5xx-class).
+    /// Failed requests still take their latency and, when billed, their
+    /// fee — exactly the retry economics a real client sees.
+    pub failure_rate: f64,
+}
+
+impl StoreKind {
+    /// Amazon-S3-like backend (the paper's default path).
+    pub fn s3() -> Self {
+        StoreKind {
+            name: "s3",
+            bandwidth_mbps: 80.0,
+            request_latency_s: 0.02,
+            billed_requests: true,
+            failure_rate: 0.0,
+        }
+    }
+
+    /// Low-latency in-memory store (the paper's Redis/Pocket extension).
+    pub fn fast_store() -> Self {
+        StoreKind {
+            name: "fast-store",
+            bandwidth_mbps: 500.0,
+            request_latency_s: 0.001,
+            billed_requests: false,
+            failure_rate: 0.0,
+        }
+    }
+
+    /// An S3 backend with transient failures at the given per-request
+    /// rate, for failure-injection tests.
+    pub fn flaky_s3(failure_rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&failure_rate), "rate must be in [0,1)");
+        StoreKind {
+            name: "flaky-s3",
+            failure_rate,
+            ..Self::s3()
+        }
+    }
+}
+
+/// Metadata for a stored object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct ObjectMeta {
+    bytes: u64,
+    created_at: f64,
+    deleted_at: Option<f64>,
+}
+
+/// The object store: tracks objects, transfer timing, and fees.
+#[derive(Debug, Clone)]
+pub struct ObjectStore {
+    /// Backend characteristics.
+    pub kind: StoreKind,
+    objects: HashMap<String, ObjectMeta>,
+    /// Tombstones for deleted objects (still billed for their lifetime).
+    history: Vec<ObjectMeta>,
+    /// Deterministic failure-draw state (splitmix64).
+    rng: u64,
+}
+
+/// Result of a storage operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageOp {
+    /// Seconds the operation takes on the caller's side, retries included.
+    pub duration_s: f64,
+    /// Request fee charged (0 for unbilled backends).
+    pub fee: f64,
+    /// Attempts used (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// Why a storage operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// No live object under that key.
+    NotFound(String),
+    /// Transient failures exhausted the retry budget.
+    Unavailable {
+        /// The key involved.
+        key: String,
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NotFound(k) => write!(f, "object {k} not found"),
+            StorageError::Unavailable { key, attempts } => {
+                write!(f, "object {key} unavailable after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Client-side retry budget for transient storage failures.
+pub const STORAGE_RETRIES: u32 = 3;
+
+impl ObjectStore {
+    /// Creates an empty store on the given backend.
+    pub fn new(kind: StoreKind) -> Self {
+        ObjectStore {
+            kind,
+            objects: HashMap::new(),
+            history: Vec::new(),
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Deterministic uniform draw in [0, 1).
+    fn draw(&mut self) -> f64 {
+        // splitmix64
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Runs the attempt loop: each failed attempt burns the request
+    /// latency; returns `(extra_failure_latency, attempts)` on success or
+    /// `None` when the budget is exhausted.
+    fn attempt(&mut self) -> Option<(f64, u32)> {
+        let mut extra = 0.0;
+        for attempt in 1..=(1 + STORAGE_RETRIES) {
+            if self.kind.failure_rate <= 0.0 || self.draw() >= self.kind.failure_rate {
+                return Some((extra, attempt));
+            }
+            extra += self.kind.request_latency_s;
+        }
+        None
+    }
+
+    /// Writes an object at time `now`; returns duration and records the
+    /// PUT fee in `ledger`. Transient backend failures are retried up to
+    /// [`STORAGE_RETRIES`] times (failed attempts cost latency but no fee,
+    /// as with real 5xx responses).
+    pub fn put(
+        &mut self,
+        key: impl Into<String>,
+        bytes: u64,
+        now: f64,
+        sheet: &PriceSheet,
+        ledger: &mut CostLedger,
+    ) -> Result<StorageOp, StorageError> {
+        let key = key.into();
+        let Some((retry_latency, attempts)) = self.attempt() else {
+            return Err(StorageError::Unavailable {
+                key,
+                attempts: 1 + STORAGE_RETRIES,
+            });
+        };
+        let duration = retry_latency + self.transfer_time(bytes, 1);
+        let fee = if self.kind.billed_requests {
+            sheet.s3_put_request
+        } else {
+            0.0
+        };
+        if fee > 0.0 {
+            ledger.charge(CostItem::StoragePut, fee, key.clone());
+        }
+        self.objects.insert(
+            key,
+            ObjectMeta {
+                bytes,
+                created_at: now + duration,
+                deleted_at: None,
+            },
+        );
+        Ok(StorageOp {
+            duration_s: duration,
+            fee,
+            attempts,
+        })
+    }
+
+    /// Reads an object; returns duration and records the GET fee. Missing
+    /// keys fail immediately; transient failures retry like [`Self::put`].
+    pub fn get(
+        &mut self,
+        key: &str,
+        sheet: &PriceSheet,
+        ledger: &mut CostLedger,
+    ) -> Result<StorageOp, StorageError> {
+        let bytes = match self.objects.get(key) {
+            Some(meta) if meta.deleted_at.is_none() => meta.bytes,
+            _ => return Err(StorageError::NotFound(key.to_string())),
+        };
+        let Some((retry_latency, attempts)) = self.attempt() else {
+            return Err(StorageError::Unavailable {
+                key: key.to_string(),
+                attempts: 1 + STORAGE_RETRIES,
+            });
+        };
+        let duration = retry_latency + self.transfer_time(bytes, 1);
+        let fee = if self.kind.billed_requests {
+            sheet.s3_get_request
+        } else {
+            0.0
+        };
+        if fee > 0.0 {
+            ledger.charge(CostItem::StorageGet, fee, key.to_string());
+        }
+        Ok(StorageOp {
+            duration_s: duration,
+            fee,
+            attempts,
+        })
+    }
+
+    /// Marks an object deleted at `now` (it stops accruing storage cost).
+    pub fn delete(&mut self, key: &str, now: f64) {
+        if let Some(meta) = self.objects.get_mut(key) {
+            meta.deleted_at = Some(now.max(meta.created_at));
+        }
+    }
+
+    /// Size of a live object.
+    pub fn size_of(&self, key: &str) -> Option<u64> {
+        self.objects
+            .get(key)
+            .filter(|m| m.deleted_at.is_none())
+            .map(|m| m.bytes)
+    }
+
+    /// Bytes currently held (live objects only).
+    pub fn live_bytes(&self) -> u64 {
+        self.objects
+            .values()
+            .filter(|m| m.deleted_at.is_none())
+            .map(|m| m.bytes)
+            .sum()
+    }
+
+    /// Transfer duration for `bytes` over `requests` round trips.
+    pub fn transfer_time(&self, bytes: u64, requests: u32) -> f64 {
+        bytes as f64 / (self.kind.bandwidth_mbps * 1e6)
+            + f64::from(requests) * self.kind.request_latency_s
+    }
+
+    /// Charges at-rest storage for all objects' lifetimes up to `until`
+    /// (the paper's `q·T·H` term) and returns the charged dollars.
+    pub fn settle_storage(
+        &mut self,
+        until: f64,
+        sheet: &PriceSheet,
+        ledger: &mut CostLedger,
+    ) -> f64 {
+        if !self.kind.billed_requests {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (key, meta) in &self.objects {
+            let end = meta.deleted_at.unwrap_or(until).min(until);
+            let life = (end - meta.created_at).max(0.0);
+            let c = sheet.s3_storage_cost(meta.bytes, life);
+            if c > 0.0 {
+                ledger.charge(CostItem::StorageAtRest, c, key.clone());
+                total += c;
+            }
+        }
+        // Move settled objects to history so a second settle double-bills
+        // nothing.
+        self.history.extend(self.objects.values().copied());
+        self.objects.clear();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ObjectStore, PriceSheet, CostLedger) {
+        (
+            ObjectStore::new(StoreKind::s3()),
+            PriceSheet::aws_2020(),
+            CostLedger::new(),
+        )
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (mut s, sheet, mut l) = setup();
+        let put = s.put("k", 80_000_000, 0.0, &sheet, &mut l).unwrap();
+        assert!((put.duration_s - (1.0 + 0.02)).abs() < 1e-9);
+        assert_eq!(s.size_of("k"), Some(80_000_000));
+        let get = s.get("k", &sheet, &mut l).unwrap();
+        assert!((get.duration_s - put.duration_s).abs() < 1e-12);
+        assert!((l.total_of(CostItem::StoragePut) - 5e-6).abs() < 1e-12);
+        assert!((l.total_of(CostItem::StorageGet) - 4e-7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_and_deleted_keys() {
+        let (mut s, sheet, mut l) = setup();
+        assert!(matches!(
+            s.get("nope", &sheet, &mut l),
+            Err(StorageError::NotFound(_))
+        ));
+        s.put("k", 10, 0.0, &sheet, &mut l).unwrap();
+        s.delete("k", 5.0);
+        assert!(s.get("k", &sheet, &mut l).is_err());
+        assert_eq!(s.live_bytes(), 0);
+    }
+
+    #[test]
+    fn storage_settlement_bills_lifetime() {
+        let (mut s, sheet, mut l) = setup();
+        let op = s.put("k", 1_000_000_000, 0.0, &sheet, &mut l).unwrap();
+        // The object becomes visible when the upload completes; settle
+        // exactly 60 s later → 60 s of at-rest time on 1 GB.
+        let charged = s.settle_storage(op.duration_s + 60.0, &sheet, &mut l);
+        let expect = sheet.s3_storage_cost(1_000_000_000, 60.0);
+        assert!((charged - expect).abs() < 1e-12, "{charged} vs {expect}");
+        // Second settle adds nothing.
+        assert_eq!(s.settle_storage(1000.0, &sheet, &mut l), 0.0);
+    }
+
+    #[test]
+    fn fast_store_is_cheap_and_quick() {
+        let mut s = ObjectStore::new(StoreKind::fast_store());
+        let sheet = PriceSheet::aws_2020();
+        let mut l = CostLedger::new();
+        let op = s.put("k", 80_000_000, 0.0, &sheet, &mut l).unwrap();
+        assert!(op.duration_s < 0.2);
+        assert_eq!(op.fee, 0.0);
+        assert!(l.is_empty());
+        assert_eq!(s.settle_storage(100.0, &sheet, &mut l), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Cholesky factorization for symmetric positive-definite matrices.
+//!
+//! The solver uses Cholesky in two roles: as a fast SPD solve, and as a
+//! cheap *convexity certificate* — `Cholesky::factor` succeeding on the
+//! (shifted) Hessian proves the QCR-perturbed objective is convex.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+/// Pivots below this are treated as a failure of positive definiteness.
+const PD_TOL: f64 = 1e-12;
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read, so callers may pass a matrix
+    /// whose strict upper triangle is stale.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when a pivot is not
+    /// comfortably positive, and [`LinalgError::DimensionMismatch`] for
+    /// non-square input.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Cholesky::factor requires a square matrix",
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s < PD_TOL {
+                        return Err(LinalgError::NotPositiveDefinite { row: i });
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via two triangular solves.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "Cholesky::solve: rhs dimension mismatch");
+        // L y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut s = y[i];
+            for (k, yv) in y.iter().enumerate().take(i) {
+                s -= row[k] * yv;
+            }
+            y[i] = s / row[i];
+        }
+        // Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Determinant of the original matrix (product of squared pivots).
+    pub fn det(&self) -> f64 {
+        let mut d = 1.0;
+        for i in 0..self.dim() {
+            let p = self.l[(i, i)];
+            d *= p * p;
+        }
+        d
+    }
+
+    /// True iff the symmetric matrix is positive definite (to tolerance).
+    pub fn is_spd(a: &Matrix) -> bool {
+        Cholesky::factor(a).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dist_inf;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I for B = [[1,2,0],[0,1,1],[1,0,1]] — SPD by construction.
+        Matrix::from_rows(&[&[3.0, 2.0, 1.0], &[2.0, 6.0, 1.0], &[1.0, 1.0, 3.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.l().clone();
+        let lt = l.transpose();
+        let back = l.matmul(&lt).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((back[(r, c)] - a[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = ch.solve(&b);
+        let r = a.matvec(&x);
+        assert!(dist_inf(&r, &b) < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        assert!(!Cholesky::is_spd(&a));
+    }
+
+    #[test]
+    fn rejects_semidefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]); // rank 1
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            Cholesky::factor(&Matrix::zeros(2, 3)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn det_matches_lu() {
+        let a = spd3();
+        let d_ch = Cholesky::factor(&a).unwrap().det();
+        let d_lu = crate::lu::Lu::factor(&a).unwrap().det();
+        assert!((d_ch - d_lu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_is_its_own_factor() {
+        let i = Matrix::identity(4);
+        let ch = Cholesky::factor(&i).unwrap();
+        assert_eq!(ch.l(), &i);
+        assert_eq!(ch.solve(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The QCR-style convexification in `ampsinf-solver` needs the smallest
+//! eigenvalue of the (symmetrized) Hessian to compute the diagonal shift
+//! `μ = max(0, −λ_min) + ε` that makes the 0-1 quadratic objective convex.
+//! Jacobi is slow asymptotically but simple, unconditionally stable, and
+//! more than fast enough for the ≤ few-hundred-variable Hessians AMPS-Inf
+//! produces.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Eigendecomposition `A = V·diag(λ)·Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `k` of `vectors` pairs with
+    /// `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Off-diagonal Frobenius mass below this (relative to the diagonal) stops
+/// the sweep loop.
+const CONV_TOL: f64 = 1e-14;
+/// Maximum number of full Jacobi sweeps.
+const MAX_SWEEPS: usize = 100;
+
+impl SymmetricEigen {
+    /// Computes the eigendecomposition of a symmetric matrix.
+    ///
+    /// The input is symmetrized (`(A+Aᵀ)/2`) first, so mildly asymmetric
+    /// numerical inputs are accepted.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "SymmetricEigen::factor requires a square matrix",
+            });
+        }
+        let n = a.rows();
+        let mut m = a.clone();
+        m.symmetrize();
+        let mut v = Matrix::identity(n);
+
+        let diag_scale: f64 = (0..n).map(|i| m[(i, i)].abs()).fold(1.0, f64::max);
+
+        let mut sweeps = 0usize;
+        loop {
+            let mut off = 0.0f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    off += m[(p, q)] * m[(p, q)];
+                }
+            }
+            if off.sqrt() <= CONV_TOL * diag_scale * n as f64 {
+                break;
+            }
+            if sweeps >= MAX_SWEEPS {
+                return Err(LinalgError::NoConvergence { iterations: sweeps });
+            }
+            sweeps += 1;
+
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= CONV_TOL * diag_scale {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Classic Jacobi rotation computation (Golub & Van Loan).
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Apply rotation J(p,q,θ) from both sides: A ← JᵀAJ.
+                    for k in 0..n {
+                        let akp = m[(k, p)];
+                        let akq = m[(k, q)];
+                        m[(k, p)] = c * akp - s * akq;
+                        m[(k, q)] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = m[(p, k)];
+                        let aqk = m[(q, k)];
+                        m[(p, k)] = c * apk - s * aqk;
+                        m[(q, k)] = s * apk + c * aqk;
+                    }
+                    // Accumulate eigenvectors: V ← V·J.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+
+        // Extract and sort eigenpairs ascending.
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("eigenvalues are finite"));
+        let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+            for r in 0..n {
+                vectors[(r, new_col)] = v[(r, old_col)];
+            }
+        }
+        Ok(SymmetricEigen { values, vectors })
+    }
+
+    /// Smallest eigenvalue of a symmetric matrix (convenience wrapper).
+    pub fn min_eigenvalue(a: &Matrix) -> Result<f64> {
+        Ok(Self::factor(a)?.values[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let e = SymmetricEigen::factor(&a).unwrap();
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymmetricEigen::factor(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_min_eigenvalue() {
+        // [[1,2],[2,1]] has eigenvalues -1 and 3.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!((SymmetricEigen::min_eigenvalue(&a).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -0.5],
+            &[0.5, -0.5, 2.0],
+        ]);
+        let e = SymmetricEigen::factor(&a).unwrap();
+        let v = &e.vectors;
+        // VᵀV = I
+        let vtv = v.transpose().matmul(v).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((vtv[(r, c)] - expect).abs() < 1e-10);
+            }
+        }
+        // V diag(λ) Vᵀ = A
+        let lam = Matrix::from_diag(&e.values);
+        let back = v.matmul(&lam).unwrap().matmul(&v.transpose()).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((back[(r, c)] - a[(r, c)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_and_det_invariants() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0], &[2.0, 1.0]]);
+        let e = SymmetricEigen::factor(&a).unwrap();
+        let trace: f64 = e.values.iter().sum();
+        let det: f64 = e.values.iter().product();
+        assert!((trace - 6.0).abs() < 1e-10);
+        assert!((det - 1.0).abs() < 1e-10); // 5*1 - 2*2 = 1
+    }
+
+    #[test]
+    fn shift_makes_psd() {
+        // This mirrors exactly how the QCR module uses min_eigenvalue.
+        let a = Matrix::from_rows(&[&[1.0, 3.0], &[3.0, 1.0]]); // λmin = -2
+        let lam_min = SymmetricEigen::min_eigenvalue(&a).unwrap();
+        let mut shifted = a.clone();
+        shifted.shift_diagonal(-lam_min + 1e-9);
+        assert!(crate::cholesky::Cholesky::is_spd(&shifted));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_diag(&[7.0]);
+        let e = SymmetricEigen::factor(&a).unwrap();
+        assert_eq!(e.values, vec![7.0]);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(SymmetricEigen::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+}

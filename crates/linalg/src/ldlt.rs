@@ -1,0 +1,161 @@
+//! LDLᵀ factorization for symmetric (possibly indefinite) matrices.
+//!
+//! Used for symmetric quasi-definite KKT systems where Cholesky does not
+//! apply but symmetry is worth exploiting. No pivoting is performed; callers
+//! with genuinely indefinite, ill-conditioned systems should fall back to
+//! [`crate::lu::Lu`] (the QP solver does exactly that).
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Factorization `A = L·D·Lᵀ` with unit-lower-triangular `L` and diagonal `D`.
+#[derive(Debug, Clone)]
+pub struct Ldlt {
+    /// Strictly-lower entries of `L` packed in a full matrix (diagonal unused).
+    l: Matrix,
+    /// Diagonal of `D`.
+    d: Vec<f64>,
+}
+
+/// |pivot| below this is treated as a breakdown.
+const PIVOT_TOL: f64 = 1e-12;
+
+impl Ldlt {
+    /// Factorizes a symmetric matrix (only the lower triangle is read).
+    ///
+    /// Returns [`LinalgError::Singular`] if a pivot is numerically zero
+    /// (breakdown; the matrix may still be nonsingular under pivoting).
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Ldlt::factor requires a square matrix",
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        let mut d = vec![0.0; n];
+        for j in 0..n {
+            let mut dj = a[(j, j)];
+            for k in 0..j {
+                dj -= l[(j, k)] * l[(j, k)] * d[k];
+            }
+            if dj.abs() < PIVOT_TOL {
+                return Err(LinalgError::Singular { pivot: j });
+            }
+            d[j] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)] * d[k];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Ldlt { l, d })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.d.len()
+    }
+
+    /// The diagonal of `D`. Sign pattern reveals matrix inertia.
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Number of negative pivots (the negative inertia of `A`).
+    pub fn negative_inertia(&self) -> usize {
+        self.d.iter().filter(|&&v| v < 0.0).count()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "Ldlt::solve: rhs dimension mismatch");
+        let mut x = b.to_vec();
+        // L y = b (unit diagonal)
+        for i in 0..n {
+            let mut s = x[i];
+            let row = self.l.row(i);
+            for (k, xv) in x.iter().enumerate().take(i) {
+                s -= row[k] * xv;
+            }
+            x[i] = s;
+        }
+        // D z = y
+        for i in 0..n {
+            x[i] /= self.d[i];
+        }
+        // Lᵀ x = z
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dist_inf;
+
+    #[test]
+    fn solve_spd() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let f = Ldlt::factor(&a).unwrap();
+        let b = [6.0, 5.0];
+        let x = f.solve(&b);
+        assert!(dist_inf(&a.matvec(&x), &b) < 1e-12);
+        assert_eq!(f.negative_inertia(), 0);
+    }
+
+    #[test]
+    fn solve_indefinite_and_inertia() {
+        // Symmetric indefinite saddle matrix [2 1; 1 -1]: one negative pivot.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, -1.0]]);
+        let f = Ldlt::factor(&a).unwrap();
+        assert_eq!(f.negative_inertia(), 1);
+        let b = [1.0, 1.0];
+        let x = f.solve(&b);
+        assert!(dist_inf(&a.matvec(&x), &b) < 1e-12);
+    }
+
+    #[test]
+    fn kkt_style_system() {
+        // [H Aᵀ; A 0] with H = 2I (1 var ×2), A = [1 1]:
+        // minimize x² subject to x1 + x2 = 2 → x = (1,1).
+        let kkt = Matrix::from_rows(&[
+            &[2.0, 0.0, 1.0],
+            &[0.0, 2.0, 1.0],
+            &[1.0, 1.0, 0.0],
+        ]);
+        let f = Ldlt::factor(&kkt).unwrap();
+        let sol = f.solve(&[0.0, 0.0, 2.0]);
+        assert!((sol[0] - 1.0).abs() < 1e-12);
+        assert!((sol[1] - 1.0).abs() < 1e-12);
+        assert_eq!(f.negative_inertia(), 1); // one constraint → one negative pivot
+    }
+
+    #[test]
+    fn breakdown_reported() {
+        // Zero leading pivot breaks unpivoted LDLᵀ.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!(matches!(
+            Ldlt::factor(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_check() {
+        assert!(Ldlt::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! LU factorization with partial pivoting, for general square systems.
+//!
+//! Used by the QP active-set method to solve (possibly indefinite) KKT
+//! systems `[H Aᵀ; A 0]`.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// An LU factorization `P·A = L·U` with partial (row) pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: unit-lower-triangular L below the diagonal, U on
+    /// and above it.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinant computation.
+    perm_sign: f64,
+}
+
+/// Pivot magnitudes below this are treated as numerically singular.
+const PIVOT_TOL: f64 = 1e-12;
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// Returns [`LinalgError::Singular`] when a pivot column is numerically
+    /// zero and [`LinalgError::DimensionMismatch`] for non-square input.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Lu::factor requires a square matrix",
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: largest |entry| in column k at/below row k.
+            let mut piv = k;
+            let mut piv_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > piv_val {
+                    piv = r;
+                    piv_val = v;
+                }
+            }
+            if piv_val < PIVOT_TOL {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if piv != k {
+                perm.swap(k, piv);
+                perm_sign = -perm_sign;
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(piv, c)];
+                    lu[(piv, c)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let m = lu[(r, k)] / pivot;
+                lu[(r, k)] = m;
+                if m != 0.0 {
+                    for c in (k + 1)..n {
+                        let u = lu[(k, c)];
+                        lu[(r, c)] -= m * u;
+                    }
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "Lu::solve: rhs dimension mismatch");
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-lower L.
+        for i in 1..n {
+            let mut s = x[i];
+            let row = self.lu.row(i);
+            for (j, xv) in x.iter().enumerate().take(i) {
+                s -= row[j] * xv;
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            let row = self.lu.row(i);
+            for (j, xv) in x.iter().enumerate().skip(i + 1) {
+                s -= row[j] * xv;
+            }
+            x[i] = s / row[i];
+        }
+        x
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dist_inf;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  →  x = 1, y = 3
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert!(dist_inf(&x, &[1.0, 3.0]) < 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[7.0, 9.0]);
+        assert!(dist_inf(&x, &[9.0, 7.0]) < 1e-12);
+    }
+
+    #[test]
+    fn singular_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_known() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - 5.0).abs() < 1e-12);
+        // Permutation sign flips the determinant correctly.
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((Lu::factor(&b).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_random_5x5() {
+        // Deterministic pseudo-random SPD-ish matrix; check A x ≈ b.
+        let n = 5;
+        let mut data = Vec::with_capacity(n * n);
+        let mut s = 1234567u64;
+        for _ in 0..n * n {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.push(((s >> 33) as f64) / (u32::MAX as f64) - 0.5);
+        }
+        let mut a = Matrix::from_vec(n, n, data);
+        a.shift_diagonal(3.0); // keep it comfortably nonsingular
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = Lu::factor(&a).unwrap().solve(&b);
+        let r = a.matvec(&x);
+        assert!(dist_inf(&r, &b) < 1e-10);
+    }
+}

@@ -1,0 +1,408 @@
+//! Dense row-major matrix.
+
+use crate::vector;
+use crate::{LinalgError, Result};
+
+/// A dense, row-major `f64` matrix.
+///
+/// Row-major storage keeps row views (`row`, `row_mut`) contiguous, which is
+/// what the simplex and active-set solvers iterate over in their hot loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} != {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested row slices (rows of equal length).
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix::from_vec(r, c, data)
+    }
+
+    /// Creates an `n × n` diagonal matrix from `diag`.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, d) in diag.iter().enumerate() {
+            m[(i, i)] = *d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Raw row-major data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product writing into a caller-provided buffer
+    /// (no allocation on the hot path).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_into: x dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec_into: y dimension mismatch");
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr = vector::dot(self.row(r), x);
+        }
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            vector::axpy(x[r], self.row(r), &mut y);
+        }
+        y
+    }
+
+    /// Matrix–matrix product `self * other`.
+    ///
+    /// Uses the i-k-j loop order so the inner loop streams contiguous rows of
+    /// both the output and `other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "matmul: self.cols != other.rows",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let crow = out.row_mut(i);
+                vector::axpy(a, orow, crow);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Elementwise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "add: shape mismatch",
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix::from_vec(self.rows, self.cols, data))
+    }
+
+    /// Scales every element by `alpha`, in place.
+    pub fn scale_in_place(&mut self, alpha: f64) {
+        vector::scale(alpha, &mut self.data);
+    }
+
+    /// Adds `alpha` to each diagonal entry, in place.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn shift_diagonal(&mut self, alpha: f64) {
+        assert!(self.is_square(), "shift_diagonal: matrix must be square");
+        for i in 0..self.rows {
+            self[(i, i)] += alpha;
+        }
+    }
+
+    /// Symmetrizes the matrix in place: `self ← (self + selfᵀ)/2`.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize: matrix must be square");
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                let avg = 0.5 * (self[(r, c)] + self[(c, r)]);
+                self[(r, c)] = avg;
+                self[(c, r)] = avg;
+            }
+        }
+    }
+
+    /// Maximum absolute deviation from symmetry, `max |A − Aᵀ|`.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn asymmetry(&self) -> f64 {
+        assert!(self.is_square(), "asymmetry: matrix must be square");
+        let mut m = 0.0f64;
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                m = m.max((self[(r, c)] - self[(c, r)]).abs());
+            }
+        }
+        m
+    }
+
+    /// Quadratic form `xᵀ self x`.
+    ///
+    /// # Panics
+    /// Panics if dimensions don't conform.
+    pub fn quad_form(&self, x: &[f64]) -> f64 {
+        let y = self.matvec(x);
+        vector::dot(x, &y)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        vector::dot(&self.data, &self.data).sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>12.6} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let i = Matrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let m = sample();
+        let x = [2.0, -1.0];
+        assert_eq!(m.matvec_t(&x), m.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = sample(); // 2x3
+        let b = a.transpose(); // 3x2
+        let c = a.matmul(&b).unwrap(); // 2x2 Gram
+        assert_eq!(c[(0, 0)], 14.0);
+        assert_eq!(c[(0, 1)], 32.0);
+        assert_eq!(c[(1, 0)], 32.0);
+        assert_eq!(c[(1, 1)], 77.0);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = sample();
+        assert!(matches!(
+            a.matmul(&sample()),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn quad_form_known() {
+        let q = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        assert_eq!(q.quad_form(&[1.0, 2.0]), 2.0 + 12.0);
+    }
+
+    #[test]
+    fn symmetrize_and_asymmetry() {
+        let mut m = Matrix::from_rows(&[&[1.0, 4.0], &[2.0, 1.0]]);
+        assert_eq!(m.asymmetry(), 2.0);
+        m.symmetrize();
+        assert_eq!(m.asymmetry(), 0.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn shift_diagonal_adds() {
+        let mut m = Matrix::identity(3);
+        m.shift_diagonal(2.0);
+        assert_eq!(m[(1, 1)], 3.0);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_diag_builds_diagonal() {
+        let m = Matrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 1)], 2.0);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Matrix::identity(2);
+        let mut b = Matrix::identity(2);
+        b.scale_in_place(3.0);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c[(0, 0)], 4.0);
+    }
+
+    #[test]
+    fn norm_fro_known() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.norm_fro() - 5.0).abs() < 1e-15);
+    }
+}

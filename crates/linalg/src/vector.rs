@@ -1,0 +1,171 @@
+//! Vector kernels over `&[f64]` slices.
+//!
+//! Free functions rather than a newtype: the solver mixes owned `Vec<f64>`
+//! buffers and matrix-row views, and slice-based kernels compose with both
+//! without copies.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Four-way unrolled accumulation: helps the optimizer vectorize and
+    // reduces the sequential dependency chain of a naive fold.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let b = i * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `y ← y + alpha * x` (AXPY).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha * x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm `‖x‖∞` (zero for an empty slice).
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Elementwise difference infinity norm `‖x − y‖∞`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dist_inf(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist_inf: length mismatch");
+    x.iter()
+        .zip(y)
+        .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+}
+
+/// Sum of elements.
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Index of the minimum element, or `None` for an empty slice.
+///
+/// Ties resolve to the first occurrence; NaNs are never selected unless all
+/// elements are NaN (in which case index 0 is returned).
+pub fn argmin(x: &[f64]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, v) in x.iter().enumerate().skip(1) {
+        if *v < x[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Index of the maximum element, or `None` for an empty slice.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, v) in x.iter().enumerate().skip(1) {
+        if *v > x[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..17).map(|i| (i * 2) as f64).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+        assert_eq!(dist_inf(&[1.0, 2.0], &[0.0, 5.0]), 3.0);
+    }
+
+    #[test]
+    fn argmin_argmax() {
+        assert_eq!(argmin(&[3.0, 1.0, 2.0, 1.0]), Some(1));
+        assert_eq!(argmax(&[3.0, 1.0, 5.0, 5.0]), Some(2));
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn sum_small() {
+        assert_eq!(sum(&[1.0, 2.0, 3.5]), 6.5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the dense linear-algebra kernels.
+
+use ampsinf_linalg::{vector, Cholesky, Ldlt, Lu, Matrix, SymmetricEigen};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned square matrix, built as R + n·I with random
+/// R entries in [-1, 1] (diagonal dominance keeps all factorizations stable).
+fn well_conditioned(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data);
+        m.shift_diagonal(n as f64 + 1.0);
+        m
+    })
+}
+
+/// Strategy: a symmetric positive-definite matrix, as AᵀA + I.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let a = Matrix::from_vec(n, n, data);
+        let mut g = a.transpose().matmul(&a).unwrap();
+        g.shift_diagonal(1.0);
+        g
+    })
+}
+
+/// Strategy: any symmetric matrix (possibly indefinite).
+fn symmetric(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data);
+        m.symmetrize();
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_has_small_residual(a in well_conditioned(6), b in prop::collection::vec(-10.0f64..10.0, 6)) {
+        let x = Lu::factor(&a).unwrap().solve(&b);
+        let r = a.matvec(&x);
+        prop_assert!(vector::dist_inf(&r, &b) < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu(a in spd(5), b in prop::collection::vec(-10.0f64..10.0, 5)) {
+        let x_ch = Cholesky::factor(&a).unwrap().solve(&b);
+        let x_lu = Lu::factor(&a).unwrap().solve(&b);
+        prop_assert!(vector::dist_inf(&x_ch, &x_lu) < 1e-7);
+    }
+
+    #[test]
+    fn ldlt_solve_has_small_residual(a in spd(5), b in prop::collection::vec(-10.0f64..10.0, 5)) {
+        let x = Ldlt::factor(&a).unwrap().solve(&b);
+        prop_assert!(vector::dist_inf(&a.matvec(&x), &b) < 1e-8);
+    }
+
+    #[test]
+    fn spd_has_no_negative_inertia(a in spd(5)) {
+        prop_assert_eq!(Ldlt::factor(&a).unwrap().negative_inertia(), 0);
+    }
+
+    #[test]
+    fn eigen_trace_identity(a in symmetric(5)) {
+        let e = SymmetricEigen::factor(&a).unwrap();
+        let trace: f64 = (0..5).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_shift_certifies_convexity(a in symmetric(5)) {
+        // The QCR contract: shifting by -λmin + ε always yields SPD.
+        let lam = SymmetricEigen::min_eigenvalue(&a).unwrap();
+        let mut shifted = a.clone();
+        shifted.shift_diagonal(-lam + 1e-6);
+        prop_assert!(Cholesky::is_spd(&shifted));
+    }
+
+    #[test]
+    fn quad_form_matches_eigen_bounds(a in symmetric(4), x in prop::collection::vec(-1.0f64..1.0, 4)) {
+        // Rayleigh quotient bounded by extreme eigenvalues.
+        let e = SymmetricEigen::factor(&a).unwrap();
+        let xtx = vector::dot(&x, &x);
+        let q = a.quad_form(&x);
+        prop_assert!(q >= e.values[0] * xtx - 1e-9);
+        prop_assert!(q <= e.values[3] * xtx + 1e-9);
+    }
+
+    #[test]
+    fn matmul_associative(
+        a in prop::collection::vec(-1.0f64..1.0, 9),
+        b in prop::collection::vec(-1.0f64..1.0, 9),
+        x in prop::collection::vec(-1.0f64..1.0, 3),
+    ) {
+        let ma = Matrix::from_vec(3, 3, a);
+        let mb = Matrix::from_vec(3, 3, b);
+        let lhs = ma.matmul(&mb).unwrap().matvec(&x);
+        let rhs = ma.matvec(&mb.matvec(&x));
+        prop_assert!(vector::dist_inf(&lhs, &rhs) < 1e-10);
+    }
+
+    #[test]
+    fn transpose_matvec_consistency(data in prop::collection::vec(-1.0f64..1.0, 12), x in prop::collection::vec(-1.0f64..1.0, 3)) {
+        let m = Matrix::from_vec(3, 4, data); // 3x4
+        let lhs = m.matvec_t(&x); // 4
+        let rhs = m.transpose().matvec(&x);
+        prop_assert!(vector::dist_inf(&lhs, &rhs) < 1e-12);
+    }
+
+    #[test]
+    fn lu_det_sign_consistent_with_cholesky(a in spd(4)) {
+        // SPD determinants are positive under both factorizations.
+        let d_lu = Lu::factor(&a).unwrap().det();
+        let d_ch = Cholesky::factor(&a).unwrap().det();
+        prop_assert!(d_lu > 0.0);
+        prop_assert!((d_lu - d_ch).abs() <= 1e-6 * d_lu.abs().max(1.0));
+    }
+}

@@ -1,0 +1,487 @@
+//! The layer DAG and its partition-boundary accounting.
+//!
+//! AMPS-Inf partitions a model into *contiguous runs of the topological
+//! layer order* (the paper's example: a 3-layer model has cuts (3), (1,2),
+//! (2,1), (1,1,1)). For DAG models (ResNet's residual edges, Inception's
+//! branches) a boundary can be crossed by several live tensors at once —
+//! [`LayerGraph::cut_transfer_bytes`] accounts for exactly the set of
+//! activations produced on one side and consumed on the other, which is the
+//! `p_i` of the paper's Eq. (2).
+
+use crate::layer::{LayerOp, TensorShape};
+use serde::{Deserialize, Serialize};
+
+/// A node in the layer graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerNode {
+    /// Unique layer name (Keras-style, e.g. `conv2_block1_1_conv`).
+    pub name: String,
+    /// The operation.
+    pub op: LayerOp,
+    /// Indices of the producing layers this node consumes.
+    pub inputs: Vec<usize>,
+    /// Output shape, computed at insertion time.
+    pub output_shape: TensorShape,
+    /// Learned parameters, computed at insertion time.
+    pub params: u64,
+    /// Forward FLOPs, computed at insertion time.
+    pub flops: u64,
+}
+
+/// A neural-network model as a DAG of layers in topological insertion order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerGraph {
+    /// Model name (e.g. `resnet50`).
+    pub name: String,
+    nodes: Vec<LayerNode>,
+    /// Bytes per stored weight scalar (4 = float32; the paper's §7
+    /// future-work quantization pre-pass shrinks this to 2 or 1).
+    #[serde(default = "default_bytes_per_param")]
+    bytes_per_param: u64,
+}
+
+fn default_bytes_per_param() -> u64 {
+    crate::BYTES_PER_SCALAR
+}
+
+impl LayerGraph {
+    /// Creates an empty graph (float32 weights).
+    pub fn new(name: impl Into<String>) -> Self {
+        LayerGraph {
+            name: name.into(),
+            nodes: Vec::new(),
+            bytes_per_param: crate::BYTES_PER_SCALAR,
+        }
+    }
+
+    /// Bytes per stored weight scalar.
+    pub fn bytes_per_param(&self) -> u64 {
+        self.bytes_per_param
+    }
+
+    /// Returns a copy with quantized weight storage (the paper's §7
+    /// future-work pre-pass: e.g. 2 for fp16, 1 for int8). Activations and
+    /// compute are unchanged — only the deployment/temporary sizes `e`, `z`
+    /// shrink, which is exactly what unlocks giant layers.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is 0 or greater than 4.
+    pub fn quantized(&self, bytes: u64) -> LayerGraph {
+        assert!((1..=4).contains(&bytes), "supported widths: 1..=4 bytes");
+        let mut g = self.clone();
+        g.bytes_per_param = bytes;
+        g.name = format!("{}-w{}", self.name, bytes * 8);
+        g
+    }
+
+    /// Appends a layer consuming the outputs of `inputs` (indices of
+    /// previously added layers) and returns its index.
+    ///
+    /// # Panics
+    /// Panics when an input index is out of range (construction bug), when
+    /// arity is wrong for the op, or when shapes do not conform.
+    pub fn add(&mut self, name: impl Into<String>, op: LayerOp, inputs: &[usize]) -> usize {
+        let idx = self.nodes.len();
+        for &i in inputs {
+            assert!(i < idx, "layer input {i} not yet defined (adding node {idx})");
+        }
+        match &op {
+            LayerOp::Input { .. } => {
+                assert!(inputs.is_empty(), "Input layer takes no inputs")
+            }
+            op if op.is_merge() => {
+                assert!(inputs.len() >= 2, "{} needs ≥ 2 inputs", op.class_name())
+            }
+            _ => assert_eq!(inputs.len(), 1, "{} needs exactly 1 input", op.class_name()),
+        }
+        let in_shapes: Vec<TensorShape> =
+            inputs.iter().map(|&i| self.nodes[i].output_shape).collect();
+        let output_shape = op.output_shape(&in_shapes);
+        let params = op.param_count(&in_shapes);
+        let flops = op.flops(&in_shapes);
+        self.nodes.push(LayerNode {
+            name: name.into(),
+            op,
+            inputs: inputs.to_vec(),
+            output_shape,
+            params,
+            flops,
+        });
+        idx
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, i: usize) -> &LayerNode {
+        &self.nodes[i]
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[LayerNode] {
+        &self.nodes
+    }
+
+    /// Index of the layer with the given name.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Total learned parameters (Keras `Total params`).
+    pub fn total_params(&self) -> u64 {
+        self.nodes.iter().map(|n| n.params).sum()
+    }
+
+    /// Total forward FLOPs for one input.
+    pub fn total_flops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.flops).sum()
+    }
+
+    /// Total weight bytes (params × width; the paper's Table 1 model size
+    /// at the default float32 width).
+    pub fn weight_bytes(&self) -> u64 {
+        self.total_params() * self.bytes_per_param
+    }
+
+    /// Validates the DAG: topological input order and recomputable shapes.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty graph".into());
+        }
+        for (idx, n) in self.nodes.iter().enumerate() {
+            for &i in &n.inputs {
+                if i >= idx {
+                    return Err(format!("node {idx} ({}) has forward edge to {i}", n.name));
+                }
+            }
+            let in_shapes: Vec<TensorShape> =
+                n.inputs.iter().map(|&i| self.nodes[i].output_shape).collect();
+            let expect = n.op.output_shape(&in_shapes);
+            if expect != n.output_shape {
+                return Err(format!(
+                    "node {idx} ({}): stored shape {} != recomputed {}",
+                    n.name, n.output_shape, expect
+                ));
+            }
+        }
+        // Exactly the final node should be a sink in a serving model, but we
+        // only require at least one sink for generality.
+        Ok(())
+    }
+
+    /// Bytes of live activations crossing the boundary *after* position `k`
+    /// (i.e. between layer `k` and layer `k+1` in topological order): the
+    /// sum of output sizes of layers `≤ k` consumed by any layer `> k`.
+    ///
+    /// For `k = num_layers()-1` (after the last layer) this is the final
+    /// output size — what the chain returns to the user.
+    pub fn cut_transfer_bytes(&self, k: usize) -> u64 {
+        assert!(k < self.nodes.len(), "cut position out of range");
+        if k + 1 == self.nodes.len() {
+            return self.nodes[k].output_shape.bytes();
+        }
+        let mut crossing = 0u64;
+        for (idx, n) in self.nodes.iter().enumerate().take(k + 1) {
+            let consumed_later = self
+                .nodes
+                .iter()
+                .skip(k + 1)
+                .any(|m| m.inputs.contains(&idx));
+            if consumed_later {
+                crossing += n.output_shape.bytes();
+            }
+        }
+        crossing
+    }
+
+    /// Number of distinct live tensors crossing the boundary after `k`.
+    pub fn cut_tensor_count(&self, k: usize) -> usize {
+        assert!(k < self.nodes.len(), "cut position out of range");
+        if k + 1 == self.nodes.len() {
+            return 1;
+        }
+        (0..=k)
+            .filter(|&idx| {
+                self.nodes
+                    .iter()
+                    .skip(k + 1)
+                    .any(|m| m.inputs.contains(&idx))
+            })
+            .count()
+    }
+
+    /// Aggregate statistics for the contiguous segment `[start, end]`
+    /// (inclusive bounds over topological positions).
+    pub fn segment(&self, start: usize, end: usize) -> CutAccounting {
+        assert!(start <= end && end < self.nodes.len(), "bad segment bounds");
+        let params: u64 = self.nodes[start..=end].iter().map(|n| n.params).sum();
+        let flops: u64 = self.nodes[start..=end].iter().map(|n| n.flops).sum();
+        let in_bytes = if start == 0 {
+            self.nodes[0].output_shape.bytes() // model input tensor
+        } else {
+            self.cut_transfer_bytes(start - 1)
+        };
+        let out_bytes = self.cut_transfer_bytes(end);
+        // Peak temporary activations: sum of all outputs in the segment is a
+        // safe over-approximation of what Keras keeps in memory while
+        // executing the partition sequentially; large models' temp-storage
+        // constraint (paper Eq. 5) uses this.
+        let act_bytes: u64 = self.nodes[start..=end]
+            .iter()
+            .map(|n| n.output_shape.bytes())
+            .sum();
+        CutAccounting {
+            start,
+            end,
+            params,
+            flops,
+            weight_bytes: params * self.bytes_per_param,
+            input_bytes: in_bytes,
+            output_bytes: out_bytes,
+            activation_bytes: act_bytes,
+        }
+    }
+}
+
+/// Aggregates for one contiguous partition of the layer order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CutAccounting {
+    /// First layer index (inclusive).
+    pub start: usize,
+    /// Last layer index (inclusive).
+    pub end: usize,
+    /// Learned parameters in the segment.
+    pub params: u64,
+    /// Forward FLOPs in the segment.
+    pub flops: u64,
+    /// Weight bytes (`params × 4`) — the paper's per-partition `y·e`.
+    pub weight_bytes: u64,
+    /// Bytes that must be read from the previous partition (`p_{i-1}`).
+    pub input_bytes: u64,
+    /// Bytes that must be written for the next partition (`p_i`).
+    pub output_bytes: u64,
+    /// Activation bytes materialized while executing the segment (`y·z`).
+    pub activation_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, Padding};
+
+    /// input → conv → conv → dense-ish tail (via flatten).
+    fn chain() -> LayerGraph {
+        let mut g = LayerGraph::new("chain");
+        let inp = g.add(
+            "input",
+            LayerOp::Input {
+                shape: TensorShape::map(8, 8, 3),
+            },
+            &[],
+        );
+        let c1 = g.add(
+            "conv1",
+            LayerOp::Conv2D {
+                filters: 4,
+                kernel: (3, 3),
+                strides: (1, 1),
+                padding: Padding::Same,
+                use_bias: true,
+                activation: Activation::Relu,
+            },
+            &[inp],
+        );
+        let c2 = g.add(
+            "conv2",
+            LayerOp::Conv2D {
+                filters: 8,
+                kernel: (3, 3),
+                strides: (2, 2),
+                padding: Padding::Same,
+                use_bias: true,
+                activation: Activation::Relu,
+            },
+            &[c1],
+        );
+        let f = g.add("flatten", LayerOp::Flatten, &[c2]);
+        g.add(
+            "dense",
+            LayerOp::Dense {
+                units: 10,
+                use_bias: true,
+                activation: Activation::Softmax,
+            },
+            &[f],
+        );
+        g
+    }
+
+    /// input → a → (b, skip) → add(b, a-ish): a residual diamond.
+    fn residual() -> LayerGraph {
+        let mut g = LayerGraph::new("residual");
+        let inp = g.add(
+            "input",
+            LayerOp::Input {
+                shape: TensorShape::map(8, 8, 4),
+            },
+            &[],
+        );
+        let a = g.add(
+            "conv_a",
+            LayerOp::Conv2D {
+                filters: 4,
+                kernel: (1, 1),
+                strides: (1, 1),
+                padding: Padding::Same,
+                use_bias: false,
+                activation: Activation::Linear,
+            },
+            &[inp],
+        );
+        let b = g.add(
+            "conv_b",
+            LayerOp::Conv2D {
+                filters: 4,
+                kernel: (3, 3),
+                strides: (1, 1),
+                padding: Padding::Same,
+                use_bias: false,
+                activation: Activation::Relu,
+            },
+            &[a],
+        );
+        g.add("add", LayerOp::Add, &[a, b]);
+        g
+    }
+
+    #[test]
+    fn chain_shapes_and_params() {
+        let g = chain();
+        assert_eq!(g.num_layers(), 5);
+        assert_eq!(g.node(1).output_shape, TensorShape::map(8, 8, 4));
+        assert_eq!(g.node(2).output_shape, TensorShape::map(4, 4, 8));
+        assert_eq!(g.node(4).output_shape, TensorShape::Flat(10));
+        // conv1: 3*3*3*4+4 = 112; conv2: 3*3*4*8+8 = 296; dense: 128*10+10.
+        assert_eq!(g.total_params(), 112 + 296 + 1290);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn find_by_name() {
+        let g = chain();
+        assert_eq!(g.find("conv2"), Some(2));
+        assert_eq!(g.find("nope"), None);
+    }
+
+    #[test]
+    fn chain_cut_transfer_is_single_tensor() {
+        let g = chain();
+        // After conv1 (idx 1): only conv1's output crosses.
+        assert_eq!(g.cut_transfer_bytes(1), 8 * 8 * 4 * 4);
+        assert_eq!(g.cut_tensor_count(1), 1);
+        // After the last layer: the prediction vector.
+        assert_eq!(g.cut_transfer_bytes(4), 40);
+    }
+
+    #[test]
+    fn residual_cut_carries_two_tensors() {
+        let g = residual();
+        // Boundary after conv_b (idx 2): both conv_a and conv_b outputs are
+        // consumed by add (idx 3).
+        assert_eq!(g.cut_tensor_count(2), 2);
+        assert_eq!(g.cut_transfer_bytes(2), 2 * (8 * 8 * 4 * 4));
+        // Boundary after conv_a (idx 1): only conv_a's output crosses (it
+        // feeds both conv_b and add, but it is one tensor).
+        assert_eq!(g.cut_tensor_count(1), 1);
+        assert_eq!(g.cut_transfer_bytes(1), 8 * 8 * 4 * 4);
+    }
+
+    #[test]
+    fn segment_accounting() {
+        let g = chain();
+        let seg = g.segment(1, 2);
+        assert_eq!(seg.params, 112 + 296);
+        assert_eq!(seg.weight_bytes, (112 + 296) * 4);
+        assert_eq!(seg.input_bytes, 8 * 8 * 3 * 4); // model input
+        assert_eq!(seg.output_bytes, 4 * 4 * 8 * 4); // conv2 out
+        assert_eq!(seg.activation_bytes, (8 * 8 * 4 + 4 * 4 * 8) * 4);
+    }
+
+    #[test]
+    fn whole_model_segment_matches_totals() {
+        let g = chain();
+        let seg = g.segment(0, g.num_layers() - 1);
+        assert_eq!(seg.params, g.total_params());
+        assert_eq!(seg.flops, g.total_flops());
+        assert_eq!(seg.output_bytes, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn forward_edge_rejected() {
+        let mut g = LayerGraph::new("bad");
+        g.add(
+            "x",
+            LayerOp::ActivationLayer {
+                activation: Activation::Relu,
+            },
+            &[3],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 1 input")]
+    fn wrong_arity_rejected() {
+        let mut g = LayerGraph::new("bad");
+        let i = g.add(
+            "input",
+            LayerOp::Input {
+                shape: TensorShape::map(4, 4, 1),
+            },
+            &[],
+        );
+        g.add("bn", LayerOp::BatchNorm { scale: true }, &[i, i]);
+    }
+
+    #[test]
+    fn validate_detects_tampered_shape() {
+        let mut g = chain();
+        g.nodes[2].output_shape = TensorShape::map(9, 9, 9);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn quantization_scales_weight_bytes_only() {
+        let g = chain();
+        let q = g.quantized(2);
+        assert_eq!(q.weight_bytes() * 2, g.weight_bytes());
+        assert_eq!(q.total_params(), g.total_params());
+        assert_eq!(q.total_flops(), g.total_flops());
+        // Activations (transfer sizes) unchanged.
+        assert_eq!(q.cut_transfer_bytes(1), g.cut_transfer_bytes(1));
+        // Segment weights shrink accordingly.
+        let seg32 = g.segment(1, 2);
+        let seg16 = q.segment(1, 2);
+        assert_eq!(seg16.weight_bytes * 2, seg32.weight_bytes);
+        assert_eq!(seg16.activation_bytes, seg32.activation_bytes);
+        assert!(q.name.ends_with("-w16"));
+    }
+
+    #[test]
+    #[should_panic(expected = "supported widths")]
+    fn quantized_rejects_zero_width() {
+        chain().quantized(0);
+    }
+
+    #[test]
+    fn flops_positive_for_compute_layers() {
+        let g = chain();
+        assert!(g.node(1).flops > 0);
+        assert!(g.node(4).flops > 0);
+        assert_eq!(g.node(0).flops, 0);
+        assert_eq!(g.total_flops(), g.nodes().iter().map(|n| n.flops).sum::<u64>());
+    }
+}

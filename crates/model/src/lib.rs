@@ -1,0 +1,48 @@
+//! Neural-network layer-graph IR and model zoo for AMPS-Inf.
+//!
+//! The paper partitions *pre-trained Keras models* (ResNet50, MobileNet,
+//! Inception-V3, Xception) over AWS Lambda functions. Its optimizer never
+//! looks at weights numerically — it consumes per-layer quantities: weight
+//! bytes `e_i`, activation output bytes `p_i`, temporary-storage bytes
+//! `z_i`, and per-layer work `d_i` (paper §3). This crate provides:
+//!
+//! * [`layer`] — Keras-equivalent layer ops with exact parameter-count,
+//!   output-shape and FLOP arithmetic;
+//! * [`graph`] — the layer DAG, topological linearization, and cut
+//!   accounting (what crosses a partition boundary, including residual /
+//!   branch edges);
+//! * [`zoo`] — from-scratch reconstructions of the paper's four evaluation
+//!   architectures (plus VGG16/19 from its motivation section and toy
+//!   models for tests); parameter totals are pinned to the published Keras
+//!   numbers, e.g. ResNet50 = 25,636,712 parameters — the figure the
+//!   paper's Table 1 turns into "98 MB";
+//! * [`summary`] — a Keras-`model.summary()`-style report;
+//! * [`serialize`] — serde/JSON model files standing in for the paper's
+//!   YAML/JSON + H5 artifacts.
+//!
+//! # Example: the paper's Table 1 arithmetic
+//!
+//! ```
+//! use ampsinf_model::zoo;
+//!
+//! let resnet = zoo::resnet50();
+//! // Exactly the Keras parameter total the paper converts to "98 MB".
+//! assert_eq!(resnet.total_params(), 25_636_712);
+//! let mb = resnet.weight_bytes() as f64 / 1024.0 / 1024.0;
+//! assert!((mb - 97.8).abs() < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod layer;
+pub mod serialize;
+pub mod summary;
+pub mod zoo;
+
+pub use graph::{CutAccounting, LayerGraph, LayerNode};
+pub use layer::{Activation, LayerOp, Padding, TensorShape};
+
+/// Bytes per weight/activation scalar (float32, as in the paper's
+/// "parameters × 4 bytes" sizing of Table 1).
+pub const BYTES_PER_SCALAR: u64 = 4;

@@ -1,0 +1,117 @@
+//! Model-file serialization.
+//!
+//! The paper's AMPS-Inf takes "the pre-trained model (in YAML/JSON format)
+//! as user input" plus an H5 weights file, and the Coordinator splits the
+//! YAML into per-partition files (§4). We stand in with serde/JSON for the
+//! architecture and a weights *manifest* (per-layer byte extents) for the
+//! H5 file — the optimizer and coordinator only ever need sizes, never
+//! values.
+
+use crate::graph::LayerGraph;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer weight extent within a (virtual) weights file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightExtent {
+    /// Layer name.
+    pub layer: String,
+    /// Offset within the weights blob.
+    pub offset: u64,
+    /// Byte length (params × 4).
+    pub bytes: u64,
+}
+
+/// The H5-file stand-in: an ordered manifest of weight extents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightsManifest {
+    /// Model name.
+    pub model: String,
+    /// Extents in layer order.
+    pub extents: Vec<WeightExtent>,
+    /// Total blob size in bytes.
+    pub total_bytes: u64,
+}
+
+impl WeightsManifest {
+    /// Builds the manifest for a graph (contiguous layout, layer order).
+    pub fn of(g: &LayerGraph) -> Self {
+        let mut extents = Vec::with_capacity(g.num_layers());
+        let mut offset = 0u64;
+        for n in g.nodes() {
+            let bytes = n.params * crate::BYTES_PER_SCALAR;
+            extents.push(WeightExtent {
+                layer: n.name.clone(),
+                offset,
+                bytes,
+            });
+            offset += bytes;
+        }
+        WeightsManifest {
+            model: g.name.clone(),
+            extents,
+            total_bytes: offset,
+        }
+    }
+
+    /// Bytes of weights for the contiguous layer range `[start, end]`.
+    pub fn range_bytes(&self, start: usize, end: usize) -> u64 {
+        self.extents[start..=end].iter().map(|e| e.bytes).sum()
+    }
+}
+
+/// Serializes the architecture to JSON (the YAML/JSON model file).
+pub fn to_json(g: &LayerGraph) -> String {
+    serde_json::to_string_pretty(g).expect("LayerGraph serializes infallibly")
+}
+
+/// Parses an architecture from JSON and validates it.
+pub fn from_json(s: &str) -> Result<LayerGraph, String> {
+    let g: LayerGraph = serde_json::from_str(s).map_err(|e| e.to_string())?;
+    g.validate()?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn json_round_trip() {
+        let g = zoo::tiny_cnn();
+        let s = to_json(&g);
+        let back = from_json(&s).unwrap();
+        assert_eq!(back.num_layers(), g.num_layers());
+        assert_eq!(back.total_params(), g.total_params());
+        assert_eq!(back.name, g.name);
+    }
+
+    #[test]
+    fn from_json_validates() {
+        let g = zoo::tiny_cnn();
+        let mut s = to_json(&g);
+        // Corrupt a stored shape: validation must catch it.
+        s = s.replacen("\"h\": 32", "\"h\": 31", 1);
+        assert!(from_json(&s).is_err());
+    }
+
+    #[test]
+    fn manifest_extents_are_contiguous() {
+        let g = zoo::mobilenet_v1();
+        let m = WeightsManifest::of(&g);
+        assert_eq!(m.total_bytes, g.weight_bytes());
+        let mut expect_offset = 0u64;
+        for e in &m.extents {
+            assert_eq!(e.offset, expect_offset);
+            expect_offset += e.bytes;
+        }
+    }
+
+    #[test]
+    fn manifest_range_matches_segment() {
+        let g = zoo::mobilenet_v1();
+        let m = WeightsManifest::of(&g);
+        let seg = g.segment(5, 20);
+        assert_eq!(m.range_bytes(5, 20), seg.weight_bytes);
+    }
+}

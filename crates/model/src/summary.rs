@@ -1,0 +1,133 @@
+//! Keras-`model.summary()`-style reporting.
+//!
+//! The paper's Coordinator "lists the necessary parameters (weights,
+//! inputs, outputs and parameters) from the model summary" (§4); this
+//! module is that summary.
+
+use crate::graph::LayerGraph;
+
+/// One row of a model summary.
+#[derive(Debug, Clone)]
+pub struct SummaryRow {
+    /// Layer name.
+    pub name: String,
+    /// Keras-style class name.
+    pub class: &'static str,
+    /// Output shape rendered as text.
+    pub output_shape: String,
+    /// Parameter count.
+    pub params: u64,
+    /// Names of the layers this one consumes.
+    pub connected_to: Vec<String>,
+}
+
+/// A fully rendered model summary.
+#[derive(Debug, Clone)]
+pub struct ModelSummary {
+    /// Model name.
+    pub model: String,
+    /// Per-layer rows in topological order.
+    pub rows: Vec<SummaryRow>,
+    /// Total parameters (Keras `Total params`).
+    pub total_params: u64,
+    /// Total weight bytes.
+    pub weight_bytes: u64,
+    /// Total forward FLOPs per input.
+    pub total_flops: u64,
+}
+
+impl ModelSummary {
+    /// Builds the summary for a graph.
+    pub fn of(g: &LayerGraph) -> Self {
+        let rows = g
+            .nodes()
+            .iter()
+            .map(|n| SummaryRow {
+                name: n.name.clone(),
+                class: n.op.class_name(),
+                output_shape: n.output_shape.to_string(),
+                params: n.params,
+                connected_to: n
+                    .inputs
+                    .iter()
+                    .map(|&i| g.node(i).name.clone())
+                    .collect(),
+            })
+            .collect();
+        ModelSummary {
+            model: g.name.clone(),
+            rows,
+            total_params: g.total_params(),
+            weight_bytes: g.weight_bytes(),
+            total_flops: g.total_flops(),
+        }
+    }
+
+    /// Renders the table in the familiar Keras layout.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "Model: \"{}\"", self.model);
+        let _ = writeln!(
+            s,
+            "{:<38} {:<22} {:>12}  Connected to",
+            "Layer (type)", "Output Shape", "Param #"
+        );
+        let _ = writeln!(s, "{}", "=".repeat(96));
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:<38} {:<22} {:>12}  {}",
+                format!("{} ({})", r.name, r.class),
+                r.output_shape,
+                r.params,
+                r.connected_to.join(", ")
+            );
+        }
+        let _ = writeln!(s, "{}", "=".repeat(96));
+        let _ = writeln!(s, "Total params: {}", self.total_params);
+        let _ = writeln!(
+            s,
+            "Model size: {:.1} MB (float32)",
+            self.weight_bytes as f64 / 1024.0 / 1024.0
+        );
+        let _ = writeln!(
+            s,
+            "Forward cost: {:.2} GFLOPs / input",
+            self.total_flops as f64 / 1e9
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn summary_totals_match_graph() {
+        let g = zoo::tiny_cnn();
+        let s = ModelSummary::of(&g);
+        assert_eq!(s.total_params, g.total_params());
+        assert_eq!(s.rows.len(), g.num_layers());
+        assert_eq!(s.rows[0].class, "InputLayer");
+    }
+
+    #[test]
+    fn render_contains_totals_and_layers() {
+        let g = zoo::tiny_cnn();
+        let text = ModelSummary::of(&g).render();
+        assert!(text.contains("Total params: 3034"));
+        assert!(text.contains("conv1 (Conv2D)"));
+        assert!(text.contains("add (Add)"));
+    }
+
+    #[test]
+    fn connected_to_lists_inputs() {
+        let g = zoo::tiny_cnn();
+        let s = ModelSummary::of(&g);
+        let add = s.rows.iter().find(|r| r.name == "add").unwrap();
+        assert_eq!(add.connected_to, vec!["relu1".to_string(), "bn2".to_string()]);
+    }
+}

@@ -1,0 +1,170 @@
+//! DenseNet121 — a zoo extension beyond the paper's four evaluation
+//! models. Dense blocks concatenate *every* previous layer's output, so
+//! partition boundaries inside a block carry many live tensors at once:
+//! the hardest stress test for the DAG cut accounting that prices the
+//! paper's `p_i` transfers.
+
+use crate::graph::LayerGraph;
+use crate::layer::{Activation, LayerOp, Padding, TensorShape};
+
+fn bn_relu(g: &mut LayerGraph, base: &str, prev: usize) -> usize {
+    let bn = g.add(format!("{base}_bn"), LayerOp::BatchNorm { scale: true }, &[prev]);
+    g.add(
+        format!("{base}_relu"),
+        LayerOp::ActivationLayer {
+            activation: Activation::Relu,
+        },
+        &[bn],
+    )
+}
+
+fn conv(
+    g: &mut LayerGraph,
+    name: &str,
+    filters: u32,
+    kernel: u32,
+    stride: u32,
+    padding: Padding,
+    prev: usize,
+) -> usize {
+    g.add(
+        name,
+        LayerOp::Conv2D {
+            filters,
+            kernel: (kernel, kernel),
+            strides: (stride, stride),
+            padding,
+            use_bias: false, // Keras DenseNet convs carry no bias
+            activation: Activation::Linear,
+        },
+        &[prev],
+    )
+}
+
+/// One dense layer: BN-ReLU-1×1(4k)-BN-ReLU-3×3(k), concatenated onto the
+/// running feature map.
+fn dense_layer(g: &mut LayerGraph, name: &str, x: usize, growth: u32) -> usize {
+    let a = bn_relu(g, &format!("{name}_0"), x);
+    let b = conv(g, &format!("{name}_1_conv"), 4 * growth, 1, 1, Padding::Same, a);
+    let c = bn_relu(g, &format!("{name}_1"), b);
+    let d = conv(g, &format!("{name}_2_conv"), growth, 3, 1, Padding::Same, c);
+    g.add(format!("{name}_concat"), LayerOp::Concat, &[x, d])
+}
+
+fn transition(g: &mut LayerGraph, name: &str, x: usize, out_channels: u32) -> usize {
+    let a = bn_relu(g, name, x);
+    let b = conv(g, &format!("{name}_conv"), out_channels, 1, 1, Padding::Same, a);
+    g.add(
+        format!("{name}_pool"),
+        LayerOp::AvgPool {
+            pool: (2, 2),
+            strides: (2, 2),
+            padding: Padding::Valid,
+        },
+        &[b],
+    )
+}
+
+/// Builds DenseNet121 (blocks of 6/12/24/16 layers, growth 32). Keras
+/// `Total params` = 8,062,504.
+pub fn densenet121() -> LayerGraph {
+    let growth = 32u32;
+    let mut g = LayerGraph::new("densenet121");
+    let inp = g.add(
+        "input",
+        LayerOp::Input {
+            shape: TensorShape::map(224, 224, 3),
+        },
+        &[],
+    );
+    let pad = g.add(
+        "zero_padding2d",
+        LayerOp::ZeroPadding {
+            padding: (3, 3, 3, 3),
+        },
+        &[inp],
+    );
+    let c1 = conv(&mut g, "conv1_conv", 64, 7, 2, Padding::Valid, pad);
+    let x = bn_relu(&mut g, "conv1", c1);
+    let pad2 = g.add(
+        "zero_padding2d_1",
+        LayerOp::ZeroPadding {
+            padding: (1, 1, 1, 1),
+        },
+        &[x],
+    );
+    let mut x = g.add(
+        "pool1",
+        LayerOp::MaxPool {
+            pool: (3, 3),
+            strides: (2, 2),
+            padding: Padding::Valid,
+        },
+        &[pad2],
+    );
+
+    let mut channels = 64u32;
+    for (b, layers) in [(2u32, 6u32), (3, 12), (4, 24), (5, 16)] {
+        for l in 1..=layers {
+            x = dense_layer(&mut g, &format!("conv{b}_block{l}"), x, growth);
+        }
+        channels += layers * growth;
+        if b != 5 {
+            channels /= 2;
+            x = transition(&mut g, &format!("pool{b}"), x, channels);
+        }
+    }
+
+    let x = bn_relu(&mut g, "final", x);
+    let gap = g.add("avg_pool", LayerOp::GlobalAvgPool, &[x]);
+    g.add(
+        "predictions",
+        LayerOp::Dense {
+            units: 1000,
+            use_bias: true,
+            activation: Activation::Softmax,
+        },
+        &[gap],
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_keras_params() {
+        let g = densenet121();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.total_params(), 8_062_504);
+    }
+
+    #[test]
+    fn dense_block_shapes() {
+        let g = densenet121();
+        let b1 = g.find("conv2_block6_concat").unwrap();
+        assert_eq!(g.node(b1).output_shape, TensorShape::map(56, 56, 256));
+        let b4 = g.find("conv5_block16_concat").unwrap();
+        assert_eq!(g.node(b4).output_shape, TensorShape::map(7, 7, 1024));
+    }
+
+    #[test]
+    fn mid_block_cuts_carry_many_tensors() {
+        // Inside a dense block, the running concat plus the in-flight
+        // bottleneck tensors are all live across a boundary.
+        let g = densenet121();
+        let mid = g.find("conv3_block6_1_conv").unwrap();
+        assert!(g.cut_tensor_count(mid) >= 2);
+        // The concat trunk dominates the transfer.
+        assert!(g.cut_transfer_bytes(mid) > 28 * 28 * 256 * 4);
+    }
+
+    #[test]
+    fn small_enough_for_single_lambda_deployment() {
+        // ~31 MB of weights: like MobileNet, DenseNet121 fits one lambda —
+        // a useful contrast case for the optimizer.
+        let mb = densenet121().weight_bytes() as f64 / 1024.0 / 1024.0;
+        assert!(mb > 28.0 && mb < 34.0, "{mb} MB");
+    }
+}

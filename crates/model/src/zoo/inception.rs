@@ -1,0 +1,249 @@
+//! Inception-V3 — paper Table 1 (92 MB model / 261 MB deployment) and §5
+//! evaluation model (optimal plan: 3 lambdas at 640/448/384 MB).
+
+use crate::graph::LayerGraph;
+use crate::layer::{Activation, LayerOp, Padding, TensorShape};
+
+/// Conv (no bias) + BN + ReLU triple, Keras `conv2d_bn` helper.
+#[allow(clippy::too_many_arguments)]
+fn conv_bn(
+    g: &mut LayerGraph,
+    name: &str,
+    prev: usize,
+    filters: u32,
+    kernel: (u32, u32),
+    strides: (u32, u32),
+    padding: Padding,
+) -> usize {
+    let c = g.add(
+        format!("{name}_conv"),
+        LayerOp::Conv2D {
+            filters,
+            kernel,
+            strides,
+            padding,
+            use_bias: false,
+            activation: Activation::Linear,
+        },
+        &[prev],
+    );
+    let b = g.add(format!("{name}_bn"), LayerOp::BatchNorm { scale: false }, &[c]);
+    g.add(
+        format!("{name}_act"),
+        LayerOp::ActivationLayer {
+            activation: Activation::Relu,
+        },
+        &[b],
+    )
+}
+
+fn avgpool_same(g: &mut LayerGraph, name: &str, prev: usize) -> usize {
+    g.add(
+        name,
+        LayerOp::AvgPool {
+            pool: (3, 3),
+            strides: (1, 1),
+            padding: Padding::Same,
+        },
+        &[prev],
+    )
+}
+
+/// Builds Inception-V3 (input 299×299×3). Keras `Total params` = 23,851,784.
+pub fn inception_v3() -> LayerGraph {
+    let same = Padding::Same;
+    let valid = Padding::Valid;
+    let mut g = LayerGraph::new("inception_v3");
+    let inp = g.add(
+        "input",
+        LayerOp::Input {
+            shape: TensorShape::map(299, 299, 3),
+        },
+        &[],
+    );
+
+    // Stem.
+    let mut x = conv_bn(&mut g, "stem1", inp, 32, (3, 3), (2, 2), valid);
+    x = conv_bn(&mut g, "stem2", x, 32, (3, 3), (1, 1), valid);
+    x = conv_bn(&mut g, "stem3", x, 64, (3, 3), (1, 1), same);
+    x = g.add(
+        "stem_pool1",
+        LayerOp::MaxPool {
+            pool: (3, 3),
+            strides: (2, 2),
+            padding: valid,
+        },
+        &[x],
+    );
+    x = conv_bn(&mut g, "stem4", x, 80, (1, 1), (1, 1), valid);
+    x = conv_bn(&mut g, "stem5", x, 192, (3, 3), (1, 1), valid);
+    x = g.add(
+        "stem_pool2",
+        LayerOp::MaxPool {
+            pool: (3, 3),
+            strides: (2, 2),
+            padding: valid,
+        },
+        &[x],
+    );
+
+    // Three Inception-A modules (mixed0..2); pool-branch width varies.
+    for (m, pool_w) in [(0u32, 32u32), (1, 64), (2, 64)] {
+        let name = format!("mixed{m}");
+        let b1 = conv_bn(&mut g, &format!("{name}_b1x1"), x, 64, (1, 1), (1, 1), same);
+        let b5 = conv_bn(&mut g, &format!("{name}_b5x5_1"), x, 48, (1, 1), (1, 1), same);
+        let b5 = conv_bn(&mut g, &format!("{name}_b5x5_2"), b5, 64, (5, 5), (1, 1), same);
+        let bd = conv_bn(&mut g, &format!("{name}_b3x3dbl_1"), x, 64, (1, 1), (1, 1), same);
+        let bd = conv_bn(&mut g, &format!("{name}_b3x3dbl_2"), bd, 96, (3, 3), (1, 1), same);
+        let bd = conv_bn(&mut g, &format!("{name}_b3x3dbl_3"), bd, 96, (3, 3), (1, 1), same);
+        let bp = avgpool_same(&mut g, &format!("{name}_pool"), x);
+        let bp = conv_bn(&mut g, &format!("{name}_bpool"), bp, pool_w, (1, 1), (1, 1), same);
+        x = g.add(name, LayerOp::Concat, &[b1, b5, bd, bp]);
+    }
+
+    // Reduction-A (mixed3).
+    {
+        let b3 = conv_bn(&mut g, "mixed3_b3x3", x, 384, (3, 3), (2, 2), valid);
+        let bd = conv_bn(&mut g, "mixed3_b3x3dbl_1", x, 64, (1, 1), (1, 1), same);
+        let bd = conv_bn(&mut g, "mixed3_b3x3dbl_2", bd, 96, (3, 3), (1, 1), same);
+        let bd = conv_bn(&mut g, "mixed3_b3x3dbl_3", bd, 96, (3, 3), (2, 2), valid);
+        let bp = g.add(
+            "mixed3_pool",
+            LayerOp::MaxPool {
+                pool: (3, 3),
+                strides: (2, 2),
+                padding: valid,
+            },
+            &[x],
+        );
+        x = g.add("mixed3", LayerOp::Concat, &[b3, bd, bp]);
+    }
+
+    // Four Inception-B modules (mixed4..7) with factored 7×7 branches.
+    for (m, c) in [(4u32, 128u32), (5, 160), (6, 160), (7, 192)] {
+        let name = format!("mixed{m}");
+        let b1 = conv_bn(&mut g, &format!("{name}_b1x1"), x, 192, (1, 1), (1, 1), same);
+        let b7 = conv_bn(&mut g, &format!("{name}_b7x7_1"), x, c, (1, 1), (1, 1), same);
+        let b7 = conv_bn(&mut g, &format!("{name}_b7x7_2"), b7, c, (1, 7), (1, 1), same);
+        let b7 = conv_bn(&mut g, &format!("{name}_b7x7_3"), b7, 192, (7, 1), (1, 1), same);
+        let bd = conv_bn(&mut g, &format!("{name}_b7x7dbl_1"), x, c, (1, 1), (1, 1), same);
+        let bd = conv_bn(&mut g, &format!("{name}_b7x7dbl_2"), bd, c, (7, 1), (1, 1), same);
+        let bd = conv_bn(&mut g, &format!("{name}_b7x7dbl_3"), bd, c, (1, 7), (1, 1), same);
+        let bd = conv_bn(&mut g, &format!("{name}_b7x7dbl_4"), bd, c, (7, 1), (1, 1), same);
+        let bd = conv_bn(&mut g, &format!("{name}_b7x7dbl_5"), bd, 192, (1, 7), (1, 1), same);
+        let bp = avgpool_same(&mut g, &format!("{name}_pool"), x);
+        let bp = conv_bn(&mut g, &format!("{name}_bpool"), bp, 192, (1, 1), (1, 1), same);
+        x = g.add(name, LayerOp::Concat, &[b1, b7, bd, bp]);
+    }
+
+    // Reduction-B (mixed8).
+    {
+        let b3 = conv_bn(&mut g, "mixed8_b3x3_1", x, 192, (1, 1), (1, 1), same);
+        let b3 = conv_bn(&mut g, "mixed8_b3x3_2", b3, 320, (3, 3), (2, 2), valid);
+        let b7 = conv_bn(&mut g, "mixed8_b7x7x3_1", x, 192, (1, 1), (1, 1), same);
+        let b7 = conv_bn(&mut g, "mixed8_b7x7x3_2", b7, 192, (1, 7), (1, 1), same);
+        let b7 = conv_bn(&mut g, "mixed8_b7x7x3_3", b7, 192, (7, 1), (1, 1), same);
+        let b7 = conv_bn(&mut g, "mixed8_b7x7x3_4", b7, 192, (3, 3), (2, 2), valid);
+        let bp = g.add(
+            "mixed8_pool",
+            LayerOp::MaxPool {
+                pool: (3, 3),
+                strides: (2, 2),
+                padding: valid,
+            },
+            &[x],
+        );
+        x = g.add("mixed8", LayerOp::Concat, &[b3, b7, bp]);
+    }
+
+    // Two Inception-C modules (mixed9, mixed10) with split 3×3 branches.
+    for m in [9u32, 10] {
+        let name = format!("mixed{m}");
+        let b1 = conv_bn(&mut g, &format!("{name}_b1x1"), x, 320, (1, 1), (1, 1), same);
+        let b3 = conv_bn(&mut g, &format!("{name}_b3x3_0"), x, 384, (1, 1), (1, 1), same);
+        let b3a = conv_bn(&mut g, &format!("{name}_b3x3_1a"), b3, 384, (1, 3), (1, 1), same);
+        let b3b = conv_bn(&mut g, &format!("{name}_b3x3_1b"), b3, 384, (3, 1), (1, 1), same);
+        let b3 = g.add(format!("{name}_b3x3"), LayerOp::Concat, &[b3a, b3b]);
+        let bd = conv_bn(&mut g, &format!("{name}_b3x3dbl_0"), x, 448, (1, 1), (1, 1), same);
+        let bd = conv_bn(&mut g, &format!("{name}_b3x3dbl_1"), bd, 384, (3, 3), (1, 1), same);
+        let bda = conv_bn(&mut g, &format!("{name}_b3x3dbl_2a"), bd, 384, (1, 3), (1, 1), same);
+        let bdb = conv_bn(&mut g, &format!("{name}_b3x3dbl_2b"), bd, 384, (3, 1), (1, 1), same);
+        let bd = g.add(format!("{name}_b3x3dbl"), LayerOp::Concat, &[bda, bdb]);
+        let bp = avgpool_same(&mut g, &format!("{name}_pool"), x);
+        let bp = conv_bn(&mut g, &format!("{name}_bpool"), bp, 192, (1, 1), (1, 1), same);
+        x = g.add(name, LayerOp::Concat, &[b1, b3, bd, bp]);
+    }
+
+    let gap = g.add("avg_pool", LayerOp::GlobalAvgPool, &[x]);
+    g.add(
+        "predictions",
+        LayerOp::Dense {
+            units: 1000,
+            use_bias: true,
+            activation: Activation::Softmax,
+        },
+        &[gap],
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_keras_params() {
+        let g = inception_v3();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.total_params(), 23_851_784);
+    }
+
+    #[test]
+    fn table1_model_size_92mb() {
+        let mb = inception_v3().weight_bytes() as f64 / 1024.0 / 1024.0;
+        assert!((mb - 91.0).abs() < 1.5, "{mb} MB");
+    }
+
+    #[test]
+    fn module_output_shapes() {
+        let g = inception_v3();
+        assert_eq!(
+            g.node(g.find("mixed0").unwrap()).output_shape,
+            TensorShape::map(35, 35, 256)
+        );
+        assert_eq!(
+            g.node(g.find("mixed2").unwrap()).output_shape,
+            TensorShape::map(35, 35, 288)
+        );
+        assert_eq!(
+            g.node(g.find("mixed3").unwrap()).output_shape,
+            TensorShape::map(17, 17, 768)
+        );
+        assert_eq!(
+            g.node(g.find("mixed7").unwrap()).output_shape,
+            TensorShape::map(17, 17, 768)
+        );
+        assert_eq!(
+            g.node(g.find("mixed8").unwrap()).output_shape,
+            TensorShape::map(8, 8, 1280)
+        );
+        assert_eq!(
+            g.node(g.find("mixed10").unwrap()).output_shape,
+            TensorShape::map(8, 8, 2048)
+        );
+    }
+
+    #[test]
+    fn flops_in_inception_range() {
+        // Literature quotes ~5.7 GMACs; at 2 FLOPs per MAC that is ~11.5.
+        let gf = inception_v3().total_flops() as f64 / 1e9;
+        assert!(gf > 10.0 && gf < 13.0, "{gf} GFLOPs");
+    }
+
+    #[test]
+    fn layer_count_structure() {
+        // 1 input + 94 conv/bn/relu triples + 13 pools + 15 concats
+        // + global pool + classifier = 313 layers (Keras-equivalent graph).
+        assert_eq!(inception_v3().num_layers(), 313);
+    }
+}

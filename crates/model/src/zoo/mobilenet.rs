@@ -1,0 +1,208 @@
+//! MobileNet v1 (α = 1.0, 224×224) — the paper's "small model" that fits a
+//! single lambda (§2.2.1, Fig. 1/2, Table 2, Fig. 12/13).
+
+use crate::graph::LayerGraph;
+use crate::layer::{Activation, LayerOp, Padding, TensorShape};
+
+/// Adds one depthwise-separable block (`conv_dw_N` + `conv_pw_N` with their
+/// BN/ReLU layers, Keras naming). Returns the output index.
+fn ds_block(g: &mut LayerGraph, n: usize, prev: usize, pw_filters: u32, stride: u32) -> usize {
+    let mut x = prev;
+    // Keras pads stride-2 depthwise convs explicitly and runs them valid.
+    let (dw_pad, dw_stride) = if stride == 2 {
+        x = g.add(
+            format!("conv_pad_{n}"),
+            LayerOp::ZeroPadding {
+                padding: (0, 1, 0, 1),
+            },
+            &[x],
+        );
+        (Padding::Valid, 2)
+    } else {
+        (Padding::Same, 1)
+    };
+    x = g.add(
+        format!("conv_dw_{n}"),
+        LayerOp::DepthwiseConv2D {
+            kernel: (3, 3),
+            strides: (dw_stride, dw_stride),
+            padding: dw_pad,
+            use_bias: false,
+        },
+        &[x],
+    );
+    x = g.add(format!("conv_dw_{n}_bn"), LayerOp::BatchNorm { scale: true }, &[x]);
+    x = g.add(
+        format!("conv_dw_{n}_relu"),
+        LayerOp::ActivationLayer {
+            activation: Activation::Relu,
+        },
+        &[x],
+    );
+    x = g.add(
+        format!("conv_pw_{n}"),
+        LayerOp::Conv2D {
+            filters: pw_filters,
+            kernel: (1, 1),
+            strides: (1, 1),
+            padding: Padding::Same,
+            use_bias: false,
+            activation: Activation::Linear,
+        },
+        &[x],
+    );
+    x = g.add(format!("conv_pw_{n}_bn"), LayerOp::BatchNorm { scale: true }, &[x]);
+    g.add(
+        format!("conv_pw_{n}_relu"),
+        LayerOp::ActivationLayer {
+            activation: Activation::Relu,
+        },
+        &[x],
+    )
+}
+
+/// Builds MobileNet v1. Keras `Total params` = 4,253,864 (the paper's §2
+/// "small model" — deployment < 250 MB, single-lambda feasible).
+pub fn mobilenet_v1() -> LayerGraph {
+    let mut g = LayerGraph::new("mobilenet");
+    let inp = g.add(
+        "input",
+        LayerOp::Input {
+            shape: TensorShape::map(224, 224, 3),
+        },
+        &[],
+    );
+    let pad = g.add(
+        "conv1_pad",
+        LayerOp::ZeroPadding {
+            padding: (0, 1, 0, 1),
+        },
+        &[inp],
+    );
+    let c1 = g.add(
+        "conv1",
+        LayerOp::Conv2D {
+            filters: 32,
+            kernel: (3, 3),
+            strides: (2, 2),
+            padding: Padding::Valid,
+            use_bias: false,
+            activation: Activation::Linear,
+        },
+        &[pad],
+    );
+    let bn = g.add("conv1_bn", LayerOp::BatchNorm { scale: true }, &[c1]);
+    let mut x = g.add(
+        "conv1_relu",
+        LayerOp::ActivationLayer {
+            activation: Activation::Relu,
+        },
+        &[bn],
+    );
+
+    // (pointwise filters, stride) for blocks 1..=13.
+    let blocks: [(u32, u32); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, (f, s)) in blocks.iter().enumerate() {
+        x = ds_block(&mut g, i + 1, x, *f, *s);
+    }
+
+    let gap = g.add("global_average_pooling2d", LayerOp::GlobalAvgPool, &[x]);
+    let rs = g.add(
+        "reshape_1",
+        LayerOp::Reshape {
+            shape: TensorShape::map(1, 1, 1024),
+        },
+        &[gap],
+    );
+    let dp = g.add("dropout", LayerOp::Dropout, &[rs]);
+    let preds = g.add(
+        "conv_preds",
+        LayerOp::Conv2D {
+            filters: 1000,
+            kernel: (1, 1),
+            strides: (1, 1),
+            padding: Padding::Same,
+            use_bias: true,
+            activation: Activation::Linear,
+        },
+        &[dp],
+    );
+    let rs2 = g.add(
+        "reshape_2",
+        LayerOp::Reshape {
+            shape: TensorShape::Flat(1000),
+        },
+        &[preds],
+    );
+    g.add(
+        "predictions",
+        LayerOp::ActivationLayer {
+            activation: Activation::Softmax,
+        },
+        &[rs2],
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_keras_params() {
+        let g = mobilenet_v1();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.total_params(), 4_253_864);
+    }
+
+    #[test]
+    fn weight_bytes_match_paper_scale() {
+        // ~16 MB of float32 weights: comfortably single-lambda (paper §2).
+        let mb = mobilenet_v1().weight_bytes() as f64 / (1024.0 * 1024.0);
+        assert!(mb > 15.0 && mb < 18.0, "{mb} MB");
+    }
+
+    #[test]
+    fn spatial_pipeline_shapes() {
+        let g = mobilenet_v1();
+        let c1 = g.find("conv1").unwrap();
+        assert_eq!(g.node(c1).output_shape, TensorShape::map(112, 112, 32));
+        let last_pw = g.find("conv_pw_13_relu").unwrap();
+        assert_eq!(g.node(last_pw).output_shape, TensorShape::map(7, 7, 1024));
+        assert_eq!(
+            g.node(g.num_layers() - 1).output_shape,
+            TensorShape::Flat(1000)
+        );
+    }
+
+    #[test]
+    fn layer_count_matches_keras() {
+        // Keras MobileNet v1 lists 91 layers in model.summary().
+        // input + (pad,conv,bn,relu) + 13 blocks (6 or 7 layers each: 4
+        // stride-2 blocks have the extra pad) + gap/reshape/dropout/
+        // conv_preds/reshape/softmax.
+        let g = mobilenet_v1();
+        assert_eq!(g.num_layers(), 1 + 4 + (13 * 6 + 4) + 6);
+    }
+
+    #[test]
+    fn total_flops_in_mobilenet_range() {
+        // MobileNet v1 is ~1.1 GFLOPs (569M MACs) for one 224×224 image.
+        let gf = mobilenet_v1().total_flops() as f64 / 1e9;
+        assert!(gf > 0.9 && gf < 1.4, "{gf} GFLOPs");
+    }
+}

@@ -1,0 +1,54 @@
+//! Reconstructions of the paper's evaluation models.
+//!
+//! Every builder assembles the architecture layer by layer from the
+//! published structure; parameter totals are pinned in tests to the exact
+//! Keras `Total params` figures:
+//!
+//! | model | params | paper role |
+//! |---|---|---|
+//! | MobileNet (v1, α=1.0, 224) | 4,253,864 | small model, single-lambda capable (§2, §5.4) |
+//! | ResNet50 | 25,636,712 | Table 1: 98 MB model, must be split |
+//! | Inception-V3 | 23,851,784 | Table 1: 92 MB model, must be split |
+//! | Xception | 22,910,480 | §5 evaluation model |
+//! | VGG16 / VGG19 | 138,357,544 / 143,667,240 | §1 examples of >250 MB deployments |
+
+mod bert;
+mod densenet;
+mod inception;
+mod mobilenet;
+mod resnet;
+mod toy;
+mod vgg;
+mod xception;
+
+pub use bert::{bert, bert_base, BertConfig};
+pub use densenet::densenet121;
+pub use inception::inception_v3;
+pub use mobilenet::mobilenet_v1;
+pub use resnet::resnet50;
+pub use toy::{linear_chain, tiny_cnn};
+pub use vgg::{vgg16, vgg19};
+pub use xception::xception;
+
+use crate::graph::LayerGraph;
+
+/// All paper-evaluation models by name; used by examples and the repro
+/// harness.
+pub fn by_name(name: &str) -> Option<LayerGraph> {
+    match name {
+        "mobilenet" => Some(mobilenet_v1()),
+        "resnet50" => Some(resnet50()),
+        "inception_v3" | "inceptionv3" => Some(inception_v3()),
+        "xception" => Some(xception()),
+        "vgg16" => Some(vgg16()),
+        "vgg19" => Some(vgg19()),
+        "bert" | "bert_base" => Some(bert_base()),
+        "densenet121" => Some(densenet121()),
+        _ => None,
+    }
+}
+
+/// The four models of the paper's §5 evaluation, in paper order.
+pub fn evaluation_models() -> Vec<LayerGraph> {
+    vec![mobilenet_v1(), resnet50(), inception_v3(), xception()]
+}

@@ -1,0 +1,205 @@
+//! ResNet50 — the paper's headline model (Table 1: 98 MB of weights,
+//! 25,636,712 parameters; deployment size 267 MB > the 250 MB Lambda limit).
+
+use crate::graph::LayerGraph;
+use crate::layer::{Activation, LayerOp, Padding, TensorShape};
+
+fn conv(
+    g: &mut LayerGraph,
+    name: &str,
+    filters: u32,
+    kernel: u32,
+    stride: u32,
+    prev: usize,
+) -> usize {
+    g.add(
+        name,
+        LayerOp::Conv2D {
+            filters,
+            kernel: (kernel, kernel),
+            strides: (stride, stride),
+            padding: Padding::Same,
+            use_bias: true, // Keras ResNet50 convs keep their bias
+            activation: Activation::Linear,
+        },
+        &[prev],
+    )
+}
+
+fn bn_relu(g: &mut LayerGraph, base: &str, prev: usize) -> usize {
+    let bn = g.add(format!("{base}_bn"), LayerOp::BatchNorm { scale: true }, &[prev]);
+    g.add(
+        format!("{base}_relu"),
+        LayerOp::ActivationLayer {
+            activation: Activation::Relu,
+        },
+        &[bn],
+    )
+}
+
+/// One bottleneck block. `conv_shortcut` selects the projection variant
+/// (Keras `block1` of each stack); `stride` applies to the first 1×1 and
+/// the projection, per Keras `resnet.v1`.
+fn bottleneck(
+    g: &mut LayerGraph,
+    name: &str,
+    prev: usize,
+    filters: u32,
+    stride: u32,
+    conv_shortcut: bool,
+) -> usize {
+    let shortcut = if conv_shortcut {
+        let sc = conv(g, &format!("{name}_0_conv"), 4 * filters, 1, stride, prev);
+        g.add(format!("{name}_0_bn"), LayerOp::BatchNorm { scale: true }, &[sc])
+    } else {
+        prev
+    };
+    let c1 = conv(g, &format!("{name}_1_conv"), filters, 1, stride, prev);
+    let x = bn_relu(g, &format!("{name}_1"), c1);
+    let c2 = conv(g, &format!("{name}_2_conv"), filters, 3, 1, x);
+    let x = bn_relu(g, &format!("{name}_2"), c2);
+    let c3 = conv(g, &format!("{name}_3_conv"), 4 * filters, 1, 1, x);
+    let bn3 = g.add(format!("{name}_3_bn"), LayerOp::BatchNorm { scale: true }, &[c3]);
+    let add = g.add(format!("{name}_add"), LayerOp::Add, &[shortcut, bn3]);
+    g.add(
+        format!("{name}_out"),
+        LayerOp::ActivationLayer {
+            activation: Activation::Relu,
+        },
+        &[add],
+    )
+}
+
+fn stack(
+    g: &mut LayerGraph,
+    name: &str,
+    mut x: usize,
+    filters: u32,
+    blocks: usize,
+    first_stride: u32,
+) -> usize {
+    x = bottleneck(g, &format!("{name}_block1"), x, filters, first_stride, true);
+    for b in 2..=blocks {
+        x = bottleneck(g, &format!("{name}_block{b}"), x, filters, 1, false);
+    }
+    x
+}
+
+/// Builds ResNet50. Keras `Total params` = 25,636,712 — exactly the figure
+/// the paper's Table 1 converts to "(25,636,712 × 4)/1024/1024 ≈ 98 MB".
+pub fn resnet50() -> LayerGraph {
+    let mut g = LayerGraph::new("resnet50");
+    let inp = g.add(
+        "input",
+        LayerOp::Input {
+            shape: TensorShape::map(224, 224, 3),
+        },
+        &[],
+    );
+    let pad = g.add(
+        "conv1_pad",
+        LayerOp::ZeroPadding {
+            padding: (3, 3, 3, 3),
+        },
+        &[inp],
+    );
+    let c1 = g.add(
+        "conv1_conv",
+        LayerOp::Conv2D {
+            filters: 64,
+            kernel: (7, 7),
+            strides: (2, 2),
+            padding: Padding::Valid,
+            use_bias: true,
+            activation: Activation::Linear,
+        },
+        &[pad],
+    );
+    let x = bn_relu(&mut g, "conv1", c1);
+    let pad2 = g.add(
+        "pool1_pad",
+        LayerOp::ZeroPadding {
+            padding: (1, 1, 1, 1),
+        },
+        &[x],
+    );
+    let mut x = g.add(
+        "pool1_pool",
+        LayerOp::MaxPool {
+            pool: (3, 3),
+            strides: (2, 2),
+            padding: Padding::Valid,
+        },
+        &[pad2],
+    );
+
+    x = stack(&mut g, "conv2", x, 64, 3, 1);
+    x = stack(&mut g, "conv3", x, 128, 4, 2);
+    x = stack(&mut g, "conv4", x, 256, 6, 2);
+    x = stack(&mut g, "conv5", x, 512, 3, 2);
+
+    let gap = g.add("avg_pool", LayerOp::GlobalAvgPool, &[x]);
+    g.add(
+        "predictions",
+        LayerOp::Dense {
+            units: 1000,
+            use_bias: true,
+            activation: Activation::Softmax,
+        },
+        &[gap],
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_keras_params() {
+        let g = resnet50();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.total_params(), 25_636_712);
+    }
+
+    #[test]
+    fn table1_model_size_98mb() {
+        // The paper's Table 1 derivation, verbatim.
+        let mb = resnet50().weight_bytes() as f64 / 1024.0 / 1024.0;
+        assert!((mb - 98.0).abs() < 1.0, "{mb} MB");
+    }
+
+    #[test]
+    fn layer_count_matches_keras_177() {
+        assert_eq!(resnet50().num_layers(), 177);
+    }
+
+    #[test]
+    fn stage_shapes() {
+        let g = resnet50();
+        let s2 = g.find("conv2_block3_out").unwrap();
+        assert_eq!(g.node(s2).output_shape, TensorShape::map(56, 56, 256));
+        let s3 = g.find("conv3_block4_out").unwrap();
+        assert_eq!(g.node(s3).output_shape, TensorShape::map(28, 28, 512));
+        let s4 = g.find("conv4_block6_out").unwrap();
+        assert_eq!(g.node(s4).output_shape, TensorShape::map(14, 14, 1024));
+        let s5 = g.find("conv5_block3_out").unwrap();
+        assert_eq!(g.node(s5).output_shape, TensorShape::map(7, 7, 2048));
+    }
+
+    #[test]
+    fn flops_in_resnet50_range() {
+        // Literature quotes ~3.8 GMACs; at 2 FLOPs per MAC that is ~7.7.
+        let gf = resnet50().total_flops() as f64 / 1e9;
+        assert!(gf > 7.0 && gf < 8.6, "{gf} GFLOPs");
+    }
+
+    #[test]
+    fn residual_cuts_carry_skip_tensors() {
+        // Inside a block (between 1_relu and 3_bn) the block input is live
+        // alongside the mainline tensor.
+        let g = resnet50();
+        let mid = g.find("conv2_block2_2_conv").unwrap();
+        assert!(g.cut_tensor_count(mid) >= 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Small synthetic models for tests and the paper's 3-layer partitioning
+//! example (§4: cuts (3), (1,2), (2,1), (1,1,1)).
+
+use crate::graph::LayerGraph;
+use crate::layer::{Activation, LayerOp, Padding, TensorShape};
+
+/// A pure chain of `n` dense layers on a `width`-wide vector — the shape of
+/// the paper's didactic partitioning example. Layer 0 is the input.
+pub fn linear_chain(n: usize, width: u32) -> LayerGraph {
+    assert!(n >= 1, "chain needs at least one layer");
+    let mut g = LayerGraph::new(format!("chain{n}"));
+    let mut prev = g.add(
+        "input",
+        LayerOp::Input {
+            shape: TensorShape::Flat(width),
+        },
+        &[],
+    );
+    for i in 0..n {
+        prev = g.add(
+            format!("dense_{i}"),
+            LayerOp::Dense {
+                units: width,
+                use_bias: true,
+                activation: Activation::Relu,
+            },
+            &[prev],
+        );
+    }
+    g
+}
+
+/// A small CNN with one residual connection: exercises merge handling and
+/// cut accounting without zoo-scale cost.
+pub fn tiny_cnn() -> LayerGraph {
+    let mut g = LayerGraph::new("tiny_cnn");
+    let inp = g.add(
+        "input",
+        LayerOp::Input {
+            shape: TensorShape::map(32, 32, 3),
+        },
+        &[],
+    );
+    let c1 = g.add(
+        "conv1",
+        LayerOp::Conv2D {
+            filters: 16,
+            kernel: (3, 3),
+            strides: (1, 1),
+            padding: Padding::Same,
+            use_bias: false,
+            activation: Activation::Linear,
+        },
+        &[inp],
+    );
+    let bn1 = g.add("bn1", LayerOp::BatchNorm { scale: true }, &[c1]);
+    let r1 = g.add(
+        "relu1",
+        LayerOp::ActivationLayer {
+            activation: Activation::Relu,
+        },
+        &[bn1],
+    );
+    let c2 = g.add(
+        "conv2",
+        LayerOp::Conv2D {
+            filters: 16,
+            kernel: (3, 3),
+            strides: (1, 1),
+            padding: Padding::Same,
+            use_bias: false,
+            activation: Activation::Linear,
+        },
+        &[r1],
+    );
+    let bn2 = g.add("bn2", LayerOp::BatchNorm { scale: true }, &[c2]);
+    let add = g.add("add", LayerOp::Add, &[r1, bn2]);
+    let r2 = g.add(
+        "relu2",
+        LayerOp::ActivationLayer {
+            activation: Activation::Relu,
+        },
+        &[add],
+    );
+    let pool = g.add(
+        "pool",
+        LayerOp::MaxPool {
+            pool: (2, 2),
+            strides: (2, 2),
+            padding: Padding::Valid,
+        },
+        &[r2],
+    );
+    let gap = g.add("gap", LayerOp::GlobalAvgPool, &[pool]);
+    g.add(
+        "predictions",
+        LayerOp::Dense {
+            units: 10,
+            use_bias: true,
+            activation: Activation::Softmax,
+        },
+        &[gap],
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_requested_layers() {
+        let g = linear_chain(3, 8);
+        assert_eq!(g.num_layers(), 4); // input + 3 dense
+        assert!(g.validate().is_ok());
+        assert_eq!(g.total_params(), 3 * (8 * 8 + 8));
+    }
+
+    #[test]
+    fn tiny_cnn_valid() {
+        let g = tiny_cnn();
+        assert!(g.validate().is_ok());
+        // conv1 432 + bn 64 + conv2 2304 + bn 64 + dense 170.
+        assert_eq!(g.total_params(), 432 + 64 + 2304 + 64 + 170);
+    }
+
+    #[test]
+    fn tiny_cnn_residual_cut_doubles_transfer() {
+        let g = tiny_cnn();
+        let relu1 = g.find("relu1").unwrap();
+        let bn2 = g.find("bn2").unwrap();
+        // Between bn2 and add, both relu1 and bn2 outputs are live.
+        assert_eq!(g.cut_tensor_count(bn2), 2);
+        assert!(g.cut_transfer_bytes(bn2) > g.cut_transfer_bytes(relu1));
+    }
+}

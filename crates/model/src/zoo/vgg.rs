@@ -1,0 +1,124 @@
+//! VGG16 / VGG19 — the paper's §1 examples of models whose ~500 MB
+//! deployments exceed any single Lambda.
+
+use crate::graph::LayerGraph;
+use crate::layer::{Activation, LayerOp, Padding, TensorShape};
+
+fn conv(g: &mut LayerGraph, name: &str, filters: u32, prev: usize) -> usize {
+    g.add(
+        name,
+        LayerOp::Conv2D {
+            filters,
+            kernel: (3, 3),
+            strides: (1, 1),
+            padding: Padding::Same,
+            use_bias: true,
+            activation: Activation::Relu,
+        },
+        &[prev],
+    )
+}
+
+fn pool(g: &mut LayerGraph, name: &str, prev: usize) -> usize {
+    g.add(
+        name,
+        LayerOp::MaxPool {
+            pool: (2, 2),
+            strides: (2, 2),
+            padding: Padding::Valid,
+        },
+        &[prev],
+    )
+}
+
+fn vgg(name: &str, convs_per_block: [usize; 5]) -> LayerGraph {
+    let widths = [64u32, 128, 256, 512, 512];
+    let mut g = LayerGraph::new(name);
+    let mut prev = g.add(
+        "input",
+        LayerOp::Input {
+            shape: TensorShape::map(224, 224, 3),
+        },
+        &[],
+    );
+    for (b, (&n, &w)) in convs_per_block.iter().zip(&widths).enumerate() {
+        for i in 0..n {
+            prev = conv(&mut g, &format!("block{}_conv{}", b + 1, i + 1), w, prev);
+        }
+        prev = pool(&mut g, &format!("block{}_pool", b + 1), prev);
+    }
+    prev = g.add("flatten", LayerOp::Flatten, &[prev]);
+    prev = g.add(
+        "fc1",
+        LayerOp::Dense {
+            units: 4096,
+            use_bias: true,
+            activation: Activation::Relu,
+        },
+        &[prev],
+    );
+    prev = g.add(
+        "fc2",
+        LayerOp::Dense {
+            units: 4096,
+            use_bias: true,
+            activation: Activation::Relu,
+        },
+        &[prev],
+    );
+    g.add(
+        "predictions",
+        LayerOp::Dense {
+            units: 1000,
+            use_bias: true,
+            activation: Activation::Softmax,
+        },
+        &[prev],
+    );
+    g
+}
+
+/// VGG16 (Keras `Total params` = 138,357,544 → ~528 MB of float32 weights).
+pub fn vgg16() -> LayerGraph {
+    vgg("vgg16", [2, 2, 3, 3, 3])
+}
+
+/// VGG19 (Keras `Total params` = 143,667,240).
+pub fn vgg19() -> LayerGraph {
+    vgg("vgg19", [2, 2, 4, 4, 4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_exact_keras_params() {
+        let g = vgg16();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.total_params(), 138_357_544);
+    }
+
+    #[test]
+    fn vgg19_exact_keras_params() {
+        let g = vgg19();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.total_params(), 143_667_240);
+    }
+
+    #[test]
+    fn vgg16_weight_bytes_exceed_paper_limit() {
+        // The paper's §1 point: VGG weights alone are ~528 MB > 250 MB.
+        let mb = vgg16().weight_bytes() / (1024 * 1024);
+        assert!(mb > 500 && mb < 560, "{mb} MB");
+    }
+
+    #[test]
+    fn vgg16_final_shape_is_1000() {
+        let g = vgg16();
+        assert_eq!(
+            g.node(g.num_layers() - 1).output_shape,
+            TensorShape::Flat(1000)
+        );
+    }
+}

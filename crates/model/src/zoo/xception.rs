@@ -1,0 +1,209 @@
+//! Xception — §5 evaluation model (optimal plan: 3 lambdas at
+//! 1536/960/1024 MB). Built almost entirely from `SeparableConv2D`s.
+
+use crate::graph::LayerGraph;
+use crate::layer::{Activation, LayerOp, Padding, TensorShape};
+
+fn sepconv(g: &mut LayerGraph, name: &str, filters: u32, prev: usize) -> usize {
+    g.add(
+        name,
+        LayerOp::SeparableConv2D {
+            filters,
+            kernel: (3, 3),
+            strides: (1, 1),
+            padding: Padding::Same,
+            use_bias: false,
+        },
+        &[prev],
+    )
+}
+
+fn bn(g: &mut LayerGraph, name: &str, prev: usize) -> usize {
+    g.add(name, LayerOp::BatchNorm { scale: true }, &[prev])
+}
+
+fn relu(g: &mut LayerGraph, name: &str, prev: usize) -> usize {
+    g.add(
+        name,
+        LayerOp::ActivationLayer {
+            activation: Activation::Relu,
+        },
+        &[prev],
+    )
+}
+
+fn maxpool_s2(g: &mut LayerGraph, name: &str, prev: usize) -> usize {
+    g.add(
+        name,
+        LayerOp::MaxPool {
+            pool: (3, 3),
+            strides: (2, 2),
+            padding: Padding::Same,
+        },
+        &[prev],
+    )
+}
+
+/// Strided 1×1 projection shortcut (conv, no bias, + BN).
+fn shortcut(g: &mut LayerGraph, name: &str, filters: u32, prev: usize) -> usize {
+    let c = g.add(
+        format!("{name}_conv"),
+        LayerOp::Conv2D {
+            filters,
+            kernel: (1, 1),
+            strides: (2, 2),
+            padding: Padding::Same,
+            use_bias: false,
+            activation: Activation::Linear,
+        },
+        &[prev],
+    );
+    bn(g, &format!("{name}_bn"), c)
+}
+
+/// Builds Xception (input 299×299×3). Keras `Total params` = 22,910,480.
+pub fn xception() -> LayerGraph {
+    let mut g = LayerGraph::new("xception");
+    let inp = g.add(
+        "input",
+        LayerOp::Input {
+            shape: TensorShape::map(299, 299, 3),
+        },
+        &[],
+    );
+
+    // Entry flow, block 1: two plain convs.
+    let c = g.add(
+        "block1_conv1",
+        LayerOp::Conv2D {
+            filters: 32,
+            kernel: (3, 3),
+            strides: (2, 2),
+            padding: Padding::Valid,
+            use_bias: false,
+            activation: Activation::Linear,
+        },
+        &[inp],
+    );
+    let c = bn(&mut g, "block1_conv1_bn", c);
+    let c = relu(&mut g, "block1_conv1_act", c);
+    let c = g.add(
+        "block1_conv2",
+        LayerOp::Conv2D {
+            filters: 64,
+            kernel: (3, 3),
+            strides: (1, 1),
+            padding: Padding::Valid,
+            use_bias: false,
+            activation: Activation::Linear,
+        },
+        &[c],
+    );
+    let c = bn(&mut g, "block1_conv2_bn", c);
+    let mut x = relu(&mut g, "block1_conv2_act", c);
+
+    // Entry blocks 2–4: sepconv pairs with strided-pool mainline and
+    // projection shortcut. Block 2 has no leading ReLU (Keras detail).
+    for (b, f) in [(2u32, 128u32), (3, 256), (4, 728)] {
+        let res = shortcut(&mut g, &format!("block{b}_shortcut"), f, x);
+        let mut m = x;
+        if b > 2 {
+            m = relu(&mut g, &format!("block{b}_sepconv1_act"), m);
+        }
+        m = sepconv(&mut g, &format!("block{b}_sepconv1"), f, m);
+        m = bn(&mut g, &format!("block{b}_sepconv1_bn"), m);
+        m = relu(&mut g, &format!("block{b}_sepconv2_act"), m);
+        m = sepconv(&mut g, &format!("block{b}_sepconv2"), f, m);
+        m = bn(&mut g, &format!("block{b}_sepconv2_bn"), m);
+        m = maxpool_s2(&mut g, &format!("block{b}_pool"), m);
+        x = g.add(format!("block{b}_add"), LayerOp::Add, &[m, res]);
+    }
+
+    // Middle flow: blocks 5–12, three 728-wide sepconvs + residual add.
+    for b in 5u32..=12 {
+        let res = x;
+        let mut m = x;
+        for s in 1u32..=3 {
+            m = relu(&mut g, &format!("block{b}_sepconv{s}_act"), m);
+            m = sepconv(&mut g, &format!("block{b}_sepconv{s}"), 728, m);
+            m = bn(&mut g, &format!("block{b}_sepconv{s}_bn"), m);
+        }
+        x = g.add(format!("block{b}_add"), LayerOp::Add, &[m, res]);
+    }
+
+    // Exit flow, block 13: 728 → 1024 with strided pool + shortcut.
+    {
+        let res = shortcut(&mut g, "block13_shortcut", 1024, x);
+        let mut m = relu(&mut g, "block13_sepconv1_act", x);
+        m = sepconv(&mut g, "block13_sepconv1", 728, m);
+        m = bn(&mut g, "block13_sepconv1_bn", m);
+        m = relu(&mut g, "block13_sepconv2_act", m);
+        m = sepconv(&mut g, "block13_sepconv2", 1024, m);
+        m = bn(&mut g, "block13_sepconv2_bn", m);
+        m = maxpool_s2(&mut g, "block13_pool", m);
+        x = g.add("block13_add", LayerOp::Add, &[m, res]);
+    }
+
+    // Block 14: widen to 1536 → 2048, classify.
+    let m = sepconv(&mut g, "block14_sepconv1", 1536, x);
+    let m = bn(&mut g, "block14_sepconv1_bn", m);
+    let m = relu(&mut g, "block14_sepconv1_act", m);
+    let m = sepconv(&mut g, "block14_sepconv2", 2048, m);
+    let m = bn(&mut g, "block14_sepconv2_bn", m);
+    let m = relu(&mut g, "block14_sepconv2_act", m);
+    let gap = g.add("avg_pool", LayerOp::GlobalAvgPool, &[m]);
+    g.add(
+        "predictions",
+        LayerOp::Dense {
+            units: 1000,
+            use_bias: true,
+            activation: Activation::Softmax,
+        },
+        &[gap],
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_keras_params() {
+        let g = xception();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.total_params(), 22_910_480);
+    }
+
+    #[test]
+    fn model_size_about_88mb() {
+        let mb = xception().weight_bytes() as f64 / 1024.0 / 1024.0;
+        assert!((mb - 87.4).abs() < 1.5, "{mb} MB");
+    }
+
+    #[test]
+    fn entry_flow_shapes() {
+        let g = xception();
+        let b1 = g.find("block1_conv2_act").unwrap();
+        assert_eq!(g.node(b1).output_shape, TensorShape::map(147, 147, 64));
+        let b4 = g.find("block4_add").unwrap();
+        assert_eq!(g.node(b4).output_shape, TensorShape::map(19, 19, 728));
+        let b13 = g.find("block13_add").unwrap();
+        assert_eq!(g.node(b13).output_shape, TensorShape::map(10, 10, 1024));
+    }
+
+    #[test]
+    fn flops_in_xception_range() {
+        // Literature quotes ~8.4 GMACs; at 2 FLOPs per MAC that is ~16.8.
+        let gf = xception().total_flops() as f64 / 1e9;
+        assert!(gf > 14.5 && gf < 18.5, "{gf} GFLOPs");
+    }
+
+    #[test]
+    fn middle_flow_is_residual() {
+        let g = xception();
+        for b in 5..=12 {
+            assert!(g.find(&format!("block{b}_add")).is_some());
+        }
+    }
+}

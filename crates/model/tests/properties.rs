@@ -1,0 +1,114 @@
+//! Property-based tests for the layer-graph IR and zoo invariants.
+
+use ampsinf_model::zoo;
+use ampsinf_model::{LayerGraph, LayerOp, TensorShape};
+use proptest::prelude::*;
+
+/// Cut/segment invariants that must hold for every model in the zoo.
+fn check_graph_invariants(g: &LayerGraph) {
+    assert!(g.validate().is_ok(), "{} invalid", g.name);
+    let n = g.num_layers();
+    // Segment additivity of params/flops over any split point.
+    let whole = g.segment(0, n - 1);
+    for k in [1usize, n / 3, n / 2, n - 2] {
+        let a = g.segment(0, k - 1);
+        let b = g.segment(k, n - 1);
+        assert_eq!(a.params + b.params, whole.params, "{} params at {k}", g.name);
+        assert_eq!(a.flops + b.flops, whole.flops, "{} flops at {k}", g.name);
+        // The bytes leaving segment A are the bytes entering segment B.
+        assert_eq!(a.output_bytes, b.input_bytes, "{} boundary at {k}", g.name);
+        // Transfers are never zero mid-model (something must flow).
+        assert!(a.output_bytes > 0, "{} dead boundary at {k}", g.name);
+    }
+}
+
+#[test]
+fn zoo_models_satisfy_graph_invariants() {
+    for g in zoo::evaluation_models() {
+        check_graph_invariants(&g);
+    }
+    check_graph_invariants(&zoo::vgg16());
+    check_graph_invariants(&zoo::vgg19());
+    check_graph_invariants(&zoo::tiny_cnn());
+}
+
+#[test]
+fn zoo_serialization_round_trips() {
+    for g in zoo::evaluation_models() {
+        let json = ampsinf_model::serialize::to_json(&g);
+        let back = ampsinf_model::serialize::from_json(&json).unwrap();
+        assert_eq!(back.total_params(), g.total_params());
+        assert_eq!(back.num_layers(), g.num_layers());
+        assert_eq!(back.total_flops(), g.total_flops());
+    }
+}
+
+proptest! {
+    #[test]
+    fn chain_cut_transfer_equals_layer_output(n in 2usize..12, width in 1u32..64) {
+        // In a pure chain every boundary carries exactly one tensor: the
+        // producing layer's output.
+        let g = zoo::linear_chain(n, width);
+        for k in 0..g.num_layers() {
+            prop_assert_eq!(g.cut_tensor_count(k), 1);
+            prop_assert_eq!(
+                g.cut_transfer_bytes(k),
+                g.node(k).output_shape.bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn chain_params_scale_with_width(n in 1usize..8, width in 1u32..64) {
+        let g = zoo::linear_chain(n, width);
+        let w = u64::from(width);
+        prop_assert_eq!(g.total_params(), n as u64 * (w * w + w));
+    }
+
+    #[test]
+    fn segment_bounds_are_consistent(split in 1usize..90) {
+        // Any 2-way split of MobileNet balances: weights partition the
+        // total, boundaries agree.
+        let g = zoo::mobilenet_v1();
+        let n = g.num_layers();
+        let k = split.min(n - 1);
+        let a = g.segment(0, k - 1);
+        let b = g.segment(k, n - 1);
+        prop_assert_eq!(a.weight_bytes + b.weight_bytes, g.weight_bytes());
+        prop_assert_eq!(a.output_bytes, b.input_bytes);
+    }
+
+    #[test]
+    fn transfer_monotone_under_tensor_count(k in 0usize..176) {
+        // Each crossing tensor contributes positively: byte count is at
+        // least 4 bytes per crossing tensor (ResNet50, all boundaries).
+        let g = zoo::resnet50();
+        let count = g.cut_tensor_count(k);
+        let bytes = g.cut_transfer_bytes(k);
+        prop_assert!(bytes >= count as u64 * 4);
+        if k + 1 < g.num_layers() {
+            prop_assert!(count >= 1);
+        }
+    }
+}
+
+#[test]
+fn flat_shapes_have_exact_bytes() {
+    assert_eq!(TensorShape::Flat(7).bytes(), 28);
+}
+
+#[test]
+fn dropout_and_input_add_no_params_or_flops() {
+    let mut g = LayerGraph::new("t");
+    let i = g.add(
+        "input",
+        LayerOp::Input {
+            shape: TensorShape::Flat(16),
+        },
+        &[],
+    );
+    let d = g.add("drop", LayerOp::Dropout, &[i]);
+    assert_eq!(g.node(d).params, 0);
+    assert_eq!(g.node(d).flops, 0);
+    assert_eq!(g.total_params(), 0);
+}

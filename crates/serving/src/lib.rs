@@ -1,0 +1,31 @@
+//! Comparator serving systems for the AMPS-Inf evaluation (§5):
+//!
+//! * [`sagemaker`] — Amazon SageMaker in the paper's two settings: Sage 1
+//!   (notebook-instance serving on `ml.t2.medium`) and Sage 2 (notebook
+//!   submission + `ml.m4.xlarge` hosting endpoint);
+//! * [`serfer`] — SerFer \[42\]: the same partitions as AMPS-Inf but driven
+//!   by Step Functions (≈15 s per state transition, paper footnote 2) with
+//!   an EC2 driver;
+//! * [`batch_baseline`] — BATCH \[23\]: single-lambda adaptive batching,
+//!   no model splitting;
+//! * [`batched`] — batched-chain execution used by both the BATCH
+//!   comparison and AMPS-Inf's own batch modes (§5.4);
+//! * [`loadgen`] — open-loop Poisson workloads over a deployed chain
+//!   (the §2 "query load dynamics" scenario: warm trickles, cold bursts);
+//! * [`layer_parallel`] — Gillis-style weight-sliced partitions (§6's
+//!   contrasted approach), which serve models whose single largest layer
+//!   exceeds the deployment cap (VGG16's fc1).
+
+#![warn(missing_docs)]
+
+pub mod batch_baseline;
+pub mod batched;
+pub mod layer_parallel;
+pub mod loadgen;
+pub mod sagemaker;
+pub mod serfer;
+
+pub use batch_baseline::{run_batch_baseline, BatchBaselineReport};
+pub use loadgen::{run_open_loop, LoadReport, LoadSpec};
+pub use sagemaker::{SageConfig, SageReport, SageSetting};
+pub use serfer::{run_serfer, SerferReport};

@@ -1,0 +1,517 @@
+//! Best-first branch-and-bound for convexified MIQPs.
+//!
+//! This is the "any MIQP solver such as Gurobi, CPLEX" role from the paper
+//! (§3, §4): exact minimization of the convexified quadratic over the
+//! integrality lattice. Nodes carry bound overrides; each node's lower bound
+//! comes from the convex QP relaxation ([`crate::qp`]), and incumbents are
+//! found by rounding relaxation points and by integral relaxation optima.
+
+use crate::problem::{MiqpProblem, VarKind};
+use crate::qcr::{convexify, ConvexifyMethod};
+use crate::qp::QpStatus;
+use crate::INT_TOL;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Options controlling a branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct BbOptions {
+    /// Node budget; exceeded → `BbStatus::NodeLimit` with the incumbent.
+    pub max_nodes: usize,
+    /// Relative optimality gap at which the search stops early.
+    pub rel_gap: f64,
+    /// Convexification policy applied before the search.
+    pub convexify: ConvexifyMethod,
+}
+
+impl Default for BbOptions {
+    fn default() -> Self {
+        BbOptions {
+            max_nodes: 200_000,
+            rel_gap: 1e-9,
+            convexify: ConvexifyMethod::DualRefine,
+        }
+    }
+}
+
+/// Termination status of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BbStatus {
+    /// Proven optimal (within `rel_gap`).
+    Optimal,
+    /// No integer-feasible point exists.
+    Infeasible,
+    /// Node limit hit; `x`/`objective` hold the best incumbent if any.
+    NodeLimit,
+    /// The problem could not be convexified (quadratic coupling outside the
+    /// binary block) — restructure the formulation.
+    CannotConvexify,
+}
+
+/// Search statistics.
+#[derive(Debug, Clone, Default)]
+pub struct BbStats {
+    /// Nodes popped from the frontier.
+    pub nodes: usize,
+    /// QP relaxations solved.
+    pub relaxations: usize,
+    /// Incumbent improvements observed.
+    pub incumbent_updates: usize,
+    /// Best proven lower bound at termination.
+    pub best_bound: f64,
+}
+
+/// Result of a branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct BbSolution {
+    /// Termination status.
+    pub status: BbStatus,
+    /// Best integer-feasible point found (empty when none).
+    pub x: Vec<f64>,
+    /// Objective of `x` under the *original* (pre-QCR) coefficients.
+    pub objective: f64,
+    /// Search statistics.
+    pub stats: BbStats,
+}
+
+/// A frontier node: bound overrides + parent relaxation bound.
+#[derive(Debug, Clone)]
+struct Node {
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    bound: f64,
+    depth: usize,
+}
+
+/// Min-heap ordering on node bound (best-first).
+struct HeapNode(Node);
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound
+    }
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest bound out
+        // first. Tie-break on depth (deeper first → dives toward incumbents).
+        other
+            .0
+            .bound
+            .partial_cmp(&self.0.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.depth.cmp(&other.0.depth))
+    }
+}
+
+/// Branch-and-bound solver instance.
+#[derive(Debug)]
+pub struct BranchAndBound {
+    /// Original problem (incumbents are scored against this objective).
+    original: MiqpProblem,
+    /// Convexified problem used for relaxations.
+    relaxed: MiqpProblem,
+    opts: BbOptions,
+}
+
+impl BranchAndBound {
+    /// Prepares a solver: convexifies the problem up front.
+    ///
+    /// Returns `None` when the problem cannot be convexified by a binary
+    /// diagonal perturbation (see [`crate::qcr::convexify`]).
+    pub fn new(problem: MiqpProblem, opts: BbOptions) -> Option<Self> {
+        let conv = convexify(&problem, opts.convexify)?;
+        Some(BranchAndBound {
+            original: problem,
+            relaxed: conv.problem,
+            opts,
+        })
+    }
+
+    /// Runs the search to completion (or a limit).
+    pub fn solve(&self) -> BbSolution {
+        let _n = self.original.num_vars();
+        let mut stats = BbStats::default();
+        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+
+        let root = Node {
+            lb: self.relaxed.qp.lb.clone(),
+            ub: self.relaxed.qp.ub.clone(),
+            bound: f64::NEG_INFINITY,
+            depth: 0,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapNode(root));
+
+        while let Some(HeapNode(node)) = heap.pop() {
+            if stats.nodes >= self.opts.max_nodes {
+                stats.best_bound = node.bound;
+                return self.finish(BbStatus::NodeLimit, incumbent, stats);
+            }
+            stats.nodes += 1;
+
+            // Prune against the incumbent before paying for the relaxation.
+            if let Some((_, inc_obj)) = &incumbent {
+                if node.bound >= *inc_obj - self.gap_slack(*inc_obj) {
+                    stats.best_bound = node.bound;
+                    continue;
+                }
+            }
+
+            // Solve the node relaxation.
+            let mut qp = self.relaxed.qp.clone();
+            qp.lb = node.lb.clone();
+            qp.ub = node.ub.clone();
+            stats.relaxations += 1;
+            let rel = qp.solve();
+            let bound = match rel.status {
+                QpStatus::Infeasible => continue,
+                QpStatus::Optimal => rel.objective - 1e-9, // ridge slack
+                // An unconverged relaxation's objective is NOT a valid lower
+                // bound — never prune on it (children still make progress by
+                // fixing variables).
+                QpStatus::IterationLimit => f64::NEG_INFINITY,
+            };
+            if let Some((_, inc_obj)) = &incumbent {
+                if bound >= *inc_obj - self.gap_slack(*inc_obj) {
+                    continue;
+                }
+            }
+
+            // Most fractional integral variable.
+            let frac = self.most_fractional(&rel.x);
+            match frac {
+                None => {
+                    // Integral relaxation optimum → candidate incumbent.
+                    let x = self.snap(&rel.x, &node);
+                    if self.original.qp.is_feasible(&x) {
+                        let obj = self.original.objective_at(&x);
+                        if incumbent.as_ref().is_none_or(|(_, o)| obj < *o) {
+                            incumbent = Some((x, obj));
+                            stats.incumbent_updates += 1;
+                        }
+                    }
+                }
+                Some((idx, val)) => {
+                    // Rounding heuristic: try the nearest integer point.
+                    if incumbent.is_none() {
+                        let rounded = self.round_repair(&rel.x, &node);
+                        if let Some(x) = rounded {
+                            let obj = self.original.objective_at(&x);
+                            incumbent = Some((x, obj));
+                            stats.incumbent_updates += 1;
+                        }
+                    }
+                    // Branch: x ≤ ⌊val⌋ and x ≥ ⌈val⌉.
+                    let mut down = node.clone();
+                    down.ub[idx] = val.floor();
+                    down.bound = bound;
+                    down.depth += 1;
+                    if down.lb[idx] <= down.ub[idx] + 1e-12 {
+                        heap.push(HeapNode(down));
+                    }
+                    let mut up = node;
+                    up.lb[idx] = val.ceil();
+                    up.bound = bound;
+                    up.depth += 1;
+                    if up.lb[idx] <= up.ub[idx] + 1e-12 {
+                        heap.push(HeapNode(up));
+                    }
+                }
+            }
+        }
+
+        stats.best_bound = incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| *o);
+        let status = if incumbent.is_some() {
+            BbStatus::Optimal
+        } else {
+            BbStatus::Infeasible
+        };
+        self.finish(status, incumbent, stats)
+    }
+
+    fn gap_slack(&self, inc_obj: f64) -> f64 {
+        self.opts.rel_gap * inc_obj.abs().max(1.0) + 1e-9
+    }
+
+    /// `(index, fractional value)` of the integral variable farthest from
+    /// an integer, or `None` when all are integral.
+    fn most_fractional(&self, x: &[f64]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64, f64)> = None; // idx, val, frac dist
+        for (i, k) in self.original.kinds.iter().enumerate() {
+            if *k == VarKind::Continuous {
+                continue;
+            }
+            let v = x[i];
+            let dist = (v - v.round()).abs();
+            if dist > INT_TOL && best.as_ref().is_none_or(|(_, _, d)| dist > *d) {
+                best = Some((i, v, dist));
+            }
+        }
+        best.map(|(i, v, _)| (i, v))
+    }
+
+    /// Snaps an (integral-to-tolerance) relaxation point exactly onto the
+    /// lattice, respecting the node's bounds.
+    fn snap(&self, x: &[f64], node: &Node) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if self.original.kinds[i] == VarKind::Continuous {
+                    *v
+                } else {
+                    v.round().clamp(node.lb[i], node.ub[i])
+                }
+            })
+            .collect()
+    }
+
+    /// Rounds integral variables and re-optimizes the continuous ones with
+    /// the integral block fixed; returns a feasible point or `None`.
+    fn round_repair(&self, x: &[f64], node: &Node) -> Option<Vec<f64>> {
+        let mut qp = self.relaxed.qp.clone();
+        qp.lb = node.lb.clone();
+        qp.ub = node.ub.clone();
+        for (i, k) in self.original.kinds.iter().enumerate() {
+            if *k != VarKind::Continuous {
+                let v = x[i].round().clamp(node.lb[i], node.ub[i]);
+                qp.lb[i] = v;
+                qp.ub[i] = v;
+            }
+        }
+        let sol = qp.solve();
+        if sol.status == QpStatus::Optimal && self.original.qp.is_feasible(&sol.x) {
+            let snapped = self.snap(&sol.x, node);
+            if self.original.qp.is_feasible(&snapped) {
+                return Some(snapped);
+            }
+        }
+        None
+    }
+
+    fn finish(
+        &self,
+        status: BbStatus,
+        incumbent: Option<(Vec<f64>, f64)>,
+        stats: BbStats,
+    ) -> BbSolution {
+        match incumbent {
+            Some((x, objective)) => BbSolution {
+                status,
+                x,
+                objective,
+                stats,
+            },
+            None => BbSolution {
+                status: if status == BbStatus::Optimal {
+                    BbStatus::Infeasible
+                } else {
+                    status
+                },
+                x: Vec::new(),
+                objective: f64::INFINITY,
+                stats,
+            },
+        }
+    }
+}
+
+/// One-call convenience: convexify + branch-and-bound with options.
+pub fn solve_miqp(problem: &MiqpProblem, opts: BbOptions) -> BbSolution {
+    match BranchAndBound::new(problem.clone(), opts) {
+        Some(bb) => bb.solve(),
+        None => BbSolution {
+            status: BbStatus::CannotConvexify,
+            x: Vec::new(),
+            objective: f64::INFINITY,
+            stats: BbStats::default(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampsinf_linalg::Matrix;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} != {b}");
+    }
+
+    /// Brute-force binary enumeration oracle.
+    fn brute_force(p: &MiqpProblem) -> Option<(Vec<f64>, f64)> {
+        let bins = p.integral_indices();
+        assert!(p
+            .kinds
+            .iter()
+            .all(|k| *k != VarKind::Integer), "oracle handles binaries only");
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        for mask in 0u64..(1 << bins.len()) {
+            let mut x = vec![0.0; p.num_vars()];
+            for (b, &i) in bins.iter().enumerate() {
+                x[i] = ((mask >> b) & 1) as f64;
+            }
+            if p.qp.is_feasible(&x) {
+                let obj = p.objective_at(&x);
+                if best.as_ref().is_none_or(|(_, o)| obj < *o) {
+                    best = Some((x, obj));
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn knapsack_like_binary_qp() {
+        // min x0 + 2x1 + 3x2 − 5x0x1 over binaries with x0 + x1 + x2 ≤ 2.
+        let mut h = Matrix::zeros(3, 3);
+        h[(0, 1)] = -5.0;
+        h[(1, 0)] = -5.0;
+        let mut p = MiqpProblem::new(h, vec![1.0, 2.0, 3.0], vec![VarKind::Binary; 3]);
+        p.add_le(vec![1.0, 1.0, 1.0], 2.0);
+        let sol = solve_miqp(&p, BbOptions::default());
+        assert_eq!(sol.status, BbStatus::Optimal);
+        let (bx, bobj) = brute_force(&p).unwrap();
+        assert_close(sol.objective, bobj);
+        assert_eq!(sol.x, bx);
+    }
+
+    #[test]
+    fn pick_one_group_selects_cheapest() {
+        // Pure linear costs with SOS-1: picks the min coefficient.
+        let h = Matrix::zeros(4, 4);
+        let mut p = MiqpProblem::new(h, vec![3.0, 1.0, 2.0, 5.0], vec![VarKind::Binary; 4]);
+        p.add_pick_one(&[0, 1, 2, 3]);
+        let sol = solve_miqp(&p, BbOptions::default());
+        assert_eq!(sol.status, BbStatus::Optimal);
+        assert_close(sol.objective, 1.0);
+        assert_close(sol.x[1], 1.0);
+    }
+
+    #[test]
+    fn infeasible_binary_problem() {
+        let h = Matrix::zeros(2, 2);
+        let mut p = MiqpProblem::new(h, vec![1.0, 1.0], vec![VarKind::Binary; 2]);
+        p.add_eq(vec![1.0, 1.0], 3.0); // sum of two binaries can't be 3
+        let sol = solve_miqp(&p, BbOptions::default());
+        assert_eq!(sol.status, BbStatus::Infeasible);
+    }
+
+    #[test]
+    fn integer_variable_branching() {
+        // min (y − 2.6)² with y integer in [0, 10] → y = 3.
+        let h = Matrix::from_diag(&[2.0]);
+        let mut p = MiqpProblem::new(h, vec![-5.2], vec![VarKind::Integer]);
+        p.set_bounds(0, 0.0, 10.0);
+        let sol = solve_miqp(&p, BbOptions::default());
+        assert_eq!(sol.status, BbStatus::Optimal);
+        assert_close(sol.x[0], 3.0);
+    }
+
+    #[test]
+    fn mixed_binary_continuous() {
+        // min (z − 0.3)² + x, binary x, continuous z ∈ [0,1], x ≥ z (as
+        // z − x ≤ 0): optimum x = 0, z = 0 → 0.09.
+        let h = Matrix::from_diag(&[0.0, 2.0]);
+        let mut p = MiqpProblem::new(
+            h,
+            vec![1.0, -0.6],
+            vec![VarKind::Binary, VarKind::Continuous],
+        );
+        p.set_bounds(1, 0.0, 1.0);
+        p.qp.constant = 0.09;
+        p.add_le(vec![-1.0, 1.0], 0.0);
+        let sol = solve_miqp(&p, BbOptions::default());
+        assert_eq!(sol.status, BbStatus::Optimal);
+        assert_close(sol.objective, 0.09);
+        assert_close(sol.x[0], 0.0);
+    }
+
+    #[test]
+    fn nonconvex_quadratic_on_binaries_is_exact() {
+        // Indefinite Q forces the QCR path; compare against brute force.
+        let h = Matrix::from_rows(&[
+            &[0.0, 4.0, -2.0],
+            &[4.0, 0.0, 6.0],
+            &[-2.0, 6.0, 0.0],
+        ]);
+        let mut p = MiqpProblem::new(h, vec![-1.0, -1.0, -1.0], vec![VarKind::Binary; 3]);
+        p.add_le(vec![1.0, 1.0, 1.0], 2.0);
+        let sol = solve_miqp(&p, BbOptions::default());
+        assert_eq!(sol.status, BbStatus::Optimal);
+        let (_, bobj) = brute_force(&p).unwrap();
+        assert_close(sol.objective, bobj);
+    }
+
+    #[test]
+    fn cannot_convexify_reported() {
+        // Concave curvature on an Integer variable: the binary μ-trick does
+        // not apply and the solver must refuse rather than mis-solve.
+        let h = Matrix::from_diag(&[-2.0]);
+        let mut p = MiqpProblem::new(h, vec![0.0], vec![VarKind::Integer]);
+        p.set_bounds(0, 0.0, 10.0);
+        let sol = solve_miqp(&p, BbOptions::default());
+        assert_eq!(sol.status, BbStatus::CannotConvexify);
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent() {
+        let h = Matrix::zeros(6, 6);
+        let mut p = MiqpProblem::new(h, vec![1.0; 6], vec![VarKind::Binary; 6]);
+        p.add_eq(vec![1.0; 6], 3.0);
+        let sol = solve_miqp(
+            &p,
+            BbOptions {
+                max_nodes: 1,
+                ..Default::default()
+            },
+        );
+        // With one node we may or may not find an incumbent, but must not
+        // claim optimality... unless the root relaxation was already integral.
+        if sol.status == BbStatus::Optimal {
+            assert_close(sol.objective, 3.0);
+        } else {
+            assert_eq!(sol.status, BbStatus::NodeLimit);
+        }
+    }
+
+    #[test]
+    fn random_instances_match_brute_force() {
+        // Deterministic LCG-driven random 6-binary indefinite QPs.
+        let mut seed = 42u64;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) * 2.0 - 1.0
+        };
+        for trial in 0..10 {
+            let n = 6;
+            let mut h = Matrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    h[(r, c)] = (rng() * 4.0).round();
+                }
+            }
+            h.symmetrize();
+            let c: Vec<f64> = (0..n).map(|_| (rng() * 4.0).round()).collect();
+            let mut p = MiqpProblem::new(h, c, vec![VarKind::Binary; n]);
+            p.add_le(vec![1.0; n], (n as f64) - 2.0);
+            let sol = solve_miqp(&p, BbOptions::default());
+            let (_, bobj) = brute_force(&p).unwrap();
+            assert_eq!(sol.status, BbStatus::Optimal, "trial {trial}");
+            assert!(
+                (sol.objective - bobj).abs() < 1e-5,
+                "trial {trial}: bb {} vs brute {}",
+                sol.objective,
+                bobj
+            );
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Dense two-phase primal simplex.
+//!
+//! Standard form accepted here: `min cᵀx` subject to `a_iᵀ x {≤,=,≥} b_i`
+//! and `x ≥ 0`. This is the phase-1 engine for the active-set QP solver
+//! (finding a feasible vertex of a polytope) and a fallback for purely
+//! linear objectives.
+//!
+//! Implementation notes:
+//! * rows are normalized to `b ≥ 0`; slack, surplus and artificial columns
+//!   are appended as needed;
+//! * phase 1 minimizes the sum of artificials, phase 2 the true objective
+//!   with artificials barred from re-entering the basis;
+//! * Dantzig pricing with an automatic switch to Bland's rule after a
+//!   degeneracy streak, which guarantees termination.
+
+use crate::FEAS_TOL;
+
+/// Row sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `aᵀx ≤ b`
+    Le,
+    /// `aᵀx = b`
+    Eq,
+    /// `aᵀx ≥ b`
+    Ge,
+}
+
+/// A linear program in `min cᵀx, x ≥ 0` form.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Objective coefficients (length = number of structural variables).
+    pub objective: Vec<f64>,
+    /// Constraint rows: coefficient vector, sense, right-hand side.
+    pub rows: Vec<(Vec<f64>, Relation, f64)>,
+}
+
+/// Termination status of a simplex solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// Iteration limit hit (should not happen with Bland's rule; reported
+    /// rather than looping forever).
+    IterationLimit,
+}
+
+/// Result of a simplex solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Values of the structural variables (valid when `status == Optimal`).
+    pub x: Vec<f64>,
+    /// Objective value `cᵀx` (valid when `status == Optimal`).
+    pub objective: f64,
+    /// Simplex pivots performed across both phases.
+    pub iterations: usize,
+}
+
+impl LpProblem {
+    /// Creates an LP with the given objective and no rows yet.
+    pub fn new(objective: Vec<f64>) -> Self {
+        LpProblem {
+            objective,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint row.
+    ///
+    /// # Panics
+    /// Panics if the coefficient vector length differs from the objective's.
+    pub fn add_row(&mut self, coeffs: Vec<f64>, rel: Relation, rhs: f64) {
+        assert_eq!(
+            coeffs.len(),
+            self.objective.len(),
+            "LpProblem::add_row: coefficient length mismatch"
+        );
+        self.rows.push((coeffs, rel, rhs));
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Solves the LP with the two-phase simplex method.
+    pub fn solve(&self) -> LpSolution {
+        Tableau::build(self).solve()
+    }
+}
+
+/// Dense simplex tableau with explicit basis bookkeeping.
+struct Tableau {
+    /// `m × total_cols` constraint matrix (slacks/artificials appended).
+    a: Vec<Vec<f64>>,
+    /// Right-hand sides, kept ≥ 0.
+    b: Vec<f64>,
+    /// Phase-2 objective over all columns (zeros for slack/artificial).
+    cost: Vec<f64>,
+    /// Basis: for each row, the column currently basic in it.
+    basis: Vec<usize>,
+    /// Index of the first artificial column (columns ≥ this are artificial).
+    art_start: usize,
+    /// Number of structural variables.
+    n_struct: usize,
+    iterations: usize,
+}
+
+/// Hard pivot cap; `3·(m+n)²` pivots is far beyond what these dense problems
+/// need, so hitting it indicates a bug rather than a big instance.
+fn iteration_cap(m: usize, n: usize) -> usize {
+    3 * (m + n) * (m + n) + 1000
+}
+
+/// Consecutive degenerate (zero-step) pivots tolerated before switching to
+/// Bland's anti-cycling rule.
+const DEGENERATE_STREAK: usize = 30;
+
+impl Tableau {
+    fn build(p: &LpProblem) -> Tableau {
+        let m = p.rows.len();
+        let n = p.num_vars();
+        // Count auxiliary columns.
+        let mut n_slack = 0usize; // slack or surplus
+        let mut n_art = 0usize;
+        for (_, rel, rhs) in &p.rows {
+            // After normalizing to b >= 0, Le rows get a slack (basic),
+            // Ge rows get surplus + artificial, Eq rows get artificial.
+            let rel = normalized_rel(*rel, *rhs);
+            match rel {
+                Relation::Le => n_slack += 1,
+                Relation::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Relation::Eq => n_art += 1,
+            }
+        }
+        let total = n + n_slack + n_art;
+        let art_start = n + n_slack;
+
+        let mut a = vec![vec![0.0; total]; m];
+        let mut b = vec![0.0; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_idx = n;
+        let mut art_idx = art_start;
+
+        for (r, (coeffs, rel, rhs)) in p.rows.iter().enumerate() {
+            let flip = *rhs < 0.0;
+            let sgn = if flip { -1.0 } else { 1.0 };
+            for (j, v) in coeffs.iter().enumerate() {
+                a[r][j] = sgn * v;
+            }
+            b[r] = sgn * rhs;
+            match normalized_rel(*rel, *rhs) {
+                Relation::Le => {
+                    a[r][slack_idx] = 1.0;
+                    basis[r] = slack_idx;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    a[r][slack_idx] = -1.0; // surplus
+                    slack_idx += 1;
+                    a[r][art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+                Relation::Eq => {
+                    a[r][art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+
+        let mut cost = vec![0.0; total];
+        cost[..n].copy_from_slice(&p.objective);
+
+        Tableau {
+            a,
+            b,
+            cost,
+            basis,
+            art_start,
+            n_struct: n,
+            iterations: 0,
+        }
+    }
+
+    fn solve(mut self) -> LpSolution {
+        let m = self.a.len();
+        let total = self.a.first().map_or(0, |r| r.len());
+
+        // ---- Phase 1: minimize the sum of artificials. ----
+        if self.art_start < total {
+            let phase1_cost: Vec<f64> = (0..total)
+                .map(|j| if j >= self.art_start { 1.0 } else { 0.0 })
+                .collect();
+            match self.run_phase(&phase1_cost, true) {
+                PhaseOutcome::Optimal(obj) => {
+                    if obj > FEAS_TOL {
+                        return self.finish(LpStatus::Infeasible);
+                    }
+                }
+                PhaseOutcome::Unbounded => {
+                    // Phase-1 objective is bounded below by zero; unbounded
+                    // here means numerical trouble. Report infeasible.
+                    return self.finish(LpStatus::Infeasible);
+                }
+                PhaseOutcome::IterationLimit => {
+                    return self.finish(LpStatus::IterationLimit);
+                }
+            }
+            // Drive any artificial still basic (at value 0) out of the basis
+            // where a structural pivot exists; otherwise the row is redundant
+            // and harmless.
+            for r in 0..m {
+                if self.basis[r] >= self.art_start {
+                    if let Some(j) = (0..self.art_start)
+                        .find(|&j| self.a[r][j].abs() > 1e-9)
+                    {
+                        self.pivot(r, j);
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 2: true objective, artificials barred. ----
+        let cost = self.cost.clone();
+        let status = match self.run_phase(&cost, false) {
+            PhaseOutcome::Optimal(_) => LpStatus::Optimal,
+            PhaseOutcome::Unbounded => LpStatus::Unbounded,
+            PhaseOutcome::IterationLimit => LpStatus::IterationLimit,
+        };
+        self.finish(status)
+    }
+
+    /// Runs primal simplex with the given cost vector. `allow_art` permits
+    /// artificial columns to participate (phase 1 only).
+    fn run_phase(&mut self, cost: &[f64], allow_art: bool) -> PhaseOutcome {
+        let m = self.a.len();
+        let total = cost.len();
+        let cap = iteration_cap(m, total);
+        let mut degenerate_streak = 0usize;
+
+        loop {
+            if self.iterations > cap {
+                return PhaseOutcome::IterationLimit;
+            }
+            // Reduced costs: r_j = c_j − c_Bᵀ B⁻¹ a_j. With an explicit
+            // tableau the matrix already is B⁻¹A, so r_j = c_j − Σ_r c_{B(r)} a[r][j].
+            let mut reduced = cost.to_vec();
+            for r in 0..m {
+                let cb = cost[self.basis[r]];
+                if cb != 0.0 {
+                    for (j, rj) in reduced.iter_mut().enumerate() {
+                        *rj -= cb * self.a[r][j];
+                    }
+                }
+            }
+
+            let use_bland = degenerate_streak >= DEGENERATE_STREAK;
+            let entering = self.choose_entering(&reduced, allow_art, use_bland, total);
+            let Some(e) = entering else {
+                // Optimal for this phase.
+                let obj: f64 = (0..m).map(|r| cost[self.basis[r]] * self.b[r]).sum();
+                return PhaseOutcome::Optimal(obj);
+            };
+
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..m {
+                let arj = self.a[r][e];
+                if arj > 1e-9 {
+                    let ratio = self.b[r] / arj;
+                    let better = ratio < best_ratio - 1e-12
+                        || (use_bland
+                            && (ratio - best_ratio).abs() <= 1e-12
+                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
+                    if better || leave.is_none() && ratio <= best_ratio {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(l) = leave else {
+                return PhaseOutcome::Unbounded;
+            };
+            if best_ratio <= 1e-12 {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+            self.pivot(l, e);
+            self.iterations += 1;
+        }
+    }
+
+    fn choose_entering(
+        &self,
+        reduced: &[f64],
+        allow_art: bool,
+        use_bland: bool,
+        total: usize,
+    ) -> Option<usize> {
+        let limit = if allow_art { total } else { self.art_start };
+        if use_bland {
+            (0..limit).find(|&j| reduced[j] < -FEAS_TOL)
+        } else {
+            let mut best = None;
+            let mut best_val = -FEAS_TOL;
+            for (j, &rj) in reduced.iter().enumerate().take(limit) {
+                if rj < best_val {
+                    best_val = rj;
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.a.len();
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > 1e-12, "pivot on ~zero element");
+        let inv = 1.0 / piv;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        self.b[row] *= inv;
+        for r in 0..m {
+            if r == row {
+                continue;
+            }
+            let f = self.a[r][col];
+            if f != 0.0 {
+                // Manual row update; split borrows via split_at_mut-free math.
+                let prow: Vec<f64> = self.a[row].clone();
+                for (j, v) in self.a[r].iter_mut().enumerate() {
+                    *v -= f * prow[j];
+                }
+                self.b[r] -= f * self.b[row];
+                // Clean tiny numerical residue on the pivot column.
+                self.a[r][col] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    fn finish(self, status: LpStatus) -> LpSolution {
+        let mut x = vec![0.0; self.n_struct];
+        if status == LpStatus::Optimal {
+            for (r, &bi) in self.basis.iter().enumerate() {
+                if bi < self.n_struct {
+                    x[bi] = self.b[r];
+                }
+            }
+        }
+        let objective = self
+            .cost
+            .iter()
+            .take(self.n_struct)
+            .zip(&x)
+            .map(|(c, v)| c * v)
+            .sum();
+        LpSolution {
+            status,
+            x,
+            objective,
+            iterations: self.iterations,
+        }
+    }
+}
+
+enum PhaseOutcome {
+    Optimal(f64),
+    Unbounded,
+    IterationLimit,
+}
+
+/// Row sense after normalizing the RHS to be non-negative: flipping a row's
+/// sign flips ≤ to ≥ and vice versa.
+fn normalized_rel(rel: Relation, rhs: f64) -> Relation {
+    if rhs >= 0.0 {
+        rel
+    } else {
+        match rel {
+            Relation::Le => Relation::Ge,
+            Relation::Ge => Relation::Le,
+            Relation::Eq => Relation::Eq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximization_as_min() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let mut lp = LpProblem::new(vec![-3.0, -5.0]);
+        lp.add_row(vec![1.0, 0.0], Relation::Le, 4.0);
+        lp.add_row(vec![0.0, 2.0], Relation::Le, 12.0);
+        lp.add_row(vec![3.0, 2.0], Relation::Le, 18.0);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 10, x − y = 2 → (6, 4).
+        let mut lp = LpProblem::new(vec![1.0, 1.0]);
+        lp.add_row(vec![1.0, 1.0], Relation::Eq, 10.0);
+        lp.add_row(vec![1.0, -1.0], Relation::Eq, 2.0);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], 6.0);
+        assert_close(s.x[1], 4.0);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min 2x + 3y s.t. x + y ≥ 4, x + 3y ≥ 6 → (3, 1), obj 9.
+        let mut lp = LpProblem::new(vec![2.0, 3.0]);
+        lp.add_row(vec![1.0, 1.0], Relation::Ge, 4.0);
+        lp.add_row(vec![1.0, 3.0], Relation::Ge, 6.0);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 9.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2.
+        let mut lp = LpProblem::new(vec![1.0]);
+        lp.add_row(vec![1.0], Relation::Le, 1.0);
+        lp.add_row(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(lp.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min −x with only x ≥ 0: unbounded below.
+        let lp = LpProblem::new(vec![-1.0]);
+        assert_eq!(lp.solve().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // min x s.t. −x ≤ −3  (i.e. x ≥ 3) → x = 3.
+        let mut lp = LpProblem::new(vec![1.0]);
+        lp.add_row(vec![-1.0], Relation::Le, -3.0);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], 3.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let mut lp = LpProblem::new(vec![-1.0, -1.0]);
+        lp.add_row(vec![1.0, 0.0], Relation::Le, 1.0);
+        lp.add_row(vec![0.0, 1.0], Relation::Le, 1.0);
+        lp.add_row(vec![1.0, 1.0], Relation::Le, 2.0);
+        lp.add_row(vec![1.0, 1.0], Relation::Le, 2.0);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -2.0);
+    }
+
+    #[test]
+    fn zero_objective_feasibility_probe() {
+        // The QP phase-1 use case: find any feasible point of an SOS-1 row.
+        let mut lp = LpProblem::new(vec![0.0, 0.0, 0.0]);
+        lp.add_row(vec![1.0, 1.0, 1.0], Relation::Eq, 1.0);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        let sum: f64 = s.x.iter().sum();
+        assert_close(sum, 1.0);
+        assert!(s.x.iter().all(|&v| v >= -1e-9));
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 stated twice: phase 1 must cope with the redundant row.
+        let mut lp = LpProblem::new(vec![1.0, 2.0]);
+        lp.add_row(vec![1.0, 1.0], Relation::Eq, 2.0);
+        lp.add_row(vec![1.0, 1.0], Relation::Eq, 2.0);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 2.0); // (2, 0)
+    }
+
+    #[test]
+    fn mixed_senses() {
+        // min −x − 2y s.t. x + y ≤ 4, y ≥ 1, x = 2 → (2, 2), obj −6.
+        let mut lp = LpProblem::new(vec![-1.0, -2.0]);
+        lp.add_row(vec![1.0, 1.0], Relation::Le, 4.0);
+        lp.add_row(vec![0.0, 1.0], Relation::Ge, 1.0);
+        lp.add_row(vec![1.0, 0.0], Relation::Eq, 2.0);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -6.0);
+        assert_close(s.x[1], 2.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Mixed-integer quadratic problem container and builder.
+
+use crate::qp::QpProblem;
+use ampsinf_linalg::Matrix;
+
+/// Kind of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued variable.
+    Continuous,
+    /// Integer-valued variable.
+    Integer,
+    /// 0/1 variable. In AMPS-Inf these encode the memory-block choice
+    /// `x_{j,i}` of the paper's Eq. (1).
+    Binary,
+}
+
+/// A Mixed-Integer Quadratic Program:
+/// `min ½xᵀHx + cᵀx + k` over a polyhedron with box bounds, where some
+/// variables are integer or binary.
+#[derive(Debug, Clone)]
+pub struct MiqpProblem {
+    /// The continuous relaxation data (Hessian, linear part, rows, bounds).
+    pub qp: QpProblem,
+    /// Per-variable kind; binaries get implicit `[0,1]` bounds at build time.
+    pub kinds: Vec<VarKind>,
+}
+
+impl MiqpProblem {
+    /// Creates an MIQP skeleton from Hessian, linear part and kinds.
+    ///
+    /// Binary variables automatically receive `[0, 1]` bounds.
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree.
+    pub fn new(h: Matrix, c: Vec<f64>, kinds: Vec<VarKind>) -> Self {
+        assert_eq!(c.len(), kinds.len(), "MiqpProblem: c/kinds length mismatch");
+        let mut qp = QpProblem::new(h, c);
+        for (i, k) in kinds.iter().enumerate() {
+            if *k == VarKind::Binary {
+                qp.lb[i] = 0.0;
+                qp.ub[i] = 1.0;
+            }
+        }
+        MiqpProblem { qp, kinds }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Indices of integer-or-binary variables.
+    pub fn integral_indices(&self) -> Vec<usize> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k != VarKind::Continuous)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Adds an SOS-1-style "pick exactly one" equality `Σ_{i∈group} x_i = 1`
+    /// (the paper's Eq. (1) for each lambda's memory choice).
+    pub fn add_pick_one(&mut self, group: &[usize]) {
+        let mut row = vec![0.0; self.num_vars()];
+        for &i in group {
+            row[i] = 1.0;
+        }
+        self.qp.eq.push((row, 1.0));
+    }
+
+    /// Adds a general equality row `aᵀx = b`.
+    pub fn add_eq(&mut self, a: Vec<f64>, b: f64) {
+        assert_eq!(a.len(), self.num_vars(), "add_eq: row length mismatch");
+        self.qp.eq.push((a, b));
+    }
+
+    /// Adds a general inequality row `aᵀx ≤ b`.
+    pub fn add_le(&mut self, a: Vec<f64>, b: f64) {
+        assert_eq!(a.len(), self.num_vars(), "add_le: row length mismatch");
+        self.qp.ineq.push((a, b));
+    }
+
+    /// Sets bounds for variable `i`.
+    pub fn set_bounds(&mut self, i: usize, lb: f64, ub: f64) {
+        assert!(lb <= ub, "set_bounds: lb > ub for var {i}");
+        self.qp.lb[i] = lb;
+        self.qp.ub[i] = ub;
+    }
+
+    /// Objective at a point (original, un-convexified coefficients).
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.qp.objective_at(x)
+    }
+
+    /// True if `x` is integral on all integer/binary variables (to `tol`).
+    pub fn is_integral(&self, x: &[f64], tol: f64) -> bool {
+        self.kinds.iter().zip(x).all(|(k, v)| {
+            *k == VarKind::Continuous || (v - v.round()).abs() <= tol
+        })
+    }
+
+    /// True if the quadratic coupling is confined to binary×binary entries
+    /// (the structure the QCR convexification step requires; AMPS-Inf's
+    /// per-cut programs have this shape — Eq. (12)–(14) are quadratic in the
+    /// binary memory selectors only).
+    pub fn quadratic_only_on_binaries(&self) -> bool {
+        let n = self.num_vars();
+        for r in 0..n {
+            for c in 0..n {
+                if self.qp.h[(r, c)] != 0.0
+                    && (self.kinds[r] != VarKind::Binary || self.kinds[c] != VarKind::Binary)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MiqpProblem {
+        let h = Matrix::from_diag(&[2.0, 2.0, 0.0]);
+        MiqpProblem::new(
+            h,
+            vec![1.0, -1.0, 0.5],
+            vec![VarKind::Binary, VarKind::Binary, VarKind::Continuous],
+        )
+    }
+
+    #[test]
+    fn binaries_get_unit_bounds() {
+        let p = sample();
+        assert_eq!(p.qp.lb[0], 0.0);
+        assert_eq!(p.qp.ub[0], 1.0);
+        assert_eq!(p.qp.lb[2], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn integral_indices_listed() {
+        let p = sample();
+        assert_eq!(p.integral_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn pick_one_adds_equality() {
+        let mut p = sample();
+        p.add_pick_one(&[0, 1]);
+        assert_eq!(p.qp.eq.len(), 1);
+        assert_eq!(p.qp.eq[0].0, vec![1.0, 1.0, 0.0]);
+        assert_eq!(p.qp.eq[0].1, 1.0);
+    }
+
+    #[test]
+    fn is_integral_checks_only_integral_vars() {
+        let p = sample();
+        assert!(p.is_integral(&[1.0, 0.0, 0.37], 1e-6));
+        assert!(!p.is_integral(&[0.5, 0.0, 0.37], 1e-6));
+    }
+
+    #[test]
+    fn quadratic_structure_check() {
+        // Zero diagonal entry on the continuous variable → binary-only coupling.
+        let h = Matrix::from_diag(&[2.0, 2.0, 0.0]);
+        let q = MiqpProblem::new(
+            h,
+            vec![0.0; 3],
+            vec![VarKind::Binary, VarKind::Binary, VarKind::Continuous],
+        );
+        assert!(q.quadratic_only_on_binaries());
+        let h_bad = Matrix::from_diag(&[2.0, 2.0, 1.0]);
+        let bad = MiqpProblem::new(
+            h_bad,
+            vec![0.0; 3],
+            vec![VarKind::Binary, VarKind::Binary, VarKind::Continuous],
+        );
+        assert!(!bad.quadratic_only_on_binaries());
+    }
+
+    #[test]
+    fn set_bounds_applies() {
+        let mut p = sample();
+        p.set_bounds(2, -1.0, 4.0);
+        assert_eq!(p.qp.lb[2], -1.0);
+        assert_eq!(p.qp.ub[2], 4.0);
+    }
+}

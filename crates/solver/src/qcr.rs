@@ -1,0 +1,344 @@
+//! Quadratic Convex Reformulation (the paper's Eq. 22–23).
+//!
+//! For binary `x_j`, the term `μ_j (x_j² − x_j)` vanishes at every 0/1
+//! point, so adding it leaves the MIQP's optimum unchanged while reshaping
+//! the *continuous relaxation*. Billionnet–Elloumi–Plateau (QCR, \[25\] in the
+//! paper) pick the `μ*` that maximizes the relaxation bound by solving an
+//! SDP; AMPS-Inf adopts exactly this reformulation before handing the
+//! problem to an MIQP solver.
+//!
+//! We reproduce the reformulation with two `μ` policies (no SDP solver is
+//! available offline, and the AMPS-Inf problem sizes don't need one — see
+//! DESIGN.md §1 and the `ablation_qcr` bench):
+//!
+//! * [`ConvexifyMethod::EigenShift`] — uniform `μ_j = max(0, −λ_min(Q)) + ε`
+//!   where `λ_min` is the smallest eigenvalue of the symmetrized binary
+//!   block. Always yields a convex reformulation; the classical "smallest
+//!   eigenvalue" scheme QCR improves upon.
+//! * [`ConvexifyMethod::DualRefine`] — starts from the eigen shift and
+//!   greedily lowers individual `μ_j` by coordinate search while keeping the
+//!   Hessian positive semidefinite (Cholesky certificate). Crucially,
+//!   `μ_j` may go *negative*: since `μ(x²−x)` vanishes on binaries,
+//!   curvature can be transferred into the linear term as long as PSD
+//!   holds. A smaller feasible `μ` can only increase the relaxation value
+//!   at binary-infeasible points, tightening the branch-and-bound root gap
+//!   — on separable (diagonal) objectives the refinement linearizes the
+//!   problem completely, whose SOS-1 relaxations then solve integrally.
+//!   This is the practical payoff of the paper's QCR step: AMPS-Inf's
+//!   per-cut programs are diagonal (Eq. 12), and without the reformulation
+//!   their relaxations spread mass across each memory group and
+//!   branch-and-bound degrades toward enumeration (see the `ablation_qcr`
+//!   bench).
+
+use crate::problem::{MiqpProblem, VarKind};
+use ampsinf_linalg::{Cholesky, Matrix, SymmetricEigen};
+
+/// Which `μ` policy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvexifyMethod {
+    /// Uniform smallest-eigenvalue shift (always safe).
+    EigenShift,
+    /// Eigen shift followed by per-coordinate reduction (tighter bound).
+    #[default]
+    DualRefine,
+}
+
+/// Result of convexification: a problem whose continuous relaxation is
+/// convex and whose objective agrees with the original at binary points.
+#[derive(Debug, Clone)]
+pub struct Convexified {
+    /// The reformulated problem (same constraints, same kinds).
+    pub problem: MiqpProblem,
+    /// Per-variable diagonal perturbation actually applied (0 for
+    /// non-binary variables).
+    pub mu: Vec<f64>,
+    /// The method used.
+    pub method: ConvexifyMethod,
+}
+
+/// Safety margin added above the exact eigenvalue shift.
+const SHIFT_EPS: f64 = 1e-9;
+
+/// Convexifies `p` by a diagonal binary perturbation.
+///
+/// Requires the quadratic coupling to be confined to the binary block (the
+/// AMPS-Inf per-cut structure, see
+/// [`MiqpProblem::quadratic_only_on_binaries`]); returns `None` otherwise —
+/// callers must then restructure their formulation.
+pub fn convexify(p: &MiqpProblem, method: ConvexifyMethod) -> Option<Convexified> {
+    let n = p.num_vars();
+    // Already-convex Hessians need no perturbation for correctness,
+    // whatever the variable kinds. Under EigenShift that is the final
+    // answer; DualRefine still improves binary-diagonal curvature below.
+    let already_convex = if n > 0 {
+        let mut h = p.qp.h.clone();
+        h.symmetrize();
+        SymmetricEigen::min_eigenvalue(&h)
+            .map(|lam| lam >= -1e-10 * (1.0 + h.norm_fro()))
+            .unwrap_or(false)
+    } else {
+        true
+    };
+    if already_convex && (method == ConvexifyMethod::EigenShift || !p.quadratic_only_on_binaries())
+    {
+        return Some(Convexified {
+            problem: p.clone(),
+            mu: vec![0.0; n],
+            method,
+        });
+    }
+    // Nonconvex coupling must be confined to the binary block for the
+    // μ(x²−x) trick to preserve the objective on the integer lattice.
+    if !p.quadratic_only_on_binaries() {
+        return None;
+    }
+    let bins: Vec<usize> = p
+        .kinds
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| **k == VarKind::Binary)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut mu = vec![0.0; n];
+    if !bins.is_empty() {
+        // Extract the symmetric binary block of the ½xᵀHx Hessian.
+        let nb = bins.len();
+        let mut block = Matrix::zeros(nb, nb);
+        for (r, &ir) in bins.iter().enumerate() {
+            for (c, &ic) in bins.iter().enumerate() {
+                block[(r, c)] = p.qp.h[(ir, ic)];
+            }
+        }
+        block.symmetrize();
+        let lam_min = SymmetricEigen::min_eigenvalue(&block).ok()?;
+        // ½xᵀHx convention: adding μ_j(x_j²−x_j) adds 2μ_j to H_jj and −μ_j
+        // to c_j. PSD needs H_jj shifted by ≥ −λ_min, i.e. μ_j ≥ −λ_min/2.
+        let base = if lam_min < 0.0 {
+            -lam_min / 2.0 + SHIFT_EPS
+        } else {
+            0.0
+        };
+        for &i in &bins {
+            mu[i] = base;
+        }
+
+        if method == ConvexifyMethod::DualRefine {
+            refine_mu(&block, &bins, &mut mu);
+        }
+    }
+
+    let mut problem = p.clone();
+    for &i in &bins {
+        problem.qp.h[(i, i)] += 2.0 * mu[i];
+        problem.qp.c[i] -= mu[i];
+    }
+    Some(Convexified {
+        problem,
+        mu,
+        method,
+    })
+}
+
+/// Coordinate search: lower each `μ_j` as far as PSD allows (bisection
+/// with a Cholesky certificate), a few passes. `μ_j` may go negative down
+/// to `−H_jj/2` — the point where the perturbed diagonal reaches zero,
+/// which is the hard PSD necessity. `block` is the original binary Hessian
+/// block; `mu` holds the current per-variable shifts.
+fn refine_mu(block: &Matrix, bins: &[usize], mu: &mut [f64]) {
+    let nb = bins.len();
+    let shifted = |mu: &[f64]| -> Matrix {
+        let mut m = block.clone();
+        for (r, &ir) in bins.iter().enumerate() {
+            m[(r, r)] += 2.0 * mu[ir];
+        }
+        m
+    };
+    const PASSES: usize = 3;
+    const BISECTIONS: usize = 24;
+    for _ in 0..PASSES {
+        let mut changed = false;
+        for k in 0..nb {
+            let i = bins[k];
+            // PSD requires the perturbed diagonal to stay ≥ 0:
+            // block_kk + 2μ ≥ 0 ⇔ μ ≥ −block_kk/2.
+            let floor = -0.5 * block[(k, k)];
+            if mu[i] <= floor + 1e-15 {
+                continue;
+            }
+            let mut lo = floor;
+            let mut hi = mu[i];
+            let mut trial = mu.to_vec();
+            trial[i] = lo;
+            if Cholesky::is_spd(&regularized(&shifted(&trial))) {
+                mu[i] = lo;
+                changed = true;
+                continue;
+            }
+            for _ in 0..BISECTIONS {
+                let mid = 0.5 * (lo + hi);
+                trial[i] = mid;
+                if Cholesky::is_spd(&regularized(&shifted(&trial))) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            if hi < mu[i] - 1e-12 {
+                mu[i] = hi;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Tiny diagonal regularization so the PSD certificate tolerates exact
+/// semidefiniteness at the boundary.
+fn regularized(m: &Matrix) -> Matrix {
+    let mut r = m.clone();
+    r.shift_diagonal(1e-9 * (1.0 + m.norm_fro()));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampsinf_linalg::Matrix;
+
+    /// Indefinite 2-binary problem: H = [[0,6],[6,0]] (λ = ±6).
+    fn indefinite() -> MiqpProblem {
+        let h = Matrix::from_rows(&[&[0.0, 6.0], &[6.0, 0.0]]);
+        MiqpProblem::new(h, vec![-1.0, -2.0], vec![VarKind::Binary, VarKind::Binary])
+    }
+
+    #[test]
+    fn objective_preserved_at_binary_points() {
+        let p = indefinite();
+        for method in [ConvexifyMethod::EigenShift, ConvexifyMethod::DualRefine] {
+            let conv = convexify(&p, method).unwrap();
+            for x in [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] {
+                let orig = p.objective_at(&x);
+                let reform = conv.problem.objective_at(&x);
+                assert!(
+                    (orig - reform).abs() < 1e-9,
+                    "{method:?} changed objective at {x:?}: {orig} vs {reform}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reformulated_hessian_is_psd() {
+        let p = indefinite();
+        for method in [ConvexifyMethod::EigenShift, ConvexifyMethod::DualRefine] {
+            let conv = convexify(&p, method).unwrap();
+            let mut h = conv.problem.qp.h.clone();
+            h.symmetrize();
+            let lam = SymmetricEigen::min_eigenvalue(&h).unwrap();
+            assert!(lam >= -1e-8, "{method:?}: λmin = {lam}");
+        }
+    }
+
+    #[test]
+    fn already_convex_problem_untouched_by_eigen_shift() {
+        let h = Matrix::from_diag(&[2.0, 4.0]);
+        let p = MiqpProblem::new(h, vec![0.0, 0.0], vec![VarKind::Binary, VarKind::Binary]);
+        let conv = convexify(&p, ConvexifyMethod::EigenShift).unwrap();
+        assert_eq!(conv.mu, vec![0.0, 0.0]);
+        assert_eq!(conv.problem.qp.h, p.qp.h);
+    }
+
+    #[test]
+    fn dual_refine_linearizes_diagonal_binary_quadratics() {
+        // The QCR tightening on a separable convex objective: μ_j = −Q_j/2
+        // zeroes the Hessian and folds the curvature into the linear term,
+        // exactly preserving binary objectives.
+        let h = Matrix::from_diag(&[2.0, 4.0]);
+        let p = MiqpProblem::new(h, vec![1.0, -1.0], vec![VarKind::Binary, VarKind::Binary]);
+        let conv = convexify(&p, ConvexifyMethod::DualRefine).unwrap();
+        assert!(conv.mu[0] < 0.0 && conv.mu[1] < 0.0, "{:?}", conv.mu);
+        assert!(conv.problem.qp.h.norm_fro() < 1e-6, "Hessian should vanish");
+        for x in [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] {
+            assert!((conv.problem.objective_at(&x) - p.objective_at(&x)).abs() < 1e-7);
+        }
+        // And the relaxation is tighter at fractional points.
+        assert!(
+            conv.problem.objective_at(&[0.5, 0.5]) > p.objective_at(&[0.5, 0.5]) - 1e-9
+        );
+    }
+
+    #[test]
+    fn relaxation_optimum_lower_bounds_binary_optimum() {
+        // The *minimum* of the convexified relaxation over [0,1]² must
+        // lower-bound the binary optimum (this is the bound B&B prunes on).
+        let p = indefinite();
+        let conv = convexify(&p, ConvexifyMethod::EigenShift).unwrap();
+        let binary_best = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]]
+            .iter()
+            .map(|x| p.objective_at(x.as_slice()))
+            .fold(f64::INFINITY, f64::min);
+        let rel = conv.problem.qp.solve();
+        assert_eq!(rel.status, crate::qp::QpStatus::Optimal);
+        assert!(
+            rel.objective <= binary_best + 1e-7,
+            "relaxation {} above binary best {}",
+            rel.objective,
+            binary_best
+        );
+    }
+
+    #[test]
+    fn dual_refine_bound_at_least_as_tight() {
+        // At any fractional point, the DualRefine objective (smaller μ)
+        // is ≥ the EigenShift objective: tighter relaxation.
+        let p = indefinite();
+        let eig = convexify(&p, ConvexifyMethod::EigenShift).unwrap();
+        let refi = convexify(&p, ConvexifyMethod::DualRefine).unwrap();
+        for x in [[0.5, 0.5], [0.25, 0.75], [0.9, 0.1]] {
+            let a = eig.problem.objective_at(&x);
+            let b = refi.problem.objective_at(&x);
+            assert!(b >= a - 1e-7, "refined bound looser at {x:?}: {b} < {a}");
+        }
+    }
+
+    #[test]
+    fn rejects_nonconvex_non_binary_quadratics() {
+        // Concave curvature on a continuous variable cannot be repaired by
+        // a binary diagonal perturbation.
+        let h = Matrix::from_diag(&[1.0, -1.0]);
+        let p = MiqpProblem::new(
+            h,
+            vec![0.0, 0.0],
+            vec![VarKind::Binary, VarKind::Continuous],
+        );
+        assert!(convexify(&p, ConvexifyMethod::EigenShift).is_none());
+    }
+
+    #[test]
+    fn convex_quadratic_on_non_binaries_is_identity() {
+        // PSD Hessian touching continuous/integer vars: no μ needed.
+        let h = Matrix::from_diag(&[1.0, 1.0]);
+        let p = MiqpProblem::new(
+            h,
+            vec![0.0, 0.0],
+            vec![VarKind::Integer, VarKind::Continuous],
+        );
+        let conv = convexify(&p, ConvexifyMethod::DualRefine).unwrap();
+        assert_eq!(conv.mu, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn no_binaries_is_identity() {
+        let h = Matrix::zeros(2, 2);
+        let p = MiqpProblem::new(
+            h,
+            vec![1.0, 2.0],
+            vec![VarKind::Continuous, VarKind::Integer],
+        );
+        let conv = convexify(&p, ConvexifyMethod::DualRefine).unwrap();
+        assert_eq!(conv.mu, vec![0.0, 0.0]);
+    }
+}

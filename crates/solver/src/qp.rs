@@ -1,0 +1,675 @@
+//! Primal active-set solver for convex quadratic programs.
+//!
+//! Solves
+//! ```text
+//! min  ½ xᵀHx + cᵀx + k
+//! s.t. Aeq x = beq
+//!      Ain x ≤ bin
+//!      lb ≤ x ≤ ub        (entries may be ±∞)
+//! ```
+//! with `H` symmetric positive semidefinite (the QCR step in [`crate::qcr`]
+//! guarantees this for the relaxations branch-and-bound feeds in).
+//!
+//! The method is the textbook primal active set (Nocedal & Wright,
+//! Alg. 16.3): maintain a working set of active constraints, solve the
+//! equality-constrained subproblem via its KKT system, take the longest
+//! feasible step, and add/drop constraints based on blocking and multiplier
+//! signs. A feasible starting point is produced by a zero-objective phase-1
+//! run of the [`crate::lp`] simplex.
+
+use crate::lp::{LpProblem, LpSolution, LpStatus, Relation};
+use crate::FEAS_TOL;
+use ampsinf_linalg::{vector, Lu, Matrix};
+
+/// A convex QP instance.
+#[derive(Debug, Clone)]
+pub struct QpProblem {
+    /// Symmetric PSD Hessian (`n × n`).
+    pub h: Matrix,
+    /// Linear coefficients (length `n`).
+    pub c: Vec<f64>,
+    /// Constant objective offset.
+    pub constant: f64,
+    /// Equality rows `(a, b)`: `aᵀx = b`.
+    pub eq: Vec<(Vec<f64>, f64)>,
+    /// Inequality rows `(a, b)`: `aᵀx ≤ b`.
+    pub ineq: Vec<(Vec<f64>, f64)>,
+    /// Lower bounds (may be `f64::NEG_INFINITY`).
+    pub lb: Vec<f64>,
+    /// Upper bounds (may be `f64::INFINITY`).
+    pub ub: Vec<f64>,
+}
+
+/// Termination status of a QP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpStatus {
+    /// KKT point found (global optimum for convex `H`).
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// Iteration cap reached; `x` holds the best feasible iterate.
+    IterationLimit,
+}
+
+/// Result of a QP solve.
+#[derive(Debug, Clone)]
+pub struct QpSolution {
+    /// Termination status.
+    pub status: QpStatus,
+    /// Primal point (feasible whenever status isn't `Infeasible`).
+    pub x: Vec<f64>,
+    /// Objective value at `x`, including the constant offset.
+    pub objective: f64,
+    /// Active-set iterations performed.
+    pub iterations: usize,
+}
+
+/// An entry of the active-set working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WsEntry {
+    /// Inequality row index, active as equality.
+    Ineq(usize),
+    /// Variable at its lower bound.
+    Lower(usize),
+    /// Variable at its upper bound.
+    Upper(usize),
+}
+
+impl QpProblem {
+    /// Creates an unconstrained QP skeleton; push constraints/bounds after.
+    pub fn new(h: Matrix, c: Vec<f64>) -> Self {
+        let n = c.len();
+        assert_eq!(h.rows(), n, "QpProblem: H and c dimension mismatch");
+        assert!(h.is_square(), "QpProblem: H must be square");
+        QpProblem {
+            h,
+            c,
+            constant: 0.0,
+            eq: Vec::new(),
+            ineq: Vec::new(),
+            lb: vec![f64::NEG_INFINITY; n],
+            ub: vec![f64::INFINITY; n],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Objective value at `x` (including constant offset).
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        0.5 * self.h.quad_form(x) + vector::dot(&self.c, x) + self.constant
+    }
+
+    /// Max constraint violation at `x` (0 = feasible).
+    pub fn violation(&self, x: &[f64]) -> f64 {
+        let mut v = 0.0f64;
+        for (a, b) in &self.eq {
+            v = v.max((vector::dot(a, x) - b).abs());
+        }
+        for (a, b) in &self.ineq {
+            v = v.max(vector::dot(a, x) - b);
+        }
+        for i in 0..x.len() {
+            v = v.max(self.lb[i] - x[i]).max(x[i] - self.ub[i]);
+        }
+        v.max(0.0)
+    }
+
+    /// True when `x` satisfies all constraints to tolerance.
+    pub fn is_feasible(&self, x: &[f64]) -> bool {
+        self.violation(x) <= 10.0 * FEAS_TOL
+    }
+
+    /// Solves the QP.
+    pub fn solve(&self) -> QpSolution {
+        let n = self.num_vars();
+        // Fast-path: all variables fixed by bounds.
+        if (0..n).all(|i| (self.ub[i] - self.lb[i]).abs() <= 1e-12) {
+            let x: Vec<f64> = self.lb.clone();
+            let status = if self.is_feasible(&x) {
+                QpStatus::Optimal
+            } else {
+                QpStatus::Infeasible
+            };
+            return QpSolution {
+                objective: self.objective_at(&x),
+                status,
+                x,
+                iterations: 0,
+            };
+        }
+
+        let Some(x0) = self.find_feasible_start() else {
+            return QpSolution {
+                status: QpStatus::Infeasible,
+                x: vec![0.0; n],
+                objective: f64::INFINITY,
+                iterations: 0,
+            };
+        };
+        self.active_set(x0)
+    }
+
+    /// Phase-1: find any feasible point via the simplex on shifted/split
+    /// variables (LP requires `x ≥ 0`).
+    fn find_feasible_start(&self) -> Option<Vec<f64>> {
+        let n = self.num_vars();
+        // Map each variable to LP columns. Finite lb: one shifted column.
+        // Free below: split into plus/minus pair.
+        #[derive(Clone, Copy)]
+        enum MapKind {
+            Shifted { col: usize, lb: f64 },
+            Split { plus: usize, minus: usize },
+        }
+        let mut map = Vec::with_capacity(n);
+        let mut ncols = 0usize;
+        for i in 0..n {
+            if self.lb[i].is_finite() {
+                map.push(MapKind::Shifted {
+                    col: ncols,
+                    lb: self.lb[i],
+                });
+                ncols += 1;
+            } else {
+                map.push(MapKind::Split {
+                    plus: ncols,
+                    minus: ncols + 1,
+                });
+                ncols += 2;
+            }
+        }
+
+        let expand = |a: &[f64], row: &mut Vec<f64>, rhs_shift: &mut f64| {
+            for i in 0..n {
+                match map[i] {
+                    MapKind::Shifted { col, lb } => {
+                        row[col] += a[i];
+                        *rhs_shift += a[i] * lb;
+                    }
+                    MapKind::Split { plus, minus } => {
+                        row[plus] += a[i];
+                        row[minus] -= a[i];
+                    }
+                }
+            }
+        };
+
+        let mut lp = LpProblem::new(vec![0.0; ncols]);
+        for (a, b) in &self.eq {
+            let mut row = vec![0.0; ncols];
+            let mut shift = 0.0;
+            expand(a, &mut row, &mut shift);
+            lp.add_row(row, Relation::Eq, b - shift);
+        }
+        for (a, b) in &self.ineq {
+            let mut row = vec![0.0; ncols];
+            let mut shift = 0.0;
+            expand(a, &mut row, &mut shift);
+            lp.add_row(row, Relation::Le, b - shift);
+        }
+        // Upper bounds become rows over the mapped columns.
+        for i in 0..n {
+            if self.ub[i].is_finite() {
+                let mut a = vec![0.0; n];
+                a[i] = 1.0;
+                let mut row = vec![0.0; ncols];
+                let mut shift = 0.0;
+                expand(&a, &mut row, &mut shift);
+                lp.add_row(row, Relation::Le, self.ub[i] - shift);
+            }
+        }
+
+        let sol: LpSolution = lp.solve();
+        if sol.status != LpStatus::Optimal {
+            return None;
+        }
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            x[i] = match map[i] {
+                MapKind::Shifted { col, lb } => lb + sol.x[col],
+                MapKind::Split { plus, minus } => sol.x[plus] - sol.x[minus],
+            };
+            // Kill 1e-12-scale bound violations from the simplex.
+            x[i] = x[i].clamp(self.lb[i], self.ub[i]);
+        }
+        if self.is_feasible(&x) {
+            Some(x)
+        } else {
+            None
+        }
+    }
+
+    /// Primal active-set loop from a feasible `x0`.
+    fn active_set(&self, mut x: Vec<f64>) -> QpSolution {
+        let n = self.num_vars();
+        let neq = self.eq.len();
+        let cap = 100 * (n + neq + self.ineq.len()) + 200;
+
+        // Initial working set: constraints active at x0.
+        let mut ws: Vec<WsEntry> = Vec::new();
+        for (k, (a, b)) in self.ineq.iter().enumerate() {
+            if (vector::dot(a, &x) - b).abs() <= FEAS_TOL {
+                ws.push(WsEntry::Ineq(k));
+            }
+        }
+        for i in 0..n {
+            let fixed = (self.ub[i] - self.lb[i]).abs() <= 1e-12;
+            if self.lb[i].is_finite() && (x[i] - self.lb[i]).abs() <= FEAS_TOL {
+                ws.push(WsEntry::Lower(i));
+            } else if !fixed && self.ub[i].is_finite() && (x[i] - self.ub[i]).abs() <= FEAS_TOL {
+                ws.push(WsEntry::Upper(i));
+            }
+        }
+
+        let mut iterations = 0usize;
+        // Anti-cycling: after a streak of zero-length (degenerate) steps,
+        // switch constraint selection to Bland's lowest-identifier rule,
+        // which provably terminates for the simplex-like degenerate case.
+        let mut degenerate_streak = 0usize;
+        const BLAND_AFTER: usize = 20;
+        loop {
+            if iterations > cap {
+                return QpSolution {
+                    status: QpStatus::IterationLimit,
+                    objective: self.objective_at(&x),
+                    x,
+                    iterations,
+                };
+            }
+            iterations += 1;
+            let bland = degenerate_streak >= BLAND_AFTER;
+
+            // Gradient at current x.
+            let mut g = self.h.matvec(&x);
+            vector::axpy(1.0, &self.c, &mut g);
+
+            let Some((p, lambda)) = self.solve_eqp(&g, &ws) else {
+                // Degenerate working set: drop the newest inequality entry.
+                if ws.pop().is_none() {
+                    // Unconstrained singular KKT despite ridge — should not
+                    // happen; return what we have.
+                    return QpSolution {
+                        status: QpStatus::IterationLimit,
+                        objective: self.objective_at(&x),
+                        x,
+                        iterations,
+                    };
+                }
+                continue;
+            };
+
+            let p_norm = vector::norm_inf(&p);
+            if p_norm <= 1e-9 {
+                // Stationary on the working set; check multipliers.
+                match most_negative_multiplier(&ws, &lambda, neq, bland) {
+                    None => {
+                        return QpSolution {
+                            status: QpStatus::Optimal,
+                            objective: self.objective_at(&x),
+                            x,
+                            iterations,
+                        };
+                    }
+                    Some(idx) => {
+                        ws.remove(idx);
+                        continue;
+                    }
+                }
+            }
+
+            // Longest feasible step along p.
+            let (alpha, blocking) = self.max_step(&x, &p, &ws, bland);
+            let step = alpha.min(1.0);
+            vector::axpy(step, &p, &mut x);
+            // Numerical hygiene: snap onto bounds we are at.
+            for i in 0..n {
+                x[i] = x[i].clamp(self.lb[i], self.ub[i]);
+            }
+            if step * p_norm <= 1e-12 {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+
+            if alpha < 1.0 {
+                if let Some(entry) = blocking {
+                    if !ws.contains(&entry) {
+                        ws.push(entry);
+                    }
+                }
+            } else {
+                // Full step: λ from this EQP are the multipliers at x + p.
+                match most_negative_multiplier(&ws, &lambda, neq, bland) {
+                    None => {
+                        return QpSolution {
+                            status: QpStatus::Optimal,
+                            objective: self.objective_at(&x),
+                            x,
+                            iterations,
+                        };
+                    }
+                    Some(idx) => {
+                        ws.remove(idx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solves the equality-constrained subproblem
+    /// `min ½pᵀHp + gᵀp  s.t.  (active gradients)·p = 0`
+    /// returning `(p, multipliers)`. Multipliers are ordered: equality rows
+    /// first, then working-set entries in `ws` order. Returns `None` when
+    /// the KKT matrix is singular (dependent working set).
+    fn solve_eqp(&self, g: &[f64], ws: &[WsEntry]) -> Option<(Vec<f64>, Vec<f64>)> {
+        let n = self.num_vars();
+        let neq = self.eq.len();
+        let m = neq + ws.len();
+        let dim = n + m;
+        let mut kkt = Matrix::zeros(dim, dim);
+        for r in 0..n {
+            for c in 0..n {
+                kkt[(r, c)] = self.h[(r, c)];
+            }
+            // Tiny ridge keeps the KKT nonsingular when H is only PSD
+            // (e.g. zero curvature on linear variables). The perturbation is
+            // orders of magnitude below branching tolerances.
+            kkt[(r, r)] += 1e-10;
+        }
+        let put_row = |kkt: &mut Matrix, idx: usize, grad: &[f64]| {
+            for c in 0..n {
+                kkt[(n + idx, c)] = grad[c];
+                kkt[(c, n + idx)] = grad[c];
+            }
+        };
+        for (k, (a, _)) in self.eq.iter().enumerate() {
+            put_row(&mut kkt, k, a);
+        }
+        let mut e = vec![0.0; n];
+        for (k, entry) in ws.iter().enumerate() {
+            match entry {
+                WsEntry::Ineq(r) => put_row(&mut kkt, neq + k, &self.ineq[*r].0),
+                WsEntry::Lower(i) => {
+                    e.fill(0.0);
+                    e[*i] = -1.0;
+                    put_row(&mut kkt, neq + k, &e);
+                }
+                WsEntry::Upper(i) => {
+                    e.fill(0.0);
+                    e[*i] = 1.0;
+                    put_row(&mut kkt, neq + k, &e);
+                }
+            }
+        }
+        let mut rhs = vec![0.0; dim];
+        for i in 0..n {
+            rhs[i] = -g[i];
+        }
+        let lu = Lu::factor(&kkt).ok()?;
+        let sol = lu.solve(&rhs);
+        let p = sol[..n].to_vec();
+        let lambda = sol[n..].to_vec();
+        Some((p, lambda))
+    }
+
+    /// Longest feasible step along `p` and the constraint that blocks it.
+    /// Under `bland`, ties among blocking constraints resolve to the lowest
+    /// identifier (anti-cycling).
+    fn max_step(
+        &self,
+        x: &[f64],
+        p: &[f64],
+        ws: &[WsEntry],
+        bland: bool,
+    ) -> (f64, Option<WsEntry>) {
+        let mut alpha = f64::INFINITY;
+        let mut blocking = None;
+        for (k, (a, b)) in self.ineq.iter().enumerate() {
+            if ws.contains(&WsEntry::Ineq(k)) {
+                continue;
+            }
+            let ap = vector::dot(a, p);
+            if ap > 1e-10 {
+                let slack = b - vector::dot(a, x);
+                let t = (slack / ap).max(0.0);
+                if better(t, alpha, WsEntry::Ineq(k), blocking, bland) {
+                    alpha = t;
+                    blocking = Some(WsEntry::Ineq(k));
+                }
+            }
+        }
+        for i in 0..x.len() {
+            if p[i] < -1e-10 && self.lb[i].is_finite() && !ws.contains(&WsEntry::Lower(i)) {
+                let t = ((self.lb[i] - x[i]) / p[i]).max(0.0);
+                if better(t, alpha, WsEntry::Lower(i), blocking, bland) {
+                    alpha = t;
+                    blocking = Some(WsEntry::Lower(i));
+                }
+            } else if p[i] > 1e-10 && self.ub[i].is_finite() && !ws.contains(&WsEntry::Upper(i)) {
+                let t = ((self.ub[i] - x[i]) / p[i]).max(0.0);
+                if better(t, alpha, WsEntry::Upper(i), blocking, bland) {
+                    alpha = t;
+                    blocking = Some(WsEntry::Upper(i));
+                }
+            }
+        }
+        (alpha, blocking)
+    }
+}
+
+/// Stable identifier for Bland-style tie-breaking.
+fn entry_id(e: WsEntry) -> (u8, usize) {
+    match e {
+        WsEntry::Ineq(k) => (0, k),
+        WsEntry::Lower(i) => (1, i),
+        WsEntry::Upper(i) => (2, i),
+    }
+}
+
+/// Whether candidate step `t` (blocked by `cand`) improves on the current
+/// `(alpha, blocking)` choice; under Bland, near-ties resolve to the lowest
+/// identifier.
+fn better(t: f64, alpha: f64, cand: WsEntry, blocking: Option<WsEntry>, bland: bool) -> bool {
+    if t < alpha - 1e-12 {
+        return true;
+    }
+    if bland && t <= alpha + 1e-12 {
+        return match blocking {
+            None => true,
+            Some(b) => entry_id(cand) < entry_id(b),
+        };
+    }
+    t < alpha
+}
+
+/// Index (within `ws`) of the multiplier to drop, or `None` if all are
+/// ≥ −tol (KKT satisfied). `lambda` is ordered equality rows first, then
+/// `ws` entries. Default policy: most negative; under Bland: the negative
+/// multiplier with the lowest working-set identifier (anti-cycling).
+fn most_negative_multiplier(
+    ws: &[WsEntry],
+    lambda: &[f64],
+    neq: usize,
+    bland: bool,
+) -> Option<usize> {
+    if bland {
+        return ws
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| lambda[neq + k] < -1e-8)
+            .min_by_key(|(_, e)| entry_id(**e))
+            .map(|(k, _)| k);
+    }
+    let mut worst = -1e-8;
+    let mut idx = None;
+    for (k, _) in ws.iter().enumerate() {
+        let l = lambda[neq + k];
+        if l < worst {
+            worst = l;
+            idx = Some(k);
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} != {b}");
+    }
+
+    #[test]
+    fn unconstrained_quadratic() {
+        // min (x−1)² + (y−2)² → (1, 2).
+        let h = Matrix::from_diag(&[2.0, 2.0]);
+        let qp = QpProblem::new(h, vec![-2.0, -4.0]);
+        let s = qp.solve();
+        assert_eq!(s.status, QpStatus::Optimal);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn box_constrained() {
+        // min (x−3)² with x ∈ [0, 1] → x = 1.
+        let h = Matrix::from_diag(&[2.0]);
+        let mut qp = QpProblem::new(h, vec![-6.0]);
+        qp.lb = vec![0.0];
+        qp.ub = vec![1.0];
+        let s = qp.solve();
+        assert_eq!(s.status, QpStatus::Optimal);
+        assert_close(s.x[0], 1.0);
+    }
+
+    #[test]
+    fn equality_constrained() {
+        // min x² + y² s.t. x + y = 2 → (1, 1).
+        let h = Matrix::from_diag(&[2.0, 2.0]);
+        let mut qp = QpProblem::new(h, vec![0.0, 0.0]);
+        qp.eq.push((vec![1.0, 1.0], 2.0));
+        let s = qp.solve();
+        assert_eq!(s.status, QpStatus::Optimal);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 1.0);
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn nocedal_wright_example_16_4() {
+        // min (x1−1)² + (x2−2.5)²
+        // s.t. x1 − 2x2 + 2 ≥ 0, −x1 − 2x2 + 6 ≥ 0, −x1 + 2x2 + 2 ≥ 0,
+        //      x1 ≥ 0, x2 ≥ 0  →  (1.4, 1.7).
+        let h = Matrix::from_diag(&[2.0, 2.0]);
+        let mut qp = QpProblem::new(h, vec![-2.0, -5.0]);
+        qp.constant = 1.0 + 6.25;
+        qp.ineq.push((vec![-1.0, 2.0], 2.0));
+        qp.ineq.push((vec![1.0, 2.0], 6.0));
+        qp.ineq.push((vec![1.0, -2.0], 2.0));
+        qp.lb = vec![0.0, 0.0];
+        let s = qp.solve();
+        assert_eq!(s.status, QpStatus::Optimal);
+        assert_close(s.x[0], 1.4);
+        assert_close(s.x[1], 1.7);
+    }
+
+    #[test]
+    fn sos1_relaxation_shape() {
+        // The AMPS-Inf relaxation shape: x ∈ [0,1]^3, Σx = 1, convex diag Q.
+        // min 3x₀² + 1x₁² + 2x₂² + (0, 0, 0)ᵀx: optimum splits by inverse
+        // curvature: x ∝ (1/3, 1, 1/2) normalized → (2/11, 6/11, 3/11).
+        let h = Matrix::from_diag(&[6.0, 2.0, 4.0]);
+        let mut qp = QpProblem::new(h, vec![0.0, 0.0, 0.0]);
+        qp.eq.push((vec![1.0, 1.0, 1.0], 1.0));
+        qp.lb = vec![0.0; 3];
+        qp.ub = vec![1.0; 3];
+        let s = qp.solve();
+        assert_eq!(s.status, QpStatus::Optimal);
+        assert_close(s.x[0], 2.0 / 11.0);
+        assert_close(s.x[1], 6.0 / 11.0);
+        assert_close(s.x[2], 3.0 / 11.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let h = Matrix::from_diag(&[2.0]);
+        let mut qp = QpProblem::new(h, vec![0.0]);
+        qp.lb = vec![0.0];
+        qp.ub = vec![1.0];
+        qp.eq.push((vec![1.0], 5.0));
+        assert_eq!(qp.solve().status, QpStatus::Infeasible);
+    }
+
+    #[test]
+    fn fixed_variables_fast_path() {
+        let h = Matrix::from_diag(&[2.0, 2.0]);
+        let mut qp = QpProblem::new(h, vec![0.0, 0.0]);
+        qp.lb = vec![1.0, 0.5];
+        qp.ub = vec![1.0, 0.5];
+        let s = qp.solve();
+        assert_eq!(s.status, QpStatus::Optimal);
+        assert_eq!(s.x, vec![1.0, 0.5]);
+        assert_close(s.objective, 1.0 + 0.25);
+    }
+
+    #[test]
+    fn active_bound_has_correct_side() {
+        // min (x+5)² with x ∈ [0, 2] → x = 0 (lower bound active).
+        let h = Matrix::from_diag(&[2.0]);
+        let mut qp = QpProblem::new(h, vec![10.0]);
+        qp.lb = vec![0.0];
+        qp.ub = vec![2.0];
+        let s = qp.solve();
+        assert_eq!(s.status, QpStatus::Optimal);
+        assert_close(s.x[0], 0.0);
+    }
+
+    #[test]
+    fn semidefinite_hessian_with_linear_part() {
+        // H singular (one zero row): min x² + y over x free-ish, y ∈ [0, 3],
+        // x ∈ [-1, 1] → (0, 0).
+        let h = Matrix::from_diag(&[2.0, 0.0]);
+        let mut qp = QpProblem::new(h, vec![0.0, 1.0]);
+        qp.lb = vec![-1.0, 0.0];
+        qp.ub = vec![1.0, 3.0];
+        let s = qp.solve();
+        assert_eq!(s.status, QpStatus::Optimal);
+        assert_close(s.x[0], 0.0);
+        assert_close(s.x[1], 0.0);
+    }
+
+    #[test]
+    fn inequality_becomes_active() {
+        // min (x−2)² + (y−2)² s.t. x + y ≤ 2 → (1, 1).
+        let h = Matrix::from_diag(&[2.0, 2.0]);
+        let mut qp = QpProblem::new(h, vec![-4.0, -4.0]);
+        qp.ineq.push((vec![1.0, 1.0], 2.0));
+        let s = qp.solve();
+        assert_eq!(s.status, QpStatus::Optimal);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn objective_at_matches_solution_objective() {
+        let h = Matrix::from_diag(&[2.0, 2.0]);
+        let mut qp = QpProblem::new(h, vec![-2.0, -4.0]);
+        qp.constant = 7.0;
+        let s = qp.solve();
+        assert_close(s.objective, qp.objective_at(&s.x));
+    }
+
+    #[test]
+    fn violation_reports_worst() {
+        let h = Matrix::from_diag(&[2.0]);
+        let mut qp = QpProblem::new(h, vec![0.0]);
+        qp.lb = vec![0.0];
+        qp.ub = vec![1.0];
+        qp.ineq.push((vec![1.0], 0.5));
+        assert_close(qp.violation(&[2.0]), 1.5); // ineq violated by 1.5, ub by 1.0
+        assert!(qp.is_feasible(&[0.25]));
+    }
+}

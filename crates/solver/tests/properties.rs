@@ -1,0 +1,215 @@
+//! Property-based tests: the B&B MIQP solver against brute-force oracles,
+//! KKT conditions for the QP, and LP invariants.
+
+use ampsinf_linalg::{vector, Matrix};
+use ampsinf_solver::bb::solve_miqp;
+use ampsinf_solver::{
+    BbOptions, LpProblem, LpStatus, MiqpProblem, QpProblem, QpStatus, Relation, VarKind,
+};
+use proptest::prelude::*;
+
+/// Random symmetric integer-ish Hessian over `n` binaries.
+fn binary_hessian(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3i32..=3, n * n).prop_map(move |v| {
+        let mut m = Matrix::from_vec(n, n, v.into_iter().map(f64::from).collect());
+        m.symmetrize();
+        m
+    })
+}
+
+/// Brute-force oracle over all binary assignments.
+fn brute_force(p: &MiqpProblem) -> Option<f64> {
+    let bins = p.integral_indices();
+    let mut best: Option<f64> = None;
+    for mask in 0u64..(1 << bins.len()) {
+        let mut x = vec![0.0; p.num_vars()];
+        for (b, &i) in bins.iter().enumerate() {
+            x[i] = ((mask >> b) & 1) as f64;
+        }
+        if p.qp.is_feasible(&x) {
+            let obj = p.objective_at(&x);
+            best = Some(best.map_or(obj, |o: f64| o.min(obj)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bb_matches_brute_force_unconstrained(
+        h in binary_hessian(5),
+        c in prop::collection::vec(-4.0f64..4.0, 5),
+    ) {
+        let p = MiqpProblem::new(h, c, vec![VarKind::Binary; 5]);
+        let sol = solve_miqp(&p, BbOptions::default());
+        let oracle = brute_force(&p).unwrap();
+        prop_assert!(matches!(sol.status, ampsinf_solver::bb::BbStatus::Optimal));
+        prop_assert!((sol.objective - oracle).abs() < 1e-5,
+            "bb {} vs oracle {}", sol.objective, oracle);
+    }
+
+    #[test]
+    fn bb_matches_brute_force_with_cardinality(
+        h in binary_hessian(5),
+        c in prop::collection::vec(-4.0f64..4.0, 5),
+        k in 1usize..5,
+    ) {
+        let mut p = MiqpProblem::new(h, c, vec![VarKind::Binary; 5]);
+        p.add_le(vec![1.0; 5], k as f64);
+        let sol = solve_miqp(&p, BbOptions::default());
+        let oracle = brute_force(&p).unwrap();
+        prop_assert!((sol.objective - oracle).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bb_sos1_groups(
+        h in binary_hessian(6),
+        c in prop::collection::vec(-4.0f64..4.0, 6),
+    ) {
+        // Two pick-one groups of 3 — exactly the AMPS-Inf Eq. (1) structure.
+        let mut p = MiqpProblem::new(h, c, vec![VarKind::Binary; 6]);
+        p.add_pick_one(&[0, 1, 2]);
+        p.add_pick_one(&[3, 4, 5]);
+        let sol = solve_miqp(&p, BbOptions::default());
+        let oracle = brute_force(&p).unwrap();
+        prop_assert!((sol.objective - oracle).abs() < 1e-5);
+        // Solution respects the groups.
+        let g1: f64 = sol.x[0] + sol.x[1] + sol.x[2];
+        let g2: f64 = sol.x[3] + sol.x[4] + sol.x[5];
+        prop_assert!((g1 - 1.0).abs() < 1e-6 && (g2 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qp_kkt_stationarity_on_box(
+        diag in prop::collection::vec(0.5f64..4.0, 5),
+        c in prop::collection::vec(-4.0f64..4.0, 5),
+    ) {
+        // Convex separable QP on [0,1]^5: projected-gradient optimality —
+        // interior coordinates have zero gradient, boundary ones point out.
+        let h = Matrix::from_diag(&diag);
+        let mut qp = QpProblem::new(h, c);
+        qp.lb = vec![0.0; 5];
+        qp.ub = vec![1.0; 5];
+        let s = qp.solve();
+        prop_assert_eq!(s.status, QpStatus::Optimal);
+        let mut g = qp.h.matvec(&s.x);
+        vector::axpy(1.0, &qp.c, &mut g);
+        for i in 0..5 {
+            if s.x[i] > 1e-6 && s.x[i] < 1.0 - 1e-6 {
+                prop_assert!(g[i].abs() < 1e-5, "interior grad {} at {}", g[i], i);
+            } else if s.x[i] <= 1e-6 {
+                prop_assert!(g[i] > -1e-5, "lower-bound grad {} at {}", g[i], i);
+            } else {
+                prop_assert!(g[i] < 1e-5, "upper-bound grad {} at {}", g[i], i);
+            }
+        }
+    }
+
+    #[test]
+    fn qp_simplex_relaxation_optimum_separable(
+        diag in prop::collection::vec(1.0f64..4.0, 4),
+    ) {
+        // min ½ Σ d_i x_i² on the simplex: optimum x_i ∝ 1/d_i.
+        let h = Matrix::from_diag(&diag);
+        let mut qp = QpProblem::new(h, vec![0.0; 4]);
+        qp.eq.push((vec![1.0; 4], 1.0));
+        qp.lb = vec![0.0; 4];
+        qp.ub = vec![1.0; 4];
+        let s = qp.solve();
+        prop_assert_eq!(s.status, QpStatus::Optimal);
+        let z: f64 = diag.iter().map(|d| 1.0 / d).sum();
+        for i in 0..4 {
+            prop_assert!((s.x[i] - (1.0 / diag[i]) / z).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn lp_optimal_is_feasible_and_bounded_by_any_point(
+        c in prop::collection::vec(0.1f64..5.0, 4),
+        b in prop::collection::vec(1.0f64..10.0, 3),
+    ) {
+        // min cᵀx (c > 0) with Σx ≥ b_k rows: optimum exists; every feasible
+        // point we can construct scores no better.
+        let mut lp = LpProblem::new(c.clone());
+        for bk in &b {
+            lp.add_row(vec![1.0; 4], Relation::Ge, *bk);
+        }
+        let s = lp.solve();
+        prop_assert_eq!(s.status, LpStatus::Optimal);
+        // Feasible comparison point: put everything on coordinate 0.
+        let need = b.iter().cloned().fold(0.0f64, f64::max);
+        let manual = c[0] * need;
+        prop_assert!(s.objective <= manual + 1e-7);
+        // And the optimum satisfies the rows.
+        let sum: f64 = s.x.iter().sum();
+        prop_assert!(sum >= need - 1e-7);
+    }
+
+    #[test]
+    fn lp_infeasible_when_bounds_conflict(ub in 0.5f64..5.0) {
+        let mut lp = LpProblem::new(vec![1.0]);
+        lp.add_row(vec![1.0], Relation::Le, ub);
+        lp.add_row(vec![1.0], Relation::Ge, ub + 1.0);
+        prop_assert_eq!(lp.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn bb_sos1_with_budget_row_matches_oracle(
+        costs in prop::collection::vec(0.1f64..5.0, 6),
+        times in prop::collection::vec(0.1f64..5.0, 6),
+        slack in 0.2f64..1.0,
+    ) {
+        // The AMPS-Inf SLO structure at solver level: two pick-one groups,
+        // linear costs, and a budget row over "durations". Oracle:
+        // exhaustive over the 9 feasible picks.
+        let h = Matrix::zeros(6, 6);
+        let mut p = MiqpProblem::new(h, costs.clone(), vec![VarKind::Binary; 6]);
+        p.add_pick_one(&[0, 1, 2]);
+        p.add_pick_one(&[3, 4, 5]);
+        // Budget between the loosest and tightest achievable totals.
+        let min_t = times[..3].iter().cloned().fold(f64::INFINITY, f64::min)
+            + times[3..].iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_t = times[..3].iter().cloned().fold(0.0f64, f64::max)
+            + times[3..].iter().cloned().fold(0.0f64, f64::max);
+        let budget = min_t + slack * (max_t - min_t);
+        p.add_le(times.clone(), budget);
+
+        let mut oracle: Option<f64> = None;
+        for a in 0..3 {
+            for b in 3..6 {
+                if times[a] + times[b] <= budget + 1e-12 {
+                    let c = costs[a] + costs[b];
+                    oracle = Some(oracle.map_or(c, |o: f64| o.min(c)));
+                }
+            }
+        }
+        let sol = solve_miqp(&p, BbOptions::default());
+        let oracle = oracle.expect("budget chosen feasible");
+        prop_assert!((sol.objective - oracle).abs() < 1e-6,
+            "bb {} vs oracle {}", sol.objective, oracle);
+    }
+
+    #[test]
+    fn bb_objective_invariant_under_qcr_method(
+        h in binary_hessian(5),
+        c in prop::collection::vec(-4.0f64..4.0, 5),
+    ) {
+        // Both convexification policies must land on the same optimum.
+        let mut p1 = MiqpProblem::new(h.clone(), c.clone(), vec![VarKind::Binary; 5]);
+        p1.add_le(vec![1.0; 5], 3.0);
+        let mut p2 = p1.clone();
+        p2.qp = p1.qp.clone();
+        let s1 = solve_miqp(&p1, BbOptions {
+            convexify: ampsinf_solver::ConvexifyMethod::EigenShift,
+            ..Default::default()
+        });
+        let s2 = solve_miqp(&p2, BbOptions {
+            convexify: ampsinf_solver::ConvexifyMethod::DualRefine,
+            ..Default::default()
+        });
+        prop_assert!((s1.objective - s2.objective).abs() < 1e-5,
+            "eig {} vs refine {}", s1.objective, s2.objective);
+    }
+}

@@ -1,0 +1,53 @@
+//! Query-load dynamics: the serverless elasticity story the paper's §2
+//! leans on. Runs open-loop Poisson workloads at increasing arrival rates
+//! over an optimized Xception chain and reports latency percentiles,
+//! cold-start behaviour and cost per request.
+//!
+//! ```text
+//! cargo run --release --example load_dynamics
+//! ```
+
+use amps_inf::prelude::*;
+use amps_inf::serving::loadgen::{run_open_loop, LoadSpec};
+
+fn main() {
+    let model = zoo::xception();
+    let cfg = AmpsConfig::default();
+    let plan = Optimizer::new(cfg.clone())
+        .optimize(&model)
+        .expect("Xception optimizes")
+        .plan;
+    println!("plan: {plan}\n");
+
+    println!(
+        "{:>9} {:>6} {:>9} {:>9} {:>9} {:>7} {:>9} {:>11}",
+        "rate(rps)", "reqs", "p50 (s)", "p95 (s)", "max (s)", "cold", "peak inst", "$/request"
+    );
+    for rate in [0.01, 0.05, 0.2, 1.0, 5.0] {
+        let load = LoadSpec {
+            rate_rps: rate,
+            requests: 30,
+            seed: 7,
+        };
+        let r = run_open_loop(&model, &plan, &cfg, &load).expect("load run");
+        println!(
+            "{:>9.2} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>7} {:>9} {:>11.6}",
+            rate,
+            load.requests,
+            r.percentile(50.0),
+            r.percentile(95.0),
+            r.percentile(100.0),
+            r.cold_starts,
+            r.peak_instances,
+            r.dollars / load.requests as f64
+        );
+    }
+
+    println!(
+        "\nReading the sweep: slow trickles reuse warm containers (low p50,\n\
+         cold starts ≈ number of partitions); bursts fan out across fresh\n\
+         instances — every request pays the cold path, but none queues.\n\
+         Cost per request stays flat: the pay-per-use property that drives\n\
+         the paper's cost comparisons."
+    );
+}

@@ -1,0 +1,225 @@
+//! `ampsinf` — the AMPS-Inf command-line front end (the paper's Fig. 3
+//! workflow: pre-trained model in, optimal configuration out, optional
+//! deployment + serving on the simulated platform).
+//!
+//! ```text
+//! ampsinf models
+//! ampsinf summary resnet50
+//! ampsinf plan resnet50 [--slo 20] [--batch 10] [--quota-2021]
+//!                       [--tolerance 0.1] [--quantize 2] [--json out.json]
+//! ampsinf serve resnet50 [--images 10] [--parallel] [--slo 20]
+//! ampsinf plan model.json          # any serialized LayerGraph file
+//! ```
+
+use amps_inf::core::baselines;
+use amps_inf::model::summary::ModelSummary;
+use amps_inf::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&args);
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> i32 {
+    let Some(cmd) = args.first() else {
+        usage();
+        return 2;
+    };
+    match cmd.as_str() {
+        "models" => {
+            for name in [
+                "mobilenet",
+                "resnet50",
+                "inception_v3",
+                "xception",
+                "vgg16",
+                "vgg19",
+                "bert_base",
+            ] {
+                let g = zoo::by_name(name).expect("zoo model");
+                println!(
+                    "{:<14} {:>10} params  {:>7.1} MB  {:>4} layers",
+                    name,
+                    g.total_params(),
+                    g.weight_bytes() as f64 / 1024.0 / 1024.0,
+                    g.num_layers()
+                );
+            }
+            0
+        }
+        "summary" => match load_model(args.get(1)) {
+            Ok(g) => {
+                print!("{}", ModelSummary::of(&g).render());
+                0
+            }
+            Err(e) => fail(&e),
+        },
+        "plan" => match (load_model(args.get(1)), parse_cfg(&args[1..])) {
+            (Ok(mut g), Ok((cfg, quantize, json_out))) => {
+                if let Some(bytes) = quantize {
+                    g = g.quantized(bytes);
+                    println!(
+                        "quantized weights to {} bits: {:.1} MB",
+                        bytes * 8,
+                        g.weight_bytes() as f64 / 1024.0 / 1024.0
+                    );
+                }
+                match Optimizer::new(cfg.clone()).optimize(&g) {
+                    Ok(r) => {
+                        println!("{}", r.plan);
+                        println!(
+                            "searched {} cuts, {} MIQPs, {:?}",
+                            r.cuts_considered, r.miqps_solved, r.solve_time
+                        );
+                        if let Some(b3) = baselines::b3_optimal(&g, &cfg) {
+                            println!(
+                                "exhaustive optimum for reference: {:.2}s ${:.6}",
+                                b3.predicted_time_s, b3.predicted_cost
+                            );
+                        }
+                        if let Some(path) = json_out {
+                            let s = serde_json::to_string_pretty(&r.plan)
+                                .expect("plans serialize");
+                            if let Err(e) = std::fs::write(&path, s) {
+                                return fail(&format!("writing {path}: {e}"));
+                            }
+                            println!("plan written to {path}");
+                        }
+                        0
+                    }
+                    Err(e) => fail(&format!("optimization failed: {e}")),
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => fail(&e),
+        },
+        "serve" => match (load_model(args.get(1)), parse_cfg(&args[1..])) {
+            (Ok(g), Ok((cfg, _, _))) => {
+                let images = flag_value(args, "--images")
+                    .map(|v| v.parse::<usize>().unwrap_or(1))
+                    .unwrap_or(1);
+                let parallel = args.iter().any(|a| a == "--parallel");
+                match Optimizer::new(cfg.clone()).optimize(&g) {
+                    Ok(r) => {
+                        println!("{}", r.plan);
+                        let coord = Coordinator::new(cfg);
+                        let mut platform = coord.platform();
+                        let dep = match coord.deploy(&mut platform, &g, &r.plan) {
+                            Ok(d) => d,
+                            Err(e) => return fail(&format!("deploy: {e}")),
+                        };
+                        let (time, mut dollars) = if images == 1 {
+                            let job = coord
+                                .serve_one(&mut platform, &dep, 0.0, "cli")
+                                .expect("plan serves");
+                            println!(
+                                "deploy {:.2}s  load {:.2}s  predict {:.2}s  chain {:.2}s",
+                                job.deploy_s, job.load_s, job.predict_s, job.inference_s
+                            );
+                            (job.e2e_s, job.dollars)
+                        } else if parallel {
+                            let b = coord
+                                .serve_parallel(&mut platform, &dep, images, 0.0)
+                                .expect("batch serves");
+                            (b.e2e_s, b.dollars)
+                        } else {
+                            let b = coord
+                                .serve_sequential(&mut platform, &dep, images, 0.0)
+                                .expect("batch serves");
+                            (b.e2e_s, b.dollars)
+                        };
+                        dollars += platform.settle_storage(time);
+                        println!(
+                            "{} image(s){}: {:.2}s end-to-end, ${:.6}",
+                            images,
+                            if parallel { " in parallel" } else { "" },
+                            time,
+                            dollars
+                        );
+                        0
+                    }
+                    Err(e) => fail(&format!("optimization failed: {e}")),
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => fail(&e),
+        },
+        _ => {
+            usage();
+            2
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: ampsinf <command>\n\
+         \n\
+         commands:\n\
+           models                      list built-in models\n\
+           summary <model|file.json>   Keras-style model summary\n\
+           plan    <model|file.json>   compute the optimal deployment plan\n\
+           serve   <model|file.json>   plan + deploy + serve on the simulator\n\
+         \n\
+         options (plan/serve):\n\
+           --slo <seconds>      response-time SLO\n\
+           --batch <n>          optimize for n-image batches\n\
+           --tolerance <f>      cost tolerance spent on speed (default 0.1)\n\
+           --quota-2021         10,240 MB / 1 MB-step quota preset\n\
+           --quantize <bytes>   weight width 1..4 (plan only)\n\
+           --json <path>        write the plan as JSON (plan only)\n\
+           --images <n>         requests to serve (serve only)\n\
+           --parallel           serve images concurrently (serve only)"
+    );
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    1
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn load_model(arg: Option<&String>) -> Result<LayerGraph, String> {
+    let Some(name) = arg else {
+        return Err("missing model name or file".into());
+    };
+    if let Some(g) = zoo::by_name(name) {
+        return Ok(g);
+    }
+    if std::path::Path::new(name).exists() {
+        let s = std::fs::read_to_string(name).map_err(|e| e.to_string())?;
+        return amps_inf::model::serialize::from_json(&s);
+    }
+    Err(format!(
+        "unknown model '{name}' (try `ampsinf models`) and no such file"
+    ))
+}
+
+fn parse_cfg(args: &[String]) -> Result<(AmpsConfig, Option<u64>, Option<String>), String> {
+    let mut cfg = AmpsConfig::default();
+    if let Some(v) = flag_value(args, "--slo") {
+        cfg.slo_s = Some(v.parse().map_err(|_| format!("bad --slo value {v}"))?);
+    }
+    if let Some(v) = flag_value(args, "--batch") {
+        cfg.batch_size = v.parse().map_err(|_| format!("bad --batch value {v}"))?;
+    }
+    if let Some(v) = flag_value(args, "--tolerance") {
+        cfg.cost_tolerance = v
+            .parse()
+            .map_err(|_| format!("bad --tolerance value {v}"))?;
+    }
+    if args.iter().any(|a| a == "--quota-2021") {
+        cfg = cfg.lambda_2021();
+    }
+    let quantize = match flag_value(args, "--quantize") {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --quantize value {v}"))?),
+        None => None,
+    };
+    let json_out = flag_value(args, "--json").map(|s| s.to_string());
+    Ok((cfg, quantize, json_out))
+}
