@@ -8,13 +8,12 @@
 //! * quota regime: 2020 (64 MB steps, 3008 MB cap) vs 2021 (1 MB steps,
 //!   10,240 MB) — the paper's §5.1 future-work extension.
 
+use ampsinf_bench::harness::Bencher;
 use ampsinf_core::{AmpsConfig, Optimizer};
 use ampsinf_linalg::Matrix;
 use ampsinf_model::zoo;
 use ampsinf_solver::bb::solve_miqp;
 use ampsinf_solver::{BbOptions, ConvexifyMethod, MiqpProblem, VarKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
 /// Indefinite SOS-1 MIQP (off-diagonal coupling makes the QCR step earn
 /// its keep).
@@ -23,7 +22,9 @@ fn indefinite_instance(groups: usize, width: usize, seed: u64) -> MiqpProblem {
     let mut h = Matrix::zeros(n, n);
     let mut s = seed;
     let mut rng = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 33) as f64) / (u32::MAX as f64) * 2.0 - 1.0
     };
     for r in 0..n {
@@ -42,49 +43,33 @@ fn indefinite_instance(groups: usize, width: usize, seed: u64) -> MiqpProblem {
     p
 }
 
-fn ablation_qcr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_qcr");
-    group.sample_size(10);
+fn main() {
+    let mut b = Bencher::new();
+
     for method in [ConvexifyMethod::EigenShift, ConvexifyMethod::DualRefine] {
         let p = indefinite_instance(3, 6, 99);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{method:?}")),
-            &p,
-            |b, p| {
-                b.iter(|| {
-                    black_box(solve_miqp(
-                        p,
-                        BbOptions {
-                            convexify: method,
-                            ..Default::default()
-                        },
-                    ))
-                })
-            },
-        );
+        b.bench(&format!("ablation_qcr/{method:?}"), 10, || {
+            solve_miqp(
+                &p,
+                BbOptions {
+                    convexify: method,
+                    ..Default::default()
+                },
+            )
+        });
     }
-    group.finish();
-}
 
-fn ablation_candidates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_candidate_budget");
-    group.sample_size(10);
     let g = zoo::resnet50();
     for budget in [8usize, 16, 24] {
         let cfg = AmpsConfig {
             max_candidate_boundaries: budget,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(budget), &cfg, |b, cfg| {
-            b.iter(|| black_box(Optimizer::new(cfg.clone()).optimize(&g).unwrap()))
+        b.bench(&format!("ablation_candidate_budget/{budget}"), 10, || {
+            Optimizer::new(cfg.clone()).optimize(&g).unwrap()
         });
     }
-    group.finish();
-}
 
-fn ablation_store(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_store");
-    group.sample_size(10);
     let g = zoo::xception();
     for (name, store) in [
         ("s3", ampsinf_faas::StoreKind::s3()),
@@ -94,33 +79,20 @@ fn ablation_store(c: &mut Criterion) {
             store,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| black_box(Optimizer::new(cfg.clone()).optimize(&g).unwrap()))
+        b.bench(&format!("ablation_store/{name}"), 10, || {
+            Optimizer::new(cfg.clone()).optimize(&g).unwrap()
         });
     }
-    group.finish();
-}
 
-fn ablation_quotas(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_quotas");
-    group.sample_size(10);
     let g = zoo::resnet50();
     for (name, cfg) in [
         ("lambda2020", AmpsConfig::default()),
         ("lambda2021", AmpsConfig::default().lambda_2021()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| black_box(Optimizer::new(cfg.clone()).optimize(&g).unwrap()))
+        b.bench(&format!("ablation_quotas/{name}"), 10, || {
+            Optimizer::new(cfg.clone()).optimize(&g).unwrap()
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    ablation_qcr,
-    ablation_candidates,
-    ablation_store,
-    ablation_quotas
-);
-criterion_main!(benches);
+    b.write_json_if_requested();
+}

@@ -1,72 +1,50 @@
 //! Simulator-substrate throughput: profiling, closed-form segment
 //! evaluation (the optimizer's inner loop), and full platform invocations.
 
+use ampsinf_bench::harness::Bencher;
 use ampsinf_core::AmpsConfig;
 use ampsinf_faas::platform::Platform;
 use ampsinf_faas::runtime::whole_model;
 use ampsinf_model::zoo;
 use ampsinf_profiler::{quick_eval, Profile};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
-fn bench_profile_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("profile_build");
+fn main() {
+    let mut b = Bencher::new();
+
     for g in [zoo::mobilenet_v1(), zoo::resnet50(), zoo::inception_v3()] {
-        group.bench_with_input(BenchmarkId::from_parameter(&g.name), &g, |b, g| {
-            b.iter(|| black_box(Profile::of(g)))
-        });
+        b.bench(&format!("profile_build/{}", g.name), 20, || Profile::of(&g));
     }
-    group.finish();
-}
 
-fn bench_quick_eval(c: &mut Criterion) {
     let g = zoo::resnet50();
     let profile = Profile::of(&g);
     let cfg = AmpsConfig::default();
     let n = g.num_layers();
-    c.bench_function("quick_eval_resnet_mid_segment", |b| {
-        b.iter(|| {
-            black_box(quick_eval(
-                &profile,
-                n / 3,
-                2 * n / 3,
-                1024,
-                &cfg.quotas,
-                &cfg.prices,
-                &cfg.perf,
-                &cfg.store,
-                false,
-                false,
-            ))
-        })
+    b.bench("quick_eval/resnet_mid_segment", 20, || {
+        quick_eval(
+            &profile,
+            n / 3,
+            2 * n / 3,
+            1024,
+            &cfg.quotas,
+            &cfg.prices,
+            &cfg.perf,
+            &cfg.store,
+            false,
+            false,
+        )
     });
-}
 
-fn bench_platform_invoke(c: &mut Criterion) {
     let g = zoo::mobilenet_v1();
     let work = whole_model(&g);
-    c.bench_function("platform_deploy_invoke_mobilenet", |b| {
-        b.iter(|| {
-            let mut p = Platform::aws_2020();
-            let spec = work.function_spec("m", 1024);
-            let (fid, _) = p.deploy(spec).unwrap();
-            black_box(p.invoke(fid, 0.0, &work.invocation(None, None)).unwrap())
-        })
+    b.bench("platform/deploy_invoke_mobilenet", 20, || {
+        let mut p = Platform::aws_2020();
+        let spec = work.function_spec("m", 1024);
+        let (fid, _) = p.deploy(spec).unwrap();
+        p.invoke(fid, 0.0, &work.invocation(None, None)).unwrap()
     });
-}
 
-fn bench_model_zoo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("zoo_build");
-    group.bench_function("resnet50", |b| b.iter(|| black_box(zoo::resnet50())));
-    group.bench_function("inception_v3", |b| b.iter(|| black_box(zoo::inception_v3())));
-    group.finish();
-}
+    b.bench("zoo_build/resnet50", 20, zoo::resnet50);
+    b.bench("zoo_build/inception_v3", 20, zoo::inception_v3);
 
-criterion_group!(
-    benches,
-    bench_profile_build,
-    bench_quick_eval,
-    bench_platform_invoke,
-    bench_model_zoo
-);
-criterion_main!(benches);
+    b.write_json_if_requested();
+}

@@ -1,11 +1,15 @@
-//! Criterion benches for the optimization stack: simplex, active-set QP,
-//! and branch-and-bound MIQP at AMPS-Inf-like problem shapes.
+//! Benches for the optimization stack: simplex, active-set QP, and
+//! branch-and-bound MIQP at AMPS-Inf-like problem shapes.
+//!
+//! The QP bench runs both the one-shot and workspace-reuse entry points so
+//! the allocation-hoisting win is visible in one report.
 
+use ampsinf_bench::harness::Bencher;
 use ampsinf_linalg::Matrix;
-use ampsinf_solver::bb::solve_miqp;
-use ampsinf_solver::{BbOptions, LpProblem, MiqpProblem, QpProblem, Relation, VarKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use ampsinf_solver::bb::{solve_miqp, solve_miqp_with};
+use ampsinf_solver::{
+    BbOptions, LpProblem, MiqpProblem, QpProblem, QpWorkspace, Relation, VarKind,
+};
 
 /// A feasible LP with `n` variables and `n` rows.
 fn lp_instance(n: usize) -> LpProblem {
@@ -45,41 +49,33 @@ fn miqp_instance(groups: usize, width: usize) -> MiqpProblem {
     p
 }
 
-fn bench_lp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lp_simplex");
+fn main() {
+    let mut b = Bencher::new();
+
     for n in [10usize, 30, 60] {
         let lp = lp_instance(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &lp, |b, lp| {
-            b.iter(|| black_box(lp.solve()))
-        });
+        b.bench(&format!("lp_simplex/{n}"), 20, || lp.solve());
     }
-    group.finish();
-}
 
-fn bench_qp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qp_active_set");
     for n in [10usize, 40, 80] {
         let qp = qp_instance(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &qp, |b, qp| {
-            b.iter(|| black_box(qp.solve()))
+        b.bench(&format!("qp_active_set/{n}"), 20, || qp.solve());
+        let mut ws = QpWorkspace::new();
+        b.bench(&format!("qp_active_set_reused_ws/{n}"), 20, || {
+            qp.solve_with(&mut ws)
         });
     }
-    group.finish();
-}
 
-fn bench_miqp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("miqp_bb");
-    group.sample_size(10);
     for (groups, width) in [(2usize, 8usize), (4, 8), (4, 12)] {
         let p = miqp_instance(groups, width);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{groups}x{width}")),
-            &p,
-            |b, p| b.iter(|| black_box(solve_miqp(p, BbOptions::default()))),
-        );
+        b.bench(&format!("miqp_bb/{groups}x{width}"), 10, || {
+            solve_miqp(&p, BbOptions::default())
+        });
+        let mut ws = QpWorkspace::new();
+        b.bench(&format!("miqp_bb_reused_ws/{groups}x{width}"), 10, || {
+            solve_miqp_with(&p, BbOptions::default(), &mut ws)
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_lp, bench_qp, bench_miqp);
-criterion_main!(benches);
+    b.write_json_if_requested();
+}

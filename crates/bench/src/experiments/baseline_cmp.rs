@@ -16,17 +16,23 @@ const B1_SEED: u64 = 2020;
 fn measure(g: &LayerGraph, plan: &ExecutionPlan, cfg: &AmpsConfig) -> (f64, f64) {
     let coord = Coordinator::new(cfg.clone());
     let mut platform = coord.platform();
-    let dep = coord.deploy(&mut platform, g, plan).expect("deployable plan");
-    let job = coord.serve_one(&mut platform, &dep, 0.0, "bl").expect("serves");
+    let dep = coord
+        .deploy(&mut platform, g, plan)
+        .expect("deployable plan");
+    let job = coord
+        .serve_one(&mut platform, &dep, 0.0, "bl")
+        .expect("serves");
     let dollars = job.dollars + platform.settle_storage(job.inference_s);
     (job.inference_s, dollars)
 }
 
+/// One model's (time, cost) for AMPS and the three baselines.
+type ModelRuns = (String, [(f64, f64); 4]);
+
 /// All four systems' (time, cost) per model; computed once — Fig. 9 and
 /// Fig. 10 read the same runs, as in the paper.
-fn run_all() -> &'static Vec<(String, [(f64, f64); 4])> {
-    static CACHE: std::sync::OnceLock<Vec<(String, [(f64, f64); 4])>> =
-        std::sync::OnceLock::new();
+fn run_all() -> &'static Vec<ModelRuns> {
+    static CACHE: std::sync::OnceLock<Vec<ModelRuns>> = std::sync::OnceLock::new();
     CACHE.get_or_init(|| {
         let cfg = AmpsConfig::default();
         let mut out = Vec::new();
@@ -99,11 +105,27 @@ mod tests {
             // Cost ordering: B3 cheapest; AMPS within ~25% of B3; B2 most
             // expensive of the heuristics.
             assert!(b3.1 <= amps.1 + 1e-12, "{name}: b3 not cheapest");
-            assert!(amps.1 <= b3.1 * 1.25, "{name}: amps {} vs b3 {}", amps.1, b3.1);
-            assert!(amps.1 <= b1.1 && amps.1 <= b2.1, "{name}: amps must beat heuristics on cost");
-            assert!(b2.1 > b3.1 * 1.5, "{name}: max-memory B2 should be clearly pricier");
+            assert!(
+                amps.1 <= b3.1 * 1.25,
+                "{name}: amps {} vs b3 {}",
+                amps.1,
+                b3.1
+            );
+            assert!(
+                amps.1 <= b1.1 && amps.1 <= b2.1,
+                "{name}: amps must beat heuristics on cost"
+            );
+            assert!(
+                b2.1 > b3.1 * 1.5,
+                "{name}: max-memory B2 should be clearly pricier"
+            );
             // Time: AMPS no slower than B3 + dust, and faster than B1.
-            assert!(amps.0 <= b3.0 * 1.02 + 1e-9, "{name}: amps {} vs b3 {}", amps.0, b3.0);
+            assert!(
+                amps.0 <= b3.0 * 1.02 + 1e-9,
+                "{name}: amps {} vs b3 {}",
+                amps.0,
+                b3.0
+            );
         }
     }
 }

@@ -192,7 +192,14 @@ pub fn ext_costmodel() -> Table {
     let mut t = Table::new(
         "ext-costmodel",
         "Where the dollars go: Eq. (3) cost terms per model (one image)",
-        &["compute", "invocations", "S3 PUT", "S3 GET", "S3 at-rest", "total"],
+        &[
+            "compute",
+            "invocations",
+            "S3 PUT",
+            "S3 GET",
+            "S3 at-rest",
+            "total",
+        ],
     );
     let cfg = AmpsConfig::default();
     for g in [zoo::resnet50(), zoo::inception_v3(), zoo::xception()] {
@@ -326,7 +333,13 @@ mod tests {
         let t = ext_load();
         let trickle = &t.rows[0].1;
         let burst = &t.rows[3].1;
-        assert!(trickle[0].unwrap() < burst[0].unwrap(), "warm p50 < burst p50");
-        assert!(trickle[2].unwrap() < burst[2].unwrap(), "fewer cold starts at trickle");
+        assert!(
+            trickle[0].unwrap() < burst[0].unwrap(),
+            "warm p50 < burst p50"
+        );
+        assert!(
+            trickle[2].unwrap() < burst[2].unwrap(),
+            "fewer cold starts at trickle"
+        );
     }
 }

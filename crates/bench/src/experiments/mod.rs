@@ -10,8 +10,11 @@ mod sagemaker_cmp;
 
 use crate::Table;
 
+/// An experiment id paired with the function that produces its table.
+pub type Experiment = (&'static str, fn() -> Table);
+
 /// All experiment ids in paper order, with the producing function.
-pub fn registry() -> Vec<(&'static str, fn() -> Table)> {
+pub fn registry() -> Vec<Experiment> {
     vec![
         ("table1", motivation::table1 as fn() -> Table),
         ("fig1", motivation::fig1),

@@ -20,7 +20,9 @@ fn single_lambda_e2e(graph: &LayerGraph, memory_mb: u32, cfg: &AmpsConfig) -> Op
     let work = whole_model(graph);
     let spec = work.function_spec(graph.name.clone(), memory_mb);
     let (fid, deploy_s) = platform.deploy(spec).ok()?;
-    let out = platform.invoke(fid, 0.0, &work.invocation(None, None)).ok()?;
+    let out = platform
+        .invoke(fid, 0.0, &work.invocation(None, None))
+        .ok()?;
     let _ = coord;
     Some((deploy_s + out.duration(), out.dollars))
 }
@@ -30,7 +32,12 @@ pub fn table1() -> Table {
     let mut t = Table::new(
         "table1",
         "Model and deployment sizes (deployment = model + 169 MB deps + handler)",
-        &["model (MB)", "deployment (MB)", "paper model", "paper deploy"],
+        &[
+            "model (MB)",
+            "deployment (MB)",
+            "paper model",
+            "paper deploy",
+        ],
     );
     let paper: &[(&str, f64, f64)] = &[("resnet50", 98.0, 267.0), ("inception_v3", 92.0, 261.0)];
     for g in [
@@ -41,11 +48,8 @@ pub fn table1() -> Table {
         zoo::vgg16(),
     ] {
         let model_mb = g.weight_bytes() as f64 / 1024.0 / 1024.0;
-        let deploy_mb = whole_model(&g)
-            .function_spec(&g.name, 1024)
-            .package_bytes() as f64
-            / 1024.0
-            / 1024.0;
+        let deploy_mb =
+            whole_model(&g).function_spec(&g.name, 1024).package_bytes() as f64 / 1024.0 / 1024.0;
         let p = paper.iter().find(|(n, _, _)| *n == g.name);
         t.row(
             g.name.clone(),
@@ -57,9 +61,10 @@ pub fn table1() -> Table {
             ],
         );
     }
-    t.notes = "Shape: ResNet50/InceptionV3/Xception/VGG exceed the 250 MB limit; MobileNet does not. \
+    t.notes =
+        "Shape: ResNet50/InceptionV3/Xception/VGG exceed the 250 MB limit; MobileNet does not. \
                Model sizes are exact (parameter counts match Keras to the digit)."
-        .into();
+            .into();
     t
 }
 
@@ -242,7 +247,11 @@ pub fn ten_way_plan(g: &LayerGraph, mem: u32) -> ExecutionPlan {
     let mut partitions = Vec::with_capacity(10);
     let mut start = 0usize;
     for i in 0..10 {
-        let end = if i == 9 { n - 1 } else { (n * (i + 1)) / 10 - 1 };
+        let end = if i == 9 {
+            n - 1
+        } else {
+            (n * (i + 1)) / 10 - 1
+        };
         partitions.push(PartitionPlan {
             start,
             end,

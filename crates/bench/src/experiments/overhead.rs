@@ -13,7 +13,13 @@ pub fn overhead() -> Table {
     let mut t = Table::new(
         "overhead",
         "Optimizer overhead (cut enumeration + MIQP solving)",
-        &["solve time (s)", "cuts", "MIQPs", "lambdas", "paper bound (s)"],
+        &[
+            "solve time (s)",
+            "cuts",
+            "MIQPs",
+            "lambdas",
+            "paper bound (s)",
+        ],
     );
     for g in [
         zoo::mobilenet_v1(),

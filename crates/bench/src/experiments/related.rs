@@ -102,9 +102,15 @@ pub fn fig13() -> Table {
         &["time (s)", "cost ($)", "paper time", "paper cost"],
     );
     let batch = run_batch_baseline(&g, &cfg, 2048, 10, 10).unwrap();
-    t.row_all("BATCH", &[batch.completion_s, batch.dollars, 276.84, 0.0095]);
+    t.row_all(
+        "BATCH",
+        &[batch.completion_s, batch.dollars, 276.84, 0.0095],
+    );
     let seq = run_batched_plan(&g, &plan, &cfg, 10, 10, false).unwrap();
-    t.row_all("AMPS-Inf-Seq", &[seq.completion_s, seq.dollars, 231.36, 0.0043]);
+    t.row_all(
+        "AMPS-Inf-Seq",
+        &[seq.completion_s, seq.dollars, 231.36, 0.0043],
+    );
     let par = run_batched_plan(&g, &plan, &cfg, 10, 10, true).unwrap();
     t.row_all("AMPS-Inf", &[par.completion_s, par.dollars, 42.61, 0.0042]);
     t.notes = "Shape: AMPS-Inf-Seq beats BATCH on both axes under the same sequential \
@@ -150,8 +156,14 @@ mod tests {
         let batch = &t.rows[0].1;
         let seq = &t.rows[1].1;
         let par = &t.rows[2].1;
-        assert!(seq[1].unwrap() < batch[1].unwrap(), "seq cheaper than BATCH");
+        assert!(
+            seq[1].unwrap() < batch[1].unwrap(),
+            "seq cheaper than BATCH"
+        );
         assert!(seq[0].unwrap() < batch[0].unwrap(), "seq faster than BATCH");
-        assert!(par[0].unwrap() < seq[0].unwrap() * 0.5, "parallel much faster");
+        assert!(
+            par[0].unwrap() < seq[0].unwrap() * 0.5,
+            "parallel much faster"
+        );
     }
 }

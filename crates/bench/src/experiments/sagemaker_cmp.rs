@@ -31,8 +31,7 @@ pub fn amps_serve(g: &LayerGraph, cfg: &AmpsConfig) -> (JobReport, f64) {
 /// AMPS-Inf runs for the three large models, computed once and shared by
 /// Figs. 5–8 (the paper measures one deployment per model too).
 fn amps_results() -> &'static Vec<(String, JobReport, f64)> {
-    static CACHE: std::sync::OnceLock<Vec<(String, JobReport, f64)>> =
-        std::sync::OnceLock::new();
+    static CACHE: std::sync::OnceLock<Vec<(String, JobReport, f64)>> = std::sync::OnceLock::new();
     CACHE.get_or_init(|| {
         let cfg = AmpsConfig::default();
         eval_models()
@@ -46,7 +45,14 @@ fn amps_results() -> &'static Vec<(String, JobReport, f64)> {
 }
 
 fn sage(g: &LayerGraph, setting: SageSetting, cfg: &AmpsConfig) -> SageReport {
-    run_sagemaker(g, setting, 1, &SageConfig::default(), &cfg.perf, &cfg.prices)
+    run_sagemaker(
+        g,
+        setting,
+        1,
+        &SageConfig::default(),
+        &cfg.perf,
+        &cfg.prices,
+    )
 }
 
 /// Fig. 5: time to load model and weights.

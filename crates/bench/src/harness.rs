@@ -1,0 +1,172 @@
+//! Minimal benchmark harness: warmup, auto-calibrated batching, and
+//! min/median/mean reporting — dependency-free so the bench targets build
+//! in hermetic environments.
+//!
+//! Fast operations (µs-scale) are batched so each sample spans at least a
+//! millisecond; slow ones (the end-to-end optimizer) time single calls.
+
+use ampsinf_model::json::Json;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary, in seconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id, e.g. `optimize/vgg16/threads=2`.
+    pub name: String,
+    /// Timed samples collected.
+    pub samples: usize,
+    /// Iterations per sample (batched for fast operations).
+    pub inner_iters: usize,
+    /// Fastest sample.
+    pub min_s: f64,
+    /// Median sample.
+    pub median_s: f64,
+    /// Mean over all samples.
+    pub mean_s: f64,
+}
+
+/// Collects benchmark results and renders them.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    results: Vec<BenchResult>,
+}
+
+impl Bencher {
+    /// Creates an empty bencher.
+    pub fn new() -> Self {
+        Bencher {
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, collecting `samples` measurements after one warmup call.
+    /// The warmup also calibrates batching: calls faster than ~1 ms are
+    /// repeated until each sample spans at least that long.
+    pub fn bench<T>(&mut self, name: &str, samples: usize, mut f: impl FnMut() -> T) {
+        assert!(samples > 0, "need at least one sample");
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed();
+        let floor = Duration::from_millis(1);
+        let inner_iters = if once < floor {
+            (floor.as_nanos() / once.as_nanos().max(1) + 1) as usize
+        } else {
+            1
+        };
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..inner_iters {
+                black_box(f());
+            }
+            times.push(t.elapsed().as_secs_f64() / inner_iters as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let result = BenchResult {
+            name: name.to_string(),
+            samples,
+            inner_iters,
+            min_s: times[0],
+            median_s: times[times.len() / 2],
+            mean_s: times.iter().sum::<f64>() / times.len() as f64,
+        };
+        println!(
+            "{:<44} min {:>10}  median {:>10}  mean {:>10}  ({} x {})",
+            result.name,
+            fmt_time(result.min_s),
+            fmt_time(result.median_s),
+            fmt_time(result.mean_s),
+            result.samples,
+            result.inner_iters,
+        );
+        self.results.push(result);
+    }
+
+    /// All collected results.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Renders results as a JSON document (median is the headline number).
+    pub fn to_json(&self) -> String {
+        let entries: Vec<Json> = self
+            .results
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("name".into(), Json::from(r.name.as_str())),
+                    ("samples".into(), Json::from(r.samples)),
+                    ("inner_iters".into(), Json::from(r.inner_iters)),
+                    ("min_s".into(), Json::Num(r.min_s)),
+                    ("median_s".into(), Json::Num(r.median_s)),
+                    ("mean_s".into(), Json::Num(r.mean_s)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![("benchmarks".into(), Json::Arr(entries))]).render_pretty()
+    }
+
+    /// Writes the JSON report to the path named by the `BENCH_OUT`
+    /// environment variable, if set. Returns whether a file was written.
+    pub fn write_json_if_requested(&self) -> bool {
+        match std::env::var_os("BENCH_OUT") {
+            Some(path) => {
+                std::fs::write(&path, self.to_json()).expect("write BENCH_OUT");
+                println!("wrote {}", path.to_string_lossy());
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Human-friendly duration formatting.
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_sane_stats() {
+        let mut b = Bencher::new();
+        let mut counter = 0u64;
+        b.bench("noop", 5, || {
+            counter += 1;
+            counter
+        });
+        let r = &b.results()[0];
+        assert_eq!(r.samples, 5);
+        assert!(r.inner_iters >= 1);
+        assert!(r.min_s <= r.median_s && r.median_s <= r.mean_s * 5.0);
+        assert!(r.min_s > 0.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut b = Bencher::new();
+        b.bench("x", 2, || 1 + 1);
+        let j = b.to_json();
+        assert!(j.contains("\"benchmarks\""));
+        assert!(j.contains("\"median_s\""));
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5e-9), "2.5ns");
+        assert_eq!(fmt_time(2.5e-6), "2.50us");
+        assert_eq!(fmt_time(2.5e-3), "2.50ms");
+        assert_eq!(fmt_time(2.5), "2.500s");
+    }
+}

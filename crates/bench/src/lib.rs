@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 
 /// A rendered experiment result.
 #[derive(Debug, Clone)]

@@ -13,10 +13,9 @@
 use crate::config::AmpsConfig;
 use crate::cuts::segment_feasible;
 use crate::plan::{ExecutionPlan, PartitionPlan};
+use ampsinf_faas::SmallRng;
 use ampsinf_model::LayerGraph;
 use ampsinf_profiler::{quick_eval, Profile};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Evaluates a complete plan's predicted chain time and cost (cold chain,
 /// same arithmetic as the optimizer / platform).
@@ -28,8 +27,16 @@ pub fn predict(profile: &Profile, plan: &mut ExecutionPlan, cfg: &AmpsConfig) ->
         let is_first = i == 0;
         let is_last = p.end == n - 1;
         match quick_eval(
-            profile, p.start, p.end, p.memory_mb, &cfg.quotas, &cfg.prices, &cfg.perf,
-            &cfg.store, is_first, is_last,
+            profile,
+            p.start,
+            p.end,
+            p.memory_mb,
+            &cfg.quotas,
+            &cfg.prices,
+            &cfg.perf,
+            &cfg.store,
+            is_first,
+            is_last,
         ) {
             Ok(e) => {
                 time += e.duration_s;
@@ -50,14 +57,12 @@ pub fn predict(profile: &Profile, plan: &mut ExecutionPlan, cfg: &AmpsConfig) ->
 pub fn b1_random(graph: &LayerGraph, cfg: &AmpsConfig, seed: u64) -> Option<ExecutionPlan> {
     let profile = Profile::of(graph);
     let n = profile.num_layers();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let blocks = cfg.quotas.memory_blocks();
     for _attempt in 0..10_000 {
-        let k = rng.gen_range(1..=cfg.max_partitions);
+        let k = rng.range_inclusive(1, cfg.max_partitions);
         // k-1 distinct random interior boundaries.
-        let mut bounds: Vec<usize> = (0..k - 1)
-            .map(|_| rng.gen_range(0..n - 1))
-            .collect();
+        let mut bounds: Vec<usize> = (0..k - 1).map(|_| rng.below(n - 1)).collect();
         bounds.sort_unstable();
         bounds.dedup();
         bounds.push(n - 1);
@@ -86,7 +91,7 @@ pub fn b1_random(graph: &LayerGraph, cfg: &AmpsConfig, seed: u64) -> Option<Exec
         if feasible_blocks.is_empty() {
             continue;
         }
-        let mem = feasible_blocks[rng.gen_range(0..feasible_blocks.len())];
+        let mem = feasible_blocks[rng.below(feasible_blocks.len())];
         let mut plan = ExecutionPlan {
             model: graph.name.clone(),
             partitions: bounds_to_parts(&bounds, mem),
@@ -163,8 +168,16 @@ pub fn b3_optimal(graph: &LayerGraph, cfg: &AmpsConfig) -> Option<ExecutionPlan>
             let is_last = e == n - 1;
             for mem in profile.feasible_memories(s, e, &cfg.quotas, &cfg.perf) {
                 if let Ok(eval) = quick_eval(
-                    &profile, s, e, mem, &cfg.quotas, &cfg.prices, &cfg.perf, &cfg.store,
-                    is_first, is_last,
+                    &profile,
+                    s,
+                    e,
+                    mem,
+                    &cfg.quotas,
+                    &cfg.prices,
+                    &cfg.perf,
+                    &cfg.store,
+                    is_first,
+                    is_last,
                 ) {
                     let total = eval.dollars + cost_from[e + 1];
                     if best_here.is_none_or(|(c, _, _)| total < c) {

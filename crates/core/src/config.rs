@@ -38,6 +38,11 @@ pub struct AmpsConfig {
     /// plans pick larger memory blocks, e.g. MobileNet 2048/2176 MB at
     /// batch 10).
     pub batch_size: u64,
+    /// Worker threads for the optimizer's two passes (cut evaluation and
+    /// MIQP solves). `0` (the default) uses the machine's available
+    /// parallelism; `1` runs fully sequentially. The selected plan is
+    /// identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for AmpsConfig {
@@ -54,6 +59,7 @@ impl Default for AmpsConfig {
             cost_tolerance: 0.10,
             max_candidate_boundaries: 24,
             batch_size: 1,
+            threads: 0,
         }
     }
 }
@@ -75,6 +81,12 @@ impl AmpsConfig {
     pub fn with_batch(mut self, batch: u64) -> Self {
         assert!(batch >= 1, "batch must be at least 1");
         self.batch_size = batch;
+        self
+    }
+
+    /// Config with an explicit optimizer thread count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }

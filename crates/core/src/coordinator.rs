@@ -157,10 +157,7 @@ impl Coordinator {
             let r = self.serve_one(platform, dep, t0, &format!("img{img}"))?;
             jobs.push(r);
         }
-        let completion_s = jobs
-            .iter()
-            .map(|j| j.inference_s)
-            .fold(0.0f64, f64::max);
+        let completion_s = jobs.iter().map(|j| j.inference_s).fold(0.0f64, f64::max);
         let dollars = jobs.iter().map(|j| j.dollars).sum();
         Ok(BatchReport {
             completion_s,
@@ -252,9 +249,7 @@ mod tests {
         let (coord, plan) = optimized(&g);
         let mut platform = coord.platform();
         let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
-        let batch = coord
-            .serve_sequential(&mut platform, &dep, 3, 0.0)
-            .unwrap();
+        let batch = coord.serve_sequential(&mut platform, &dep, 3, 0.0).unwrap();
         assert_eq!(batch.jobs.len(), 3);
         // First request cold, later ones warm and faster.
         assert!(batch.jobs[1].inference_s < batch.jobs[0].inference_s);

@@ -279,10 +279,7 @@ mod tests {
         let profile = Profile::of(&g);
         let cfg = AmpsConfig::default();
         let cuts = enumerate_cuts(&profile, &cfg);
-        assert!(
-            !cuts.is_empty(),
-            "the giant/giant boundary must be offered"
-        );
+        assert!(!cuts.is_empty(), "the giant/giant boundary must be offered");
     }
 
     #[test]

@@ -54,8 +54,16 @@ pub fn evaluate_columns(
         let mut evals = Vec::new();
         for mem in profile.feasible_memories(start, end, &cfg.quotas, &cfg.perf) {
             if let Ok(eval) = quick_eval(
-                profile, start, end, mem, &cfg.quotas, &cfg.prices, &cfg.perf, &cfg.store,
-                is_first, is_last,
+                profile,
+                start,
+                end,
+                mem,
+                &cfg.quotas,
+                &cfg.prices,
+                &cfg.perf,
+                &cfg.store,
+                is_first,
+                is_last,
             ) {
                 memories.push(mem);
                 evals.push(eval);
@@ -219,7 +227,9 @@ pub fn build(profile: &Profile, cut: &[usize], cfg: &AmpsConfig) -> Option<CutMi
             let linear_part = rate * eval.breakdown.transfer_s
                 + cfg.prices.lambda_request
                 + (eval.dollars
-                    - cfg.prices.lambda_compute_cost(eval.duration_s, p.memories[j])
+                    - cfg
+                        .prices
+                        .lambda_compute_cost(eval.duration_s, p.memories[j])
                     - cfg.prices.lambda_request); // storage request fees
             let quad_part = eval.dollars - linear_part;
             h[(idx + j, idx + j)] = 2.0 * quad_part;

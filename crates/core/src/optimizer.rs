@@ -9,12 +9,15 @@
 
 use crate::config::AmpsConfig;
 use crate::cuts::enumerate_cuts;
-use crate::miqp_build::{build, evaluate_columns, separable_min_cost_cols, separable_min_time_cols};
+use crate::miqp_build::{
+    build, evaluate_columns, separable_min_cost_cols, separable_min_time_cols,
+};
 use crate::plan::{ExecutionPlan, PartitionPlan};
 use ampsinf_model::LayerGraph;
 use ampsinf_profiler::Profile;
-use ampsinf_solver::bb::{solve_miqp, BbStatus};
-use ampsinf_solver::BbOptions;
+use ampsinf_solver::bb::{solve_miqp_with, BbStatus};
+use ampsinf_solver::{BbOptions, QpWorkspace};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Optimization failure.
@@ -48,6 +51,61 @@ struct Candidate {
     cost: f64,
 }
 
+/// Pass-1 result for one cut: the separable optima over memory mixes,
+/// cached so later passes never re-evaluate columns.
+struct FastEval {
+    ci: usize,
+    /// Separable min-cost memory mix and its time/cost.
+    mems: Vec<u32>,
+    time: f64,
+    cost: f64,
+    /// Separable min-time memory mix and its time/cost (the SLO fallback).
+    min_mems: Vec<u32>,
+    min_time: f64,
+    min_cost: f64,
+}
+
+/// Pass-1 verdict for one cut.
+enum CutEval {
+    /// No memory assignment satisfies the platform constraints.
+    Infeasible,
+    /// Feasible, but even the fastest memory mix misses the SLO.
+    SloKilled,
+    /// Feasible; carries the cached separable optima.
+    Alive(FastEval),
+}
+
+/// Pass-2 treatment of one surviving cut. Fixed before any solve starts,
+/// so the schedule is independent of thread interleaving.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CutClass {
+    /// Separable min-cost mix meets the SLO (or none is set): that mix is
+    /// already this cut's cost optimum, so the MIQP cannot improve it.
+    Fast,
+    /// SLO-binding: the min-cost mix misses the SLO but some mix meets it —
+    /// the full MIQP finds the cheapest such mix.
+    Miqp,
+    /// SLO-binding cut beyond the MIQP cap: fall back to the cached
+    /// fastest memory mix.
+    Fallback,
+}
+
+/// Decoded MIQP result for one cut: `(memories, time, cost)`, or `None`
+/// when the solve produced no usable point.
+type MiqpOutcome = Option<(Vec<u32>, f64, f64)>;
+
+/// Shared inputs of the speculative MIQP phase.
+struct Pass2Ctx<'a> {
+    profile: &'a Profile,
+    cuts: &'a [Vec<usize>],
+    fast: &'a [FastEval],
+    /// Ranks classified [`CutClass::Miqp`], in rank (fast-cost) order.
+    jobs: &'a [usize],
+    /// Cheapest cost already guaranteed by a Fast/Fallback candidate —
+    /// seeds the shared incumbent bound.
+    bound_seed: f64,
+}
+
 /// Optimizer statistics for the paper's overhead discussion (§5.4: "within
 /// a few seconds on a laptop").
 #[derive(Debug, Clone)]
@@ -56,10 +114,32 @@ pub struct OptimizerReport {
     pub plan: ExecutionPlan,
     /// Cuts enumerated.
     pub cuts_considered: usize,
-    /// Full MIQP (branch-and-bound) solves performed.
+    /// Full MIQP (branch-and-bound) solves performed. With several threads
+    /// this may exceed the sequential count (speculative solves that the
+    /// deterministic merge later discards) — the *plan* never differs.
     pub miqps_solved: usize,
     /// Wall-clock optimization time.
     pub solve_time: Duration,
+    /// Wall-clock time of pass 1 (column evaluation + separable paths).
+    pub pass1_time: Duration,
+    /// Wall-clock time of pass 2 (MIQP solves + deterministic merge).
+    pub pass2_time: Duration,
+    /// Worker threads the run actually used.
+    pub threads_used: usize,
+}
+
+/// Lock-free `min` on an `f64` stored as bits in an `AtomicU64`.
+fn atomic_min_f64(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(cur) <= v {
+            return;
+        }
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
 }
 
 /// The AMPS-Inf optimizer.
@@ -77,6 +157,15 @@ const MIQP_TOP_CUTS: usize = 12;
 /// worst case; cuts beyond the cap fall back to their fastest memory mix).
 const MIQP_HARD_CAP: usize = 200;
 
+/// How many MIQP jobs (in rank order) the speculative parallel phase may
+/// start ahead of the deterministic replay. The replay usually stops after
+/// `MIQP_TOP_CUTS` plus the tolerance tail, so a window of a few times
+/// that keeps speculative over-solving — work the sequential path would
+/// never do — bounded while still hiding MIQP latency across workers.
+/// Ranks past the window are solved lazily by the replay if it actually
+/// reaches them.
+const SPECULATION_WINDOW: usize = 2 * MIQP_TOP_CUTS;
+
 impl Optimizer {
     /// Creates an optimizer with the given configuration.
     pub fn new(cfg: AmpsConfig) -> Self {
@@ -89,6 +178,11 @@ impl Optimizer {
     }
 
     /// Computes the optimal execution + provisioning plan for `graph`.
+    ///
+    /// With `cfg.threads > 1` both passes fan out over a scoped worker
+    /// pool; a deterministic merge (see `DESIGN.md`, "Optimizer
+    /// parallelism") guarantees the selected plan is bit-identical to the
+    /// `threads = 1` run at every thread count.
     pub fn optimize(&self, graph: &LayerGraph) -> Result<OptimizerReport, OptimizeError> {
         let t0 = Instant::now();
         let profile = Profile::batched(graph, self.cfg.batch_size);
@@ -96,37 +190,27 @@ impl Optimizer {
         if cuts.is_empty() {
             return Err(OptimizeError::NoFeasibleCut);
         }
+        let threads = self.resolve_threads();
 
         // Pass 1: evaluate every cut's columns and run the separable fast
         // paths — no matrices are assembled here. `min_time` is the
         // fastest any memory mix can make the cut; cuts whose min_time
         // violates the SLO are provably infeasible and never see a MIQP.
-        struct FastEval {
-            ci: usize,
-            mems: Vec<u32>,
-            time: f64,
-            cost: f64,
-            min_time: f64,
-        }
+        // Workers fill per-cut slots, so the merged order (and the stable
+        // sort below) never depends on thread interleaving.
+        let p1 = Instant::now();
+        let evals = self.evaluate_cuts(&profile, &cuts, threads);
         let mut fast: Vec<FastEval> = Vec::new();
         let mut any_feasible_cut = false;
-        for (ci, cut) in cuts.iter().enumerate() {
-            let Some(cols) = evaluate_columns(&profile, cut, &self.cfg) else {
-                continue;
-            };
-            any_feasible_cut = true;
-            let (mems, time, cost) = separable_min_cost_cols(&cols);
-            let (_, min_time, _) = separable_min_time_cols(&cols);
-            if self.cfg.slo_s.is_some_and(|s| min_time > s + 1e-9) {
-                continue; // no memory mix can meet the SLO on this cut
+        for e in evals {
+            match e {
+                CutEval::Infeasible => {}
+                CutEval::SloKilled => any_feasible_cut = true,
+                CutEval::Alive(fe) => {
+                    any_feasible_cut = true;
+                    fast.push(fe);
+                }
             }
-            fast.push(FastEval {
-                ci,
-                mems,
-                time,
-                cost,
-                min_time,
-            });
         }
         if !any_feasible_cut {
             return Err(OptimizeError::NoFeasibleCut);
@@ -134,15 +218,75 @@ impl Optimizer {
         if fast.is_empty() {
             return Err(OptimizeError::SloInfeasible);
         }
-        fast.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+        fast.sort_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let pass1_time = p1.elapsed();
 
-        // Pass 2: full MIQP on the most promising cuts and on SLO-binding
-        // ones, in fast-cost order. Since any SLO-feasible configuration
-        // costs at least the cut's fast-path cost, once an incumbent
-        // exists every later cut with fast cost above the incumbent's
-        // tolerance budget can be skipped (admissible bound). A hard cap
-        // bounds worst-case work.
-        let mut miqps_solved = 0usize;
+        // Pass 2: full MIQP on the SLO-binding cuts, in fast-cost order.
+        // The classification is static: a cut whose separable min-cost mix
+        // already meets the SLO cannot be improved by the MIQP (that mix
+        // is the unconstrained cost optimum), so only binding cuts — where
+        // the SLO row actually constrains the mix — pay for a solve, up to
+        // a hard cap. Without an SLO no MIQP is ever needed.
+        let p2 = Instant::now();
+        let mut classes = Vec::with_capacity(fast.len());
+        let mut binding = 0usize;
+        for fe in &fast {
+            let slo_ok = self.cfg.slo_s.is_none_or(|s| fe.time <= s);
+            classes.push(if slo_ok {
+                CutClass::Fast
+            } else if binding < MIQP_HARD_CAP {
+                binding += 1;
+                CutClass::Miqp
+            } else {
+                CutClass::Fallback
+            });
+        }
+        let jobs: Vec<usize> = (0..fast.len())
+            .filter(|&r| classes[r] == CutClass::Miqp)
+            .collect();
+        let mut bound_seed = f64::INFINITY;
+        for (rank, fe) in fast.iter().enumerate() {
+            match classes[rank] {
+                CutClass::Fast => bound_seed = bound_seed.min(fe.cost),
+                CutClass::Fallback => {
+                    if self.cfg.slo_s.is_none_or(|s| fe.min_time <= s + 1e-9) {
+                        bound_seed = bound_seed.min(fe.min_cost);
+                    }
+                }
+                CutClass::Miqp => {}
+            }
+        }
+
+        // Speculative phase: workers race through the MIQP jobs sharing an
+        // atomic incumbent bound; cuts whose separable cost already exceeds
+        // the bound's tolerance budget are skipped (any SLO-feasible mix of
+        // a cut costs at least its separable minimum, so the skip is
+        // admissible). Results are memoized per rank.
+        let miqp_count = AtomicUsize::new(0);
+        let mut outcomes: Vec<Option<MiqpOutcome>> = (0..fast.len()).map(|_| None).collect();
+        if threads > 1 && !jobs.is_empty() {
+            let ctx = Pass2Ctx {
+                profile: &profile,
+                cuts: &cuts,
+                fast: &fast,
+                jobs: &jobs[..jobs.len().min(SPECULATION_WINDOW)],
+                bound_seed,
+            };
+            for (rank, o) in self.speculate(&ctx, &miqp_count, threads) {
+                outcomes[rank] = Some(o);
+            }
+        }
+
+        // Deterministic merge: replay the sequential selection loop in rank
+        // order, reusing memoized MIQP results and lazily solving any rank
+        // the speculative phase skipped. Because each MIQP solve is itself
+        // deterministic, this loop — and therefore the selected plan — is
+        // bit-identical to the `threads = 1` run.
+        let mut ws = QpWorkspace::new();
         let mut candidates: Vec<Candidate> = Vec::new();
         let mut best_candidate_cost = f64::INFINITY;
         for (rank, fe) in fast.iter().enumerate() {
@@ -151,23 +295,22 @@ impl Optimizer {
             {
                 break; // no later cut can enter the tolerance set
             }
-            let slo_ok = self.cfg.slo_s.is_none_or(|s| fe.time <= s);
-            let needs_miqp = rank < MIQP_TOP_CUTS || !slo_ok;
-            if needs_miqp && miqps_solved < MIQP_HARD_CAP {
-                let Some(miqp) = build(&profile, &cuts[fe.ci], &self.cfg) else {
-                    continue;
-                };
-                let sol = solve_miqp(
-                    &miqp.problem,
-                    BbOptions {
-                        convexify: self.cfg.convexify,
-                        ..Default::default()
-                    },
-                );
-                miqps_solved += 1;
-                match sol.status {
-                    BbStatus::Optimal | BbStatus::NodeLimit if !sol.x.is_empty() => {
-                        let (memories, t, c) = miqp.decode(&sol.x);
+            match classes[rank] {
+                CutClass::Fast => {
+                    best_candidate_cost = best_candidate_cost.min(fe.cost);
+                    candidates.push(Candidate {
+                        cut: cuts[fe.ci].clone(),
+                        memories: fe.mems.clone(),
+                        time_s: fe.time,
+                        cost: fe.cost,
+                    });
+                }
+                CutClass::Miqp => {
+                    let outcome = match outcomes[rank].take() {
+                        Some(o) => o,
+                        None => self.solve_cut_miqp(&profile, &cuts[fe.ci], &mut ws, &miqp_count),
+                    };
+                    if let Some((memories, t, c)) = outcome {
                         if self.cfg.slo_s.is_none_or(|s| t <= s + 1e-9) {
                             best_candidate_cost = best_candidate_cost.min(c);
                             candidates.push(Candidate {
@@ -178,36 +321,25 @@ impl Optimizer {
                             });
                         }
                     }
-                    _ => {}
                 }
-            } else if slo_ok {
-                best_candidate_cost = best_candidate_cost.min(fe.cost);
-                candidates.push(Candidate {
-                    cut: cuts[fe.ci].clone(),
-                    memories: fe.mems.clone(),
-                    time_s: fe.time,
-                    cost: fe.cost,
-                });
-            } else {
-                // SLO-binding cut beyond the MIQP cap: fall back to the
-                // fastest memory mix if it fits the SLO (it does — the
-                // min-time filter above kept this cut alive).
-                let Some(cols) = evaluate_columns(&profile, &cuts[fe.ci], &self.cfg) else {
-                    continue;
-                };
-                let (memories, t, c) = separable_min_time_cols(&cols);
-                if self.cfg.slo_s.is_none_or(|s| t <= s + 1e-9) {
-                    best_candidate_cost = best_candidate_cost.min(c);
-                    candidates.push(Candidate {
-                        cut: cuts[fe.ci].clone(),
-                        memories,
-                        time_s: t,
-                        cost: c,
-                    });
+                CutClass::Fallback => {
+                    // SLO-binding cut beyond the MIQP cap: the cached
+                    // fastest memory mix fits the SLO (the min-time filter
+                    // in pass 1 kept this cut alive).
+                    if self.cfg.slo_s.is_none_or(|s| fe.min_time <= s + 1e-9) {
+                        best_candidate_cost = best_candidate_cost.min(fe.min_cost);
+                        candidates.push(Candidate {
+                            cut: cuts[fe.ci].clone(),
+                            memories: fe.min_mems.clone(),
+                            time_s: fe.min_time,
+                            cost: fe.min_cost,
+                        });
+                    }
                 }
             }
-            let _ = fe.min_time;
         }
+        let pass2_time = p2.elapsed();
+        let miqps_solved = miqp_count.load(Ordering::Relaxed);
         if candidates.is_empty() {
             return Err(OptimizeError::SloInfeasible);
         }
@@ -240,6 +372,172 @@ impl Optimizer {
             cuts_considered: cuts.len(),
             miqps_solved,
             solve_time: t0.elapsed(),
+            pass1_time,
+            pass2_time,
+            threads_used: threads,
+        })
+    }
+
+    /// Resolves the configured thread count (`0` = machine parallelism).
+    fn resolve_threads(&self) -> usize {
+        if self.cfg.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.cfg.threads
+        }
+    }
+
+    /// Pass-1 verdict for a single cut.
+    fn eval_cut(&self, profile: &Profile, ci: usize, cut: &[usize]) -> CutEval {
+        let Some(cols) = evaluate_columns(profile, cut, &self.cfg) else {
+            return CutEval::Infeasible;
+        };
+        let (mems, time, cost) = separable_min_cost_cols(&cols);
+        let (min_mems, min_time, min_cost) = separable_min_time_cols(&cols);
+        if self.cfg.slo_s.is_some_and(|s| min_time > s + 1e-9) {
+            return CutEval::SloKilled; // no memory mix can meet the SLO
+        }
+        CutEval::Alive(FastEval {
+            ci,
+            mems,
+            time,
+            cost,
+            min_mems,
+            min_time,
+            min_cost,
+        })
+    }
+
+    /// Evaluates all cuts, fanning out over `threads` scoped workers.
+    /// Workers pull cut indices from a shared counter and write into
+    /// per-cut slots, so the returned order matches the sequential loop.
+    fn evaluate_cuts(
+        &self,
+        profile: &Profile,
+        cuts: &[Vec<usize>],
+        threads: usize,
+    ) -> Vec<CutEval> {
+        let workers = threads.min(cuts.len()).max(1);
+        if workers == 1 {
+            return cuts
+                .iter()
+                .enumerate()
+                .map(|(ci, cut)| self.eval_cut(profile, ci, cut))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, CutEval)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let ci = next.fetch_add(1, Ordering::Relaxed);
+                            if ci >= cuts.len() {
+                                break;
+                            }
+                            local.push((ci, self.eval_cut(profile, ci, &cuts[ci])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pass-1 worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<CutEval>> = (0..cuts.len()).map(|_| None).collect();
+        for part in parts {
+            for (ci, e) in part {
+                slots[ci] = Some(e);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every cut evaluated exactly once"))
+            .collect()
+    }
+
+    /// Builds and solves one cut's MIQP, bumping the shared solve counter.
+    fn solve_cut_miqp(
+        &self,
+        profile: &Profile,
+        cut: &[usize],
+        ws: &mut QpWorkspace,
+        count: &AtomicUsize,
+    ) -> MiqpOutcome {
+        let miqp = build(profile, cut, &self.cfg)?;
+        let sol = solve_miqp_with(
+            &miqp.problem,
+            BbOptions {
+                convexify: self.cfg.convexify,
+                ..Default::default()
+            },
+            ws,
+        );
+        count.fetch_add(1, Ordering::Relaxed);
+        match sol.status {
+            BbStatus::Optimal | BbStatus::NodeLimit if !sol.x.is_empty() => {
+                Some(miqp.decode(&sol.x))
+            }
+            _ => None,
+        }
+    }
+
+    /// Speculative MIQP phase: workers pull jobs in rank order and share an
+    /// atomic incumbent bound. Returns `(rank, outcome)` for every job
+    /// actually solved; skipped jobs are re-examined (and lazily solved if
+    /// still needed) by the deterministic merge. Each B&B run receives no
+    /// external cutoff, so its result is independent of the bound — the
+    /// bound only decides whether a solve happens at all.
+    fn speculate(
+        &self,
+        ctx: &Pass2Ctx<'_>,
+        count: &AtomicUsize,
+        threads: usize,
+    ) -> Vec<(usize, MiqpOutcome)> {
+        let workers = threads.min(ctx.jobs.len());
+        let best = AtomicU64::new(ctx.bound_seed.to_bits());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut ws = QpWorkspace::new();
+                        let mut local: Vec<(usize, MiqpOutcome)> = Vec::new();
+                        loop {
+                            let j = next.fetch_add(1, Ordering::Relaxed);
+                            if j >= ctx.jobs.len() {
+                                break;
+                            }
+                            let rank = ctx.jobs[j];
+                            let fe = &ctx.fast[rank];
+                            let bound = f64::from_bits(best.load(Ordering::Relaxed));
+                            if rank >= MIQP_TOP_CUTS
+                                && fe.cost > bound * (1.0 + self.cfg.cost_tolerance) + 1e-15
+                            {
+                                continue; // cannot enter the tolerance set
+                            }
+                            let outcome =
+                                self.solve_cut_miqp(ctx.profile, &ctx.cuts[fe.ci], &mut ws, count);
+                            if let Some((_, t, c)) = &outcome {
+                                if self.cfg.slo_s.is_none_or(|slo| *t <= slo + 1e-9) {
+                                    atomic_min_f64(&best, *c);
+                                }
+                            }
+                            local.push((rank, outcome));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pass-2 worker panicked"))
+                .collect()
         })
     }
 

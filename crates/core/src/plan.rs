@@ -1,10 +1,10 @@
 //! Execution and resource-provisioning plans — the Optimizer's output
 //! ("best configuration (Partitions, Lambdas' memories)", paper Fig. 3).
 
-use serde::{Deserialize, Serialize};
+use ampsinf_model::json::Json;
 
 /// One partition's placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartitionPlan {
     /// First layer index (inclusive).
     pub start: usize,
@@ -15,7 +15,7 @@ pub struct PartitionPlan {
 }
 
 /// A complete serverless deployment plan for one model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionPlan {
     /// Model name.
     pub model: String,
@@ -70,16 +70,75 @@ impl ExecutionPlan {
         }
         Ok(())
     }
+
+    /// Serializes the plan to pretty-printed JSON (the Coordinator's
+    /// deployment artifact).
+    pub fn to_json(&self) -> String {
+        let partitions: Vec<Json> = self
+            .partitions
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("start".into(), Json::from(p.start)),
+                    ("end".into(), Json::from(p.end)),
+                    ("memory_mb".into(), Json::from(p.memory_mb)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("model".into(), Json::from(self.model.as_str())),
+            ("partitions".into(), Json::Arr(partitions)),
+            ("predicted_time_s".into(), Json::from(self.predicted_time_s)),
+            ("predicted_cost".into(), Json::from(self.predicted_cost)),
+        ])
+        .render_pretty()
+    }
+
+    /// Parses a plan from its JSON form.
+    pub fn from_json(s: &str) -> Result<ExecutionPlan, String> {
+        let doc = Json::parse(s)?;
+        let field = |key: &str| -> Result<&Json, String> {
+            doc.get(key).ok_or_else(|| format!("missing field `{key}`"))
+        };
+        let mut partitions = Vec::new();
+        for p in field("partitions")?
+            .as_array()
+            .ok_or("partitions must be an array")?
+        {
+            partitions.push(PartitionPlan {
+                start: p
+                    .get("start")
+                    .and_then(Json::as_usize)
+                    .ok_or("bad partition start")?,
+                end: p
+                    .get("end")
+                    .and_then(Json::as_usize)
+                    .ok_or("bad partition end")?,
+                memory_mb: p
+                    .get("memory_mb")
+                    .and_then(Json::as_u32)
+                    .ok_or("bad partition memory")?,
+            });
+        }
+        Ok(ExecutionPlan {
+            model: field("model")?
+                .as_str()
+                .ok_or("model must be a string")?
+                .to_string(),
+            partitions,
+            predicted_time_s: field("predicted_time_s")?
+                .as_f64()
+                .ok_or("bad predicted_time_s")?,
+            predicted_cost: field("predicted_cost")?
+                .as_f64()
+                .ok_or("bad predicted_cost")?,
+        })
+    }
 }
 
 impl std::fmt::Display for ExecutionPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}: {} lambda(s) [",
-            self.model,
-            self.partitions.len()
-        )?;
+        write!(f, "{}: {} lambda(s) [", self.model, self.partitions.len())?;
         for (i, p) in self.partitions.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
@@ -141,11 +200,16 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let p = plan();
-        let s = serde_json::to_string(&p).unwrap();
-        let back: ExecutionPlan = serde_json::from_str(&s).unwrap();
+        let back = ExecutionPlan::from_json(&p.to_json()).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn json_rejects_malformed_plans() {
+        assert!(ExecutionPlan::from_json("{}").is_err());
+        assert!(ExecutionPlan::from_json("not json").is_err());
     }
 
     #[test]

@@ -7,10 +7,9 @@
 
 use crate::coordinator::JobReport;
 use crate::plan::ExecutionPlan;
-use serde::Serialize;
 
 /// One timeline span.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Span {
     /// Which lambda (chain index).
     pub lambda: usize,
@@ -24,7 +23,7 @@ pub struct Span {
 }
 
 /// A request's full timeline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Timeline {
     /// Model name.
     pub model: String,

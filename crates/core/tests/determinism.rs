@@ -1,0 +1,141 @@
+//! Determinism of the parallel optimizer (DESIGN.md §5c, "Optimizer
+//! parallelism"): at every thread count the selected plan must be
+//! bit-identical to the sequential `threads = 1` run — same partitions,
+//! same memories, bit-equal predicted cost and time. The sweep covers the
+//! no-SLO path (zero MIQPs, pass 1 parallel only), binding SLOs (parallel
+//! speculative MIQP pass + lazy replay), and infeasible SLOs (error-path
+//! agreement). Tight-SLO sweeps run on chain models whose MIQPs are small,
+//! so the suite stays fast in the debug profile; the real zoo models cover
+//! the (much cheaper) unconstrained path and one slim binding case.
+
+use ampsinf_core::optimizer::{OptimizeError, Optimizer, OptimizerReport};
+use ampsinf_core::AmpsConfig;
+use ampsinf_model::zoo;
+use ampsinf_model::LayerGraph;
+
+const THREAD_COUNTS: [usize; 2] = [2, 4];
+
+fn assert_identical(graph: &LayerGraph, cfg: &AmpsConfig, label: &str) {
+    let base: Result<OptimizerReport, OptimizeError> =
+        Optimizer::new(cfg.clone().with_threads(1)).optimize(graph);
+    for &t in &THREAD_COUNTS {
+        let par = Optimizer::new(cfg.clone().with_threads(t)).optimize(graph);
+        match (&base, &par) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    a.plan.partitions, b.plan.partitions,
+                    "{label}: partitions diverge at threads={t}"
+                );
+                assert_eq!(
+                    a.plan.predicted_cost.to_bits(),
+                    b.plan.predicted_cost.to_bits(),
+                    "{label}: cost diverges at threads={t} ({} vs {})",
+                    a.plan.predicted_cost,
+                    b.plan.predicted_cost
+                );
+                assert_eq!(
+                    a.plan.predicted_time_s.to_bits(),
+                    b.plan.predicted_time_s.to_bits(),
+                    "{label}: time diverges at threads={t} ({} vs {})",
+                    a.plan.predicted_time_s,
+                    b.plan.predicted_time_s
+                );
+                assert_eq!(b.threads_used, t, "{label}: thread knob ignored");
+            }
+            (Err(ea), Err(eb)) => {
+                assert_eq!(ea, eb, "{label}: error kind diverges at threads={t}")
+            }
+            (a, b) => panic!("{label}: outcome diverges at threads={t}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// SLO factors relative to the unconstrained optimum's time: >1 is slack
+/// (no binding cuts), <1 forces the MIQP path on every surviving cut.
+fn slo_sweep(graph: &LayerGraph, cfg: &AmpsConfig, factors: &[f64], label: &str) {
+    assert_identical(graph, cfg, label);
+    let free = Optimizer::new(cfg.clone().with_threads(1))
+        .optimize(graph)
+        .expect("unconstrained run is feasible");
+    for &factor in factors {
+        let slo = free.plan.predicted_time_s * factor;
+        assert_identical(
+            graph,
+            &cfg.clone().with_slo(slo),
+            &format!("{label}/slo={factor}"),
+        );
+    }
+}
+
+/// Trimmed candidate budget: keeps the binding MIQP path exercised on a
+/// real zoo model while the debug-profile test stays fast (tight-SLO MIQPs
+/// dominate the suite's runtime).
+fn slim() -> AmpsConfig {
+    AmpsConfig {
+        max_candidate_boundaries: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn zoo_models_identical_without_slo() {
+    // Unconstrained runs solve zero MIQPs, so this isolates the parallel
+    // pass-1 evaluation + stable merge on the real architectures.
+    for g in [zoo::mobilenet_v1(), zoo::resnet50(), zoo::xception()] {
+        let label = g.name.clone();
+        assert_identical(&g, &AmpsConfig::default(), &label);
+    }
+}
+
+#[test]
+fn mobilenet_binding_slo_identical() {
+    // One real-model binding case: the speculative MIQP pass + replay.
+    slo_sweep(&zoo::mobilenet_v1(), &slim(), &[0.95], "mobilenet_v1/slim");
+}
+
+#[test]
+fn tiny_cnn_plans_identical_across_slo_tightness() {
+    // A small heterogeneous model (conv/BN/residual-add): cheap enough to
+    // sweep slack and binding SLOs broadly. (Homogeneous dense chains are
+    // deliberately not used here — their massive cost ties degenerate the
+    // branch-and-bound search and the sweep stops being cheap.)
+    let g = zoo::tiny_cnn();
+    slo_sweep(&g, &AmpsConfig::default(), &[1.5, 0.9], "tiny_cnn");
+}
+
+#[test]
+fn zero_tolerance_plans_identical() {
+    // cost_tolerance = 0 narrows the tolerance set to exact cost ties,
+    // where the first-wins ordering is most fragile.
+    let cfg = AmpsConfig {
+        cost_tolerance: 0.0,
+        ..Default::default()
+    };
+    slo_sweep(&zoo::tiny_cnn(), &cfg, &[1.5, 0.9], "tiny_cnn/tol=0");
+}
+
+#[test]
+fn infeasible_slo_errors_identical() {
+    assert_identical(
+        &zoo::mobilenet_v1(),
+        &AmpsConfig::default().with_slo(0.001),
+        "mobilenet_v1/impossible-slo",
+    );
+}
+
+#[test]
+fn auto_thread_count_matches_sequential_plan() {
+    // threads = 0 resolves to the machine's parallelism; whatever that is,
+    // the plan must match the sequential one.
+    let g = zoo::resnet50();
+    let base = Optimizer::new(AmpsConfig::default().with_threads(1))
+        .optimize(&g)
+        .unwrap();
+    let auto = Optimizer::new(AmpsConfig::default()).optimize(&g).unwrap();
+    assert!(auto.threads_used >= 1);
+    assert_eq!(base.plan.partitions, auto.plan.partitions);
+    assert_eq!(
+        base.plan.predicted_cost.to_bits(),
+        auto.plan.predicted_cost.to_bits()
+    );
+}

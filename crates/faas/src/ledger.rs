@@ -5,10 +5,8 @@
 //! (`I`); SageMaker comparisons add VM time. The ledger keeps each dollar
 //! attributed so the repro harness can print the same decompositions.
 
-use serde::{Deserialize, Serialize};
-
 /// Cost category, mirroring the paper's cost-model terms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CostItem {
     /// Lambda GB-seconds (the paper's `v_{j,i} · T`).
     LambdaCompute,
@@ -27,7 +25,7 @@ pub enum CostItem {
 }
 
 /// One ledger line.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostEntry {
     /// What kind of charge.
     pub item: CostItem,
@@ -38,7 +36,7 @@ pub struct CostEntry {
 }
 
 /// Append-only cost ledger.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CostLedger {
     entries: Vec<CostEntry>,
 }

@@ -61,6 +61,7 @@ pub mod perf;
 pub mod platform;
 pub mod pricing;
 pub mod quotas;
+pub mod rng;
 pub mod runtime;
 pub mod stepfn;
 pub mod storage;
@@ -68,9 +69,12 @@ pub mod vm;
 
 pub use ledger::{CostItem, CostLedger};
 pub use perf::{LambdaPerf, PerfModel};
-pub use platform::{DeployError, FunctionId, FunctionSpec, InvocationOutcome, InvocationWork, Platform};
+pub use platform::{
+    DeployError, FunctionId, FunctionSpec, InvocationOutcome, InvocationWork, Platform,
+};
 pub use pricing::PriceSheet;
 pub use quotas::Quotas;
+pub use rng::SmallRng;
 pub use runtime::{PartitionWork, WorkPhases};
 pub use stepfn::{StepExecution, StepFunction, StepState};
 pub use storage::{ObjectStore, StoreKind};

@@ -11,10 +11,8 @@
 //! paper's own measurements (see `DESIGN.md` §5); the tests below pin the
 //! *shape* facts the evaluation depends on, not absolute numbers.
 
-use serde::{Deserialize, Serialize};
-
 /// Calibration constants for the lambda performance model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfModel {
     /// Memory at which the function owns one full vCPU (AWS: 1,792 MB).
     pub full_share_mb: f64,
@@ -69,7 +67,7 @@ impl Default for PerfModel {
 }
 
 /// Per-invocation duration breakdown computed by [`LambdaPerf`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DurationBreakdown {
     /// Cold-start sandbox + package fetch (zero on warm starts).
     pub cold_s: f64,
@@ -171,11 +169,7 @@ mod tests {
             return None;
         }
         let cpu = perf.import_work() + perf.load_work(weights) + perf.compute_work(flops);
-        Some(
-            perf.cold_start(weights)
-                + perf.cpu_time(cpu, footprint)
-                + model.fixed_overhead_s,
-        )
+        Some(perf.cold_start(weights) + perf.cpu_time(cpu, footprint) + model.fixed_overhead_s)
     }
 
     #[test]
@@ -196,7 +190,10 @@ mod tests {
         let t2048 = mobilenet_duration(&m, 2048).unwrap();
         let t3008 = mobilenet_duration(&m, 3008).unwrap();
         assert!(t512 > t1024 && t1024 > t1536 && t1536 > t2048);
-        assert!((t2048 - t3008).abs() < 0.05, "saturation: {t2048} vs {t3008}");
+        assert!(
+            (t2048 - t3008).abs() < 0.05,
+            "saturation: {t2048} vs {t3008}"
+        );
         // Roughly 2× between 512 and 1024, as in Table 2 (22.03 → 10.65).
         let ratio = t512 / t1024;
         assert!(ratio > 1.7 && ratio < 2.4, "ratio {ratio}");
@@ -215,14 +212,15 @@ mod tests {
         // Table 2: cost dips at 1024 MB — cheaper than both 512 and 1536+.
         let m = PerfModel::default();
         let sheet = crate::pricing::PriceSheet::aws_2020();
-        let cost = |mem: u32| {
-            sheet.lambda_compute_cost(mobilenet_duration(&m, mem).unwrap(), mem)
-        };
+        let cost = |mem: u32| sheet.lambda_compute_cost(mobilenet_duration(&m, mem).unwrap(), mem);
         let c512 = cost(512);
         let c1024 = cost(1024);
         let c2048 = cost(2048);
         let c3008 = cost(3008);
-        assert!(c1024 < c512, "pressure should make 512 pricier: {c512} vs {c1024}");
+        assert!(
+            c1024 < c512,
+            "pressure should make 512 pricier: {c512} vs {c1024}"
+        );
         assert!(c1024 < c2048 && c2048 < c3008);
     }
 

@@ -102,7 +102,10 @@ impl std::fmt::Display for InvokeError {
             InvokeError::OutOfMemory {
                 footprint_mb,
                 memory_mb,
-            } => write!(f, "{footprint_mb:.0} MB footprint cannot run in {memory_mb} MB"),
+            } => write!(
+                f,
+                "{footprint_mb:.0} MB footprint cannot run in {memory_mb} MB"
+            ),
             InvokeError::TmpExceeded { got, limit } => write!(
                 f,
                 "tmp usage {:.1} MB exceeds {:.0} MB",
@@ -305,16 +308,13 @@ impl Platform {
             .instances
             .iter()
             .enumerate()
-            .filter(|(_, &busy_until)| {
-                start >= busy_until && start - busy_until <= KEEP_ALIVE_S
-            })
+            .filter(|(_, &busy_until)| start >= busy_until && start - busy_until <= KEEP_ALIVE_S)
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i);
         let warm = warm_slot.is_some();
 
         let perf = LambdaPerf::new(&self.perf, spec.memory_mb);
-        let footprint_mb =
-            self.perf.runtime_footprint_mb + work.resident_bytes as f64 / MB as f64;
+        let footprint_mb = self.perf.runtime_footprint_mb + work.resident_bytes as f64 / MB as f64;
         if perf.is_oom(footprint_mb) {
             return Err(InvokeError::OutOfMemory {
                 footprint_mb,
@@ -388,8 +388,11 @@ impl Platform {
         let compute_cost = self.prices.lambda_compute_cost(duration, spec.memory_mb);
         self.ledger
             .charge(CostItem::LambdaCompute, compute_cost, spec.name.clone());
-        self.ledger
-            .charge(CostItem::LambdaRequest, self.prices.lambda_request, spec.name.clone());
+        self.ledger.charge(
+            CostItem::LambdaRequest,
+            self.prices.lambda_request,
+            spec.name.clone(),
+        );
 
         let func = &mut self.functions[id.0];
         match warm_slot {
@@ -412,8 +415,7 @@ impl Platform {
     /// Settles at-rest storage charges up to `until`; call once per job.
     pub fn settle_storage(&mut self, until: f64) -> f64 {
         let prices = self.prices;
-        self.store
-            .settle_storage(until, &prices, &mut self.ledger)
+        self.store.settle_storage(until, &prices, &mut self.ledger)
     }
 
     /// Total dollars accrued so far.
@@ -498,7 +500,9 @@ mod tests {
         assert_eq!(second.breakdown.load_s, 0.0);
         assert!(second.duration() < first.duration());
         // Cold again after the keep-alive lapses.
-        let third = p.invoke(id, second.end + KEEP_ALIVE_S + 1.0, &work).unwrap();
+        let third = p
+            .invoke(id, second.end + KEEP_ALIVE_S + 1.0, &work)
+            .unwrap();
         assert!(!third.warm);
     }
 

@@ -5,11 +5,9 @@
 //! precision (22.03 s × 0.5 GB × 1.66667e-5 ≈ $0.00018), so with the same
 //! sheet our simulated costs are directly comparable.
 
-use serde::{Deserialize, Serialize};
-
 /// Prices for the platform services the paper's cost model uses (Eq. 3:
 /// compute `v`, storage `H`, requests `G`/`U`, invocation `I`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PriceSheet {
     /// Lambda compute, $ per GB-second.
     pub lambda_gb_second: f64,

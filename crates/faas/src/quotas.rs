@@ -1,9 +1,7 @@
 //! Platform quota presets (AWS Lambda limits, paper §2.1).
 
-use serde::{Deserialize, Serialize};
-
 /// Limits enforced by the serverless platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quotas {
     /// Smallest memory block, MB (paper: 128).
     pub memory_min_mb: u32,

@@ -1,0 +1,117 @@
+//! Small deterministic PRNG for simulator workloads.
+//!
+//! The baselines and load generator only need reproducible, reasonably
+//! well-mixed streams — not cryptographic quality — so the workspace ships
+//! this splitmix64-seeded xorshift generator instead of pulling in an
+//! external crate.
+
+/// A seedable 64-bit PRNG (splitmix64 seeding, xorshift64* stream).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // One splitmix64 round decorrelates small consecutive seeds.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        SmallRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A float uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the stream.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A float uniform in `(0, 1]` (never zero — safe under `ln`).
+    pub fn next_f64_open(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// A uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics when `n` is 0.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_f64() * n as f64) as usize % n
+    }
+
+    /// A uniform integer in the inclusive range `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn open_interval_never_zero() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(rng.next_f64_open() > 0.0);
+        }
+    }
+
+    #[test]
+    fn below_covers_all_buckets() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.range_inclusive(2, 5);
+            assert!((2..=5).contains(&v));
+        }
+    }
+}

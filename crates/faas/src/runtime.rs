@@ -10,7 +10,6 @@
 use crate::platform::{FunctionSpec, InvocationWork};
 use crate::MB;
 use ampsinf_model::graph::{CutAccounting, LayerGraph};
-use serde::{Deserialize, Serialize};
 
 /// The trimmed TF/Keras dependency-layer size the paper measures (169 MB).
 pub const DEPS_BYTES: u64 = 169 * MB;
@@ -18,14 +17,14 @@ pub const DEPS_BYTES: u64 = 169 * MB;
 pub const CODE_BYTES: u64 = MB;
 
 /// Work profile of one model partition on one lambda.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartitionWork {
     /// Segment accounting from the model graph.
     pub seg: CutAccounting,
 }
 
 /// Phase inputs for a whole (unpartitioned) model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkPhases {
     /// Weight bytes to load.
     pub weight_bytes: u64,
@@ -126,9 +125,13 @@ mod tests {
         // The paper's Table 1 / §2.2 premise, via actual quota checks.
         let p = Platform::aws_2020();
         let mob = whole_model(&zoo::mobilenet_v1());
-        assert!(p.validate_spec(&mob.function_spec("mobilenet", 512)).is_ok());
+        assert!(p
+            .validate_spec(&mob.function_spec("mobilenet", 512))
+            .is_ok());
         let rn = whole_model(&zoo::resnet50());
-        assert!(p.validate_spec(&rn.function_spec("resnet50", 1024)).is_err());
+        assert!(p
+            .validate_spec(&rn.function_spec("resnet50", 1024))
+            .is_err());
         let inc = whole_model(&zoo::inception_v3());
         assert!(p
             .validate_spec(&inc.function_spec("inception", 1024))

@@ -71,11 +71,7 @@ impl StepFunction {
     }
 
     /// Executes the machine starting at `t0`.
-    pub fn execute(
-        &self,
-        platform: &mut Platform,
-        t0: f64,
-    ) -> Result<StepExecution, InvokeError> {
+    pub fn execute(&self, platform: &mut Platform, t0: f64) -> Result<StepExecution, InvokeError> {
         let mut now = t0;
         let mut dollars = 0.0;
         let mut transition_time = 0.0;

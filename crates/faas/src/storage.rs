@@ -7,11 +7,10 @@
 
 use crate::ledger::{CostItem, CostLedger};
 use crate::pricing::PriceSheet;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Storage backend characteristics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoreKind {
     /// Human-readable backend name.
     pub name: &'static str,
@@ -64,7 +63,7 @@ impl StoreKind {
 }
 
 /// Metadata for a stored object.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct ObjectMeta {
     bytes: u64,
     created_at: f64,

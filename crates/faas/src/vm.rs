@@ -5,10 +5,9 @@
 //! dominates its completion time (paper Table 4: 400–460 s).
 
 use crate::ledger::{CostItem, CostLedger};
-use serde::{Deserialize, Serialize};
 
 /// An instance type with pricing and relative performance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VmType {
     /// Instance-type name.
     pub name: &'static str,
@@ -122,7 +121,13 @@ mod tests {
     #[test]
     fn prices_match_sheet() {
         let sheet = crate::pricing::PriceSheet::aws_2020();
-        assert_eq!(VmType::ml_t2_medium().hourly, sheet.sagemaker_t2_medium_hour);
-        assert_eq!(VmType::ml_m4_xlarge().hourly, sheet.sagemaker_m4_xlarge_hour);
+        assert_eq!(
+            VmType::ml_t2_medium().hourly,
+            sheet.sagemaker_t2_medium_hour
+        );
+        assert_eq!(
+            VmType::ml_m4_xlarge().hourly,
+            sheet.sagemaker_m4_xlarge_hour
+        );
     }
 }

@@ -1,9 +1,12 @@
-//! Property-based tests for the platform simulator: pricing identities,
-//! performance-law monotonicity, warm-start and storage semantics.
+//! Property-style tests for the platform simulator: pricing identities,
+//! performance-law monotonicity, warm-start and storage semantics. Inputs
+//! are drawn from a deterministic PRNG / exhaustive grids instead of an
+//! external property-testing framework.
 
 use ampsinf_faas::platform::{FunctionSpec, InvocationWork, Platform};
-use ampsinf_faas::{CostItem, CostLedger, LambdaPerf, PerfModel, PriceSheet, Quotas, StoreKind, MB};
-use proptest::prelude::*;
+use ampsinf_faas::{
+    CostItem, CostLedger, LambdaPerf, PerfModel, PriceSheet, Quotas, SmallRng, StoreKind, MB,
+};
 
 fn spec(mem: u32, weights_mb: u64) -> FunctionSpec {
     FunctionSpec {
@@ -24,70 +27,94 @@ fn work(weights_mb: u64, gflops: u64) -> InvocationWork {
     }
 }
 
-proptest! {
-    #[test]
-    fn billed_duration_rounds_up_and_is_monotone(a in 0.0f64..100.0, b in 0.0f64..100.0) {
-        let sheet = PriceSheet::aws_2020();
-        let ba = sheet.billed_duration(a);
-        prop_assert!(ba >= a - 1e-12);
-        prop_assert!(ba - a < sheet.billing_granularity_s + 1e-12);
-        if a <= b {
-            prop_assert!(ba <= sheet.billed_duration(b) + 1e-12);
-        }
-    }
+fn uniform(rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
+}
 
-    #[test]
-    fn compute_cost_linear_in_memory(t in 0.1f64..60.0, steps in 1u32..20) {
-        // At fixed duration, cost scales exactly with the GB count.
-        let sheet = PriceSheet::aws_2020();
+#[test]
+fn billed_duration_rounds_up_and_is_monotone() {
+    let sheet = PriceSheet::aws_2020();
+    let mut rng = SmallRng::seed_from_u64(1);
+    for _ in 0..64 {
+        let a = uniform(&mut rng, 0.0, 100.0);
+        let b = uniform(&mut rng, 0.0, 100.0);
+        let ba = sheet.billed_duration(a);
+        assert!(ba >= a - 1e-12);
+        assert!(ba - a < sheet.billing_granularity_s + 1e-12);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        assert!(sheet.billed_duration(lo) <= sheet.billed_duration(hi) + 1e-12);
+    }
+}
+
+#[test]
+fn compute_cost_linear_in_memory() {
+    // At fixed duration, cost scales exactly with the GB count.
+    let sheet = PriceSheet::aws_2020();
+    let mut rng = SmallRng::seed_from_u64(2);
+    for _ in 0..32 {
+        let t = uniform(&mut rng, 0.1, 60.0);
+        let steps = rng.range_inclusive(1, 19) as u32;
         let m1 = 512u32;
         let m2 = 512 + steps * 64;
         let c1 = sheet.lambda_compute_cost(t, m1);
         let c2 = sheet.lambda_compute_cost(t, m2);
-        prop_assert!((c2 / c1 - f64::from(m2) / f64::from(m1)).abs() < 1e-9);
+        assert!((c2 / c1 - f64::from(m2) / f64::from(m1)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn cpu_share_monotone_and_saturating(m1 in 128u32..3008, m2 in 128u32..3008) {
-        let perf = PerfModel::default();
-        let s1 = LambdaPerf::new(&perf, m1).cpu_share();
-        let s2 = LambdaPerf::new(&perf, m2).cpu_share();
-        prop_assert!(s1 > 0.0 && s1 <= 1.0);
-        if m1 <= m2 {
-            prop_assert!(s1 <= s2 + 1e-12);
-        }
+#[test]
+fn cpu_share_monotone_and_saturating() {
+    let perf = PerfModel::default();
+    let mut prev = 0.0f64;
+    for m in (128u32..=3008).step_by(64) {
+        let s = LambdaPerf::new(&perf, m).cpu_share();
+        assert!(s > 0.0 && s <= 1.0);
+        assert!(s >= prev - 1e-12, "share regressed at {m} MB");
+        prev = s;
     }
+}
 
-    #[test]
-    fn invocation_duration_monotone_in_memory(weights in 1u64..40, gf in 1u64..8) {
+#[test]
+fn invocation_duration_monotone_in_memory() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    for _ in 0..16 {
+        let weights = rng.range_inclusive(1, 39) as u64;
+        let gf = rng.range_inclusive(1, 7) as u64;
         let mut p = Platform::aws_2020();
         let (f_small, _) = p.deploy(spec(512, weights)).unwrap();
         let (f_big, _) = p.deploy(spec(2048, weights)).unwrap();
         let w = work(weights, gf);
         let small = p.invoke(f_small, 0.0, &w).unwrap();
         let big = p.invoke(f_big, 0.0, &w).unwrap();
-        prop_assert!(big.duration() <= small.duration() + 1e-9);
+        assert!(big.duration() <= small.duration() + 1e-9);
     }
+}
 
-    #[test]
-    fn warm_never_slower_than_cold(weights in 1u64..40, gf in 1u64..8) {
+#[test]
+fn warm_never_slower_than_cold() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    for _ in 0..16 {
+        let weights = rng.range_inclusive(1, 39) as u64;
+        let gf = rng.range_inclusive(1, 7) as u64;
         let mut p = Platform::aws_2020();
         let (fid, _) = p.deploy(spec(1024, weights)).unwrap();
         let w = work(weights, gf);
         let cold = p.invoke(fid, 0.0, &w).unwrap();
         let warm = p.invoke(fid, cold.end + 1.0, &w).unwrap();
-        prop_assert!(warm.warm);
-        prop_assert!(warm.duration() <= cold.duration());
-        prop_assert!(warm.dollars <= cold.dollars + 1e-12);
+        assert!(warm.warm);
+        assert!(warm.duration() <= cold.duration());
+        assert!(warm.dollars <= cold.dollars + 1e-12);
     }
+}
 
-    #[test]
-    fn ledger_total_equals_sum_of_outcomes_plus_storage(
-        weights in 1u64..30,
-        gf in 1u64..5,
-        n_chain in 2usize..5,
-    ) {
-        // Conservation: every dollar in the ledger is attributable.
+#[test]
+fn ledger_total_equals_sum_of_outcomes_plus_storage() {
+    // Conservation: every dollar in the ledger is attributable.
+    let mut rng = SmallRng::seed_from_u64(5);
+    for _ in 0..16 {
+        let weights = rng.range_inclusive(1, 29) as u64;
+        let gf = rng.range_inclusive(1, 4) as u64;
+        let n_chain = rng.range_inclusive(2, 4);
         let mut p = Platform::aws_2020();
         let mut fids = Vec::new();
         for i in 0..n_chain {
@@ -109,59 +136,72 @@ proptest! {
             direct += out.dollars;
         }
         let settled = p.settle_storage(now);
-        prop_assert!((p.total_cost() - (direct + settled)).abs() < 1e-12);
+        assert!((p.total_cost() - (direct + settled)).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn storage_round_trip_preserves_bytes(bytes in 1u64..200_000_000) {
+#[test]
+fn storage_round_trip_preserves_bytes() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    for _ in 0..32 {
+        let bytes = 1 + rng.below(200_000_000) as u64;
         let mut store = ampsinf_faas::ObjectStore::new(StoreKind::s3());
         let sheet = PriceSheet::aws_2020();
         let mut ledger = CostLedger::new();
         store.put("k", bytes, 0.0, &sheet, &mut ledger).unwrap();
-        prop_assert_eq!(store.size_of("k"), Some(bytes));
-        prop_assert_eq!(store.live_bytes(), bytes);
+        assert_eq!(store.size_of("k"), Some(bytes));
+        assert_eq!(store.live_bytes(), bytes);
         let get = store.get("k", &sheet, &mut ledger).unwrap();
         // Transfer time symmetric for put/get on the same backend.
         let put_t = store.transfer_time(bytes, 1);
-        prop_assert!((get.duration_s - put_t).abs() < 1e-12);
+        assert!((get.duration_s - put_t).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn settle_is_idempotent(bytes in 1u64..100_000_000, until in 1.0f64..1000.0) {
+#[test]
+fn settle_is_idempotent() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..32 {
+        let bytes = 1 + rng.below(100_000_000) as u64;
+        let until = uniform(&mut rng, 1.0, 1000.0);
         let mut store = ampsinf_faas::ObjectStore::new(StoreKind::s3());
         let sheet = PriceSheet::aws_2020();
         let mut ledger = CostLedger::new();
         store.put("k", bytes, 0.0, &sheet, &mut ledger).unwrap();
         let first = store.settle_storage(until, &sheet, &mut ledger);
         let second = store.settle_storage(until + 100.0, &sheet, &mut ledger);
-        prop_assert!(first >= 0.0);
-        prop_assert_eq!(second, 0.0);
+        assert!(first >= 0.0);
+        assert_eq!(second, 0.0);
     }
+}
 
-    #[test]
-    fn round_up_memory_is_tight(mb in 1u32..3200) {
-        let q = Quotas::lambda_2020();
+#[test]
+fn round_up_memory_is_tight() {
+    let q = Quotas::lambda_2020();
+    for mb in 1u32..3200 {
         match q.round_up_memory(mb) {
             Some(block) => {
-                prop_assert!(q.is_valid_memory(block));
-                prop_assert!(block >= mb.max(q.memory_min_mb));
+                assert!(q.is_valid_memory(block));
+                assert!(block >= mb.max(q.memory_min_mb));
                 // Tight: one step below is either invalid or < mb.
                 if block > q.memory_min_mb {
                     let below = block - q.memory_step_mb;
-                    prop_assert!(below < mb || below < q.memory_min_mb);
+                    assert!(below < mb || below < q.memory_min_mb);
                 }
             }
-            None => prop_assert!(mb > q.memory_max_mb),
+            None => assert!(mb > q.memory_max_mb),
         }
     }
+}
 
-    #[test]
-    fn deployment_validation_is_exact(weights_mb in 1u64..120) {
-        let p = Platform::aws_2020();
+#[test]
+fn deployment_validation_is_exact() {
+    let p = Platform::aws_2020();
+    for weights_mb in 1u64..120 {
         let s = spec(1024, weights_mb);
         let total = s.package_bytes();
         let ok = p.validate_spec(&s).is_ok();
-        prop_assert_eq!(ok, total <= 250 * MB);
+        assert_eq!(ok, total <= 250 * MB);
     }
 }
 

@@ -152,11 +152,7 @@ mod tests {
 
     #[test]
     fn reconstruction_and_orthonormality() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -0.5],
-            &[0.5, -0.5, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.5], &[0.5, -0.5, 2.0]]);
         let e = SymmetricEigen::factor(&a).unwrap();
         let v = &e.vectors;
         // VᵀV = I

@@ -132,11 +132,7 @@ mod tests {
     fn kkt_style_system() {
         // [H Aᵀ; A 0] with H = 2I (1 var ×2), A = [1 1]:
         // minimize x² subject to x1 + x2 = 2 → x = (1,1).
-        let kkt = Matrix::from_rows(&[
-            &[2.0, 0.0, 1.0],
-            &[0.0, 2.0, 1.0],
-            &[1.0, 1.0, 0.0],
-        ]);
+        let kkt = Matrix::from_rows(&[&[2.0, 0.0, 1.0], &[0.0, 2.0, 1.0], &[1.0, 1.0, 0.0]]);
         let f = Ldlt::factor(&kkt).unwrap();
         let sol = f.solve(&[0.0, 0.0, 2.0]);
         assert!((sol[0] - 1.0).abs() < 1e-12);

@@ -27,7 +27,7 @@ pub mod vector;
 pub use cholesky::Cholesky;
 pub use eigen::SymmetricEigen;
 pub use ldlt::Ldlt;
-pub use lu::Lu;
+pub use lu::{Lu, LuFactors};
 pub use matrix::Matrix;
 
 /// Error type for linear-algebra factorizations and solves.

@@ -6,9 +6,15 @@
 use crate::matrix::Matrix;
 use crate::{LinalgError, Result};
 
-/// An LU factorization `P·A = L·U` with partial (row) pivoting.
+/// A reusable LU factorization buffer: `P·A = L·U` with partial (row)
+/// pivoting, refactorable in place.
+///
+/// [`factor_from`](LuFactors::factor_from) copies the input into an owned
+/// buffer and eliminates there, so repeated factorizations of same-sized
+/// matrices (the QP active-set KKT systems, thousands per branch-and-bound
+/// run) perform no heap allocation after the first call.
 #[derive(Debug, Clone)]
-pub struct Lu {
+pub struct LuFactors {
     /// Packed LU factors: unit-lower-triangular L below the diagonal, U on
     /// and above it.
     lu: Matrix,
@@ -21,21 +27,39 @@ pub struct Lu {
 /// Pivot magnitudes below this are treated as numerically singular.
 const PIVOT_TOL: f64 = 1e-12;
 
-impl Lu {
-    /// Factorizes a square matrix.
+impl Default for LuFactors {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LuFactors {
+    /// Creates an empty buffer (sized on first factorization).
+    pub fn new() -> Self {
+        LuFactors {
+            lu: Matrix::zeros(0, 0),
+            perm: Vec::new(),
+            perm_sign: 1.0,
+        }
+    }
+
+    /// Factorizes a square matrix into this buffer, reusing its storage.
     ///
     /// Returns [`LinalgError::Singular`] when a pivot column is numerically
     /// zero and [`LinalgError::DimensionMismatch`] for non-square input.
-    pub fn factor(a: &Matrix) -> Result<Self> {
+    /// On error the buffer contents are unspecified but safe to refactor.
+    pub fn factor_from(&mut self, a: &Matrix) -> Result<()> {
         if !a.is_square() {
             return Err(LinalgError::DimensionMismatch {
-                context: "Lu::factor requires a square matrix",
+                context: "LuFactors::factor_from requires a square matrix",
             });
         }
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
+        self.lu.copy_from(a);
+        self.perm.clear();
+        self.perm.extend(0..n);
+        self.perm_sign = 1.0;
+        let lu = &mut self.lu;
 
         for k in 0..n {
             // Partial pivoting: largest |entry| in column k at/below row k.
@@ -52,8 +76,8 @@ impl Lu {
                 return Err(LinalgError::Singular { pivot: k });
             }
             if piv != k {
-                perm.swap(k, piv);
-                perm_sign = -perm_sign;
+                self.perm.swap(k, piv);
+                self.perm_sign = -self.perm_sign;
                 for c in 0..n {
                     let tmp = lu[(k, c)];
                     lu[(k, c)] = lu[(piv, c)];
@@ -72,11 +96,7 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu {
-            lu,
-            perm,
-            perm_sign,
-        })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -84,15 +104,17 @@ impl Lu {
         self.lu.rows()
     }
 
-    /// Solves `A x = b`.
+    /// Solves `A x = b` into a caller-provided buffer (resized as needed,
+    /// no allocation at steady state).
     ///
     /// # Panics
     /// Panics if `b.len()` does not match the factored dimension.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) {
         let n = self.dim();
-        assert_eq!(b.len(), n, "Lu::solve: rhs dimension mismatch");
+        assert_eq!(b.len(), n, "LuFactors::solve_into: rhs dimension mismatch");
         // Apply permutation.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         // Forward substitution with unit-lower L.
         for i in 1..n {
             let mut s = x[i];
@@ -111,7 +133,6 @@ impl Lu {
             }
             x[i] = s / row[i];
         }
-        x
     }
 
     /// Determinant of the original matrix.
@@ -121,6 +142,48 @@ impl Lu {
             d *= self.lu[(i, i)];
         }
         d
+    }
+}
+
+/// An LU factorization `P·A = L·U` with partial (row) pivoting.
+///
+/// One-shot convenience over [`LuFactors`]; hot paths that refactor
+/// repeatedly should hold a `LuFactors` and call
+/// [`factor_from`](LuFactors::factor_from) instead.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    inner: LuFactors,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// Returns [`LinalgError::Singular`] when a pivot column is numerically
+    /// zero and [`LinalgError::DimensionMismatch`] for non-square input.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let mut inner = LuFactors::new();
+        inner.factor_from(a)?;
+        Ok(Lu { inner })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = Vec::with_capacity(self.dim());
+        self.inner.solve_into(b, &mut x);
+        x
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        self.inner.det()
     }
 }
 
@@ -173,13 +236,34 @@ mod tests {
     }
 
     #[test]
+    fn reused_factors_match_one_shot_bitwise() {
+        // Refactoring into a previously-used (differently-sized) buffer must
+        // produce exactly the same floats as a fresh factorization.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 1.0, 0.5], &[1.0, 4.0, 1.0], &[0.5, 1.0, 5.0]]);
+        let mut ws = LuFactors::new();
+        ws.factor_from(&a).unwrap();
+        ws.factor_from(&b).unwrap(); // grow
+        ws.factor_from(&a).unwrap(); // shrink back
+        let fresh = Lu::factor(&a).unwrap();
+        let rhs = [5.0, 10.0];
+        let mut x = Vec::new();
+        ws.solve_into(&rhs, &mut x);
+        let y = fresh.solve(&rhs);
+        assert_eq!(x, y);
+        assert_eq!(ws.det().to_bits(), fresh.det().to_bits());
+    }
+
+    #[test]
     fn residual_random_5x5() {
         // Deterministic pseudo-random SPD-ish matrix; check A x ≈ b.
         let n = 5;
         let mut data = Vec::with_capacity(n * n);
         let mut s = 1234567u64;
         for _ in 0..n * n {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             data.push(((s >> 33) as f64) / (u32::MAX as f64) - 0.5);
         }
         let mut a = Matrix::from_vec(n, n, data);

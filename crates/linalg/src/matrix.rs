@@ -73,6 +73,25 @@ impl Matrix {
         m
     }
 
+    /// Reshapes to `rows × cols` and zero-fills, reusing the existing
+    /// allocation whenever its capacity suffices. This is the workspace
+    /// primitive behind the solver's per-iteration KKT assembly.
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Copies `other` into `self`, adopting its shape and reusing the
+    /// existing allocation whenever its capacity suffices.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+        self.rows = other.rows;
+        self.cols = other.cols;
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -404,5 +423,25 @@ mod tests {
     fn norm_fro_known() {
         let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
         assert!((m.norm_fro() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reset_zeros_reuses_capacity_and_clears() {
+        let mut m = sample();
+        let cap = m.data.capacity();
+        m.reset_zeros(2, 2);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(m.data.capacity(), cap);
+        // Growing past capacity still works.
+        m.reset_zeros(5, 5);
+        assert_eq!(m.as_slice().len(), 25);
+    }
+
+    #[test]
+    fn copy_from_adopts_shape_and_values() {
+        let mut m = Matrix::zeros(1, 1);
+        m.copy_from(&sample());
+        assert_eq!(m, sample());
     }
 }

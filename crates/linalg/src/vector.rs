@@ -68,9 +68,7 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 #[inline]
 pub fn dist_inf(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dist_inf: length mismatch");
-    x.iter()
-        .zip(y)
-        .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    x.iter().zip(y).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
 }
 
 /// Sum of elements.

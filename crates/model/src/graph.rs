@@ -9,10 +9,9 @@
 //! `p_i` of the paper's Eq. (2).
 
 use crate::layer::{LayerOp, TensorShape};
-use serde::{Deserialize, Serialize};
 
 /// A node in the layer graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LayerNode {
     /// Unique layer name (Keras-style, e.g. `conv2_block1_1_conv`).
     pub name: String,
@@ -29,22 +28,27 @@ pub struct LayerNode {
 }
 
 /// A neural-network model as a DAG of layers in topological insertion order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LayerGraph {
     /// Model name (e.g. `resnet50`).
     pub name: String,
     nodes: Vec<LayerNode>,
     /// Bytes per stored weight scalar (4 = float32; the paper's §7
     /// future-work quantization pre-pass shrinks this to 2 or 1).
-    #[serde(default = "default_bytes_per_param")]
     bytes_per_param: u64,
 }
 
-fn default_bytes_per_param() -> u64 {
-    crate::BYTES_PER_SCALAR
-}
-
 impl LayerGraph {
+    /// Reassembles a graph from deserialized parts (model-file loading);
+    /// callers run [`LayerGraph::validate`] on the result.
+    pub(crate) fn from_parts(name: String, nodes: Vec<LayerNode>, bytes_per_param: u64) -> Self {
+        LayerGraph {
+            name,
+            nodes,
+            bytes_per_param,
+        }
+    }
+
     /// Creates an empty graph (float32 weights).
     pub fn new(name: impl Into<String>) -> Self {
         LayerGraph {
@@ -83,7 +87,10 @@ impl LayerGraph {
     pub fn add(&mut self, name: impl Into<String>, op: LayerOp, inputs: &[usize]) -> usize {
         let idx = self.nodes.len();
         for &i in inputs {
-            assert!(i < idx, "layer input {i} not yet defined (adding node {idx})");
+            assert!(
+                i < idx,
+                "layer input {i} not yet defined (adding node {idx})"
+            );
         }
         match &op {
             LayerOp::Input { .. } => {
@@ -157,8 +164,11 @@ impl LayerGraph {
                     return Err(format!("node {idx} ({}) has forward edge to {i}", n.name));
                 }
             }
-            let in_shapes: Vec<TensorShape> =
-                n.inputs.iter().map(|&i| self.nodes[i].output_shape).collect();
+            let in_shapes: Vec<TensorShape> = n
+                .inputs
+                .iter()
+                .map(|&i| self.nodes[i].output_shape)
+                .collect();
             let expect = n.op.output_shape(&in_shapes);
             if expect != n.output_shape {
                 return Err(format!(
@@ -247,7 +257,7 @@ impl LayerGraph {
 }
 
 /// Aggregates for one contiguous partition of the layer order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CutAccounting {
     /// First layer index (inclusive).
     pub start: usize,
@@ -482,6 +492,9 @@ mod tests {
         assert!(g.node(1).flops > 0);
         assert!(g.node(4).flops > 0);
         assert_eq!(g.node(0).flops, 0);
-        assert_eq!(g.total_flops(), g.nodes().iter().map(|n| n.flops).sum::<u64>());
+        assert_eq!(
+            g.total_flops(),
+            g.nodes().iter().map(|n| n.flops).sum::<u64>()
+        );
     }
 }

@@ -5,10 +5,8 @@
 //! from the literature reproduces Keras's `model.summary()` parameter
 //! totals exactly (the zoo tests pin those totals).
 
-use serde::{Deserialize, Serialize};
-
 /// A feature-map shape in HWC layout, or a flat vector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TensorShape {
     /// Spatial map: height × width × channels.
     Map {
@@ -61,7 +59,7 @@ impl std::fmt::Display for TensorShape {
 }
 
 /// Convolution / pooling padding mode (Keras `padding=` argument).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Padding {
     /// Output spatial size = ceil(input / stride).
     Same,
@@ -71,7 +69,7 @@ pub enum Padding {
 
 /// Activation functions (only latency-relevant identity here; the IR never
 /// evaluates them numerically).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// Identity.
     Linear,
@@ -82,7 +80,7 @@ pub enum Activation {
 }
 
 /// A Keras-equivalent layer operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LayerOp {
     /// Model input placeholder.
     Input {
@@ -287,9 +285,7 @@ impl LayerOp {
                 );
                 TensorShape::Flat(*units)
             }
-            LayerOp::BatchNorm { .. }
-            | LayerOp::ActivationLayer { .. }
-            | LayerOp::Dropout => one(),
+            LayerOp::BatchNorm { .. } | LayerOp::ActivationLayer { .. } | LayerOp::Dropout => one(),
             LayerOp::MaxPool {
                 pool,
                 strides,
@@ -524,7 +520,10 @@ mod tests {
             use_bias: true,
             activation: Activation::Relu,
         };
-        assert_eq!(op.output_shape(&input(224, 224, 3)), TensorShape::map(112, 112, 64));
+        assert_eq!(
+            op.output_shape(&input(224, 224, 3)),
+            TensorShape::map(112, 112, 64)
+        );
     }
 
     #[test]
@@ -538,7 +537,10 @@ mod tests {
             activation: Activation::Linear,
         };
         // ResNet50 conv1 after (3,3) zero padding: 230 → (230-7)/2+1 = 112.
-        assert_eq!(op.output_shape(&input(230, 230, 3)), TensorShape::map(112, 112, 64));
+        assert_eq!(
+            op.output_shape(&input(230, 230, 3)),
+            TensorShape::map(112, 112, 64)
+        );
     }
 
     #[test]
@@ -563,7 +565,10 @@ mod tests {
             use_bias: false,
         };
         assert_eq!(op.param_count(&input(112, 112, 32)), 9 * 32);
-        assert_eq!(op.output_shape(&input(112, 112, 32)), TensorShape::map(112, 112, 32));
+        assert_eq!(
+            op.output_shape(&input(112, 112, 32)),
+            TensorShape::map(112, 112, 32)
+        );
     }
 
     #[test]
@@ -605,8 +610,13 @@ mod tests {
 
     #[test]
     fn zero_padding_shape() {
-        let op = LayerOp::ZeroPadding { padding: (3, 3, 3, 3) };
-        assert_eq!(op.output_shape(&input(224, 224, 3)), TensorShape::map(230, 230, 3));
+        let op = LayerOp::ZeroPadding {
+            padding: (3, 3, 3, 3),
+        };
+        assert_eq!(
+            op.output_shape(&input(224, 224, 3)),
+            TensorShape::map(230, 230, 3)
+        );
     }
 
     #[test]
@@ -617,7 +627,10 @@ mod tests {
             padding: Padding::Valid,
         };
         // ResNet50 pool1: 114 → (114-3)/2+1 = 56.
-        assert_eq!(op.output_shape(&input(114, 114, 64)), TensorShape::map(56, 56, 64));
+        assert_eq!(
+            op.output_shape(&input(114, 114, 64)),
+            TensorShape::map(56, 56, 64)
+        );
     }
 
     #[test]
@@ -645,7 +658,10 @@ mod tests {
         let a = TensorShape::map(35, 35, 64);
         let b = TensorShape::map(35, 35, 96);
         let c = TensorShape::map(35, 35, 96);
-        assert_eq!(LayerOp::Concat.output_shape(&[a, b, c]), TensorShape::map(35, 35, 256));
+        assert_eq!(
+            LayerOp::Concat.output_shape(&[a, b, c]),
+            TensorShape::map(35, 35, 256)
+        );
     }
 
     #[test]
@@ -667,10 +683,7 @@ mod tests {
             use_bias: true,
             activation: Activation::Linear,
         };
-        assert_eq!(
-            op.flops(&input(56, 56, 64)),
-            2 * 56 * 56 * 256 * 64
-        );
+        assert_eq!(op.flops(&input(56, 56, 64)), 2 * 56 * 56 * 256 * 64);
     }
 
     #[test]

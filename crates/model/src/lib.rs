@@ -17,7 +17,9 @@
 //!   numbers, e.g. ResNet50 = 25,636,712 parameters — the figure the
 //!   paper's Table 1 turns into "98 MB";
 //! * [`summary`] — a Keras-`model.summary()`-style report;
-//! * [`serialize`] — serde/JSON model files standing in for the paper's
+//! * [`json`] — a minimal self-contained JSON tree/parser/printer (the
+//!   workspace builds with the toolchain alone, no registry crates);
+//! * [`serialize`] — JSON model files standing in for the paper's
 //!   YAML/JSON + H5 artifacts.
 //!
 //! # Example: the paper's Table 1 arithmetic
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod graph;
+pub mod json;
 pub mod layer;
 pub mod serialize;
 pub mod summary;

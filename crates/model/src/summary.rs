@@ -47,11 +47,7 @@ impl ModelSummary {
                 class: n.op.class_name(),
                 output_shape: n.output_shape.to_string(),
                 params: n.params,
-                connected_to: n
-                    .inputs
-                    .iter()
-                    .map(|&i| g.node(i).name.clone())
-                    .collect(),
+                connected_to: n.inputs.iter().map(|&i| g.node(i).name.clone()).collect(),
             })
             .collect();
         ModelSummary {
@@ -128,6 +124,9 @@ mod tests {
         let g = zoo::tiny_cnn();
         let s = ModelSummary::of(&g);
         let add = s.rows.iter().find(|r| r.name == "add").unwrap();
-        assert_eq!(add.connected_to, vec!["relu1".to_string(), "bn2".to_string()]);
+        assert_eq!(
+            add.connected_to,
+            vec!["relu1".to_string(), "bn2".to_string()]
+        );
     }
 }

@@ -151,7 +151,7 @@ mod tests {
         let g = bert_base();
         let mb = g.weight_bytes() as f64 / 1024.0 / 1024.0;
         assert!(mb > 400.0, "{mb} MB"); // the §1 "as large as 500MB" class
-        // int8 brings it near the VGG16-at-int8 scale.
+                                        // int8 brings it near the VGG16-at-int8 scale.
         let q = g.quantized(1);
         assert!(q.weight_bytes() as f64 / 1024.0 / 1024.0 < 110.0);
     }

@@ -8,7 +8,11 @@ use crate::graph::LayerGraph;
 use crate::layer::{Activation, LayerOp, Padding, TensorShape};
 
 fn bn_relu(g: &mut LayerGraph, base: &str, prev: usize) -> usize {
-    let bn = g.add(format!("{base}_bn"), LayerOp::BatchNorm { scale: true }, &[prev]);
+    let bn = g.add(
+        format!("{base}_bn"),
+        LayerOp::BatchNorm { scale: true },
+        &[prev],
+    );
     g.add(
         format!("{base}_relu"),
         LayerOp::ActivationLayer {
@@ -45,7 +49,15 @@ fn conv(
 /// running feature map.
 fn dense_layer(g: &mut LayerGraph, name: &str, x: usize, growth: u32) -> usize {
     let a = bn_relu(g, &format!("{name}_0"), x);
-    let b = conv(g, &format!("{name}_1_conv"), 4 * growth, 1, 1, Padding::Same, a);
+    let b = conv(
+        g,
+        &format!("{name}_1_conv"),
+        4 * growth,
+        1,
+        1,
+        Padding::Same,
+        a,
+    );
     let c = bn_relu(g, &format!("{name}_1"), b);
     let d = conv(g, &format!("{name}_2_conv"), growth, 3, 1, Padding::Same, c);
     g.add(format!("{name}_concat"), LayerOp::Concat, &[x, d])
@@ -53,7 +65,15 @@ fn dense_layer(g: &mut LayerGraph, name: &str, x: usize, growth: u32) -> usize {
 
 fn transition(g: &mut LayerGraph, name: &str, x: usize, out_channels: u32) -> usize {
     let a = bn_relu(g, name, x);
-    let b = conv(g, &format!("{name}_conv"), out_channels, 1, 1, Padding::Same, a);
+    let b = conv(
+        g,
+        &format!("{name}_conv"),
+        out_channels,
+        1,
+        1,
+        Padding::Same,
+        a,
+    );
     g.add(
         format!("{name}_pool"),
         LayerOp::AvgPool {

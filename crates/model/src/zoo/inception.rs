@@ -27,7 +27,11 @@ fn conv_bn(
         },
         &[prev],
     );
-    let b = g.add(format!("{name}_bn"), LayerOp::BatchNorm { scale: false }, &[c]);
+    let b = g.add(
+        format!("{name}_bn"),
+        LayerOp::BatchNorm { scale: false },
+        &[c],
+    );
     g.add(
         format!("{name}_act"),
         LayerOp::ActivationLayer {
@@ -91,13 +95,61 @@ pub fn inception_v3() -> LayerGraph {
     for (m, pool_w) in [(0u32, 32u32), (1, 64), (2, 64)] {
         let name = format!("mixed{m}");
         let b1 = conv_bn(&mut g, &format!("{name}_b1x1"), x, 64, (1, 1), (1, 1), same);
-        let b5 = conv_bn(&mut g, &format!("{name}_b5x5_1"), x, 48, (1, 1), (1, 1), same);
-        let b5 = conv_bn(&mut g, &format!("{name}_b5x5_2"), b5, 64, (5, 5), (1, 1), same);
-        let bd = conv_bn(&mut g, &format!("{name}_b3x3dbl_1"), x, 64, (1, 1), (1, 1), same);
-        let bd = conv_bn(&mut g, &format!("{name}_b3x3dbl_2"), bd, 96, (3, 3), (1, 1), same);
-        let bd = conv_bn(&mut g, &format!("{name}_b3x3dbl_3"), bd, 96, (3, 3), (1, 1), same);
+        let b5 = conv_bn(
+            &mut g,
+            &format!("{name}_b5x5_1"),
+            x,
+            48,
+            (1, 1),
+            (1, 1),
+            same,
+        );
+        let b5 = conv_bn(
+            &mut g,
+            &format!("{name}_b5x5_2"),
+            b5,
+            64,
+            (5, 5),
+            (1, 1),
+            same,
+        );
+        let bd = conv_bn(
+            &mut g,
+            &format!("{name}_b3x3dbl_1"),
+            x,
+            64,
+            (1, 1),
+            (1, 1),
+            same,
+        );
+        let bd = conv_bn(
+            &mut g,
+            &format!("{name}_b3x3dbl_2"),
+            bd,
+            96,
+            (3, 3),
+            (1, 1),
+            same,
+        );
+        let bd = conv_bn(
+            &mut g,
+            &format!("{name}_b3x3dbl_3"),
+            bd,
+            96,
+            (3, 3),
+            (1, 1),
+            same,
+        );
         let bp = avgpool_same(&mut g, &format!("{name}_pool"), x);
-        let bp = conv_bn(&mut g, &format!("{name}_bpool"), bp, pool_w, (1, 1), (1, 1), same);
+        let bp = conv_bn(
+            &mut g,
+            &format!("{name}_bpool"),
+            bp,
+            pool_w,
+            (1, 1),
+            (1, 1),
+            same,
+        );
         x = g.add(name, LayerOp::Concat, &[b1, b5, bd, bp]);
     }
 
@@ -122,17 +174,97 @@ pub fn inception_v3() -> LayerGraph {
     // Four Inception-B modules (mixed4..7) with factored 7×7 branches.
     for (m, c) in [(4u32, 128u32), (5, 160), (6, 160), (7, 192)] {
         let name = format!("mixed{m}");
-        let b1 = conv_bn(&mut g, &format!("{name}_b1x1"), x, 192, (1, 1), (1, 1), same);
-        let b7 = conv_bn(&mut g, &format!("{name}_b7x7_1"), x, c, (1, 1), (1, 1), same);
-        let b7 = conv_bn(&mut g, &format!("{name}_b7x7_2"), b7, c, (1, 7), (1, 1), same);
-        let b7 = conv_bn(&mut g, &format!("{name}_b7x7_3"), b7, 192, (7, 1), (1, 1), same);
-        let bd = conv_bn(&mut g, &format!("{name}_b7x7dbl_1"), x, c, (1, 1), (1, 1), same);
-        let bd = conv_bn(&mut g, &format!("{name}_b7x7dbl_2"), bd, c, (7, 1), (1, 1), same);
-        let bd = conv_bn(&mut g, &format!("{name}_b7x7dbl_3"), bd, c, (1, 7), (1, 1), same);
-        let bd = conv_bn(&mut g, &format!("{name}_b7x7dbl_4"), bd, c, (7, 1), (1, 1), same);
-        let bd = conv_bn(&mut g, &format!("{name}_b7x7dbl_5"), bd, 192, (1, 7), (1, 1), same);
+        let b1 = conv_bn(
+            &mut g,
+            &format!("{name}_b1x1"),
+            x,
+            192,
+            (1, 1),
+            (1, 1),
+            same,
+        );
+        let b7 = conv_bn(
+            &mut g,
+            &format!("{name}_b7x7_1"),
+            x,
+            c,
+            (1, 1),
+            (1, 1),
+            same,
+        );
+        let b7 = conv_bn(
+            &mut g,
+            &format!("{name}_b7x7_2"),
+            b7,
+            c,
+            (1, 7),
+            (1, 1),
+            same,
+        );
+        let b7 = conv_bn(
+            &mut g,
+            &format!("{name}_b7x7_3"),
+            b7,
+            192,
+            (7, 1),
+            (1, 1),
+            same,
+        );
+        let bd = conv_bn(
+            &mut g,
+            &format!("{name}_b7x7dbl_1"),
+            x,
+            c,
+            (1, 1),
+            (1, 1),
+            same,
+        );
+        let bd = conv_bn(
+            &mut g,
+            &format!("{name}_b7x7dbl_2"),
+            bd,
+            c,
+            (7, 1),
+            (1, 1),
+            same,
+        );
+        let bd = conv_bn(
+            &mut g,
+            &format!("{name}_b7x7dbl_3"),
+            bd,
+            c,
+            (1, 7),
+            (1, 1),
+            same,
+        );
+        let bd = conv_bn(
+            &mut g,
+            &format!("{name}_b7x7dbl_4"),
+            bd,
+            c,
+            (7, 1),
+            (1, 1),
+            same,
+        );
+        let bd = conv_bn(
+            &mut g,
+            &format!("{name}_b7x7dbl_5"),
+            bd,
+            192,
+            (1, 7),
+            (1, 1),
+            same,
+        );
         let bp = avgpool_same(&mut g, &format!("{name}_pool"), x);
-        let bp = conv_bn(&mut g, &format!("{name}_bpool"), bp, 192, (1, 1), (1, 1), same);
+        let bp = conv_bn(
+            &mut g,
+            &format!("{name}_bpool"),
+            bp,
+            192,
+            (1, 1),
+            (1, 1),
+            same,
+        );
         x = g.add(name, LayerOp::Concat, &[b1, b7, bd, bp]);
     }
 
@@ -159,18 +291,90 @@ pub fn inception_v3() -> LayerGraph {
     // Two Inception-C modules (mixed9, mixed10) with split 3×3 branches.
     for m in [9u32, 10] {
         let name = format!("mixed{m}");
-        let b1 = conv_bn(&mut g, &format!("{name}_b1x1"), x, 320, (1, 1), (1, 1), same);
-        let b3 = conv_bn(&mut g, &format!("{name}_b3x3_0"), x, 384, (1, 1), (1, 1), same);
-        let b3a = conv_bn(&mut g, &format!("{name}_b3x3_1a"), b3, 384, (1, 3), (1, 1), same);
-        let b3b = conv_bn(&mut g, &format!("{name}_b3x3_1b"), b3, 384, (3, 1), (1, 1), same);
+        let b1 = conv_bn(
+            &mut g,
+            &format!("{name}_b1x1"),
+            x,
+            320,
+            (1, 1),
+            (1, 1),
+            same,
+        );
+        let b3 = conv_bn(
+            &mut g,
+            &format!("{name}_b3x3_0"),
+            x,
+            384,
+            (1, 1),
+            (1, 1),
+            same,
+        );
+        let b3a = conv_bn(
+            &mut g,
+            &format!("{name}_b3x3_1a"),
+            b3,
+            384,
+            (1, 3),
+            (1, 1),
+            same,
+        );
+        let b3b = conv_bn(
+            &mut g,
+            &format!("{name}_b3x3_1b"),
+            b3,
+            384,
+            (3, 1),
+            (1, 1),
+            same,
+        );
         let b3 = g.add(format!("{name}_b3x3"), LayerOp::Concat, &[b3a, b3b]);
-        let bd = conv_bn(&mut g, &format!("{name}_b3x3dbl_0"), x, 448, (1, 1), (1, 1), same);
-        let bd = conv_bn(&mut g, &format!("{name}_b3x3dbl_1"), bd, 384, (3, 3), (1, 1), same);
-        let bda = conv_bn(&mut g, &format!("{name}_b3x3dbl_2a"), bd, 384, (1, 3), (1, 1), same);
-        let bdb = conv_bn(&mut g, &format!("{name}_b3x3dbl_2b"), bd, 384, (3, 1), (1, 1), same);
+        let bd = conv_bn(
+            &mut g,
+            &format!("{name}_b3x3dbl_0"),
+            x,
+            448,
+            (1, 1),
+            (1, 1),
+            same,
+        );
+        let bd = conv_bn(
+            &mut g,
+            &format!("{name}_b3x3dbl_1"),
+            bd,
+            384,
+            (3, 3),
+            (1, 1),
+            same,
+        );
+        let bda = conv_bn(
+            &mut g,
+            &format!("{name}_b3x3dbl_2a"),
+            bd,
+            384,
+            (1, 3),
+            (1, 1),
+            same,
+        );
+        let bdb = conv_bn(
+            &mut g,
+            &format!("{name}_b3x3dbl_2b"),
+            bd,
+            384,
+            (3, 1),
+            (1, 1),
+            same,
+        );
         let bd = g.add(format!("{name}_b3x3dbl"), LayerOp::Concat, &[bda, bdb]);
         let bp = avgpool_same(&mut g, &format!("{name}_pool"), x);
-        let bp = conv_bn(&mut g, &format!("{name}_bpool"), bp, 192, (1, 1), (1, 1), same);
+        let bp = conv_bn(
+            &mut g,
+            &format!("{name}_bpool"),
+            bp,
+            192,
+            (1, 1),
+            (1, 1),
+            same,
+        );
         x = g.add(name, LayerOp::Concat, &[b1, b3, bd, bp]);
     }
 

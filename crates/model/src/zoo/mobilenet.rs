@@ -31,7 +31,11 @@ fn ds_block(g: &mut LayerGraph, n: usize, prev: usize, pw_filters: u32, stride: 
         },
         &[x],
     );
-    x = g.add(format!("conv_dw_{n}_bn"), LayerOp::BatchNorm { scale: true }, &[x]);
+    x = g.add(
+        format!("conv_dw_{n}_bn"),
+        LayerOp::BatchNorm { scale: true },
+        &[x],
+    );
     x = g.add(
         format!("conv_dw_{n}_relu"),
         LayerOp::ActivationLayer {
@@ -51,7 +55,11 @@ fn ds_block(g: &mut LayerGraph, n: usize, prev: usize, pw_filters: u32, stride: 
         },
         &[x],
     );
-    x = g.add(format!("conv_pw_{n}_bn"), LayerOp::BatchNorm { scale: true }, &[x]);
+    x = g.add(
+        format!("conv_pw_{n}_bn"),
+        LayerOp::BatchNorm { scale: true },
+        &[x],
+    );
     g.add(
         format!("conv_pw_{n}_relu"),
         LayerOp::ActivationLayer {

@@ -27,7 +27,11 @@ fn conv(
 }
 
 fn bn_relu(g: &mut LayerGraph, base: &str, prev: usize) -> usize {
-    let bn = g.add(format!("{base}_bn"), LayerOp::BatchNorm { scale: true }, &[prev]);
+    let bn = g.add(
+        format!("{base}_bn"),
+        LayerOp::BatchNorm { scale: true },
+        &[prev],
+    );
     g.add(
         format!("{base}_relu"),
         LayerOp::ActivationLayer {
@@ -50,7 +54,11 @@ fn bottleneck(
 ) -> usize {
     let shortcut = if conv_shortcut {
         let sc = conv(g, &format!("{name}_0_conv"), 4 * filters, 1, stride, prev);
-        g.add(format!("{name}_0_bn"), LayerOp::BatchNorm { scale: true }, &[sc])
+        g.add(
+            format!("{name}_0_bn"),
+            LayerOp::BatchNorm { scale: true },
+            &[sc],
+        )
     } else {
         prev
     };
@@ -59,7 +67,11 @@ fn bottleneck(
     let c2 = conv(g, &format!("{name}_2_conv"), filters, 3, 1, x);
     let x = bn_relu(g, &format!("{name}_2"), c2);
     let c3 = conv(g, &format!("{name}_3_conv"), 4 * filters, 1, 1, x);
-    let bn3 = g.add(format!("{name}_3_bn"), LayerOp::BatchNorm { scale: true }, &[c3]);
+    let bn3 = g.add(
+        format!("{name}_3_bn"),
+        LayerOp::BatchNorm { scale: true },
+        &[c3],
+    );
     let add = g.add(format!("{name}_add"), LayerOp::Add, &[shortcut, bn3]);
     g.add(
         format!("{name}_out"),

@@ -23,10 +23,9 @@ use ampsinf_faas::platform::{InvokeError, Platform};
 use ampsinf_faas::runtime::{PartitionWork, CODE_BYTES, DEPS_BYTES};
 use ampsinf_faas::{PerfModel, PriceSheet, Quotas, StoreKind, MB};
 use ampsinf_model::LayerGraph;
-use serde::{Deserialize, Serialize};
 
 /// Per-layer profile entry (the paper's `e_i`, `d_i`, `z_i` carriers).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerProfile {
     /// Weight bytes (`e_i × 4`-scaled; already in bytes).
     pub weight_bytes: u64,
@@ -37,7 +36,7 @@ pub struct LayerProfile {
 }
 
 /// Precomputed per-model tables for fast segment math.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Profile {
     /// Model name.
     pub model: String,
@@ -132,15 +131,13 @@ impl Profile {
     /// Deployment-size feasibility of a segment (paper constraint (4)):
     /// `y·e + D + F ≤ A`.
     pub fn fits_deployment(&self, start: usize, end: usize, quotas: &Quotas) -> bool {
-        self.weights(start, end) + DEPS_BYTES + CODE_BYTES
-            <= u64::from(quotas.deploy_limit_mb) * MB
+        self.weights(start, end) + DEPS_BYTES + CODE_BYTES <= u64::from(quotas.deploy_limit_mb) * MB
     }
 
     /// Temporary-storage feasibility (paper constraint (5)):
     /// `y·z + p_{i-1} ≤ J`.
     pub fn fits_tmp(&self, start: usize, end: usize, quotas: &Quotas) -> bool {
-        self.weights(start, end) + self.input_bytes(start)
-            <= u64::from(quotas.tmp_limit_mb) * MB
+        self.weights(start, end) + self.input_bytes(start) <= u64::from(quotas.tmp_limit_mb) * MB
     }
 
     /// The paper's constraint (7): smallest allocatable memory block that
@@ -153,9 +150,8 @@ impl Profile {
         quotas: &Quotas,
         perf: &PerfModel,
     ) -> Option<u32> {
-        let resident = 2 * self.weights(start, end)
-            + self.activations(start, end)
-            + self.input_bytes(start);
+        let resident =
+            2 * self.weights(start, end) + self.activations(start, end) + self.input_bytes(start);
         let footprint_mb = perf.runtime_footprint_mb + resident as f64 / MB as f64;
         let need_mb = (perf.oom_fraction * footprint_mb).ceil() as u32 + 1;
         quotas.round_up_memory(need_mb)
@@ -185,7 +181,7 @@ impl Profile {
 }
 
 /// Ground-truth evaluation of one partition at one memory size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentEval {
     /// Wall-clock duration (cold invocation), seconds.
     pub duration_s: f64,
@@ -249,7 +245,13 @@ pub fn evaluate_segment(
         let mut scratch = ampsinf_faas::CostLedger::new();
         platform
             .store
-            .put("profile/in", work.seg.input_bytes, 0.0, prices, &mut scratch)
+            .put(
+                "profile/in",
+                work.seg.input_bytes,
+                0.0,
+                prices,
+                &mut scratch,
+            )
             .expect("staging put cannot fail on a non-flaky store");
     }
     let invocation = work.invocation(input_key, output_key);
@@ -329,8 +331,7 @@ pub fn quick_eval(
     if duration > quotas.timeout_s {
         return Err(EvalError::Invoke("timeout".into()));
     }
-    let dollars =
-        prices.lambda_compute_cost(duration, memory_mb) + prices.lambda_request + fees;
+    let dollars = prices.lambda_compute_cost(duration, memory_mb) + prices.lambda_request + fees;
     Ok(SegmentEval {
         duration_s: duration,
         dollars,
@@ -393,7 +394,11 @@ mod tests {
         let p = Profile::of(&g);
         let mems = p.feasible_memories(0, g.num_layers() - 1, &q, &perf);
         assert!(!mems.is_empty());
-        assert!(mems[0] >= 256, "floor should exclude 128 MB: {:?}", &mems[..2]);
+        assert!(
+            mems[0] >= 256,
+            "floor should exclude 128 MB: {:?}",
+            &mems[..2]
+        );
         assert_eq!(*mems.last().unwrap(), 3008);
     }
 
@@ -402,14 +407,34 @@ mod tests {
         let (q, pr, pe) = defaults();
         let g = zoo::mobilenet_v1();
         let n = g.num_layers();
-        let e512 = evaluate_segment(&g, 0, n - 1, 512, &q, &pr, &pe, StoreKind::s3(), true, true)
-            .unwrap();
-        let e1024 =
-            evaluate_segment(&g, 0, n - 1, 1024, &q, &pr, &pe, StoreKind::s3(), true, true)
-                .unwrap();
-        let e3008 =
-            evaluate_segment(&g, 0, n - 1, 3008, &q, &pr, &pe, StoreKind::s3(), true, true)
-                .unwrap();
+        let e512 =
+            evaluate_segment(&g, 0, n - 1, 512, &q, &pr, &pe, StoreKind::s3(), true, true).unwrap();
+        let e1024 = evaluate_segment(
+            &g,
+            0,
+            n - 1,
+            1024,
+            &q,
+            &pr,
+            &pe,
+            StoreKind::s3(),
+            true,
+            true,
+        )
+        .unwrap();
+        let e3008 = evaluate_segment(
+            &g,
+            0,
+            n - 1,
+            3008,
+            &q,
+            &pr,
+            &pe,
+            StoreKind::s3(),
+            true,
+            true,
+        )
+        .unwrap();
         assert!(e512.duration_s > e1024.duration_s);
         assert!(e1024.duration_s > e3008.duration_s);
         // Table 2 cost shape: 3008 is the most expensive.
@@ -440,11 +465,22 @@ mod tests {
     fn middle_segment_pays_transfers() {
         let (q, pr, pe) = defaults();
         let g = zoo::resnet50();
-        let mid = evaluate_segment(&g, 50, 100, 1024, &q, &pr, &pe, StoreKind::s3(), false, false)
-            .unwrap();
+        let mid = evaluate_segment(
+            &g,
+            50,
+            100,
+            1024,
+            &q,
+            &pr,
+            &pe,
+            StoreKind::s3(),
+            false,
+            false,
+        )
+        .unwrap();
         assert!(mid.breakdown.transfer_s > 0.0);
-        let solo = evaluate_segment(&g, 50, 100, 1024, &q, &pr, &pe, StoreKind::s3(), true, true)
-            .unwrap();
+        let solo =
+            evaluate_segment(&g, 50, 100, 1024, &q, &pr, &pe, StoreKind::s3(), true, true).unwrap();
         assert!(solo.breakdown.transfer_s < mid.breakdown.transfer_s);
     }
 
@@ -498,11 +534,19 @@ mod tests {
             for (s, e, first, last) in cases {
                 for mem in [512u32, 1024, 2048, 3008] {
                     let quick = quick_eval(
-                        &prof, s, e, mem, &q, &pr, &pe, &StoreKind::s3(), first, last,
+                        &prof,
+                        s,
+                        e,
+                        mem,
+                        &q,
+                        &pr,
+                        &pe,
+                        &StoreKind::s3(),
+                        first,
+                        last,
                     );
-                    let full = evaluate_segment(
-                        &g, s, e, mem, &q, &pr, &pe, StoreKind::s3(), first, last,
-                    );
+                    let full =
+                        evaluate_segment(&g, s, e, mem, &q, &pr, &pe, StoreKind::s3(), first, last);
                     match (quick, full) {
                         (Ok(a), Ok(b)) => {
                             assert!(
@@ -526,8 +570,19 @@ mod tests {
     fn fast_store_reduces_transfer_time() {
         let (q, pr, pe) = defaults();
         let g = zoo::resnet50();
-        let s3 = evaluate_segment(&g, 30, 90, 1024, &q, &pr, &pe, StoreKind::s3(), false, false)
-            .unwrap();
+        let s3 = evaluate_segment(
+            &g,
+            30,
+            90,
+            1024,
+            &q,
+            &pr,
+            &pe,
+            StoreKind::s3(),
+            false,
+            false,
+        )
+        .unwrap();
         let fast = evaluate_segment(
             &g,
             30,

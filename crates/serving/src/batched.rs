@@ -23,8 +23,7 @@ pub fn batched_invocation(
     InvocationWork {
         load_bytes: seg.weight_bytes,
         flops: seg.flops * batch,
-        resident_bytes: 2 * seg.weight_bytes
-            + (seg.activation_bytes + seg.input_bytes) * batch,
+        resident_bytes: 2 * seg.weight_bytes + (seg.activation_bytes + seg.input_bytes) * batch,
         tmp_bytes: seg.weight_bytes + seg.input_bytes * batch,
         reads: input_key.into_iter().collect(),
         writes: output_key
@@ -182,10 +181,7 @@ mod tests {
 
     fn plan_for(g: &LayerGraph) -> (ExecutionPlan, AmpsConfig) {
         let cfg = AmpsConfig::default();
-        (
-            Optimizer::new(cfg.clone()).optimize(g).unwrap().plan,
-            cfg,
-        )
+        (Optimizer::new(cfg.clone()).optimize(g).unwrap().plan, cfg)
     }
 
     #[test]

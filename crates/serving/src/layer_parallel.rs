@@ -20,11 +20,10 @@ use ampsinf_faas::runtime::{CODE_BYTES, DEPS_BYTES};
 use ampsinf_faas::{FunctionSpec, InvocationWork, MB};
 use ampsinf_model::LayerGraph;
 use ampsinf_profiler::Profile;
-use serde::Serialize;
 
 /// One stage of a parallel plan: a contiguous layer segment executed by
 /// `workers` weight-sliced lambdas.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelStage {
     /// First layer (inclusive).
     pub start: usize,
@@ -37,7 +36,7 @@ pub struct ParallelStage {
 }
 
 /// A chain of (possibly parallel) stages covering the model.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ParallelPlan {
     /// Model name.
     pub model: String,
@@ -145,8 +144,7 @@ fn best_memory(
 ) -> Option<u32> {
     let mut best: Option<(f64, u32)> = None;
     for mem in cfg.quotas.memory_blocks_search_grid() {
-        let Some((duration, dollars)) = eval_worker(profile, start, end, workers, mem, cfg)
-        else {
+        let Some((duration, dollars)) = eval_worker(profile, start, end, workers, mem, cfg) else {
             continue;
         };
         let _ = duration;
@@ -191,7 +189,11 @@ fn eval_worker(
         flops,
         resident_bytes: 2 * weights + activations + input,
         tmp_bytes: weights + input,
-        reads: if start == 0 { vec![] } else { vec!["in".into()] },
+        reads: if start == 0 {
+            vec![]
+        } else {
+            vec!["in".into()]
+        },
         writes: if end + 1 == profile.num_layers() {
             vec![]
         } else {
@@ -264,7 +266,9 @@ pub fn run_parallel_plan(
                 reads: reads.clone(),
                 writes,
             };
-            let out = platform.invoke(*fid, now, &work).map_err(|e| e.to_string())?;
+            let out = platform
+                .invoke(*fid, now, &work)
+                .map_err(|e| e.to_string())?;
             dollars += out.dollars;
             stage_end = stage_end.max(out.end);
         }
@@ -290,12 +294,14 @@ mod tests {
         // splits that layer across workers.
         let g = zoo::vgg16();
         let cfg = AmpsConfig::default();
-        assert!(ampsinf_core::Optimizer::new(cfg.clone()).optimize(&g).is_err());
+        assert!(ampsinf_core::Optimizer::new(cfg.clone())
+            .optimize(&g)
+            .is_err());
         let plan = plan_with_parallelism(&g, &cfg, 16).expect("parallelizable");
         assert!(plan.max_workers() >= 2, "fc1 must be sliced: {plan:?}");
         // Every chain-capable stage stays a chain stage.
         let giant_stages = plan.stages.iter().filter(|s| s.workers > 1).count();
-        assert!(giant_stages >= 1 && giant_stages <= 3);
+        assert!((1..=3).contains(&giant_stages));
     }
 
     #[test]
@@ -331,8 +337,7 @@ mod tests {
             let weights = profile.weights(s.start, s.end);
             let smaller = weights.div_ceil(u64::from(s.workers - 1));
             assert!(
-                CODE_BYTES + DEPS_BYTES + smaller
-                    > u64::from(cfg.quotas.deploy_limit_mb) * MB,
+                CODE_BYTES + DEPS_BYTES + smaller > u64::from(cfg.quotas.deploy_limit_mb) * MB,
                 "stage {s:?} over-parallelized"
             );
         }

@@ -10,9 +10,8 @@
 
 use ampsinf_core::plan::ExecutionPlan;
 use ampsinf_core::{AmpsConfig, Coordinator};
+use ampsinf_faas::SmallRng;
 use ampsinf_model::LayerGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// An open-loop workload description.
 #[derive(Debug, Clone, Copy)]
@@ -80,12 +79,12 @@ pub fn run_open_loop(
         .deploy(&mut platform, graph, plan)
         .map_err(|e| e.to_string())?;
 
-    let mut rng = StdRng::seed_from_u64(load.seed);
+    let mut rng = SmallRng::seed_from_u64(load.seed);
     let mut arrivals = Vec::with_capacity(load.requests);
     let mut t = 0.0f64;
     for _ in 0..load.requests {
         // Exponential inter-arrival times.
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u: f64 = rng.next_f64_open();
         t += -u.ln() / load.rate_rps;
         arrivals.push(t);
     }
@@ -103,11 +102,7 @@ pub fn run_open_loop(
     }
     dollars += platform.settle_storage(last_completion);
 
-    let cold_starts = dep
-        .functions
-        .iter()
-        .map(|&f| platform.cold_starts(f))
-        .sum();
+    let cold_starts = dep.functions.iter().map(|&f| platform.cold_starts(f)).sum();
     let peak_instances = dep
         .functions
         .iter()
@@ -187,7 +182,11 @@ mod tests {
             seed: 7,
         };
         let r = run_open_loop(&g, &plan, &cfg, &load).unwrap();
-        assert!(r.peak_instances >= 6, "burst must fan out: {}", r.peak_instances);
+        assert!(
+            r.peak_instances >= 6,
+            "burst must fan out: {}",
+            r.peak_instances
+        );
         assert!(r.cold_starts > plan.num_lambdas());
     }
 

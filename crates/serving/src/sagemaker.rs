@@ -16,10 +16,9 @@ use ampsinf_faas::ledger::CostItem;
 use ampsinf_faas::vm::{VmInstance, VmType};
 use ampsinf_faas::{CostLedger, PerfModel, PriceSheet};
 use ampsinf_model::LayerGraph;
-use serde::{Deserialize, Serialize};
 
 /// Which SageMaker setting to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SageSetting {
     /// Notebook-instance serving.
     Sage1,
@@ -98,8 +97,7 @@ pub fn run_sagemaker(
             let load_s = nb.cpu_time(graph.weight_bytes() as f64 / (perf.load_bw_mbps * 1e6));
             let predict_one = nb.cpu_time(flops / perf.flops_per_s);
             let predict_s = predict_one * images as f64;
-            let completion_s =
-                cfg.notebook_overhead_s + upload_s + convert_s + load_s + predict_s;
+            let completion_s = cfg.notebook_overhead_s + upload_s + convert_s + load_s + predict_s;
             // Notebook bills the session, not the request.
             let billed_s = completion_s.max(cfg.notebook_session_floor_s);
             nb.stop(billed_s, &mut ledger);

@@ -8,7 +8,7 @@
 
 use crate::problem::{MiqpProblem, VarKind};
 use crate::qcr::{convexify, ConvexifyMethod};
-use crate::qp::QpStatus;
+use crate::qp::{QpProblem, QpStatus, QpWorkspace};
 use crate::INT_TOL;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -136,9 +136,20 @@ impl BranchAndBound {
 
     /// Runs the search to completion (or a limit).
     pub fn solve(&self) -> BbSolution {
-        let _n = self.original.num_vars();
+        self.solve_with(&mut QpWorkspace::new())
+    }
+
+    /// Runs the search, reusing `ws` for every relaxation solve. Produces
+    /// bit-identical results to [`solve`](BranchAndBound::solve); callers
+    /// solving many MIQPs (the optimizer's pass 2) share one workspace per
+    /// thread to keep relaxations allocation-free.
+    pub fn solve_with(&self, ws: &mut QpWorkspace) -> BbSolution {
         let mut stats = BbStats::default();
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        // One scratch QP per run: nodes differ only in their bound vectors,
+        // so overwrite lb/ub in place instead of cloning the whole problem
+        // (Hessian, constraint rows) at every node.
+        let mut scratch = self.relaxed.qp.clone();
 
         let root = Node {
             lb: self.relaxed.qp.lb.clone(),
@@ -165,11 +176,10 @@ impl BranchAndBound {
             }
 
             // Solve the node relaxation.
-            let mut qp = self.relaxed.qp.clone();
-            qp.lb = node.lb.clone();
-            qp.ub = node.ub.clone();
+            scratch.lb.copy_from_slice(&node.lb);
+            scratch.ub.copy_from_slice(&node.ub);
             stats.relaxations += 1;
-            let rel = qp.solve();
+            let rel = scratch.solve_with(ws);
             let bound = match rel.status {
                 QpStatus::Infeasible => continue,
                 QpStatus::Optimal => rel.objective - 1e-9, // ridge slack
@@ -201,7 +211,7 @@ impl BranchAndBound {
                 Some((idx, val)) => {
                     // Rounding heuristic: try the nearest integer point.
                     if incumbent.is_none() {
-                        let rounded = self.round_repair(&rel.x, &node);
+                        let rounded = self.round_repair(&rel.x, &node, &mut scratch, ws);
                         if let Some(x) = rounded {
                             let obj = self.original.objective_at(&x);
                             incumbent = Some((x, obj));
@@ -274,18 +284,24 @@ impl BranchAndBound {
 
     /// Rounds integral variables and re-optimizes the continuous ones with
     /// the integral block fixed; returns a feasible point or `None`.
-    fn round_repair(&self, x: &[f64], node: &Node) -> Option<Vec<f64>> {
-        let mut qp = self.relaxed.qp.clone();
-        qp.lb = node.lb.clone();
-        qp.ub = node.ub.clone();
+    /// Clobbers `scratch`'s bounds (the node loop rewrites them anyway).
+    fn round_repair(
+        &self,
+        x: &[f64],
+        node: &Node,
+        scratch: &mut QpProblem,
+        ws: &mut QpWorkspace,
+    ) -> Option<Vec<f64>> {
+        scratch.lb.copy_from_slice(&node.lb);
+        scratch.ub.copy_from_slice(&node.ub);
         for (i, k) in self.original.kinds.iter().enumerate() {
             if *k != VarKind::Continuous {
                 let v = x[i].round().clamp(node.lb[i], node.ub[i]);
-                qp.lb[i] = v;
-                qp.ub[i] = v;
+                scratch.lb[i] = v;
+                scratch.ub[i] = v;
             }
         }
-        let sol = qp.solve();
+        let sol = scratch.solve_with(ws);
         if sol.status == QpStatus::Optimal && self.original.qp.is_feasible(&sol.x) {
             let snapped = self.snap(&sol.x, node);
             if self.original.qp.is_feasible(&snapped) {
@@ -324,8 +340,14 @@ impl BranchAndBound {
 
 /// One-call convenience: convexify + branch-and-bound with options.
 pub fn solve_miqp(problem: &MiqpProblem, opts: BbOptions) -> BbSolution {
+    solve_miqp_with(problem, opts, &mut QpWorkspace::new())
+}
+
+/// Like [`solve_miqp`], but reuses a caller-held [`QpWorkspace`] across the
+/// run — the hot path for callers dispatching many MIQPs on one thread.
+pub fn solve_miqp_with(problem: &MiqpProblem, opts: BbOptions, ws: &mut QpWorkspace) -> BbSolution {
     match BranchAndBound::new(problem.clone(), opts) {
-        Some(bb) => bb.solve(),
+        Some(bb) => bb.solve_with(ws),
         None => BbSolution {
             status: BbStatus::CannotConvexify,
             x: Vec::new(),
@@ -347,10 +369,10 @@ mod tests {
     /// Brute-force binary enumeration oracle.
     fn brute_force(p: &MiqpProblem) -> Option<(Vec<f64>, f64)> {
         let bins = p.integral_indices();
-        assert!(p
-            .kinds
-            .iter()
-            .all(|k| *k != VarKind::Integer), "oracle handles binaries only");
+        assert!(
+            p.kinds.iter().all(|k| *k != VarKind::Integer),
+            "oracle handles binaries only"
+        );
         let mut best: Option<(Vec<f64>, f64)> = None;
         for mask in 0u64..(1 << bins.len()) {
             let mut x = vec![0.0; p.num_vars()];
@@ -436,11 +458,7 @@ mod tests {
     #[test]
     fn nonconvex_quadratic_on_binaries_is_exact() {
         // Indefinite Q forces the QCR path; compare against brute force.
-        let h = Matrix::from_rows(&[
-            &[0.0, 4.0, -2.0],
-            &[4.0, 0.0, 6.0],
-            &[-2.0, 6.0, 0.0],
-        ]);
+        let h = Matrix::from_rows(&[&[0.0, 4.0, -2.0], &[4.0, 0.0, 6.0], &[-2.0, 6.0, 0.0]]);
         let mut p = MiqpProblem::new(h, vec![-1.0, -1.0, -1.0], vec![VarKind::Binary; 3]);
         p.add_le(vec![1.0, 1.0, 1.0], 2.0);
         let sol = solve_miqp(&p, BbOptions::default());

@@ -56,8 +56,8 @@ pub mod qp;
 pub use bb::{BbOptions, BbSolution, BbStats, BranchAndBound};
 pub use lp::{LpProblem, LpSolution, LpStatus, Relation};
 pub use problem::{MiqpProblem, VarKind};
-pub use qcr::{convexify, ConvexifyMethod, Convexified};
-pub use qp::{QpProblem, QpSolution, QpStatus};
+pub use qcr::{convexify, Convexified, ConvexifyMethod};
+pub use qp::{QpProblem, QpSolution, QpStatus, QpWorkspace};
 
 /// Solver-wide numerical tolerance for feasibility checks.
 pub const FEAS_TOL: f64 = 1e-7;

@@ -222,9 +222,7 @@ impl Tableau {
             // and harmless.
             for r in 0..m {
                 if self.basis[r] >= self.art_start {
-                    if let Some(j) = (0..self.art_start)
-                        .find(|&j| self.a[r][j].abs() > 1e-9)
-                    {
+                    if let Some(j) = (0..self.art_start).find(|&j| self.a[r][j].abs() > 1e-9) {
                         self.pivot(r, j);
                     }
                 }

@@ -96,9 +96,10 @@ impl MiqpProblem {
 
     /// True if `x` is integral on all integer/binary variables (to `tol`).
     pub fn is_integral(&self, x: &[f64], tol: f64) -> bool {
-        self.kinds.iter().zip(x).all(|(k, v)| {
-            *k == VarKind::Continuous || (v - v.round()).abs() <= tol
-        })
+        self.kinds
+            .iter()
+            .zip(x)
+            .all(|(k, v)| *k == VarKind::Continuous || (v - v.round()).abs() <= tol)
     }
 
     /// True if the quadratic coupling is confined to binary×binary entries

@@ -265,9 +265,7 @@ mod tests {
             assert!((conv.problem.objective_at(&x) - p.objective_at(&x)).abs() < 1e-7);
         }
         // And the relaxation is tighter at fractional points.
-        assert!(
-            conv.problem.objective_at(&[0.5, 0.5]) > p.objective_at(&[0.5, 0.5]) - 1e-9
-        );
+        assert!(conv.problem.objective_at(&[0.5, 0.5]) > p.objective_at(&[0.5, 0.5]) - 1e-9);
     }
 
     #[test]

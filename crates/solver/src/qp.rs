@@ -19,7 +19,48 @@
 
 use crate::lp::{LpProblem, LpSolution, LpStatus, Relation};
 use crate::FEAS_TOL;
-use ampsinf_linalg::{vector, Lu, Matrix};
+use ampsinf_linalg::{vector, LuFactors, Matrix};
+
+/// Reusable scratch buffers for QP solves.
+///
+/// Every active-set iteration assembles and factors a KKT system; with fresh
+/// allocations that dominates the relaxation cost inside branch-and-bound,
+/// which solves thousands of closely-sized relaxations per MIQP. Holding one
+/// `QpWorkspace` per thread and passing it to
+/// [`QpProblem::solve_with`] makes those solves allocation-free at steady
+/// state without changing a single floating-point operation.
+#[derive(Debug, Clone)]
+pub struct QpWorkspace {
+    /// KKT matrix `[H+εI Aᵀ; A 0]`, resized per working set.
+    kkt: Matrix,
+    /// LU factors of `kkt`, refactored in place.
+    lu: LuFactors,
+    /// KKT right-hand side `(-g, 0)`.
+    rhs: Vec<f64>,
+    /// KKT solution `(p, λ)`.
+    sol: Vec<f64>,
+    /// Scratch unit vector for bound-constraint gradients.
+    e: Vec<f64>,
+}
+
+impl QpWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        QpWorkspace {
+            kkt: Matrix::zeros(0, 0),
+            lu: LuFactors::new(),
+            rhs: Vec::new(),
+            sol: Vec::new(),
+            e: Vec::new(),
+        }
+    }
+}
+
+impl Default for QpWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// A convex QP instance.
 #[derive(Debug, Clone)]
@@ -122,8 +163,14 @@ impl QpProblem {
         self.violation(x) <= 10.0 * FEAS_TOL
     }
 
-    /// Solves the QP.
+    /// Solves the QP with a throwaway workspace.
     pub fn solve(&self) -> QpSolution {
+        self.solve_with(&mut QpWorkspace::new())
+    }
+
+    /// Solves the QP, reusing `ws` for all internal allocations. Produces
+    /// bit-identical results to [`solve`](QpProblem::solve).
+    pub fn solve_with(&self, ws: &mut QpWorkspace) -> QpSolution {
         let n = self.num_vars();
         // Fast-path: all variables fixed by bounds.
         if (0..n).all(|i| (self.ub[i] - self.lb[i]).abs() <= 1e-12) {
@@ -149,7 +196,7 @@ impl QpProblem {
                 iterations: 0,
             };
         };
-        self.active_set(x0)
+        self.active_set(x0, ws)
     }
 
     /// Phase-1: find any feasible point via the simplex on shifted/split
@@ -242,7 +289,7 @@ impl QpProblem {
     }
 
     /// Primal active-set loop from a feasible `x0`.
-    fn active_set(&self, mut x: Vec<f64>) -> QpSolution {
+    fn active_set(&self, mut x: Vec<f64>, buf: &mut QpWorkspace) -> QpSolution {
         let n = self.num_vars();
         let neq = self.eq.len();
         let cap = 100 * (n + neq + self.ineq.len()) + 200;
@@ -269,6 +316,10 @@ impl QpProblem {
         // which provably terminates for the simplex-like degenerate case.
         let mut degenerate_streak = 0usize;
         const BLAND_AFTER: usize = 20;
+        // Per-solve buffers, reused across iterations.
+        let mut g = vec![0.0; n];
+        let mut p = vec![0.0; n];
+        let mut lambda: Vec<f64> = Vec::new();
         loop {
             if iterations > cap {
                 return QpSolution {
@@ -282,10 +333,10 @@ impl QpProblem {
             let bland = degenerate_streak >= BLAND_AFTER;
 
             // Gradient at current x.
-            let mut g = self.h.matvec(&x);
+            self.h.matvec_into(&x, &mut g);
             vector::axpy(1.0, &self.c, &mut g);
 
-            let Some((p, lambda)) = self.solve_eqp(&g, &ws) else {
+            if self.solve_eqp(&g, &ws, buf, &mut p, &mut lambda).is_none() {
                 // Degenerate working set: drop the newest inequality entry.
                 if ws.pop().is_none() {
                     // Unconstrained singular KKT despite ridge — should not
@@ -298,7 +349,7 @@ impl QpProblem {
                     };
                 }
                 continue;
-            };
+            }
 
             let p_norm = vector::norm_inf(&p);
             if p_norm <= 1e-9 {
@@ -360,15 +411,30 @@ impl QpProblem {
 
     /// Solves the equality-constrained subproblem
     /// `min ½pᵀHp + gᵀp  s.t.  (active gradients)·p = 0`
-    /// returning `(p, multipliers)`. Multipliers are ordered: equality rows
-    /// first, then working-set entries in `ws` order. Returns `None` when
-    /// the KKT matrix is singular (dependent working set).
-    fn solve_eqp(&self, g: &[f64], ws: &[WsEntry]) -> Option<(Vec<f64>, Vec<f64>)> {
+    /// writing the step into `p` and the multipliers into `lambda`.
+    /// Multipliers are ordered: equality rows first, then working-set
+    /// entries in `ws` order. Returns `None` when the KKT matrix is
+    /// singular (dependent working set). All heavy storage lives in `buf`.
+    fn solve_eqp(
+        &self,
+        g: &[f64],
+        ws: &[WsEntry],
+        buf: &mut QpWorkspace,
+        p: &mut Vec<f64>,
+        lambda: &mut Vec<f64>,
+    ) -> Option<()> {
         let n = self.num_vars();
         let neq = self.eq.len();
         let m = neq + ws.len();
         let dim = n + m;
-        let mut kkt = Matrix::zeros(dim, dim);
+        let QpWorkspace {
+            kkt,
+            lu,
+            rhs,
+            sol,
+            e,
+        } = buf;
+        kkt.reset_zeros(dim, dim);
         for r in 0..n {
             for c in 0..n {
                 kkt[(r, c)] = self.h[(r, c)];
@@ -385,33 +451,37 @@ impl QpProblem {
             }
         };
         for (k, (a, _)) in self.eq.iter().enumerate() {
-            put_row(&mut kkt, k, a);
+            put_row(kkt, k, a);
         }
-        let mut e = vec![0.0; n];
+        e.clear();
+        e.resize(n, 0.0);
         for (k, entry) in ws.iter().enumerate() {
             match entry {
-                WsEntry::Ineq(r) => put_row(&mut kkt, neq + k, &self.ineq[*r].0),
+                WsEntry::Ineq(r) => put_row(kkt, neq + k, &self.ineq[*r].0),
                 WsEntry::Lower(i) => {
                     e.fill(0.0);
                     e[*i] = -1.0;
-                    put_row(&mut kkt, neq + k, &e);
+                    put_row(kkt, neq + k, e);
                 }
                 WsEntry::Upper(i) => {
                     e.fill(0.0);
                     e[*i] = 1.0;
-                    put_row(&mut kkt, neq + k, &e);
+                    put_row(kkt, neq + k, e);
                 }
             }
         }
-        let mut rhs = vec![0.0; dim];
+        rhs.clear();
+        rhs.resize(dim, 0.0);
         for i in 0..n {
             rhs[i] = -g[i];
         }
-        let lu = Lu::factor(&kkt).ok()?;
-        let sol = lu.solve(&rhs);
-        let p = sol[..n].to_vec();
-        let lambda = sol[n..].to_vec();
-        Some((p, lambda))
+        lu.factor_from(kkt).ok()?;
+        lu.solve_into(rhs, sol);
+        p.clear();
+        p.extend_from_slice(&sol[..n]);
+        lambda.clear();
+        lambda.extend_from_slice(&sol[n..]);
+        Some(())
     }
 
     /// Longest feasible step along `p` and the constraint that blocks it.

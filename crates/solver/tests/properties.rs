@@ -1,20 +1,48 @@
-//! Property-based tests: the B&B MIQP solver against brute-force oracles,
-//! KKT conditions for the QP, and LP invariants.
+//! Property-style tests: the B&B MIQP solver against brute-force oracles,
+//! KKT conditions for the QP, and LP invariants. Inputs come from a
+//! deterministic PRNG (no external property-testing dependency).
 
 use ampsinf_linalg::{vector, Matrix};
 use ampsinf_solver::bb::solve_miqp;
 use ampsinf_solver::{
     BbOptions, LpProblem, LpStatus, MiqpProblem, QpProblem, QpStatus, Relation, VarKind,
 };
-use proptest::prelude::*;
 
-/// Random symmetric integer-ish Hessian over `n` binaries.
-fn binary_hessian(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-3i32..=3, n * n).prop_map(move |v| {
-        let mut m = Matrix::from_vec(n, n, v.into_iter().map(f64::from).collect());
+/// Deterministic LCG over `[0, 1)`.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn unit(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) as f64 / u32::MAX as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    fn vec(&mut self, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| self.range(lo, hi)).collect()
+    }
+
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.unit() * (hi - lo + 1) as f64) as i64
+    }
+
+    /// Random symmetric integer-ish Hessian over `n` binaries.
+    fn binary_hessian(&mut self, n: usize) -> Matrix {
+        let data: Vec<f64> = (0..n * n).map(|_| self.int(-3, 3) as f64).collect();
+        let mut m = Matrix::from_vec(n, n, data);
         m.symmetrize();
         m
-    })
+    }
 }
 
 /// Brute-force oracle over all binary assignments.
@@ -34,136 +62,156 @@ fn brute_force(p: &MiqpProblem) -> Option<f64> {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 24;
 
-    #[test]
-    fn bb_matches_brute_force_unconstrained(
-        h in binary_hessian(5),
-        c in prop::collection::vec(-4.0f64..4.0, 5),
-    ) {
+#[test]
+fn bb_matches_brute_force_unconstrained() {
+    let mut g = Gen::new(11);
+    for _ in 0..CASES {
+        let h = g.binary_hessian(5);
+        let c = g.vec(5, -4.0, 4.0);
         let p = MiqpProblem::new(h, c, vec![VarKind::Binary; 5]);
         let sol = solve_miqp(&p, BbOptions::default());
         let oracle = brute_force(&p).unwrap();
-        prop_assert!(matches!(sol.status, ampsinf_solver::bb::BbStatus::Optimal));
-        prop_assert!((sol.objective - oracle).abs() < 1e-5,
-            "bb {} vs oracle {}", sol.objective, oracle);
+        assert!(matches!(sol.status, ampsinf_solver::bb::BbStatus::Optimal));
+        assert!(
+            (sol.objective - oracle).abs() < 1e-5,
+            "bb {} vs oracle {}",
+            sol.objective,
+            oracle
+        );
     }
+}
 
-    #[test]
-    fn bb_matches_brute_force_with_cardinality(
-        h in binary_hessian(5),
-        c in prop::collection::vec(-4.0f64..4.0, 5),
-        k in 1usize..5,
-    ) {
+#[test]
+fn bb_matches_brute_force_with_cardinality() {
+    let mut g = Gen::new(12);
+    for _ in 0..CASES {
+        let h = g.binary_hessian(5);
+        let c = g.vec(5, -4.0, 4.0);
+        let k = g.int(1, 4);
         let mut p = MiqpProblem::new(h, c, vec![VarKind::Binary; 5]);
         p.add_le(vec![1.0; 5], k as f64);
         let sol = solve_miqp(&p, BbOptions::default());
         let oracle = brute_force(&p).unwrap();
-        prop_assert!((sol.objective - oracle).abs() < 1e-5);
+        assert!((sol.objective - oracle).abs() < 1e-5);
     }
+}
 
-    #[test]
-    fn bb_sos1_groups(
-        h in binary_hessian(6),
-        c in prop::collection::vec(-4.0f64..4.0, 6),
-    ) {
+#[test]
+fn bb_sos1_groups() {
+    let mut g = Gen::new(13);
+    for _ in 0..CASES {
         // Two pick-one groups of 3 — exactly the AMPS-Inf Eq. (1) structure.
+        let h = g.binary_hessian(6);
+        let c = g.vec(6, -4.0, 4.0);
         let mut p = MiqpProblem::new(h, c, vec![VarKind::Binary; 6]);
         p.add_pick_one(&[0, 1, 2]);
         p.add_pick_one(&[3, 4, 5]);
         let sol = solve_miqp(&p, BbOptions::default());
         let oracle = brute_force(&p).unwrap();
-        prop_assert!((sol.objective - oracle).abs() < 1e-5);
+        assert!((sol.objective - oracle).abs() < 1e-5);
         // Solution respects the groups.
         let g1: f64 = sol.x[0] + sol.x[1] + sol.x[2];
         let g2: f64 = sol.x[3] + sol.x[4] + sol.x[5];
-        prop_assert!((g1 - 1.0).abs() < 1e-6 && (g2 - 1.0).abs() < 1e-6);
+        assert!((g1 - 1.0).abs() < 1e-6 && (g2 - 1.0).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn qp_kkt_stationarity_on_box(
-        diag in prop::collection::vec(0.5f64..4.0, 5),
-        c in prop::collection::vec(-4.0f64..4.0, 5),
-    ) {
+#[test]
+fn qp_kkt_stationarity_on_box() {
+    let mut gen = Gen::new(14);
+    for _ in 0..CASES {
         // Convex separable QP on [0,1]^5: projected-gradient optimality —
         // interior coordinates have zero gradient, boundary ones point out.
+        let diag = gen.vec(5, 0.5, 4.0);
+        let c = gen.vec(5, -4.0, 4.0);
         let h = Matrix::from_diag(&diag);
         let mut qp = QpProblem::new(h, c);
         qp.lb = vec![0.0; 5];
         qp.ub = vec![1.0; 5];
         let s = qp.solve();
-        prop_assert_eq!(s.status, QpStatus::Optimal);
+        assert_eq!(s.status, QpStatus::Optimal);
         let mut g = qp.h.matvec(&s.x);
         vector::axpy(1.0, &qp.c, &mut g);
-        for i in 0..5 {
-            if s.x[i] > 1e-6 && s.x[i] < 1.0 - 1e-6 {
-                prop_assert!(g[i].abs() < 1e-5, "interior grad {} at {}", g[i], i);
-            } else if s.x[i] <= 1e-6 {
-                prop_assert!(g[i] > -1e-5, "lower-bound grad {} at {}", g[i], i);
+        for (i, (&xi, &gi)) in s.x.iter().zip(g.iter()).enumerate() {
+            if xi > 1e-6 && xi < 1.0 - 1e-6 {
+                assert!(gi.abs() < 1e-5, "interior grad {gi} at {i}");
+            } else if xi <= 1e-6 {
+                assert!(gi > -1e-5, "lower-bound grad {gi} at {i}");
             } else {
-                prop_assert!(g[i] < 1e-5, "upper-bound grad {} at {}", g[i], i);
+                assert!(gi < 1e-5, "upper-bound grad {gi} at {i}");
             }
         }
     }
+}
 
-    #[test]
-    fn qp_simplex_relaxation_optimum_separable(
-        diag in prop::collection::vec(1.0f64..4.0, 4),
-    ) {
+#[test]
+fn qp_simplex_relaxation_optimum_separable() {
+    let mut g = Gen::new(15);
+    for _ in 0..CASES {
         // min ½ Σ d_i x_i² on the simplex: optimum x_i ∝ 1/d_i.
+        let diag = g.vec(4, 1.0, 4.0);
         let h = Matrix::from_diag(&diag);
         let mut qp = QpProblem::new(h, vec![0.0; 4]);
         qp.eq.push((vec![1.0; 4], 1.0));
         qp.lb = vec![0.0; 4];
         qp.ub = vec![1.0; 4];
         let s = qp.solve();
-        prop_assert_eq!(s.status, QpStatus::Optimal);
+        assert_eq!(s.status, QpStatus::Optimal);
         let z: f64 = diag.iter().map(|d| 1.0 / d).sum();
-        for i in 0..4 {
-            prop_assert!((s.x[i] - (1.0 / diag[i]) / z).abs() < 1e-5);
+        for (xi, di) in s.x.iter().zip(diag.iter()) {
+            assert!((xi - (1.0 / di) / z).abs() < 1e-5);
         }
     }
+}
 
-    #[test]
-    fn lp_optimal_is_feasible_and_bounded_by_any_point(
-        c in prop::collection::vec(0.1f64..5.0, 4),
-        b in prop::collection::vec(1.0f64..10.0, 3),
-    ) {
+#[test]
+fn lp_optimal_is_feasible_and_bounded_by_any_point() {
+    let mut g = Gen::new(16);
+    for _ in 0..CASES {
         // min cᵀx (c > 0) with Σx ≥ b_k rows: optimum exists; every feasible
         // point we can construct scores no better.
+        let c = g.vec(4, 0.1, 5.0);
+        let b = g.vec(3, 1.0, 10.0);
         let mut lp = LpProblem::new(c.clone());
         for bk in &b {
             lp.add_row(vec![1.0; 4], Relation::Ge, *bk);
         }
         let s = lp.solve();
-        prop_assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.status, LpStatus::Optimal);
         // Feasible comparison point: put everything on coordinate 0.
         let need = b.iter().cloned().fold(0.0f64, f64::max);
         let manual = c[0] * need;
-        prop_assert!(s.objective <= manual + 1e-7);
+        assert!(s.objective <= manual + 1e-7);
         // And the optimum satisfies the rows.
         let sum: f64 = s.x.iter().sum();
-        prop_assert!(sum >= need - 1e-7);
+        assert!(sum >= need - 1e-7);
     }
+}
 
-    #[test]
-    fn lp_infeasible_when_bounds_conflict(ub in 0.5f64..5.0) {
+#[test]
+fn lp_infeasible_when_bounds_conflict() {
+    let mut g = Gen::new(17);
+    for _ in 0..CASES {
+        let ub = g.range(0.5, 5.0);
         let mut lp = LpProblem::new(vec![1.0]);
         lp.add_row(vec![1.0], Relation::Le, ub);
         lp.add_row(vec![1.0], Relation::Ge, ub + 1.0);
-        prop_assert_eq!(lp.solve().status, LpStatus::Infeasible);
+        assert_eq!(lp.solve().status, LpStatus::Infeasible);
     }
+}
 
-    #[test]
-    fn bb_sos1_with_budget_row_matches_oracle(
-        costs in prop::collection::vec(0.1f64..5.0, 6),
-        times in prop::collection::vec(0.1f64..5.0, 6),
-        slack in 0.2f64..1.0,
-    ) {
+#[test]
+fn bb_sos1_with_budget_row_matches_oracle() {
+    let mut g = Gen::new(18);
+    for _ in 0..CASES {
         // The AMPS-Inf SLO structure at solver level: two pick-one groups,
         // linear costs, and a budget row over "durations". Oracle:
         // exhaustive over the 9 feasible picks.
+        let costs = g.vec(6, 0.1, 5.0);
+        let times = g.vec(6, 0.1, 5.0);
+        let slack = g.range(0.2, 1.0);
         let h = Matrix::zeros(6, 6);
         let mut p = MiqpProblem::new(h, costs.clone(), vec![VarKind::Binary; 6]);
         p.add_pick_one(&[0, 1, 2]);
@@ -187,29 +235,45 @@ proptest! {
         }
         let sol = solve_miqp(&p, BbOptions::default());
         let oracle = oracle.expect("budget chosen feasible");
-        prop_assert!((sol.objective - oracle).abs() < 1e-6,
-            "bb {} vs oracle {}", sol.objective, oracle);
+        assert!(
+            (sol.objective - oracle).abs() < 1e-6,
+            "bb {} vs oracle {}",
+            sol.objective,
+            oracle
+        );
     }
+}
 
-    #[test]
-    fn bb_objective_invariant_under_qcr_method(
-        h in binary_hessian(5),
-        c in prop::collection::vec(-4.0f64..4.0, 5),
-    ) {
+#[test]
+fn bb_objective_invariant_under_qcr_method() {
+    let mut g = Gen::new(19);
+    for _ in 0..CASES {
         // Both convexification policies must land on the same optimum.
+        let h = g.binary_hessian(5);
+        let c = g.vec(5, -4.0, 4.0);
         let mut p1 = MiqpProblem::new(h.clone(), c.clone(), vec![VarKind::Binary; 5]);
         p1.add_le(vec![1.0; 5], 3.0);
         let mut p2 = p1.clone();
         p2.qp = p1.qp.clone();
-        let s1 = solve_miqp(&p1, BbOptions {
-            convexify: ampsinf_solver::ConvexifyMethod::EigenShift,
-            ..Default::default()
-        });
-        let s2 = solve_miqp(&p2, BbOptions {
-            convexify: ampsinf_solver::ConvexifyMethod::DualRefine,
-            ..Default::default()
-        });
-        prop_assert!((s1.objective - s2.objective).abs() < 1e-5,
-            "eig {} vs refine {}", s1.objective, s2.objective);
+        let s1 = solve_miqp(
+            &p1,
+            BbOptions {
+                convexify: ampsinf_solver::ConvexifyMethod::EigenShift,
+                ..Default::default()
+            },
+        );
+        let s2 = solve_miqp(
+            &p2,
+            BbOptions {
+                convexify: ampsinf_solver::ConvexifyMethod::DualRefine,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (s1.objective - s2.objective).abs() < 1e-5,
+            "eig {} vs refine {}",
+            s1.objective,
+            s2.objective
+        );
     }
 }

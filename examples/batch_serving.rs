@@ -29,8 +29,8 @@ fn main() {
         batch
     );
 
-    let batch_sys = run_batch_baseline(&model, &cfg, 2048, batch, batches)
-        .expect("MobileNet fits one lambda");
+    let batch_sys =
+        run_batch_baseline(&model, &cfg, 2048, batch, batches).expect("MobileNet fits one lambda");
     let seq = run_batched_plan(&model, &plan, &cfg, batch, batches, false).unwrap();
     let par = run_batched_plan(&model, &plan, &cfg, batch, batches, true).unwrap();
 

@@ -43,7 +43,10 @@ fn main() {
     println!("\nserved one image:");
     println!("  deployment    {:>8.2} s (once per job)", job.deploy_s);
     println!("  load+import   {:>8.2} s (sum over lambdas)", job.load_s);
-    println!("  prediction    {:>8.2} s (sum over lambdas)", job.predict_s);
+    println!(
+        "  prediction    {:>8.2} s (sum over lambdas)",
+        job.predict_s
+    );
     println!("  chain wall    {:>8.2} s", job.inference_s);
     println!("  end-to-end    {:>8.2} s", job.e2e_s);
     println!("  cost          ${:.6}", job.dollars);
@@ -61,5 +64,8 @@ fn main() {
     }
 
     // 4. Where did the time go? (the paper's Fig. 5/6 decomposition)
-    println!("\n{}", amps_inf::core::Timeline::of(&report.plan, &job).render(72));
+    println!(
+        "\n{}",
+        amps_inf::core::Timeline::of(&report.plan, &job).render(72)
+    );
 }

@@ -57,7 +57,10 @@ fn main() {
                 r.plan.memories()
             ),
             Err(OptimizeError::SloInfeasible) => {
-                println!("{slo:>8.2}  {:>9}  {:>10}  infeasible — no memory mix is this fast", "-", "-");
+                println!(
+                    "{slo:>8.2}  {:>9}  {:>10}  infeasible — no memory mix is this fast",
+                    "-", "-"
+                );
             }
             Err(e) => println!("{slo:>8.2}  error: {e}"),
         }

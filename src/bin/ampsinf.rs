@@ -69,8 +69,13 @@ fn run(args: &[String]) -> i32 {
                     Ok(r) => {
                         println!("{}", r.plan);
                         println!(
-                            "searched {} cuts, {} MIQPs, {:?}",
-                            r.cuts_considered, r.miqps_solved, r.solve_time
+                            "searched {} cuts, {} MIQPs, {:?} ({} threads: eval {:?}, miqp {:?})",
+                            r.cuts_considered,
+                            r.miqps_solved,
+                            r.solve_time,
+                            r.threads_used,
+                            r.pass1_time,
+                            r.pass2_time
                         );
                         if let Some(b3) = baselines::b3_optimal(&g, &cfg) {
                             println!(
@@ -79,9 +84,7 @@ fn run(args: &[String]) -> i32 {
                             );
                         }
                         if let Some(path) = json_out {
-                            let s = serde_json::to_string_pretty(&r.plan)
-                                .expect("plans serialize");
-                            if let Err(e) = std::fs::write(&path, s) {
+                            if let Err(e) = std::fs::write(&path, r.plan.to_json()) {
                                 return fail(&format!("writing {path}: {e}"));
                             }
                             println!("plan written to {path}");
@@ -164,6 +167,7 @@ fn usage() {
            --slo <seconds>      response-time SLO\n\
            --batch <n>          optimize for n-image batches\n\
            --tolerance <f>      cost tolerance spent on speed (default 0.1)\n\
+           --threads <n>        optimizer worker threads (0 = auto, 1 = sequential)\n\
            --quota-2021         10,240 MB / 1 MB-step quota preset\n\
            --quantize <bytes>   weight width 1..4 (plan only)\n\
            --json <path>        write the plan as JSON (plan only)\n\
@@ -212,6 +216,9 @@ fn parse_cfg(args: &[String]) -> Result<(AmpsConfig, Option<u64>, Option<String>
         cfg.cost_tolerance = v
             .parse()
             .map_err(|_| format!("bad --tolerance value {v}"))?;
+    }
+    if let Some(v) = flag_value(args, "--threads") {
+        cfg.threads = v.parse().map_err(|_| format!("bad --threads value {v}"))?;
     }
     if args.iter().any(|a| a == "--quota-2021") {
         cfg = cfg.lambda_2021();

@@ -18,7 +18,13 @@ fn run(args: &[&str]) -> (String, String, bool) {
 fn models_lists_zoo() {
     let (stdout, _, ok) = run(&["models"]);
     assert!(ok);
-    for name in ["mobilenet", "resnet50", "inception_v3", "xception", "bert_base"] {
+    for name in [
+        "mobilenet",
+        "resnet50",
+        "inception_v3",
+        "xception",
+        "bert_base",
+    ] {
         assert!(stdout.contains(name), "missing {name}:\n{stdout}");
     }
     assert!(stdout.contains("25636712")); // ResNet50 params, exact
@@ -42,8 +48,8 @@ fn plan_mobilenet_and_json_output() {
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("lambda(s)"), "{stdout}");
     assert!(stdout.contains("exhaustive optimum"), "{stdout}");
-    let plan: amps_inf::core::ExecutionPlan =
-        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    let plan =
+        amps_inf::core::ExecutionPlan::from_json(&std::fs::read_to_string(&json).unwrap()).unwrap();
     assert_eq!(plan.model, "mobilenet");
     assert!(plan.num_lambdas() >= 1);
 }

@@ -94,7 +94,10 @@ fn plans_always_deployable_under_both_quota_presets() {
 #[test]
 fn quota_2021_no_worse_than_2020() {
     let g = zoo::resnet50();
-    let p2020 = Optimizer::new(AmpsConfig::default()).optimize(&g).unwrap().plan;
+    let p2020 = Optimizer::new(AmpsConfig::default())
+        .optimize(&g)
+        .unwrap()
+        .plan;
     let p2021 = Optimizer::new(AmpsConfig {
         cost_tolerance: 0.0,
         ..AmpsConfig::default().lambda_2021()
@@ -240,6 +243,8 @@ fn giant_single_layer_reported_infeasible() {
         },
         &[i],
     );
-    let err = Optimizer::new(AmpsConfig::default()).optimize(&g).unwrap_err();
+    let err = Optimizer::new(AmpsConfig::default())
+        .optimize(&g)
+        .unwrap_err();
     assert_eq!(err, OptimizeError::NoFeasibleCut);
 }
