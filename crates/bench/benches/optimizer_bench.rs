@@ -82,5 +82,8 @@ fn main() {
         }
     }
 
+    // Bench targets run from the package directory; the committed baseline
+    // lives at the repo root. Override with BENCH_BASELINE=<path>.
+    b.compare_with_baseline("../../BENCH_optimizer.json");
     b.write_json_if_requested();
 }

@@ -107,6 +107,53 @@ impl Bencher {
         Json::Obj(vec![("benchmarks".into(), Json::Arr(entries))]).render_pretty()
     }
 
+    /// Compares collected medians against a previously recorded report (the
+    /// format written by [`to_json`](Bencher::to_json)), printing the
+    /// per-benchmark speedup factor. The baseline path comes from the
+    /// `BENCH_BASELINE` environment variable, falling back to `default_path`;
+    /// a missing or unreadable baseline silently skips the comparison.
+    /// Returns whether a comparison was printed.
+    pub fn compare_with_baseline(&self, default_path: &str) -> bool {
+        let path = std::env::var("BENCH_BASELINE").unwrap_or_else(|_| default_path.to_string());
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return false;
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            println!("baseline {path}: unparseable, skipping comparison");
+            return false;
+        };
+        let mut prior: Vec<(String, f64)> = Vec::new();
+        if let Some(entries) = doc.get("benchmarks").and_then(Json::as_array) {
+            for e in entries {
+                if let (Some(name), Some(median)) = (
+                    e.get("name").and_then(Json::as_str),
+                    e.get("median_s").and_then(Json::as_f64),
+                ) {
+                    prior.push((name.to_string(), median));
+                }
+            }
+        }
+        if prior.is_empty() {
+            return false;
+        }
+        println!("\nvs baseline {path} (median, baseline -> current):");
+        for r in &self.results {
+            match prior.iter().find(|(n, _)| *n == r.name) {
+                Some((_, old)) if *old > 0.0 && r.median_s > 0.0 => {
+                    println!(
+                        "{:<44} {:>10} -> {:>10}  {:>8.2}x",
+                        r.name,
+                        fmt_time(*old),
+                        fmt_time(r.median_s),
+                        old / r.median_s
+                    );
+                }
+                _ => println!("{:<44} (no baseline entry)", r.name),
+            }
+        }
+        true
+    }
+
     /// Writes the JSON report to the path named by the `BENCH_OUT`
     /// environment variable, if set. Returns whether a file was written.
     pub fn write_json_if_requested(&self) -> bool {
@@ -160,6 +207,17 @@ mod tests {
         let j = b.to_json();
         assert!(j.contains("\"benchmarks\""));
         assert!(j.contains("\"median_s\""));
+    }
+
+    #[test]
+    fn baseline_comparison_round_trips() {
+        let mut b = Bencher::new();
+        b.bench("roundtrip", 2, || 1 + 1);
+        let path = std::env::temp_dir().join("ampsinf_bench_baseline_test.json");
+        std::fs::write(&path, b.to_json()).unwrap();
+        assert!(b.compare_with_baseline(path.to_str().unwrap()));
+        std::fs::remove_file(&path).ok();
+        assert!(!b.compare_with_baseline("/nonexistent/baseline.json"));
     }
 
     #[test]

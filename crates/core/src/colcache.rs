@@ -1,0 +1,96 @@
+//! Per-optimize segment-column memo cache.
+//!
+//! A cut is a list of segment boundaries, and adjacent cuts overwhelmingly
+//! share segments: enumerating cuts of a model re-derives the same
+//! `(start, end)` column evaluations thousands of times. A segment's
+//! columns are a pure function of `(profile, start, end, config)` — the
+//! first/last flags that `quick_eval` needs are implied by
+//! `start == 0` / `end == last layer` — so one optimize call shares a
+//! single memo table across both passes and every worker thread.
+//!
+//! The cache stores the **post-`presolve_dominated`** Pareto frontier: it
+//! is what every consumer (the separable fast paths and the MIQP assembly)
+//! actually wants, and it is idempotent, so cached and uncached paths
+//! produce identical columns. Values are computed *outside* the lock;
+//! racing threads may duplicate a computation (each counts a miss), but
+//! since the function is pure they compute bit-identical values and
+//! whichever inserts first wins — results never depend on interleaving.
+
+use crate::config::AmpsConfig;
+use crate::miqp_build::{evaluate_segment, presolve_dominated, PartitionColumns};
+use ampsinf_profiler::Profile;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A memoized segment evaluation: `None` records an infeasible segment
+/// (no feasible memory) so it is not re-derived either.
+type CachedColumns = Option<Arc<PartitionColumns>>;
+
+/// Thread-shared memo table `(start, end) → presolved PartitionColumns`.
+#[derive(Debug, Default)]
+pub struct SegmentColumnCache {
+    map: RwLock<HashMap<(usize, usize), CachedColumns>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SegmentColumnCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the presolved columns of segment `[start, end]`, evaluating
+    /// and inserting them on first use.
+    pub fn get_or_eval(
+        &self,
+        profile: &Profile,
+        start: usize,
+        end: usize,
+        cfg: &AmpsConfig,
+    ) -> CachedColumns {
+        if let Some(v) = self.map.read().expect("cache lock").get(&(start, end)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let val =
+            evaluate_segment(profile, start, end, cfg).map(|p| Arc::new(presolve_dominated(&p)));
+        self.map
+            .write()
+            .expect("cache lock")
+            .entry((start, end))
+            .or_insert(val)
+            .clone()
+    }
+
+    /// Presolved columns for every segment of `cut`, or `None` when some
+    /// segment has no feasible memory — the cached equivalent of
+    /// `evaluate_columns` + `presolve_dominated` per partition.
+    pub fn columns_for_cut(
+        &self,
+        profile: &Profile,
+        cut: &[usize],
+        cfg: &AmpsConfig,
+    ) -> Option<Vec<Arc<PartitionColumns>>> {
+        let mut parts = Vec::with_capacity(cut.len());
+        let mut start = 0usize;
+        for &end in cut {
+            parts.push(self.get_or_eval(profile, start, end, cfg)?);
+            start = end + 1;
+        }
+        Some(parts)
+    }
+
+    /// Lookups served from the table.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that evaluated the segment (racing threads may both count a
+    /// miss for the same key; the *values* are identical regardless).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}

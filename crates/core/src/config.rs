@@ -43,6 +43,11 @@ pub struct AmpsConfig {
     /// parallelism; `1` runs fully sequentially. The selected plan is
     /// identical at every setting.
     pub threads: usize,
+    /// Warm-start branch-and-bound node relaxations from the parent node's
+    /// solution (skips the phase-1 simplex on most nodes). `false` forces
+    /// cold starts — the equivalence tests flip this to prove both modes
+    /// return identical plans.
+    pub bb_warm_start: bool,
 }
 
 impl Default for AmpsConfig {
@@ -60,6 +65,7 @@ impl Default for AmpsConfig {
             max_candidate_boundaries: 24,
             batch_size: 1,
             threads: 0,
+            bb_warm_start: true,
         }
     }
 }

@@ -10,6 +10,8 @@
 //!   policy, time-preference ε;
 //! * [`cuts`] — cut enumeration with constraint-(4)/(5)/(6) pruning (the
 //!   Profiler's "all the possible ways for the partition", Fig. 4);
+//! * [`colcache`] — the per-optimize segment-column memo cache shared by
+//!   both optimizer passes;
 //! * [`miqp_build`] — assembly of the per-cut 0-1 quadratic program
 //!   (Eq. 12–14) with SOS-1 memory rows (Eq. 1) and the SLO row;
 //! * [`optimizer`] — the Optimizer component: enumerate → solve → select;
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod colcache;
 pub mod config;
 pub mod coordinator;
 pub mod cuts;

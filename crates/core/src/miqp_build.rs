@@ -14,7 +14,7 @@ use ampsinf_profiler::{quick_eval, Profile, SegmentEval};
 use ampsinf_solver::{MiqpProblem, VarKind};
 
 /// One partition's per-memory evaluation column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionColumns {
     /// Segment bounds (inclusive).
     pub start: usize,
@@ -37,6 +37,51 @@ pub struct CutMiqp {
     pub offsets: Vec<usize>,
 }
 
+/// Evaluates one segment's (memory × eval) columns, or `None` when the
+/// segment has no feasible memory/evaluation at all.
+///
+/// `(start, end)` fully determines the result for a given profile and
+/// config: `quick_eval`'s first/last flags are implied by `start == 0` and
+/// `end == last layer`. That is what makes segment columns shareable
+/// across cuts (see [`crate::colcache::SegmentColumnCache`]).
+pub fn evaluate_segment(
+    profile: &Profile,
+    start: usize,
+    end: usize,
+    cfg: &AmpsConfig,
+) -> Option<PartitionColumns> {
+    let is_first = start == 0;
+    let is_last = end == profile.num_layers() - 1;
+    let mut memories = Vec::new();
+    let mut evals = Vec::new();
+    for mem in profile.feasible_memories(start, end, &cfg.quotas, &cfg.perf) {
+        if let Ok(eval) = quick_eval(
+            profile,
+            start,
+            end,
+            mem,
+            &cfg.quotas,
+            &cfg.prices,
+            &cfg.perf,
+            &cfg.store,
+            is_first,
+            is_last,
+        ) {
+            memories.push(mem);
+            evals.push(eval);
+        }
+    }
+    if memories.is_empty() {
+        return None;
+    }
+    Some(PartitionColumns {
+        start,
+        end,
+        memories,
+        evals,
+    })
+}
+
 /// Evaluates every (partition × feasible memory) cell of a cut. Returns
 /// `None` when some partition has no feasible memory/evaluation at all.
 pub fn evaluate_columns(
@@ -44,60 +89,45 @@ pub fn evaluate_columns(
     cut: &[usize],
     cfg: &AmpsConfig,
 ) -> Option<Vec<PartitionColumns>> {
-    let n = profile.num_layers();
     let mut parts = Vec::with_capacity(cut.len());
     let mut start = 0usize;
-    for (i, &end) in cut.iter().enumerate() {
-        let is_first = i == 0;
-        let is_last = end == n - 1;
-        let mut memories = Vec::new();
-        let mut evals = Vec::new();
-        for mem in profile.feasible_memories(start, end, &cfg.quotas, &cfg.perf) {
-            if let Ok(eval) = quick_eval(
-                profile,
-                start,
-                end,
-                mem,
-                &cfg.quotas,
-                &cfg.prices,
-                &cfg.perf,
-                &cfg.store,
-                is_first,
-                is_last,
-            ) {
-                memories.push(mem);
-                evals.push(eval);
-            }
-        }
-        if memories.is_empty() {
-            return None;
-        }
-        parts.push(PartitionColumns {
-            start,
-            end,
-            memories,
-            evals,
-        });
+    for &end in cut {
+        parts.push(evaluate_segment(profile, start, end, cfg)?);
         start = end + 1;
     }
     Some(parts)
 }
 
-/// Separable fast path over evaluated columns: per-partition cost argmin,
-/// ignoring any SLO coupling. Returns `(memories, total time, total cost)`.
-pub fn separable_min_cost_cols(parts: &[PartitionColumns]) -> (Vec<u32>, f64, f64) {
+/// Deterministic argmin over one partition's columns by `key`. Ties break
+/// toward the **smaller memory size** — an explicit rule, so ties can
+/// never silently depend on column order. (On a presolved Pareto frontier
+/// keys are pairwise distinct and the tie-break is moot; on raw columns it
+/// pins the answer.)
+fn argmin_column(p: &PartitionColumns, key: impl Fn(&SegmentEval) -> f64) -> usize {
+    let mut best = 0usize;
+    for j in 1..p.evals.len() {
+        let kj = key(&p.evals[j]);
+        let kb = key(&p.evals[best]);
+        if kj < kb || (kj == kb && p.memories[j] < p.memories[best]) {
+            best = j;
+        }
+    }
+    best
+}
+
+/// Shared body of the separable fast paths: per-partition argmin by `key`,
+/// summed. Generic over owned or shared ([`std::sync::Arc`]) columns so
+/// the memo-cache path needs no clones.
+fn separable_argmin_cols<P: std::borrow::Borrow<PartitionColumns>>(
+    parts: &[P],
+    key: impl Fn(&SegmentEval) -> f64 + Copy,
+) -> (Vec<u32>, f64, f64) {
     let mut memories = Vec::with_capacity(parts.len());
     let mut time = 0.0;
     let mut cost = 0.0;
     for p in parts {
-        let j = (0..p.evals.len())
-            .min_by(|&a, &b| {
-                p.evals[a]
-                    .dollars
-                    .partial_cmp(&p.evals[b].dollars)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("non-empty group");
+        let p = p.borrow();
+        let j = argmin_column(p, key);
         memories.push(p.memories[j]);
         time += p.evals[j].duration_s;
         cost += p.evals[j].dollars;
@@ -105,27 +135,21 @@ pub fn separable_min_cost_cols(parts: &[PartitionColumns]) -> (Vec<u32>, f64, f6
     (memories, time, cost)
 }
 
+/// Separable fast path over evaluated columns: per-partition cost argmin,
+/// ignoring any SLO coupling. Returns `(memories, total time, total cost)`.
+pub fn separable_min_cost_cols<P: std::borrow::Borrow<PartitionColumns>>(
+    parts: &[P],
+) -> (Vec<u32>, f64, f64) {
+    separable_argmin_cols(parts, |e| e.dollars)
+}
+
 /// Separable fast path minimizing *time*: per-partition duration argmin.
 /// Its total is the fastest any memory mix can make this cut — a provable
 /// SLO-feasibility filter. Returns `(memories, total time, total cost)`.
-pub fn separable_min_time_cols(parts: &[PartitionColumns]) -> (Vec<u32>, f64, f64) {
-    let mut memories = Vec::with_capacity(parts.len());
-    let mut time = 0.0;
-    let mut cost = 0.0;
-    for p in parts {
-        let j = (0..p.evals.len())
-            .min_by(|&a, &b| {
-                p.evals[a]
-                    .duration_s
-                    .partial_cmp(&p.evals[b].duration_s)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("non-empty group");
-        memories.push(p.memories[j]);
-        time += p.evals[j].duration_s;
-        cost += p.evals[j].dollars;
-    }
-    (memories, time, cost)
+pub fn separable_min_time_cols<P: std::borrow::Borrow<PartitionColumns>>(
+    parts: &[P],
+) -> (Vec<u32>, f64, f64) {
+    separable_argmin_cols(parts, |e| e.duration_s)
 }
 
 /// Dominance presolve: within one partition's SOS-1 group, a memory column
@@ -171,14 +195,7 @@ fn thin_columns(p: &PartitionColumns, max_cols: usize) -> PartitionColumns {
     if l <= max_cols {
         return p.clone();
     }
-    let argmin_cost = (0..l)
-        .min_by(|&a, &b| {
-            p.evals[a]
-                .dollars
-                .partial_cmp(&p.evals[b].dollars)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .unwrap();
+    let argmin_cost = argmin_column(p, |e| e.dollars);
     let mut keep: Vec<usize> = vec![0, l - 1, argmin_cost];
     if argmin_cost > 0 {
         keep.push(argmin_cost - 1);
@@ -204,11 +221,22 @@ fn thin_columns(p: &PartitionColumns, max_cols: usize) -> PartitionColumns {
 /// Builds the solver-ready MIQP for a cut (Eq. 12–14 + Eq. 1 + SLO row).
 pub fn build(profile: &Profile, cut: &[usize], cfg: &AmpsConfig) -> Option<CutMiqp> {
     let full = evaluate_columns(profile, cut, cfg)?;
-    let max_cols = (MIQP_BINARY_BUDGET / full.len().max(1)).max(MIN_MIQP_COLS);
-    let parts: Vec<PartitionColumns> = full
+    let presolved: Vec<PartitionColumns> = full.iter().map(presolve_dominated).collect();
+    Some(build_from_presolved(&presolved, cfg))
+}
+
+/// Builds the MIQP from already-presolved partition columns (the memo
+/// cache stores exactly these, see [`crate::colcache::SegmentColumnCache`]).
+/// Because `presolve_dominated` is idempotent, this is bit-identical to
+/// [`build`] on the same cut.
+pub fn build_from_presolved<P: std::borrow::Borrow<PartitionColumns>>(
+    presolved: &[P],
+    cfg: &AmpsConfig,
+) -> CutMiqp {
+    let max_cols = (MIQP_BINARY_BUDGET / presolved.len().max(1)).max(MIN_MIQP_COLS);
+    let parts: Vec<PartitionColumns> = presolved
         .iter()
-        .map(presolve_dominated)
-        .map(|p| thin_columns(&p, max_cols))
+        .map(|p| thin_columns(p.borrow(), max_cols))
         .collect();
     let nvars: usize = parts.iter().map(|p| p.memories.len()).sum();
     let mut offsets = Vec::with_capacity(parts.len());
@@ -246,11 +274,11 @@ pub fn build(profile: &Profile, cut: &[usize], cfg: &AmpsConfig) -> Option<CutMi
     if let Some(slo) = cfg.slo_s {
         problem.add_le(t_row, slo);
     }
-    Some(CutMiqp {
+    CutMiqp {
         problem,
         parts,
         offsets,
-    })
+    }
 }
 
 impl CutMiqp {

@@ -7,15 +7,17 @@
 //! fastest (this is what makes AMPS-Inf land slightly above Baseline 3's
 //! cost but slightly below its completion time in §5.3).
 
+use crate::colcache::SegmentColumnCache;
 use crate::config::AmpsConfig;
 use crate::cuts::enumerate_cuts;
 use crate::miqp_build::{
-    build, evaluate_columns, separable_min_cost_cols, separable_min_time_cols,
+    build_from_presolved, evaluate_columns, separable_min_cost_cols, separable_min_time_cols,
+    CutMiqp,
 };
 use crate::plan::{ExecutionPlan, PartitionPlan};
 use ampsinf_model::LayerGraph;
 use ampsinf_profiler::Profile;
-use ampsinf_solver::bb::{solve_miqp_with, BbStatus};
+use ampsinf_solver::bb::{lagrangian_root_bound, solve_miqp_with, BbStatus};
 use ampsinf_solver::{BbOptions, QpWorkspace};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -94,11 +96,31 @@ enum CutClass {
 /// when the solve produced no usable point.
 type MiqpOutcome = Option<(Vec<u32>, f64, f64)>;
 
+/// A prebuilt MIQP job: the assembled problem plus a provable lower bound
+/// on the cost of any candidate the cut can produce.
+struct Prebuilt {
+    miqp: CutMiqp,
+    /// `max(separable min cost, Lagrangian SLO-dual root bound)`: every
+    /// SLO-feasible mix of this cut costs at least this much, so a cut
+    /// whose `lower` exceeds the running tolerance budget can be pruned
+    /// without solving — in the replay as well as speculatively.
+    lower: f64,
+}
+
+/// Aggregated solver statistics shared by the speculative phase and the
+/// replay.
+#[derive(Default)]
+struct SolveCounters {
+    miqps: AtomicUsize,
+    nodes: AtomicUsize,
+    relaxations: AtomicUsize,
+    warm_starts: AtomicUsize,
+}
+
 /// Shared inputs of the speculative MIQP phase.
 struct Pass2Ctx<'a> {
-    profile: &'a Profile,
-    cuts: &'a [Vec<usize>],
-    fast: &'a [FastEval],
+    /// Per-rank prebuilt MIQPs (`Some` exactly on [`CutClass::Miqp`] ranks).
+    built: &'a [Option<Prebuilt>],
     /// Ranks classified [`CutClass::Miqp`], in rank (fast-cost) order.
     jobs: &'a [usize],
     /// Cheapest cost already guaranteed by a Fast/Fallback candidate —
@@ -118,6 +140,24 @@ pub struct OptimizerReport {
     /// this may exceed the sequential count (speculative solves that the
     /// deterministic merge later discards) — the *plan* never differs.
     pub miqps_solved: usize,
+    /// MIQP-classified cuts the deterministic replay discarded on their
+    /// SLO-dual lower bound alone, without a solve. (Replay-only and in
+    /// rank order, so this count is thread-independent.)
+    pub miqps_pruned: usize,
+    /// Branch-and-bound nodes expanded across all MIQP solves. Like
+    /// `miqps_solved`, speculative over-solving can inflate this with
+    /// several threads; the plan never differs.
+    pub bb_nodes: usize,
+    /// QP relaxations solved across all MIQP solves.
+    pub qp_relaxations: usize,
+    /// Node relaxations warm-started from the parent node's solution
+    /// (phase-1 simplex skipped).
+    pub warm_start_hits: usize,
+    /// Segment-column memo cache hits across both passes.
+    pub column_cache_hits: usize,
+    /// Segment-column memo cache misses (evaluations performed; racing
+    /// threads may duplicate one — values are identical regardless).
+    pub column_cache_misses: usize,
     /// Wall-clock optimization time.
     pub solve_time: Duration,
     /// Wall-clock time of pass 1 (column evaluation + separable paths).
@@ -191,6 +231,11 @@ impl Optimizer {
             return Err(OptimizeError::NoFeasibleCut);
         }
         let threads = self.resolve_threads();
+        // One segment-column memo table for the whole call: adjacent cuts
+        // overwhelmingly share `(start, end)` segments, and a segment's
+        // columns are a pure function of the profile/config, so both
+        // passes (and every worker) read through this cache.
+        let cache = SegmentColumnCache::new();
 
         // Pass 1: evaluate every cut's columns and run the separable fast
         // paths — no matrices are assembled here. `min_time` is the
@@ -199,7 +244,7 @@ impl Optimizer {
         // Workers fill per-cut slots, so the merged order (and the stable
         // sort below) never depends on thread interleaving.
         let p1 = Instant::now();
-        let evals = self.evaluate_cuts(&profile, &cuts, threads);
+        let evals = self.evaluate_cuts(&profile, &cuts, threads, &cache);
         let mut fast: Vec<FastEval> = Vec::new();
         let mut any_feasible_cut = false;
         for e in evals {
@@ -261,22 +306,37 @@ impl Optimizer {
             }
         }
 
+        // Prebuild every MIQP job once: columns come from the memo cache,
+        // and each problem gets its Lagrangian SLO-dual root bound (the
+        // per-cut program is separable plus one coupling row, so the dual
+        // is a per-partition argmin sweep). `lower` is a provable floor on
+        // any candidate the cut can produce; both the speculative phase
+        // and the replay prune on it before paying for a branch-and-bound
+        // run. Built sequentially in rank order → fully deterministic.
+        let mut built: Vec<Option<Prebuilt>> = (0..fast.len()).map(|_| None).collect();
+        for &rank in &jobs {
+            let fe = &fast[rank];
+            let Some(cols) = cache.columns_for_cut(&profile, &cuts[fe.ci], &self.cfg) else {
+                continue; // unreachable: the cut survived pass 1
+            };
+            let miqp = build_from_presolved(&cols, &self.cfg);
+            let lower = lagrangian_root_bound(&miqp.problem).map_or(fe.cost, |b| b.max(fe.cost));
+            built[rank] = Some(Prebuilt { miqp, lower });
+        }
+
         // Speculative phase: workers race through the MIQP jobs sharing an
-        // atomic incumbent bound; cuts whose separable cost already exceeds
-        // the bound's tolerance budget are skipped (any SLO-feasible mix of
-        // a cut costs at least its separable minimum, so the skip is
-        // admissible). Results are memoized per rank.
-        let miqp_count = AtomicUsize::new(0);
+        // atomic incumbent bound; cuts whose lower bound already exceeds
+        // the bound's tolerance budget are skipped. Results are memoized
+        // per rank.
+        let counters = SolveCounters::default();
         let mut outcomes: Vec<Option<MiqpOutcome>> = (0..fast.len()).map(|_| None).collect();
         if threads > 1 && !jobs.is_empty() {
             let ctx = Pass2Ctx {
-                profile: &profile,
-                cuts: &cuts,
-                fast: &fast,
+                built: &built,
                 jobs: &jobs[..jobs.len().min(SPECULATION_WINDOW)],
                 bound_seed,
             };
-            for (rank, o) in self.speculate(&ctx, &miqp_count, threads) {
+            for (rank, o) in self.speculate(&ctx, &counters, threads) {
                 outcomes[rank] = Some(o);
             }
         }
@@ -289,6 +349,7 @@ impl Optimizer {
         let mut ws = QpWorkspace::new();
         let mut candidates: Vec<Candidate> = Vec::new();
         let mut best_candidate_cost = f64::INFINITY;
+        let mut miqps_pruned = 0usize;
         for (rank, fe) in fast.iter().enumerate() {
             if fe.cost > best_candidate_cost * (1.0 + self.cfg.cost_tolerance) + 1e-15
                 && rank >= MIQP_TOP_CUTS
@@ -306,9 +367,18 @@ impl Optimizer {
                     });
                 }
                 CutClass::Miqp => {
+                    let Some(pb) = &built[rank] else { continue };
+                    // Dual-bound prune: any candidate this cut yields costs
+                    // ≥ `lower` > the running tolerance budget, and the
+                    // budget only shrinks from here — the cut can neither
+                    // become the cost minimum nor enter the tolerance set.
+                    if pb.lower > best_candidate_cost * (1.0 + self.cfg.cost_tolerance) + 1e-15 {
+                        miqps_pruned += 1;
+                        continue;
+                    }
                     let outcome = match outcomes[rank].take() {
                         Some(o) => o,
-                        None => self.solve_cut_miqp(&profile, &cuts[fe.ci], &mut ws, &miqp_count),
+                        None => self.solve_prebuilt(pb, &mut ws, &counters),
                     };
                     if let Some((memories, t, c)) = outcome {
                         if self.cfg.slo_s.is_none_or(|s| t <= s + 1e-9) {
@@ -339,7 +409,7 @@ impl Optimizer {
             }
         }
         let pass2_time = p2.elapsed();
-        let miqps_solved = miqp_count.load(Ordering::Relaxed);
+        let miqps_solved = counters.miqps.load(Ordering::Relaxed);
         if candidates.is_empty() {
             return Err(OptimizeError::SloInfeasible);
         }
@@ -371,6 +441,12 @@ impl Optimizer {
             plan,
             cuts_considered: cuts.len(),
             miqps_solved,
+            miqps_pruned,
+            bb_nodes: counters.nodes.load(Ordering::Relaxed),
+            qp_relaxations: counters.relaxations.load(Ordering::Relaxed),
+            warm_start_hits: counters.warm_starts.load(Ordering::Relaxed),
+            column_cache_hits: cache.hits(),
+            column_cache_misses: cache.misses(),
             solve_time: t0.elapsed(),
             pass1_time,
             pass2_time,
@@ -389,9 +465,18 @@ impl Optimizer {
         }
     }
 
-    /// Pass-1 verdict for a single cut.
-    fn eval_cut(&self, profile: &Profile, ci: usize, cut: &[usize]) -> CutEval {
-        let Some(cols) = evaluate_columns(profile, cut, &self.cfg) else {
+    /// Pass-1 verdict for a single cut. Columns come from the shared memo
+    /// cache — the separable argmins over the presolved Pareto frontier
+    /// equal those over the raw grid (dominated columns are never argmins
+    /// and exact duplicates keep their smallest-memory copy).
+    fn eval_cut(
+        &self,
+        profile: &Profile,
+        ci: usize,
+        cut: &[usize],
+        cache: &SegmentColumnCache,
+    ) -> CutEval {
+        let Some(cols) = cache.columns_for_cut(profile, cut, &self.cfg) else {
             return CutEval::Infeasible;
         };
         let (mems, time, cost) = separable_min_cost_cols(&cols);
@@ -418,13 +503,14 @@ impl Optimizer {
         profile: &Profile,
         cuts: &[Vec<usize>],
         threads: usize,
+        cache: &SegmentColumnCache,
     ) -> Vec<CutEval> {
         let workers = threads.min(cuts.len()).max(1);
         if workers == 1 {
             return cuts
                 .iter()
                 .enumerate()
-                .map(|(ci, cut)| self.eval_cut(profile, ci, cut))
+                .map(|(ci, cut)| self.eval_cut(profile, ci, cut, cache))
                 .collect();
         }
         let next = AtomicUsize::new(0);
@@ -438,7 +524,7 @@ impl Optimizer {
                             if ci >= cuts.len() {
                                 break;
                             }
-                            local.push((ci, self.eval_cut(profile, ci, &cuts[ci])));
+                            local.push((ci, self.eval_cut(profile, ci, &cuts[ci], cache)));
                         }
                         local
                     })
@@ -461,27 +547,34 @@ impl Optimizer {
             .collect()
     }
 
-    /// Builds and solves one cut's MIQP, bumping the shared solve counter.
-    fn solve_cut_miqp(
+    /// Solves one prebuilt cut MIQP, aggregating solver statistics into the
+    /// shared counters.
+    fn solve_prebuilt(
         &self,
-        profile: &Profile,
-        cut: &[usize],
+        pb: &Prebuilt,
         ws: &mut QpWorkspace,
-        count: &AtomicUsize,
+        counters: &SolveCounters,
     ) -> MiqpOutcome {
-        let miqp = build(profile, cut, &self.cfg)?;
         let sol = solve_miqp_with(
-            &miqp.problem,
+            &pb.miqp.problem,
             BbOptions {
                 convexify: self.cfg.convexify,
+                warm_start: self.cfg.bb_warm_start,
                 ..Default::default()
             },
             ws,
         );
-        count.fetch_add(1, Ordering::Relaxed);
+        counters.miqps.fetch_add(1, Ordering::Relaxed);
+        counters.nodes.fetch_add(sol.stats.nodes, Ordering::Relaxed);
+        counters
+            .relaxations
+            .fetch_add(sol.stats.relaxations, Ordering::Relaxed);
+        counters
+            .warm_starts
+            .fetch_add(sol.stats.warm_starts, Ordering::Relaxed);
         match sol.status {
             BbStatus::Optimal | BbStatus::NodeLimit if !sol.x.is_empty() => {
-                Some(miqp.decode(&sol.x))
+                Some(pb.miqp.decode(&sol.x))
             }
             _ => None,
         }
@@ -496,7 +589,7 @@ impl Optimizer {
     fn speculate(
         &self,
         ctx: &Pass2Ctx<'_>,
-        count: &AtomicUsize,
+        counters: &SolveCounters,
         threads: usize,
     ) -> Vec<(usize, MiqpOutcome)> {
         let workers = threads.min(ctx.jobs.len());
@@ -514,15 +607,16 @@ impl Optimizer {
                                 break;
                             }
                             let rank = ctx.jobs[j];
-                            let fe = &ctx.fast[rank];
+                            let Some(pb) = &ctx.built[rank] else { continue };
                             let bound = f64::from_bits(best.load(Ordering::Relaxed));
-                            if rank >= MIQP_TOP_CUTS
-                                && fe.cost > bound * (1.0 + self.cfg.cost_tolerance) + 1e-15
-                            {
-                                continue; // cannot enter the tolerance set
+                            if pb.lower > bound * (1.0 + self.cfg.cost_tolerance) + 1e-15 {
+                                // The dual root bound already proves this cut
+                                // cannot enter the tolerance set; skipping is
+                                // always safe here — the replay re-examines
+                                // (and lazily solves) any rank it still needs.
+                                continue;
                             }
-                            let outcome =
-                                self.solve_cut_miqp(ctx.profile, &ctx.cuts[fe.ci], &mut ws, count);
+                            let outcome = self.solve_prebuilt(pb, &mut ws, counters);
                             if let Some((_, t, c)) = &outcome {
                                 if self.cfg.slo_s.is_none_or(|slo| *t <= slo + 1e-9) {
                                     atomic_min_f64(&best, *c);

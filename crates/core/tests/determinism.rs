@@ -8,10 +8,14 @@
 //! so the suite stays fast in the debug profile; the real zoo models cover
 //! the (much cheaper) unconstrained path and one slim binding case.
 
+use ampsinf_core::colcache::SegmentColumnCache;
+use ampsinf_core::cuts::enumerate_cuts;
+use ampsinf_core::miqp_build::{evaluate_columns, presolve_dominated};
 use ampsinf_core::optimizer::{OptimizeError, Optimizer, OptimizerReport};
 use ampsinf_core::AmpsConfig;
 use ampsinf_model::zoo;
 use ampsinf_model::LayerGraph;
+use ampsinf_profiler::Profile;
 
 const THREAD_COUNTS: [usize; 2] = [2, 4];
 
@@ -121,6 +125,80 @@ fn infeasible_slo_errors_identical() {
         &AmpsConfig::default().with_slo(0.001),
         "mobilenet_v1/impossible-slo",
     );
+}
+
+#[test]
+fn memoized_columns_match_direct_evaluation() {
+    // The segment-column cache must be a pure memoization: for every cut,
+    // the cached per-partition columns equal a fresh evaluate + presolve.
+    for g in [zoo::mobilenet_v1(), zoo::tiny_cnn()] {
+        let cfg = slim();
+        let profile = Profile::batched(&g, cfg.batch_size);
+        let cuts = enumerate_cuts(&profile, &cfg);
+        let cache = SegmentColumnCache::new();
+        for cut in &cuts {
+            let cached = cache.columns_for_cut(&profile, cut, &cfg);
+            let direct = evaluate_columns(&profile, cut, &cfg)
+                .map(|cols| cols.iter().map(presolve_dominated).collect::<Vec<_>>());
+            match (cached, direct) {
+                (Some(c), Some(d)) => {
+                    assert_eq!(c.len(), d.len(), "{}: column count", g.name);
+                    for (a, b) in c.iter().zip(&d) {
+                        assert_eq!(a.as_ref(), b, "{}: cached columns diverge", g.name);
+                    }
+                }
+                (None, None) => {}
+                (c, d) => panic!(
+                    "{}: cache feasibility diverges ({:?} vs {:?})",
+                    g.name,
+                    c.is_some(),
+                    d.is_some()
+                ),
+            }
+        }
+        assert!(cache.hits() > 0, "{}: shared segments never hit", g.name);
+    }
+}
+
+#[test]
+fn warm_and_cold_bb_plans_identical() {
+    // Warm-started branch-and-bound must select the same plan as cold
+    // starts — bit-equal cost/time, same partitions — at every thread
+    // count, across slack and binding SLOs.
+    for g in [zoo::mobilenet_v1(), zoo::tiny_cnn()] {
+        let free = Optimizer::new(slim().with_threads(1))
+            .optimize(&g)
+            .expect("unconstrained run is feasible");
+        for factor in [1.5, 0.95] {
+            let slo = free.plan.predicted_time_s * factor;
+            let cfg = slim().with_slo(slo);
+            let warm = Optimizer::new(cfg.clone().with_threads(1))
+                .optimize(&g)
+                .expect("warm run feasible");
+            for &t in &[1usize, 2, 4] {
+                let mut cold_cfg = cfg.clone().with_threads(t);
+                cold_cfg.bb_warm_start = false;
+                let cold = Optimizer::new(cold_cfg)
+                    .optimize(&g)
+                    .expect("cold run feasible");
+                let label = format!("{}/slo={factor}/threads={t}", g.name);
+                assert_eq!(
+                    warm.plan.partitions, cold.plan.partitions,
+                    "{label}: partitions diverge warm vs cold"
+                );
+                assert_eq!(
+                    warm.plan.predicted_cost.to_bits(),
+                    cold.plan.predicted_cost.to_bits(),
+                    "{label}: cost diverges warm vs cold"
+                );
+                assert_eq!(
+                    warm.plan.predicted_time_s.to_bits(),
+                    cold.plan.predicted_time_s.to_bits(),
+                    "{label}: time diverges warm vs cold"
+                );
+            }
+        }
+    }
 }
 
 #[test]

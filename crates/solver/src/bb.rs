@@ -9,7 +9,8 @@
 use crate::problem::{MiqpProblem, VarKind};
 use crate::qcr::{convexify, ConvexifyMethod};
 use crate::qp::{QpProblem, QpStatus, QpWorkspace};
-use crate::INT_TOL;
+use crate::{FEAS_TOL, INT_TOL};
+use ampsinf_linalg::vector;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -22,6 +23,9 @@ pub struct BbOptions {
     pub rel_gap: f64,
     /// Convexification policy applied before the search.
     pub convexify: ConvexifyMethod,
+    /// Warm-start each child node's relaxation from its parent's optimum
+    /// (repaired onto the child bounds), skipping the phase-1 simplex.
+    pub warm_start: bool,
 }
 
 impl Default for BbOptions {
@@ -30,6 +34,7 @@ impl Default for BbOptions {
             max_nodes: 200_000,
             rel_gap: 1e-9,
             convexify: ConvexifyMethod::DualRefine,
+            warm_start: true,
         }
     }
 }
@@ -57,6 +62,9 @@ pub struct BbStats {
     pub relaxations: usize,
     /// Incumbent improvements observed.
     pub incumbent_updates: usize,
+    /// Node relaxations warm-started from the parent solution (phase-1
+    /// simplex skipped).
+    pub warm_starts: usize,
     /// Best proven lower bound at termination.
     pub best_bound: f64,
 }
@@ -74,13 +82,15 @@ pub struct BbSolution {
     pub stats: BbStats,
 }
 
-/// A frontier node: bound overrides + parent relaxation bound.
+/// A frontier node: bound overrides + parent relaxation bound, plus the
+/// parent's relaxation optimum as a warm-start hint.
 #[derive(Debug, Clone)]
 struct Node {
     lb: Vec<f64>,
     ub: Vec<f64>,
     bound: f64,
     depth: usize,
+    parent_x: Option<Vec<f64>>,
 }
 
 /// Min-heap ordering on node bound (best-first).
@@ -150,12 +160,17 @@ impl BranchAndBound {
         // so overwrite lb/ub in place instead of cloning the whole problem
         // (Hessian, constraint rows) at every node.
         let mut scratch = self.relaxed.qp.clone();
+        // Lagrangian dual of the single coupling row over the pick-one
+        // lattice: a lower bound on the optimum the search can stop at —
+        // once an incumbent is within the gap of it, no node can beat it.
+        let root_dual = lagrangian_root_bound(&self.original);
 
         let root = Node {
             lb: self.relaxed.qp.lb.clone(),
             ub: self.relaxed.qp.ub.clone(),
             bound: f64::NEG_INFINITY,
             depth: 0,
+            parent_x: None,
         };
         let mut heap = BinaryHeap::new();
         heap.push(HeapNode(root));
@@ -175,11 +190,20 @@ impl BranchAndBound {
                 }
             }
 
-            // Solve the node relaxation.
+            // Solve the node relaxation, warm-started from the parent's
+            // optimum when possible.
             scratch.lb.copy_from_slice(&node.lb);
             scratch.ub.copy_from_slice(&node.ub);
             stats.relaxations += 1;
-            let rel = scratch.solve_with(ws);
+            let hint = if self.opts.warm_start {
+                self.repair_hint(&node)
+            } else {
+                None
+            };
+            let (rel, warmed) = scratch.solve_with_hint(hint.as_deref(), ws);
+            if warmed {
+                stats.warm_starts += 1;
+            }
             let bound = match rel.status {
                 QpStatus::Infeasible => continue,
                 QpStatus::Optimal => rel.objective - 1e-9, // ridge slack
@@ -205,6 +229,12 @@ impl BranchAndBound {
                         if incumbent.as_ref().is_none_or(|(_, o)| obj < *o) {
                             incumbent = Some((x, obj));
                             stats.incumbent_updates += 1;
+                            if let Some(rb) = root_dual {
+                                if obj <= rb + self.gap_slack(obj) {
+                                    stats.best_bound = rb;
+                                    return self.finish(BbStatus::Optimal, incumbent, stats);
+                                }
+                            }
                         }
                     }
                 }
@@ -218,11 +248,24 @@ impl BranchAndBound {
                             stats.incumbent_updates += 1;
                         }
                     }
-                    // Branch: x ≤ ⌊val⌋ and x ≥ ⌈val⌉.
+                    // The root dual bound may already certify the incumbent:
+                    // any other feasible point costs ≥ the bound, so an
+                    // incumbent within the gap of it is optimal — stop
+                    // before expanding children.
+                    if let (Some(rb), Some((_, obj))) = (root_dual, &incumbent) {
+                        if *obj <= rb + self.gap_slack(*obj) {
+                            stats.best_bound = rb;
+                            return self.finish(BbStatus::Optimal, incumbent, stats);
+                        }
+                    }
+                    // Branch: x ≤ ⌊val⌋ and x ≥ ⌈val⌉. Children inherit the
+                    // parent relaxation optimum as their warm-start hint.
+                    let hint = self.opts.warm_start.then(|| rel.x.clone());
                     let mut down = node.clone();
                     down.ub[idx] = val.floor();
                     down.bound = bound;
                     down.depth += 1;
+                    down.parent_x = hint.clone();
                     if down.lb[idx] <= down.ub[idx] + 1e-12 {
                         heap.push(HeapNode(down));
                     }
@@ -230,6 +273,7 @@ impl BranchAndBound {
                     up.lb[idx] = val.ceil();
                     up.bound = bound;
                     up.depth += 1;
+                    up.parent_x = hint;
                     if up.lb[idx] <= up.ub[idx] + 1e-12 {
                         heap.push(HeapNode(up));
                     }
@@ -280,6 +324,43 @@ impl BranchAndBound {
                 }
             })
             .collect()
+    }
+
+    /// Repairs the parent node's relaxation optimum onto this node's bounds
+    /// so the active-set solver can start from it without a phase-1 run.
+    /// Clamping onto the child box can break equality rows (branching a
+    /// pick-one variable to 0 removes its mass), so each row's residual is
+    /// redistributed over the row's support — in index order, within bounds.
+    /// Returns `None` when no repair exists; the inequality rows are left to
+    /// the solver's own feasibility check (an infeasible hint cold-starts).
+    fn repair_hint(&self, node: &Node) -> Option<Vec<f64>> {
+        let px = node.parent_x.as_ref()?;
+        let mut x: Vec<f64> = px
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.clamp(node.lb[i], node.ub[i]))
+            .collect();
+        for (a, b) in &self.relaxed.qp.eq {
+            let mut resid = b - vector::dot(a, &x);
+            if resid.abs() <= FEAS_TOL {
+                continue;
+            }
+            for i in 0..x.len() {
+                if a[i] == 0.0 {
+                    continue;
+                }
+                let next = (x[i] + resid / a[i]).clamp(node.lb[i], node.ub[i]);
+                resid -= a[i] * (next - x[i]);
+                x[i] = next;
+                if resid.abs() <= FEAS_TOL {
+                    break;
+                }
+            }
+            if resid.abs() > FEAS_TOL {
+                return None;
+            }
+        }
+        Some(x)
     }
 
     /// Rounds integral variables and re-optimizes the continuous ones with
@@ -334,6 +415,106 @@ impl BranchAndBound {
                 objective: f64::INFINITY,
                 stats,
             },
+        }
+    }
+}
+
+/// Lagrangian root bound for the AMPS-Inf per-cut MIQP shape: all-binary
+/// variables partitioned into disjoint pick-one groups (`Σ_{i∈g} x_i = 1`),
+/// a diagonal Hessian, and at most one coupling `≤` row (the SLO).
+///
+/// Dualizing the single coupling row `tᵀx ≤ b` with multiplier `λ ≥ 0`
+/// leaves a problem separable per group, whose lattice minimum is a plain
+/// per-group argmin sweep:
+///
+/// ```text
+/// L(λ) = Σ_g min_{i∈g} (cost_i + λ·t_i) − λ·b + k,   cost_i = ½H_ii + c_i
+/// ```
+///
+/// `L` is concave piecewise-linear in `λ`, so its maximum sits at `λ = 0`
+/// or at a breakpoint where some group's argmin switches between a pair
+/// `(i, j)` — i.e. `λ = (cost_j − cost_i)/(t_i − t_j)`. Evaluating every
+/// candidate and taking the best gives the exact dual maximum; by weak
+/// duality **every** candidate already yields a valid lower bound on the
+/// constrained integer optimum, so the result is safe even when the dual is
+/// unbounded (infeasible primal — the bound is then merely finite).
+///
+/// Returns `None` when the problem does not have the required shape.
+pub fn lagrangian_root_bound(p: &MiqpProblem) -> Option<f64> {
+    let n = p.num_vars();
+    if n == 0 || p.qp.ineq.len() > 1 {
+        return None;
+    }
+    for i in 0..n {
+        if p.kinds[i] != VarKind::Binary || p.qp.lb[i] != 0.0 || p.qp.ub[i] != 1.0 {
+            return None;
+        }
+    }
+    for r in 0..n {
+        for c in 0..n {
+            if r != c && p.qp.h[(r, c)] != 0.0 {
+                return None;
+            }
+        }
+    }
+    // Equality rows must be disjoint pick-one groups covering every var.
+    let mut owner = vec![usize::MAX; n];
+    for (g, (a, b)) in p.qp.eq.iter().enumerate() {
+        if *b != 1.0 {
+            return None;
+        }
+        for (i, &coef) in a.iter().enumerate() {
+            if coef == 0.0 {
+                continue;
+            }
+            if coef != 1.0 || owner[i] != usize::MAX {
+                return None;
+            }
+            owner[i] = g;
+        }
+    }
+    if owner.contains(&usize::MAX) {
+        return None;
+    }
+
+    let groups = p.qp.eq.len();
+    let cost: Vec<f64> = (0..n).map(|i| 0.5 * p.qp.h[(i, i)] + p.qp.c[i]).collect();
+    let eval = |lam: f64, t: &[f64], rhs: f64| -> f64 {
+        let mut total = p.qp.constant - lam * rhs;
+        for g in 0..groups {
+            let mut best = f64::INFINITY;
+            for i in 0..n {
+                if owner[i] == g {
+                    best = best.min(cost[i] + lam * t[i]);
+                }
+            }
+            total += best;
+        }
+        total
+    };
+
+    match p.qp.ineq.first() {
+        None => Some(eval(0.0, &vec![0.0; n], 0.0)),
+        Some((t, rhs)) => {
+            if t.iter().any(|&v| v < 0.0 || !v.is_finite()) {
+                return None;
+            }
+            let mut best = eval(0.0, t, *rhs);
+            for g in 0..groups {
+                let idx: Vec<usize> = (0..n).filter(|&i| owner[i] == g).collect();
+                for (a_pos, &i) in idx.iter().enumerate() {
+                    for &j in &idx[a_pos + 1..] {
+                        let dt = t[i] - t[j];
+                        if dt != 0.0 {
+                            let lam = (cost[j] - cost[i]) / dt;
+                            if lam > 0.0 && lam.is_finite() {
+                                best = best.max(eval(lam, t, *rhs));
+                            }
+                        }
+                    }
+                }
+            }
+            Some(best)
         }
     }
 }
@@ -497,6 +678,84 @@ mod tests {
         } else {
             assert_eq!(sol.status, BbStatus::NodeLimit);
         }
+    }
+
+    #[test]
+    fn lagrangian_root_bound_is_valid() {
+        // AMPS-Inf shape: two pick-one groups, diagonal H, one coupling row.
+        // The bound must never exceed the brute-force optimum.
+        let h = Matrix::from_diag(&[2.0, 4.0, 1.0, 3.0]);
+        let mut p = MiqpProblem::new(h, vec![0.5, 0.1, 0.3, 0.2], vec![VarKind::Binary; 4]);
+        p.add_pick_one(&[0, 1]);
+        p.add_pick_one(&[2, 3]);
+        p.add_le(vec![3.0, 1.0, 2.0, 0.5], 3.0);
+        let bound = lagrangian_root_bound(&p).expect("shape matches");
+        let (_, bobj) = brute_force(&p).unwrap();
+        assert!(
+            bound <= bobj + 1e-12,
+            "dual bound {bound} exceeds optimum {bobj}"
+        );
+        // The bound must beat the unconstrained separable minimum (λ = 0)
+        // here: the cheap columns (x₁, x₂) violate the coupling row.
+        let sol = solve_miqp(&p, BbOptions::default());
+        assert_eq!(sol.status, BbStatus::Optimal);
+        assert_close(sol.objective, bobj);
+    }
+
+    #[test]
+    fn lagrangian_root_bound_rejects_wrong_shapes() {
+        // Off-diagonal quadratic term → not separable.
+        let mut h = Matrix::zeros(2, 2);
+        h[(0, 1)] = 1.0;
+        h[(1, 0)] = 1.0;
+        let mut p = MiqpProblem::new(h, vec![0.0, 0.0], vec![VarKind::Binary; 2]);
+        p.add_pick_one(&[0, 1]);
+        assert!(lagrangian_root_bound(&p).is_none());
+        // Two coupling rows → not the single-SLO shape.
+        let h = Matrix::zeros(2, 2);
+        let mut p = MiqpProblem::new(h, vec![0.0, 0.0], vec![VarKind::Binary; 2]);
+        p.add_pick_one(&[0, 1]);
+        p.add_le(vec![1.0, 0.0], 1.0);
+        p.add_le(vec![0.0, 1.0], 1.0);
+        assert!(lagrangian_root_bound(&p).is_none());
+    }
+
+    #[test]
+    fn warm_and_cold_starts_agree_on_quadratic_relaxations() {
+        // Nonzero continuous curvature keeps the relaxations genuinely
+        // quadratic (the LP fast path does not apply), so the warm-start
+        // repair path actually runs — and must not change the answer.
+        let h = Matrix::from_diag(&[0.0, 0.0, 0.0, 2.0]);
+        let kinds = vec![
+            VarKind::Binary,
+            VarKind::Binary,
+            VarKind::Binary,
+            VarKind::Continuous,
+        ];
+        let mut p = MiqpProblem::new(h, vec![0.7, 0.4, 0.9, -0.8], kinds);
+        p.set_bounds(3, 0.0, 1.0);
+        p.add_pick_one(&[0, 1, 2]);
+        p.add_le(vec![2.0, 3.0, 1.0, 1.0], 2.5);
+        let warm = solve_miqp(
+            &p,
+            BbOptions {
+                warm_start: true,
+                ..Default::default()
+            },
+        );
+        let cold = solve_miqp(
+            &p,
+            BbOptions {
+                warm_start: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(warm.status, BbStatus::Optimal);
+        assert_eq!(cold.status, BbStatus::Optimal);
+        assert!(warm.stats.warm_starts > 0, "warm-start path never ran");
+        assert_eq!(cold.stats.warm_starts, 0);
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(warm.x, cold.x);
     }
 
     #[test]

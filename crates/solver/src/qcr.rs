@@ -67,6 +67,41 @@ const SHIFT_EPS: f64 = 1e-9;
 /// callers must then restructure their formulation.
 pub fn convexify(p: &MiqpProblem, method: ConvexifyMethod) -> Option<Convexified> {
     let n = p.num_vars();
+    // Closed form: DualRefine on a binary-diagonal Hessian always terminates
+    // at the PSD floor `μ_j = −H_jj/2` (the coordinate search's first trial
+    // at the floor keeps a diagonal block diagonal, hence SPD after the
+    // ridge, so it is accepted immediately for every coordinate). Computing
+    // that directly skips two eigen decompositions and all Cholesky
+    // bisections — bit-identical to the search, and the shape every
+    // AMPS-Inf per-cut program has (Eq. 12 is separable in the selectors).
+    if method == ConvexifyMethod::DualRefine && p.quadratic_only_on_binaries() {
+        let bins: Vec<usize> = p
+            .kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k == VarKind::Binary)
+            .map(|(i, _)| i)
+            .collect();
+        let diagonal = !bins.is_empty()
+            && bins.iter().all(|&r| {
+                bins.iter()
+                    .all(|&c| r == c || p.qp.h[(r, c)] + p.qp.h[(c, r)] == 0.0)
+            });
+        if diagonal {
+            let mut mu = vec![0.0; n];
+            let mut problem = p.clone();
+            for &i in &bins {
+                mu[i] = -0.5 * p.qp.h[(i, i)];
+                problem.qp.h[(i, i)] += 2.0 * mu[i];
+                problem.qp.c[i] -= mu[i];
+            }
+            return Some(Convexified {
+                problem,
+                mu,
+                method,
+            });
+        }
+    }
     // Already-convex Hessians need no perturbation for correctness,
     // whatever the variable kinds. Under EigenShift that is the final
     // answer; DualRefine still improves binary-diagonal curvature below.

@@ -105,6 +105,15 @@ pub struct QpSolution {
     pub iterations: usize,
 }
 
+/// How a QP variable maps onto LP columns (the simplex wants `x ≥ 0`).
+#[derive(Clone, Copy)]
+enum MapKind {
+    /// Finite lower bound: one column, shifted by `lb`.
+    Shifted { col: usize, lb: f64 },
+    /// Free below: split into a plus/minus pair.
+    Split { plus: usize, minus: usize },
+}
+
 /// An entry of the active-set working set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WsEntry {
@@ -171,6 +180,20 @@ impl QpProblem {
     /// Solves the QP, reusing `ws` for all internal allocations. Produces
     /// bit-identical results to [`solve`](QpProblem::solve).
     pub fn solve_with(&self, ws: &mut QpWorkspace) -> QpSolution {
+        self.solve_with_hint(None, ws).0
+    }
+
+    /// Solves the QP, optionally warm-starting the active-set loop from
+    /// `hint`. A hint that is feasible (after clamping onto the box) skips
+    /// the phase-1 simplex entirely — the hot-path saving branch-and-bound
+    /// exploits, since a child node's optimum sits next to its parent's.
+    /// An infeasible or missing hint falls back to the cold start. Returns
+    /// the solution and whether the hint was used.
+    pub fn solve_with_hint(
+        &self,
+        hint: Option<&[f64]>,
+        ws: &mut QpWorkspace,
+    ) -> (QpSolution, bool) {
         let n = self.num_vars();
         // Fast-path: all variables fixed by bounds.
         if (0..n).all(|i| (self.ub[i] - self.lb[i]).abs() <= 1e-12) {
@@ -180,36 +203,68 @@ impl QpProblem {
             } else {
                 QpStatus::Infeasible
             };
-            return QpSolution {
-                objective: self.objective_at(&x),
-                status,
-                x,
-                iterations: 0,
-            };
+            return (
+                QpSolution {
+                    objective: self.objective_at(&x),
+                    status,
+                    x,
+                    iterations: 0,
+                },
+                false,
+            );
+        }
+
+        // Zero Hessian → the instance is a linear program. One two-phase
+        // simplex run replaces the phase-1 probe *and* the active-set loop,
+        // whose steepest-descent steps degenerate-cycle on flat objectives.
+        // The QCR `DualRefine` step zeroes binary-diagonal Hessians exactly,
+        // so every branch-and-bound relaxation of the AMPS-Inf per-cut MIQP
+        // lands here.
+        if self.is_linear() {
+            if let Some(sol) = self.solve_linear() {
+                return (sol, false);
+            }
+        }
+
+        if let Some(h) = hint {
+            if h.len() == n {
+                let x0: Vec<f64> = h
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v.clamp(self.lb[i], self.ub[i]))
+                    .collect();
+                if self.is_feasible(&x0) {
+                    return (self.active_set(x0, ws), true);
+                }
+            }
         }
 
         let Some(x0) = self.find_feasible_start() else {
-            return QpSolution {
-                status: QpStatus::Infeasible,
-                x: vec![0.0; n],
-                objective: f64::INFINITY,
-                iterations: 0,
-            };
+            return (
+                QpSolution {
+                    status: QpStatus::Infeasible,
+                    x: vec![0.0; n],
+                    objective: f64::INFINITY,
+                    iterations: 0,
+                },
+                false,
+            );
         };
-        self.active_set(x0, ws)
+        (self.active_set(x0, ws), false)
     }
 
-    /// Phase-1: find any feasible point via the simplex on shifted/split
-    /// variables (LP requires `x ≥ 0`).
-    fn find_feasible_start(&self) -> Option<Vec<f64>> {
+    /// True when the Hessian is identically zero, i.e. the instance is a
+    /// linear program in disguise.
+    pub fn is_linear(&self) -> bool {
         let n = self.num_vars();
-        // Map each variable to LP columns. Finite lb: one shifted column.
-        // Free below: split into plus/minus pair.
-        #[derive(Clone, Copy)]
-        enum MapKind {
-            Shifted { col: usize, lb: f64 },
-            Split { plus: usize, minus: usize },
-        }
+        (0..n).all(|r| (0..n).all(|c| self.h[(r, c)] == 0.0))
+    }
+
+    /// Maps each variable onto LP columns (the simplex requires `x ≥ 0`):
+    /// finite-lb variables shift by their bound, free-below variables split
+    /// into a plus/minus pair. Returns the map and the LP column count.
+    fn lp_column_map(&self) -> (Vec<MapKind>, usize) {
+        let n = self.num_vars();
         let mut map = Vec::with_capacity(n);
         let mut ncols = 0usize;
         for i in 0..n {
@@ -227,7 +282,14 @@ impl QpProblem {
                 ncols += 2;
             }
         }
+        (map, ncols)
+    }
 
+    /// Builds the LP over the mapped columns: all equality/inequality rows
+    /// plus finite upper bounds as rows. `objective = None` gives the
+    /// zero-objective phase-1 feasibility probe; `Some(c)` minimizes `cᵀx`.
+    fn build_lp(&self, map: &[MapKind], ncols: usize, objective: Option<&[f64]>) -> LpProblem {
+        let n = self.num_vars();
         let expand = |a: &[f64], row: &mut Vec<f64>, rhs_shift: &mut f64| {
             for i in 0..n {
                 match map[i] {
@@ -243,7 +305,19 @@ impl QpProblem {
             }
         };
 
-        let mut lp = LpProblem::new(vec![0.0; ncols]);
+        let mut obj = vec![0.0; ncols];
+        if let Some(c) = objective {
+            for i in 0..n {
+                match map[i] {
+                    MapKind::Shifted { col, .. } => obj[col] = c[i],
+                    MapKind::Split { plus, minus } => {
+                        obj[plus] = c[i];
+                        obj[minus] = -c[i];
+                    }
+                }
+            }
+        }
+        let mut lp = LpProblem::new(obj);
         for (a, b) in &self.eq {
             let mut row = vec![0.0; ncols];
             let mut shift = 0.0;
@@ -267,24 +341,65 @@ impl QpProblem {
                 lp.add_row(row, Relation::Le, self.ub[i] - shift);
             }
         }
+        lp
+    }
 
-        let sol: LpSolution = lp.solve();
+    /// Maps an LP solution back onto the QP variables, snapping 1e-12-scale
+    /// bound violations from the simplex onto the box.
+    fn lp_solution_to_x(&self, map: &[MapKind], sol: &LpSolution) -> Vec<f64> {
+        (0..self.num_vars())
+            .map(|i| {
+                let v = match map[i] {
+                    MapKind::Shifted { col, lb } => lb + sol.x[col],
+                    MapKind::Split { plus, minus } => sol.x[plus] - sol.x[minus],
+                };
+                v.clamp(self.lb[i], self.ub[i])
+            })
+            .collect()
+    }
+
+    /// Phase-1: find any feasible point via the simplex on shifted/split
+    /// variables (LP requires `x ≥ 0`).
+    fn find_feasible_start(&self) -> Option<Vec<f64>> {
+        let (map, ncols) = self.lp_column_map();
+        let sol: LpSolution = self.build_lp(&map, ncols, None).solve();
         if sol.status != LpStatus::Optimal {
             return None;
         }
-        let mut x = vec![0.0; n];
-        for i in 0..n {
-            x[i] = match map[i] {
-                MapKind::Shifted { col, lb } => lb + sol.x[col],
-                MapKind::Split { plus, minus } => sol.x[plus] - sol.x[minus],
-            };
-            // Kill 1e-12-scale bound violations from the simplex.
-            x[i] = x[i].clamp(self.lb[i], self.ub[i]);
-        }
+        let x = self.lp_solution_to_x(&map, &sol);
         if self.is_feasible(&x) {
             Some(x)
         } else {
             None
+        }
+    }
+
+    /// Solves a zero-Hessian instance as a linear program. Returns `None`
+    /// when the simplex outcome can't be consumed directly (unbounded ray or
+    /// iteration limit — the caller falls back to the active-set path).
+    fn solve_linear(&self) -> Option<QpSolution> {
+        let (map, ncols) = self.lp_column_map();
+        let sol = self.build_lp(&map, ncols, Some(&self.c)).solve();
+        match sol.status {
+            LpStatus::Infeasible => Some(QpSolution {
+                status: QpStatus::Infeasible,
+                x: vec![0.0; self.num_vars()],
+                objective: f64::INFINITY,
+                iterations: sol.iterations,
+            }),
+            LpStatus::Optimal => {
+                let x = self.lp_solution_to_x(&map, &sol);
+                if !self.is_feasible(&x) {
+                    return None;
+                }
+                Some(QpSolution {
+                    status: QpStatus::Optimal,
+                    objective: self.objective_at(&x),
+                    x,
+                    iterations: sol.iterations,
+                })
+            }
+            LpStatus::Unbounded | LpStatus::IterationLimit => None,
         }
     }
 
@@ -730,6 +845,43 @@ mod tests {
         qp.constant = 7.0;
         let s = qp.solve();
         assert_close(s.objective, qp.objective_at(&s.x));
+    }
+
+    #[test]
+    fn linear_fast_path_matches_known_optimum() {
+        // Zero Hessian → solved as an LP in one simplex run. Pick-one over
+        // three costs with a coupling row: min 3x₀ + 1x₁ + 2x₂,
+        // Σx = 1, x₁ ≤ 0 effectively via 5x₁ ≤ 2 → cheapest admissible is x₂.
+        let h = Matrix::zeros(3, 3);
+        let mut qp = QpProblem::new(h, vec![3.0, 1.0, 2.0]);
+        qp.eq.push((vec![1.0, 1.0, 1.0], 1.0));
+        qp.ineq.push((vec![0.0, 5.0, 0.0], 2.0));
+        qp.lb = vec![0.0; 3];
+        qp.ub = vec![1.0; 3];
+        assert!(qp.is_linear());
+        let s = qp.solve();
+        assert_eq!(s.status, QpStatus::Optimal);
+        // LP optimum: put 2/5 on x₁ (cost 1), rest on x₂ (cost 2) → 1.6.
+        assert_close(s.objective, 0.4 * 1.0 + 0.6 * 2.0);
+        assert!(qp.is_feasible(&s.x));
+    }
+
+    #[test]
+    fn linear_fast_path_detects_infeasible() {
+        let h = Matrix::zeros(2, 2);
+        let mut qp = QpProblem::new(h, vec![1.0, 1.0]);
+        qp.lb = vec![0.0; 2];
+        qp.ub = vec![1.0; 2];
+        qp.eq.push((vec![1.0, 1.0], 3.0));
+        assert!(qp.is_linear());
+        assert_eq!(qp.solve().status, QpStatus::Infeasible);
+    }
+
+    #[test]
+    fn is_linear_rejects_nonzero_hessian() {
+        let h = Matrix::from_diag(&[0.0, 1e-300]);
+        let qp = QpProblem::new(h, vec![0.0, 0.0]);
+        assert!(!qp.is_linear());
     }
 
     #[test]

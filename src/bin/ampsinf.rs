@@ -65,6 +65,7 @@ fn run(args: &[String]) -> i32 {
                         g.weight_bytes() as f64 / 1024.0 / 1024.0
                     );
                 }
+                let verbose = args.iter().any(|a| a == "--verbose");
                 match Optimizer::new(cfg.clone()).optimize(&g) {
                     Ok(r) => {
                         println!("{}", r.plan);
@@ -77,6 +78,9 @@ fn run(args: &[String]) -> i32 {
                             r.pass1_time,
                             r.pass2_time
                         );
+                        if verbose {
+                            print_solver_stats(&r);
+                        }
                         if let Some(b3) = baselines::b3_optimal(&g, &cfg) {
                             println!(
                                 "exhaustive optimum for reference: {:.2}s ${:.6}",
@@ -169,6 +173,7 @@ fn usage() {
            --tolerance <f>      cost tolerance spent on speed (default 0.1)\n\
            --threads <n>        optimizer worker threads (0 = auto, 1 = sequential)\n\
            --quota-2021         10,240 MB / 1 MB-step quota preset\n\
+           --verbose            print solver statistics (plan only)\n\
            --quantize <bytes>   weight width 1..4 (plan only)\n\
            --json <path>        write the plan as JSON (plan only)\n\
            --images <n>         requests to serve (serve only)\n\
@@ -179,6 +184,18 @@ fn usage() {
 fn fail(msg: &str) -> i32 {
     eprintln!("error: {msg}");
     1
+}
+
+/// `--verbose` companion block: solver-internals counters from the run.
+fn print_solver_stats(r: &amps_inf::core::optimizer::OptimizerReport) {
+    println!(
+        "solver: {} b&b nodes, {} qp relaxations, {} warm-started, {} cuts dual-pruned",
+        r.bb_nodes, r.qp_relaxations, r.warm_start_hits, r.miqps_pruned
+    );
+    println!(
+        "columns: {} cache hits, {} misses",
+        r.column_cache_hits, r.column_cache_misses
+    );
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
