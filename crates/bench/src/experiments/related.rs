@@ -53,7 +53,7 @@ pub fn table5() -> Table {
         let coord = Coordinator::new(cfg.clone());
         let mut platform = coord.platform();
         let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
-        let batch = coord.serve_parallel(&mut platform, &dep, 10, 0.0).unwrap();
+        let batch = coord.serve_parallel(&mut platform, &dep, 10, 0.0);
         let amps_dollars = batch.dollars + platform.settle_storage(batch.completion_s);
         let s1 = run_sagemaker(
             &g,

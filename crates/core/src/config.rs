@@ -1,6 +1,6 @@
 //! AMPS-Inf configuration.
 
-use ampsinf_faas::{PerfModel, PriceSheet, Quotas, StoreKind};
+use ampsinf_faas::{FaultPlan, PerfModel, PriceSheet, Quotas, StoreKind};
 use ampsinf_solver::ConvexifyMethod;
 
 /// All knobs of an AMPS-Inf run.
@@ -48,6 +48,20 @@ pub struct AmpsConfig {
     /// cold starts — the equivalence tests flip this to prove both modes
     /// return identical plans.
     pub bb_warm_start: bool,
+    /// Retry budget per partition invocation: how many times a failed
+    /// lambda is re-invoked before the chain gives up. Because
+    /// intermediates live in S3, a retry resumes from the last
+    /// checkpointed boundary — it never restarts the chain. `0` disables
+    /// retries (a single failure aborts the request, the pre-fault-
+    /// tolerance behaviour).
+    pub invoke_retries: u32,
+    /// Base of the exponential backoff before retry attempt `n`
+    /// (`backoff_base_s * 2^(n-1)` seconds of simulated wall-clock).
+    pub backoff_base_s: f64,
+    /// Lambda-level fault injection plan (crashes, hangs, cold-start
+    /// failures). Disabled by default; with the default plan, runs are
+    /// bit-identical to a platform without fault injection.
+    pub faults: FaultPlan,
 }
 
 impl Default for AmpsConfig {
@@ -66,6 +80,9 @@ impl Default for AmpsConfig {
             batch_size: 1,
             threads: 0,
             bb_warm_start: true,
+            invoke_retries: 2,
+            backoff_base_s: 0.1,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -95,6 +112,25 @@ impl AmpsConfig {
         self.threads = threads;
         self
     }
+
+    /// Config with an explicit per-partition retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.invoke_retries = retries;
+        self
+    }
+
+    /// Config with an explicit exponential-backoff base.
+    pub fn with_backoff(mut self, base_s: f64) -> Self {
+        assert!(base_s >= 0.0, "backoff base must be non-negative");
+        self.backoff_base_s = base_s;
+        self
+    }
+
+    /// Config with a lambda-level fault injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -114,5 +150,24 @@ mod tests {
         let c = AmpsConfig::default().with_slo(30.0).lambda_2021();
         assert_eq!(c.slo_s, Some(30.0));
         assert_eq!(c.quotas.memory_max_mb, 10_240);
+    }
+
+    #[test]
+    fn default_faults_are_disabled() {
+        let c = AmpsConfig::default();
+        assert!(!c.faults.enabled());
+        assert_eq!(c.invoke_retries, 2);
+        assert!(c.backoff_base_s > 0.0);
+    }
+
+    #[test]
+    fn reliability_builders_apply() {
+        let c = AmpsConfig::default()
+            .with_retries(5)
+            .with_backoff(0.25)
+            .with_faults(FaultPlan::uniform(0.1, 9));
+        assert_eq!(c.invoke_retries, 5);
+        assert_eq!(c.backoff_base_s, 0.25);
+        assert!(c.faults.enabled());
     }
 }

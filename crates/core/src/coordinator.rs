@@ -3,7 +3,7 @@
 
 use crate::config::AmpsConfig;
 use crate::plan::ExecutionPlan;
-use ampsinf_faas::platform::{DeployError, FunctionId, InvokeError, Platform};
+use ampsinf_faas::platform::{DeployError, FailedInvocation, FunctionId, InvokeError, Platform};
 use ampsinf_faas::runtime::PartitionWork;
 use ampsinf_faas::InvocationOutcome;
 use ampsinf_model::LayerGraph;
@@ -19,6 +19,48 @@ pub struct Deployment {
     /// paper counts this once per job in its end-to-end §2.2 times).
     pub deploy_s: f64,
 }
+
+/// One retried partition attempt: what failed, and the backoff the
+/// coordinator waited before re-invoking. Because intermediates live in
+/// S3, the retry resumed from the last checkpointed boundary — only the
+/// failed partition re-ran.
+#[derive(Debug, Clone)]
+pub struct RetryRecord {
+    /// Chain position of the partition that failed.
+    pub lambda: usize,
+    /// The failed attempt, with its billing.
+    pub failed: FailedInvocation,
+    /// Exponential backoff waited after the failure, seconds.
+    pub backoff_s: f64,
+}
+
+/// Why a request could not be served, plus what finding out cost.
+#[derive(Debug, Clone)]
+pub struct ServeError {
+    /// The final attempt's failure.
+    pub reason: InvokeError,
+    /// Chain position of the partition that exhausted its budget.
+    pub lambda: usize,
+    /// Attempts made on that partition (1 = no retries).
+    pub attempts: u32,
+    /// Wall-clock from the request trigger to giving up.
+    pub elapsed_s: f64,
+    /// Dollars the doomed request billed before giving up (successful
+    /// upstream partitions plus every failed attempt).
+    pub dollars: f64,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lambda {} failed after {} attempt(s), {:.2} s, ${:.6}: {}",
+            self.lambda, self.attempts, self.elapsed_s, self.dollars, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Measurements of one served request (the paper's per-figure metrics).
 #[derive(Debug, Clone)]
@@ -37,23 +79,64 @@ pub struct JobReport {
     /// End-to-end completion: deployment + inference (paper §2.2.1).
     pub e2e_s: f64,
     /// Dollars directly billed to this request (compute + requests +
-    /// storage fees).
+    /// storage fees), including every failed attempt's bill.
     pub dollars: f64,
-    /// Per-lambda outcomes in chain order.
+    /// Per-lambda successful outcomes in chain order.
     pub outcomes: Vec<InvocationOutcome>,
+    /// Failed attempts that were retried, in occurrence order.
+    pub retries: Vec<RetryRecord>,
+    /// Wall-clock lost to failures: retried attempts, their backoffs, and
+    /// storage-retry stalls inside successful invocations. Zero on a
+    /// clean run.
+    pub wasted_s: f64,
+    /// Dollars lost to failures: failed attempts' bills plus the marginal
+    /// GB-seconds the storage stalls billed. Zero on a clean run; part of
+    /// `dollars`.
+    pub wasted_dollars: f64,
 }
 
-/// A batch serving result (paper §5.4).
+/// One image of a batch that exhausted its retry budget.
+#[derive(Debug, Clone)]
+pub struct BatchFailure {
+    /// Batch position of the failed image.
+    pub image: usize,
+    /// How and at what cost it failed.
+    pub error: ServeError,
+}
+
+/// A batch serving result (paper §5.4). Infallible: a dead image no
+/// longer poisons the batch — it lands in `failures` while the rest of
+/// the batch completes.
 #[derive(Debug, Clone)]
 pub struct BatchReport {
     /// Wall-clock completion of the whole batch (excluding deployment).
     pub completion_s: f64,
     /// Completion including the one-off deployment.
     pub e2e_s: f64,
-    /// Total dollars for the batch.
+    /// Total dollars for the batch, failed images included.
     pub dollars: f64,
-    /// Per-image reports.
+    /// Per-image reports of the successful images.
     pub jobs: Vec<JobReport>,
+    /// Images that exhausted their retry budget.
+    pub failures: Vec<BatchFailure>,
+    /// Wall-clock lost to failures across the batch (successful images'
+    /// retry/backoff/storage-stall time plus failed images' full elapsed
+    /// time).
+    pub wasted_s: f64,
+    /// Dollars lost to failures across the batch (part of `dollars`).
+    pub wasted_dollars: f64,
+}
+
+impl BatchReport {
+    /// Number of images served successfully.
+    pub fn succeeded(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of images that failed past their retry budget.
+    pub fn failed(&self) -> usize {
+        self.failures.len()
+    }
 }
 
 /// The Coordinator: executes plans on a platform.
@@ -68,7 +151,8 @@ impl Coordinator {
         Coordinator { cfg }
     }
 
-    /// Builds a platform matching this coordinator's configuration.
+    /// Builds a platform matching this coordinator's configuration,
+    /// including its fault injection plan.
     pub fn platform(&self) -> Platform {
         Platform::new(
             self.cfg.quotas,
@@ -76,6 +160,7 @@ impl Coordinator {
             self.cfg.perf,
             self.cfg.store,
         )
+        .with_fault_plan(self.cfg.faults.clone())
     }
 
     /// Packages and deploys every partition of `plan`.
@@ -108,28 +193,83 @@ impl Coordinator {
     /// Serves one request through the chain, starting at `t0`.
     ///
     /// `tag` disambiguates intermediate-object keys between requests.
+    ///
+    /// A failed partition invocation with a transient cause is retried up
+    /// to [`AmpsConfig::invoke_retries`] times with exponential backoff
+    /// (`backoff_base_s · 2^(n-1)`). Because each boundary tensor is
+    /// already checkpointed in storage, a retry resumes from the last
+    /// boundary: only the failed partition re-runs, never the chain.
+    /// Retried attempts are billed (real Lambda bills failures) and
+    /// surfaced in [`JobReport::retries`]/`wasted_s`/`wasted_dollars`.
     pub fn serve_one(
         &self,
         platform: &mut Platform,
         dep: &Deployment,
         t0: f64,
         tag: &str,
-    ) -> Result<JobReport, InvokeError> {
+    ) -> Result<JobReport, ServeError> {
         let k = dep.functions.len();
-        let mut outcomes = Vec::with_capacity(k);
+        let mut outcomes: Vec<InvocationOutcome> = Vec::with_capacity(k);
+        let mut retries: Vec<RetryRecord> = Vec::new();
         let mut now = t0;
         for i in 0..k {
             let input_key = (i > 0).then(|| format!("{tag}/b{}", i - 1));
             let output_key = (i + 1 < k).then(|| format!("{tag}/b{i}"));
             let work = dep.works[i].invocation(input_key, output_key);
-            let out = platform.invoke(dep.functions[i], now, &work)?;
+            let mut attempt: u32 = 0;
+            let out = loop {
+                match platform.invoke(dep.functions[i], now, &work) {
+                    Ok(out) => break out,
+                    Err(failed) => {
+                        attempt += 1;
+                        if attempt > self.cfg.invoke_retries || !failed.reason.is_transient() {
+                            let wasted: f64 = retries.iter().map(|r| r.failed.dollars).sum::<f64>()
+                                + failed.dollars;
+                            let spent: f64 =
+                                outcomes.iter().map(|o| o.dollars).sum::<f64>() + wasted;
+                            return Err(ServeError {
+                                reason: failed.reason,
+                                lambda: i,
+                                attempts: attempt,
+                                elapsed_s: failed.end - t0,
+                                dollars: spent,
+                            });
+                        }
+                        // Back off, then resume from the checkpointed
+                        // boundary — the input tensor is still in storage.
+                        let backoff_s = self.cfg.backoff_base_s * 2f64.powi(attempt as i32 - 1);
+                        now = failed.end + backoff_s;
+                        retries.push(RetryRecord {
+                            lambda: i,
+                            failed,
+                            backoff_s,
+                        });
+                    }
+                }
+            };
             now = out.end;
             outcomes.push(out);
         }
         let load_s: f64 = outcomes.iter().map(|o| o.breakdown.load_s).sum();
         let import_s: f64 = outcomes.iter().map(|o| o.breakdown.import_s).sum();
         let predict_s: f64 = outcomes.iter().map(|o| o.breakdown.compute_s).sum();
-        let dollars: f64 = outcomes.iter().map(|o| o.dollars).sum();
+        let retry_dollars: f64 = retries.iter().map(|r| r.failed.dollars).sum();
+        let retry_s: f64 = retries
+            .iter()
+            .map(|r| r.failed.duration() + r.backoff_s)
+            .sum();
+        let stall_s: f64 = outcomes.iter().map(|o| o.storage_retry_s).sum();
+        // Marginal GB-seconds the storage stalls billed inside the
+        // otherwise-successful invocations (attribution, not a new charge).
+        let stall_dollars: f64 = outcomes
+            .iter()
+            .zip(&dep.functions)
+            .map(|(o, fid)| {
+                let mem = platform.spec(*fid).map_or(0, |s| s.memory_mb);
+                self.cfg.prices.lambda_compute_cost(o.storage_retry_s, mem)
+            })
+            .sum();
+        let dollars: f64 = outcomes.iter().map(|o| o.dollars).sum::<f64>() + retry_dollars;
         let inference_s = now - t0;
         Ok(JobReport {
             deploy_s: dep.deploy_s,
@@ -140,57 +280,99 @@ impl Coordinator {
             e2e_s: dep.deploy_s + inference_s,
             dollars,
             outcomes,
+            retries,
+            wasted_s: retry_s + stall_s,
+            wasted_dollars: retry_dollars + stall_dollars,
         })
     }
 
     /// Serves `images` requests in parallel (paper Table 5): all chains
-    /// start at `t0`; completion is the slowest chain.
+    /// start at `t0`; completion is the slowest chain. One dead image no
+    /// longer poisons the batch — it degrades into
+    /// [`BatchReport::failures`] while the rest complete.
     pub fn serve_parallel(
         &self,
         platform: &mut Platform,
         dep: &Deployment,
         images: usize,
         t0: f64,
-    ) -> Result<BatchReport, InvokeError> {
-        let mut jobs = Vec::with_capacity(images);
+    ) -> BatchReport {
+        let mut batch = BatchReport {
+            completion_s: 0.0,
+            e2e_s: dep.deploy_s,
+            dollars: 0.0,
+            jobs: Vec::with_capacity(images),
+            failures: Vec::new(),
+            wasted_s: 0.0,
+            wasted_dollars: 0.0,
+        };
         for img in 0..images {
-            let r = self.serve_one(platform, dep, t0, &format!("img{img}"))?;
-            jobs.push(r);
+            match self.serve_one(platform, dep, t0, &format!("img{img}")) {
+                Ok(r) => {
+                    batch.completion_s = batch.completion_s.max(r.inference_s);
+                    Self::absorb_job(&mut batch, r);
+                }
+                Err(e) => {
+                    batch.completion_s = batch.completion_s.max(e.elapsed_s);
+                    Self::absorb_failure(&mut batch, img, e);
+                }
+            }
         }
-        let completion_s = jobs.iter().map(|j| j.inference_s).fold(0.0f64, f64::max);
-        let dollars = jobs.iter().map(|j| j.dollars).sum();
-        Ok(BatchReport {
-            completion_s,
-            e2e_s: dep.deploy_s + completion_s,
-            dollars,
-            jobs,
-        })
+        batch.e2e_s = dep.deploy_s + batch.completion_s;
+        batch
     }
 
     /// Serves `images` requests strictly one after another (the paper's
     /// AMPS-Inf-Seq mode in Fig. 13); later requests hit warm containers.
+    /// A failed image consumes its elapsed wall-clock, then the next
+    /// image proceeds.
     pub fn serve_sequential(
         &self,
         platform: &mut Platform,
         dep: &Deployment,
         images: usize,
         t0: f64,
-    ) -> Result<BatchReport, InvokeError> {
-        let mut jobs = Vec::with_capacity(images);
+    ) -> BatchReport {
+        let mut batch = BatchReport {
+            completion_s: 0.0,
+            e2e_s: dep.deploy_s,
+            dollars: 0.0,
+            jobs: Vec::with_capacity(images),
+            failures: Vec::new(),
+            wasted_s: 0.0,
+            wasted_dollars: 0.0,
+        };
         let mut now = t0;
         for img in 0..images {
-            let r = self.serve_one(platform, dep, now, &format!("img{img}"))?;
-            now += r.inference_s;
-            jobs.push(r);
+            match self.serve_one(platform, dep, now, &format!("img{img}")) {
+                Ok(r) => {
+                    now += r.inference_s;
+                    Self::absorb_job(&mut batch, r);
+                }
+                Err(e) => {
+                    now += e.elapsed_s;
+                    Self::absorb_failure(&mut batch, img, e);
+                }
+            }
         }
-        let completion_s = now - t0;
-        let dollars = jobs.iter().map(|j| j.dollars).sum();
-        Ok(BatchReport {
-            completion_s,
-            e2e_s: dep.deploy_s + completion_s,
-            dollars,
-            jobs,
-        })
+        batch.completion_s = now - t0;
+        batch.e2e_s = dep.deploy_s + batch.completion_s;
+        batch
+    }
+
+    fn absorb_job(batch: &mut BatchReport, job: JobReport) {
+        batch.dollars += job.dollars;
+        batch.wasted_s += job.wasted_s;
+        batch.wasted_dollars += job.wasted_dollars;
+        batch.jobs.push(job);
+    }
+
+    fn absorb_failure(batch: &mut BatchReport, image: usize, error: ServeError) {
+        // A doomed image's entire spend and elapsed time produced nothing.
+        batch.dollars += error.dollars;
+        batch.wasted_s += error.elapsed_s;
+        batch.wasted_dollars += error.dollars;
+        batch.failures.push(BatchFailure { image, error });
     }
 }
 
@@ -229,6 +411,10 @@ mod tests {
                 report.dollars,
                 plan.predicted_cost
             );
+            // Clean run: nothing retried, nothing wasted.
+            assert!(report.retries.is_empty());
+            assert_eq!(report.wasted_s, 0.0);
+            assert_eq!(report.wasted_dollars, 0.0);
         }
     }
 
@@ -249,8 +435,9 @@ mod tests {
         let (coord, plan) = optimized(&g);
         let mut platform = coord.platform();
         let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
-        let batch = coord.serve_sequential(&mut platform, &dep, 3, 0.0).unwrap();
+        let batch = coord.serve_sequential(&mut platform, &dep, 3, 0.0);
         assert_eq!(batch.jobs.len(), 3);
+        assert_eq!(batch.failed(), 0);
         // First request cold, later ones warm and faster.
         assert!(batch.jobs[1].inference_s < batch.jobs[0].inference_s);
         assert!(batch.jobs[1].outcomes.iter().all(|o| o.warm));
@@ -262,7 +449,7 @@ mod tests {
         let (coord, plan) = optimized(&g);
         let mut platform = coord.platform();
         let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
-        let batch = coord.serve_parallel(&mut platform, &dep, 5, 0.0).unwrap();
+        let batch = coord.serve_parallel(&mut platform, &dep, 5, 0.0);
         let max_inf = batch
             .jobs
             .iter()

@@ -35,7 +35,7 @@ pub mod plan;
 pub mod trace;
 
 pub use config::AmpsConfig;
-pub use coordinator::{Coordinator, JobReport};
+pub use coordinator::{BatchFailure, BatchReport, Coordinator, JobReport, RetryRecord, ServeError};
 pub use optimizer::{OptimizeError, Optimizer};
 pub use plan::{ExecutionPlan, PartitionPlan};
 pub use trace::Timeline;

@@ -13,8 +13,8 @@ use crate::plan::ExecutionPlan;
 pub struct Span {
     /// Which lambda (chain index).
     pub lambda: usize,
-    /// Phase name (`cold`, `import`, `load`, `read`, `compute`, `write`,
-    /// `respond`).
+    /// Phase name (`cold`, `import`, `load`, `transfer`, `compute`,
+    /// `respond`, `retry`) — the same set `render`'s glyph legend shows.
     pub phase: &'static str,
     /// Span start, seconds from request start.
     pub start: f64,
@@ -35,10 +35,28 @@ pub struct Timeline {
 
 impl Timeline {
     /// Builds the timeline of a served job against its plan.
+    ///
+    /// Retried attempts appear as `retry` spans (the failed attempt plus
+    /// its backoff) on the lambda that failed, before that lambda's
+    /// successful phases.
     pub fn of(plan: &ExecutionPlan, job: &JobReport) -> Timeline {
-        let t0 = job.outcomes.first().map_or(0.0, |o| o.start);
+        let t0 = job
+            .outcomes
+            .iter()
+            .map(|o| o.start)
+            .chain(job.retries.iter().map(|r| r.failed.start))
+            .fold(f64::INFINITY, f64::min);
+        let t0 = if t0.is_finite() { t0 } else { 0.0 };
         let mut spans = Vec::new();
         for (i, o) in job.outcomes.iter().enumerate() {
+            for r in job.retries.iter().filter(|r| r.lambda == i) {
+                spans.push(Span {
+                    lambda: i,
+                    phase: "retry",
+                    start: r.failed.start - t0,
+                    end: r.failed.end + r.backoff_s - t0,
+                });
+            }
             let mut t = o.start - t0;
             let b = &o.breakdown;
             for (phase, d) in [
@@ -88,13 +106,14 @@ impl Timeline {
             "transfer" => 't',
             "compute" => '#',
             "respond" => 'r',
+            "retry" => 'x',
             _ => '?',
         };
         let lambdas = self.spans.iter().map(|s| s.lambda).max().unwrap_or(0) + 1;
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{} — {:.2}s total (c=cold i=import l=load t=transfer #=compute r=respond)",
+            "{} — {:.2}s total (c=cold i=import l=load t=transfer #=compute r=respond x=retry)",
             self.model, self.total_s
         );
         for l in 0..lambdas {
@@ -153,6 +172,36 @@ mod tests {
         assert!((tl.phase_total("load") - job.load_s).abs() < 1e-9);
         assert!((tl.phase_total("import") - job.import_s).abs() < 1e-9);
         assert!((tl.phase_total("compute") - job.predict_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_spans_cover_wasted_attempts() {
+        use ampsinf_faas::FaultPlan;
+        let g = zoo::resnet50();
+        let cfg = AmpsConfig::default().with_faults(FaultPlan {
+            crash_invocations: vec![1],
+            ..FaultPlan::default()
+        });
+        let plan = Optimizer::new(cfg.clone()).optimize(&g).unwrap().plan;
+        let coord = Coordinator::new(cfg);
+        let mut platform = coord.platform();
+        let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
+        let job = coord.serve_one(&mut platform, &dep, 0.0, "tl").unwrap();
+        assert_eq!(job.retries.len(), 1);
+        let tl = Timeline::of(&plan, &job);
+        let retry_total: f64 = job
+            .retries
+            .iter()
+            .map(|r| r.failed.duration() + r.backoff_s)
+            .sum();
+        assert!((tl.phase_total("retry") - retry_total).abs() < 1e-9);
+        // The retry span precedes the same lambda's successful phases.
+        for w in tl.spans.windows(2) {
+            if w[0].lambda == w[1].lambda {
+                assert!(w[1].start >= w[0].end - 1e-9);
+            }
+        }
+        assert!(tl.render(80).contains('x'), "{}", tl.render(80));
     }
 
     #[test]

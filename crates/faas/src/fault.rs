@@ -1,0 +1,199 @@
+//! Deterministic lambda-level fault injection.
+//!
+//! The storage layer already models transient 5xx failures
+//! ([`crate::storage::StoreKind::flaky_s3`]); this module adds the lambda
+//! side of the failure spectrum — handler crashes mid-compute, hangs that
+//! run into the platform timeout, and sandboxes that die during cold
+//! start. All draws come from the seeded [`SmallRng`] stream, so a given
+//! [`FaultPlan`] produces the *same* failures on every run: tests can
+//! assert exact dollars and timelines under injected faults.
+
+use crate::rng::SmallRng;
+
+/// Which faults to inject, and how often.
+///
+/// Rates are per-invocation probabilities, drawn once per invocation in
+/// the order crash → timeout → cold-start failure (a single uniform draw
+/// partitioned into bands, so the classes are mutually exclusive). The
+/// default plan injects nothing and draws nothing — a platform with a
+/// disabled plan is bit-identical to one without fault injection at all.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability that the handler crashes partway through compute.
+    pub crash_rate: f64,
+    /// Probability that the handler hangs and is killed at the platform
+    /// timeout (billed for the full timeout, as on real Lambda).
+    pub timeout_rate: f64,
+    /// Probability that sandbox creation fails on a cold start. Only
+    /// applies to invocations that would cold-start; warm invocations
+    /// skip this band.
+    pub cold_start_failure_rate: f64,
+    /// Seed for the deterministic draw stream.
+    pub seed: u64,
+    /// Platform-global invocation sequence numbers (0-based) that crash
+    /// mid-compute regardless of the rates — surgical, fully
+    /// deterministic targeting for tests ("poison image 2's first
+    /// partition").
+    pub crash_invocations: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// The no-fault plan (the default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan injecting every fault class at the same rate.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        FaultPlan {
+            crash_rate: rate,
+            timeout_rate: rate,
+            cold_start_failure_rate: rate,
+            seed,
+            crash_invocations: Vec::new(),
+        }
+    }
+
+    /// True when any fault can ever fire.
+    pub fn enabled(&self) -> bool {
+        self.crash_rate > 0.0
+            || self.timeout_rate > 0.0
+            || self.cold_start_failure_rate > 0.0
+            || !self.crash_invocations.is_empty()
+    }
+}
+
+/// One injected fault, decided before the invocation simulates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The handler dies after `compute_fraction` of its compute phase.
+    Crash {
+        /// Fraction of the compute phase completed before the crash,
+        /// in `[0, 1)`.
+        compute_fraction: f64,
+    },
+    /// The handler hangs; the platform kills it at the timeout.
+    Timeout,
+    /// Sandbox creation fails before the handler ever runs.
+    ColdStartFailure,
+}
+
+/// Stateful injector: a [`FaultPlan`] plus its deterministic draw stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SmallRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SmallRng::seed_from_u64(plan.seed);
+        FaultInjector { plan, rng }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides the fate of invocation `seq` (platform-global sequence
+    /// number); `cold` says whether this invocation would cold-start.
+    /// Disabled plans never touch the rng.
+    pub fn draw(&mut self, seq: u64, cold: bool) -> Option<FaultKind> {
+        if !self.plan.enabled() {
+            return None;
+        }
+        if self.plan.crash_invocations.contains(&seq) {
+            return Some(FaultKind::Crash {
+                compute_fraction: 0.5,
+            });
+        }
+        let u = self.rng.next_f64();
+        let mut band = self.plan.crash_rate;
+        if u < band {
+            return Some(FaultKind::Crash {
+                compute_fraction: self.rng.next_f64(),
+            });
+        }
+        band += self.plan.timeout_rate;
+        if u < band {
+            return Some(FaultKind::Timeout);
+        }
+        band += self.plan.cold_start_failure_rate;
+        if u < band && cold {
+            return Some(FaultKind::ColdStartFailure);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        for seq in 0..1000 {
+            assert_eq!(inj.draw(seq, seq % 2 == 0), None);
+        }
+    }
+
+    #[test]
+    fn equal_seeds_give_equal_fault_streams() {
+        let plan = FaultPlan::uniform(0.2, 7);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for seq in 0..500 {
+            assert_eq!(a.draw(seq, true), b.draw(seq, true));
+        }
+    }
+
+    #[test]
+    fn rates_partition_one_draw() {
+        // With all-rate 1/3 every cold invocation faults; the classes mix.
+        let mut inj = FaultInjector::new(FaultPlan::uniform(1.0 / 3.0, 3));
+        let (mut crash, mut timeout, mut coldfail) = (0, 0, 0);
+        for seq in 0..300 {
+            match inj.draw(seq, true) {
+                Some(FaultKind::Crash { compute_fraction }) => {
+                    assert!((0.0..1.0).contains(&compute_fraction));
+                    crash += 1;
+                }
+                Some(FaultKind::Timeout) => timeout += 1,
+                Some(FaultKind::ColdStartFailure) => coldfail += 1,
+                None => {}
+            }
+        }
+        assert_eq!(crash + timeout + coldfail, 300);
+        assert!(crash > 50 && timeout > 50 && coldfail > 50);
+    }
+
+    #[test]
+    fn warm_invocations_skip_cold_start_failures() {
+        let plan = FaultPlan {
+            cold_start_failure_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        for seq in 0..100 {
+            assert_eq!(inj.draw(seq, false), None);
+            assert_eq!(inj.draw(seq, true), Some(FaultKind::ColdStartFailure));
+        }
+    }
+
+    #[test]
+    fn targeted_invocations_crash_deterministically() {
+        let plan = FaultPlan {
+            crash_invocations: vec![3],
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.plan().enabled());
+        assert_eq!(inj.draw(2, true), None);
+        assert!(matches!(inj.draw(3, false), Some(FaultKind::Crash { .. })));
+        assert_eq!(inj.draw(4, true), None);
+    }
+}

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod ledger;
 pub mod perf;
 pub mod platform;
@@ -67,10 +68,12 @@ pub mod stepfn;
 pub mod storage;
 pub mod vm;
 
+pub use fault::{FaultKind, FaultPlan};
 pub use ledger::{CostItem, CostLedger};
 pub use perf::{LambdaPerf, PerfModel};
 pub use platform::{
-    DeployError, FunctionId, FunctionSpec, InvocationOutcome, InvocationWork, Platform,
+    DeployError, FailedInvocation, FunctionId, FunctionSpec, InvocationOutcome, InvocationWork,
+    InvokeError, Platform,
 };
 pub use pricing::PriceSheet;
 pub use quotas::Quotas;

@@ -1,6 +1,9 @@
 //! The serverless platform: deployment quotas, invocation semantics,
-//! warm-start tracking, billing.
+//! warm-start tracking, billing — including failure billing: a failed or
+//! timed-out invocation charges GB-seconds for the time it actually
+//! consumed plus the request fee, exactly as real Lambda does.
 
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::ledger::{CostItem, CostLedger};
 use crate::perf::{DurationBreakdown, LambdaPerf, PerfModel};
 use crate::pricing::PriceSheet;
@@ -92,8 +95,30 @@ pub enum InvokeError {
     MissingInput(String),
     /// Storage stayed unavailable through the retry budget.
     StorageUnavailable(String),
+    /// The handler crashed partway through (injected fault).
+    Crashed {
+        /// Seconds consumed before the crash.
+        duration_s: f64,
+    },
+    /// Sandbox creation failed before the handler ran (injected fault).
+    ColdStartFailed,
     /// Unknown function id.
     NoSuchFunction,
+}
+
+impl InvokeError {
+    /// True for failure modes a retry can plausibly fix (transient storage
+    /// or injected-fault failures); false for deterministic configuration
+    /// errors where retrying would only burn money.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            InvokeError::Timeout { .. }
+                | InvokeError::StorageUnavailable(_)
+                | InvokeError::Crashed { .. }
+                | InvokeError::ColdStartFailed
+        )
+    }
 }
 
 impl std::fmt::Display for InvokeError {
@@ -119,12 +144,79 @@ impl std::fmt::Display for InvokeError {
             InvokeError::StorageUnavailable(k) => {
                 write!(f, "storage unavailable for object {k}")
             }
+            InvokeError::Crashed { duration_s } => {
+                write!(f, "handler crashed after {duration_s:.1} s")
+            }
+            InvokeError::ColdStartFailed => write!(f, "sandbox creation failed"),
             InvokeError::NoSuchFunction => write!(f, "unknown function"),
         }
     }
 }
 
 impl std::error::Error for InvokeError {}
+
+/// A failed invocation with its billing: what went wrong, how long the
+/// sandbox ran before dying, and what that consumed time cost. Real
+/// Lambda bills failed and timed-out invocations for their duration — the
+/// retry-cost trade-off a cost-minimizing coordinator must account for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedInvocation {
+    /// Why the invocation failed.
+    pub reason: InvokeError,
+    /// When the invocation started.
+    pub start: f64,
+    /// When the platform gave up on it (kill/crash/error instant).
+    pub end: f64,
+    /// Phase breakdown of the time consumed before failure.
+    pub breakdown: DurationBreakdown,
+    /// Billed duration (consumed time, rounded up to the granularity).
+    pub billed_s: f64,
+    /// Dollars charged for the failed attempt (compute for consumed time
+    /// + request fee + storage fees already incurred).
+    pub dollars: f64,
+    /// Whether the attempt rode a warm container.
+    pub warm: bool,
+}
+
+impl FailedInvocation {
+    /// Wall-clock the failed attempt consumed.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// An unbilled failure (nothing ran — e.g. unknown function id).
+    fn unbilled(reason: InvokeError, start: f64) -> Self {
+        FailedInvocation {
+            reason,
+            start,
+            end: start,
+            breakdown: DurationBreakdown::default(),
+            billed_s: 0.0,
+            dollars: 0.0,
+            warm: false,
+        }
+    }
+}
+
+impl std::fmt::Display for FailedInvocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invocation failed after {:.2} s (${:.6} billed): {}",
+            self.duration(),
+            self.dollars,
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for FailedInvocation {}
+
+impl From<FailedInvocation> for InvokeError {
+    fn from(failed: FailedInvocation) -> Self {
+        failed.reason
+    }
+}
 
 /// Work performed by one invocation.
 #[derive(Debug, Clone, Default)]
@@ -160,6 +252,10 @@ pub struct InvocationOutcome {
     pub dollars: f64,
     /// Whether the container was warm (import/load skipped).
     pub warm: bool,
+    /// Seconds burned waiting out failed storage attempts (client-side
+    /// retries against a flaky store); part of `transfer_s` and of the
+    /// billed duration, surfaced so callers can attribute waste.
+    pub storage_retry_s: f64,
 }
 
 impl InvocationOutcome {
@@ -198,6 +294,10 @@ pub struct Platform {
     /// Itemized cost ledger.
     pub ledger: CostLedger,
     functions: Vec<DeployedFunction>,
+    /// Lambda-level fault injection (disabled by default).
+    faults: FaultInjector,
+    /// Platform-global invocation counter (fault targeting, metrics).
+    invocations: u64,
 }
 
 impl Platform {
@@ -220,7 +320,20 @@ impl Platform {
             store: ObjectStore::new(store),
             ledger: CostLedger::new(),
             functions: Vec::new(),
+            faults: FaultInjector::new(FaultPlan::none()),
+            invocations: 0,
         }
+    }
+
+    /// Platform with lambda-level fault injection enabled.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultInjector::new(plan);
+        self
+    }
+
+    /// Total invocations attempted so far (successes and failures).
+    pub fn invocation_count(&self) -> u64 {
+        self.invocations
     }
 
     /// Validates a spec against the quotas without deploying.
@@ -290,16 +403,24 @@ impl Platform {
     /// → storage reads → compute → storage writes → response. Warm
     /// containers (< 10 min since last finish) skip cold/import/load, as a
     /// kept-alive Lambda sandbox with a cached model would.
+    ///
+    /// Failures are billed like real Lambda bills them: the returned
+    /// [`FailedInvocation`] charges GB-seconds for the time the sandbox
+    /// actually consumed before dying (a timed-out invocation pays for the
+    /// whole timeout window) plus the request fee, and the instance pool
+    /// reflects the occupied sandbox.
     pub fn invoke(
         &mut self,
         id: FunctionId,
         start: f64,
         work: &InvocationWork,
-    ) -> Result<InvocationOutcome, InvokeError> {
-        let func = self
-            .functions
-            .get(id.0)
-            .ok_or(InvokeError::NoSuchFunction)?;
+    ) -> Result<InvocationOutcome, FailedInvocation> {
+        let Some(func) = self.functions.get(id.0) else {
+            return Err(FailedInvocation::unbilled(
+                InvokeError::NoSuchFunction,
+                start,
+            ));
+        };
         let spec = func.spec.clone();
         // Instance selection: reuse the most-recently-idle warm instance
         // that is free at `start` and within keep-alive; otherwise a fresh
@@ -312,76 +433,189 @@ impl Platform {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i);
         let warm = warm_slot.is_some();
+        let seq = self.invocations;
+        self.invocations += 1;
+        let fault = self.faults.draw(seq, !warm);
 
         let perf = LambdaPerf::new(&self.perf, spec.memory_mb);
         let footprint_mb = self.perf.runtime_footprint_mb + work.resident_bytes as f64 / MB as f64;
-        if perf.is_oom(footprint_mb) {
-            return Err(InvokeError::OutOfMemory {
-                footprint_mb,
-                memory_mb: spec.memory_mb,
-            });
-        }
-        let tmp_limit = u64::from(self.quotas.tmp_limit_mb) * MB;
-        if work.tmp_bytes > tmp_limit {
-            return Err(InvokeError::TmpExceeded {
-                got: work.tmp_bytes,
-                limit: tmp_limit,
-            });
-        }
-
         let mut b = DurationBreakdown::default();
         if !warm {
             b.cold_s = perf.cold_start(spec.package_bytes());
+        }
+        if fault == Some(FaultKind::ColdStartFailure) {
+            // The sandbox dies during creation: nothing joins the pool and
+            // nothing warms up, but the creation time is still billed.
+            let consumed = b.total();
+            return Err(self.fail(
+                id,
+                &spec,
+                start,
+                b,
+                consumed,
+                None,
+                false,
+                0.0,
+                InvokeError::ColdStartFailed,
+            ));
+        }
+        if perf.is_oom(footprint_mb) {
+            // Dies loading the model graph into memory: the cold phases ran.
+            if !warm {
+                b.import_s = perf.cpu_time(perf.import_work(), footprint_mb);
+                b.load_s = perf.cpu_time(perf.load_work(work.load_bytes), footprint_mb);
+            }
+            let consumed = b.total();
+            return Err(self.fail(
+                id,
+                &spec,
+                start,
+                b,
+                consumed,
+                warm_slot,
+                true,
+                0.0,
+                InvokeError::OutOfMemory {
+                    footprint_mb,
+                    memory_mb: spec.memory_mb,
+                },
+            ));
+        }
+        let tmp_limit = u64::from(self.quotas.tmp_limit_mb) * MB;
+        if work.tmp_bytes > tmp_limit {
+            // Dies staging weight files to /tmp, before the load finishes.
+            if !warm {
+                b.import_s = perf.cpu_time(perf.import_work(), footprint_mb);
+            }
+            let consumed = b.total();
+            return Err(self.fail(
+                id,
+                &spec,
+                start,
+                b,
+                consumed,
+                warm_slot,
+                true,
+                0.0,
+                InvokeError::TmpExceeded {
+                    got: work.tmp_bytes,
+                    limit: tmp_limit,
+                },
+            ));
+        }
+        if !warm {
             b.import_s = perf.cpu_time(perf.import_work(), footprint_mb);
             b.load_s = perf.cpu_time(perf.load_work(work.load_bytes), footprint_mb);
         }
-        // Storage reads (charged fees; missing keys abort).
+        // Storage reads (charged fees; missing keys abort, having consumed
+        // everything up to and including the failed lookups).
         let mut fees = 0.0;
+        let mut storage_retry_s = 0.0;
+        let latency = self.store.kind.request_latency_s;
         for key in &work.reads {
-            let op = self
-                .store
-                .get(key, &self.prices, &mut self.ledger)
-                .map_err(|e| match e {
-                    crate::storage::StorageError::NotFound(k) => InvokeError::MissingInput(k),
-                    crate::storage::StorageError::Unavailable { key, .. } => {
-                        InvokeError::StorageUnavailable(key)
-                    }
-                })?;
-            b.transfer_s += op.duration_s;
-            fees += op.fee;
+            match self.store.get(key, &self.prices, &mut self.ledger) {
+                Ok(op) => {
+                    b.transfer_s += op.duration_s;
+                    storage_retry_s += f64::from(op.attempts - 1) * latency;
+                    fees += op.fee;
+                }
+                Err(e) => {
+                    let (reason, burned) = Self::storage_failure(e, latency);
+                    b.transfer_s += burned;
+                    let consumed = b.total();
+                    return Err(
+                        self.fail(id, &spec, start, b, consumed, warm_slot, true, fees, reason)
+                    );
+                }
+            }
         }
-        b.compute_s = perf.cpu_time(perf.compute_work(work.flops), footprint_mb);
+        let full_compute = perf.cpu_time(perf.compute_work(work.flops), footprint_mb);
+        match fault {
+            Some(FaultKind::Crash { compute_fraction }) => {
+                // The handler crashes mid-compute; no writes happen.
+                b.compute_s = full_compute * compute_fraction;
+                let consumed = b.total();
+                return Err(self.fail(
+                    id,
+                    &spec,
+                    start,
+                    b,
+                    consumed,
+                    warm_slot,
+                    true,
+                    fees,
+                    InvokeError::Crashed {
+                        duration_s: consumed,
+                    },
+                ));
+            }
+            Some(FaultKind::Timeout) => {
+                // The handler hangs after its reads; the platform kills it
+                // at the timeout and bills the whole window.
+                b.compute_s = (self.quotas.timeout_s - b.total()).max(0.0);
+                let consumed = self.quotas.timeout_s;
+                return Err(self.fail(
+                    id,
+                    &spec,
+                    start,
+                    b,
+                    consumed,
+                    warm_slot,
+                    true,
+                    fees,
+                    InvokeError::Timeout {
+                        duration_s: consumed,
+                    },
+                ));
+            }
+            _ => b.compute_s = full_compute,
+        }
         // Storage writes happen after compute; objects become visible at
         // the write-completion instant.
         let pre_write = start + b.cold_s + b.import_s + b.load_s + b.transfer_s + b.compute_s;
         let mut write_s = 0.0;
         for (key, bytes) in &work.writes {
-            let op = self
-                .store
-                .put(
-                    key.clone(),
-                    *bytes,
-                    pre_write + write_s,
-                    &self.prices,
-                    &mut self.ledger,
-                )
-                .map_err(|e| match e {
-                    crate::storage::StorageError::Unavailable { key, .. } => {
-                        InvokeError::StorageUnavailable(key)
-                    }
-                    crate::storage::StorageError::NotFound(k) => InvokeError::MissingInput(k),
-                })?;
-            write_s += op.duration_s;
-            fees += op.fee;
+            match self.store.put(
+                key.clone(),
+                *bytes,
+                pre_write + write_s,
+                &self.prices,
+                &mut self.ledger,
+            ) {
+                Ok(op) => {
+                    write_s += op.duration_s;
+                    storage_retry_s += f64::from(op.attempts - 1) * latency;
+                    fees += op.fee;
+                }
+                Err(e) => {
+                    let (reason, burned) = Self::storage_failure(e, latency);
+                    b.transfer_s += write_s + burned;
+                    let consumed = b.total();
+                    return Err(
+                        self.fail(id, &spec, start, b, consumed, warm_slot, true, fees, reason)
+                    );
+                }
+            }
         }
         b.transfer_s += write_s;
         b.fixed_s = self.perf.fixed_overhead_s;
 
         let duration = b.total();
         if duration > self.quotas.timeout_s {
-            return Err(InvokeError::Timeout {
-                duration_s: duration,
-            });
+            // Killed at the timeout; the timeout window is billed in full.
+            return Err(self.fail(
+                id,
+                &spec,
+                start,
+                b,
+                self.quotas.timeout_s,
+                warm_slot,
+                true,
+                fees,
+                InvokeError::Timeout {
+                    duration_s: duration,
+                },
+            ));
         }
 
         let billed = self.prices.billed_duration(duration);
@@ -409,7 +643,75 @@ impl Platform {
             billed_s: billed,
             dollars: compute_cost + self.prices.lambda_request + fees,
             warm,
+            storage_retry_s,
         })
+    }
+
+    /// Maps a storage error to its invocation failure reason plus the
+    /// client-side seconds the failed lookups burned.
+    fn storage_failure(e: crate::storage::StorageError, latency_s: f64) -> (InvokeError, f64) {
+        match e {
+            crate::storage::StorageError::NotFound(k) => (InvokeError::MissingInput(k), latency_s),
+            crate::storage::StorageError::Unavailable { key, attempts } => (
+                InvokeError::StorageUnavailable(key),
+                f64::from(attempts) * latency_s,
+            ),
+        }
+    }
+
+    /// Bills a failed invocation — compute for the consumed time, the
+    /// request fee, storage fees already incurred — and occupies the
+    /// sandbox in the instance pool (unless creation itself failed).
+    #[allow(clippy::too_many_arguments)]
+    fn fail(
+        &mut self,
+        id: FunctionId,
+        spec: &FunctionSpec,
+        start: f64,
+        breakdown: DurationBreakdown,
+        consumed_s: f64,
+        warm_slot: Option<usize>,
+        sandbox_created: bool,
+        fees: f64,
+        reason: InvokeError,
+    ) -> FailedInvocation {
+        let warm = warm_slot.is_some();
+        let billed = self.prices.billed_duration(consumed_s);
+        let compute_cost = self.prices.lambda_compute_cost(consumed_s, spec.memory_mb);
+        if compute_cost > 0.0 {
+            self.ledger.charge(
+                CostItem::LambdaCompute,
+                compute_cost,
+                format!("{} [failed: {reason}]", spec.name),
+            );
+        }
+        self.ledger.charge(
+            CostItem::LambdaRequest,
+            self.prices.lambda_request,
+            spec.name.clone(),
+        );
+        let end = start + consumed_s;
+        if sandbox_created {
+            // Lambda reuses sandboxes after handler errors and timeouts —
+            // the runtime restarts inside the same (billable) instance.
+            let func = &mut self.functions[id.0];
+            match warm_slot {
+                Some(i) => func.instances[i] = end,
+                None => {
+                    func.instances.push(end);
+                    func.cold_starts += 1;
+                }
+            }
+        }
+        FailedInvocation {
+            reason,
+            start,
+            end,
+            breakdown,
+            billed_s: billed,
+            dollars: compute_cost + self.prices.lambda_request + fees,
+            warm,
+        }
     }
 
     /// Settles at-rest storage charges up to `until`; call once per job.
@@ -581,10 +883,13 @@ mod tests {
             reads: vec!["never-written".into()],
             ..Default::default()
         };
-        assert!(matches!(
-            p.invoke(id, 0.0, &w).unwrap_err(),
-            InvokeError::MissingInput(_)
-        ));
+        let failed = p.invoke(id, 0.0, &w).unwrap_err();
+        assert!(matches!(failed.reason, InvokeError::MissingInput(_)));
+        // The sandbox ran cold start, import and load before discovering
+        // the missing input — that consumed time is billed.
+        assert!(failed.duration() > 0.0);
+        assert!(failed.dollars > p.prices.lambda_request);
+        assert!(p.ledger.total_of(CostItem::LambdaCompute) > 0.0);
     }
 
     #[test]
@@ -596,7 +901,7 @@ mod tests {
             ..Default::default()
         };
         assert!(matches!(
-            p.invoke(id, 0.0, &w).unwrap_err(),
+            p.invoke(id, 0.0, &w).unwrap_err().reason,
             InvokeError::TmpExceeded { .. }
         ));
     }
@@ -612,8 +917,99 @@ mod tests {
             ..Default::default()
         };
         assert!(matches!(
-            p.invoke(id, 0.0, &w).unwrap_err(),
+            p.invoke(id, 0.0, &w).unwrap_err().reason,
             InvokeError::OutOfMemory { .. }
         ));
+    }
+
+    #[test]
+    fn injected_timeout_bills_full_window() {
+        let mut p = Platform::aws_2020().with_fault_plan(FaultPlan {
+            timeout_rate: 1.0,
+            ..FaultPlan::default()
+        });
+        let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        let failed = p.invoke(id, 0.0, &work).unwrap_err();
+        assert!(matches!(failed.reason, InvokeError::Timeout { .. }));
+        assert!((failed.duration() - p.quotas.timeout_s).abs() < 1e-9);
+        assert!((failed.billed_s - p.prices.billed_duration(p.quotas.timeout_s)).abs() < 1e-12);
+        let expect =
+            p.prices.lambda_compute_cost(p.quotas.timeout_s, 1024) + p.prices.lambda_request;
+        assert!((failed.dollars - expect).abs() < 1e-12);
+        // The hung sandbox occupies the pool until the kill.
+        assert_eq!(p.instance_count(id), 1);
+    }
+
+    #[test]
+    fn injected_crash_bills_partial_compute() {
+        let mut p = Platform::aws_2020().with_fault_plan(FaultPlan {
+            crash_invocations: vec![0],
+            ..FaultPlan::default()
+        });
+        let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 2_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        let failed = p.invoke(id, 0.0, &work).unwrap_err();
+        assert!(matches!(failed.reason, InvokeError::Crashed { .. }));
+        // Crashed halfway through compute: strictly between the no-compute
+        // and full-compute durations, and billed strictly positive.
+        let mut clean = Platform::aws_2020();
+        let (cid, _) = clean.deploy(spec(1024, 17)).unwrap();
+        let ok = clean.invoke(cid, 0.0, &work).unwrap();
+        assert!(failed.duration() > 0.0 && failed.duration() < ok.duration());
+        assert!(failed.dollars > 0.0);
+        // A retry on the same platform rides the surviving sandbox warm.
+        let retry = p.invoke(id, failed.end + 0.1, &work).unwrap();
+        assert!(retry.warm);
+    }
+
+    #[test]
+    fn cold_start_failure_leaves_no_instance() {
+        let mut p = Platform::aws_2020().with_fault_plan(FaultPlan {
+            cold_start_failure_rate: 1.0,
+            ..FaultPlan::default()
+        });
+        let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        let failed = p.invoke(id, 0.0, &work).unwrap_err();
+        assert_eq!(failed.reason, InvokeError::ColdStartFailed);
+        assert_eq!(p.instance_count(id), 0);
+        assert_eq!(p.cold_starts(id), 0);
+        // Only sandbox-creation time was consumed; the request fee applies.
+        assert!(failed.duration() > 0.0);
+        assert!(failed.dollars >= p.prices.lambda_request);
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_to_no_plan() {
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        let mut a = Platform::aws_2020();
+        let mut b = Platform::aws_2020().with_fault_plan(FaultPlan::none());
+        let (ia, _) = a.deploy(spec(1024, 17)).unwrap();
+        let (ib, _) = b.deploy(spec(1024, 17)).unwrap();
+        let oa = a.invoke(ia, 0.0, &work).unwrap();
+        let ob = b.invoke(ib, 0.0, &work).unwrap();
+        assert_eq!(oa.end, ob.end);
+        assert_eq!(oa.dollars, ob.dollars);
     }
 }

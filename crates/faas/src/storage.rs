@@ -22,8 +22,9 @@ pub struct StoreKind {
     /// a self-managed store's instance cost is billed separately).
     pub billed_requests: bool,
     /// Probability that a single request fails transiently (5xx-class).
-    /// Failed requests still take their latency and, when billed, their
-    /// fee — exactly the retry economics a real client sees.
+    /// Failed attempts burn the request latency but are never charged a
+    /// request fee — S3 does not bill 5xx responses; only the final
+    /// successful attempt pays its fee.
     pub failure_rate: f64,
 }
 
@@ -68,6 +69,9 @@ struct ObjectMeta {
     bytes: u64,
     created_at: f64,
     deleted_at: Option<f64>,
+    /// At-rest charges are settled up to this instant (no double billing
+    /// across repeated settlements; objects stay live and readable).
+    billed_until: f64,
 }
 
 /// The object store: tracks objects, transfer timing, and fees.
@@ -76,8 +80,9 @@ pub struct ObjectStore {
     /// Backend characteristics.
     pub kind: StoreKind,
     objects: HashMap<String, ObjectMeta>,
-    /// Tombstones for deleted objects (still billed for their lifetime).
-    history: Vec<ObjectMeta>,
+    /// Tombstones for objects replaced by an overwriting `put` (the prior
+    /// incarnation's lifetime still bills at settlement).
+    history: Vec<(String, ObjectMeta)>,
     /// Deterministic failure-draw state (splitmix64).
     rng: u64,
 }
@@ -186,14 +191,25 @@ impl ObjectStore {
         if fee > 0.0 {
             ledger.charge(CostItem::StoragePut, fee, key.clone());
         }
-        self.objects.insert(
-            key,
+        let created_at = now + duration;
+        let replaced = self.objects.insert(
+            key.clone(),
             ObjectMeta {
                 bytes,
-                created_at: now + duration,
+                created_at,
                 deleted_at: None,
+                billed_until: 0.0,
             },
         );
+        if let Some(mut old) = replaced {
+            // The prior incarnation lived until this re-put landed (retried
+            // chains overwrite their checkpoints); tombstone it so
+            // settlement bills both lifetimes.
+            if old.deleted_at.is_none() {
+                old.deleted_at = Some(created_at.max(old.created_at));
+            }
+            self.history.push((key, old));
+        }
         Ok(StorageOp {
             duration_s: duration,
             fee,
@@ -267,6 +283,12 @@ impl ObjectStore {
 
     /// Charges at-rest storage for all objects' lifetimes up to `until`
     /// (the paper's `q·T·H` term) and returns the charged dollars.
+    ///
+    /// Settlement is incremental: each object carries a `billed_until`
+    /// watermark, so repeated settlements never double-bill an interval —
+    /// and live objects *stay live*, still readable by later requests
+    /// (serve → settle → serve works). Replaced-object tombstones bill the
+    /// same way.
     pub fn settle_storage(
         &mut self,
         until: f64,
@@ -277,19 +299,24 @@ impl ObjectStore {
             return 0.0;
         }
         let mut total = 0.0;
-        for (key, meta) in &self.objects {
+        let mut settle_one = |key: &str, meta: &mut ObjectMeta| {
+            let from = meta.created_at.max(meta.billed_until);
             let end = meta.deleted_at.unwrap_or(until).min(until);
-            let life = (end - meta.created_at).max(0.0);
-            let c = sheet.s3_storage_cost(meta.bytes, life);
-            if c > 0.0 {
-                ledger.charge(CostItem::StorageAtRest, c, key.clone());
-                total += c;
+            if end > from {
+                let c = sheet.s3_storage_cost(meta.bytes, end - from);
+                if c > 0.0 {
+                    ledger.charge(CostItem::StorageAtRest, c, key.to_string());
+                    total += c;
+                }
+                meta.billed_until = end;
             }
+        };
+        for (key, meta) in &mut self.objects {
+            settle_one(key, meta);
         }
-        // Move settled objects to history so a second settle double-bills
-        // nothing.
-        self.history.extend(self.objects.values().copied());
-        self.objects.clear();
+        for (key, meta) in &mut self.history {
+            settle_one(key, meta);
+        }
         total
     }
 }
@@ -337,11 +364,91 @@ mod tests {
         let op = s.put("k", 1_000_000_000, 0.0, &sheet, &mut l).unwrap();
         // The object becomes visible when the upload completes; settle
         // exactly 60 s later → 60 s of at-rest time on 1 GB.
-        let charged = s.settle_storage(op.duration_s + 60.0, &sheet, &mut l);
+        let t1 = op.duration_s + 60.0;
+        let charged = s.settle_storage(t1, &sheet, &mut l);
         let expect = sheet.s3_storage_cost(1_000_000_000, 60.0);
         assert!((charged - expect).abs() < 1e-12, "{charged} vs {expect}");
-        // Second settle adds nothing.
-        assert_eq!(s.settle_storage(1000.0, &sheet, &mut l), 0.0);
+        // Settling the same instant again double-bills nothing.
+        assert_eq!(s.settle_storage(t1, &sheet, &mut l), 0.0);
+        // A later settle bills exactly the incremental interval.
+        let inc = s.settle_storage(t1 + 30.0, &sheet, &mut l);
+        let expect_inc = sheet.s3_storage_cost(1_000_000_000, 30.0);
+        assert!((inc - expect_inc).abs() < 1e-12, "{inc} vs {expect_inc}");
+        // Once deleted, further settles stop accruing.
+        s.delete("k", t1 + 30.0);
+        assert_eq!(s.settle_storage(t1 + 500.0, &sheet, &mut l), 0.0);
+    }
+
+    #[test]
+    fn settlement_keeps_objects_live() {
+        // Regression: settling mid-run must not destroy still-live
+        // intermediates (serve → settle → serve).
+        let (mut s, sheet, mut l) = setup();
+        s.put("job/b0", 4_000_000, 0.0, &sheet, &mut l).unwrap();
+        s.settle_storage(100.0, &sheet, &mut l);
+        assert_eq!(s.size_of("job/b0"), Some(4_000_000));
+        assert!(s.get("job/b0", &sheet, &mut l).is_ok(), "live after settle");
+        assert_eq!(s.live_bytes(), 4_000_000);
+    }
+
+    #[test]
+    fn overwriting_put_bills_both_lifetimes() {
+        // Regression: a re-put (chain-level retry re-checkpointing) must
+        // not drop the replaced object's at-rest interval from billing.
+        let (mut s, sheet, mut l) = setup();
+        let first = s.put("k", 1_000_000_000, 0.0, &sheet, &mut l).unwrap();
+        let v1 = first.duration_s; // first incarnation visible
+        let second = s
+            .put("k", 1_000_000_000, v1 + 60.0, &sheet, &mut l)
+            .unwrap();
+        let v2 = v1 + 60.0 + second.duration_s; // replacement visible
+        let charged = s.settle_storage(v2 + 40.0, &sheet, &mut l);
+        // First incarnation lived v1→v2, the replacement v2→v2+40.
+        let expect = sheet.s3_storage_cost(1_000_000_000, v2 - v1)
+            + sheet.s3_storage_cost(1_000_000_000, 40.0);
+        assert!((charged - expect).abs() < 1e-12, "{charged} vs {expect}");
+        // And nothing double-bills afterwards.
+        assert_eq!(s.settle_storage(v2 + 40.0, &sheet, &mut l), 0.0);
+    }
+
+    #[test]
+    fn flaky_store_charges_fee_only_on_success() {
+        // Failed attempts burn latency but no fee (S3 does not bill 5xx):
+        // total fees must equal successful-op count × fee, attempts
+        // notwithstanding.
+        let mut s = ObjectStore::new(StoreKind::flaky_s3(0.5));
+        let sheet = PriceSheet::aws_2020();
+        let mut l = CostLedger::new();
+        let mut puts = 0u32;
+        let mut gets = 0u32;
+        let mut saw_retry = false;
+        let mut saw_retry_latency = false;
+        for i in 0..40 {
+            if let Ok(op) = s.put(format!("k{i}"), 1_000_000, 0.0, &sheet, &mut l) {
+                puts += 1;
+                assert_eq!(op.fee, sheet.s3_put_request);
+                if op.attempts > 1 {
+                    saw_retry = true;
+                    // Each failed attempt burned one request latency.
+                    let clean = s.transfer_time(1_000_000, 1);
+                    let expect = clean + f64::from(op.attempts - 1) * s.kind.request_latency_s;
+                    assert!((op.duration_s - expect).abs() < 1e-12);
+                    saw_retry_latency = true;
+                }
+                if let Ok(op) = s.get(&format!("k{i}"), &sheet, &mut l) {
+                    gets += 1;
+                    assert_eq!(op.fee, sheet.s3_get_request);
+                }
+            }
+        }
+        assert!(saw_retry && saw_retry_latency, "0.5 rate must retry");
+        let expect_fees =
+            f64::from(puts) * sheet.s3_put_request + f64::from(gets) * sheet.s3_get_request;
+        let fees = l.total_of(CostItem::StoragePut) + l.total_of(CostItem::StorageGet);
+        assert!(
+            (fees - expect_fees).abs() < 1e-12,
+            "fees {fees} vs {expect_fees} ({puts} puts, {gets} gets)"
+        );
     }
 
     #[test]

@@ -160,6 +160,9 @@ fn storage_round_trip_preserves_bytes() {
 
 #[test]
 fn settle_is_idempotent() {
+    // Settling twice at the same instant never double-bills; a later
+    // settle bills exactly the incremental interval, and the object stays
+    // live (settlement advances a watermark, it does not drain the store).
     let mut rng = SmallRng::seed_from_u64(7);
     for _ in 0..32 {
         let bytes = 1 + rng.below(100_000_000) as u64;
@@ -167,11 +170,17 @@ fn settle_is_idempotent() {
         let mut store = ampsinf_faas::ObjectStore::new(StoreKind::s3());
         let sheet = PriceSheet::aws_2020();
         let mut ledger = CostLedger::new();
-        store.put("k", bytes, 0.0, &sheet, &mut ledger).unwrap();
+        let op = store.put("k", bytes, 0.0, &sheet, &mut ledger).unwrap();
+        let visible = op.duration_s;
         let first = store.settle_storage(until, &sheet, &mut ledger);
-        let second = store.settle_storage(until + 100.0, &sheet, &mut ledger);
+        let again = store.settle_storage(until, &sheet, &mut ledger);
+        let later = store.settle_storage(until + 100.0, &sheet, &mut ledger);
         assert!(first >= 0.0);
-        assert_eq!(second, 0.0);
+        assert_eq!(again, 0.0);
+        let from = visible.max(until);
+        let expect = sheet.s3_storage_cost(bytes, (until + 100.0 - from).max(0.0));
+        assert!((later - expect).abs() < 1e-12, "{later} vs {expect}");
+        assert_eq!(store.size_of("k"), Some(bytes));
     }
 }
 

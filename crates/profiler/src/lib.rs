@@ -19,7 +19,7 @@
 #![warn(missing_docs)]
 
 use ampsinf_faas::perf::DurationBreakdown;
-use ampsinf_faas::platform::{InvokeError, Platform};
+use ampsinf_faas::platform::Platform;
 use ampsinf_faas::runtime::{PartitionWork, CODE_BYTES, DEPS_BYTES};
 use ampsinf_faas::{PerfModel, PriceSheet, Quotas, StoreKind, MB};
 use ampsinf_model::LayerGraph;
@@ -257,7 +257,7 @@ pub fn evaluate_segment(
     let invocation = work.invocation(input_key, output_key);
     let out = platform
         .invoke(fid, 0.0, &invocation)
-        .map_err(|e: InvokeError| EvalError::Invoke(e.to_string()))?;
+        .map_err(|e| EvalError::Invoke(e.to_string()))?;
     Ok(SegmentEval {
         duration_s: out.duration(),
         dollars: out.dollars,

@@ -62,7 +62,7 @@ fn main() {
         let coord = Coordinator::new(cfg.clone());
         let mut platform = coord.platform();
         let dep = coord.deploy(&mut platform, &model, &plan).unwrap();
-        let report = coord.serve_parallel(&mut platform, &dep, 10, 0.0).unwrap();
+        let report = coord.serve_parallel(&mut platform, &dep, 10, 0.0);
         let dollars = report.dollars + platform.settle_storage(report.completion_s);
         println!(
             "{:<14} {:>10.2} {:>12.5}",

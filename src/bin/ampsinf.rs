@@ -69,6 +69,7 @@ fn run(args: &[String]) -> i32 {
                 match Optimizer::new(cfg.clone()).optimize(&g) {
                     Ok(r) => {
                         println!("{}", r.plan);
+                        print_fault_plan(&cfg);
                         println!(
                             "searched {} cuts, {} MIQPs, {:?} ({} threads: eval {:?}, miqp {:?})",
                             r.cuts_considered,
@@ -109,6 +110,7 @@ fn run(args: &[String]) -> i32 {
                 match Optimizer::new(cfg.clone()).optimize(&g) {
                     Ok(r) => {
                         println!("{}", r.plan);
+                        print_fault_plan(&cfg);
                         let coord = Coordinator::new(cfg);
                         let mut platform = coord.platform();
                         let dep = match coord.deploy(&mut platform, &g, &r.plan) {
@@ -116,23 +118,33 @@ fn run(args: &[String]) -> i32 {
                             Err(e) => return fail(&format!("deploy: {e}")),
                         };
                         let (time, mut dollars) = if images == 1 {
-                            let job = coord
-                                .serve_one(&mut platform, &dep, 0.0, "cli")
-                                .expect("plan serves");
+                            let job = match coord.serve_one(&mut platform, &dep, 0.0, "cli") {
+                                Ok(j) => j,
+                                Err(e) => return fail(&format!("serve: {e}")),
+                            };
                             println!(
                                 "deploy {:.2}s  load {:.2}s  predict {:.2}s  chain {:.2}s",
                                 job.deploy_s, job.load_s, job.predict_s, job.inference_s
                             );
+                            print_reliability(
+                                job.retries.len(),
+                                0,
+                                job.wasted_s,
+                                job.wasted_dollars,
+                            );
                             (job.e2e_s, job.dollars)
-                        } else if parallel {
-                            let b = coord
-                                .serve_parallel(&mut platform, &dep, images, 0.0)
-                                .expect("batch serves");
-                            (b.e2e_s, b.dollars)
                         } else {
-                            let b = coord
-                                .serve_sequential(&mut platform, &dep, images, 0.0)
-                                .expect("batch serves");
+                            let b = if parallel {
+                                coord.serve_parallel(&mut platform, &dep, images, 0.0)
+                            } else {
+                                coord.serve_sequential(&mut platform, &dep, images, 0.0)
+                            };
+                            println!("batch: {} succeeded, {} failed", b.succeeded(), b.failed());
+                            for f in &b.failures {
+                                println!("  image {}: {}", f.image, f.error);
+                            }
+                            let retries: usize = b.jobs.iter().map(|j| j.retries.len()).sum();
+                            print_reliability(retries, b.failed(), b.wasted_s, b.wasted_dollars);
                             (b.e2e_s, b.dollars)
                         };
                         dollars += platform.settle_storage(time);
@@ -177,13 +189,47 @@ fn usage() {
            --quantize <bytes>   weight width 1..4 (plan only)\n\
            --json <path>        write the plan as JSON (plan only)\n\
            --images <n>         requests to serve (serve only)\n\
-           --parallel           serve images concurrently (serve only)"
+           --parallel           serve images concurrently (serve only)\n\
+         \n\
+         reliability options (plan/serve):\n\
+           --inject-faults <p>  inject crash/timeout/cold-start faults, each\n\
+                                with per-invocation probability p\n\
+           --fault-seed <n>     seed of the deterministic fault stream\n\
+           --flaky-store <p>    storage 5xx probability per request\n\
+           --retries <n>        per-partition retry budget (default 2)\n\
+           --backoff <s>        exponential-backoff base seconds (default 0.1)"
     );
 }
 
 fn fail(msg: &str) -> i32 {
     eprintln!("error: {msg}");
     1
+}
+
+/// Configured fault-injection summary (printed when injection is active).
+fn print_fault_plan(cfg: &AmpsConfig) {
+    if cfg.faults.enabled() {
+        println!(
+            "fault injection: crash {:.0}%, timeout {:.0}%, cold-start {:.0}% (seed {}); \
+             retry budget {}, backoff base {:.2}s",
+            cfg.faults.crash_rate * 100.0,
+            cfg.faults.timeout_rate * 100.0,
+            cfg.faults.cold_start_failure_rate * 100.0,
+            cfg.faults.seed,
+            cfg.invoke_retries,
+            cfg.backoff_base_s
+        );
+    }
+}
+
+/// Reliability summary line: what failures cost this run.
+fn print_reliability(retries: usize, failed: usize, wasted_s: f64, wasted_dollars: f64) {
+    if retries > 0 || failed > 0 || wasted_s > 0.0 {
+        println!(
+            "reliability: {retries} retried attempt(s), {failed} failed image(s), \
+             {wasted_s:.2}s and ${wasted_dollars:.6} wasted on failures"
+        );
+    }
 }
 
 /// `--verbose` companion block: solver-internals counters from the run.
@@ -239,6 +285,36 @@ fn parse_cfg(args: &[String]) -> Result<(AmpsConfig, Option<u64>, Option<String>
     }
     if args.iter().any(|a| a == "--quota-2021") {
         cfg = cfg.lambda_2021();
+    }
+    if let Some(v) = flag_value(args, "--retries") {
+        cfg.invoke_retries = v.parse().map_err(|_| format!("bad --retries value {v}"))?;
+    }
+    if let Some(v) = flag_value(args, "--backoff") {
+        cfg.backoff_base_s = v.parse().map_err(|_| format!("bad --backoff value {v}"))?;
+    }
+    let fault_seed: u64 = match flag_value(args, "--fault-seed") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --fault-seed value {v}"))?,
+        None => 0,
+    };
+    if let Some(v) = flag_value(args, "--inject-faults") {
+        let rate: f64 = v
+            .parse()
+            .map_err(|_| format!("bad --inject-faults value {v}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--inject-faults rate {v} must be in [0,1]"));
+        }
+        cfg.faults = FaultPlan::uniform(rate, fault_seed);
+    }
+    if let Some(v) = flag_value(args, "--flaky-store") {
+        let rate: f64 = v
+            .parse()
+            .map_err(|_| format!("bad --flaky-store value {v}"))?;
+        if !(0.0..1.0).contains(&rate) {
+            return Err(format!("--flaky-store rate {v} must be in [0,1)"));
+        }
+        cfg.store = StoreKind::flaky_s3(rate);
     }
     let quantize = match flag_value(args, "--quantize") {
         Some(v) => Some(v.parse().map_err(|_| format!("bad --quantize value {v}"))?),

@@ -55,8 +55,10 @@ pub use ampsinf_solver as solver;
 
 /// One-line imports for applications.
 pub mod prelude {
-    pub use ampsinf_core::{AmpsConfig, Coordinator, ExecutionPlan, Optimizer, PartitionPlan};
-    pub use ampsinf_faas::{PerfModel, Platform, PriceSheet, Quotas, StoreKind};
+    pub use ampsinf_core::{
+        AmpsConfig, BatchReport, Coordinator, ExecutionPlan, Optimizer, PartitionPlan, ServeError,
+    };
+    pub use ampsinf_faas::{FaultPlan, PerfModel, Platform, PriceSheet, Quotas, StoreKind};
     pub use ampsinf_model::{zoo, LayerGraph, LayerOp, TensorShape};
     pub use ampsinf_profiler::Profile;
 }

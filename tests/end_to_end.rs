@@ -167,9 +167,13 @@ fn storage_failure_injection() {
     let w1 = dep.works[1].invocation(Some("sab/b0".into()), None);
     let err = platform.invoke(dep.functions[1], o0.end, &w1).unwrap_err();
     assert!(matches!(
-        err,
+        err.reason,
         amps_inf::faas::platform::InvokeError::MissingInput(_)
     ));
+    // The doomed invocation still ran its cold phases — real Lambda bills
+    // that consumed time.
+    assert!(err.duration() > 0.0);
+    assert!(err.dollars > 0.0);
 }
 
 /// Transient storage failures: moderate flakiness is absorbed by client
@@ -199,8 +203,11 @@ fn flaky_storage_retries_then_fails_cleanly() {
     }
 
     // Extreme flakiness: 90% per request → retries exhaust quickly.
+    // Chain-level retries are disabled so the raw storage failure mode
+    // surfaces (with them on, the coordinator would just keep retrying).
     let cfg = AmpsConfig {
         store: StoreKind::flaky_s3(0.9),
+        invoke_retries: 0,
         ..Default::default()
     };
     let coord = Coordinator::new(cfg);
@@ -210,7 +217,9 @@ fn flaky_storage_retries_then_fails_cleanly() {
     for r in 0..5 {
         match coord.serve_one(&mut platform, &dep, r as f64 * 100.0, &format!("xk{r}")) {
             Ok(_) => {}
-            Err(InvokeError::StorageUnavailable(_)) => {
+            Err(e) if matches!(e.reason, InvokeError::StorageUnavailable(_)) => {
+                // Even the doomed request billed its consumed time.
+                assert!(e.dollars > 0.0);
                 saw_unavailable = true;
                 break;
             }
