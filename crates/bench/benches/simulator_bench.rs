@@ -1,12 +1,65 @@
 //! Simulator-substrate throughput: profiling, closed-form segment
-//! evaluation (the optimizer's inner loop), and full platform invocations.
+//! evaluation (the optimizer's inner loop), full platform invocations,
+//! and the sharded serving engine (`BENCH_serving.json`).
 
 use ampsinf_bench::harness::Bencher;
-use ampsinf_core::AmpsConfig;
+use ampsinf_core::{AmpsConfig, Coordinator, Optimizer};
 use ampsinf_faas::platform::Platform;
 use ampsinf_faas::runtime::whole_model;
+use ampsinf_faas::SmallRng;
 use ampsinf_model::zoo;
 use ampsinf_profiler::{quick_eval, Profile};
+
+/// The paper's multi-partition workhorse on the open-loop engine: same
+/// lane count for every variant, so the serial→8-thread ratio isolates
+/// pure execution parallelism (results are bit-identical by construction).
+fn bench_serving(b: &mut Bencher) {
+    let g = zoo::resnet50();
+    let base = AmpsConfig::default().with_serve_lanes(64);
+    let plan = Optimizer::new(base.clone()).optimize(&g).unwrap().plan;
+
+    const REQUESTS: usize = 100_000;
+    let mut rng = SmallRng::seed_from_u64(97);
+    let mut arrivals = Vec::with_capacity(REQUESTS);
+    let mut t = 0.0f64;
+    for _ in 0..REQUESTS {
+        t += -rng.next_f64_open().ln() / 100.0; // 100 rps Poisson
+        arrivals.push(t);
+    }
+
+    let mut dollars = Vec::new();
+    for threads in [1usize, 8] {
+        let coord = Coordinator::new(base.clone().with_serve_threads(threads));
+        b.bench(
+            &format!("open_loop/resnet50/100k/threads={threads}"),
+            3,
+            || {
+                let mut platform = coord.platform();
+                let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
+                let trace = coord.serve_trace(&mut platform, &dep, &arrivals);
+                dollars.push(trace.dollars.to_bits());
+                trace.last_completion_s
+            },
+        );
+    }
+    assert!(
+        dollars.windows(2).all(|w| w[0] == w[1]),
+        "thread counts disagreed on dollars"
+    );
+
+    // The key-interning / scratch-reuse win shows up serially: the same
+    // engine, single lane, no threads — pure hot-path allocation savings.
+    let seq_cfg = AmpsConfig::default();
+    let seq_plan = Optimizer::new(seq_cfg.clone()).optimize(&g).unwrap().plan;
+    let coord = Coordinator::new(seq_cfg);
+    b.bench("serve_sequential/resnet50/1k", 5, || {
+        let mut platform = coord.platform();
+        let dep = coord.deploy(&mut platform, &g, &seq_plan).unwrap();
+        coord
+            .serve_sequential(&mut platform, &dep, 1000, 0.0)
+            .dollars
+    });
+}
 
 fn main() {
     let mut b = Bencher::new();
@@ -46,5 +99,10 @@ fn main() {
     b.bench("zoo_build/resnet50", 20, zoo::resnet50);
     b.bench("zoo_build/inception_v3", 20, zoo::inception_v3);
 
+    bench_serving(&mut b);
+
+    // The recorded serving baseline lives at the repo root (same
+    // convention as BENCH_optimizer.json). Override with BENCH_BASELINE.
+    b.compare_with_baseline("../../BENCH_serving.json");
     b.write_json_if_requested();
 }

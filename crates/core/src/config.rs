@@ -62,6 +62,17 @@ pub struct AmpsConfig {
     /// failures). Disabled by default; with the default plan, runs are
     /// bit-identical to a platform without fault injection.
     pub faults: FaultPlan,
+    /// Warm-pool shards ("lanes") for the serving engine. This is a
+    /// **model** parameter: request `i` is pinned to lane `i % serve_lanes`
+    /// and only sees that lane's warm instances, so results depend on it
+    /// (more lanes = less warm sharing) but never on thread count. `1`
+    /// (the default) reproduces the single-pool serial engine exactly.
+    pub serve_lanes: usize,
+    /// Worker threads executing the serving lanes. This is an **execution**
+    /// parameter: every value, including the auto default `0`, produces
+    /// bit-identical reports — only wall-clock changes. Clamped to the
+    /// lane count (one lane never splits across threads).
+    pub serve_threads: usize,
 }
 
 impl Default for AmpsConfig {
@@ -83,6 +94,8 @@ impl Default for AmpsConfig {
             invoke_retries: 2,
             backoff_base_s: 0.1,
             faults: FaultPlan::none(),
+            serve_lanes: 1,
+            serve_threads: 0,
         }
     }
 }
@@ -131,6 +144,20 @@ impl AmpsConfig {
         self.faults = faults;
         self
     }
+
+    /// Config with an explicit warm-pool lane count (model parameter).
+    pub fn with_serve_lanes(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "at least one lane required");
+        self.serve_lanes = lanes;
+        self
+    }
+
+    /// Config with an explicit serving thread count (`0` = auto; never
+    /// changes results, only wall-clock).
+    pub fn with_serve_threads(mut self, threads: usize) -> Self {
+        self.serve_threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +196,15 @@ mod tests {
         assert_eq!(c.invoke_retries, 5);
         assert_eq!(c.backoff_base_s, 0.25);
         assert!(c.faults.enabled());
+    }
+
+    #[test]
+    fn serving_defaults_are_single_lane_auto_threads() {
+        let c = AmpsConfig::default();
+        assert_eq!(c.serve_lanes, 1);
+        assert_eq!(c.serve_threads, 0);
+        let c = c.with_serve_lanes(16).with_serve_threads(4);
+        assert_eq!(c.serve_lanes, 16);
+        assert_eq!(c.serve_threads, 4);
     }
 }

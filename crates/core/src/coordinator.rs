@@ -1,12 +1,29 @@
 //! The Coordinator component (paper §4): package each partition, deploy
 //! the lambdas, chain invocations through storage, return the prediction.
+//!
+//! # Sharded serving (DESIGN.md §6c)
+//!
+//! The batch/trace engines split the platform into
+//! [`AmpsConfig::serve_lanes`] warm-pool shards ("lanes"). Request `i` is
+//! pinned to lane `i % serve_lanes` and only ever sees that lane's warm
+//! instances — a would-be warm hit on another lane's container is simply a
+//! cold start on its own lane (the reconciliation rule: shards are
+//! disjoint by construction, so no cross-shard state ever needs merging
+//! mid-run). Worker threads claim whole lanes, which makes every report
+//! bit-identical at every thread count: the lane a request runs on, the
+//! per-request RNG streams ([`Platform::begin_request`]) and the merge
+//! order (requests in global index order, shards in lane order) are all
+//! functions of the request index alone.
 
 use crate::config::AmpsConfig;
 use crate::plan::ExecutionPlan;
-use ampsinf_faas::platform::{DeployError, FailedInvocation, FunctionId, InvokeError, Platform};
+use ampsinf_faas::platform::{
+    DeployError, FailedInvocation, FunctionId, InvocationWork, InvokeError, Platform,
+};
 use ampsinf_faas::runtime::PartitionWork;
-use ampsinf_faas::InvocationOutcome;
+use ampsinf_faas::{InvocationOutcome, ObjectKey};
 use ampsinf_model::LayerGraph;
+use std::fmt::Write as _;
 
 /// A deployed chain of partition lambdas.
 #[derive(Debug, Clone)]
@@ -139,6 +156,97 @@ impl BatchReport {
     }
 }
 
+/// Reusable per-request buffers for the serving hot path: the interned
+/// boundary keys and refillable [`InvocationWork`] values one request
+/// needs, allocated once per (lane, deployment) instead of once per
+/// request.
+#[derive(Debug, Clone)]
+pub struct ServeScratch {
+    works: Vec<InvocationWork>,
+    keys: Vec<ObjectKey>,
+    buf: String,
+    tag: String,
+}
+
+impl ServeScratch {
+    /// Scratch sized for `dep`'s chain length.
+    pub fn for_deployment(dep: &Deployment) -> Self {
+        ServeScratch {
+            works: vec![InvocationWork::default(); dep.functions.len()],
+            keys: Vec::with_capacity(dep.functions.len().saturating_sub(1)),
+            buf: String::new(),
+            tag: String::new(),
+        }
+    }
+
+    /// Interns this request's boundary keys (`{tag}/b{i}`) into
+    /// `platform`'s store and refills the per-partition work profiles in
+    /// place.
+    pub fn prepare(&mut self, platform: &mut Platform, dep: &Deployment, tag: &str) {
+        let k = dep.functions.len();
+        self.works.resize(k, InvocationWork::default());
+        self.keys.clear();
+        for i in 0..k.saturating_sub(1) {
+            self.buf.clear();
+            let _ = write!(self.buf, "{tag}/b{i}");
+            self.keys.push(platform.store.intern(&self.buf));
+        }
+        for i in 0..k {
+            let input = (i > 0).then(|| self.keys[i - 1]);
+            let output = (i + 1 < k).then(|| self.keys[i]);
+            dep.works[i].invocation_into(&mut self.works[i], input, output);
+        }
+    }
+}
+
+/// Scalar per-request result of [`Coordinator::serve_trace`] — everything
+/// the load generator aggregates, without the per-outcome detail of a
+/// [`JobReport`] (which would dominate allocation on 100k-request runs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSummary {
+    /// Request arrival time.
+    pub arrival_s: f64,
+    /// Arrival → prediction (success) or arrival → gave-up (failure).
+    pub latency_s: f64,
+    /// Dollars this request billed, failed attempts included.
+    pub dollars: f64,
+    /// Failed attempts that were retried.
+    pub retries: u32,
+    /// Wall-clock lost to failures (see [`JobReport::wasted_s`]).
+    pub wasted_s: f64,
+    /// Dollars lost to failures (part of `dollars`).
+    pub wasted_dollars: f64,
+    /// Whether the request produced a prediction.
+    pub ok: bool,
+}
+
+/// Result of serving an arrival trace through the sharded engine.
+///
+/// Bit-identical at every [`AmpsConfig::serve_threads`] setting; depends
+/// on [`AmpsConfig::serve_lanes`] (a model parameter) only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Per-request summaries, in arrival (request-index) order.
+    pub requests: Vec<RequestSummary>,
+    /// Total invocation dollars across all requests (settlement excluded).
+    pub dollars: f64,
+    /// At-rest storage settlement, billed at the last completion.
+    pub settled_dollars: f64,
+    /// Completion time of the last request (absolute, same clock as the
+    /// arrivals).
+    pub last_completion_s: f64,
+    /// Cold starts across all partitions and lanes.
+    pub cold_starts: usize,
+    /// Peak live container instances across partitions (lanes summed).
+    pub peak_instances: usize,
+    /// Requests that exhausted their retry budget.
+    pub failures: usize,
+}
+
+/// One lane's collection slot in [`Coordinator::run_lanes`]: its
+/// per-request results plus the shard platform, filled exactly once.
+type LaneSlot<R> = Option<(Vec<R>, Platform)>;
+
 /// The Coordinator: executes plans on a platform.
 #[derive(Debug, Clone)]
 pub struct Coordinator {
@@ -208,17 +316,31 @@ impl Coordinator {
         t0: f64,
         tag: &str,
     ) -> Result<JobReport, ServeError> {
+        let mut scratch = ServeScratch::for_deployment(dep);
+        scratch.prepare(platform, dep, tag);
+        self.serve_one_with(platform, dep, t0, &scratch)
+    }
+
+    /// [`serve_one`](Self::serve_one) over pre-interned keys and reused
+    /// work buffers — the allocation-free hot path of the batch engines.
+    /// `scratch` must have been [`prepare`](ServeScratch::prepare)d for
+    /// this request's tag on this platform.
+    pub fn serve_one_with(
+        &self,
+        platform: &mut Platform,
+        dep: &Deployment,
+        t0: f64,
+        scratch: &ServeScratch,
+    ) -> Result<JobReport, ServeError> {
         let k = dep.functions.len();
         let mut outcomes: Vec<InvocationOutcome> = Vec::with_capacity(k);
         let mut retries: Vec<RetryRecord> = Vec::new();
         let mut now = t0;
         for i in 0..k {
-            let input_key = (i > 0).then(|| format!("{tag}/b{}", i - 1));
-            let output_key = (i + 1 < k).then(|| format!("{tag}/b{i}"));
-            let work = dep.works[i].invocation(input_key, output_key);
+            let work = &scratch.works[i];
             let mut attempt: u32 = 0;
             let out = loop {
-                match platform.invoke(dep.functions[i], now, &work) {
+                match platform.invoke(dep.functions[i], now, work) {
                     Ok(out) => break out,
                     Err(failed) => {
                         attempt += 1;
@@ -290,6 +412,12 @@ impl Coordinator {
     /// start at `t0`; completion is the slowest chain. One dead image no
     /// longer poisons the batch — it degrades into
     /// [`BatchReport::failures`] while the rest complete.
+    ///
+    /// With [`AmpsConfig::serve_lanes`] > 1 the images run on disjoint
+    /// warm-pool shards (executed by up to [`AmpsConfig::serve_threads`]
+    /// workers) and the per-image results merge back in image order — the
+    /// report is bit-identical at every thread count. At the default
+    /// single lane the original serial engine runs unchanged.
     pub fn serve_parallel(
         &self,
         platform: &mut Platform,
@@ -297,17 +425,17 @@ impl Coordinator {
         images: usize,
         t0: f64,
     ) -> BatchReport {
-        let mut batch = BatchReport {
-            completion_s: 0.0,
-            e2e_s: dep.deploy_s,
-            dollars: 0.0,
-            jobs: Vec::with_capacity(images),
-            failures: Vec::new(),
-            wasted_s: 0.0,
-            wasted_dollars: 0.0,
-        };
+        if self.cfg.serve_lanes > 1 {
+            return self.serve_parallel_sharded(platform, dep, images, t0);
+        }
+        let mut batch = Self::empty_batch(dep, images);
+        let mut scratch = ServeScratch::for_deployment(dep);
+        let mut tag = String::new();
         for img in 0..images {
-            match self.serve_one(platform, dep, t0, &format!("img{img}")) {
+            tag.clear();
+            let _ = write!(tag, "img{img}");
+            scratch.prepare(platform, dep, &tag);
+            match self.serve_one_with(platform, dep, t0, &scratch) {
                 Ok(r) => {
                     batch.completion_s = batch.completion_s.max(r.inference_s);
                     Self::absorb_job(&mut batch, r);
@@ -317,6 +445,42 @@ impl Coordinator {
                     Self::absorb_failure(&mut batch, img, e);
                 }
             }
+        }
+        batch.e2e_s = dep.deploy_s + batch.completion_s;
+        batch
+    }
+
+    fn serve_parallel_sharded(
+        &self,
+        platform: &mut Platform,
+        dep: &Deployment,
+        images: usize,
+        t0: f64,
+    ) -> BatchReport {
+        let starts = vec![t0; images];
+        let (results, shards) = self.run_lanes(platform, dep, &starts, |p, scratch, idx, start| {
+            let mut tag = std::mem::take(&mut scratch.tag);
+            tag.clear();
+            let _ = write!(tag, "img{idx}");
+            scratch.prepare(p, dep, &tag);
+            scratch.tag = tag;
+            self.serve_one_with(p, dep, start, scratch)
+        });
+        let mut batch = Self::empty_batch(dep, images);
+        for (img, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(r) => {
+                    batch.completion_s = batch.completion_s.max(r.inference_s);
+                    Self::absorb_job(&mut batch, r);
+                }
+                Err(e) => {
+                    batch.completion_s = batch.completion_s.max(e.elapsed_s);
+                    Self::absorb_failure(&mut batch, img, e);
+                }
+            }
+        }
+        for shard in shards {
+            platform.absorb_shard(shard);
         }
         batch.e2e_s = dep.deploy_s + batch.completion_s;
         batch
@@ -333,18 +497,15 @@ impl Coordinator {
         images: usize,
         t0: f64,
     ) -> BatchReport {
-        let mut batch = BatchReport {
-            completion_s: 0.0,
-            e2e_s: dep.deploy_s,
-            dollars: 0.0,
-            jobs: Vec::with_capacity(images),
-            failures: Vec::new(),
-            wasted_s: 0.0,
-            wasted_dollars: 0.0,
-        };
+        let mut batch = Self::empty_batch(dep, images);
+        let mut scratch = ServeScratch::for_deployment(dep);
+        let mut tag = String::new();
         let mut now = t0;
         for img in 0..images {
-            match self.serve_one(platform, dep, now, &format!("img{img}")) {
+            tag.clear();
+            let _ = write!(tag, "img{img}");
+            scratch.prepare(platform, dep, &tag);
+            match self.serve_one_with(platform, dep, now, &scratch) {
                 Ok(r) => {
                     now += r.inference_s;
                     Self::absorb_job(&mut batch, r);
@@ -358,6 +519,221 @@ impl Coordinator {
         batch.completion_s = now - t0;
         batch.e2e_s = dep.deploy_s + batch.completion_s;
         batch
+    }
+
+    /// Serves an arrival trace (one request per entry of `arrivals`, in
+    /// seconds on the platform clock) through the sharded engine and
+    /// returns scalar per-request summaries — the open-loop load path.
+    ///
+    /// Requests never abort the run: one that exhausts its retry budget is
+    /// recorded (`ok == false`, counted in [`TraceReport::failures`]) and
+    /// the trace keeps serving. Storage is settled at the global last
+    /// completion, per lane in lane order, so the settlement is
+    /// deterministic and thread-count-independent too.
+    pub fn serve_trace(
+        &self,
+        platform: &mut Platform,
+        dep: &Deployment,
+        arrivals: &[f64],
+    ) -> TraceReport {
+        let (requests, shards) = self.run_lanes(platform, dep, arrivals, |p, scratch, idx, t0| {
+            let mut tag = std::mem::take(&mut scratch.tag);
+            tag.clear();
+            let _ = write!(tag, "req{idx}");
+            scratch.prepare(p, dep, &tag);
+            scratch.tag = tag;
+            self.serve_lite(p, dep, t0, scratch)
+        });
+        let mut dollars = 0.0f64;
+        let mut last_completion = 0.0f64;
+        let mut failures = 0usize;
+        for r in &requests {
+            dollars += r.dollars;
+            last_completion = last_completion.max(r.arrival_s + r.latency_s);
+            failures += usize::from(!r.ok);
+        }
+        let mut settled = platform.settle_storage(last_completion);
+        let mut shards = shards;
+        for shard in &mut shards {
+            settled += shard.settle_storage(last_completion);
+        }
+        for shard in shards {
+            platform.absorb_shard(shard);
+        }
+        let cold_starts = dep.functions.iter().map(|&f| platform.cold_starts(f)).sum();
+        let peak_instances = dep
+            .functions
+            .iter()
+            .map(|&f| platform.instance_count(f))
+            .max()
+            .unwrap_or(0);
+        TraceReport {
+            requests,
+            dollars,
+            settled_dollars: settled,
+            last_completion_s: last_completion,
+            cold_starts,
+            peak_instances,
+            failures,
+        }
+    }
+
+    /// [`serve_one_with`](Self::serve_one_with) reduced to the scalars a
+    /// [`RequestSummary`] carries: same invoke/retry/backoff loop and the
+    /// same accounting, but no per-outcome or per-retry allocation.
+    fn serve_lite(
+        &self,
+        platform: &mut Platform,
+        dep: &Deployment,
+        t0: f64,
+        scratch: &ServeScratch,
+    ) -> RequestSummary {
+        let k = dep.functions.len();
+        let mut now = t0;
+        let mut dollars = 0.0f64;
+        let mut retry_dollars = 0.0f64;
+        let mut retry_s = 0.0f64;
+        let mut stall_s = 0.0f64;
+        let mut stall_dollars = 0.0f64;
+        let mut n_retries: u32 = 0;
+        for i in 0..k {
+            let mut attempt: u32 = 0;
+            let out = loop {
+                match platform.invoke(dep.functions[i], now, &scratch.works[i]) {
+                    Ok(out) => break out,
+                    Err(failed) => {
+                        attempt += 1;
+                        if attempt > self.cfg.invoke_retries || !failed.reason.is_transient() {
+                            // Mirror `absorb_failure`: the doomed request's
+                            // whole spend and elapsed time produced nothing.
+                            let spent = dollars + retry_dollars + failed.dollars;
+                            return RequestSummary {
+                                arrival_s: t0,
+                                latency_s: failed.end - t0,
+                                dollars: spent,
+                                retries: n_retries,
+                                wasted_s: failed.end - t0,
+                                wasted_dollars: spent,
+                                ok: false,
+                            };
+                        }
+                        let backoff_s = self.cfg.backoff_base_s * 2f64.powi(attempt as i32 - 1);
+                        now = failed.end + backoff_s;
+                        n_retries += 1;
+                        retry_dollars += failed.dollars;
+                        retry_s += failed.duration() + backoff_s;
+                    }
+                }
+            };
+            now = out.end;
+            dollars += out.dollars;
+            stall_s += out.storage_retry_s;
+            if out.storage_retry_s > 0.0 {
+                let mem = platform.spec(dep.functions[i]).map_or(0, |s| s.memory_mb);
+                stall_dollars += self
+                    .cfg
+                    .prices
+                    .lambda_compute_cost(out.storage_retry_s, mem);
+            }
+        }
+        RequestSummary {
+            arrival_s: t0,
+            latency_s: now - t0,
+            dollars: dollars + retry_dollars,
+            retries: n_retries,
+            wasted_s: retry_s + stall_s,
+            wasted_dollars: retry_dollars + stall_dollars,
+            ok: true,
+        }
+    }
+
+    /// Runs `f` once per request across [`AmpsConfig::serve_lanes`]
+    /// warm-pool shards, executed by up to [`AmpsConfig::serve_threads`]
+    /// workers (0 = auto), and merges deterministically: per-request
+    /// results in global index order, shard platforms in lane order.
+    /// See [`LaneSlot`] for the per-lane collection slot.
+    ///
+    /// Thread-count invariance holds by construction: request `i` always
+    /// runs on lane `i % lanes` (with [`Platform::begin_request`] keying
+    /// its RNG streams), lanes never split across workers, and workers
+    /// only race for *which lane to run next*, never for state inside one.
+    fn run_lanes<R, F>(
+        &self,
+        base: &Platform,
+        dep: &Deployment,
+        starts: &[f64],
+        f: F,
+    ) -> (Vec<R>, Vec<Platform>)
+    where
+        R: Send,
+        F: Fn(&mut Platform, &mut ServeScratch, usize, f64) -> R + Sync,
+    {
+        let n = starts.len();
+        let lanes = self.cfg.serve_lanes.max(1).min(n.max(1));
+        let workers = match self.cfg.serve_threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        }
+        .clamp(1, lanes);
+        let run_lane = |lane: usize| {
+            let mut p = base.fork_empty();
+            let mut scratch = ServeScratch::for_deployment(dep);
+            let mut out = Vec::with_capacity(n / lanes + 1);
+            let mut idx = lane;
+            while idx < n {
+                p.begin_request(idx as u64);
+                out.push(f(&mut p, &mut scratch, idx, starts[idx]));
+                idx += lanes;
+            }
+            (out, p)
+        };
+        let lane_results: Vec<(Vec<R>, Platform)> = if workers == 1 {
+            (0..lanes).map(run_lane).collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: std::sync::Mutex<Vec<LaneSlot<R>>> =
+                std::sync::Mutex::new((0..lanes).map(|_| None).collect());
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let lane = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if lane >= lanes {
+                            break;
+                        }
+                        let done = run_lane(lane);
+                        slots.lock().unwrap()[lane] = Some(done);
+                    });
+                }
+            });
+            slots
+                .into_inner()
+                .unwrap()
+                .into_iter()
+                .map(|slot| slot.expect("every lane ran"))
+                .collect()
+        };
+        let mut platforms = Vec::with_capacity(lanes);
+        let mut iters = Vec::with_capacity(lanes);
+        for (out, p) in lane_results {
+            iters.push(out.into_iter());
+            platforms.push(p);
+        }
+        let merged = (0..n)
+            .map(|idx| iters[idx % lanes].next().expect("lane result"))
+            .collect();
+        (merged, platforms)
+    }
+
+    fn empty_batch(dep: &Deployment, images: usize) -> BatchReport {
+        BatchReport {
+            completion_s: 0.0,
+            e2e_s: dep.deploy_s,
+            dollars: 0.0,
+            jobs: Vec::with_capacity(images),
+            failures: Vec::new(),
+            wasted_s: 0.0,
+            wasted_dollars: 0.0,
+        }
     }
 
     fn absorb_job(batch: &mut BatchReport, job: JobReport) {

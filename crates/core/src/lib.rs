@@ -35,7 +35,10 @@ pub mod plan;
 pub mod trace;
 
 pub use config::AmpsConfig;
-pub use coordinator::{BatchFailure, BatchReport, Coordinator, JobReport, RetryRecord, ServeError};
+pub use coordinator::{
+    BatchFailure, BatchReport, Coordinator, JobReport, RequestSummary, RetryRecord, ServeError,
+    ServeScratch, TraceReport,
+};
 pub use optimizer::{OptimizeError, Optimizer};
 pub use plan::{ExecutionPlan, PartitionPlan};
 pub use trace::Timeline;

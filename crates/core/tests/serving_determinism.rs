@@ -1,0 +1,242 @@
+//! The sharded serving engine's core guarantee (DESIGN.md §6c): every
+//! report is **bit-identical** at every `serve_threads` setting — with and
+//! without fault injection, with and without a flaky store. Threads are an
+//! execution parameter; only `serve_lanes` (the warm-pool sharding) is a
+//! model parameter.
+
+use ampsinf_core::{AmpsConfig, BatchReport, Coordinator, Optimizer, TraceReport};
+use ampsinf_faas::{FaultPlan, StoreKind};
+use ampsinf_model::zoo;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn plan_cfg() -> (
+    ampsinf_model::LayerGraph,
+    ampsinf_core::ExecutionPlan,
+    AmpsConfig,
+) {
+    let g = zoo::mobilenet_v1();
+    let cfg = AmpsConfig::default();
+    let plan = Optimizer::new(cfg.clone()).optimize(&g).unwrap().plan;
+    (g, plan, cfg)
+}
+
+/// Runs `serve_parallel` and returns the report plus the merged platform's
+/// own books (ledger total after settlement, invocation count, cold
+/// starts) — the merge must agree at every thread count too.
+fn run_batch(
+    cfg: &AmpsConfig,
+    g: &ampsinf_model::LayerGraph,
+    plan: &ampsinf_core::ExecutionPlan,
+    images: usize,
+) -> (BatchReport, u64, u64, usize) {
+    let coord = Coordinator::new(cfg.clone());
+    let mut platform = coord.platform();
+    let dep = coord.deploy(&mut platform, g, plan).unwrap();
+    let batch = coord.serve_parallel(&mut platform, &dep, images, 0.0);
+    platform.settle_storage(batch.completion_s + 500.0);
+    let cold: usize = dep.functions.iter().map(|&f| platform.cold_starts(f)).sum();
+    (
+        batch,
+        platform.total_cost().to_bits(),
+        platform.invocation_count(),
+        cold,
+    )
+}
+
+fn run_trace(
+    cfg: &AmpsConfig,
+    g: &ampsinf_model::LayerGraph,
+    plan: &ampsinf_core::ExecutionPlan,
+    arrivals: &[f64],
+) -> (TraceReport, u64, u64) {
+    let coord = Coordinator::new(cfg.clone());
+    let mut platform = coord.platform();
+    let dep = coord.deploy(&mut platform, g, plan).unwrap();
+    let trace = coord.serve_trace(&mut platform, &dep, arrivals);
+    (
+        trace,
+        platform.total_cost().to_bits(),
+        platform.invocation_count(),
+    )
+}
+
+fn assert_batches_bit_identical(a: &BatchReport, b: &BatchReport) {
+    assert_eq!(a.completion_s.to_bits(), b.completion_s.to_bits());
+    assert_eq!(a.dollars.to_bits(), b.dollars.to_bits());
+    assert_eq!(a.wasted_s.to_bits(), b.wasted_s.to_bits());
+    assert_eq!(a.wasted_dollars.to_bits(), b.wasted_dollars.to_bits());
+    assert_eq!(a.jobs.len(), b.jobs.len());
+    for (x, y) in a.jobs.iter().zip(&b.jobs) {
+        assert_eq!(x.inference_s.to_bits(), y.inference_s.to_bits());
+        assert_eq!(x.dollars.to_bits(), y.dollars.to_bits());
+        assert_eq!(x.wasted_s.to_bits(), y.wasted_s.to_bits());
+        assert_eq!(x.retries.len(), y.retries.len());
+        for (r, s) in x.retries.iter().zip(&y.retries) {
+            assert_eq!(r.lambda, s.lambda);
+            assert_eq!(r.backoff_s.to_bits(), s.backoff_s.to_bits());
+            assert_eq!(r.failed.start.to_bits(), s.failed.start.to_bits());
+            assert_eq!(r.failed.end.to_bits(), s.failed.end.to_bits());
+            assert_eq!(r.failed.dollars.to_bits(), s.failed.dollars.to_bits());
+        }
+    }
+    assert_eq!(a.failures.len(), b.failures.len());
+    for (x, y) in a.failures.iter().zip(&b.failures) {
+        assert_eq!(x.image, y.image);
+        assert_eq!(x.error.lambda, y.error.lambda);
+        assert_eq!(x.error.attempts, y.error.attempts);
+        assert_eq!(x.error.elapsed_s.to_bits(), y.error.elapsed_s.to_bits());
+        assert_eq!(x.error.dollars.to_bits(), y.error.dollars.to_bits());
+    }
+}
+
+fn assert_traces_bit_identical(a: &TraceReport, b: &TraceReport) {
+    assert_eq!(a.dollars.to_bits(), b.dollars.to_bits());
+    assert_eq!(a.settled_dollars.to_bits(), b.settled_dollars.to_bits());
+    assert_eq!(a.last_completion_s.to_bits(), b.last_completion_s.to_bits());
+    assert_eq!(a.cold_starts, b.cold_starts);
+    assert_eq!(a.peak_instances, b.peak_instances);
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(a.requests.len(), b.requests.len());
+    for (x, y) in a.requests.iter().zip(&b.requests) {
+        assert_eq!(x.latency_s.to_bits(), y.latency_s.to_bits());
+        assert_eq!(x.dollars.to_bits(), y.dollars.to_bits());
+        assert_eq!(x.wasted_s.to_bits(), y.wasted_s.to_bits());
+        assert_eq!(x.retries, y.retries);
+        assert_eq!(x.ok, y.ok);
+    }
+}
+
+#[test]
+fn batch_report_bit_identical_across_thread_counts() {
+    let (g, plan, cfg) = plan_cfg();
+    let cfg = cfg.with_serve_lanes(4);
+    let baseline = run_batch(&cfg.clone().with_serve_threads(THREADS[0]), &g, &plan, 12);
+    assert_eq!(baseline.0.succeeded(), 12);
+    for t in &THREADS[1..] {
+        let other = run_batch(&cfg.clone().with_serve_threads(*t), &g, &plan, 12);
+        assert_batches_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+        assert_eq!(baseline.2, other.2, "invocations at {t} threads");
+        assert_eq!(baseline.3, other.3, "cold starts at {t} threads");
+    }
+}
+
+#[test]
+fn batch_report_bit_identical_under_faults() {
+    let (g, plan, cfg) = plan_cfg();
+    let cfg = cfg
+        .with_serve_lanes(4)
+        .with_retries(3)
+        .with_faults(FaultPlan::uniform(0.25, 17));
+    let baseline = run_batch(&cfg.clone().with_serve_threads(THREADS[0]), &g, &plan, 16);
+    // The fault plan must actually bite for the test to mean anything.
+    let disturbed =
+        baseline.0.jobs.iter().any(|j| !j.retries.is_empty()) || !baseline.0.failures.is_empty();
+    assert!(disturbed, "fault plan injected nothing");
+    for t in &THREADS[1..] {
+        let other = run_batch(&cfg.clone().with_serve_threads(*t), &g, &plan, 16);
+        assert_batches_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+    }
+}
+
+#[test]
+fn targeted_crash_hits_the_same_image_at_every_thread_count() {
+    // In sharded mode `crash_invocations` addresses (request << 32) +
+    // attempt: image 5's first invocation crashes, nothing else does.
+    let (g, plan, cfg) = plan_cfg();
+    let cfg = cfg.with_serve_lanes(3).with_faults(FaultPlan {
+        crash_invocations: vec![5 << 32],
+        ..FaultPlan::default()
+    });
+    for t in THREADS {
+        let (batch, ..) = run_batch(&cfg.clone().with_serve_threads(t), &g, &plan, 9);
+        assert_eq!(batch.succeeded(), 9, "retry must recover the image");
+        for (img, job) in batch.jobs.iter().enumerate() {
+            assert_eq!(
+                job.retries.len(),
+                usize::from(img == 5),
+                "only image 5 retries (got a retry on image {img}, {t} threads)"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_report_bit_identical_across_thread_counts() {
+    let (g, plan, cfg) = plan_cfg();
+    let cfg = cfg.with_serve_lanes(8);
+    // A mixed trace: an initial burst, then a trickle.
+    let arrivals: Vec<f64> = (0..24)
+        .map(|i| {
+            if i < 8 {
+                0.1 * i as f64
+            } else {
+                30.0 * i as f64
+            }
+        })
+        .collect();
+    let baseline = run_trace(
+        &cfg.clone().with_serve_threads(THREADS[0]),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    assert_eq!(baseline.0.requests.len(), 24);
+    assert_eq!(baseline.0.failures, 0);
+    for t in &THREADS[1..] {
+        let other = run_trace(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
+        assert_traces_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+        assert_eq!(baseline.2, other.2, "invocations at {t} threads");
+    }
+}
+
+#[test]
+fn trace_report_bit_identical_under_faults_and_flaky_store() {
+    let (g, plan, mut cfg) = plan_cfg();
+    cfg.store = StoreKind::flaky_s3(0.3);
+    let cfg = cfg
+        .with_serve_lanes(4)
+        .with_retries(2)
+        .with_faults(FaultPlan::uniform(0.2, 31));
+    let arrivals: Vec<f64> = (0..20).map(|i| 2.0 * i as f64).collect();
+    let baseline = run_trace(
+        &cfg.clone().with_serve_threads(THREADS[0]),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    let disturbed = baseline.0.failures > 0 || baseline.0.requests.iter().any(|r| r.retries > 0);
+    assert!(disturbed, "faults injected nothing");
+    for t in &THREADS[1..] {
+        let other = run_trace(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
+        assert_traces_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+    }
+}
+
+#[test]
+fn auto_thread_default_matches_explicit_counts() {
+    // serve_threads = 0 (auto) is the default everyone actually runs.
+    let (g, plan, cfg) = plan_cfg();
+    let cfg = cfg.with_serve_lanes(4);
+    let auto = run_batch(&cfg.clone().with_serve_threads(0), &g, &plan, 8);
+    let one = run_batch(&cfg.clone().with_serve_threads(1), &g, &plan, 8);
+    assert_batches_bit_identical(&auto.0, &one.0);
+    assert_eq!(auto.1, one.1);
+}
+
+#[test]
+fn lanes_are_a_model_parameter_threads_are_not() {
+    // Changing lanes may change results (less warm sharing); changing
+    // threads never does. Pin both directions so nobody conflates them.
+    let (g, plan, cfg) = plan_cfg();
+    let one_lane = run_batch(&cfg.clone().with_serve_lanes(1), &g, &plan, 6);
+    let six_lanes = run_batch(&cfg.clone().with_serve_lanes(6), &g, &plan, 6);
+    // Six images on six lanes: nobody shares a warm pool, so every chain
+    // cold-starts; one lane serves the legacy single-pool behaviour.
+    assert!(six_lanes.3 >= one_lane.3);
+    assert_eq!(six_lanes.0.jobs.len(), 6);
+}

@@ -98,6 +98,16 @@ impl FaultInjector {
         &self.plan
     }
 
+    /// Re-keys the draw stream to substream `stream` of the plan's seed.
+    /// The sharded serving engine calls this once per request (keyed by
+    /// request index), making fault draws a function of `(seed, request)`
+    /// alone — independent of how many draws other requests consumed on
+    /// other shards. Disabled plans never draw, so re-keying them is
+    /// behaviorally inert.
+    pub fn begin_stream(&mut self, stream: u64) {
+        self.rng = SmallRng::seed_from_stream(self.plan.seed, stream);
+    }
+
     /// Decides the fate of invocation `seq` (platform-global sequence
     /// number); `cold` says whether this invocation would cold-start.
     /// Disabled plans never touch the rng.
@@ -182,6 +192,26 @@ mod tests {
             assert_eq!(inj.draw(seq, false), None);
             assert_eq!(inj.draw(seq, true), Some(FaultKind::ColdStartFailure));
         }
+    }
+
+    #[test]
+    fn begin_stream_isolates_request_draw_streams() {
+        let plan = FaultPlan::uniform(0.3, 11);
+        // Request 5's draws must not depend on how much of request 4's
+        // stream was consumed first.
+        let mut a = FaultInjector::new(plan.clone());
+        a.begin_stream(4);
+        for seq in 0..7 {
+            a.draw(seq, true);
+        }
+        a.begin_stream(5);
+        let fate_a: Vec<_> = (0..4).map(|seq| a.draw(seq, true)).collect();
+        let mut b = FaultInjector::new(plan);
+        b.begin_stream(4);
+        b.draw(0, true); // shorter consumption of stream 4
+        b.begin_stream(5);
+        let fate_b: Vec<_> = (0..4).map(|seq| b.draw(seq, true)).collect();
+        assert_eq!(fate_a, fate_b);
     }
 
     #[test]

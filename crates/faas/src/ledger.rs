@@ -24,6 +24,57 @@ pub enum CostItem {
     DataTransfer,
 }
 
+/// Attribution of a ledger line. The hot serving path charges millions of
+/// entries per load run, so the common attributions (interned object keys,
+/// deployed-function ids, static labels) are stored without allocating;
+/// free-form text remains available for cold paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Note {
+    /// A static attribution label.
+    Label(&'static str),
+    /// Free-form attribution text (cold paths only).
+    Text(String),
+    /// A storage object, by its interned key.
+    Object(crate::storage::ObjectKey),
+    /// A deployed function, by id.
+    Function(crate::platform::FunctionId),
+}
+
+impl std::fmt::Display for Note {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Note::Label(s) => f.write_str(s),
+            Note::Text(s) => f.write_str(s),
+            Note::Object(k) => write!(f, "object#{}", k.index()),
+            Note::Function(id) => write!(f, "fn#{}", id.0),
+        }
+    }
+}
+
+impl From<&'static str> for Note {
+    fn from(s: &'static str) -> Self {
+        Note::Label(s)
+    }
+}
+
+impl From<String> for Note {
+    fn from(s: String) -> Self {
+        Note::Text(s)
+    }
+}
+
+impl From<crate::storage::ObjectKey> for Note {
+    fn from(k: crate::storage::ObjectKey) -> Self {
+        Note::Object(k)
+    }
+}
+
+impl From<crate::platform::FunctionId> for Note {
+    fn from(id: crate::platform::FunctionId) -> Self {
+        Note::Function(id)
+    }
+}
+
 /// One ledger line.
 #[derive(Debug, Clone)]
 pub struct CostEntry {
@@ -31,8 +82,8 @@ pub struct CostEntry {
     pub item: CostItem,
     /// Dollars.
     pub dollars: f64,
-    /// Free-form attribution (function name, object key, …).
-    pub note: String,
+    /// Attribution (function, object key, free text).
+    pub note: Note,
 }
 
 /// Append-only cost ledger.
@@ -48,7 +99,7 @@ impl CostLedger {
     }
 
     /// Records a charge.
-    pub fn charge(&mut self, item: CostItem, dollars: f64, note: impl Into<String>) {
+    pub fn charge(&mut self, item: CostItem, dollars: f64, note: impl Into<Note>) {
         debug_assert!(dollars >= 0.0, "negative charge");
         self.entries.push(CostEntry {
             item,

@@ -69,7 +69,7 @@ pub mod storage;
 pub mod vm;
 
 pub use fault::{FaultKind, FaultPlan};
-pub use ledger::{CostItem, CostLedger};
+pub use ledger::{CostItem, CostLedger, Note};
 pub use perf::{LambdaPerf, PerfModel};
 pub use platform::{
     DeployError, FailedInvocation, FunctionId, FunctionSpec, InvocationOutcome, InvocationWork,
@@ -80,7 +80,7 @@ pub use quotas::Quotas;
 pub use rng::SmallRng;
 pub use runtime::{PartitionWork, WorkPhases};
 pub use stepfn::{StepExecution, StepFunction, StepState};
-pub use storage::{ObjectStore, StoreKind};
+pub use storage::{ObjectKey, ObjectStore, StoreKind};
 pub use vm::{VmInstance, VmType};
 
 /// Mebibyte in bytes.

@@ -8,7 +8,7 @@ use crate::ledger::{CostItem, CostLedger};
 use crate::perf::{DurationBreakdown, LambdaPerf, PerfModel};
 use crate::pricing::PriceSheet;
 use crate::quotas::Quotas;
-use crate::storage::{ObjectStore, StoreKind};
+use crate::storage::{ObjectKey, ObjectStore, StoreKind};
 use crate::MB;
 
 /// Handle to a deployed function.
@@ -219,7 +219,7 @@ impl From<FailedInvocation> for InvokeError {
 }
 
 /// Work performed by one invocation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct InvocationWork {
     /// Weight bytes to deserialize on (cold) start.
     pub load_bytes: u64,
@@ -230,10 +230,11 @@ pub struct InvocationWork {
     pub resident_bytes: u64,
     /// `/tmp` bytes used (weight files + previous partition's output).
     pub tmp_bytes: u64,
-    /// Input object keys read from storage before compute.
-    pub reads: Vec<String>,
+    /// Input object keys read from storage before compute (interned in
+    /// the platform's store — no per-invocation string building).
+    pub reads: Vec<ObjectKey>,
     /// Output objects written after compute: `(key, bytes)`.
-    pub writes: Vec<(String, u64)>,
+    pub writes: Vec<(ObjectKey, u64)>,
 }
 
 /// Result of a successful invocation.
@@ -268,13 +269,28 @@ impl InvocationOutcome {
 #[derive(Debug, Clone)]
 struct DeployedFunction {
     spec: FunctionSpec,
-    /// Warm container pool: `busy_until` per live instance. Lambda scales
+    /// Warm container pool: `busy_until` per live instance, kept sorted
+    /// ascending (a free-list ordered by idle-since time). Lambda scales
     /// out under concurrency — a request arriving while all instances are
     /// busy gets a fresh (cold) instance; an idle instance within the
-    /// keep-alive window is reused warm.
+    /// keep-alive window is reused warm. The sort order makes warm-slot
+    /// selection a binary search instead of a linear scan: the candidate
+    /// is always the largest `busy_until` ≤ the request start.
     instances: Vec<f64>,
     /// Total cold starts observed (metrics).
     cold_starts: usize,
+}
+
+impl DeployedFunction {
+    /// Returns a sandbox to the pool at `busy_until`, preserving the sort;
+    /// a fresh (cold) sandbox also counts toward `cold_starts`.
+    fn pool_insert(&mut self, busy_until: f64, warm: bool) {
+        let at = self.instances.partition_point(|&b| b <= busy_until);
+        self.instances.insert(at, busy_until);
+        if !warm {
+            self.cold_starts += 1;
+        }
+    }
 }
 
 /// Container keep-alive window for warm starts, seconds.
@@ -298,6 +314,13 @@ pub struct Platform {
     faults: FaultInjector,
     /// Platform-global invocation counter (fault targeting, metrics).
     invocations: u64,
+    /// When set, the next invocation's fault-targeting sequence number
+    /// comes from here (incrementing) instead of from `invocations`. Set
+    /// by [`Platform::begin_request`] so sharded serving can target
+    /// `crash_invocations` by `(request_index << 32) + attempt` regardless
+    /// of shard interleaving; `None` (the default) keeps the legacy
+    /// platform-global numbering.
+    seq_override: Option<u64>,
 }
 
 impl Platform {
@@ -322,7 +345,76 @@ impl Platform {
             functions: Vec::new(),
             faults: FaultInjector::new(FaultPlan::none()),
             invocations: 0,
+            seq_override: None,
         }
+    }
+
+    /// Marks the start of one served request with global index
+    /// `request_index`, re-keying every per-request randomness source to
+    /// that index: the fault-injector stream, the storage failure stream,
+    /// and the fault-targeting sequence base (`request_index << 32`, so
+    /// [`FaultPlan::crash_invocations`] targets
+    /// `(request_index << 32) + attempt` in this mode). After this call,
+    /// the request's draws depend only on `(seed, request_index)` — never
+    /// on how many draws other requests consumed — which is what lets
+    /// sharded serving produce bit-identical results at any thread count.
+    ///
+    /// With fault injection disabled and a non-flaky store (the defaults),
+    /// nothing ever draws, so this call is behaviorally inert. Serial
+    /// paths that never call it keep the legacy platform-global stream and
+    /// sequence numbering.
+    pub fn begin_request(&mut self, request_index: u64) {
+        self.seq_override = Some(request_index << 32);
+        self.faults.begin_stream(request_index);
+        self.store.set_stream(request_index);
+    }
+
+    /// Forks an empty shard of this platform: same quotas, prices,
+    /// performance law, fault plan, and deployed functions — but fresh
+    /// (empty) warm pools, ledger, store, and counters. Shards simulate
+    /// disjoint request slices and are merged back with
+    /// [`Platform::absorb_shard`].
+    pub fn fork_empty(&self) -> Platform {
+        Platform {
+            quotas: self.quotas,
+            prices: self.prices,
+            perf: self.perf,
+            store: ObjectStore::new(self.store.kind),
+            ledger: CostLedger::new(),
+            functions: self
+                .functions
+                .iter()
+                .map(|f| DeployedFunction {
+                    spec: f.spec.clone(),
+                    instances: Vec::new(),
+                    cold_starts: 0,
+                })
+                .collect(),
+            faults: FaultInjector::new(self.faults.plan().clone()),
+            invocations: 0,
+            seq_override: None,
+        }
+    }
+
+    /// Merges a shard produced by [`Platform::fork_empty`] back into this
+    /// platform: warm pools concatenate (re-sorted), cold-start and
+    /// invocation counters add, ledgers append, and stores merge by
+    /// re-interning (see [`ObjectStore::absorb`]). Absorbing shards in a
+    /// fixed order yields a deterministic merged state.
+    pub fn absorb_shard(&mut self, shard: Platform) {
+        assert_eq!(
+            self.functions.len(),
+            shard.functions.len(),
+            "shards must come from the same deployment"
+        );
+        for (mine, theirs) in self.functions.iter_mut().zip(shard.functions) {
+            mine.instances.extend(theirs.instances);
+            mine.instances.sort_by(f64::total_cmp);
+            mine.cold_starts += theirs.cold_starts;
+        }
+        self.invocations += shard.invocations;
+        self.ledger.absorb(shard.ledger);
+        self.store.absorb(shard.store);
     }
 
     /// Platform with lambda-level fault injection enabled.
@@ -415,7 +507,7 @@ impl Platform {
         start: f64,
         work: &InvocationWork,
     ) -> Result<InvocationOutcome, FailedInvocation> {
-        let Some(func) = self.functions.get(id.0) else {
+        let Some(func) = self.functions.get_mut(id.0) else {
             return Err(FailedInvocation::unbilled(
                 InvokeError::NoSuchFunction,
                 start,
@@ -424,16 +516,24 @@ impl Platform {
         let spec = func.spec.clone();
         // Instance selection: reuse the most-recently-idle warm instance
         // that is free at `start` and within keep-alive; otherwise a fresh
-        // cold instance handles this (possibly concurrent) request.
-        let warm_slot = func
-            .instances
-            .iter()
-            .enumerate()
-            .filter(|(_, &busy_until)| start >= busy_until && start - busy_until <= KEEP_ALIVE_S)
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i);
-        let warm = warm_slot.is_some();
-        let seq = self.invocations;
+        // cold instance handles this (possibly concurrent) request. The
+        // pool is sorted by `busy_until`, so the candidate is the largest
+        // entry ≤ `start` — one binary search, no linear scan. The chosen
+        // sandbox leaves the pool here and rejoins at its new `busy_until`
+        // when the invocation resolves.
+        let idle = func.instances.partition_point(|&b| b <= start);
+        let warm = idle > 0 && start - func.instances[idle - 1] <= KEEP_ALIVE_S;
+        if warm {
+            func.instances.remove(idle - 1);
+        }
+        let seq = match self.seq_override.as_mut() {
+            Some(s) => {
+                let v = *s;
+                *s += 1;
+                v
+            }
+            None => self.invocations,
+        };
         self.invocations += 1;
         let fault = self.faults.draw(seq, !warm);
 
@@ -453,7 +553,7 @@ impl Platform {
                 start,
                 b,
                 consumed,
-                None,
+                false,
                 false,
                 0.0,
                 InvokeError::ColdStartFailed,
@@ -472,7 +572,7 @@ impl Platform {
                 start,
                 b,
                 consumed,
-                warm_slot,
+                warm,
                 true,
                 0.0,
                 InvokeError::OutOfMemory {
@@ -494,7 +594,7 @@ impl Platform {
                 start,
                 b,
                 consumed,
-                warm_slot,
+                warm,
                 true,
                 0.0,
                 InvokeError::TmpExceeded {
@@ -512,8 +612,8 @@ impl Platform {
         let mut fees = 0.0;
         let mut storage_retry_s = 0.0;
         let latency = self.store.kind.request_latency_s;
-        for key in &work.reads {
-            match self.store.get(key, &self.prices, &mut self.ledger) {
+        for &key in &work.reads {
+            match self.store.get_id(key, &self.prices, &mut self.ledger) {
                 Ok(op) => {
                     b.transfer_s += op.duration_s;
                     storage_retry_s += f64::from(op.attempts - 1) * latency;
@@ -523,9 +623,7 @@ impl Platform {
                     let (reason, burned) = Self::storage_failure(e, latency);
                     b.transfer_s += burned;
                     let consumed = b.total();
-                    return Err(
-                        self.fail(id, &spec, start, b, consumed, warm_slot, true, fees, reason)
-                    );
+                    return Err(self.fail(id, &spec, start, b, consumed, warm, true, fees, reason));
                 }
             }
         }
@@ -541,7 +639,7 @@ impl Platform {
                     start,
                     b,
                     consumed,
-                    warm_slot,
+                    warm,
                     true,
                     fees,
                     InvokeError::Crashed {
@@ -560,7 +658,7 @@ impl Platform {
                     start,
                     b,
                     consumed,
-                    warm_slot,
+                    warm,
                     true,
                     fees,
                     InvokeError::Timeout {
@@ -574,10 +672,10 @@ impl Platform {
         // the write-completion instant.
         let pre_write = start + b.cold_s + b.import_s + b.load_s + b.transfer_s + b.compute_s;
         let mut write_s = 0.0;
-        for (key, bytes) in &work.writes {
-            match self.store.put(
-                key.clone(),
-                *bytes,
+        for &(key, bytes) in &work.writes {
+            match self.store.put_id(
+                key,
+                bytes,
                 pre_write + write_s,
                 &self.prices,
                 &mut self.ledger,
@@ -591,9 +689,7 @@ impl Platform {
                     let (reason, burned) = Self::storage_failure(e, latency);
                     b.transfer_s += write_s + burned;
                     let consumed = b.total();
-                    return Err(
-                        self.fail(id, &spec, start, b, consumed, warm_slot, true, fees, reason)
-                    );
+                    return Err(self.fail(id, &spec, start, b, consumed, warm, true, fees, reason));
                 }
             }
         }
@@ -609,7 +705,7 @@ impl Platform {
                 start,
                 b,
                 self.quotas.timeout_s,
-                warm_slot,
+                warm,
                 true,
                 fees,
                 InvokeError::Timeout {
@@ -621,21 +717,11 @@ impl Platform {
         let billed = self.prices.billed_duration(duration);
         let compute_cost = self.prices.lambda_compute_cost(duration, spec.memory_mb);
         self.ledger
-            .charge(CostItem::LambdaCompute, compute_cost, spec.name.clone());
-        self.ledger.charge(
-            CostItem::LambdaRequest,
-            self.prices.lambda_request,
-            spec.name.clone(),
-        );
+            .charge(CostItem::LambdaCompute, compute_cost, id);
+        self.ledger
+            .charge(CostItem::LambdaRequest, self.prices.lambda_request, id);
 
-        let func = &mut self.functions[id.0];
-        match warm_slot {
-            Some(i) => func.instances[i] = start + duration,
-            None => {
-                func.instances.push(start + duration);
-                func.cold_starts += 1;
-            }
-        }
+        self.functions[id.0].pool_insert(start + duration, warm);
         Ok(InvocationOutcome {
             start,
             end: start + duration,
@@ -670,12 +756,11 @@ impl Platform {
         start: f64,
         breakdown: DurationBreakdown,
         consumed_s: f64,
-        warm_slot: Option<usize>,
+        warm: bool,
         sandbox_created: bool,
         fees: f64,
         reason: InvokeError,
     ) -> FailedInvocation {
-        let warm = warm_slot.is_some();
         let billed = self.prices.billed_duration(consumed_s);
         let compute_cost = self.prices.lambda_compute_cost(consumed_s, spec.memory_mb);
         if compute_cost > 0.0 {
@@ -685,23 +770,13 @@ impl Platform {
                 format!("{} [failed: {reason}]", spec.name),
             );
         }
-        self.ledger.charge(
-            CostItem::LambdaRequest,
-            self.prices.lambda_request,
-            spec.name.clone(),
-        );
+        self.ledger
+            .charge(CostItem::LambdaRequest, self.prices.lambda_request, id);
         let end = start + consumed_s;
         if sandbox_created {
             // Lambda reuses sandboxes after handler errors and timeouts —
             // the runtime restarts inside the same (billable) instance.
-            let func = &mut self.functions[id.0];
-            match warm_slot {
-                Some(i) => func.instances[i] = end,
-                None => {
-                    func.instances.push(end);
-                    func.cold_starts += 1;
-                }
-            }
+            self.functions[id.0].pool_insert(end, warm);
         }
         FailedInvocation {
             reason,
@@ -852,11 +927,12 @@ mod tests {
         let mut p = Platform::aws_2020();
         let (f1, _) = p.deploy(spec(1024, 10)).unwrap();
         let (f2, _) = p.deploy(spec(1024, 10)).unwrap();
+        let inter = p.store.intern("inter/0");
         let w1 = InvocationWork {
             load_bytes: 10 * MB,
             flops: 500_000_000,
             resident_bytes: 30 * MB,
-            writes: vec![("inter/0".into(), 2 * MB)],
+            writes: vec![(inter, 2 * MB)],
             ..Default::default()
         };
         let o1 = p.invoke(f1, 0.0, &w1).unwrap();
@@ -864,7 +940,7 @@ mod tests {
             load_bytes: 10 * MB,
             flops: 500_000_000,
             resident_bytes: 30 * MB,
-            reads: vec!["inter/0".into()],
+            reads: vec![inter],
             ..Default::default()
         };
         let o2 = p.invoke(f2, o1.end, &w2).unwrap();
@@ -879,8 +955,9 @@ mod tests {
     fn missing_input_fails() {
         let mut p = Platform::aws_2020();
         let (id, _) = p.deploy(spec(1024, 10)).unwrap();
+        let never = p.store.intern("never-written");
         let w = InvocationWork {
-            reads: vec!["never-written".into()],
+            reads: vec![never],
             ..Default::default()
         };
         let failed = p.invoke(id, 0.0, &w).unwrap_err();
@@ -993,6 +1070,114 @@ mod tests {
         // Only sandbox-creation time was consumed; the request fee applies.
         assert!(failed.duration() > 0.0);
         assert!(failed.dollars >= p.prices.lambda_request);
+    }
+
+    #[test]
+    fn sorted_pool_picks_most_recently_idle() {
+        // Three instances idle at 1.0, 5.0 and 9.0; a request at 7.0 must
+        // reuse the 5.0 one (most recently idle among the free), leaving
+        // the others untouched.
+        let mut p = Platform::aws_2020();
+        let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        // Spin up three concurrent (cold) instances.
+        let ends: Vec<f64> = (0..3)
+            .map(|_| p.invoke(id, 0.0, &work).unwrap().end)
+            .collect();
+        assert_eq!(p.cold_starts(id), 3);
+        // All idle now; a request just after the first end must ride warm
+        // without creating a fourth instance.
+        let t = ends[0] + 0.1;
+        let out = p.invoke(id, t, &work).unwrap();
+        assert!(out.warm);
+        assert_eq!(p.instance_count(id), 3);
+        assert_eq!(p.cold_starts(id), 3);
+    }
+
+    #[test]
+    fn fork_and_absorb_reconstruct_serial_totals() {
+        // Two requests served on two shards, merged, must equal the same
+        // two requests on one platform: dollars, cold starts, instances.
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        let mut serial = Platform::aws_2020();
+        let (id, _) = serial.deploy(spec(1024, 17)).unwrap();
+        serial.invoke(id, 0.0, &work).unwrap();
+        serial.invoke(id, 0.0, &work).unwrap();
+
+        let mut base = Platform::aws_2020();
+        let (idb, _) = base.deploy(spec(1024, 17)).unwrap();
+        let mut s1 = base.fork_empty();
+        let mut s2 = base.fork_empty();
+        s1.invoke(idb, 0.0, &work).unwrap();
+        s2.invoke(idb, 0.0, &work).unwrap();
+        base.absorb_shard(s1);
+        base.absorb_shard(s2);
+        assert_eq!(base.cold_starts(idb), serial.cold_starts(id));
+        assert_eq!(base.instance_count(idb), serial.instance_count(id));
+        assert_eq!(base.invocation_count(), serial.invocation_count());
+        assert_eq!(base.total_cost(), serial.total_cost());
+    }
+
+    #[test]
+    fn begin_request_keys_fault_streams_by_request_index() {
+        // The same request index draws the same fates regardless of what
+        // other requests ran first — the shard-determinism invariant.
+        let plan = FaultPlan::uniform(0.4, 21);
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        let run = |warmups: u64| -> Vec<bool> {
+            let mut p = Platform::aws_2020().with_fault_plan(plan.clone());
+            let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+            for r in 0..warmups {
+                p.begin_request(r);
+                let _ = p.invoke(id, 0.0, &work);
+            }
+            p.begin_request(9);
+            (0..5)
+                .map(|i| p.invoke(id, i as f64 * 2000.0, &work).is_ok())
+                .collect()
+        };
+        assert_eq!(run(0), run(7));
+    }
+
+    #[test]
+    fn targeted_crash_addresses_request_and_attempt_in_stream_mode() {
+        // crash_invocations entry (index << 32) + 1 must hit exactly the
+        // second invocation of request `index`, no other.
+        let plan = FaultPlan {
+            crash_invocations: vec![(3 << 32) + 1],
+            ..FaultPlan::default()
+        };
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        let mut p = Platform::aws_2020().with_fault_plan(plan);
+        let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+        p.begin_request(2);
+        assert!(p.invoke(id, 0.0, &work).is_ok());
+        assert!(p.invoke(id, 0.0, &work).is_ok());
+        p.begin_request(3);
+        assert!(p.invoke(id, 0.0, &work).is_ok());
+        let failed = p.invoke(id, 0.0, &work).unwrap_err();
+        assert!(matches!(failed.reason, InvokeError::Crashed { .. }));
+        assert!(p.invoke(id, 0.0, &work).is_ok());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! 1 MB, weights `y·e` = params × 4.
 
 use crate::platform::{FunctionSpec, InvocationWork};
+use crate::storage::ObjectKey;
 use crate::MB;
 use ampsinf_model::graph::{CutAccounting, LayerGraph};
 
@@ -89,23 +90,36 @@ impl PartitionWork {
     /// Invocation work, wiring the storage keys: reads `input_key` (None
     /// for the first partition, whose image arrives with the trigger) and
     /// writes `output_key` (None for the last partition, which returns the
-    /// prediction in the response).
+    /// prediction in the response). Keys are interned storage ids — see
+    /// [`crate::storage::ObjectStore::intern`].
     pub fn invocation(
         &self,
-        input_key: Option<String>,
-        output_key: Option<String>,
+        input_key: Option<ObjectKey>,
+        output_key: Option<ObjectKey>,
     ) -> InvocationWork {
-        InvocationWork {
-            load_bytes: self.seg.weight_bytes,
-            flops: self.seg.flops,
-            resident_bytes: self.resident_bytes(),
-            tmp_bytes: self.tmp_bytes(),
-            reads: input_key.into_iter().collect(),
-            writes: output_key
-                .map(|k| (k, self.seg.output_bytes))
-                .into_iter()
-                .collect(),
-        }
+        let mut work = InvocationWork::default();
+        self.invocation_into(&mut work, input_key, output_key);
+        work
+    }
+
+    /// Like [`invocation`](Self::invocation), but refills an existing
+    /// [`InvocationWork`] in place so serving loops can reuse one scratch
+    /// value per request instead of allocating fresh key vectors.
+    pub fn invocation_into(
+        &self,
+        work: &mut InvocationWork,
+        input_key: Option<ObjectKey>,
+        output_key: Option<ObjectKey>,
+    ) {
+        work.load_bytes = self.seg.weight_bytes;
+        work.flops = self.seg.flops;
+        work.resident_bytes = self.resident_bytes();
+        work.tmp_bytes = self.tmp_bytes();
+        work.reads.clear();
+        work.reads.extend(input_key);
+        work.writes.clear();
+        work.writes
+            .extend(output_key.map(|k| (k, self.seg.output_bytes)));
     }
 }
 
@@ -171,14 +185,20 @@ mod tests {
     fn invocation_wiring() {
         let g = zoo::mobilenet_v1();
         let parts = PartitionWork::chain(&g, &[40, g.num_layers() - 1]);
-        let w0 = parts[0].invocation(None, Some("inter/0".into()));
+        let mut store = crate::storage::ObjectStore::new(crate::storage::StoreKind::s3());
+        let inter = store.intern("inter/0");
+        let w0 = parts[0].invocation(None, Some(inter));
         assert!(w0.reads.is_empty());
         assert_eq!(w0.writes.len(), 1);
-        assert_eq!(w0.writes[0].1, parts[0].seg.output_bytes);
-        let w1 = parts[1].invocation(Some("inter/0".into()), None);
-        assert_eq!(w1.reads, vec!["inter/0".to_string()]);
+        assert_eq!(w0.writes[0], (inter, parts[0].seg.output_bytes));
+        let w1 = parts[1].invocation(Some(inter), None);
+        assert_eq!(w1.reads, vec![inter]);
         assert!(w1.writes.is_empty());
         assert_eq!(w1.load_bytes, parts[1].seg.weight_bytes);
+        // The in-place variant refills scratch without reallocating keys.
+        let mut scratch = w0;
+        parts[1].invocation_into(&mut scratch, Some(inter), None);
+        assert_eq!(scratch, w1);
     }
 
     #[test]

@@ -74,18 +74,45 @@ struct ObjectMeta {
     billed_until: f64,
 }
 
+/// An interned object key: a dense index into the store's key table.
+///
+/// The serving hot path performs every read/write through interned keys,
+/// so repeated requests over the same boundary objects never re-hash or
+/// re-allocate key strings. Keys are only meaningful for the store that
+/// interned them (shard merges re-intern by name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjectKey(u32);
+
+impl ObjectKey {
+    /// The key's dense index in its store's intern table.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
 /// The object store: tracks objects, transfer timing, and fees.
 #[derive(Debug, Clone)]
 pub struct ObjectStore {
     /// Backend characteristics.
     pub kind: StoreKind,
-    objects: HashMap<String, ObjectMeta>,
+    /// Interned key strings, indexed by [`ObjectKey`].
+    names: Vec<String>,
+    /// Name → interned key.
+    lookup: HashMap<String, ObjectKey>,
+    /// Live object metadata, indexed by [`ObjectKey`] (`None` = never
+    /// written). Settlement walks this table in intern order, which makes
+    /// at-rest billing order deterministic (the former `HashMap` walk
+    /// settled in hash order).
+    metas: Vec<Option<ObjectMeta>>,
     /// Tombstones for objects replaced by an overwriting `put` (the prior
     /// incarnation's lifetime still bills at settlement).
-    history: Vec<(String, ObjectMeta)>,
+    history: Vec<(ObjectKey, ObjectMeta)>,
     /// Deterministic failure-draw state (splitmix64).
     rng: u64,
 }
+
+/// Initial splitmix64 state of a fresh store's failure-draw stream.
+const RNG_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Result of a storage operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,9 +160,68 @@ impl ObjectStore {
     pub fn new(kind: StoreKind) -> Self {
         ObjectStore {
             kind,
-            objects: HashMap::new(),
+            names: Vec::new(),
+            lookup: HashMap::new(),
+            metas: Vec::new(),
             history: Vec::new(),
-            rng: 0x9E37_79B9_7F4A_7C15,
+            rng: RNG_SEED,
+        }
+    }
+
+    /// Interns `name`, returning its stable key. Interning is idempotent:
+    /// the same name always maps to the same key within one store.
+    pub fn intern(&mut self, name: &str) -> ObjectKey {
+        if let Some(&k) = self.lookup.get(name) {
+            return k;
+        }
+        let k = ObjectKey(u32::try_from(self.names.len()).expect("intern table overflow"));
+        self.names.push(name.to_string());
+        self.lookup.insert(name.to_string(), k);
+        self.metas.push(None);
+        k
+    }
+
+    /// The name an [`ObjectKey`] was interned under.
+    pub fn name_of(&self, key: ObjectKey) -> &str {
+        &self.names[key.0 as usize]
+    }
+
+    /// Re-keys the failure-draw stream for substream `stream`. The sharded
+    /// serving engine calls this once per request (keyed by request index)
+    /// so flaky-store draws depend only on the request, never on how many
+    /// draws other requests consumed first. Stores that never draw (zero
+    /// `failure_rate`) are unaffected.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.rng = RNG_SEED ^ stream.wrapping_mul(0xa076_1d64_78bd_642f);
+    }
+
+    /// Merges a shard store into this one, re-interning by name. Shards
+    /// serve disjoint requests with disjoint key tags, so live objects
+    /// never collide; if one ever did, the current incarnation here is
+    /// tombstoned like an overwriting `put`. The shard's tombstone history
+    /// (with its `billed_until` watermarks) carries over, so settlement
+    /// after a merge stays exact and double-bills nothing.
+    pub fn absorb(&mut self, other: ObjectStore) {
+        let ObjectStore {
+            names,
+            metas,
+            history,
+            ..
+        } = other;
+        let mut remap = Vec::with_capacity(names.len());
+        for name in &names {
+            remap.push(self.intern(name));
+        }
+        for (idx, meta) in metas.into_iter().enumerate() {
+            let Some(meta) = meta else { continue };
+            let key = remap[idx];
+            if let Some(existing) = self.metas[key.0 as usize].take() {
+                self.history.push((key, existing));
+            }
+            self.metas[key.0 as usize] = Some(meta);
+        }
+        for (key, meta) in history {
+            self.history.push((remap[key.0 as usize], meta));
         }
     }
 
@@ -163,22 +249,21 @@ impl ObjectStore {
         None
     }
 
-    /// Writes an object at time `now`; returns duration and records the
-    /// PUT fee in `ledger`. Transient backend failures are retried up to
-    /// [`STORAGE_RETRIES`] times (failed attempts cost latency but no fee,
-    /// as with real 5xx responses).
-    pub fn put(
+    /// Writes an object by interned key at time `now`; returns duration
+    /// and records the PUT fee in `ledger`. Transient backend failures are
+    /// retried up to [`STORAGE_RETRIES`] times (failed attempts cost
+    /// latency but no fee, as with real 5xx responses).
+    pub fn put_id(
         &mut self,
-        key: impl Into<String>,
+        key: ObjectKey,
         bytes: u64,
         now: f64,
         sheet: &PriceSheet,
         ledger: &mut CostLedger,
     ) -> Result<StorageOp, StorageError> {
-        let key = key.into();
         let Some((retry_latency, attempts)) = self.attempt() else {
             return Err(StorageError::Unavailable {
-                key,
+                key: self.name_of(key).to_string(),
                 attempts: 1 + STORAGE_RETRIES,
             });
         };
@@ -189,18 +274,16 @@ impl ObjectStore {
             0.0
         };
         if fee > 0.0 {
-            ledger.charge(CostItem::StoragePut, fee, key.clone());
+            ledger.charge(CostItem::StoragePut, fee, key);
         }
         let created_at = now + duration;
-        let replaced = self.objects.insert(
-            key.clone(),
-            ObjectMeta {
-                bytes,
-                created_at,
-                deleted_at: None,
-                billed_until: 0.0,
-            },
-        );
+        let slot = &mut self.metas[key.0 as usize];
+        let replaced = slot.replace(ObjectMeta {
+            bytes,
+            created_at,
+            deleted_at: None,
+            billed_until: 0.0,
+        });
         if let Some(mut old) = replaced {
             // The prior incarnation lived until this re-put landed (retried
             // chains overwrite their checkpoints); tombstone it so
@@ -217,21 +300,22 @@ impl ObjectStore {
         })
     }
 
-    /// Reads an object; returns duration and records the GET fee. Missing
-    /// keys fail immediately; transient failures retry like [`Self::put`].
-    pub fn get(
+    /// Reads an object by interned key; returns duration and records the
+    /// GET fee. Missing keys fail immediately; transient failures retry
+    /// like [`Self::put_id`].
+    pub fn get_id(
         &mut self,
-        key: &str,
+        key: ObjectKey,
         sheet: &PriceSheet,
         ledger: &mut CostLedger,
     ) -> Result<StorageOp, StorageError> {
-        let bytes = match self.objects.get(key) {
+        let bytes = match self.metas[key.0 as usize] {
             Some(meta) if meta.deleted_at.is_none() => meta.bytes,
-            _ => return Err(StorageError::NotFound(key.to_string())),
+            _ => return Err(StorageError::NotFound(self.name_of(key).to_string())),
         };
         let Some((retry_latency, attempts)) = self.attempt() else {
             return Err(StorageError::Unavailable {
-                key: key.to_string(),
+                key: self.name_of(key).to_string(),
                 attempts: 1 + STORAGE_RETRIES,
             });
         };
@@ -242,7 +326,7 @@ impl ObjectStore {
             0.0
         };
         if fee > 0.0 {
-            ledger.charge(CostItem::StorageGet, fee, key.to_string());
+            ledger.charge(CostItem::StorageGet, fee, key);
         }
         Ok(StorageOp {
             duration_s: duration,
@@ -251,25 +335,65 @@ impl ObjectStore {
         })
     }
 
+    /// Writes an object by name (auto-interning convenience wrapper over
+    /// [`Self::put_id`]).
+    pub fn put(
+        &mut self,
+        key: impl Into<String>,
+        bytes: u64,
+        now: f64,
+        sheet: &PriceSheet,
+        ledger: &mut CostLedger,
+    ) -> Result<StorageOp, StorageError> {
+        let id = self.intern(&key.into());
+        self.put_id(id, bytes, now, sheet, ledger)
+    }
+
+    /// Reads an object by name (convenience wrapper over
+    /// [`Self::get_id`]; never-written names fail as `NotFound`).
+    pub fn get(
+        &mut self,
+        key: &str,
+        sheet: &PriceSheet,
+        ledger: &mut CostLedger,
+    ) -> Result<StorageOp, StorageError> {
+        let Some(&id) = self.lookup.get(key) else {
+            return Err(StorageError::NotFound(key.to_string()));
+        };
+        self.get_id(id, sheet, ledger)
+    }
+
     /// Marks an object deleted at `now` (it stops accruing storage cost).
-    pub fn delete(&mut self, key: &str, now: f64) {
-        if let Some(meta) = self.objects.get_mut(key) {
+    pub fn delete_id(&mut self, key: ObjectKey, now: f64) {
+        if let Some(meta) = self.metas[key.0 as usize].as_mut() {
             meta.deleted_at = Some(now.max(meta.created_at));
         }
     }
 
-    /// Size of a live object.
-    pub fn size_of(&self, key: &str) -> Option<u64> {
-        self.objects
-            .get(key)
+    /// Marks an object deleted by name.
+    pub fn delete(&mut self, key: &str, now: f64) {
+        if let Some(&id) = self.lookup.get(key) {
+            self.delete_id(id, now);
+        }
+    }
+
+    /// Size of a live object, by interned key.
+    pub fn size_of_id(&self, key: ObjectKey) -> Option<u64> {
+        self.metas[key.0 as usize]
             .filter(|m| m.deleted_at.is_none())
             .map(|m| m.bytes)
     }
 
+    /// Size of a live object, by name.
+    pub fn size_of(&self, key: &str) -> Option<u64> {
+        self.lookup.get(key).and_then(|&id| self.size_of_id(id))
+    }
+
     /// Bytes currently held (live objects only).
     pub fn live_bytes(&self) -> u64 {
-        self.objects
-            .values()
+        self.metas
+            .iter()
+            .flatten()
             .filter(|m| m.deleted_at.is_none())
             .map(|m| m.bytes)
             .sum()
@@ -299,23 +423,27 @@ impl ObjectStore {
             return 0.0;
         }
         let mut total = 0.0;
-        let mut settle_one = |key: &str, meta: &mut ObjectMeta| {
+        let mut settle_one = |key: ObjectKey, meta: &mut ObjectMeta| {
             let from = meta.created_at.max(meta.billed_until);
             let end = meta.deleted_at.unwrap_or(until).min(until);
             if end > from {
                 let c = sheet.s3_storage_cost(meta.bytes, end - from);
                 if c > 0.0 {
-                    ledger.charge(CostItem::StorageAtRest, c, key.to_string());
+                    ledger.charge(CostItem::StorageAtRest, c, key);
                     total += c;
                 }
                 meta.billed_until = end;
             }
         };
-        for (key, meta) in &mut self.objects {
-            settle_one(key, meta);
+        // Intern order, then tombstone-insertion order: deterministic
+        // regardless of how keys hash.
+        for (idx, meta) in self.metas.iter_mut().enumerate() {
+            if let Some(meta) = meta {
+                settle_one(ObjectKey(idx as u32), meta);
+            }
         }
         for (key, meta) in &mut self.history {
-            settle_one(key, meta);
+            settle_one(*key, meta);
         }
         total
     }
@@ -449,6 +577,96 @@ mod tests {
             (fees - expect_fees).abs() < 1e-12,
             "fees {fees} vs {expect_fees} ({puts} puts, {gets} gets)"
         );
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_id_paths_match_names() {
+        let (mut s, sheet, mut l) = setup();
+        let k = s.intern("img0/b0");
+        assert_eq!(k, s.intern("img0/b0"));
+        assert_eq!(s.name_of(k), "img0/b0");
+        let by_id = s.put_id(k, 4 * 1024 * 1024, 0.0, &sheet, &mut l).unwrap();
+        assert_eq!(s.size_of_id(k), Some(4 * 1024 * 1024));
+        assert_eq!(s.size_of("img0/b0"), Some(4 * 1024 * 1024));
+        let by_name = s.get("img0/b0", &sheet, &mut l).unwrap();
+        let by_id_get = s.get_id(k, &sheet, &mut l).unwrap();
+        assert_eq!(by_name, by_id_get);
+        assert!((by_id.duration_s - by_name.duration_s).abs() < 1e-12);
+        s.delete_id(k, 10.0);
+        assert_eq!(s.size_of("img0/b0"), None);
+    }
+
+    #[test]
+    fn absorb_merges_shards_and_settles_exactly() {
+        let sheet = PriceSheet::aws_2020();
+        // One store serving both objects vs two shards merged: settlement
+        // must charge the same dollars.
+        let mut whole = ObjectStore::new(StoreKind::s3());
+        let mut lw = CostLedger::new();
+        whole.put("a/b0", 50_000_000, 0.0, &sheet, &mut lw).unwrap();
+        whole.put("b/b0", 80_000_000, 1.0, &sheet, &mut lw).unwrap();
+        let expect = whole.settle_storage(500.0, &sheet, &mut lw);
+
+        let mut base = ObjectStore::new(StoreKind::s3());
+        let (mut s1, mut s2) = (
+            ObjectStore::new(StoreKind::s3()),
+            ObjectStore::new(StoreKind::s3()),
+        );
+        let mut l = CostLedger::new();
+        s1.put("a/b0", 50_000_000, 0.0, &sheet, &mut l).unwrap();
+        s2.put("b/b0", 80_000_000, 1.0, &sheet, &mut l).unwrap();
+        base.absorb(s1);
+        base.absorb(s2);
+        let got = base.settle_storage(500.0, &sheet, &mut l);
+        assert!((got - expect).abs() < 1e-15, "{got} vs {expect}");
+        assert_eq!(base.size_of("a/b0"), Some(50_000_000));
+        assert_eq!(base.size_of("b/b0"), Some(80_000_000));
+    }
+
+    #[test]
+    fn absorb_carries_tombstones_and_watermarks() {
+        let sheet = PriceSheet::aws_2020();
+        let mut shard = ObjectStore::new(StoreKind::s3());
+        let mut l = CostLedger::new();
+        // Overwrite inside the shard (tombstone) and settle part-way
+        // (watermark) before merging.
+        shard.put("k", 1_000_000_000, 0.0, &sheet, &mut l).unwrap();
+        shard.put("k", 1_000_000_000, 60.0, &sheet, &mut l).unwrap();
+        let pre = shard.settle_storage(100.0, &sheet, &mut l);
+        assert!(pre > 0.0);
+        let mut base = ObjectStore::new(StoreKind::s3());
+        base.absorb(shard);
+        // Settling the merge point again bills nothing new...
+        assert_eq!(base.settle_storage(100.0, &sheet, &mut l), 0.0);
+        // ...and a later settle bills exactly the increment on the live
+        // incarnation.
+        let inc = base.settle_storage(130.0, &sheet, &mut l);
+        let expect = sheet.s3_storage_cost(1_000_000_000, 30.0);
+        assert!((inc - expect).abs() < 1e-12, "{inc} vs {expect}");
+    }
+
+    #[test]
+    fn stream_rekeying_is_reproducible_per_stream() {
+        // Same stream → same draws; consuming stream A never shifts
+        // stream B's draws (the sharded-serving invariant).
+        let attempts = |s: &mut ObjectStore, n: usize| -> Vec<u32> {
+            let sheet = PriceSheet::aws_2020();
+            let mut l = CostLedger::new();
+            (0..n)
+                .map(|i| {
+                    s.put(format!("k{i}"), 1_000, 0.0, &sheet, &mut l)
+                        .map_or(0, |op| op.attempts)
+                })
+                .collect()
+        };
+        let mut a = ObjectStore::new(StoreKind::flaky_s3(0.5));
+        a.set_stream(7);
+        let first = attempts(&mut a, 20);
+        let mut b = ObjectStore::new(StoreKind::flaky_s3(0.5));
+        b.set_stream(3);
+        attempts(&mut b, 50); // a different stream, different consumption
+        b.set_stream(7);
+        assert_eq!(attempts(&mut b, 20), first);
     }
 
     #[test]

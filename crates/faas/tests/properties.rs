@@ -126,10 +126,12 @@ fn ledger_total_equals_sum_of_outcomes_plus_storage() {
         for (i, fid) in fids.iter().enumerate() {
             let mut w = work(weights + i as u64, gf);
             if i > 0 {
-                w.reads.push(format!("x/{}", i - 1));
+                let key = p.store.intern(&format!("x/{}", i - 1));
+                w.reads.push(key);
             }
             if i + 1 < fids.len() {
-                w.writes.push((format!("x/{i}"), 2 * MB));
+                let key = p.store.intern(&format!("x/{i}"));
+                w.writes.push((key, 2 * MB));
             }
             let out = p.invoke(*fid, now, &w).unwrap();
             now = out.end;
@@ -219,7 +221,8 @@ fn cost_items_partition_ledger() {
     let mut p = Platform::aws_2020();
     let (fid, _) = p.deploy(spec(1024, 10)).unwrap();
     let mut w = work(10, 2);
-    w.writes.push(("o".into(), MB));
+    let key = p.store.intern("o");
+    w.writes.push((key, MB));
     let out = p.invoke(fid, 0.0, &w).unwrap();
     let _ = out;
     p.settle_storage(100.0);

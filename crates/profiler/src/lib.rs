@@ -238,8 +238,8 @@ pub fn evaluate_segment(
         .deploy(spec)
         .map_err(|e| EvalError::Deploy(e.to_string()))?;
 
-    let input_key = (!is_first).then(|| "profile/in".to_string());
-    let output_key = (!is_last).then(|| "profile/out".to_string());
+    let input_key = (!is_first).then(|| platform.store.intern("profile/in"));
+    let output_key = (!is_last).then(|| platform.store.intern("profile/out"));
     if input_key.is_some() {
         // Stage the upstream tensor so the GET has something to read.
         let mut scratch = ampsinf_faas::CostLedger::new();

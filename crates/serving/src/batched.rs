@@ -9,15 +9,15 @@ use ampsinf_core::plan::ExecutionPlan;
 use ampsinf_core::AmpsConfig;
 use ampsinf_faas::platform::{FunctionId, InvokeError, Platform};
 use ampsinf_faas::runtime::PartitionWork;
-use ampsinf_faas::InvocationWork;
+use ampsinf_faas::{InvocationWork, ObjectKey};
 use ampsinf_model::LayerGraph;
 
 /// Scales a partition's invocation for a batch of `b` images.
 pub fn batched_invocation(
     work: &PartitionWork,
     batch: u64,
-    input_key: Option<String>,
-    output_key: Option<String>,
+    input_key: Option<ObjectKey>,
+    output_key: Option<ObjectKey>,
 ) -> InvocationWork {
     let seg = &work.seg;
     InvocationWork {
@@ -47,8 +47,8 @@ pub fn serve_batch_chain(
     let mut now = t0;
     let mut dollars = 0.0;
     for i in 0..k {
-        let input_key = (i > 0).then(|| format!("{tag}/b{}", i - 1));
-        let output_key = (i + 1 < k).then(|| format!("{tag}/b{i}"));
+        let input_key = (i > 0).then(|| platform.store.intern(&format!("{tag}/b{}", i - 1)));
+        let output_key = (i + 1 < k).then(|| platform.store.intern(&format!("{tag}/b{i}")));
         let inv = batched_invocation(&works[i], batch, input_key, output_key);
         let out = platform.invoke(functions[i], now, &inv)?;
         now = out.end;
@@ -153,8 +153,8 @@ pub fn run_pipelined_batches(
         let mut upstream_done = 0.0f64;
         for i in 0..k {
             let start = upstream_done.max(stage_free[i]);
-            let input_key = (i > 0).then(|| format!("pl{b}/b{}", i - 1));
-            let output_key = (i + 1 < k).then(|| format!("pl{b}/b{i}"));
+            let input_key = (i > 0).then(|| platform.store.intern(&format!("pl{b}/b{}", i - 1)));
+            let output_key = (i + 1 < k).then(|| platform.store.intern(&format!("pl{b}/b{i}")));
             let inv = batched_invocation(&works[i], batch, input_key, output_key);
             let out = platform
                 .invoke(functions[i], start, &inv)

@@ -179,6 +179,8 @@ fn eval_worker(
         layer_bytes: vec![DEPS_BYTES, weights],
     };
     let (fid, _) = platform.deploy(spec).ok()?;
+    let in_key = platform.store.intern("in");
+    let out_key = platform.store.intern("out");
     let mut scratch = ampsinf_faas::CostLedger::new();
     platform
         .store
@@ -189,15 +191,11 @@ fn eval_worker(
         flops,
         resident_bytes: 2 * weights + activations + input,
         tmp_bytes: weights + input,
-        reads: if start == 0 {
-            vec![]
-        } else {
-            vec!["in".into()]
-        },
+        reads: if start == 0 { vec![] } else { vec![in_key] },
         writes: if end + 1 == profile.num_layers() {
             vec![]
         } else {
-            vec![("out".into(), output)]
+            vec![(out_key, output)]
         },
     };
     let out = platform.invoke(fid, 0.0, &work).ok()?;
@@ -245,18 +243,20 @@ pub fn run_parallel_plan(
         let input = profile.input_bytes(s.start);
         let output = profile.output_bytes(s.end).div_ceil(w);
         // Inputs: every slice the previous stage wrote (gather + broadcast).
-        let reads: Vec<String> = if si == 0 {
+        let reads: Vec<ampsinf_faas::ObjectKey> = if si == 0 {
             vec![]
         } else {
             let prev_w = plan.stages[si - 1].workers;
-            (0..prev_w).map(|p| format!("b{}/{p}", si - 1)).collect()
+            (0..prev_w)
+                .map(|p| platform.store.intern(&format!("b{}/{p}", si - 1)))
+                .collect()
         };
         let mut stage_end = now;
         for (wi, fid) in fids[si].iter().enumerate() {
             let writes = if s.end + 1 == n {
                 vec![]
             } else {
-                vec![(format!("b{si}/{wi}"), output)]
+                vec![(platform.store.intern(&format!("b{si}/{wi}")), output)]
             };
             let work = InvocationWork {
                 load_bytes: weights,

@@ -27,16 +27,21 @@ pub struct LoadSpec {
 /// Aggregated results of a load run.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
-    /// Per-request end-to-end latencies (arrival → prediction), sorted.
+    /// End-to-end latencies (arrival → prediction) of the *successful*
+    /// requests, sorted ascending.
     pub latencies_s: Vec<f64>,
     /// Wall-clock of the whole run (first arrival → last completion).
     pub makespan_s: f64,
-    /// Total dollars (invocations + storage settlement).
+    /// Total dollars (invocations + storage settlement), failed requests
+    /// included.
     pub dollars: f64,
     /// Cold starts across all partitions.
     pub cold_starts: usize,
     /// Peak live container instances across partitions.
     pub peak_instances: usize,
+    /// Requests that exhausted their retry budget. The run degrades past
+    /// them — percentiles and SLO attainment cover successes only.
+    pub failures: usize,
 }
 
 impl LoadReport {
@@ -66,6 +71,13 @@ impl LoadReport {
 /// chain. The platform's instance pools decide warm/cold per invocation,
 /// so bursts scale out (cold) and steady trickles stay warm — Lambda's
 /// actual elasticity behaviour.
+///
+/// Serving runs on [`Coordinator::serve_trace`]'s sharded engine: with
+/// [`AmpsConfig::serve_lanes`] > 1, requests split across warm-pool
+/// shards executed by [`AmpsConfig::serve_threads`] workers, and the
+/// report is bit-identical at every thread count. A request that
+/// exhausts its retry budget no longer aborts the run — it is counted in
+/// [`LoadReport::failures`] and the load keeps flowing.
 pub fn run_open_loop(
     graph: &LayerGraph,
     plan: &ExecutionPlan,
@@ -89,35 +101,26 @@ pub fn run_open_loop(
         arrivals.push(t);
     }
 
-    let mut latencies = Vec::with_capacity(load.requests);
-    let mut last_completion = 0.0f64;
-    let mut dollars = 0.0f64;
-    for (i, &arr) in arrivals.iter().enumerate() {
-        let job = coord
-            .serve_one(&mut platform, &dep, arr, &format!("req{i}"))
-            .map_err(|e| e.to_string())?;
-        latencies.push(job.inference_s);
-        last_completion = last_completion.max(arr + job.inference_s);
-        dollars += job.dollars;
-    }
-    dollars += platform.settle_storage(last_completion);
-
-    let cold_starts = dep.functions.iter().map(|&f| platform.cold_starts(f)).sum();
-    let peak_instances = dep
-        .functions
+    let trace = coord.serve_trace(&mut platform, &dep, &arrivals);
+    let mut latencies: Vec<f64> = trace
+        .requests
         .iter()
-        .map(|&f| platform.instance_count(f))
-        .max()
-        .unwrap_or(0);
-
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let makespan_s = last_completion - arrivals.first().copied().unwrap_or(0.0);
+        .filter(|r| r.ok)
+        .map(|r| r.latency_s)
+        .collect();
+    debug_assert!(
+        latencies.iter().all(|l| !l.is_nan()),
+        "NaN latency in load run"
+    );
+    latencies.sort_by(f64::total_cmp);
+    let makespan_s = trace.last_completion_s - arrivals.first().copied().unwrap_or(0.0);
     Ok(LoadReport {
         latencies_s: latencies,
         makespan_s,
-        dollars,
-        cold_starts,
-        peak_instances,
+        dollars: trace.dollars + trace.settled_dollars,
+        cold_starts: trace.cold_starts,
+        peak_instances: trace.peak_instances,
+        failures: trace.failures,
     })
 }
 
@@ -188,6 +191,61 @@ mod tests {
             r.peak_instances
         );
         assert!(r.cold_starts > plan.num_lambdas());
+    }
+
+    #[test]
+    fn failed_requests_degrade_not_abort() {
+        use ampsinf_faas::FaultPlan;
+        // Zero retries + aggressive faults: some requests die. The run
+        // must keep serving and report them, not abort on the first.
+        let (g, plan, cfg) = setup();
+        let cfg = cfg
+            .with_retries(0)
+            .with_faults(FaultPlan::uniform(0.15, 13));
+        let load = LoadSpec {
+            rate_rps: 2.0,
+            requests: 12,
+            seed: 5,
+        };
+        let r = run_open_loop(&g, &plan, &cfg, &load).unwrap();
+        assert!(r.failures > 0, "faults must surface");
+        assert!(!r.latencies_s.is_empty(), "run must degrade, not collapse");
+        assert_eq!(r.latencies_s.len() + r.failures, load.requests);
+        // Failed requests still billed (Lambda bills failures).
+        assert!(r.dollars > 0.0);
+    }
+
+    #[test]
+    fn load_report_bit_identical_across_thread_counts() {
+        let (g, plan, cfg) = setup();
+        let cfg = cfg.with_serve_lanes(4);
+        let load = LoadSpec {
+            rate_rps: 3.0,
+            requests: 16,
+            seed: 9,
+        };
+        let base = run_open_loop(&g, &plan, &cfg.clone().with_serve_threads(1), &load).unwrap();
+        for t in [2usize, 8] {
+            let other =
+                run_open_loop(&g, &plan, &cfg.clone().with_serve_threads(t), &load).unwrap();
+            assert_eq!(
+                base.latencies_s
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>(),
+                other
+                    .latencies_s
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>(),
+                "latencies at {t} threads"
+            );
+            assert_eq!(base.dollars.to_bits(), other.dollars.to_bits());
+            assert_eq!(base.makespan_s.to_bits(), other.makespan_s.to_bits());
+            assert_eq!(base.cold_starts, other.cold_starts);
+            assert_eq!(base.peak_instances, other.peak_instances);
+            assert_eq!(base.failures, other.failures);
+        }
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub fn run_serfer(
     let k = dep.functions.len();
     let states: Vec<StepState> = (0..k)
         .map(|i| {
-            let input_key = (i > 0).then(|| format!("serfer/b{}", i - 1));
-            let output_key = (i + 1 < k).then(|| format!("serfer/b{i}"));
+            let input_key = (i > 0).then(|| platform.store.intern(&format!("serfer/b{}", i - 1)));
+            let output_key = (i + 1 < k).then(|| platform.store.intern(&format!("serfer/b{i}")));
             let work: &PartitionWork = &dep.works[i];
             StepState {
                 name: format!("partition{i}"),

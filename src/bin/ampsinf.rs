@@ -8,12 +8,14 @@
 //! ampsinf plan resnet50 [--slo 20] [--batch 10] [--quota-2021]
 //!                       [--tolerance 0.1] [--quantize 2] [--json out.json]
 //! ampsinf serve resnet50 [--images 10] [--parallel] [--slo 20]
+//! ampsinf serve resnet50 --requests 1000 --rate 50 --threads 8
 //! ampsinf plan model.json          # any serialized LayerGraph file
 //! ```
 
 use amps_inf::core::baselines;
 use amps_inf::model::summary::ModelSummary;
 use amps_inf::prelude::*;
+use amps_inf::serving::{run_open_loop, LoadSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -103,6 +105,9 @@ fn run(args: &[String]) -> i32 {
         },
         "serve" => match (load_model(args.get(1)), parse_cfg(&args[1..])) {
             (Ok(g), Ok((cfg, _, _))) => {
+                if flag_value(args, "--requests").is_some() {
+                    return serve_load(&g, cfg, args);
+                }
                 let images = flag_value(args, "--images")
                     .map(|v| v.parse::<usize>().unwrap_or(1))
                     .unwrap_or(1);
@@ -169,6 +174,90 @@ fn run(args: &[String]) -> i32 {
     }
 }
 
+/// Open-loop load mode (`serve --requests M --rate R`): Poisson arrivals
+/// against the planned deployment on the sharded serving engine, with a
+/// throughput / percentile summary instead of per-image reports.
+fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
+    let requests = match flag_value(args, "--requests").unwrap().parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => return fail("bad --requests value (need a positive integer)"),
+    };
+    let rate = match flag_value(args, "--rate") {
+        Some(v) => match v.parse::<f64>() {
+            Ok(r) if r > 0.0 => r,
+            _ => return fail(&format!("bad --rate value {v}")),
+        },
+        None => 1.0,
+    };
+    let lanes = match flag_value(args, "--lanes") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return fail(&format!("bad --lanes value {v}")),
+        },
+        None => 64,
+    };
+    // `--threads` drives both the optimizer and the serving workers here;
+    // serving results are thread-invariant either way (DESIGN.md §6c).
+    let threads = cfg.threads;
+    let cfg = cfg.with_serve_lanes(lanes).with_serve_threads(threads);
+    match Optimizer::new(cfg.clone()).optimize(g) {
+        Ok(r) => {
+            println!("{}", r.plan);
+            print_fault_plan(&cfg);
+            let load = LoadSpec {
+                rate_rps: rate,
+                requests,
+                seed: 0,
+            };
+            match run_open_loop(g, &r.plan, &cfg, &load) {
+                Ok(rep) => {
+                    println!(
+                        "load: {requests} request(s) at {rate:.1} rps over {lanes} lane(s), \
+                         {} worker thread(s)",
+                        if threads == 0 {
+                            "auto".to_string()
+                        } else {
+                            threads.to_string()
+                        }
+                    );
+                    println!(
+                        "latency: p50 {:.3}s  p95 {:.3}s  p99 {:.3}s  over {} success(es)",
+                        rep.percentile(50.0),
+                        rep.percentile(95.0),
+                        rep.percentile(99.0),
+                        rep.latencies_s.len()
+                    );
+                    let served = rep.latencies_s.len() as f64;
+                    println!(
+                        "throughput: {:.2} req/s over {:.1}s simulated makespan",
+                        if rep.makespan_s > 0.0 {
+                            served / rep.makespan_s
+                        } else {
+                            0.0
+                        },
+                        rep.makespan_s
+                    );
+                    println!(
+                        "platform: {} cold start(s), peak {} instance(s)",
+                        rep.cold_starts, rep.peak_instances
+                    );
+                    if rep.failures > 0 {
+                        println!(
+                            "reliability: {} request(s) exhausted retries \
+                             (excluded from percentiles, still billed)",
+                            rep.failures
+                        );
+                    }
+                    println!("total ${:.6}", rep.dollars);
+                    0
+                }
+                Err(e) => fail(&format!("load run: {e}")),
+            }
+        }
+        Err(e) => fail(&format!("optimization failed: {e}")),
+    }
+}
+
 fn usage() {
     eprintln!(
         "usage: ampsinf <command>\n\
@@ -190,6 +279,11 @@ fn usage() {
            --json <path>        write the plan as JSON (plan only)\n\
            --images <n>         requests to serve (serve only)\n\
            --parallel           serve images concurrently (serve only)\n\
+           --requests <n>       open-loop load mode: Poisson request count\n\
+                                (serve only; prints throughput/percentiles)\n\
+           --rate <rps>         mean arrival rate for --requests (default 1)\n\
+           --lanes <n>          warm-pool shards for load mode (default 64);\n\
+                                --threads also sets the serving workers\n\
          \n\
          reliability options (plan/serve):\n\
            --inject-faults <p>  inject crash/timeout/cold-start faults, each\n\
