@@ -8,7 +8,7 @@
 //! baseline file.
 
 use ampsinf_bench::harness::Bencher;
-use ampsinf_core::{AmpsConfig, Optimizer};
+use ampsinf_core::{AmpsConfig, Optimizer, SweepGrid};
 use ampsinf_model::zoo;
 
 fn main() {
@@ -81,6 +81,28 @@ fn main() {
             });
         }
     }
+
+    // Amortized grid planning vs N cold solves (ISSUE acceptance target:
+    // the 16-point ResNet-50 sweep must beat 16 independent optimize()
+    // calls by >= 3x). Both rows run at 1 thread so the ratio isolates
+    // the pass-1 sharing + bound seeding, not parallelism.
+    let g = zoo::resnet50();
+    let free = Optimizer::new(AmpsConfig::default().with_threads(1))
+        .optimize(&g)
+        .expect("feasible");
+    let t = free.plan.predicted_time_s;
+    let grid = SweepGrid::slo_range(t * 0.9, t * 1.5, 16);
+    b.bench("sweep/resnet50/16pt", 5, || {
+        Optimizer::new(AmpsConfig::default().with_threads(1)).optimize_sweep(&g, &grid)
+    });
+    b.bench("sweep/resnet50/16pt_cold", 5, || {
+        grid.slos
+            .iter()
+            .map(|&s| {
+                Optimizer::new(AmpsConfig::default().with_slo(s).with_threads(1)).optimize(&g)
+            })
+            .collect::<Vec<_>>()
+    });
 
     // Bench targets run from the package directory; the committed baseline
     // lives at the repo root. Override with BENCH_BASELINE=<path>.

@@ -7,6 +7,7 @@ mod motivation;
 mod overhead;
 mod related;
 mod sagemaker_cmp;
+mod sweep;
 
 use crate::Table;
 
@@ -40,6 +41,7 @@ pub fn registry() -> Vec<Experiment> {
         ("ext-parallel", extensions::ext_parallel),
         ("ext-costmodel", extensions::ext_costmodel),
         ("ext-load", extensions::ext_load),
+        ("ext-sweep", sweep::ext_sweep),
     ]
 }
 

@@ -27,6 +27,33 @@ use std::sync::{Arc, RwLock};
 /// (no feasible memory) so it is not re-derived either.
 type CachedColumns = Option<Arc<PartitionColumns>>;
 
+/// Stand-alone hit/miss tally. A sweep threads one per grid point through
+/// the shared cache's `_tracked` accessors so amortization is observable
+/// per point, while the cache's own totals keep accumulating across the
+/// whole sweep.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl CacheCounters {
+    /// Creates a zeroed counter pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lookups served from the table while this counter was attached.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that evaluated a segment while this counter was attached.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 /// Thread-shared memo table `(start, end) → presolved PartitionColumns`.
 #[derive(Debug, Default)]
 pub struct SegmentColumnCache {
@@ -50,11 +77,30 @@ impl SegmentColumnCache {
         end: usize,
         cfg: &AmpsConfig,
     ) -> CachedColumns {
+        self.get_or_eval_tracked(profile, start, end, cfg, None)
+    }
+
+    /// [`get_or_eval`](Self::get_or_eval) that additionally tallies the
+    /// hit/miss into `extra` (when given) on top of the cache's own totals.
+    pub fn get_or_eval_tracked(
+        &self,
+        profile: &Profile,
+        start: usize,
+        end: usize,
+        cfg: &AmpsConfig,
+        extra: Option<&CacheCounters>,
+    ) -> CachedColumns {
         if let Some(v) = self.map.read().expect("cache lock").get(&(start, end)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = extra {
+                c.hits.fetch_add(1, Ordering::Relaxed);
+            }
             return v.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = extra {
+            c.misses.fetch_add(1, Ordering::Relaxed);
+        }
         let val =
             evaluate_segment(profile, start, end, cfg).map(|p| Arc::new(presolve_dominated(&p)));
         self.map
@@ -74,10 +120,22 @@ impl SegmentColumnCache {
         cut: &[usize],
         cfg: &AmpsConfig,
     ) -> Option<Vec<Arc<PartitionColumns>>> {
+        self.columns_for_cut_tracked(profile, cut, cfg, None)
+    }
+
+    /// [`columns_for_cut`](Self::columns_for_cut) with per-point counter
+    /// attribution.
+    pub fn columns_for_cut_tracked(
+        &self,
+        profile: &Profile,
+        cut: &[usize],
+        cfg: &AmpsConfig,
+        extra: Option<&CacheCounters>,
+    ) -> Option<Vec<Arc<PartitionColumns>>> {
         let mut parts = Vec::with_capacity(cut.len());
         let mut start = 0usize;
         for &end in cut {
-            parts.push(self.get_or_eval(profile, start, end, cfg)?);
+            parts.push(self.get_or_eval_tracked(profile, start, end, cfg, extra)?);
             start = end + 1;
         }
         Some(parts)

@@ -73,6 +73,16 @@ pub struct AmpsConfig {
     /// bit-identical reports — only wall-clock changes. Clamped to the
     /// lane count (one lane never splits across threads).
     pub serve_threads: usize,
+    /// Sweep-mode cross-point seeding: completed tighter-SLO points feed
+    /// their optimal cost into looser points as a pruning upper bound
+    /// (speculative B&B cutoffs + replay dual-bound prunes). Like
+    /// `serve_threads`, this is an **execution** parameter — a per-point
+    /// cold fallback guarantees every plan stays bit-identical to an
+    /// independent `optimize()` whether seeding is on or off; only solve
+    /// counts and wall-clock change. `false` disables the sharing (each
+    /// grid point solves fully cold), which the equivalence tests use to
+    /// prove the invariance.
+    pub sweep_seed_bounds: bool,
 }
 
 impl Default for AmpsConfig {
@@ -96,6 +106,7 @@ impl Default for AmpsConfig {
             faults: FaultPlan::none(),
             serve_lanes: 1,
             serve_threads: 0,
+            sweep_seed_bounds: true,
         }
     }
 }
@@ -156,6 +167,13 @@ impl AmpsConfig {
     /// changes results, only wall-clock).
     pub fn with_serve_threads(mut self, threads: usize) -> Self {
         self.serve_threads = threads;
+        self
+    }
+
+    /// Config with sweep cross-point bound seeding toggled (never changes
+    /// plans, only how much work a sweep skips).
+    pub fn with_sweep_seeding(mut self, on: bool) -> Self {
+        self.sweep_seed_bounds = on;
         self
     }
 }

@@ -15,6 +15,8 @@
 //! * [`miqp_build`] — assembly of the per-cut 0-1 quadratic program
 //!   (Eq. 12–14) with SOS-1 memory rows (Eq. 1) and the SLO row;
 //! * [`optimizer`] — the Optimizer component: enumerate → solve → select;
+//! * [`sweep`] — amortized multi-point planning over an SLO × batch grid
+//!   with Pareto-frontier extraction;
 //! * [`baselines`] — the paper's Baseline 1 (random), Baseline 2
 //!   (greedy-from-last-layer + max memory), Baseline 3 (exhaustive
 //!   optimum via DP over all boundaries);
@@ -32,6 +34,7 @@ pub mod cuts;
 pub mod miqp_build;
 pub mod optimizer;
 pub mod plan;
+pub mod sweep;
 pub mod trace;
 
 pub use config::AmpsConfig;
@@ -41,4 +44,5 @@ pub use coordinator::{
 };
 pub use optimizer::{OptimizeError, Optimizer};
 pub use plan::{ExecutionPlan, PartitionPlan};
+pub use sweep::{PointStats, SweepGrid, SweepPoint, SweepReport};
 pub use trace::Timeline;

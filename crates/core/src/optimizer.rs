@@ -7,7 +7,7 @@
 //! fastest (this is what makes AMPS-Inf land slightly above Baseline 3's
 //! cost but slightly below its completion time in §5.3).
 
-use crate::colcache::SegmentColumnCache;
+use crate::colcache::{CacheCounters, SegmentColumnCache};
 use crate::config::AmpsConfig;
 use crate::cuts::enumerate_cuts;
 use crate::miqp_build::{
@@ -17,9 +17,11 @@ use crate::miqp_build::{
 use crate::plan::{ExecutionPlan, PartitionPlan};
 use ampsinf_model::LayerGraph;
 use ampsinf_profiler::Profile;
-use ampsinf_solver::bb::{lagrangian_root_bound, solve_miqp_with, BbStatus};
-use ampsinf_solver::{BbOptions, QpWorkspace};
+use ampsinf_solver::bb::{solve_miqp_with, BbStatus};
+use ampsinf_solver::{BbOptions, MiqpProblem, QpWorkspace};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Optimization failure.
@@ -55,7 +57,7 @@ struct Candidate {
 
 /// Pass-1 result for one cut: the separable optima over memory mixes,
 /// cached so later passes never re-evaluate columns.
-struct FastEval {
+pub(crate) struct FastEval {
     ci: usize,
     /// Separable min-cost memory mix and its time/cost.
     mems: Vec<u32>,
@@ -67,14 +69,14 @@ struct FastEval {
     min_cost: f64,
 }
 
-/// Pass-1 verdict for one cut.
-enum CutEval {
+/// Pass-1 verdict for one cut. Deliberately **SLO-independent**: whether a
+/// feasible cut survives a given SLO (`min_time ≤ slo`) is decided per
+/// point, so one evaluation serves every point of a sweep.
+pub(crate) enum CutEval {
     /// No memory assignment satisfies the platform constraints.
     Infeasible,
-    /// Feasible, but even the fastest memory mix misses the SLO.
-    SloKilled,
     /// Feasible; carries the cached separable optima.
-    Alive(FastEval),
+    Feasible(FastEval),
 }
 
 /// Pass-2 treatment of one surviving cut. Fixed before any solve starts,
@@ -96,10 +98,118 @@ enum CutClass {
 /// when the solve produced no usable point.
 type MiqpOutcome = Option<(Vec<u32>, f64, f64)>;
 
-/// A prebuilt MIQP job: the assembled problem plus a provable lower bound
-/// on the cost of any candidate the cut can produce.
+/// The SLO-independent part of one cut's MIQP, cacheable across sweep
+/// points: the assembled problem *without* the SLO row, the SLO row
+/// itself, and the sampled dual profile from which any SLO's Lagrangian
+/// root bound is a cheap max over samples. Everything here is a function
+/// of `(profile, cut, prices)` only — a chain of SLO points over one
+/// batch reuses it verbatim, paying matrix assembly and the O(n³)
+/// breakpoint sweep once per cut instead of once per point.
+pub(crate) struct CutPrebuilt {
+    /// The assembled pick-one MIQP with no SLO row.
+    base: CutMiqp,
+    /// Per-variable durations — the SLO row's coefficients.
+    t_row: Vec<f64>,
+    /// `(λ, g(λ))` samples of the SLO-free dual profile
+    /// `g(λ) = constant + Σ_group min_i (cost_i + λ·t_i)`, at `λ = 0`
+    /// plus every positive within-group breakpoint. For an SLO `s` the
+    /// Lagrangian root bound is `max over samples of g(λ) − λ·s` (each
+    /// `λ ≥ 0` yields a valid dual bound; the breakpoints contain the
+    /// maximizer of the piecewise-linear concave dual).
+    dual: Vec<(f64, f64)>,
+    /// Whether the dual profile is usable (all durations finite, ≥ 0).
+    dual_ok: bool,
+}
+
+impl CutPrebuilt {
+    /// Assembles the SLO-free problem and samples its dual profile.
+    fn new(base: CutMiqp) -> Self {
+        let qp = &base.problem.qp;
+        let n = base.problem.num_vars();
+        let cost: Vec<f64> = (0..n).map(|i| 0.5 * qp.h[(i, i)] + qp.c[i]).collect();
+        let mut t_row = Vec::with_capacity(n);
+        for p in &base.parts {
+            for e in &p.evals {
+                t_row.push(e.duration_s);
+            }
+        }
+        let dual_ok = t_row.len() == n && t_row.iter().all(|&v| v.is_finite() && v >= 0.0);
+        let mut dual = Vec::new();
+        if dual_ok {
+            let groups: Vec<std::ops::Range<usize>> = base
+                .offsets
+                .iter()
+                .zip(&base.parts)
+                .map(|(&o, p)| o..o + p.memories.len())
+                .collect();
+            let g_of = |lam: f64| -> f64 {
+                let mut total = qp.constant;
+                for r in &groups {
+                    let mut best = f64::INFINITY;
+                    for i in r.clone() {
+                        best = best.min(cost[i] + lam * t_row[i]);
+                    }
+                    total += best;
+                }
+                total
+            };
+            dual.push((0.0, g_of(0.0)));
+            for r in &groups {
+                for i in r.clone() {
+                    for j in (i + 1)..r.end {
+                        let dt = t_row[i] - t_row[j];
+                        if dt != 0.0 {
+                            let lam = (cost[j] - cost[i]) / dt;
+                            if lam > 0.0 && lam.is_finite() {
+                                dual.push((lam, g_of(lam)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        CutPrebuilt {
+            base,
+            t_row,
+            dual,
+            dual_ok,
+        }
+    }
+
+    /// Lagrangian root bound at `slo`, floored at `floor` (the cut's
+    /// separable min cost — itself a valid bound).
+    fn lower_at(&self, slo: Option<f64>, floor: f64) -> f64 {
+        let Some(s) = slo else {
+            return self.dual.first().map_or(floor, |&(_, g)| g.max(floor));
+        };
+        if !self.dual_ok {
+            return floor;
+        }
+        self.dual
+            .iter()
+            .map(|&(lam, g)| g - lam * s)
+            .fold(floor, f64::max)
+    }
+
+    /// The solver-ready problem at `slo`: the cached base plus the SLO
+    /// row — bitwise the problem a from-scratch build would produce.
+    fn problem_at(&self, slo: Option<f64>) -> MiqpProblem {
+        let mut p = self.base.problem.clone();
+        if let Some(s) = slo {
+            p.add_le(self.t_row.clone(), s);
+        }
+        p
+    }
+}
+
+/// A chain-scoped memo of [`CutPrebuilt`]s keyed by cut index — one per
+/// sweep batch chain, threaded through [`Optimizer::solve_point`].
+pub(crate) type PrebuiltCache = HashMap<usize, Arc<CutPrebuilt>>;
+
+/// A prebuilt MIQP job for one point: the shared SLO-free state plus this
+/// point's provable lower bound.
 struct Prebuilt {
-    miqp: CutMiqp,
+    pre: Arc<CutPrebuilt>,
     /// `max(separable min cost, Lagrangian SLO-dual root bound)`: every
     /// SLO-feasible mix of this cut costs at least this much, so a cut
     /// whose `lower` exceeds the running tolerance budget can be pruned
@@ -124,8 +234,47 @@ struct Pass2Ctx<'a> {
     /// Ranks classified [`CutClass::Miqp`], in rank (fast-cost) order.
     jobs: &'a [usize],
     /// Cheapest cost already guaranteed by a Fast/Fallback candidate —
-    /// seeds the shared incumbent bound.
+    /// seeds the shared incumbent bound. In sweep mode a prior point's
+    /// optimum is folded in as well.
     bound_seed: f64,
+    /// Inject the running bound as a B&B cutoff (sweep mode only). Results
+    /// whose search the cutoff actually pruned are *not* memoized — the
+    /// deterministic replay lazily re-solves them cold — so plans stay
+    /// bit-identical to unseeded runs.
+    use_cutoff: bool,
+}
+
+/// SLO-independent shared state for one `(model, batch)`: the batch-scaled
+/// profile, the enumerated cuts, every cut's pass-1 verdict, the feasible
+/// cuts in cost rank order, and the segment-column memo table. One
+/// instance serves every SLO point of a sweep at this batch size; a plain
+/// [`Optimizer::optimize`] builds one for its single point.
+pub(crate) struct BatchShared {
+    pub(crate) profile: Profile,
+    pub(crate) cuts: Vec<Vec<usize>>,
+    /// Pass-1 verdict per cut (SLO-independent).
+    evals: Vec<CutEval>,
+    /// Indices of feasible evals, stable-sorted by separable min cost.
+    order: Vec<usize>,
+    /// Segment-column memo table shared by every point on this batch.
+    pub(crate) cache: SegmentColumnCache,
+}
+
+/// Result of solving one grid point against a [`BatchShared`].
+pub(crate) struct PointSolve {
+    pub(crate) plan: ExecutionPlan,
+    /// Minimum candidate cost before tolerance upgrades — the value a
+    /// looser-SLO point may use as its `prior` bound.
+    pub(crate) best_cost: f64,
+    pub(crate) miqps_solved: usize,
+    pub(crate) miqps_pruned: usize,
+    pub(crate) bb_nodes: usize,
+    pub(crate) qp_relaxations: usize,
+    pub(crate) warm_start_hits: usize,
+    /// A prior bound was threaded into this solve.
+    pub(crate) seeded: bool,
+    /// The prior proved invalid and the replay reran unseeded.
+    pub(crate) seed_fallback: bool,
 }
 
 /// Optimizer statistics for the paper's overhead discussion (§5.4: "within
@@ -225,58 +374,127 @@ impl Optimizer {
     /// `threads = 1` run at every thread count.
     pub fn optimize(&self, graph: &LayerGraph) -> Result<OptimizerReport, OptimizeError> {
         let t0 = Instant::now();
+        let threads = self.resolve_threads();
+        let p1 = Instant::now();
         let profile = Profile::batched(graph, self.cfg.batch_size);
+        let shared = self.build_shared(profile, threads)?;
+        let pass1_time = p1.elapsed();
+        let p2 = Instant::now();
+        let sol = self.solve_point(graph, &shared, threads, None, None, None)?;
+        let pass2_time = p2.elapsed();
+        Ok(OptimizerReport {
+            plan: sol.plan,
+            cuts_considered: shared.cuts.len(),
+            miqps_solved: sol.miqps_solved,
+            miqps_pruned: sol.miqps_pruned,
+            bb_nodes: sol.bb_nodes,
+            qp_relaxations: sol.qp_relaxations,
+            warm_start_hits: sol.warm_start_hits,
+            column_cache_hits: shared.cache.hits(),
+            column_cache_misses: shared.cache.misses(),
+            solve_time: t0.elapsed(),
+            pass1_time,
+            pass2_time,
+            threads_used: threads,
+        })
+    }
+
+    /// Pass 1 for one `(model, batch)`: enumerate cuts, evaluate every
+    /// cut's columns through a fresh shared memo cache, and run the
+    /// separable fast paths. Everything here is **SLO-independent** (the
+    /// cut set, the columns, and the separable argmins are functions of
+    /// the profile and the platform config only), so one `BatchShared`
+    /// serves every SLO point of a sweep at this batch size.
+    pub(crate) fn build_shared(
+        &self,
+        profile: Profile,
+        threads: usize,
+    ) -> Result<BatchShared, OptimizeError> {
         let cuts = enumerate_cuts(&profile, &self.cfg);
         if cuts.is_empty() {
             return Err(OptimizeError::NoFeasibleCut);
         }
-        let threads = self.resolve_threads();
-        // One segment-column memo table for the whole call: adjacent cuts
-        // overwhelmingly share `(start, end)` segments, and a segment's
-        // columns are a pure function of the profile/config, so both
-        // passes (and every worker) read through this cache.
+        // One segment-column memo table shared by both passes, every
+        // worker, and (in a sweep) every point on this batch: adjacent
+        // cuts overwhelmingly share `(start, end)` segments, and a
+        // segment's columns are a pure function of the profile/config.
         let cache = SegmentColumnCache::new();
-
-        // Pass 1: evaluate every cut's columns and run the separable fast
-        // paths — no matrices are assembled here. `min_time` is the
-        // fastest any memory mix can make the cut; cuts whose min_time
-        // violates the SLO are provably infeasible and never see a MIQP.
         // Workers fill per-cut slots, so the merged order (and the stable
         // sort below) never depends on thread interleaving.
-        let p1 = Instant::now();
         let evals = self.evaluate_cuts(&profile, &cuts, threads, &cache);
-        let mut fast: Vec<FastEval> = Vec::new();
-        let mut any_feasible_cut = false;
-        for e in evals {
-            match e {
-                CutEval::Infeasible => {}
-                CutEval::SloKilled => any_feasible_cut = true,
-                CutEval::Alive(fe) => {
-                    any_feasible_cut = true;
-                    fast.push(fe);
-                }
-            }
-        }
-        if !any_feasible_cut {
+        let mut order: Vec<usize> = evals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, CutEval::Feasible(_)).then_some(i))
+            .collect();
+        if order.is_empty() {
             return Err(OptimizeError::NoFeasibleCut);
         }
+        // Stable sort by separable min cost. A per-point SLO filter over
+        // this order yields exactly the sequence the cold per-point
+        // filter-then-sort produced (stable sort + filter commute).
+        order.sort_by(|&a, &b| {
+            let (CutEval::Feasible(fa), CutEval::Feasible(fb)) = (&evals[a], &evals[b]) else {
+                unreachable!("order holds feasible evals only");
+            };
+            fa.cost
+                .partial_cmp(&fb.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(BatchShared {
+            profile,
+            cuts,
+            evals,
+            order,
+            cache,
+        })
+    }
+
+    /// Pass 2 for one grid point (`self.cfg` carries the point's SLO and
+    /// batch): classify the surviving cuts, solve the SLO-binding MIQPs,
+    /// and select the plan.
+    ///
+    /// `prior`, when given, is an upper bound on this point's optimal
+    /// candidate cost (a completed tighter-SLO point's optimum): the
+    /// speculative phase seeds its incumbent bound and injects B&B
+    /// cutoffs from it, and the replay prunes against it. A cold-fallback
+    /// guard makes the bound *advisory*: if the seeded replay's best cost
+    /// ever exceeds the prior (possible only when the prior was invalid —
+    /// the capped/fallback heuristics are not perfectly monotone), the
+    /// replay reruns unseeded, so the returned plan is **always**
+    /// bit-identical to `prior = None` (an independent `optimize()` call).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn solve_point(
+        &self,
+        graph: &LayerGraph,
+        shared: &BatchShared,
+        threads: usize,
+        prior: Option<f64>,
+        track: Option<&CacheCounters>,
+        mut prebuilt: Option<&mut PrebuiltCache>,
+    ) -> Result<PointSolve, OptimizeError> {
+        // Per-point SLO filter: `min_time` is the fastest any memory mix
+        // can make the cut; cuts whose min_time violates the SLO are
+        // provably infeasible and never see a MIQP.
+        let fast: Vec<&FastEval> = shared
+            .order
+            .iter()
+            .filter_map(|&i| match &shared.evals[i] {
+                CutEval::Feasible(fe) if self.cfg.slo_s.is_none_or(|s| fe.min_time <= s + 1e-9) => {
+                    Some(fe)
+                }
+                _ => None,
+            })
+            .collect();
         if fast.is_empty() {
             return Err(OptimizeError::SloInfeasible);
         }
-        fast.sort_by(|a, b| {
-            a.cost
-                .partial_cmp(&b.cost)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let pass1_time = p1.elapsed();
 
-        // Pass 2: full MIQP on the SLO-binding cuts, in fast-cost order.
-        // The classification is static: a cut whose separable min-cost mix
+        // Classification is static: a cut whose separable min-cost mix
         // already meets the SLO cannot be improved by the MIQP (that mix
         // is the unconstrained cost optimum), so only binding cuts — where
         // the SLO row actually constrains the mix — pay for a solve, up to
         // a hard cap. Without an SLO no MIQP is ever needed.
-        let p2 = Instant::now();
         let mut classes = Vec::with_capacity(fast.len());
         let mut binding = 0usize;
         for fe in &fast {
@@ -306,110 +524,108 @@ impl Optimizer {
             }
         }
 
-        // Prebuild every MIQP job once: columns come from the memo cache,
-        // and each problem gets its Lagrangian SLO-dual root bound (the
-        // per-cut program is separable plus one coupling row, so the dual
-        // is a per-partition argmin sweep). `lower` is a provable floor on
-        // any candidate the cut can produce; both the speculative phase
-        // and the replay prune on it before paying for a branch-and-bound
-        // run. Built sequentially in rank order → fully deterministic.
+        // Prebuild every MIQP job: the SLO-free problem + sampled dual
+        // profile come from the chain cache when sweeping (assembled once
+        // per cut, reused by every point of the chain) or are built fresh
+        // for a cold solve; either way the per-point work is only the
+        // cheap `max over dual samples` bound. `lower` is a provable
+        // floor on any candidate the cut can produce; both the
+        // speculative phase and the replay prune on it before paying for
+        // a branch-and-bound run. Built sequentially in rank order →
+        // fully deterministic, and bitwise-independent of whether the
+        // cache was warm.
         let mut built: Vec<Option<Prebuilt>> = (0..fast.len()).map(|_| None).collect();
         for &rank in &jobs {
-            let fe = &fast[rank];
-            let Some(cols) = cache.columns_for_cut(&profile, &cuts[fe.ci], &self.cfg) else {
-                continue; // unreachable: the cut survived pass 1
+            let fe = fast[rank];
+            let cached = prebuilt
+                .as_ref()
+                .and_then(|c| c.get(&fe.ci))
+                .map(Arc::clone);
+            let pre = match cached {
+                Some(p) => p,
+                None => {
+                    let Some(cols) = shared.cache.columns_for_cut_tracked(
+                        &shared.profile,
+                        &shared.cuts[fe.ci],
+                        &self.cfg,
+                        track,
+                    ) else {
+                        continue; // unreachable: the cut survived pass 1
+                    };
+                    let mut slo_free = self.cfg.clone();
+                    slo_free.slo_s = None;
+                    let p = Arc::new(CutPrebuilt::new(build_from_presolved(&cols, &slo_free)));
+                    if let Some(c) = prebuilt.as_mut() {
+                        c.insert(fe.ci, Arc::clone(&p));
+                    }
+                    p
+                }
             };
-            let miqp = build_from_presolved(&cols, &self.cfg);
-            let lower = lagrangian_root_bound(&miqp.problem).map_or(fe.cost, |b| b.max(fe.cost));
-            built[rank] = Some(Prebuilt { miqp, lower });
+            let lower = pre.lower_at(self.cfg.slo_s, fe.cost);
+            built[rank] = Some(Prebuilt { pre, lower });
         }
 
         // Speculative phase: workers race through the MIQP jobs sharing an
         // atomic incumbent bound; cuts whose lower bound already exceeds
         // the bound's tolerance budget are skipped. Results are memoized
-        // per rank.
+        // per rank. With a prior the bound starts tighter and each B&B
+        // gets a cutoff; only cutoff-clean results (bit-identical to cold
+        // solves) are memoized.
         let counters = SolveCounters::default();
         let mut outcomes: Vec<Option<MiqpOutcome>> = (0..fast.len()).map(|_| None).collect();
         if threads > 1 && !jobs.is_empty() {
             let ctx = Pass2Ctx {
                 built: &built,
                 jobs: &jobs[..jobs.len().min(SPECULATION_WINDOW)],
-                bound_seed,
+                bound_seed: prior.map_or(bound_seed, |b| bound_seed.min(b)),
+                use_cutoff: prior.is_some(),
             };
             for (rank, o) in self.speculate(&ctx, &counters, threads) {
                 outcomes[rank] = Some(o);
             }
         }
 
-        // Deterministic merge: replay the sequential selection loop in rank
-        // order, reusing memoized MIQP results and lazily solving any rank
-        // the speculative phase skipped. Because each MIQP solve is itself
-        // deterministic, this loop — and therefore the selected plan — is
-        // bit-identical to the `threads = 1` run.
+        // Deterministic merge: replay the sequential selection loop in
+        // rank order (see `run_replay`), then fall back to an unseeded
+        // replay if the prior turned out to be invalid for this point.
         let mut ws = QpWorkspace::new();
-        let mut candidates: Vec<Candidate> = Vec::new();
-        let mut best_candidate_cost = f64::INFINITY;
-        let mut miqps_pruned = 0usize;
-        for (rank, fe) in fast.iter().enumerate() {
-            if fe.cost > best_candidate_cost * (1.0 + self.cfg.cost_tolerance) + 1e-15
-                && rank >= MIQP_TOP_CUTS
-            {
-                break; // no later cut can enter the tolerance set
-            }
-            match classes[rank] {
-                CutClass::Fast => {
-                    best_candidate_cost = best_candidate_cost.min(fe.cost);
-                    candidates.push(Candidate {
-                        cut: cuts[fe.ci].clone(),
-                        memories: fe.mems.clone(),
-                        time_s: fe.time,
-                        cost: fe.cost,
-                    });
-                }
-                CutClass::Miqp => {
-                    let Some(pb) = &built[rank] else { continue };
-                    // Dual-bound prune: any candidate this cut yields costs
-                    // ≥ `lower` > the running tolerance budget, and the
-                    // budget only shrinks from here — the cut can neither
-                    // become the cost minimum nor enter the tolerance set.
-                    if pb.lower > best_candidate_cost * (1.0 + self.cfg.cost_tolerance) + 1e-15 {
-                        miqps_pruned += 1;
-                        continue;
-                    }
-                    let outcome = match outcomes[rank].take() {
-                        Some(o) => o,
-                        None => self.solve_prebuilt(pb, &mut ws, &counters),
-                    };
-                    if let Some((memories, t, c)) = outcome {
-                        if self.cfg.slo_s.is_none_or(|s| t <= s + 1e-9) {
-                            best_candidate_cost = best_candidate_cost.min(c);
-                            candidates.push(Candidate {
-                                cut: cuts[fe.ci].clone(),
-                                memories,
-                                time_s: t,
-                                cost: c,
-                            });
-                        }
-                    }
-                }
-                CutClass::Fallback => {
-                    // SLO-binding cut beyond the MIQP cap: the cached
-                    // fastest memory mix fits the SLO (the min-time filter
-                    // in pass 1 kept this cut alive).
-                    if self.cfg.slo_s.is_none_or(|s| fe.min_time <= s + 1e-9) {
-                        best_candidate_cost = best_candidate_cost.min(fe.min_cost);
-                        candidates.push(Candidate {
-                            cut: cuts[fe.ci].clone(),
-                            memories: fe.min_mems.clone(),
-                            time_s: fe.min_time,
-                            cost: fe.min_cost,
-                        });
-                    }
-                }
+        let (mut candidates, mut miqps_pruned) = self.run_replay(
+            &shared.cuts,
+            &fast,
+            &classes,
+            &built,
+            &mut outcomes,
+            prior,
+            &mut ws,
+            &counters,
+        );
+        let mut seed_fallback = false;
+        if let Some(b) = prior {
+            let seeded_best = candidates
+                .iter()
+                .map(|c| c.cost)
+                .fold(f64::INFINITY, f64::min);
+            // If the prior really bounds this point's optimum, the seeded
+            // replay provably found it (see DESIGN.md §5e) and its best
+            // cost is ≤ the prior. Otherwise rerun cold — memoized MIQP
+            // outcomes are reused, so the rerun pays only for solves the
+            // seeded pass pruned.
+            if candidates.is_empty() || seeded_best > b {
+                seed_fallback = true;
+                let (c2, p2) = self.run_replay(
+                    &shared.cuts,
+                    &fast,
+                    &classes,
+                    &built,
+                    &mut outcomes,
+                    None,
+                    &mut ws,
+                    &counters,
+                );
+                candidates = c2;
+                miqps_pruned = p2;
             }
         }
-        let pass2_time = p2.elapsed();
-        let miqps_solved = counters.miqps.load(Ordering::Relaxed);
         if candidates.is_empty() {
             return Err(OptimizeError::SloInfeasible);
         }
@@ -434,28 +650,118 @@ impl Optimizer {
         // Per-partition memory upgrades: spend the remaining tolerance on
         // the best time-per-dollar improvements (cost-efficiency with
         // timely response).
-        let upgraded = self.upgrade_memories(&profile, winner, budget);
+        let upgraded = self.upgrade_memories(&shared.profile, winner, budget);
 
-        let plan = self.to_plan(graph, &profile, upgraded);
-        Ok(OptimizerReport {
+        let plan = self.to_plan(graph, &shared.profile, upgraded);
+        Ok(PointSolve {
             plan,
-            cuts_considered: cuts.len(),
-            miqps_solved,
+            best_cost,
+            miqps_solved: counters.miqps.load(Ordering::Relaxed),
             miqps_pruned,
             bb_nodes: counters.nodes.load(Ordering::Relaxed),
             qp_relaxations: counters.relaxations.load(Ordering::Relaxed),
             warm_start_hits: counters.warm_starts.load(Ordering::Relaxed),
-            column_cache_hits: cache.hits(),
-            column_cache_misses: cache.misses(),
-            solve_time: t0.elapsed(),
-            pass1_time,
-            pass2_time,
-            threads_used: threads,
+            seeded: prior.is_some(),
+            seed_fallback,
         })
     }
 
+    /// The deterministic sequential selection loop over ranked cuts,
+    /// reusing memoized MIQP results and lazily solving (and memoizing)
+    /// any rank the speculative phase skipped. Because each MIQP solve is
+    /// itself deterministic, this loop — and therefore the selected plan —
+    /// is bit-identical to the `threads = 1` run.
+    ///
+    /// With `prior = Some(B)` every pruning threshold uses
+    /// `min(best_so_far, B)` instead of `best_so_far`. When `B` really
+    /// bounds this point's optimal candidate cost `b*`, this is provably
+    /// plan-neutral: the `b*` cut is never pruned or broken past (its
+    /// separable floor and dual bound are ≤ `b*` ≤ every threshold), and
+    /// every candidate the tighter thresholds drop costs more than
+    /// `b*(1+tol) + 1e-15` — outside the final winner filter anyway.
+    /// Returns `(candidates, replay prunes)`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_replay(
+        &self,
+        cuts: &[Vec<usize>],
+        fast: &[&FastEval],
+        classes: &[CutClass],
+        built: &[Option<Prebuilt>],
+        outcomes: &mut [Option<MiqpOutcome>],
+        prior: Option<f64>,
+        ws: &mut QpWorkspace,
+        counters: &SolveCounters,
+    ) -> (Vec<Candidate>, usize) {
+        let tol = self.cfg.cost_tolerance;
+        let cap = |best: f64| prior.map_or(best, |b| best.min(b));
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut best_candidate_cost = f64::INFINITY;
+        let mut miqps_pruned = 0usize;
+        for (rank, fe) in fast.iter().enumerate() {
+            if fe.cost > cap(best_candidate_cost) * (1.0 + tol) + 1e-15 && rank >= MIQP_TOP_CUTS {
+                break; // no later cut can enter the tolerance set
+            }
+            match classes[rank] {
+                CutClass::Fast => {
+                    best_candidate_cost = best_candidate_cost.min(fe.cost);
+                    candidates.push(Candidate {
+                        cut: cuts[fe.ci].clone(),
+                        memories: fe.mems.clone(),
+                        time_s: fe.time,
+                        cost: fe.cost,
+                    });
+                }
+                CutClass::Miqp => {
+                    let Some(pb) = &built[rank] else { continue };
+                    // Dual-bound prune: any candidate this cut yields costs
+                    // ≥ `lower` > the running tolerance budget, and the
+                    // budget only shrinks from here — the cut can neither
+                    // become the cost minimum nor enter the tolerance set.
+                    if pb.lower > cap(best_candidate_cost) * (1.0 + tol) + 1e-15 {
+                        miqps_pruned += 1;
+                        continue;
+                    }
+                    let outcome = match &outcomes[rank] {
+                        Some(o) => o.clone(),
+                        None => {
+                            let o = self.solve_prebuilt(pb, ws, counters);
+                            outcomes[rank] = Some(o.clone());
+                            o
+                        }
+                    };
+                    if let Some((memories, t, c)) = outcome {
+                        if self.cfg.slo_s.is_none_or(|s| t <= s + 1e-9) {
+                            best_candidate_cost = best_candidate_cost.min(c);
+                            candidates.push(Candidate {
+                                cut: cuts[fe.ci].clone(),
+                                memories,
+                                time_s: t,
+                                cost: c,
+                            });
+                        }
+                    }
+                }
+                CutClass::Fallback => {
+                    // SLO-binding cut beyond the MIQP cap: the cached
+                    // fastest memory mix fits the SLO (the min-time filter
+                    // kept this cut alive).
+                    if self.cfg.slo_s.is_none_or(|s| fe.min_time <= s + 1e-9) {
+                        best_candidate_cost = best_candidate_cost.min(fe.min_cost);
+                        candidates.push(Candidate {
+                            cut: cuts[fe.ci].clone(),
+                            memories: fe.min_mems.clone(),
+                            time_s: fe.min_time,
+                            cost: fe.min_cost,
+                        });
+                    }
+                }
+            }
+        }
+        (candidates, miqps_pruned)
+    }
+
     /// Resolves the configured thread count (`0` = machine parallelism).
-    fn resolve_threads(&self) -> usize {
+    pub(crate) fn resolve_threads(&self) -> usize {
         if self.cfg.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -468,7 +774,8 @@ impl Optimizer {
     /// Pass-1 verdict for a single cut. Columns come from the shared memo
     /// cache — the separable argmins over the presolved Pareto frontier
     /// equal those over the raw grid (dominated columns are never argmins
-    /// and exact duplicates keep their smallest-memory copy).
+    /// and exact duplicates keep their smallest-memory copy). No SLO is
+    /// consulted here: the verdict is shared across every sweep point.
     fn eval_cut(
         &self,
         profile: &Profile,
@@ -481,10 +788,7 @@ impl Optimizer {
         };
         let (mems, time, cost) = separable_min_cost_cols(&cols);
         let (min_mems, min_time, min_cost) = separable_min_time_cols(&cols);
-        if self.cfg.slo_s.is_some_and(|s| min_time > s + 1e-9) {
-            return CutEval::SloKilled; // no memory mix can meet the SLO
-        }
-        CutEval::Alive(FastEval {
+        CutEval::Feasible(FastEval {
             ci,
             mems,
             time,
@@ -547,19 +851,39 @@ impl Optimizer {
             .collect()
     }
 
-    /// Solves one prebuilt cut MIQP, aggregating solver statistics into the
-    /// shared counters.
+    /// Solves one prebuilt cut MIQP cold (no cutoff), aggregating solver
+    /// statistics into the shared counters.
     fn solve_prebuilt(
         &self,
         pb: &Prebuilt,
         ws: &mut QpWorkspace,
         counters: &SolveCounters,
     ) -> MiqpOutcome {
+        self.solve_prebuilt_bounded(pb, None, ws, counters).0
+    }
+
+    /// Like [`solve_prebuilt`](Self::solve_prebuilt) with an optional B&B
+    /// cutoff injected. Returns `(outcome, clean)`: `clean` is true when
+    /// the cutoff never pruned a node, i.e. the run is bit-identical to a
+    /// cold solve and may be memoized for the deterministic replay.
+    ///
+    /// The SLO row is appended here, at solve time: only jobs that
+    /// actually reach a branch-and-bound run pay for problem assembly —
+    /// dual-pruned jobs never materialize their matrices.
+    fn solve_prebuilt_bounded(
+        &self,
+        pb: &Prebuilt,
+        cutoff: Option<f64>,
+        ws: &mut QpWorkspace,
+        counters: &SolveCounters,
+    ) -> (MiqpOutcome, bool) {
+        let problem = pb.pre.problem_at(self.cfg.slo_s);
         let sol = solve_miqp_with(
-            &pb.miqp.problem,
+            &problem,
             BbOptions {
                 convexify: self.cfg.convexify,
                 warm_start: self.cfg.bb_warm_start,
+                cutoff,
                 ..Default::default()
             },
             ws,
@@ -572,12 +896,14 @@ impl Optimizer {
         counters
             .warm_starts
             .fetch_add(sol.stats.warm_starts, Ordering::Relaxed);
-        match sol.status {
+        let clean = sol.stats.cutoff_prunes == 0;
+        let outcome = match sol.status {
             BbStatus::Optimal | BbStatus::NodeLimit if !sol.x.is_empty() => {
-                Some(pb.miqp.decode(&sol.x))
+                Some(pb.pre.base.decode(&sol.x))
             }
             _ => None,
-        }
+        };
+        (outcome, clean)
     }
 
     /// Speculative MIQP phase: workers pull jobs in rank order and share an
@@ -616,13 +942,26 @@ impl Optimizer {
                                 // (and lazily solves) any rank it still needs.
                                 continue;
                             }
-                            let outcome = self.solve_prebuilt(pb, &mut ws, counters);
+                            // Sweep mode: inject the running bound as a B&B
+                            // cutoff so hopeless searches stop early. The
+                            // incumbents such a run reports are genuinely
+                            // feasible (the cutoff only prunes tree nodes),
+                            // so they may still tighten the shared bound.
+                            let cutoff = (ctx.use_cutoff && bound.is_finite())
+                                .then_some(bound * (1.0 + self.cfg.cost_tolerance) + 1e-15);
+                            let (outcome, clean) =
+                                self.solve_prebuilt_bounded(pb, cutoff, &mut ws, counters);
                             if let Some((_, t, c)) = &outcome {
                                 if self.cfg.slo_s.is_none_or(|slo| *t <= slo + 1e-9) {
                                     atomic_min_f64(&best, *c);
                                 }
                             }
-                            local.push((rank, outcome));
+                            // Memoize only cutoff-clean results: anything
+                            // else is not provably cold-identical, and the
+                            // replay must lazily re-solve it.
+                            if clean {
+                                local.push((rank, outcome));
+                            }
                         }
                         local
                     })

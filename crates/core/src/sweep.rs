@@ -1,0 +1,584 @@
+//! Amortized multi-point planning: one call plans an entire SLO × batch
+//! grid (the paper's whole evaluation is such a family — cost-vs-SLO
+//! curves, batch tables; §5, Figs. 7–8).
+//!
+//! Three amortizations over N independent [`Optimizer::optimize`] calls:
+//!
+//! 1. **Pass-1 sharing** — the profile, the cut enumeration, every cut's
+//!    column evaluation, and the segment-column memo cache are functions
+//!    of `(model, batch)` only, so they are built once per distinct batch
+//!    and reused by every SLO point ([`crate::optimizer`]'s `BatchShared`).
+//! 2. **Cross-point bound seeding** — the optimal cost is monotone
+//!    non-increasing as the SLO loosens, so a completed tighter-SLO
+//!    point's optimum is an upper bound for every looser point: it seeds
+//!    the speculative phase's incumbent bound, injects branch-and-bound
+//!    cutoffs ([`ampsinf_solver::BbOptions::cutoff`]), and tightens the
+//!    replay's dual-bound prunes. A per-point cold-fallback guard keeps
+//!    the bound *advisory*: plans are **always** bit-identical to
+//!    independent cold solves, at every thread count, seeding on or off.
+//! 3. **Parallel batch chains** — each batch's points form a sequential
+//!    tight-to-loose chain (so seeds are deterministic); distinct batch
+//!    chains run concurrently on scoped threads, and the remaining
+//!    threads fan out *inside* each point's two passes. Results merge in
+//!    grid order.
+//!
+//! The report marks the per-batch Pareto frontier over (time, cost) with
+//! the knee point flagged — the grid point a cost/latency trade-off
+//! discussion would pick.
+
+use crate::colcache::CacheCounters;
+use crate::optimizer::{BatchShared, OptimizeError, Optimizer};
+use crate::plan::ExecutionPlan;
+use ampsinf_model::LayerGraph;
+use ampsinf_profiler::batched_unique;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// The SLO × batch grid a sweep plans. The grid is the cross product of
+/// `slos` and `batches`; points are reported batch-major in the order
+/// given here (execution may reorder, results never do).
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// SLO values in seconds (any order; duplicates allowed).
+    pub slos: Vec<f64>,
+    /// Batch sizes (images per request). Defaults to `[1]`.
+    pub batches: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// Grid over explicit SLO values at batch 1.
+    pub fn from_slos(slos: Vec<f64>) -> Self {
+        assert!(!slos.is_empty(), "at least one SLO required");
+        assert!(
+            slos.iter().all(|s| s.is_finite() && *s > 0.0),
+            "SLOs must be positive and finite"
+        );
+        SweepGrid {
+            slos,
+            batches: vec![1],
+        }
+    }
+
+    /// `points` linearly spaced SLOs over `[from, to]` inclusive.
+    pub fn slo_range(from: f64, to: f64, points: usize) -> Self {
+        assert!(points >= 1, "at least one point required");
+        assert!(
+            from.is_finite() && to.is_finite() && from > 0.0 && to >= from,
+            "need 0 < from <= to"
+        );
+        let slos = if points == 1 {
+            vec![from]
+        } else {
+            (0..points)
+                .map(|i| from + (to - from) * (i as f64) / ((points - 1) as f64))
+                .collect()
+        };
+        Self::from_slos(slos)
+    }
+
+    /// Replaces the batch axis.
+    pub fn with_batches(mut self, batches: Vec<u64>) -> Self {
+        assert!(!batches.is_empty(), "at least one batch size required");
+        assert!(
+            batches.iter().all(|&b| b >= 1),
+            "batch sizes must be at least 1"
+        );
+        self.batches = batches;
+        self
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.slos.len() * self.batches.len()
+    }
+
+    /// Whether the grid is empty (never, given the constructors' checks).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-point solver statistics. Plans are thread-invariant; these counts
+/// are not (speculative over-solving, like `OptimizerReport::miqps_solved`)
+/// — they exist to make the amortization observable.
+#[derive(Debug, Clone, Default)]
+pub struct PointStats {
+    /// Full MIQP solves attributed to this point.
+    pub miqps_solved: usize,
+    /// Replay-side dual-bound prunes.
+    pub miqps_pruned: usize,
+    /// Branch-and-bound nodes expanded.
+    pub bb_nodes: usize,
+    /// QP relaxations solved.
+    pub qp_relaxations: usize,
+    /// Warm-started node relaxations.
+    pub warm_start_hits: usize,
+    /// Segment-column cache hits attributed to this point's pass 2.
+    pub cache_hits: usize,
+    /// Segment-column cache misses attributed to this point's pass 2
+    /// (zero once the shared pass 1 has warmed the cache).
+    pub cache_misses: usize,
+    /// A tighter point's optimum seeded this solve.
+    pub seeded: bool,
+    /// The seed proved invalid and the replay reran cold (rare; the plan
+    /// is cold-identical either way).
+    pub seed_fallback: bool,
+    /// Wall-clock spent solving this point.
+    pub solve_time: Duration,
+}
+
+/// One planned grid point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The point's SLO in seconds.
+    pub slo_s: f64,
+    /// The point's batch size.
+    pub batch: u64,
+    /// The plan, or why none exists at this point.
+    pub outcome: Result<ExecutionPlan, OptimizeError>,
+    /// Solver statistics for this point.
+    pub stats: PointStats,
+    /// Another same-batch point is at least as fast *and* as cheap.
+    pub dominated: bool,
+    /// The knee of its batch's Pareto frontier (max normalized distance
+    /// from the chord; only marked on frontiers of ≥ 3 points).
+    pub knee: bool,
+}
+
+/// Result of [`Optimizer::optimize_sweep`]: every grid point in grid
+/// order plus the Pareto frontier and cumulative cache statistics.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Every grid point, batch-major in grid order
+    /// (`points[bi * slos.len() + si]`).
+    pub points: Vec<SweepPoint>,
+    /// Indices (into `points`) of the per-batch Pareto frontiers,
+    /// ascending.
+    pub pareto: Vec<usize>,
+    /// Cuts enumerated, summed over distinct batches.
+    pub cuts_considered: usize,
+    /// Cumulative segment-column cache hits (shared pass 1 + all points).
+    pub cache_hits: usize,
+    /// Cumulative segment-column cache misses.
+    pub cache_misses: usize,
+    /// Wall-clock spent building the per-batch shared state (pass 1).
+    pub pass1_time: Duration,
+    /// Wall-clock of the whole sweep.
+    pub total_time: Duration,
+    /// Worker threads the sweep was allowed to use.
+    pub threads_used: usize,
+}
+
+impl SweepReport {
+    /// Points whose plan solved.
+    pub fn solved(&self) -> usize {
+        self.points.iter().filter(|p| p.outcome.is_ok()).count()
+    }
+}
+
+/// One batch group awaiting execution: the shared pass-1 state (or the
+/// error every point inherits) plus the SLO indices in tight-to-loose
+/// execution order.
+struct BatchGroup<'a> {
+    bi: usize,
+    batch: u64,
+    shared: &'a Result<BatchShared, OptimizeError>,
+    /// Indices into `grid.slos`, ascending by SLO value (stable on ties).
+    exec_order: Vec<usize>,
+}
+
+impl Optimizer {
+    /// Plans every point of `grid` in one call. See the module docs for
+    /// what is shared across points; the contract is that every returned
+    /// plan is bit-identical to an independent [`Optimizer::optimize`]
+    /// call at that point's `(slo, batch)` — at every thread count, with
+    /// seeding on or off.
+    pub fn optimize_sweep(&self, graph: &LayerGraph, grid: &SweepGrid) -> SweepReport {
+        let t0 = Instant::now();
+        let threads = self.resolve_threads();
+
+        // Shared pass 1, once per distinct batch, each with full fan-out.
+        let p1 = Instant::now();
+        let shared_by_batch: Vec<(u64, Result<BatchShared, OptimizeError>)> =
+            batched_unique(graph, &grid.batches)
+                .into_iter()
+                .map(|(b, profile)| {
+                    let mut cfg = self.config().clone();
+                    cfg.batch_size = b;
+                    let built = Optimizer::new(cfg).build_shared(profile, threads);
+                    (b, built)
+                })
+                .collect();
+        let pass1_time = p1.elapsed();
+
+        let groups: Vec<BatchGroup<'_>> = grid
+            .batches
+            .iter()
+            .enumerate()
+            .map(|(bi, &b)| {
+                let shared = &shared_by_batch
+                    .iter()
+                    .find(|(seen, _)| *seen == b)
+                    .expect("every grid batch was profiled")
+                    .1;
+                let mut exec_order: Vec<usize> = (0..grid.slos.len()).collect();
+                exec_order.sort_by(|&a, &c| {
+                    grid.slos[a]
+                        .partial_cmp(&grid.slos[c])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                BatchGroup {
+                    bi,
+                    batch: b,
+                    shared,
+                    exec_order,
+                }
+            })
+            .collect();
+
+        // Batch chains run concurrently; the threads left over fan out
+        // inside each point. Both splits depend only on the grid shape
+        // and `threads`, never on interleaving.
+        let workers = threads.min(groups.len()).max(1);
+        let inner = (threads / workers).max(1);
+        let chains: Vec<Vec<SweepPoint>> = if workers == 1 {
+            groups
+                .iter()
+                .map(|g| self.run_chain(graph, grid, g, inner))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let parts: Vec<Vec<(usize, Vec<SweepPoint>)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let gi = next.fetch_add(1, Ordering::Relaxed);
+                                if gi >= groups.len() {
+                                    break;
+                                }
+                                local.push((gi, self.run_chain(graph, grid, &groups[gi], inner)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep chain worker panicked"))
+                    .collect()
+            });
+            let mut slots: Vec<Option<Vec<SweepPoint>>> = (0..groups.len()).map(|_| None).collect();
+            for part in parts {
+                for (gi, chain) in part {
+                    slots[gi] = Some(chain);
+                }
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every chain ran exactly once"))
+                .collect()
+        };
+
+        // Deterministic merge into grid order: chain `bi` produced its
+        // points keyed by SLO index.
+        let n = grid.slos.len();
+        let mut points: Vec<Option<SweepPoint>> = (0..grid.len()).map(|_| None).collect();
+        for (g, chain) in groups.iter().zip(chains) {
+            for (si, point) in g.exec_order.iter().zip(chain) {
+                points[g.bi * n + si] = Some(point);
+            }
+        }
+        let mut points: Vec<SweepPoint> = points
+            .into_iter()
+            .map(|p| p.expect("every grid point planned exactly once"))
+            .collect();
+
+        let pareto = mark_pareto(&mut points, grid.batches.len(), n);
+
+        let cache_hits: usize = shared_by_batch
+            .iter()
+            .filter_map(|(_, s)| s.as_ref().ok().map(|sh| sh.cache.hits()))
+            .sum();
+        let cache_misses: usize = shared_by_batch
+            .iter()
+            .filter_map(|(_, s)| s.as_ref().ok().map(|sh| sh.cache.misses()))
+            .sum();
+        let cuts_considered: usize = shared_by_batch
+            .iter()
+            .filter_map(|(_, s)| s.as_ref().ok().map(|sh| sh.cuts.len()))
+            .sum();
+
+        SweepReport {
+            points,
+            pareto,
+            cuts_considered,
+            cache_hits,
+            cache_misses,
+            pass1_time,
+            total_time: t0.elapsed(),
+            threads_used: threads,
+        }
+    }
+
+    /// Solves one batch group's points tight-to-loose, threading each
+    /// completed point's optimum into the next as the prior bound.
+    fn run_chain(
+        &self,
+        graph: &LayerGraph,
+        grid: &SweepGrid,
+        group: &BatchGroup<'_>,
+        inner_threads: usize,
+    ) -> Vec<SweepPoint> {
+        let mut out = Vec::with_capacity(group.exec_order.len());
+        let mut bound: Option<f64> = None;
+        // Chain-scoped memo of SLO-free prebuilt MIQPs: every point of
+        // the chain reuses a cut's assembled problem and dual profile,
+        // paying only the cheap per-SLO bound evaluation.
+        let mut prebuilt = crate::optimizer::PrebuiltCache::new();
+        for &si in &group.exec_order {
+            let slo = grid.slos[si];
+            let t = Instant::now();
+            let mut cfg = self.config().clone();
+            cfg.batch_size = group.batch;
+            cfg.slo_s = Some(slo);
+            let seed = if cfg.sweep_seed_bounds { bound } else { None };
+            let point_opt = Optimizer::new(cfg);
+            let counters = CacheCounters::new();
+            let (outcome, stats) = match group.shared {
+                Err(e) => (Err(e.clone()), PointStats::default()),
+                Ok(sh) => {
+                    match point_opt.solve_point(
+                        graph,
+                        sh,
+                        inner_threads,
+                        seed,
+                        Some(&counters),
+                        Some(&mut prebuilt),
+                    ) {
+                        Err(e) => (
+                            Err(e),
+                            PointStats {
+                                seeded: seed.is_some(),
+                                ..PointStats::default()
+                            },
+                        ),
+                        Ok(ps) => {
+                            bound = Some(bound.map_or(ps.best_cost, |b| b.min(ps.best_cost)));
+                            let stats = PointStats {
+                                miqps_solved: ps.miqps_solved,
+                                miqps_pruned: ps.miqps_pruned,
+                                bb_nodes: ps.bb_nodes,
+                                qp_relaxations: ps.qp_relaxations,
+                                warm_start_hits: ps.warm_start_hits,
+                                cache_hits: counters.hits(),
+                                cache_misses: counters.misses(),
+                                seeded: ps.seeded,
+                                seed_fallback: ps.seed_fallback,
+                                solve_time: Duration::ZERO,
+                            };
+                            (Ok(ps.plan), stats)
+                        }
+                    }
+                }
+            };
+            let mut stats = stats;
+            stats.solve_time = t.elapsed();
+            out.push(SweepPoint {
+                slo_s: slo,
+                batch: group.batch,
+                outcome,
+                stats,
+                dominated: false,
+                knee: false,
+            });
+        }
+        out
+    }
+}
+
+/// Marks per-batch dominance and knees in place; returns the ascending
+/// frontier indices. A point is dominated when another solved same-batch
+/// point is no slower *and* no dearer (exact (time, cost) ties keep the
+/// lower index, mirroring the column presolve's tie-break).
+fn mark_pareto(points: &mut [SweepPoint], num_batches: usize, slos_per_batch: usize) -> Vec<usize> {
+    let tc = |p: &SweepPoint| {
+        let plan = p.outcome.as_ref().expect("solved point");
+        (plan.predicted_time_s, plan.predicted_cost)
+    };
+    let mut pareto = Vec::new();
+    for bi in 0..num_batches {
+        let base = bi * slos_per_batch;
+        let solved: Vec<usize> = (base..base + slos_per_batch)
+            .filter(|&i| points[i].outcome.is_ok())
+            .collect();
+        for &i in &solved {
+            let (ti, ci) = tc(&points[i]);
+            points[i].dominated = solved.iter().any(|&j| {
+                if j == i {
+                    return false;
+                }
+                let (tj, cj) = tc(&points[j]);
+                tj <= ti && cj <= ci && (tj < ti || cj < ci || j < i)
+            });
+        }
+        let mut frontier: Vec<usize> = solved
+            .iter()
+            .copied()
+            .filter(|&i| !points[i].dominated)
+            .collect();
+        // Knee: the frontier point farthest (perpendicular) from the
+        // chord between the frontier's endpoints, in normalized
+        // (time, cost) space. Ties keep the earliest along the frontier.
+        frontier.sort_by(|&a, &b| {
+            tc(&points[a])
+                .0
+                .partial_cmp(&tc(&points[b]).0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if frontier.len() >= 3 {
+            let (t_lo, c_hi) = tc(&points[frontier[0]]);
+            let (t_hi, c_lo) = tc(&points[*frontier.last().unwrap()]);
+            let span_t = (t_hi - t_lo).abs().max(1e-12);
+            let span_c = (c_hi - c_lo).abs().max(1e-12);
+            let norm = |i: usize| {
+                let (t, c) = tc(&points[i]);
+                ((t - t_lo) / span_t, (c - c_lo) / span_c)
+            };
+            let (x1, y1) = norm(frontier[0]);
+            let (x2, y2) = norm(*frontier.last().unwrap());
+            let mut knee: Option<(usize, f64)> = None;
+            for &i in &frontier[1..frontier.len() - 1] {
+                let (x, y) = norm(i);
+                let dist = ((x2 - x1) * (y1 - y) - (x1 - x) * (y2 - y1)).abs();
+                if knee.is_none_or(|(_, d)| dist > d) {
+                    knee = Some((i, dist));
+                }
+            }
+            if let Some((i, _)) = knee {
+                points[i].knee = true;
+            }
+        }
+        pareto.extend(frontier.iter().copied());
+    }
+    pareto.sort_unstable();
+    pareto
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AmpsConfig;
+    use crate::plan::PartitionPlan;
+
+    fn point(slo: f64, batch: u64, time: f64, cost: f64) -> SweepPoint {
+        SweepPoint {
+            slo_s: slo,
+            batch,
+            outcome: Ok(ExecutionPlan {
+                model: "m".into(),
+                partitions: vec![PartitionPlan {
+                    start: 0,
+                    end: 0,
+                    memory_mb: 512,
+                }],
+                predicted_time_s: time,
+                predicted_cost: cost,
+            }),
+            stats: PointStats::default(),
+            dominated: false,
+            knee: false,
+        }
+    }
+
+    #[test]
+    fn grid_shapes() {
+        let g = SweepGrid::slo_range(1.0, 2.0, 5).with_batches(vec![1, 8]);
+        assert_eq!(g.len(), 10);
+        assert!(!g.is_empty());
+        assert_eq!(g.slos[0], 1.0);
+        assert_eq!(*g.slos.last().unwrap(), 2.0);
+        assert!((g.slos[1] - 1.25).abs() < 1e-12);
+        assert_eq!(SweepGrid::slo_range(3.0, 3.0, 1).slos, vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn grid_rejects_nonpositive_slo() {
+        let _ = SweepGrid::from_slos(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn pareto_marks_dominated_and_knee() {
+        // A convex frontier with one clearly dominated point and a sharp
+        // elbow at (2, 2).
+        let mut pts = vec![
+            point(0.1, 1, 1.0, 10.0),
+            point(0.2, 1, 2.0, 2.0),
+            point(0.3, 1, 5.0, 1.8),
+            point(0.4, 1, 9.0, 1.7),
+            point(0.5, 1, 9.5, 5.0), // dominated by (9.0, 1.7)? no: 9.5 > 9.0 and 5.0 > 1.7 → dominated
+        ];
+        let pareto = mark_pareto(&mut pts, 1, 5);
+        assert_eq!(pareto, vec![0, 1, 2, 3]);
+        assert!(pts[4].dominated);
+        assert!(!pts[1].dominated);
+        assert!(pts[1].knee, "elbow at (2,2) should be the knee");
+        assert_eq!(pts.iter().filter(|p| p.knee).count(), 1);
+    }
+
+    #[test]
+    fn pareto_tie_keeps_lower_index() {
+        let mut pts = vec![
+            point(0.1, 1, 1.0, 1.0),
+            point(0.2, 1, 1.0, 1.0), // exact duplicate → dominated by index 0
+        ];
+        let pareto = mark_pareto(&mut pts, 1, 2);
+        assert_eq!(pareto, vec![0]);
+        assert!(!pts[0].dominated);
+        assert!(pts[1].dominated);
+    }
+
+    #[test]
+    fn pareto_is_per_batch() {
+        // Batch groups never dominate across each other.
+        let mut pts = vec![
+            point(0.1, 1, 5.0, 5.0),
+            point(0.2, 1, 6.0, 6.0), // dominated within batch 1
+            point(0.1, 8, 1.0, 1.0), // would dominate everything if global
+            point(0.2, 8, 2.0, 2.0), // dominated within batch 8
+        ];
+        let pareto = mark_pareto(&mut pts, 2, 2);
+        assert_eq!(pareto, vec![0, 2]);
+    }
+
+    #[test]
+    fn short_frontier_has_no_knee() {
+        let mut pts = vec![point(0.1, 1, 1.0, 2.0), point(0.2, 1, 2.0, 1.0)];
+        mark_pareto(&mut pts, 1, 2);
+        assert!(pts.iter().all(|p| !p.knee));
+    }
+
+    #[test]
+    fn infeasible_points_are_skipped_by_pareto() {
+        let mut pts = vec![point(0.1, 1, 1.0, 1.0), point(0.2, 1, 2.0, 2.0)];
+        pts[0].outcome = Err(OptimizeError::SloInfeasible);
+        let pareto = mark_pareto(&mut pts, 1, 2);
+        assert_eq!(pareto, vec![1]);
+        assert!(!pts[1].dominated);
+    }
+
+    #[test]
+    fn sweep_smoke_on_tiny_model() {
+        let g = ampsinf_model::zoo::tiny_cnn();
+        let opt = Optimizer::new(AmpsConfig::default().with_threads(1));
+        let free = opt.optimize(&g).unwrap().plan.predicted_time_s;
+        let grid = SweepGrid::slo_range(free * 0.9, free * 2.0, 4);
+        let report = opt.optimize_sweep(&g, &grid);
+        assert_eq!(report.points.len(), 4);
+        assert!(report.solved() >= 1);
+        assert!(!report.pareto.is_empty());
+        assert!(report.cache_hits > 0, "pass 1 must share the cache");
+    }
+}

@@ -1,0 +1,287 @@
+//! Sweep-engine contracts (DESIGN.md §5e, "Amortized sweeps"):
+//!
+//! 1. **Sweep ≡ cold** — every grid point's plan is bit-identical to an
+//!    independent `optimize()` call at that `(slo, batch)`, at every
+//!    thread count, with cross-point seeding on or off.
+//! 2. **Thread invariance** — the deterministic projection of a
+//!    `SweepReport` (plans, errors, Pareto marks, knees) is identical at
+//!    threads = 1 and threads = many.
+//! 3. **Monotonicity** — along a loosening SLO grid at zero cost
+//!    tolerance, optimal cost never increases and optimal time never
+//!    decreases (the structure the seeding exploits).
+//! 4. **Amortization is observable** — per-point cache misses are zero
+//!    once the shared pass 1 has warmed the cache.
+
+use ampsinf_core::optimizer::{OptimizeError, Optimizer};
+use ampsinf_core::sweep::{SweepGrid, SweepPoint, SweepReport};
+use ampsinf_core::{AmpsConfig, ExecutionPlan};
+use ampsinf_model::zoo;
+use ampsinf_model::LayerGraph;
+
+/// Trimmed candidate budget (same rationale as `determinism.rs`): keeps
+/// the binding MIQP path exercised while the debug-profile suite stays
+/// fast.
+fn slim() -> AmpsConfig {
+    AmpsConfig {
+        max_candidate_boundaries: 8,
+        ..Default::default()
+    }
+}
+
+/// An SLO grid spanning infeasible (0.8×), binding (0.9–1.0×), and slack
+/// (≥ 1×) regions around the unconstrained optimum's time.
+fn grid_around_free(graph: &LayerGraph, cfg: &AmpsConfig, points: usize) -> SweepGrid {
+    let free = Optimizer::new(cfg.clone().with_threads(1))
+        .optimize(graph)
+        .expect("unconstrained run is feasible");
+    let t = free.plan.predicted_time_s;
+    SweepGrid::slo_range(t * 0.8, t * 1.6, points)
+}
+
+fn assert_plans_bitwise_equal(a: &ExecutionPlan, b: &ExecutionPlan, label: &str) {
+    assert_eq!(a.partitions, b.partitions, "{label}: partitions diverge");
+    assert_eq!(
+        a.predicted_cost.to_bits(),
+        b.predicted_cost.to_bits(),
+        "{label}: cost diverges ({} vs {})",
+        a.predicted_cost,
+        b.predicted_cost
+    );
+    assert_eq!(
+        a.predicted_time_s.to_bits(),
+        b.predicted_time_s.to_bits(),
+        "{label}: time diverges ({} vs {})",
+        a.predicted_time_s,
+        b.predicted_time_s
+    );
+}
+
+/// Every sweep point must equal an independent cold `optimize()` at the
+/// point's `(slo, batch)` — including the error kind on infeasible points.
+fn assert_sweep_equals_cold(
+    graph: &LayerGraph,
+    cfg: &AmpsConfig,
+    report: &SweepReport,
+    label: &str,
+) {
+    for (i, p) in report.points.iter().enumerate() {
+        let mut pcfg = cfg.clone().with_threads(1);
+        pcfg.slo_s = Some(p.slo_s);
+        pcfg.batch_size = p.batch;
+        let cold = Optimizer::new(pcfg).optimize(graph);
+        let plabel = format!("{label}/point[{i}] slo={} batch={}", p.slo_s, p.batch);
+        match (&p.outcome, &cold) {
+            (Ok(swept), Ok(cold)) => assert_plans_bitwise_equal(swept, &cold.plan, &plabel),
+            (Err(es), Err(ec)) => assert_eq!(es, ec, "{plabel}: error kind diverges"),
+            (s, c) => panic!("{plabel}: outcome diverges: {s:?} vs {c:?}"),
+        }
+    }
+}
+
+/// Bit-level plan key: partition bounds/memories plus exact time/cost.
+type PlanKey = (Vec<u64>, u64, u64);
+
+/// The thread/seed-invariant projection of a report: per-point outcome
+/// (plan or error), dominance, knee, plus the frontier index list.
+fn projection(r: &SweepReport) -> Vec<(Option<PlanKey>, bool, bool)> {
+    let key = |p: &SweepPoint| {
+        p.outcome.as_ref().ok().map(|plan| {
+            (
+                plan.partitions
+                    .iter()
+                    .flat_map(|q| [q.start as u64, q.end as u64, u64::from(q.memory_mb)])
+                    .collect::<Vec<u64>>(),
+                plan.predicted_time_s.to_bits(),
+                plan.predicted_cost.to_bits(),
+            )
+        })
+    };
+    r.points
+        .iter()
+        .map(|p| (key(p), p.dominated, p.knee))
+        .collect()
+}
+
+#[test]
+fn sweep_points_equal_cold_solves_at_every_thread_count() {
+    let g = zoo::mobilenet_v1();
+    let cfg = slim();
+    let grid = grid_around_free(&g, &cfg, 6);
+    for threads in [1usize, 2, 4] {
+        let report = Optimizer::new(cfg.clone().with_threads(threads)).optimize_sweep(&g, &grid);
+        assert_eq!(report.points.len(), grid.len());
+        assert_sweep_equals_cold(&g, &cfg, &report, &format!("mobilenet/threads={threads}"));
+    }
+}
+
+#[test]
+fn sweep_with_batches_equals_cold_solves() {
+    let g = zoo::tiny_cnn();
+    let cfg = AmpsConfig::default();
+    let grid = grid_around_free(&g, &cfg, 4).with_batches(vec![1, 4]);
+    let report = Optimizer::new(cfg.clone().with_threads(2)).optimize_sweep(&g, &grid);
+    assert_eq!(report.points.len(), 8);
+    // Grid order is batch-major and preserves the slo axis order.
+    for (i, p) in report.points.iter().enumerate() {
+        assert_eq!(p.batch, grid.batches[i / grid.slos.len()]);
+        assert_eq!(p.slo_s, grid.slos[i % grid.slos.len()]);
+    }
+    assert_sweep_equals_cold(&g, &cfg, &report, "tiny_cnn/batches");
+}
+
+#[test]
+fn sweep_projection_is_thread_invariant() {
+    let g = zoo::tiny_cnn();
+    let cfg = AmpsConfig::default();
+    let grid = grid_around_free(&g, &cfg, 5).with_batches(vec![1, 4]);
+    let base = Optimizer::new(cfg.clone().with_threads(1)).optimize_sweep(&g, &grid);
+    for threads in [2usize, 4] {
+        let par = Optimizer::new(cfg.clone().with_threads(threads)).optimize_sweep(&g, &grid);
+        assert_eq!(
+            projection(&base),
+            projection(&par),
+            "projection diverges at threads={threads}"
+        );
+        assert_eq!(
+            base.pareto, par.pareto,
+            "pareto diverges at threads={threads}"
+        );
+        assert_eq!(par.threads_used, threads);
+    }
+}
+
+#[test]
+fn seeding_never_changes_plans() {
+    let g = zoo::mobilenet_v1();
+    let cfg = slim();
+    let grid = grid_around_free(&g, &cfg, 6);
+    for threads in [1usize, 4] {
+        let seeded = Optimizer::new(cfg.clone().with_threads(threads)).optimize_sweep(&g, &grid);
+        let unseeded = Optimizer::new(cfg.clone().with_threads(threads).with_sweep_seeding(false))
+            .optimize_sweep(&g, &grid);
+        assert_eq!(
+            projection(&seeded),
+            projection(&unseeded),
+            "seeding changed a plan at threads={threads}"
+        );
+        assert_eq!(seeded.pareto, unseeded.pareto);
+        // The knob itself must be observable: unseeded points never carry
+        // the seeded flag, and past the tightest feasible point the
+        // seeded sweep threads its bound through.
+        assert!(unseeded.points.iter().all(|p| !p.stats.seeded));
+        assert!(
+            seeded.points.iter().any(|p| p.stats.seeded),
+            "no point ever received a seed at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn cost_monotone_and_time_monotone_across_loosening_slo() {
+    // The paper-level property the seeding exploits: at zero cost
+    // tolerance the optimizer is a pure cost minimizer, so loosening the
+    // SLO can only reveal cheaper (and, among cheapest, slower) plans.
+    for (g, points) in [(zoo::resnet50(), 8), (zoo::mobilenet_v1(), 8)] {
+        let cfg = AmpsConfig {
+            cost_tolerance: 0.0,
+            ..slim()
+        };
+        let grid = grid_around_free(&g, &cfg, points);
+        let report = Optimizer::new(cfg.clone()).optimize_sweep(&g, &grid);
+        assert_sweep_equals_cold(&g, &cfg, &report, &format!("{}/tol=0", g.name));
+        let solved: Vec<&SweepPoint> = report.points.iter().filter(|p| p.outcome.is_ok()).collect();
+        assert!(
+            solved.len() >= 3,
+            "{}: too few feasible points to check monotonicity",
+            g.name
+        );
+        for w in solved.windows(2) {
+            let (a, b) = (
+                w[0].outcome.as_ref().unwrap(),
+                w[1].outcome.as_ref().unwrap(),
+            );
+            assert!(
+                b.predicted_cost <= a.predicted_cost + 1e-12,
+                "{}: cost increased when SLO loosened {} → {}: {} → {}",
+                g.name,
+                w[0].slo_s,
+                w[1].slo_s,
+                a.predicted_cost,
+                b.predicted_cost
+            );
+            assert!(
+                b.predicted_time_s >= a.predicted_time_s - 1e-9,
+                "{}: time decreased when SLO loosened {} → {}: {} → {}",
+                g.name,
+                w[0].slo_s,
+                w[1].slo_s,
+                a.predicted_time_s,
+                b.predicted_time_s
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_pass1_leaves_no_per_point_misses() {
+    let g = zoo::mobilenet_v1();
+    let cfg = slim();
+    let grid = grid_around_free(&g, &cfg, 6);
+    let report = Optimizer::new(cfg.with_threads(1)).optimize_sweep(&g, &grid);
+    for (i, p) in report.points.iter().enumerate() {
+        assert_eq!(
+            p.stats.cache_misses, 0,
+            "point[{i}]: pass 1 should have warmed every segment"
+        );
+    }
+    assert!(
+        report.points.iter().any(|p| p.stats.cache_hits > 0),
+        "binding points must read columns through the shared cache"
+    );
+    assert!(report.cache_hits > report.cache_misses);
+}
+
+#[test]
+fn infeasible_and_tight_points_report_errors() {
+    let g = zoo::mobilenet_v1();
+    let report = Optimizer::new(AmpsConfig::default().with_threads(1)).optimize_sweep(
+        &g,
+        &SweepGrid::from_slos(vec![0.001]), // impossible SLO
+    );
+    assert_eq!(report.points.len(), 1);
+    assert_eq!(
+        report.points[0].outcome.as_ref().unwrap_err(),
+        &OptimizeError::SloInfeasible
+    );
+    assert!(report.pareto.is_empty());
+    assert_eq!(report.solved(), 0);
+}
+
+#[test]
+fn frontier_knee_marked_once_per_batch() {
+    let g = zoo::mobilenet_v1();
+    let cfg = slim();
+    let grid = grid_around_free(&g, &cfg, 8);
+    let report = Optimizer::new(cfg.with_threads(2)).optimize_sweep(&g, &grid);
+    let frontier: Vec<&SweepPoint> = report.pareto.iter().map(|&i| &report.points[i]).collect();
+    assert!(!frontier.is_empty());
+    assert!(frontier.iter().all(|p| !p.dominated));
+    let knees = report.points.iter().filter(|p| p.knee).count();
+    if frontier.len() >= 3 {
+        assert_eq!(knees, 1, "exactly one knee on a ≥3-point frontier");
+    } else {
+        assert_eq!(knees, 0);
+    }
+    // Every dominated point is witnessed by some frontier point.
+    for p in report.points.iter().filter(|p| p.dominated) {
+        let plan = p.outcome.as_ref().unwrap();
+        assert!(
+            frontier.iter().any(|f| {
+                let fp = f.outcome.as_ref().unwrap();
+                fp.predicted_time_s <= plan.predicted_time_s
+                    && fp.predicted_cost <= plan.predicted_cost
+            }),
+            "dominated point has no dominating frontier witness"
+        );
+    }
+}

@@ -180,6 +180,20 @@ impl Profile {
     }
 }
 
+/// Profiles `graph` once per **distinct** batch size in `batches`,
+/// preserving first-occurrence order. A sweep over an SLO × batch grid
+/// profiles each batch exactly once regardless of how many grid rows
+/// share it.
+pub fn batched_unique(graph: &LayerGraph, batches: &[u64]) -> Vec<(u64, Profile)> {
+    let mut out: Vec<(u64, Profile)> = Vec::new();
+    for &b in batches {
+        if !out.iter().any(|(seen, _)| *seen == b) {
+            out.push((b, Profile::batched(graph, b)));
+        }
+    }
+    out
+}
+
 /// Ground-truth evaluation of one partition at one memory size.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentEval {
@@ -517,6 +531,20 @@ mod tests {
         let f1 = p1.memory_floor(0, n - 1, &q, &perf).unwrap();
         let f10 = p10.memory_floor(0, n - 1, &q, &perf).unwrap();
         assert!(f10 >= f1);
+    }
+
+    #[test]
+    fn batched_unique_dedupes_and_keeps_order() {
+        let g = zoo::mobilenet_v1();
+        let profs = batched_unique(&g, &[8, 1, 8, 32, 1]);
+        assert_eq!(
+            profs.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+            vec![8, 1, 32]
+        );
+        let n = g.num_layers();
+        let direct = Profile::batched(&g, 8);
+        assert_eq!(profs[0].1.flops(0, n - 1), direct.flops(0, n - 1));
+        assert_eq!(profs[0].1.boundary_bytes, direct.boundary_bytes);
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub struct BbOptions {
     /// Warm-start each child node's relaxation from its parent's optimum
     /// (repaired onto the child bounds), skipping the phase-1 simplex.
     pub warm_start: bool,
+    /// Externally injected incumbent upper bound: nodes whose relaxation
+    /// bound proves they cannot beat it are pruned without expansion. The
+    /// search then guarantees only that any returned objective strictly
+    /// below the cutoff is the true optimum *value*; when the bound ever
+    /// fires (`BbStats::cutoff_prunes > 0`) the run is no longer
+    /// bit-identical to an uninjected run, so callers that need replay
+    /// determinism must treat such results as advisory. `None` disables
+    /// injection entirely (the default — zero behaviour change).
+    pub cutoff: Option<f64>,
 }
 
 impl Default for BbOptions {
@@ -35,6 +44,7 @@ impl Default for BbOptions {
             rel_gap: 1e-9,
             convexify: ConvexifyMethod::DualRefine,
             warm_start: true,
+            cutoff: None,
         }
     }
 }
@@ -65,6 +75,10 @@ pub struct BbStats {
     /// Node relaxations warm-started from the parent solution (phase-1
     /// simplex skipped).
     pub warm_starts: usize,
+    /// Nodes pruned by the externally injected [`BbOptions::cutoff`] bound.
+    /// Zero ⇒ the cutoff never influenced the search and the run is
+    /// bit-identical to one without it.
+    pub cutoff_prunes: usize,
     /// Best proven lower bound at termination.
     pub best_bound: f64,
 }
@@ -189,6 +203,15 @@ impl BranchAndBound {
                     continue;
                 }
             }
+            // Prune against the injected cutoff: a node whose bound already
+            // reaches it cannot yield a solution the caller would keep.
+            if let Some(co) = self.opts.cutoff {
+                if node.bound >= co {
+                    stats.cutoff_prunes += 1;
+                    stats.best_bound = node.bound;
+                    continue;
+                }
+            }
 
             // Solve the node relaxation, warm-started from the parent's
             // optimum when possible.
@@ -214,6 +237,12 @@ impl BranchAndBound {
             };
             if let Some((_, inc_obj)) = &incumbent {
                 if bound >= *inc_obj - self.gap_slack(*inc_obj) {
+                    continue;
+                }
+            }
+            if let Some(co) = self.opts.cutoff {
+                if bound >= co {
+                    stats.cutoff_prunes += 1;
                     continue;
                 }
             }
@@ -756,6 +785,81 @@ mod tests {
         assert_eq!(cold.stats.warm_starts, 0);
         assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
         assert_eq!(warm.x, cold.x);
+    }
+
+    #[test]
+    fn cutoff_above_optimum_still_finds_optimum() {
+        // Any node on the path to the optimum has bound ≤ optimum < cutoff,
+        // so a cutoff strictly above the optimum can never cut it off.
+        let h = Matrix::from_diag(&[2.0, 4.0, 1.0, 3.0]);
+        let mut p = MiqpProblem::new(h, vec![0.5, 0.1, 0.3, 0.2], vec![VarKind::Binary; 4]);
+        p.add_pick_one(&[0, 1]);
+        p.add_pick_one(&[2, 3]);
+        p.add_le(vec![3.0, 1.0, 2.0, 0.5], 3.0);
+        let cold = solve_miqp(&p, BbOptions::default());
+        assert_eq!(cold.status, BbStatus::Optimal);
+        let cut = solve_miqp(
+            &p,
+            BbOptions {
+                cutoff: Some(cold.objective + 0.5),
+                ..Default::default()
+            },
+        );
+        assert_eq!(cut.status, BbStatus::Optimal);
+        assert_eq!(cut.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(cut.x, cold.x);
+    }
+
+    #[test]
+    fn cutoff_none_is_bitwise_cold() {
+        let h = Matrix::from_diag(&[0.0, 0.0, 0.0, 2.0]);
+        let kinds = vec![
+            VarKind::Binary,
+            VarKind::Binary,
+            VarKind::Binary,
+            VarKind::Continuous,
+        ];
+        let mut p = MiqpProblem::new(h, vec![0.7, 0.4, 0.9, -0.8], kinds);
+        p.set_bounds(3, 0.0, 1.0);
+        p.add_pick_one(&[0, 1, 2]);
+        p.add_le(vec![2.0, 3.0, 1.0, 1.0], 2.5);
+        let a = solve_miqp(&p, BbOptions::default());
+        let b = solve_miqp(
+            &p,
+            BbOptions {
+                cutoff: None,
+                ..Default::default()
+            },
+        );
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.stats.nodes, b.stats.nodes);
+        assert_eq!(b.stats.cutoff_prunes, 0);
+    }
+
+    #[test]
+    fn cutoff_below_optimum_prunes_the_tree() {
+        // A cutoff below every feasible objective turns the search into a
+        // pure pruning exercise: whatever incumbent the heuristics stumble
+        // on, the tree itself must be cut, and no returned objective may
+        // be claimed strictly below the cutoff.
+        let h = Matrix::zeros(6, 6);
+        let mut p = MiqpProblem::new(h, vec![1.0; 6], vec![VarKind::Binary; 6]);
+        p.add_eq(vec![1.0; 6], 3.0); // optimum objective = 3
+        let sol = solve_miqp(
+            &p,
+            BbOptions {
+                cutoff: Some(1.0),
+                ..Default::default()
+            },
+        );
+        if !sol.x.is_empty() {
+            assert!(
+                sol.objective >= 1.0,
+                "objective below cutoff: {}",
+                sol.objective
+            );
+        }
     }
 
     #[test]

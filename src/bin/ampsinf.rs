@@ -7,12 +7,14 @@
 //! ampsinf summary resnet50
 //! ampsinf plan resnet50 [--slo 20] [--batch 10] [--quota-2021]
 //!                       [--tolerance 0.1] [--quantize 2] [--json out.json]
+//! ampsinf sweep resnet50 --slo-from 10 --slo-to 40 --points 16 [--batches 1,8,32]
 //! ampsinf serve resnet50 [--images 10] [--parallel] [--slo 20]
 //! ampsinf serve resnet50 --requests 1000 --rate 50 --threads 8
 //! ampsinf plan model.json          # any serialized LayerGraph file
 //! ```
 
 use amps_inf::core::baselines;
+use amps_inf::core::sweep::SweepGrid;
 use amps_inf::model::summary::ModelSummary;
 use amps_inf::prelude::*;
 use amps_inf::serving::{run_open_loop, LoadSpec};
@@ -103,14 +105,26 @@ fn run(args: &[String]) -> i32 {
             }
             (Err(e), _) | (_, Err(e)) => fail(&e),
         },
+        "sweep" => match (load_model(args.get(1)), parse_cfg(&args[1..])) {
+            (Ok(g), Ok((cfg, _, _))) => run_sweep(&g, cfg, args),
+            (Err(e), _) | (_, Err(e)) => fail(&e),
+        },
         "serve" => match (load_model(args.get(1)), parse_cfg(&args[1..])) {
             (Ok(g), Ok((cfg, _, _))) => {
                 if flag_value(args, "--requests").is_some() {
                     return serve_load(&g, cfg, args);
                 }
-                let images = flag_value(args, "--images")
-                    .map(|v| v.parse::<usize>().unwrap_or(1))
-                    .unwrap_or(1);
+                let images = match flag_value(args, "--images") {
+                    Some(v) => match v.parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => {
+                            return fail(&format!(
+                                "bad --images value {v} (need a positive integer)"
+                            ))
+                        }
+                    },
+                    None => 1,
+                };
                 let parallel = args.iter().any(|a| a == "--parallel");
                 match Optimizer::new(cfg.clone()).optimize(&g) {
                     Ok(r) => {
@@ -258,6 +272,118 @@ fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
     }
 }
 
+/// `sweep` mode: plan an entire SLO × batch grid in one amortized call
+/// and print the per-batch Pareto frontier (knee flagged) plus the cache
+/// amortization summary.
+fn run_sweep(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
+    let from = match flag_value(args, "--slo-from").map(str::parse::<f64>) {
+        Some(Ok(v)) if v.is_finite() && v > 0.0 => v,
+        Some(_) => return fail("bad --slo-from value (need a positive number of seconds)"),
+        None => return fail("sweep requires --slo-from <seconds>"),
+    };
+    let to = match flag_value(args, "--slo-to").map(str::parse::<f64>) {
+        Some(Ok(v)) if v.is_finite() && v >= from => v,
+        Some(_) => return fail("bad --slo-to value (need seconds >= --slo-from)"),
+        None => return fail("sweep requires --slo-to <seconds>"),
+    };
+    let points = match flag_value(args, "--points").map(str::parse::<usize>) {
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => return fail("bad --points value (need a positive integer)"),
+        None => return fail("sweep requires --points <n>"),
+    };
+    let batches = match flag_value(args, "--batches") {
+        Some(v) => {
+            let parsed: Result<Vec<u64>, _> =
+                v.split(',').map(|s| s.trim().parse::<u64>()).collect();
+            match parsed {
+                Ok(b) if !b.is_empty() && b.iter().all(|&x| x >= 1) => b,
+                _ => {
+                    return fail(&format!(
+                        "bad --batches value {v} (need comma-separated positive integers)"
+                    ))
+                }
+            }
+        }
+        None => vec![1],
+    };
+    let cfg = if args.iter().any(|a| a == "--no-seed") {
+        cfg.with_sweep_seeding(false)
+    } else {
+        cfg
+    };
+
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let grid = SweepGrid::slo_range(from, to, points).with_batches(batches);
+    let report = Optimizer::new(cfg).optimize_sweep(g, &grid);
+
+    println!(
+        "sweep: {} point(s) ({} SLO x {} batch), {} solved",
+        report.points.len(),
+        grid.slos.len(),
+        grid.batches.len(),
+        report.solved()
+    );
+    println!(
+        "{:>3} {:>6} {:>10} {:>10} {:>12} {:>4}  {:<10} {:>9}",
+        "#", "batch", "slo(s)", "time(s)", "cost($)", "fns", "frontier", "cache h/m"
+    );
+    for (i, p) in report.points.iter().enumerate() {
+        match &p.outcome {
+            Ok(plan) => {
+                let marker = if p.knee {
+                    "knee *"
+                } else if p.dominated {
+                    "dominated"
+                } else {
+                    "pareto"
+                };
+                println!(
+                    "{i:>3} {:>6} {:>10.3} {:>10.3} {:>12.6} {:>4}  {:<10} {:>5}/{}",
+                    p.batch,
+                    p.slo_s,
+                    plan.predicted_time_s,
+                    plan.predicted_cost,
+                    plan.num_lambdas(),
+                    marker,
+                    p.stats.cache_hits,
+                    p.stats.cache_misses
+                );
+            }
+            Err(e) => println!("{i:>3} {:>6} {:>10.3}  {e}", p.batch, p.slo_s),
+        }
+        if verbose {
+            println!(
+                "      solver: {} miqp(s), {} pruned, {} b&b nodes, seeded={} fallback={}, {:?}",
+                p.stats.miqps_solved,
+                p.stats.miqps_pruned,
+                p.stats.bb_nodes,
+                p.stats.seeded,
+                p.stats.seed_fallback,
+                p.stats.solve_time
+            );
+        }
+    }
+    let seeded = report.points.iter().filter(|p| p.stats.seeded).count();
+    let fallbacks = report
+        .points
+        .iter()
+        .filter(|p| p.stats.seed_fallback)
+        .count();
+    println!("seeding: {seeded} point(s) bound-seeded, {fallbacks} cold fallback(s)");
+    println!(
+        "columns: {} cache hits, {} misses cumulative (shared pass 1: {:?})",
+        report.cache_hits, report.cache_misses, report.pass1_time
+    );
+    println!(
+        "planned {} point(s) over {} cut(s) in {:?} on {} thread(s)",
+        report.points.len(),
+        report.cuts_considered,
+        report.total_time,
+        report.threads_used
+    );
+    0
+}
+
 fn usage() {
     eprintln!(
         "usage: ampsinf <command>\n\
@@ -266,6 +392,7 @@ fn usage() {
            models                      list built-in models\n\
            summary <model|file.json>   Keras-style model summary\n\
            plan    <model|file.json>   compute the optimal deployment plan\n\
+           sweep   <model|file.json>   plan an SLO grid, print the Pareto frontier\n\
            serve   <model|file.json>   plan + deploy + serve on the simulator\n\
          \n\
          options (plan/serve):\n\
@@ -278,6 +405,11 @@ fn usage() {
            --quantize <bytes>   weight width 1..4 (plan only)\n\
            --json <path>        write the plan as JSON (plan only)\n\
            --images <n>         requests to serve (serve only)\n\
+           --slo-from <s>       sweep: tightest SLO of the grid (required)\n\
+           --slo-to <s>         sweep: loosest SLO of the grid (required)\n\
+           --points <n>         sweep: number of SLO grid points (required)\n\
+           --batches <a,b,...>  sweep: batch sizes to cross with the SLO axis\n\
+           --no-seed            sweep: disable cross-point bound seeding\n\
            --parallel           serve images concurrently (serve only)\n\
            --requests <n>       open-loop load mode: Poisson request count\n\
                                 (serve only; prints throughput/percentiles)\n\

@@ -103,3 +103,75 @@ fn model_file_round_trip_through_cli() {
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("tiny_cnn"));
 }
+
+#[test]
+fn images_flag_rejects_garbage() {
+    // Regression: malformed --images used to silently fall back to 1.
+    for bad in ["banana", "0", "-3", "1.5"] {
+        let (_, stderr, ok) = run(&["serve", "mobilenet", "--images", bad]);
+        assert!(!ok, "--images {bad} should fail");
+        assert!(stderr.contains("bad --images"), "{stderr}");
+    }
+}
+
+#[test]
+fn sweep_prints_frontier_table() {
+    let (stdout, stderr, ok) = run(&[
+        "sweep",
+        "mobilenet",
+        "--slo-from",
+        "2",
+        "--slo-to",
+        "20",
+        "--points",
+        "4",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("sweep: 4 point(s)"), "{stdout}");
+    assert!(
+        stdout.contains("pareto") || stdout.contains("knee"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("cache hits"), "{stdout}");
+    assert!(stdout.contains("bound-seeded"), "{stdout}");
+}
+
+#[test]
+fn sweep_requires_grid_flags() {
+    let (_, stderr, ok) = run(&["sweep", "mobilenet"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires --slo-from"), "{stderr}");
+    let (_, stderr, ok) = run(&["sweep", "mobilenet", "--slo-from", "2", "--slo-to", "20"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires --points"), "{stderr}");
+}
+
+#[test]
+fn sweep_rejects_bad_grid_values() {
+    let (_, stderr, ok) = run(&[
+        "sweep",
+        "mobilenet",
+        "--slo-from",
+        "20",
+        "--slo-to",
+        "2",
+        "--points",
+        "4",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --slo-to"), "{stderr}");
+    let (_, stderr, ok) = run(&[
+        "sweep",
+        "mobilenet",
+        "--slo-from",
+        "2",
+        "--slo-to",
+        "20",
+        "--points",
+        "4",
+        "--batches",
+        "1,zero",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --batches"), "{stderr}");
+}
