@@ -6,9 +6,10 @@ use ampsinf_bench::harness::Bencher;
 use ampsinf_core::{AmpsConfig, Coordinator, Optimizer};
 use ampsinf_faas::platform::Platform;
 use ampsinf_faas::runtime::whole_model;
-use ampsinf_faas::SmallRng;
+use ampsinf_faas::{SmallRng, WarmPoolPolicy};
 use ampsinf_model::zoo;
 use ampsinf_profiler::{quick_eval, Profile};
+use ampsinf_serving::{ArrivalShape, LoadSpec};
 
 /// The paper's multi-partition workhorse on the open-loop engine: same
 /// lane count for every variant, so the serial→8-thread ratio isolates
@@ -30,9 +31,10 @@ fn bench_serving(b: &mut Bencher) {
     let mut dollars = Vec::new();
     for threads in [1usize, 8] {
         let coord = Coordinator::new(base.clone().with_serve_threads(threads));
-        b.bench(
+        b.bench_items(
             &format!("open_loop/resnet50/100k/threads={threads}"),
             3,
+            REQUESTS,
             || {
                 let mut platform = coord.platform();
                 let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
@@ -47,12 +49,27 @@ fn bench_serving(b: &mut Bencher) {
         "thread counts disagreed on dollars"
     );
 
+    // The bursty end of the workload space: a flash-crowd arrival shape
+    // over a billed provisioned pool — the work-stealing queues see the
+    // most skewed per-lane load this engine produces.
+    let spike = LoadSpec::poisson(100.0, REQUESTS, 97)
+        .with_shape(ArrivalShape::flash_crowd())
+        .arrivals();
+    let spike_coord = Coordinator::new(base.clone().with_warm_pool(WarmPoolPolicy::provisioned(2)));
+    b.bench_items("open_loop/resnet50/100k/shape=spike", 3, REQUESTS, || {
+        let mut platform = spike_coord.platform();
+        let dep = spike_coord.deploy(&mut platform, &g, &plan).unwrap();
+        let trace = spike_coord.serve_trace(&mut platform, &dep, &spike);
+        assert!(trace.idle_dollars > 0.0);
+        trace.last_completion_s
+    });
+
     // The key-interning / scratch-reuse win shows up serially: the same
     // engine, single lane, no threads — pure hot-path allocation savings.
     let seq_cfg = AmpsConfig::default();
     let seq_plan = Optimizer::new(seq_cfg.clone()).optimize(&g).unwrap().plan;
     let coord = Coordinator::new(seq_cfg);
-    b.bench("serve_sequential/resnet50/1k", 5, || {
+    b.bench_items("serve_sequential/resnet50/1k", 5, 1000, || {
         let mut platform = coord.platform();
         let dep = coord.deploy(&mut platform, &g, &seq_plan).unwrap();
         coord

@@ -240,17 +240,7 @@ pub fn ext_load() -> Table {
         &["p50 (s)", "p95 (s)", "cold starts", "$/request"],
     );
     for rate in [0.02, 0.2, 2.0, 50.0] {
-        let r = run_open_loop(
-            &g,
-            &plan,
-            &cfg,
-            &LoadSpec {
-                rate_rps: rate,
-                requests: 20,
-                seed: 17,
-            },
-        )
-        .unwrap();
+        let r = run_open_loop(&g, &plan, &cfg, &LoadSpec::poisson(rate, 20, 17)).unwrap();
         t.row_all(
             format!("{rate} rps"),
             &[

@@ -24,6 +24,16 @@ pub struct BenchResult {
     pub median_s: f64,
     /// Mean over all samples.
     pub mean_s: f64,
+    /// Work items (e.g. simulated requests) each iteration processes;
+    /// 0 when the benchmark has no natural item count.
+    pub items: usize,
+}
+
+impl BenchResult {
+    /// Items per second at the median, when `items` is set.
+    pub fn throughput_req_s(&self) -> Option<f64> {
+        (self.items > 0 && self.median_s > 0.0).then(|| self.items as f64 / self.median_s)
+    }
 }
 
 /// Collects benchmark results and renders them.
@@ -43,7 +53,21 @@ impl Bencher {
     /// Times `f`, collecting `samples` measurements after one warmup call.
     /// The warmup also calibrates batching: calls faster than ~1 ms are
     /// repeated until each sample spans at least that long.
-    pub fn bench<T>(&mut self, name: &str, samples: usize, mut f: impl FnMut() -> T) {
+    pub fn bench<T>(&mut self, name: &str, samples: usize, f: impl FnMut() -> T) {
+        self.bench_items(name, samples, 0, f);
+    }
+
+    /// [`bench`](Bencher::bench) for throughput benchmarks: `items` is
+    /// how many work items (requests, images, …) one iteration
+    /// processes, and the report derives `throughput_req_s` =
+    /// `items / median_s` from it.
+    pub fn bench_items<T>(
+        &mut self,
+        name: &str,
+        samples: usize,
+        items: usize,
+        mut f: impl FnMut() -> T,
+    ) {
         assert!(samples > 0, "need at least one sample");
         let warm = Instant::now();
         black_box(f());
@@ -70,9 +94,14 @@ impl Bencher {
             min_s: times[0],
             median_s: times[times.len() / 2],
             mean_s: times.iter().sum::<f64>() / times.len() as f64,
+            items,
+        };
+        let throughput = match result.throughput_req_s() {
+            Some(t) => format!("  {:>10.0} req/s", t),
+            None => String::new(),
         };
         println!(
-            "{:<44} min {:>10}  median {:>10}  mean {:>10}  ({} x {})",
+            "{:<44} min {:>10}  median {:>10}  mean {:>10}  ({} x {}){throughput}",
             result.name,
             fmt_time(result.min_s),
             fmt_time(result.median_s),
@@ -94,14 +123,19 @@ impl Bencher {
             .results
             .iter()
             .map(|r| {
-                Json::Obj(vec![
+                let mut fields = vec![
                     ("name".into(), Json::from(r.name.as_str())),
                     ("samples".into(), Json::from(r.samples)),
                     ("inner_iters".into(), Json::from(r.inner_iters)),
                     ("min_s".into(), Json::Num(r.min_s)),
                     ("median_s".into(), Json::Num(r.median_s)),
                     ("mean_s".into(), Json::Num(r.mean_s)),
-                ])
+                ];
+                if let Some(t) = r.throughput_req_s() {
+                    fields.push(("items".into(), Json::from(r.items)));
+                    fields.push(("throughput_req_s".into(), Json::Num(t)));
+                }
+                Json::Obj(fields)
             })
             .collect();
         Json::Obj(vec![("benchmarks".into(), Json::Arr(entries))]).render_pretty()
@@ -207,6 +241,21 @@ mod tests {
         let j = b.to_json();
         assert!(j.contains("\"benchmarks\""));
         assert!(j.contains("\"median_s\""));
+        // No item count → no derived throughput field.
+        assert!(!j.contains("throughput_req_s"));
+    }
+
+    #[test]
+    fn item_benchmarks_derive_throughput() {
+        let mut b = Bencher::new();
+        b.bench_items("tp", 3, 1000, || std::hint::black_box(7u64 * 6));
+        let r = &b.results()[0];
+        assert_eq!(r.items, 1000);
+        let t = r.throughput_req_s().expect("items set");
+        assert!((t - 1000.0 / r.median_s).abs() < 1e-9);
+        let j = b.to_json();
+        assert!(j.contains("\"items\""));
+        assert!(j.contains("\"throughput_req_s\""));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! AMPS-Inf configuration.
 
-use ampsinf_faas::{FaultPlan, PerfModel, PriceSheet, Quotas, StoreKind};
+use ampsinf_faas::{FaultPlan, PerfModel, PriceSheet, Quotas, StoreKind, WarmPoolPolicy};
 use ampsinf_solver::ConvexifyMethod;
 
 /// All knobs of an AMPS-Inf run.
@@ -73,6 +73,12 @@ pub struct AmpsConfig {
     /// bit-identical reports — only wall-clock changes. Clamped to the
     /// lane count (one lane never splits across threads).
     pub serve_threads: usize,
+    /// Warm-pool provisioning policy for the serving engine (pre-warm
+    /// count, keep-alive horizon, idle billing). This is a **model**
+    /// parameter like `serve_lanes`: results depend on it, never on
+    /// thread count — pre-warmed instances split deterministically across
+    /// lanes. The default reproduces classic Lambda behavior exactly.
+    pub warm_pool: WarmPoolPolicy,
     /// Sweep-mode cross-point seeding: completed tighter-SLO points feed
     /// their optimal cost into looser points as a pruning upper bound
     /// (speculative B&B cutoffs + replay dual-bound prunes). Like
@@ -106,6 +112,7 @@ impl Default for AmpsConfig {
             faults: FaultPlan::none(),
             serve_lanes: 1,
             serve_threads: 0,
+            warm_pool: WarmPoolPolicy::default(),
             sweep_seed_bounds: true,
         }
     }
@@ -170,6 +177,13 @@ impl AmpsConfig {
         self
     }
 
+    /// Config with a warm-pool provisioning policy (model parameter:
+    /// changes cold-start behavior and idle cost, never thread-dependence).
+    pub fn with_warm_pool(mut self, policy: WarmPoolPolicy) -> Self {
+        self.warm_pool = policy;
+        self
+    }
+
     /// Config with sweep cross-point bound seeding toggled (never changes
     /// plans, only how much work a sweep skips).
     pub fn with_sweep_seeding(mut self, on: bool) -> Self {
@@ -224,5 +238,14 @@ mod tests {
         let c = c.with_serve_lanes(16).with_serve_threads(4);
         assert_eq!(c.serve_lanes, 16);
         assert_eq!(c.serve_threads, 4);
+    }
+
+    #[test]
+    fn warm_pool_defaults_to_lambda_and_builder_applies() {
+        let c = AmpsConfig::default();
+        assert_eq!(c.warm_pool, WarmPoolPolicy::lambda_default());
+        let c = c.with_warm_pool(WarmPoolPolicy::provisioned(8));
+        assert_eq!(c.warm_pool.pre_warm, 8);
+        assert!(c.warm_pool.bill_idle);
     }
 }

@@ -1,7 +1,7 @@
 //! The Coordinator component (paper §4): package each partition, deploy
 //! the lambdas, chain invocations through storage, return the prediction.
 //!
-//! # Sharded serving (DESIGN.md §6c)
+//! # Sharded serving (DESIGN.md §6c–§6d)
 //!
 //! The batch/trace engines split the platform into
 //! [`AmpsConfig::serve_lanes`] warm-pool shards ("lanes"). Request `i` is
@@ -9,11 +9,15 @@
 //! instances — a would-be warm hit on another lane's container is simply a
 //! cold start on its own lane (the reconciliation rule: shards are
 //! disjoint by construction, so no cross-shard state ever needs merging
-//! mid-run). Worker threads claim whole lanes, which makes every report
+//! mid-run). Worker threads *steal whole chunks of a lane's request
+//! sequence* from a shared queue: a lane's state (platform, scratch,
+//! results) travels with its task, so which worker runs which chunk can
+//! never change what the chunk computes. That keeps every report
 //! bit-identical at every thread count: the lane a request runs on, the
-//! per-request RNG streams ([`Platform::begin_request`]) and the merge
-//! order (requests in global index order, shards in lane order) are all
-//! functions of the request index alone.
+//! per-request RNG streams ([`Platform::begin_request`]), the order of
+//! requests within a lane, and the merge order (requests in global index
+//! order, shards in lane order) are all functions of the request index
+//! alone — workers only race for *which lane advances next*.
 
 use crate::config::AmpsConfig;
 use crate::plan::ExecutionPlan;
@@ -166,6 +170,10 @@ pub struct ServeScratch {
     keys: Vec<ObjectKey>,
     buf: String,
     tag: String,
+    /// Whether `works` already holds this deployment's full profiles with
+    /// anonymous keys patched in — [`ServeScratch::prepare_anon`]'s
+    /// fast-path marker (a [`ServeScratch::prepare`] call clears it).
+    primed: bool,
 }
 
 impl ServeScratch {
@@ -176,6 +184,7 @@ impl ServeScratch {
             keys: Vec::with_capacity(dep.functions.len().saturating_sub(1)),
             buf: String::new(),
             tag: String::new(),
+            primed: false,
         }
     }
 
@@ -186,6 +195,7 @@ impl ServeScratch {
         let k = dep.functions.len();
         self.works.resize(k, InvocationWork::default());
         self.keys.clear();
+        self.primed = false;
         for i in 0..k.saturating_sub(1) {
             self.buf.clear();
             let _ = write!(self.buf, "{tag}/b{i}");
@@ -195,6 +205,38 @@ impl ServeScratch {
             let input = (i > 0).then(|| self.keys[i - 1]);
             let output = (i + 1 < k).then(|| self.keys[i]);
             dep.works[i].invocation_into(&mut self.works[i], input, output);
+        }
+    }
+
+    /// Prepares this request with *anonymous* boundary keys — the trace
+    /// engine's hot path. The first call builds the full work profiles;
+    /// every later call only allocates fresh keys and patches them into
+    /// the existing read/write slots, so per-request setup is O(chain
+    /// length) with no string formatting, hashing, or map insertion.
+    pub fn prepare_anon(&mut self, platform: &mut Platform, dep: &Deployment) {
+        let k = dep.functions.len();
+        if !self.primed || self.works.len() != k {
+            self.works.clear();
+            self.works.resize(k, InvocationWork::default());
+            self.keys.clear();
+            for _ in 0..k.saturating_sub(1) {
+                self.keys.push(platform.store.fresh_key());
+            }
+            for i in 0..k {
+                let input = (i > 0).then(|| self.keys[i - 1]);
+                let output = (i + 1 < k).then(|| self.keys[i]);
+                dep.works[i].invocation_into(&mut self.works[i], input, output);
+            }
+            self.primed = true;
+            return;
+        }
+        // Chain layout is fixed: partition i writes exactly boundary i and
+        // partition i+1 reads it — patch the keys in place.
+        for i in 0..k.saturating_sub(1) {
+            let key = platform.store.fresh_key();
+            self.keys[i] = key;
+            self.works[i].writes[0].0 = key;
+            self.works[i + 1].reads[0] = key;
         }
     }
 }
@@ -241,6 +283,17 @@ pub struct TraceReport {
     pub peak_instances: usize,
     /// Requests that exhausted their retry budget.
     pub failures: usize,
+    /// Lambda invocations attempted across all lanes (successes and
+    /// failed attempts).
+    pub invocations: u64,
+    /// Instances pre-warmed by the warm-pool policy across all lanes.
+    pub pre_warmed: usize,
+    /// Idle warm-pool seconds settled at the last completion (see
+    /// [`Platform::settle_warm_pool`]).
+    pub idle_s: f64,
+    /// Dollars the warm-pool policy billed for that idle time (0 unless
+    /// the policy bills idle capacity; part of no other total).
+    pub idle_dollars: f64,
 }
 
 /// One lane's collection slot in [`Coordinator::run_lanes`]: its
@@ -269,6 +322,7 @@ impl Coordinator {
             self.cfg.store,
         )
         .with_fault_plan(self.cfg.faults.clone())
+        .with_warm_pool(self.cfg.warm_pool)
     }
 
     /// Packages and deploys every partition of `plan`.
@@ -536,14 +590,33 @@ impl Coordinator {
         dep: &Deployment,
         arrivals: &[f64],
     ) -> TraceReport {
-        let (requests, shards) = self.run_lanes(platform, dep, arrivals, |p, scratch, idx, t0| {
-            let mut tag = std::mem::take(&mut scratch.tag);
-            tag.clear();
-            let _ = write!(tag, "req{idx}");
-            scratch.prepare(p, dep, &tag);
-            scratch.tag = tag;
-            self.serve_lite(p, dep, t0, scratch)
-        });
+        self.serve_trace_assigned(platform, std::slice::from_ref(dep), &|_| 0, arrivals)
+    }
+
+    /// [`serve_trace`](Self::serve_trace) over several deployments:
+    /// request `i` runs the chain `deps[assign(i)]` — the plan-cache
+    /// engine's entry point, where an adaptive controller switches plans
+    /// between load epochs. `assign` must be a pure function of the
+    /// request index (that is what keeps the report thread-invariant);
+    /// every returned index must be `< deps.len()`, and all deployments
+    /// must live on `platform`.
+    pub fn serve_trace_assigned(
+        &self,
+        platform: &mut Platform,
+        deps: &[Deployment],
+        assign: &(dyn Fn(usize) -> usize + Sync),
+        arrivals: &[f64],
+    ) -> TraceReport {
+        let (requests, shards) = self.run_lanes_assigned(
+            platform,
+            deps,
+            assign,
+            arrivals,
+            |p, scratch, d, _idx, t0| {
+                scratch.prepare_anon(p, &deps[d]);
+                self.serve_lite(p, &deps[d], t0, scratch)
+            },
+        );
         let mut dollars = 0.0f64;
         let mut last_completion = 0.0f64;
         let mut failures = 0usize;
@@ -553,16 +626,28 @@ impl Coordinator {
             failures += usize::from(!r.ok);
         }
         let mut settled = platform.settle_storage(last_completion);
+        let mut idle_s = 0.0f64;
+        let mut idle_dollars = 0.0f64;
+        let mut invocations = 0u64;
         let mut shards = shards;
         for shard in &mut shards {
             settled += shard.settle_storage(last_completion);
+            let (lane_idle, lane_idle_dollars) = shard.settle_warm_pool(last_completion);
+            idle_s += lane_idle;
+            idle_dollars += lane_idle_dollars;
+            invocations += shard.invocation_count();
         }
         for shard in shards {
             platform.absorb_shard(shard);
         }
-        let cold_starts = dep.functions.iter().map(|&f| platform.cold_starts(f)).sum();
-        let peak_instances = dep
-            .functions
+        let mut fids: Vec<FunctionId> = deps
+            .iter()
+            .flat_map(|d| d.functions.iter().copied())
+            .collect();
+        fids.sort_by_key(|f| f.0);
+        fids.dedup();
+        let cold_starts = fids.iter().map(|&f| platform.cold_starts(f)).sum();
+        let peak_instances = fids
             .iter()
             .map(|&f| platform.instance_count(f))
             .max()
@@ -575,6 +660,10 @@ impl Coordinator {
             cold_starts,
             peak_instances,
             failures,
+            invocations,
+            pre_warmed: platform.pre_warmed_total(),
+            idle_s,
+            idle_dollars,
         }
     }
 
@@ -651,12 +740,7 @@ impl Coordinator {
     /// warm-pool shards, executed by up to [`AmpsConfig::serve_threads`]
     /// workers (0 = auto), and merges deterministically: per-request
     /// results in global index order, shard platforms in lane order.
-    /// See [`LaneSlot`] for the per-lane collection slot.
-    ///
-    /// Thread-count invariance holds by construction: request `i` always
-    /// runs on lane `i % lanes` (with [`Platform::begin_request`] keying
-    /// its RNG streams), lanes never split across workers, and workers
-    /// only race for *which lane to run next*, never for state inside one.
+    /// `f` receives `(platform, scratch, request_index, start)`.
     fn run_lanes<R, F>(
         &self,
         base: &Platform,
@@ -668,6 +752,58 @@ impl Coordinator {
         R: Send,
         F: Fn(&mut Platform, &mut ServeScratch, usize, f64) -> R + Sync,
     {
+        self.run_lanes_assigned(
+            base,
+            std::slice::from_ref(dep),
+            &|_| 0,
+            starts,
+            move |p, scratch, _d, idx, t0| f(p, scratch, idx, t0),
+        )
+    }
+
+    /// Number of requests lane `lane` owns when `n` requests round-robin
+    /// over `lanes` lanes (lane `l` serves indices `l, l+lanes, …`).
+    fn lane_len(n: usize, lanes: usize, lane: usize) -> usize {
+        if lane >= n {
+            0
+        } else {
+            (n - lane - 1) / lanes + 1
+        }
+    }
+
+    /// The work-stealing core of the sharded serving engine (DESIGN.md
+    /// §6d): every lane is a self-contained task (shard platform, one
+    /// scratch per deployment, result buffer, progress cursor) on a shared
+    /// queue; workers pop a task, advance it one *chunk* of requests, and
+    /// either requeue it or deposit it in its lane slot when exhausted.
+    /// Chunking amortizes queue traffic while letting an idle worker steal
+    /// a heavy lane's remainder — under skewed per-request cost no worker
+    /// sits idle watching one lane grind.
+    ///
+    /// Thread-count invariance holds by construction: request `i` always
+    /// runs on lane `i % lanes` (with [`Platform::begin_request`] keying
+    /// its RNG streams), a lane's requests run in index order, and the
+    /// lane's entire mutable state travels with its task — workers race
+    /// only for *which lane advances next*, never for state inside one.
+    /// Chunk boundaries therefore cannot affect any result, and the merge
+    /// (requests in global index order, shard platforms in lane order) is
+    /// the same at every worker count.
+    ///
+    /// Warm-pool pre-warming ([`AmpsConfig::warm_pool`]) happens here,
+    /// per shard: lane `l` gets `⌈(pre_warm - l) / lanes⌉` of the policy's
+    /// instances, so the split is deterministic and the sum exact.
+    fn run_lanes_assigned<R, F>(
+        &self,
+        base: &Platform,
+        deps: &[Deployment],
+        assign: &(dyn Fn(usize) -> usize + Sync),
+        starts: &[f64],
+        f: F,
+    ) -> (Vec<R>, Vec<Platform>)
+    where
+        R: Send,
+        F: Fn(&mut Platform, &mut ServeScratch, usize, usize, f64) -> R + Sync,
+    {
         let n = starts.len();
         let lanes = self.cfg.serve_lanes.max(1).min(n.max(1));
         let workers = match self.cfg.serve_threads {
@@ -675,33 +811,88 @@ impl Coordinator {
             t => t,
         }
         .clamp(1, lanes);
-        let run_lane = |lane: usize| {
-            let mut p = base.fork_empty();
-            let mut scratch = ServeScratch::for_deployment(dep);
-            let mut out = Vec::with_capacity(n / lanes + 1);
-            let mut idx = lane;
-            while idx < n {
-                p.begin_request(idx as u64);
-                out.push(f(&mut p, &mut scratch, idx, starts[idx]));
-                idx += lanes;
+        let pre_warm = self.cfg.warm_pool.pre_warm;
+        // ~4 chunks per lane bounds steal latency; the clamp keeps queue
+        // traffic negligible on huge runs and chunks meaningful on small.
+        let chunk = (n / (lanes * 4) + 1).clamp(32, 1024);
+
+        struct LaneTask<R> {
+            lane: usize,
+            /// Requests of this lane already processed.
+            done: usize,
+            platform: Platform,
+            scratches: Vec<ServeScratch>,
+            out: Vec<R>,
+        }
+        let new_task = |lane: usize| {
+            let mut platform = base.fork_empty();
+            platform.pre_warm(Self::lane_len(pre_warm, lanes, lane));
+            LaneTask {
+                lane,
+                done: 0,
+                platform,
+                scratches: deps.iter().map(ServeScratch::for_deployment).collect(),
+                out: Vec::with_capacity(Self::lane_len(n, lanes, lane)),
             }
-            (out, p)
         };
+        // Advances `task` by one chunk; true when the lane is exhausted.
+        let run_chunk = |task: &mut LaneTask<R>| -> bool {
+            let total = Self::lane_len(n, lanes, task.lane);
+            let stop = (task.done + chunk).min(total);
+            while task.done < stop {
+                let idx = task.lane + task.done * lanes;
+                let d = assign(idx);
+                task.platform.begin_request(idx as u64);
+                let r = f(
+                    &mut task.platform,
+                    &mut task.scratches[d],
+                    d,
+                    idx,
+                    starts[idx],
+                );
+                task.out.push(r);
+                task.done += 1;
+            }
+            task.done >= total
+        };
+
         let lane_results: Vec<(Vec<R>, Platform)> = if workers == 1 {
-            (0..lanes).map(run_lane).collect()
+            (0..lanes)
+                .map(|lane| {
+                    let mut task = new_task(lane);
+                    while !run_chunk(&mut task) {}
+                    (task.out, task.platform)
+                })
+                .collect()
         } else {
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let slots: std::sync::Mutex<Vec<LaneSlot<R>>> =
-                std::sync::Mutex::new((0..lanes).map(|_| None).collect());
+            use std::collections::VecDeque;
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+            let queue: Mutex<VecDeque<LaneTask<R>>> =
+                Mutex::new((0..lanes).map(new_task).collect());
+            let remaining = AtomicUsize::new(lanes);
+            let slots: Mutex<Vec<LaneSlot<R>>> = Mutex::new((0..lanes).map(|_| None).collect());
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| loop {
-                        let lane = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if lane >= lanes {
-                            break;
+                        let task = queue.lock().unwrap().pop_front();
+                        match task {
+                            Some(mut task) => {
+                                if run_chunk(&mut task) {
+                                    slots.lock().unwrap()[task.lane] =
+                                        Some((task.out, task.platform));
+                                    remaining.fetch_sub(1, Ordering::Release);
+                                } else {
+                                    queue.lock().unwrap().push_back(task);
+                                }
+                            }
+                            None => {
+                                if remaining.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
                         }
-                        let done = run_lane(lane);
-                        slots.lock().unwrap()[lane] = Some(done);
                     });
                 }
             });

@@ -22,6 +22,8 @@
 //!   optimum via DP over all boundaries);
 //! * [`coordinator`] — the Coordinator component: package partitions,
 //!   deploy, chain invocations through storage, return predictions;
+//! * [`plancache`] — the online `(model, SLO, batch) → plan` cache the
+//!   adaptive serving loop consults when load shifts SLO pressure;
 //! * [`plan`] — serializable execution/provisioning plans.
 
 #![warn(missing_docs)]
@@ -34,6 +36,7 @@ pub mod cuts;
 pub mod miqp_build;
 pub mod optimizer;
 pub mod plan;
+pub mod plancache;
 pub mod sweep;
 pub mod trace;
 
@@ -44,5 +47,6 @@ pub use coordinator::{
 };
 pub use optimizer::{OptimizeError, Optimizer};
 pub use plan::{ExecutionPlan, PartitionPlan};
+pub use plancache::PlanCache;
 pub use sweep::{PointStats, SweepGrid, SweepPoint, SweepReport};
 pub use trace::Timeline;

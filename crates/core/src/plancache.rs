@@ -1,0 +1,175 @@
+//! Online plan cache: `(model, SLO, batch) → ExecutionPlan`.
+//!
+//! An adaptive serving loop re-plans when load shifts the SLO pressure
+//! (DESIGN.md §6d). A full [`Optimizer::optimize`] call is far too slow
+//! to sit on the serving path, so the controller consults this cache:
+//! seeded up front from an [`Optimizer::optimize_sweep`] over the SLO
+//! tiers it may visit, and filled on demand for anything the seed
+//! missed. Infeasible outcomes are cached too — re-asking whether a
+//! tier is infeasible must be as cheap as a hit.
+//!
+//! Keys quantize nothing: the SLO is keyed by its exact bit pattern
+//! (`f64::to_bits`), so the cache never conflates two tiers that differ
+//! in the last ulp, and a cached plan is bit-identical to the plan an
+//! independent `optimize()` at that `(slo, batch)` point would return
+//! (the sweep guarantees that contract already).
+
+use std::collections::HashMap;
+
+use ampsinf_model::LayerGraph;
+
+use crate::config::AmpsConfig;
+use crate::optimizer::{OptimizeError, Optimizer};
+use crate::plan::ExecutionPlan;
+use crate::sweep::SweepReport;
+
+/// Cache key: model name, SLO bit pattern (`None` = unconstrained),
+/// batch size.
+type PlanKey = (String, Option<u64>, u64);
+
+/// An online `(model, SLO, batch) → plan` cache with hit/miss/plan
+/// counters. See the module docs.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    entries: HashMap<PlanKey, Result<ExecutionPlan, OptimizeError>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached points (feasible and infeasible).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to run the optimizer.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Seeds the cache with every point of a completed sweep (feasible
+    /// or not), keyed under `model`. Returns how many points were newly
+    /// inserted; already-cached keys keep their existing entry.
+    pub fn seed_from_sweep(&mut self, model: &str, report: &SweepReport) -> usize {
+        let mut inserted = 0;
+        for p in &report.points {
+            let key = (model.to_string(), Some(p.slo_s.to_bits()), p.batch);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.entries.entry(key) {
+                e.insert(p.outcome.clone());
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// The plan at `(graph.name, slo_s, batch)`, planning on a miss.
+    ///
+    /// A miss clones `cfg`, overrides its SLO and batch with the key's,
+    /// and runs a full [`Optimizer::optimize`]; the outcome — including
+    /// an infeasibility error — is cached, so repeated probes of an
+    /// infeasible tier cost one solve total. `cfg`'s other knobs
+    /// (quotas, prices, tolerance, threads) are baked into whatever the
+    /// cache returns: use one config per cache.
+    pub fn get_or_plan(
+        &mut self,
+        graph: &LayerGraph,
+        cfg: &AmpsConfig,
+        slo_s: Option<f64>,
+        batch: u64,
+    ) -> Result<ExecutionPlan, OptimizeError> {
+        let key = (graph.name.clone(), slo_s.map(f64::to_bits), batch);
+        if let Some(cached) = self.entries.get(&key) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let mut point_cfg = cfg.clone();
+        point_cfg.slo_s = slo_s;
+        point_cfg.batch_size = batch;
+        let outcome = Optimizer::new(point_cfg).optimize(graph).map(|r| r.plan);
+        self.entries.insert(key, outcome.clone());
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepGrid;
+    use ampsinf_model::zoo;
+
+    #[test]
+    fn miss_plans_and_hit_returns_same_plan() {
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default();
+        let mut cache = PlanCache::new();
+        let a = cache.get_or_plan(&g, &cfg, None, 1).unwrap();
+        let b = cache.get_or_plan(&g, &cfg, None, 1).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn sweep_seed_turns_lookups_into_hits() {
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default();
+        let free = Optimizer::new(cfg.clone())
+            .optimize(&g)
+            .unwrap()
+            .plan
+            .predicted_time_s;
+        let slos = vec![free * 1.2, free * 2.0];
+        let report =
+            Optimizer::new(cfg.clone()).optimize_sweep(&g, &SweepGrid::from_slos(slos.clone()));
+        let mut cache = PlanCache::new();
+        assert_eq!(cache.seed_from_sweep(&g.name, &report), 2);
+        for (i, slo) in slos.iter().enumerate() {
+            let cached = cache.get_or_plan(&g, &cfg, Some(*slo), 1).unwrap();
+            let direct = report.points[i].outcome.clone().unwrap();
+            assert_eq!(cached, direct, "seeded plan must match the sweep's");
+        }
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn infeasible_outcomes_are_cached_not_resolved() {
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default();
+        let mut cache = PlanCache::new();
+        let tight = 1e-6; // no plan can finish in a microsecond
+        assert!(cache.get_or_plan(&g, &cfg, Some(tight), 1).is_err());
+        assert!(cache.get_or_plan(&g, &cfg, Some(tight), 1).is_err());
+        assert_eq!(cache.misses(), 1, "second probe must be a hit");
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn keys_distinguish_slo_bits_and_batch() {
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default();
+        let mut cache = PlanCache::new();
+        cache.get_or_plan(&g, &cfg, None, 1).unwrap();
+        cache.get_or_plan(&g, &cfg, None, 4).unwrap();
+        cache.get_or_plan(&g, &cfg, Some(1e9), 1).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+    }
+}

@@ -5,7 +5,7 @@
 //! model parameter.
 
 use ampsinf_core::{AmpsConfig, BatchReport, Coordinator, Optimizer, TraceReport};
-use ampsinf_faas::{FaultPlan, StoreKind};
+use ampsinf_faas::{FaultPlan, StoreKind, WarmPoolPolicy};
 use ampsinf_model::zoo;
 
 const THREADS: [usize; 3] = [1, 2, 8];
@@ -97,6 +97,10 @@ fn assert_traces_bit_identical(a: &TraceReport, b: &TraceReport) {
     assert_eq!(a.cold_starts, b.cold_starts);
     assert_eq!(a.peak_instances, b.peak_instances);
     assert_eq!(a.failures, b.failures);
+    assert_eq!(a.invocations, b.invocations);
+    assert_eq!(a.pre_warmed, b.pre_warmed);
+    assert_eq!(a.idle_s.to_bits(), b.idle_s.to_bits());
+    assert_eq!(a.idle_dollars.to_bits(), b.idle_dollars.to_bits());
     assert_eq!(a.requests.len(), b.requests.len());
     for (x, y) in a.requests.iter().zip(&b.requests) {
         assert_eq!(x.latency_s.to_bits(), y.latency_s.to_bits());
@@ -214,6 +218,74 @@ fn trace_report_bit_identical_under_faults_and_flaky_store() {
         let other = run_trace(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
         assert_traces_bit_identical(&baseline.0, &other.0);
         assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+    }
+}
+
+/// A deliberately skewed per-lane cost distribution: a dense head burst
+/// slams every lane at once (all-cold, maximal concurrency), then a
+/// heavy tail whose inter-arrival gaps grow quadratically — late
+/// requests serve warm or lapse the keep-alive, so the lanes that drew
+/// tail requests do far less work than the burst lanes. This is the
+/// worst case for the work-stealing queues: chunk boundaries and steal
+/// order shift with the thread count while the merged report must not.
+fn heavy_tail_arrivals() -> Vec<f64> {
+    let mut arrivals: Vec<f64> = (0..32).map(|i| 0.01 * i as f64).collect();
+    let mut t = 1.0f64;
+    for i in 0..32 {
+        t += 0.5 * (1.0 + i as f64).powi(2);
+        arrivals.push(t);
+    }
+    arrivals
+}
+
+#[test]
+fn heavy_tail_trace_bit_identical_across_thread_counts() {
+    let (g, plan, cfg) = plan_cfg();
+    let cfg = cfg.with_serve_lanes(8);
+    let arrivals = heavy_tail_arrivals();
+    let baseline = run_trace(
+        &cfg.clone().with_serve_threads(THREADS[0]),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    assert_eq!(baseline.0.requests.len(), arrivals.len());
+    assert_eq!(baseline.0.failures, 0);
+    for t in &THREADS[1..] {
+        let other = run_trace(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
+        assert_traces_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+        assert_eq!(baseline.2, other.2, "invocations at {t} threads");
+    }
+}
+
+#[test]
+fn heavy_tail_trace_bit_identical_under_faults_and_warm_pool() {
+    // Same skew, plus fault injection (retries stretch some chains) and
+    // a billed provisioned pool (per-lane idle settlement) — every
+    // field must still merge identically at every thread count.
+    let (g, plan, cfg) = plan_cfg();
+    let cfg = cfg
+        .with_serve_lanes(8)
+        .with_retries(2)
+        .with_faults(FaultPlan::uniform(0.2, 23))
+        .with_warm_pool(WarmPoolPolicy::provisioned(2));
+    let arrivals = heavy_tail_arrivals();
+    let baseline = run_trace(
+        &cfg.clone().with_serve_threads(THREADS[0]),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    let disturbed = baseline.0.failures > 0 || baseline.0.requests.iter().any(|r| r.retries > 0);
+    assert!(disturbed, "faults injected nothing");
+    assert!(baseline.0.pre_warmed > 0, "policy pre-warmed nothing");
+    assert!(baseline.0.idle_dollars > 0.0, "provisioned idle unbilled");
+    for t in &THREADS[1..] {
+        let other = run_trace(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
+        assert_traces_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+        assert_eq!(baseline.2, other.2, "invocations at {t} threads");
     }
 }
 

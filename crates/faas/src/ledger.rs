@@ -22,6 +22,19 @@ pub enum CostItem {
     VmTime,
     /// Data transfer fees.
     DataTransfer,
+    /// Provisioned/keep-warm idle capacity (warm-pool policies that bill
+    /// idle time, like Lambda provisioned concurrency).
+    WarmPoolIdle,
+}
+
+impl CostItem {
+    /// Number of cost categories (size of the running-totals table).
+    pub const COUNT: usize = 8;
+
+    /// Dense slot of this category in the running-totals table.
+    const fn slot(self) -> usize {
+        self as usize
+    }
 }
 
 /// Attribution of a ledger line. The hot serving path charges millions of
@@ -87,9 +100,29 @@ pub struct CostEntry {
 }
 
 /// Append-only cost ledger.
-#[derive(Debug, Clone, Default)]
+///
+/// Per-category running totals are maintained on every charge, so
+/// [`CostLedger::total`] and [`CostLedger::total_of`] are O(1) regardless
+/// of entry count — the serving hot path charges several lines per
+/// request and sums totals per request. Itemized entries (the audit
+/// trail) can be switched off with [`CostLedger::set_itemized`] for
+/// throughput runs where only the totals matter; the totals themselves
+/// always accrue.
+#[derive(Debug, Clone)]
 pub struct CostLedger {
     entries: Vec<CostEntry>,
+    totals: [f64; CostItem::COUNT],
+    itemized: bool,
+}
+
+impl Default for CostLedger {
+    fn default() -> Self {
+        CostLedger {
+            entries: Vec::new(),
+            totals: [0.0; CostItem::COUNT],
+            itemized: true,
+        }
+    }
 }
 
 impl CostLedger {
@@ -98,46 +131,63 @@ impl CostLedger {
         Self::default()
     }
 
+    /// Enables or disables the itemized audit trail. Totals always accrue;
+    /// with itemization off, `charge` skips the per-line entry push (the
+    /// serving engine turns this off on its throughput shards).
+    pub fn set_itemized(&mut self, on: bool) {
+        self.itemized = on;
+    }
+
+    /// Whether per-line entries are being recorded.
+    pub fn is_itemized(&self) -> bool {
+        self.itemized
+    }
+
     /// Records a charge.
     pub fn charge(&mut self, item: CostItem, dollars: f64, note: impl Into<Note>) {
         debug_assert!(dollars >= 0.0, "negative charge");
-        self.entries.push(CostEntry {
-            item,
-            dollars,
-            note: note.into(),
-        });
+        self.totals[item.slot()] += dollars;
+        if self.itemized {
+            self.entries.push(CostEntry {
+                item,
+                dollars,
+                note: note.into(),
+            });
+        }
     }
 
-    /// Total dollars across all entries.
+    /// Total dollars across all categories. Summed in fixed category
+    /// order, so serial and sharded runs that accrue the same per-category
+    /// amounts report bit-identical totals.
     pub fn total(&self) -> f64 {
-        self.entries.iter().map(|e| e.dollars).sum()
+        self.totals.iter().sum()
     }
 
     /// Total dollars for one category.
     pub fn total_of(&self, item: CostItem) -> f64 {
-        self.entries
-            .iter()
-            .filter(|e| e.item == item)
-            .map(|e| e.dollars)
-            .sum()
+        self.totals[item.slot()]
     }
 
-    /// All entries.
+    /// All entries (empty when itemization was off).
     pub fn entries(&self) -> &[CostEntry] {
         &self.entries
     }
 
-    /// Moves all entries of `other` into `self`.
+    /// Merges `other` into `self`: category totals add element-wise and
+    /// itemized entries append.
     pub fn absorb(&mut self, other: CostLedger) {
+        for (mine, theirs) in self.totals.iter_mut().zip(other.totals) {
+            *mine += theirs;
+        }
         self.entries.extend(other.entries);
     }
 
-    /// Number of entries.
+    /// Number of itemized entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// True when no entries exist.
+    /// True when no itemized entries exist.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -157,6 +207,24 @@ mod tests {
         assert!((l.total_of(CostItem::LambdaCompute) - 0.003).abs() < 1e-12);
         assert!((l.total_of(CostItem::VmTime) - 0.0).abs() < 1e-15);
         assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn totals_accrue_with_itemization_off() {
+        let mut l = CostLedger::new();
+        l.set_itemized(false);
+        l.charge(CostItem::LambdaCompute, 0.004, "f1");
+        l.charge(CostItem::WarmPoolIdle, 0.001, "pool");
+        assert_eq!(l.len(), 0, "no audit trail when itemization is off");
+        assert!((l.total() - 0.005).abs() < 1e-15);
+        assert!((l.total_of(CostItem::WarmPoolIdle) - 0.001).abs() < 1e-15);
+
+        // Absorbing a non-itemized shard still merges its totals.
+        let mut base = CostLedger::new();
+        base.charge(CostItem::LambdaCompute, 0.002, "f0");
+        base.absorb(l);
+        assert_eq!(base.len(), 1);
+        assert!((base.total() - 0.007).abs() < 1e-15);
     }
 
     #[test]

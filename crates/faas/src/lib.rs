@@ -73,7 +73,7 @@ pub use ledger::{CostItem, CostLedger, Note};
 pub use perf::{LambdaPerf, PerfModel};
 pub use platform::{
     DeployError, FailedInvocation, FunctionId, FunctionSpec, InvocationOutcome, InvocationWork,
-    InvokeError, Platform,
+    InvokeError, Platform, WarmPoolPolicy,
 };
 pub use pricing::PriceSheet;
 pub use quotas::Quotas;

@@ -4,7 +4,7 @@
 //! consumed plus the request fee, exactly as real Lambda does.
 
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};
-use crate::ledger::{CostItem, CostLedger};
+use crate::ledger::{CostItem, CostLedger, Note};
 use crate::perf::{DurationBreakdown, LambdaPerf, PerfModel};
 use crate::pricing::PriceSheet;
 use crate::quotas::Quotas;
@@ -269,6 +269,9 @@ impl InvocationOutcome {
 #[derive(Debug, Clone)]
 struct DeployedFunction {
     spec: FunctionSpec,
+    /// `spec.package_bytes()` precomputed at deploy time — the invoke hot
+    /// path needs it for cold-start sizing without walking `layer_bytes`.
+    package_bytes: u64,
     /// Warm container pool: `busy_until` per live instance, kept sorted
     /// ascending (a free-list ordered by idle-since time). Lambda scales
     /// out under concurrency — a request arriving while all instances are
@@ -279,6 +282,16 @@ struct DeployedFunction {
     instances: Vec<f64>,
     /// Total cold starts observed (metrics).
     cold_starts: usize,
+    /// Instances created by [`Platform::pre_warm`] (metrics).
+    pre_warmed: usize,
+    /// Idle warm seconds already consumed by reused instances (the gap
+    /// between an instance going idle and its next warm invocation),
+    /// accumulated at invoke time and drained by
+    /// [`Platform::settle_warm_pool`].
+    idle_warm_s: f64,
+    /// Idle time is settled up to this instant (no double billing across
+    /// repeated settlements), mirroring storage's `billed_until`.
+    idle_billed_until: f64,
 }
 
 impl DeployedFunction {
@@ -293,8 +306,91 @@ impl DeployedFunction {
     }
 }
 
-/// Container keep-alive window for warm starts, seconds.
-const KEEP_ALIVE_S: f64 = 600.0;
+/// Warm-pool provisioning policy: how a deployment keeps capacity
+/// resident between requests. The default reproduces classic Lambda
+/// behavior (nothing pre-warmed, 10-minute keep-alive, idle time free);
+/// the other presets model provisioned concurrency (paid pre-warmed
+/// instances that never lapse) and scale-to-zero (every request cold).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmPoolPolicy {
+    /// Instances pre-warmed per function at serving start. The sharded
+    /// serving engine splits this count across its lanes.
+    pub pre_warm: usize,
+    /// How long an idle instance stays warm, seconds (`f64::INFINITY` =
+    /// never lapses).
+    pub keep_alive_s: f64,
+    /// Whether idle warm time is billed (provisioned-concurrency pricing,
+    /// [`CostItem::WarmPoolIdle`]). When false, idle seconds are still
+    /// *measured* and reported — just not charged.
+    pub bill_idle: bool,
+}
+
+impl Default for WarmPoolPolicy {
+    fn default() -> Self {
+        WarmPoolPolicy::lambda_default()
+    }
+}
+
+impl WarmPoolPolicy {
+    /// Classic Lambda: no pre-warming, 10-minute keep-alive, idle free.
+    pub fn lambda_default() -> Self {
+        WarmPoolPolicy {
+            pre_warm: 0,
+            keep_alive_s: 600.0,
+            bill_idle: false,
+        }
+    }
+
+    /// Scale-to-zero: instances lapse the moment they go idle — every
+    /// request pays a cold start, nothing idles.
+    pub fn scale_to_zero() -> Self {
+        WarmPoolPolicy {
+            pre_warm: 0,
+            keep_alive_s: 0.0,
+            bill_idle: false,
+        }
+    }
+
+    /// Provisioned concurrency: `count` instances per function pre-warmed
+    /// at t = 0, never lapsing, idle time billed at the provisioned rate.
+    pub fn provisioned(count: usize) -> Self {
+        WarmPoolPolicy {
+            pre_warm: count,
+            keep_alive_s: f64::INFINITY,
+            bill_idle: true,
+        }
+    }
+
+    /// Lambda-style free keep-alive with a custom horizon.
+    pub fn keep_alive(seconds: f64) -> Self {
+        WarmPoolPolicy {
+            pre_warm: 0,
+            keep_alive_s: seconds,
+            bill_idle: false,
+        }
+    }
+}
+
+impl std::fmt::Display for WarmPoolPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == WarmPoolPolicy::lambda_default() {
+            return f.write_str("lambda-default");
+        }
+        if *self == WarmPoolPolicy::scale_to_zero() {
+            return f.write_str("scale-to-zero");
+        }
+        if *self == WarmPoolPolicy::provisioned(self.pre_warm) {
+            return write!(f, "provisioned({})", self.pre_warm);
+        }
+        write!(
+            f,
+            "pre-warm={},keep-alive={}s{}",
+            self.pre_warm,
+            self.keep_alive_s,
+            if self.bill_idle { ",billed" } else { "" }
+        )
+    }
+}
 
 /// The simulated platform.
 #[derive(Debug, Clone)]
@@ -310,6 +406,8 @@ pub struct Platform {
     /// Itemized cost ledger.
     pub ledger: CostLedger,
     functions: Vec<DeployedFunction>,
+    /// Warm-pool provisioning policy.
+    warm_pool: WarmPoolPolicy,
     /// Lambda-level fault injection (disabled by default).
     faults: FaultInjector,
     /// Platform-global invocation counter (fault targeting, metrics).
@@ -343,10 +441,22 @@ impl Platform {
             store: ObjectStore::new(store),
             ledger: CostLedger::new(),
             functions: Vec::new(),
+            warm_pool: WarmPoolPolicy::default(),
             faults: FaultInjector::new(FaultPlan::none()),
             invocations: 0,
             seq_override: None,
         }
+    }
+
+    /// Platform with the given warm-pool provisioning policy.
+    pub fn with_warm_pool(mut self, policy: WarmPoolPolicy) -> Self {
+        self.warm_pool = policy;
+        self
+    }
+
+    /// The active warm-pool policy.
+    pub fn warm_pool(&self) -> WarmPoolPolicy {
+        self.warm_pool
     }
 
     /// Marks the start of one served request with global index
@@ -370,26 +480,37 @@ impl Platform {
     }
 
     /// Forks an empty shard of this platform: same quotas, prices,
-    /// performance law, fault plan, and deployed functions — but fresh
-    /// (empty) warm pools, ledger, store, and counters. Shards simulate
-    /// disjoint request slices and are merged back with
-    /// [`Platform::absorb_shard`].
+    /// performance law, warm-pool policy, fault plan, and deployed
+    /// functions — but fresh (empty) warm pools, ledger, store, and
+    /// counters. Shards simulate disjoint request slices and are merged
+    /// back with [`Platform::absorb_shard`].
+    ///
+    /// Shard ledgers skip the itemized audit trail (totals still accrue
+    /// and merge exactly) — the serving hot path charges several lines per
+    /// request, and only the base platform keeps per-line attribution.
     pub fn fork_empty(&self) -> Platform {
+        let mut ledger = CostLedger::new();
+        ledger.set_itemized(false);
         Platform {
             quotas: self.quotas,
             prices: self.prices,
             perf: self.perf,
             store: ObjectStore::new(self.store.kind),
-            ledger: CostLedger::new(),
+            ledger,
             functions: self
                 .functions
                 .iter()
                 .map(|f| DeployedFunction {
                     spec: f.spec.clone(),
+                    package_bytes: f.package_bytes,
                     instances: Vec::new(),
                     cold_starts: 0,
+                    pre_warmed: 0,
+                    idle_warm_s: 0.0,
+                    idle_billed_until: 0.0,
                 })
                 .collect(),
+            warm_pool: self.warm_pool,
             faults: FaultInjector::new(self.faults.plan().clone()),
             invocations: 0,
             seq_override: None,
@@ -411,6 +532,9 @@ impl Platform {
             mine.instances.extend(theirs.instances);
             mine.instances.sort_by(f64::total_cmp);
             mine.cold_starts += theirs.cold_starts;
+            mine.pre_warmed += theirs.pre_warmed;
+            mine.idle_warm_s += theirs.idle_warm_s;
+            mine.idle_billed_until = mine.idle_billed_until.max(theirs.idle_billed_until);
         }
         self.invocations += shard.invocations;
         self.ledger.absorb(shard.ledger);
@@ -461,12 +585,81 @@ impl Platform {
         let duration =
             self.perf.deploy_fixed_s + uploaded as f64 / (self.perf.deploy_upload_mbps * 1e6);
         let id = FunctionId(self.functions.len());
+        let package_bytes = spec.package_bytes();
         self.functions.push(DeployedFunction {
             spec,
+            package_bytes,
             instances: Vec::new(),
             cold_starts: 0,
+            pre_warmed: 0,
+            idle_warm_s: 0.0,
+            idle_billed_until: 0.0,
         });
         Ok((id, duration))
+    }
+
+    /// Pre-warms `count` instances of every deployed function at t = 0
+    /// (warm-pool policies with `pre_warm > 0`; the sharded serving engine
+    /// calls this per shard with the lane's share). Pre-warmed instances
+    /// are idle-from-zero sandboxes: they serve warm without counting as
+    /// cold starts, and their idle time accrues like any other instance's.
+    pub fn pre_warm(&mut self, count: usize) {
+        if count == 0 {
+            return;
+        }
+        for f in &mut self.functions {
+            f.instances.extend(std::iter::repeat_n(0.0, count));
+            f.instances.sort_by(f64::total_cmp);
+            f.pre_warmed += count;
+        }
+    }
+
+    /// Instances pre-warmed across all functions (metrics).
+    pub fn pre_warmed_total(&self) -> usize {
+        self.functions.iter().map(|f| f.pre_warmed).sum()
+    }
+
+    /// Settles idle warm-pool time up to `until`: drains the idle seconds
+    /// already consumed by warm reuses, adds each still-pooled instance's
+    /// idle tail (capped by the keep-alive horizon), and advances a
+    /// per-function watermark so repeated settlements never double-count.
+    /// When the policy bills idle time, the settled seconds are charged as
+    /// [`CostItem::WarmPoolIdle`] at the provisioned-capacity rate.
+    /// Returns `(idle_seconds, dollars)`.
+    pub fn settle_warm_pool(&mut self, until: f64) -> (f64, f64) {
+        let policy = self.warm_pool;
+        let rate = self.prices.lambda_provisioned_gb_second;
+        let mut idle_total = 0.0;
+        let mut dollars = 0.0;
+        let mut charges: Vec<(FunctionId, f64)> = Vec::new();
+        for (i, f) in self.functions.iter_mut().enumerate() {
+            let mut idle = std::mem::take(&mut f.idle_warm_s);
+            for &busy_until in &f.instances {
+                let warm_until = if policy.keep_alive_s.is_finite() {
+                    busy_until + policy.keep_alive_s
+                } else {
+                    f64::INFINITY
+                };
+                let from = busy_until.max(f.idle_billed_until);
+                let to = until.min(warm_until);
+                if to > from {
+                    idle += to - from;
+                }
+            }
+            f.idle_billed_until = f.idle_billed_until.max(until);
+            if idle > 0.0 {
+                idle_total += idle;
+                if policy.bill_idle {
+                    let c = rate * idle * (f64::from(f.spec.memory_mb) / 1024.0);
+                    dollars += c;
+                    charges.push((FunctionId(i), c));
+                }
+            }
+        }
+        for (id, c) in charges {
+            self.ledger.charge(CostItem::WarmPoolIdle, c, id);
+        }
+        (idle_total, dollars)
     }
 
     /// Deployed function count.
@@ -513,7 +706,11 @@ impl Platform {
                 start,
             ));
         };
-        let spec = func.spec.clone();
+        // Scalars the rest of the invocation needs, copied out so the hot
+        // path never clones the spec (name + layer vector allocations).
+        let memory_mb = func.spec.memory_mb;
+        let package_bytes = func.package_bytes;
+        let keep_alive_s = self.warm_pool.keep_alive_s;
         // Instance selection: reuse the most-recently-idle warm instance
         // that is free at `start` and within keep-alive; otherwise a fresh
         // cold instance handles this (possibly concurrent) request. The
@@ -522,9 +719,15 @@ impl Platform {
         // sandbox leaves the pool here and rejoins at its new `busy_until`
         // when the invocation resolves.
         let idle = func.instances.partition_point(|&b| b <= start);
-        let warm = idle > 0 && start - func.instances[idle - 1] <= KEEP_ALIVE_S;
+        let warm = idle > 0 && start - func.instances[idle - 1] <= keep_alive_s;
         if warm {
-            func.instances.remove(idle - 1);
+            let busy_until = func.instances.remove(idle - 1);
+            // The reused instance idled from going free to this reuse —
+            // warm-pool time the policy may bill at settlement.
+            let idled_from = busy_until.max(func.idle_billed_until);
+            if start > idled_from {
+                func.idle_warm_s += start - idled_from;
+            }
         }
         let seq = match self.seq_override.as_mut() {
             Some(s) => {
@@ -537,11 +740,11 @@ impl Platform {
         self.invocations += 1;
         let fault = self.faults.draw(seq, !warm);
 
-        let perf = LambdaPerf::new(&self.perf, spec.memory_mb);
+        let perf = LambdaPerf::new(&self.perf, memory_mb);
         let footprint_mb = self.perf.runtime_footprint_mb + work.resident_bytes as f64 / MB as f64;
         let mut b = DurationBreakdown::default();
         if !warm {
-            b.cold_s = perf.cold_start(spec.package_bytes());
+            b.cold_s = perf.cold_start(package_bytes);
         }
         if fault == Some(FaultKind::ColdStartFailure) {
             // The sandbox dies during creation: nothing joins the pool and
@@ -549,7 +752,7 @@ impl Platform {
             let consumed = b.total();
             return Err(self.fail(
                 id,
-                &spec,
+                memory_mb,
                 start,
                 b,
                 consumed,
@@ -568,7 +771,7 @@ impl Platform {
             let consumed = b.total();
             return Err(self.fail(
                 id,
-                &spec,
+                memory_mb,
                 start,
                 b,
                 consumed,
@@ -577,7 +780,7 @@ impl Platform {
                 0.0,
                 InvokeError::OutOfMemory {
                     footprint_mb,
-                    memory_mb: spec.memory_mb,
+                    memory_mb,
                 },
             ));
         }
@@ -590,7 +793,7 @@ impl Platform {
             let consumed = b.total();
             return Err(self.fail(
                 id,
-                &spec,
+                memory_mb,
                 start,
                 b,
                 consumed,
@@ -623,7 +826,9 @@ impl Platform {
                     let (reason, burned) = Self::storage_failure(e, latency);
                     b.transfer_s += burned;
                     let consumed = b.total();
-                    return Err(self.fail(id, &spec, start, b, consumed, warm, true, fees, reason));
+                    return Err(
+                        self.fail(id, memory_mb, start, b, consumed, warm, true, fees, reason)
+                    );
                 }
             }
         }
@@ -635,7 +840,7 @@ impl Platform {
                 let consumed = b.total();
                 return Err(self.fail(
                     id,
-                    &spec,
+                    memory_mb,
                     start,
                     b,
                     consumed,
@@ -654,7 +859,7 @@ impl Platform {
                 let consumed = self.quotas.timeout_s;
                 return Err(self.fail(
                     id,
-                    &spec,
+                    memory_mb,
                     start,
                     b,
                     consumed,
@@ -689,7 +894,9 @@ impl Platform {
                     let (reason, burned) = Self::storage_failure(e, latency);
                     b.transfer_s += write_s + burned;
                     let consumed = b.total();
-                    return Err(self.fail(id, &spec, start, b, consumed, warm, true, fees, reason));
+                    return Err(
+                        self.fail(id, memory_mb, start, b, consumed, warm, true, fees, reason)
+                    );
                 }
             }
         }
@@ -701,7 +908,7 @@ impl Platform {
             // Killed at the timeout; the timeout window is billed in full.
             return Err(self.fail(
                 id,
-                &spec,
+                memory_mb,
                 start,
                 b,
                 self.quotas.timeout_s,
@@ -715,7 +922,7 @@ impl Platform {
         }
 
         let billed = self.prices.billed_duration(duration);
-        let compute_cost = self.prices.lambda_compute_cost(duration, spec.memory_mb);
+        let compute_cost = self.prices.lambda_compute_cost(duration, memory_mb);
         self.ledger
             .charge(CostItem::LambdaCompute, compute_cost, id);
         self.ledger
@@ -752,7 +959,7 @@ impl Platform {
     fn fail(
         &mut self,
         id: FunctionId,
-        spec: &FunctionSpec,
+        memory_mb: u32,
         start: f64,
         breakdown: DurationBreakdown,
         consumed_s: f64,
@@ -762,13 +969,20 @@ impl Platform {
         reason: InvokeError,
     ) -> FailedInvocation {
         let billed = self.prices.billed_duration(consumed_s);
-        let compute_cost = self.prices.lambda_compute_cost(consumed_s, spec.memory_mb);
+        let compute_cost = self.prices.lambda_compute_cost(consumed_s, memory_mb);
         if compute_cost > 0.0 {
-            self.ledger.charge(
-                CostItem::LambdaCompute,
-                compute_cost,
-                format!("{} [failed: {reason}]", spec.name),
-            );
+            // The attribution string only materializes on itemized ledgers
+            // — failures are off the hot path, but shards skip it anyway.
+            let note = if self.ledger.is_itemized() {
+                Note::Text(format!(
+                    "{} [failed: {reason}]",
+                    self.functions[id.0].spec.name
+                ))
+            } else {
+                Note::Label("failed invocation")
+            };
+            self.ledger
+                .charge(CostItem::LambdaCompute, compute_cost, note);
         }
         self.ledger
             .charge(CostItem::LambdaRequest, self.prices.lambda_request, id);
@@ -877,8 +1091,9 @@ mod tests {
         assert_eq!(second.breakdown.load_s, 0.0);
         assert!(second.duration() < first.duration());
         // Cold again after the keep-alive lapses.
+        let keep_alive_s = p.warm_pool().keep_alive_s;
         let third = p
-            .invoke(id, second.end + KEEP_ALIVE_S + 1.0, &work)
+            .invoke(id, second.end + keep_alive_s + 1.0, &work)
             .unwrap();
         assert!(!third.warm);
     }
@@ -1097,6 +1312,91 @@ mod tests {
         assert!(out.warm);
         assert_eq!(p.instance_count(id), 3);
         assert_eq!(p.cold_starts(id), 3);
+    }
+
+    #[test]
+    fn scale_to_zero_never_serves_warm() {
+        let mut p = Platform::aws_2020().with_warm_pool(WarmPoolPolicy::scale_to_zero());
+        let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        let first = p.invoke(id, 0.0, &work).unwrap();
+        let second = p.invoke(id, first.end + 1.0, &work).unwrap();
+        assert!(!second.warm, "scale-to-zero must cold-start every request");
+        assert_eq!(p.cold_starts(id), 2);
+        // Nothing idles under this policy.
+        let (idle, dollars) = p.settle_warm_pool(second.end + 100.0);
+        assert_eq!(idle, 0.0);
+        assert_eq!(dollars, 0.0);
+    }
+
+    #[test]
+    fn provisioned_pool_serves_warm_and_bills_idle() {
+        let mut p = Platform::aws_2020().with_warm_pool(WarmPoolPolicy::provisioned(2));
+        let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+        p.pre_warm(p.warm_pool().pre_warm);
+        assert_eq!(p.pre_warmed_total(), 2);
+        assert_eq!(p.instance_count(id), 2);
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        // The very first request rides a pre-warmed instance.
+        let out = p.invoke(id, 5.0, &work).unwrap();
+        assert!(out.warm, "pre-warmed instance must serve warm");
+        assert_eq!(p.cold_starts(id), 0);
+        // Idle time: the reused instance idled 0→5; the untouched one and
+        // the reused one idle up to the settle instant.
+        let until = out.end + 10.0;
+        let (idle, dollars) = p.settle_warm_pool(until);
+        let expect_idle = 5.0 + until + (until - out.end);
+        assert!((idle - expect_idle).abs() < 1e-9, "{idle} vs {expect_idle}");
+        let expect_cost = p.prices.lambda_provisioned_gb_second * expect_idle * 1.0;
+        assert!((dollars - expect_cost).abs() < 1e-12);
+        assert!((p.ledger.total_of(CostItem::WarmPoolIdle) - dollars).abs() < 1e-15);
+        // Settling the same instant again double-bills nothing.
+        let (again, d2) = p.settle_warm_pool(until);
+        assert_eq!(again, 0.0);
+        assert_eq!(d2, 0.0);
+    }
+
+    #[test]
+    fn keep_alive_horizon_caps_settled_idle() {
+        // Free keep-alive of 60 s: an instance idle since t=10 settled at
+        // t=1000 accrues only 60 idle seconds (then it lapsed), unbilled.
+        let mut p = Platform::aws_2020().with_warm_pool(WarmPoolPolicy::keep_alive(60.0));
+        let (id, _) = p.deploy(spec(1024, 17)).unwrap();
+        let work = InvocationWork {
+            load_bytes: 17 * MB,
+            flops: 1_000_000_000,
+            resident_bytes: 40 * MB,
+            ..Default::default()
+        };
+        let out = p.invoke(id, 0.0, &work).unwrap();
+        let (idle, dollars) = p.settle_warm_pool(out.end + 1000.0);
+        assert!((idle - 60.0).abs() < 1e-9, "idle {idle}");
+        assert_eq!(dollars, 0.0, "free keep-alive bills nothing");
+        assert_eq!(p.cold_starts(id), 1);
+    }
+
+    #[test]
+    fn warm_pool_policy_labels() {
+        assert_eq!(
+            WarmPoolPolicy::lambda_default().to_string(),
+            "lambda-default"
+        );
+        assert_eq!(WarmPoolPolicy::scale_to_zero().to_string(), "scale-to-zero");
+        assert_eq!(WarmPoolPolicy::provisioned(4).to_string(), "provisioned(4)");
+        assert_eq!(
+            WarmPoolPolicy::keep_alive(120.0).to_string(),
+            "pre-warm=0,keep-alive=120s"
+        );
     }
 
     #[test]

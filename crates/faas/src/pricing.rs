@@ -11,6 +11,10 @@
 pub struct PriceSheet {
     /// Lambda compute, $ per GB-second.
     pub lambda_gb_second: f64,
+    /// Provisioned/keep-warm idle capacity, $ per GB-second (Lambda
+    /// provisioned concurrency; billed by warm-pool policies that keep
+    /// instances resident while idle).
+    pub lambda_provisioned_gb_second: f64,
     /// Lambda invocation, $ per request (the paper's `I`).
     pub lambda_request: f64,
     /// Billing granularity in seconds (2020: 100 ms round-up).
@@ -36,6 +40,7 @@ impl PriceSheet {
     pub fn aws_2020() -> Self {
         PriceSheet {
             lambda_gb_second: 0.000_016_666_7,
+            lambda_provisioned_gb_second: 0.000_004_166_7,
             lambda_request: 0.000_000_2,
             billing_granularity_s: 0.1,
             s3_put_request: 0.005 / 1000.0,

@@ -181,7 +181,21 @@ impl ObjectStore {
         k
     }
 
-    /// The name an [`ObjectKey`] was interned under.
+    /// Allocates an *anonymous* key: a fresh slot with an empty name and
+    /// no name-table entry. The serving hot path uses these for
+    /// per-request boundary objects — no string formatting, hashing, or
+    /// map insertion per request. Anonymous keys settle and merge exactly
+    /// like named keys but are unreachable by name (each call returns a
+    /// distinct key, so they never collide).
+    pub fn fresh_key(&mut self) -> ObjectKey {
+        let k = ObjectKey(u32::try_from(self.names.len()).expect("intern table overflow"));
+        self.names.push(String::new());
+        self.metas.push(None);
+        k
+    }
+
+    /// The name an [`ObjectKey`] was interned under (empty for anonymous
+    /// keys from [`ObjectStore::fresh_key`]).
     pub fn name_of(&self, key: ObjectKey) -> &str {
         &self.names[key.0 as usize]
     }
@@ -210,7 +224,14 @@ impl ObjectStore {
         } = other;
         let mut remap = Vec::with_capacity(names.len());
         for name in &names {
-            remap.push(self.intern(name));
+            // Anonymous shard keys stay anonymous — and stay distinct:
+            // interning their shared empty name would collapse every
+            // shard's per-request objects onto one key.
+            remap.push(if name.is_empty() {
+                self.fresh_key()
+            } else {
+                self.intern(name)
+            });
         }
         for (idx, meta) in metas.into_iter().enumerate() {
             let Some(meta) = meta else { continue };
@@ -667,6 +688,40 @@ mod tests {
         attempts(&mut b, 50); // a different stream, different consumption
         b.set_stream(7);
         assert_eq!(attempts(&mut b, 20), first);
+    }
+
+    #[test]
+    fn anonymous_keys_stay_distinct_through_absorb() {
+        let sheet = PriceSheet::aws_2020();
+        let mut l = CostLedger::new();
+        // Two shards, each with two anonymous objects still live at merge
+        // time: the merged store must keep all four distinct (interning
+        // the shared empty name would collapse them) and settle exactly.
+        let mut base = ObjectStore::new(StoreKind::s3());
+        let mut shards = Vec::new();
+        for s in 0..2 {
+            let mut shard = ObjectStore::new(StoreKind::s3());
+            for i in 0..2 {
+                let k = shard.fresh_key();
+                assert_eq!(shard.name_of(k), "");
+                shard
+                    .put_id(k, 10_000_000, f64::from(s * 2 + i), &sheet, &mut l)
+                    .unwrap();
+            }
+            shards.push(shard);
+        }
+        let expect_live: u64 = shards.iter().map(|s| s.live_bytes()).sum();
+        for shard in shards {
+            base.absorb(shard);
+        }
+        assert_eq!(base.live_bytes(), expect_live, "no anonymous collisions");
+        let settled = base.settle_storage(100.0, &sheet, &mut l);
+        assert!(settled > 0.0);
+        // All four lifetimes billed: ~(100-t_visible) each on 10 MB.
+        let per = |t: f64| sheet.s3_storage_cost(10_000_000, 100.0 - t);
+        let t0 = base.transfer_time(10_000_000, 1);
+        let expect: f64 = (0..4).map(|i| per(f64::from(i) + t0)).sum();
+        assert!((settled - expect).abs() < 1e-12, "{settled} vs {expect}");
     }
 
     #[test]

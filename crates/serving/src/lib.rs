@@ -10,8 +10,10 @@
 //!   no model splitting;
 //! * [`batched`] — batched-chain execution used by both the BATCH
 //!   comparison and AMPS-Inf's own batch modes (§5.4);
-//! * [`loadgen`] — open-loop Poisson workloads over a deployed chain
-//!   (the §2 "query load dynamics" scenario: warm trickles, cold bursts);
+//! * [`loadgen`] — open-loop workloads over a deployed chain with
+//!   seeded arrival shapes (Poisson, diurnal, flash crowd, bursts,
+//!   multi-tenant), warm-pool policy metrics, and an adaptive
+//!   plan-cache serving loop (the §2 "query load dynamics" scenario);
 //! * [`layer_parallel`] — Gillis-style weight-sliced partitions (§6's
 //!   contrasted approach), which serve models whose single largest layer
 //!   exceeds the deployment cap (VGG16's fc1).
@@ -26,6 +28,8 @@ pub mod sagemaker;
 pub mod serfer;
 
 pub use batch_baseline::{run_batch_baseline, BatchBaselineReport};
-pub use loadgen::{run_open_loop, LoadReport, LoadSpec};
+pub use loadgen::{
+    run_adaptive_loop, run_open_loop, AdaptiveSpec, ArrivalShape, LoadReport, LoadSpec,
+};
 pub use sagemaker::{SageConfig, SageReport, SageSetting};
 pub use serfer::{run_serfer, SerferReport};

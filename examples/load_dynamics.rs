@@ -24,11 +24,7 @@ fn main() {
         "rate(rps)", "reqs", "p50 (s)", "p95 (s)", "max (s)", "cold", "peak inst", "$/request"
     );
     for rate in [0.01, 0.05, 0.2, 1.0, 5.0] {
-        let load = LoadSpec {
-            rate_rps: rate,
-            requests: 30,
-            seed: 7,
-        };
+        let load = LoadSpec::poisson(rate, 30, 7);
         let r = run_open_loop(&model, &plan, &cfg, &load).expect("load run");
         println!(
             "{:>9.2} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>7} {:>9} {:>11.6}",

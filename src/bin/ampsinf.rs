@@ -15,9 +15,10 @@
 
 use amps_inf::core::baselines;
 use amps_inf::core::sweep::SweepGrid;
+use amps_inf::faas::WarmPoolPolicy;
 use amps_inf::model::summary::ModelSummary;
 use amps_inf::prelude::*;
-use amps_inf::serving::{run_open_loop, LoadSpec};
+use amps_inf::serving::{run_adaptive_loop, run_open_loop, AdaptiveSpec, ArrivalShape, LoadSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -188,9 +189,48 @@ fn run(args: &[String]) -> i32 {
     }
 }
 
-/// Open-loop load mode (`serve --requests M --rate R`): Poisson arrivals
-/// against the planned deployment on the sharded serving engine, with a
-/// throughput / percentile summary instead of per-image reports.
+/// Parses a `--policy` spec: `default`, `zero`, `prewarm:N`,
+/// `provisioned:N` or `keepalive:SECONDS`.
+fn parse_policy(spec: &str) -> Result<WarmPoolPolicy, String> {
+    let lower = spec.to_ascii_lowercase();
+    let (name, arg) = match lower.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (lower.as_str(), None),
+    };
+    let count = |a: Option<&str>| -> Result<usize, String> {
+        a.ok_or_else(|| format!("--policy {name} needs a count, e.g. {name}:4"))?
+            .parse::<usize>()
+            .map_err(|_| format!("bad --policy count in '{spec}'"))
+    };
+    match name {
+        "default" | "lambda" => Ok(WarmPoolPolicy::lambda_default()),
+        "zero" | "scale-to-zero" => Ok(WarmPoolPolicy::scale_to_zero()),
+        "prewarm" | "pre-warm" => {
+            let mut p = WarmPoolPolicy::lambda_default();
+            p.pre_warm = count(arg)?;
+            Ok(p)
+        }
+        "provisioned" => Ok(WarmPoolPolicy::provisioned(count(arg)?)),
+        "keepalive" | "keep-alive" => {
+            let s: f64 = arg
+                .ok_or_else(|| "--policy keepalive needs seconds, e.g. keepalive:60".to_string())?
+                .parse()
+                .map_err(|_| format!("bad --policy keep-alive seconds in '{spec}'"))?;
+            if s.is_nan() || s < 0.0 {
+                return Err(format!("--policy keep-alive seconds must be >= 0, got {s}"));
+            }
+            Ok(WarmPoolPolicy::keep_alive(s))
+        }
+        _ => Err(format!(
+            "unknown --policy '{spec}' \
+             (try default, zero, prewarm:N, provisioned:N or keepalive:S)"
+        )),
+    }
+}
+
+/// Open-loop load mode (`serve --requests M --rate R`): shaped arrivals
+/// against the planned deployment on the work-stealing serving engine,
+/// with a throughput / percentile summary instead of per-image reports.
 fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
     let requests = match flag_value(args, "--requests").unwrap().parse::<usize>() {
         Ok(n) if n > 0 => n,
@@ -206,70 +246,149 @@ fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
     let lanes = match flag_value(args, "--lanes") {
         Some(v) => match v.parse::<usize>() {
             Ok(n) if n > 0 => n,
-            _ => return fail(&format!("bad --lanes value {v}")),
+            Ok(_) => {
+                return fail(
+                    "--lanes 0 is invalid: the serving engine needs at least one \
+                     warm-pool shard (lanes are a model parameter; see --help)",
+                )
+            }
+            Err(_) => return fail(&format!("bad --lanes value {v}")),
         },
         None => 64,
     };
     // `--threads` drives both the optimizer and the serving workers here;
     // serving results are thread-invariant either way (DESIGN.md §6c).
     let threads = cfg.threads;
-    let cfg = cfg.with_serve_lanes(lanes).with_serve_threads(threads);
-    match Optimizer::new(cfg.clone()).optimize(g) {
-        Ok(r) => {
-            println!("{}", r.plan);
-            print_fault_plan(&cfg);
-            let load = LoadSpec {
-                rate_rps: rate,
-                requests,
-                seed: 0,
-            };
-            match run_open_loop(g, &r.plan, &cfg, &load) {
-                Ok(rep) => {
-                    println!(
-                        "load: {requests} request(s) at {rate:.1} rps over {lanes} lane(s), \
-                         {} worker thread(s)",
-                        if threads == 0 {
-                            "auto".to_string()
-                        } else {
-                            threads.to_string()
-                        }
-                    );
-                    println!(
-                        "latency: p50 {:.3}s  p95 {:.3}s  p99 {:.3}s  over {} success(es)",
-                        rep.percentile(50.0),
-                        rep.percentile(95.0),
-                        rep.percentile(99.0),
-                        rep.latencies_s.len()
-                    );
-                    let served = rep.latencies_s.len() as f64;
-                    println!(
-                        "throughput: {:.2} req/s over {:.1}s simulated makespan",
-                        if rep.makespan_s > 0.0 {
-                            served / rep.makespan_s
-                        } else {
-                            0.0
-                        },
-                        rep.makespan_s
-                    );
-                    println!(
-                        "platform: {} cold start(s), peak {} instance(s)",
-                        rep.cold_starts, rep.peak_instances
-                    );
-                    if rep.failures > 0 {
-                        println!(
-                            "reliability: {} request(s) exhausted retries \
-                             (excluded from percentiles, still billed)",
-                            rep.failures
-                        );
-                    }
-                    println!("total ${:.6}", rep.dollars);
-                    0
-                }
-                Err(e) => fail(&format!("load run: {e}")),
-            }
-        }
-        Err(e) => fail(&format!("optimization failed: {e}")),
+    if threads > lanes {
+        return fail(&format!(
+            "--threads {threads} exceeds --lanes {lanes}: a lane never splits \
+             across threads, so workers are clamped to the lane count and the \
+             extra threads would sit idle; lower --threads or raise --lanes"
+        ));
     }
+    let shape = match flag_value(args, "--shape") {
+        Some(v) => match ArrivalShape::parse(v) {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        },
+        None => ArrivalShape::Constant,
+    };
+    let policy = match flag_value(args, "--policy") {
+        Some(v) => match parse_policy(v) {
+            Ok(p) => p,
+            Err(e) => return fail(&e),
+        },
+        None => WarmPoolPolicy::lambda_default(),
+    };
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let cfg = cfg
+        .with_serve_lanes(lanes)
+        .with_serve_threads(threads)
+        .with_warm_pool(policy);
+    let load = LoadSpec::poisson(rate, requests, 0).with_shape(shape);
+
+    let adaptive = if args.iter().any(|a| a == "--adaptive") {
+        let tiers = match flag_value(args, "--slo-tiers") {
+            Some(v) => {
+                let parsed: Result<Vec<f64>, _> =
+                    v.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                match parsed {
+                    Ok(t) if !t.is_empty() && t.iter().all(|s| s.is_finite() && *s > 0.0) => t,
+                    _ => {
+                        return fail(&format!(
+                            "bad --slo-tiers value {v} \
+                             (need comma-separated positive seconds)"
+                        ))
+                    }
+                }
+            }
+            None => return fail("--adaptive requires --slo-tiers <s1,s2,...>"),
+        };
+        let epoch = match flag_value(args, "--epoch") {
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => return fail(&format!("bad --epoch value {v} (need a positive integer)")),
+            },
+            None => 64,
+        };
+        Some(AdaptiveSpec::new(epoch, tiers))
+    } else {
+        None
+    };
+
+    let rep = if let Some(adaptive) = &adaptive {
+        match run_adaptive_loop(g, &cfg, &load, adaptive) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("adaptive load run: {e}")),
+        }
+    } else {
+        let planned = match Optimizer::new(cfg.clone()).optimize(g) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("optimization failed: {e}")),
+        };
+        println!("{}", planned.plan);
+        print_fault_plan(&cfg);
+        match run_open_loop(g, &planned.plan, &cfg, &load) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("load run: {e}")),
+        }
+    };
+
+    println!(
+        "load: {requests} request(s) at {rate:.1} rps ({} arrivals) over {lanes} lane(s), \
+         {} worker thread(s)",
+        rep.shape,
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        }
+    );
+    println!(
+        "latency: p50 {:.3}s  p95 {:.3}s  p99 {:.3}s  over {} success(es)",
+        rep.percentile(50.0),
+        rep.percentile(95.0),
+        rep.percentile(99.0),
+        rep.latencies_s.len()
+    );
+    let served = rep.latencies_s.len() as f64;
+    println!(
+        "throughput: {:.2} req/s over {:.1}s simulated makespan",
+        if rep.makespan_s > 0.0 {
+            served / rep.makespan_s
+        } else {
+            0.0
+        },
+        rep.makespan_s
+    );
+    println!(
+        "platform: {} cold start(s) over {} invocation(s) ({:.1}% cold), \
+         peak {} instance(s)",
+        rep.cold_starts,
+        rep.invocations,
+        rep.cold_start_rate() * 100.0,
+        rep.peak_instances
+    );
+    println!(
+        "warm pool: policy {}, {} pre-warmed instance(s), {:.1}s idle \
+         (${:.6} billed)",
+        rep.policy, rep.pre_warmed, rep.idle_s, rep.idle_dollars
+    );
+    if adaptive.is_some() || verbose {
+        println!(
+            "plan cache: {} hit(s), {} miss(es), {} re-plan(s)",
+            rep.plan_hits, rep.plan_misses, rep.replans
+        );
+    }
+    if rep.failures > 0 {
+        println!(
+            "reliability: {} request(s) exhausted retries \
+             (excluded from percentiles, still billed)",
+            rep.failures
+        );
+    }
+    println!("total ${:.6}", rep.dollars);
+    0
 }
 
 /// `sweep` mode: plan an entire SLO × batch grid in one amortized call
@@ -411,11 +530,26 @@ fn usage() {
            --batches <a,b,...>  sweep: batch sizes to cross with the SLO axis\n\
            --no-seed            sweep: disable cross-point bound seeding\n\
            --parallel           serve images concurrently (serve only)\n\
-           --requests <n>       open-loop load mode: Poisson request count\n\
-                                (serve only; prints throughput/percentiles)\n\
+           --requests <n>       open-loop load mode: request count (serve\n\
+                                only; prints throughput/percentiles)\n\
            --rate <rps>         mean arrival rate for --requests (default 1)\n\
-           --lanes <n>          warm-pool shards for load mode (default 64);\n\
-                                --threads also sets the serving workers\n\
+           --shape <name>       arrival shape for load mode: constant,\n\
+                                diurnal, spike, bursts or mix (default\n\
+                                constant-rate Poisson)\n\
+           --policy <spec>      warm-pool policy for load mode: default,\n\
+                                zero, prewarm:N, provisioned:N (pre-warmed\n\
+                                and billed while idle) or keepalive:S\n\
+           --lanes <n>          warm-pool shards for load mode (default 64;\n\
+                                must be >= 1). --threads also sets the\n\
+                                serving workers; workers are clamped to the\n\
+                                lane count (a lane never splits across\n\
+                                threads), so --threads > --lanes is rejected\n\
+           --adaptive           load mode: re-plan between epochs from an\n\
+                                online (SLO, batch) plan cache seeded by an\n\
+                                amortized sweep (requires --slo-tiers)\n\
+           --slo-tiers <a,b,..> adaptive SLO tiers in seconds, tight to loose\n\
+           --epoch <n>          requests per adaptive control epoch\n\
+                                (default 64)\n\
          \n\
          reliability options (plan/serve):\n\
            --inject-faults <p>  inject crash/timeout/cold-start faults, each\n\
