@@ -49,6 +49,30 @@ fn bench_serving(b: &mut Bencher) {
         "thread counts disagreed on dollars"
     );
 
+    // Pipelined stations over the same trace: stage i of request k+1
+    // overlaps stage i+1 of request k, so the hot path adds per-stage
+    // station bookkeeping — and must stay bit-identical across threads.
+    let mut pipe_dollars = Vec::new();
+    for threads in [1usize, 8] {
+        let coord = Coordinator::new(base.clone().with_pipeline(2).with_serve_threads(threads));
+        b.bench_items(
+            &format!("open_loop/resnet50/100k/pipeline/threads={threads}"),
+            3,
+            REQUESTS,
+            || {
+                let mut platform = coord.platform();
+                let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
+                let trace = coord.serve_trace_pipelined(&mut platform, &dep, &arrivals);
+                pipe_dollars.push(trace.dollars.to_bits());
+                trace.last_completion_s
+            },
+        );
+    }
+    assert!(
+        pipe_dollars.windows(2).all(|w| w[0] == w[1]),
+        "pipelined thread counts disagreed on dollars"
+    );
+
     // The bursty end of the workload space: a flash-crowd arrival shape
     // over a billed provisioned pool — the work-stealing queues see the
     // most skewed per-lane load this engine produces.
@@ -68,12 +92,24 @@ fn bench_serving(b: &mut Bencher) {
     // engine, single lane, no threads — pure hot-path allocation savings.
     let seq_cfg = AmpsConfig::default();
     let seq_plan = Optimizer::new(seq_cfg.clone()).optimize(&g).unwrap().plan;
-    let coord = Coordinator::new(seq_cfg);
+    let coord = Coordinator::new(seq_cfg.clone());
     b.bench_items("serve_sequential/resnet50/1k", 5, 1000, || {
         let mut platform = coord.platform();
         let dep = coord.deploy(&mut platform, &g, &seq_plan).unwrap();
         coord
             .serve_sequential(&mut platform, &dep, 1000, 0.0)
+            .dollars
+    });
+
+    // Same closed batch through the pipelined stations: simulated
+    // makespan drops to fill + (n-1) * bottleneck instead of n * chain,
+    // so the throughput column moves past the sequential-chain bound.
+    let pipe_coord = Coordinator::new(seq_cfg.with_pipeline(1));
+    b.bench_items("serve_pipelined/resnet50/1k", 5, 1000, || {
+        let mut platform = pipe_coord.platform();
+        let dep = pipe_coord.deploy(&mut platform, &g, &seq_plan).unwrap();
+        pipe_coord
+            .serve_pipelined(&mut platform, &dep, 1000, 0.0)
             .dollars
     });
 }

@@ -38,6 +38,7 @@ pub fn registry() -> Vec<Experiment> {
         ("ext-quota", extensions::ext_quota),
         ("ext-quantize", extensions::ext_quantize),
         ("ext-pipeline", extensions::ext_pipeline),
+        ("ext-stations", extensions::ext_stations),
         ("ext-parallel", extensions::ext_parallel),
         ("ext-costmodel", extensions::ext_costmodel),
         ("ext-load", extensions::ext_load),

@@ -79,6 +79,17 @@ pub struct AmpsConfig {
     /// thread count — pre-warmed instances split deterministically across
     /// lanes. The default reproduces classic Lambda behavior exactly.
     pub warm_pool: WarmPoolPolicy,
+    /// Pipeline stations per stage per lane for the pipelined serving
+    /// engine (`0` disables pipelining — the default, which reproduces the
+    /// strictly sequential per-request chain exactly). With `depth ≥ 1`,
+    /// stage `i` of request `k+1` may start as soon as request `k+1`'s
+    /// stage `i−1` has checkpointed its boundary tensor *and* one of the
+    /// stage's `depth` stations is free — so stages overlap across
+    /// requests and steady-state throughput is bound by the bottleneck
+    /// stage, not the summed chain. Like `serve_lanes`, this is a
+    /// **model** parameter: results depend on it, never on thread count
+    /// (stations admit strictly in request-index order).
+    pub pipeline_depth: usize,
     /// Sweep-mode cross-point seeding: completed tighter-SLO points feed
     /// their optimal cost into looser points as a pruning upper bound
     /// (speculative B&B cutoffs + replay dual-bound prunes). Like
@@ -113,6 +124,7 @@ impl Default for AmpsConfig {
             serve_lanes: 1,
             serve_threads: 0,
             warm_pool: WarmPoolPolicy::default(),
+            pipeline_depth: 0,
             sweep_seed_bounds: true,
         }
     }
@@ -184,6 +196,14 @@ impl AmpsConfig {
         self
     }
 
+    /// Config with pipelined stage execution enabled: `depth` stations per
+    /// stage per lane (model parameter; see [`AmpsConfig::pipeline_depth`]).
+    pub fn with_pipeline(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        self.pipeline_depth = depth;
+        self
+    }
+
     /// Config with sweep cross-point bound seeding toggled (never changes
     /// plans, only how much work a sweep skips).
     pub fn with_sweep_seeding(mut self, on: bool) -> Self {
@@ -238,6 +258,20 @@ mod tests {
         let c = c.with_serve_lanes(16).with_serve_threads(4);
         assert_eq!(c.serve_lanes, 16);
         assert_eq!(c.serve_threads, 4);
+    }
+
+    #[test]
+    fn pipeline_defaults_off_and_builder_applies() {
+        let c = AmpsConfig::default();
+        assert_eq!(c.pipeline_depth, 0, "pipelining must default off");
+        let c = c.with_pipeline(2);
+        assert_eq!(c.pipeline_depth, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline depth")]
+    fn pipeline_rejects_zero_depth() {
+        let _ = AmpsConfig::default().with_pipeline(0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::plan::ExecutionPlan;
 use ampsinf_faas::platform::{
     DeployError, FailedInvocation, FunctionId, InvocationWork, InvokeError, Platform,
 };
-use ampsinf_faas::runtime::PartitionWork;
+use ampsinf_faas::runtime::{PartitionWork, StationPool};
 use ampsinf_faas::{InvocationOutcome, ObjectKey};
 use ampsinf_model::LayerGraph;
 use std::fmt::Write as _;
@@ -262,6 +262,79 @@ pub struct RequestSummary {
     pub ok: bool,
 }
 
+/// Aggregated pipeline-station measurements of a pipelined run
+/// (DESIGN.md §6e): per-stage occupancy and stall, plus the span the
+/// utilization is measured against. Summed over lanes in lane order, so
+/// the values are bit-identical at every thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStats {
+    /// Total stations per stage across all lanes
+    /// (`pipeline_depth × lanes`).
+    pub stations_per_stage: usize,
+    /// Station-occupied seconds per stage (the utilization numerator),
+    /// indexed by chain position.
+    pub stage_busy_s: Vec<f64>,
+    /// Ready-but-waiting seconds per stage: how long requests whose input
+    /// tensor was already checkpointed sat queued for a free station.
+    /// Stage 0's stall is admission queueing; later stages' stall is the
+    /// cost of an imbalanced cut (the quantity PipeServe partitions to
+    /// minimize).
+    pub stage_stall_s: Vec<f64>,
+    /// Wall-clock span of the run (first entry → last completion).
+    pub span_s: f64,
+}
+
+impl PipelineStats {
+    /// Total stall across all stages.
+    pub fn stall_s(&self) -> f64 {
+        self.stage_stall_s.iter().sum()
+    }
+
+    /// Per-stage utilization: busy seconds over the stage's total
+    /// station-seconds (`stations_per_stage × span`).
+    pub fn stage_utilization(&self) -> Vec<f64> {
+        let denom = self.stations_per_stage as f64 * self.span_s;
+        self.stage_busy_s
+            .iter()
+            .map(|&b| if denom > 0.0 { b / denom } else { 0.0 })
+            .collect()
+    }
+
+    /// Mean utilization across stages.
+    pub fn utilization(&self) -> f64 {
+        let u = self.stage_utilization();
+        if u.is_empty() {
+            0.0
+        } else {
+            u.iter().sum::<f64>() / u.len() as f64
+        }
+    }
+}
+
+/// Result of [`Coordinator::serve_pipelined`] — the closed-loop pipelined
+/// counterpart of [`Coordinator::serve_sequential`]'s [`BatchReport`],
+/// reduced to the scalars the throughput comparison needs plus the
+/// pipeline-station measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Wall-clock completion of the whole batch (excluding deployment).
+    pub completion_s: f64,
+    /// Completion including the one-off deployment.
+    pub e2e_s: f64,
+    /// Total dollars, failed requests included.
+    pub dollars: f64,
+    /// Requests that exhausted their retry budget.
+    pub failed: usize,
+    /// Per-request summaries in submission order.
+    pub requests: Vec<RequestSummary>,
+    /// Station occupancy / stall measurements.
+    pub stats: PipelineStats,
+    /// Idle warm seconds the platform's containers accrued between
+    /// reuses during this run ([`Platform::warm_idle_accrued`] delta) —
+    /// the "warm instances sitting idle" the pipeline exists to shrink.
+    pub warm_idle_s: f64,
+}
+
 /// Result of serving an arrival trace through the sharded engine.
 ///
 /// Bit-identical at every [`AmpsConfig::serve_threads`] setting; depends
@@ -294,11 +367,16 @@ pub struct TraceReport {
     /// Dollars the warm-pool policy billed for that idle time (0 unless
     /// the policy bills idle capacity; part of no other total).
     pub idle_dollars: f64,
+    /// Pipeline-station measurements when the trace ran in pipelined mode
+    /// ([`Coordinator::serve_trace_pipelined`]); `None` on the sequential
+    /// engine.
+    pub pipeline: Option<PipelineStats>,
 }
 
 /// One lane's collection slot in [`Coordinator::run_lanes`]: its
-/// per-request results plus the shard platform, filled exactly once.
-type LaneSlot<R> = Option<(Vec<R>, Platform)>;
+/// per-request results plus the shard platform and lane-carried state,
+/// filled exactly once.
+type LaneSlot<R, S> = Option<(Vec<R>, Platform, S)>;
 
 /// The Coordinator: executes plans on a platform.
 #[derive(Debug, Clone)]
@@ -310,6 +388,11 @@ impl Coordinator {
     /// Creates a coordinator.
     pub fn new(cfg: AmpsConfig) -> Self {
         Coordinator { cfg }
+    }
+
+    /// The configuration this coordinator serves under.
+    pub fn config(&self) -> &AmpsConfig {
+        &self.cfg
     }
 
     /// Builds a platform matching this coordinator's configuration,
@@ -575,6 +658,58 @@ impl Coordinator {
         batch
     }
 
+    /// Serves `images` requests through the pipelined chain — the
+    /// closed-loop counterpart of [`serve_sequential`](Self::serve_sequential)
+    /// (all requests ready at `t0`, single warm pool), but with stages
+    /// overlapping across requests: every stage owns
+    /// [`AmpsConfig::pipeline_depth`] stations (defaulting to 1 when
+    /// pipelining is not configured), and request `k+1` enters stage `i`
+    /// as soon as its stage-`i−1` boundary tensor is checkpointed and a
+    /// station frees. Completion is therefore bottleneck-stage-bound —
+    /// `fill + (n−1)·max_i t_i` on a clean run — instead of
+    /// [`serve_sequential`](Self::serve_sequential)'s `n·Σ_i t_i`.
+    pub fn serve_pipelined(
+        &self,
+        platform: &mut Platform,
+        dep: &Deployment,
+        images: usize,
+        t0: f64,
+    ) -> PipelineReport {
+        let depth = self.cfg.pipeline_depth.max(1);
+        let k = dep.functions.len();
+        let mut stations: Vec<StationPool> = (0..k).map(|_| StationPool::new(depth)).collect();
+        let mut scratch = ServeScratch::for_deployment(dep);
+        let idle_before = platform.warm_idle_accrued();
+        let mut requests = Vec::with_capacity(images);
+        let mut dollars = 0.0f64;
+        let mut completion = t0;
+        let mut failed = 0usize;
+        for _ in 0..images {
+            scratch.prepare_anon(platform, dep);
+            let r = self.serve_lite_pipelined(platform, dep, t0, &scratch, &mut stations);
+            completion = completion.max(r.arrival_s + r.latency_s);
+            dollars += r.dollars;
+            failed += usize::from(!r.ok);
+            requests.push(r);
+        }
+        let span = completion - t0;
+        let stats = PipelineStats {
+            stations_per_stage: depth,
+            stage_busy_s: stations.iter().map(StationPool::busy_s).collect(),
+            stage_stall_s: stations.iter().map(StationPool::stall_s).collect(),
+            span_s: span,
+        };
+        PipelineReport {
+            completion_s: span,
+            e2e_s: dep.deploy_s + span,
+            dollars,
+            failed,
+            requests,
+            stats,
+            warm_idle_s: platform.warm_idle_accrued() - idle_before,
+        }
+    }
+
     /// Serves an arrival trace (one request per entry of `arrivals`, in
     /// seconds on the platform clock) through the sharded engine and
     /// returns scalar per-request summaries — the open-loop load path.
@@ -617,6 +752,81 @@ impl Coordinator {
                 self.serve_lite(p, &deps[d], t0, scratch)
             },
         );
+        self.finish_trace(platform, deps, requests, shards, None)
+    }
+
+    /// [`serve_trace`](Self::serve_trace) with pipelined stage execution
+    /// (DESIGN.md §6e): inside each lane, every chain stage owns
+    /// [`AmpsConfig::pipeline_depth`] stations, and stage `i` of request
+    /// `k+1` starts as soon as its input tensor is checkpointed *and* a
+    /// station frees — so stages overlap across requests instead of the
+    /// stage's warm instances idling while the rest of the chain runs.
+    ///
+    /// Stations admit strictly in request-index order (FIFO by arrival
+    /// index), and each lane's station state travels with its task, so
+    /// the report stays bit-identical at every thread count, faults on or
+    /// off, exactly like the sequential engine. Per-request RNG streams
+    /// are keyed identically ([`Platform::begin_request`]), so a given
+    /// request draws the same fault/storage fates in both modes.
+    pub fn serve_trace_pipelined(
+        &self,
+        platform: &mut Platform,
+        dep: &Deployment,
+        arrivals: &[f64],
+    ) -> TraceReport {
+        let depth = self.cfg.pipeline_depth.max(1);
+        let k = dep.functions.len();
+        let n = arrivals.len();
+        let lanes = self.cfg.serve_lanes.max(1).min(n.max(1));
+        let (requests, lane_outs) = self.run_lanes_stateful(
+            platform,
+            std::slice::from_ref(dep),
+            &|_| 0,
+            arrivals,
+            |_lane| -> Vec<StationPool> { (0..k).map(|_| StationPool::new(depth)).collect() },
+            |p, scratch, stations, _d, _idx, t0| {
+                scratch.prepare_anon(p, dep);
+                self.serve_lite_pipelined(p, dep, t0, scratch, stations)
+            },
+        );
+        // Fold the per-lane station measurements in lane order; the span
+        // is filled in by `finish_trace` once the last completion is known.
+        let mut stats = PipelineStats {
+            stations_per_stage: depth * lanes,
+            stage_busy_s: vec![0.0; k],
+            stage_stall_s: vec![0.0; k],
+            span_s: 0.0,
+        };
+        let mut shards = Vec::with_capacity(lane_outs.len());
+        for (shard, stations) in lane_outs {
+            for (i, st) in stations.iter().enumerate() {
+                stats.stage_busy_s[i] += st.busy_s();
+                stats.stage_stall_s[i] += st.stall_s();
+            }
+            shards.push(shard);
+        }
+        stats.span_s = arrivals.first().copied().unwrap_or(0.0);
+        self.finish_trace(
+            platform,
+            std::slice::from_ref(dep),
+            requests,
+            shards,
+            Some(stats),
+        )
+    }
+
+    /// Shared trace aggregation: settle storage and warm pools per shard
+    /// in lane order, absorb shards, and assemble the report. When
+    /// `pipeline` is given, its `span_s` field arrives holding the first
+    /// arrival time and leaves holding `last_completion − first_arrival`.
+    fn finish_trace(
+        &self,
+        platform: &mut Platform,
+        deps: &[Deployment],
+        requests: Vec<RequestSummary>,
+        shards: Vec<Platform>,
+        pipeline: Option<PipelineStats>,
+    ) -> TraceReport {
         let mut dollars = 0.0f64;
         let mut last_completion = 0.0f64;
         let mut failures = 0usize;
@@ -652,6 +862,10 @@ impl Coordinator {
             .map(|&f| platform.instance_count(f))
             .max()
             .unwrap_or(0);
+        let pipeline = pipeline.map(|mut stats| {
+            stats.span_s = (last_completion - stats.span_s).max(0.0);
+            stats
+        });
         TraceReport {
             requests,
             dollars,
@@ -664,6 +878,7 @@ impl Coordinator {
             pre_warmed: platform.pre_warmed_total(),
             idle_s,
             idle_dollars,
+            pipeline,
         }
     }
 
@@ -728,6 +943,83 @@ impl Coordinator {
         RequestSummary {
             arrival_s: t0,
             latency_s: now - t0,
+            dollars: dollars + retry_dollars,
+            retries: n_retries,
+            wasted_s: retry_s + stall_s,
+            wasted_dollars: retry_dollars + stall_dollars,
+            ok: true,
+        }
+    }
+
+    /// [`serve_lite`](Self::serve_lite) with pipeline-station admission:
+    /// each stage's invocation is gated behind `stations[i]` — it starts
+    /// at `max(ready, earliest station free)` instead of immediately at
+    /// `ready`, and occupies its station through every retry and backoff
+    /// until the attempt chain resolves. Station waits lengthen the
+    /// request's latency but are *not* waste (they are pipeline stalls,
+    /// accumulated on the pool and surfaced via [`PipelineStats`]).
+    fn serve_lite_pipelined(
+        &self,
+        platform: &mut Platform,
+        dep: &Deployment,
+        t0: f64,
+        scratch: &ServeScratch,
+        stations: &mut [StationPool],
+    ) -> RequestSummary {
+        let mut ready = t0;
+        let mut dollars = 0.0f64;
+        let mut retry_dollars = 0.0f64;
+        let mut retry_s = 0.0f64;
+        let mut stall_s = 0.0f64;
+        let mut stall_dollars = 0.0f64;
+        let mut n_retries: u32 = 0;
+        for (i, pool) in stations.iter_mut().enumerate() {
+            let (station, start) = pool.admit(ready);
+            let mut now = start;
+            let mut attempt: u32 = 0;
+            let out = loop {
+                match platform.invoke(dep.functions[i], now, &scratch.works[i]) {
+                    Ok(out) => break out,
+                    Err(failed) => {
+                        attempt += 1;
+                        if attempt > self.cfg.invoke_retries || !failed.reason.is_transient() {
+                            // The doomed request occupied its station until
+                            // the final attempt ended.
+                            pool.release(station, start, failed.end);
+                            let spent = dollars + retry_dollars + failed.dollars;
+                            return RequestSummary {
+                                arrival_s: t0,
+                                latency_s: failed.end - t0,
+                                dollars: spent,
+                                retries: n_retries,
+                                wasted_s: failed.end - t0,
+                                wasted_dollars: spent,
+                                ok: false,
+                            };
+                        }
+                        let backoff_s = self.cfg.backoff_base_s * 2f64.powi(attempt as i32 - 1);
+                        now = failed.end + backoff_s;
+                        n_retries += 1;
+                        retry_dollars += failed.dollars;
+                        retry_s += failed.duration() + backoff_s;
+                    }
+                }
+            };
+            pool.release(station, start, out.end);
+            ready = out.end;
+            dollars += out.dollars;
+            stall_s += out.storage_retry_s;
+            if out.storage_retry_s > 0.0 {
+                let mem = platform.spec(dep.functions[i]).map_or(0, |s| s.memory_mb);
+                stall_dollars += self
+                    .cfg
+                    .prices
+                    .lambda_compute_cost(out.storage_retry_s, mem);
+            }
+        }
+        RequestSummary {
+            arrival_s: t0,
+            latency_s: ready - t0,
             dollars: dollars + retry_dollars,
             retries: n_retries,
             wasted_s: retry_s + stall_s,
@@ -804,6 +1096,38 @@ impl Coordinator {
         R: Send,
         F: Fn(&mut Platform, &mut ServeScratch, usize, usize, f64) -> R + Sync,
     {
+        let (results, lanes) = self.run_lanes_stateful(
+            base,
+            deps,
+            assign,
+            starts,
+            |_| (),
+            move |p, scratch, _, d, idx, t0| f(p, scratch, d, idx, t0),
+        );
+        (results, lanes.into_iter().map(|(p, ())| p).collect())
+    }
+
+    /// [`run_lanes_assigned`](Self::run_lanes_assigned) with an arbitrary
+    /// per-lane state `S` riding along with the lane's task (the pipelined
+    /// engine's station pools). The state is created per lane by `init`,
+    /// mutated only by that lane's requests (in index order), and returned
+    /// with the shard platform in lane order — so it inherits the same
+    /// thread-count invariance as the platform itself.
+    fn run_lanes_stateful<R, S, F, I>(
+        &self,
+        base: &Platform,
+        deps: &[Deployment],
+        assign: &(dyn Fn(usize) -> usize + Sync),
+        starts: &[f64],
+        init: I,
+        f: F,
+    ) -> (Vec<R>, Vec<(Platform, S)>)
+    where
+        R: Send,
+        S: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut Platform, &mut ServeScratch, &mut S, usize, usize, f64) -> R + Sync,
+    {
         let n = starts.len();
         let lanes = self.cfg.serve_lanes.max(1).min(n.max(1));
         let workers = match self.cfg.serve_threads {
@@ -816,12 +1140,13 @@ impl Coordinator {
         // traffic negligible on huge runs and chunks meaningful on small.
         let chunk = (n / (lanes * 4) + 1).clamp(32, 1024);
 
-        struct LaneTask<R> {
+        struct LaneTask<R, S> {
             lane: usize,
             /// Requests of this lane already processed.
             done: usize,
             platform: Platform,
             scratches: Vec<ServeScratch>,
+            state: S,
             out: Vec<R>,
         }
         let new_task = |lane: usize| {
@@ -832,11 +1157,12 @@ impl Coordinator {
                 done: 0,
                 platform,
                 scratches: deps.iter().map(ServeScratch::for_deployment).collect(),
+                state: init(lane),
                 out: Vec::with_capacity(Self::lane_len(n, lanes, lane)),
             }
         };
         // Advances `task` by one chunk; true when the lane is exhausted.
-        let run_chunk = |task: &mut LaneTask<R>| -> bool {
+        let run_chunk = |task: &mut LaneTask<R, S>| -> bool {
             let total = Self::lane_len(n, lanes, task.lane);
             let stop = (task.done + chunk).min(total);
             while task.done < stop {
@@ -846,6 +1172,7 @@ impl Coordinator {
                 let r = f(
                     &mut task.platform,
                     &mut task.scratches[d],
+                    &mut task.state,
                     d,
                     idx,
                     starts[idx],
@@ -856,22 +1183,22 @@ impl Coordinator {
             task.done >= total
         };
 
-        let lane_results: Vec<(Vec<R>, Platform)> = if workers == 1 {
+        let lane_results: Vec<(Vec<R>, Platform, S)> = if workers == 1 {
             (0..lanes)
                 .map(|lane| {
                     let mut task = new_task(lane);
                     while !run_chunk(&mut task) {}
-                    (task.out, task.platform)
+                    (task.out, task.platform, task.state)
                 })
                 .collect()
         } else {
             use std::collections::VecDeque;
             use std::sync::atomic::{AtomicUsize, Ordering};
             use std::sync::Mutex;
-            let queue: Mutex<VecDeque<LaneTask<R>>> =
+            let queue: Mutex<VecDeque<LaneTask<R, S>>> =
                 Mutex::new((0..lanes).map(new_task).collect());
             let remaining = AtomicUsize::new(lanes);
-            let slots: Mutex<Vec<LaneSlot<R>>> = Mutex::new((0..lanes).map(|_| None).collect());
+            let slots: Mutex<Vec<LaneSlot<R, S>>> = Mutex::new((0..lanes).map(|_| None).collect());
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| loop {
@@ -880,7 +1207,7 @@ impl Coordinator {
                             Some(mut task) => {
                                 if run_chunk(&mut task) {
                                     slots.lock().unwrap()[task.lane] =
-                                        Some((task.out, task.platform));
+                                        Some((task.out, task.platform, task.state));
                                     remaining.fetch_sub(1, Ordering::Release);
                                 } else {
                                     queue.lock().unwrap().push_back(task);
@@ -903,16 +1230,16 @@ impl Coordinator {
                 .map(|slot| slot.expect("every lane ran"))
                 .collect()
         };
-        let mut platforms = Vec::with_capacity(lanes);
+        let mut lanes_out = Vec::with_capacity(lanes);
         let mut iters = Vec::with_capacity(lanes);
-        for (out, p) in lane_results {
+        for (out, p, s) in lane_results {
             iters.push(out.into_iter());
-            platforms.push(p);
+            lanes_out.push((p, s));
         }
         let merged = (0..n)
             .map(|idx| iters[idx % lanes].next().expect("lane result"))
             .collect();
-        (merged, platforms)
+        (merged, lanes_out)
     }
 
     fn empty_batch(dep: &Deployment, images: usize) -> BatchReport {
@@ -1027,6 +1354,139 @@ mod tests {
         assert!(batch.completion_s < sum_inf);
         // Cost still sums over all images.
         assert!(batch.dollars > batch.jobs[0].dollars * 4.0);
+    }
+
+    #[test]
+    fn pipelined_closed_loop_doubles_throughput_on_balanced_plan() {
+        // The acceptance bar for DESIGN.md §6e: on a multi-stage plan with
+        // balanced stage times, steady-state pipelined throughput is at
+        // least 2× the sequential chain at equal cost accounting.
+        let g = zoo::resnet50();
+        let cfg = AmpsConfig::default();
+        let opt = Optimizer::new(cfg.clone());
+        let free = opt.optimize(&g).unwrap().plan;
+        // The joint planner balances within the cost budget…
+        let grid = crate::sweep::SweepGrid::from_slos(vec![free.predicted_time_s * 2.0]);
+        let joint = opt.optimize_pipelined(&g, &grid).points[0]
+            .outcome
+            .clone()
+            .unwrap();
+        assert!(
+            joint.imbalance() < 1.25,
+            "joint plan should balance stages: {joint}"
+        );
+        // …and the throughput bar uses a deeper balanced cut (the
+        // bucket-scan baseline at 4 stages, unconstrained by cost).
+        let plan = crate::baselines::b4_bucket_scan(&g, &cfg, 4).unwrap();
+        assert!(plan.num_lambdas() >= 3, "need a multi-stage plan: {plan}");
+        let pp = crate::plan::PipelinePlan {
+            stage_times_s: crate::baselines::stage_times(
+                &ampsinf_profiler::Profile::of(&g),
+                &plan,
+                &cfg,
+            )
+            .unwrap(),
+            bottleneck_s: 0.0,
+            plan,
+        };
+        let n = 40;
+
+        let coord = Coordinator::new(cfg.clone());
+        let mut p_seq = coord.platform();
+        let dep = coord.deploy(&mut p_seq, &g, &pp.plan).unwrap();
+        let seq = coord.serve_sequential(&mut p_seq, &dep, n, 0.0);
+        assert_eq!(seq.failed(), 0);
+        let seq_idle = p_seq.warm_idle_accrued();
+
+        let coord_pipe = Coordinator::new(cfg.with_pipeline(1));
+        let mut p_pipe = coord_pipe.platform();
+        let dep_pipe = coord_pipe.deploy(&mut p_pipe, &g, &pp.plan).unwrap();
+        let pipe = coord_pipe.serve_pipelined(&mut p_pipe, &dep_pipe, n, 0.0);
+        assert_eq!(pipe.failed, 0);
+
+        let seq_tp = n as f64 / seq.completion_s;
+        let pipe_tp = n as f64 / pipe.completion_s;
+        assert!(
+            pipe_tp >= 2.0 * seq_tp,
+            "pipelined {pipe_tp:.3} req/s vs sequential {seq_tp:.3} req/s"
+        );
+        // Equal cost accounting: same invocations, same warm/cold pattern,
+        // only the clock positions differ.
+        assert!(
+            (pipe.dollars - seq.dollars).abs() < 1e-9,
+            "pipelined ${} vs sequential ${}",
+            pipe.dollars,
+            seq.dollars
+        );
+        // Stations were measurably busy, and queueing showed up as stall.
+        assert!(pipe.stats.utilization() > 0.0);
+        assert!(pipe.stats.utilization() <= 1.0 + 1e-12);
+        assert!(pipe.stats.stall_s() > 0.0);
+        assert_eq!(pipe.stats.stage_busy_s.len(), pp.plan.num_lambdas());
+        // Overlap keeps warm instances busier: strictly less idle-warm
+        // time than the serialized chain.
+        assert!(
+            pipe.warm_idle_s < seq_idle,
+            "pipelined idle {} vs sequential idle {}",
+            pipe.warm_idle_s,
+            seq_idle
+        );
+    }
+
+    #[test]
+    fn pipelined_depth_two_is_no_slower_than_depth_one() {
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default();
+        let plan = Optimizer::new(cfg.clone()).optimize(&g).unwrap().plan;
+        let run = |depth: usize| {
+            let coord = Coordinator::new(cfg.clone().with_pipeline(depth));
+            let mut platform = coord.platform();
+            let dep = coord.deploy(&mut platform, &g, &plan).unwrap();
+            coord.serve_pipelined(&mut platform, &dep, 24, 0.0)
+        };
+        let d1 = run(1);
+        let d2 = run(2);
+        assert_eq!(d1.failed, 0);
+        assert_eq!(d2.failed, 0);
+        assert!(
+            d2.completion_s <= d1.completion_s + 1e-9,
+            "depth 2 {} vs depth 1 {}",
+            d2.completion_s,
+            d1.completion_s
+        );
+    }
+
+    #[test]
+    fn pipelined_trace_matches_sequential_on_sparse_arrivals() {
+        // Arrivals so far apart that no two requests ever share the chain:
+        // the pipelined engine must reproduce the sequential engine's
+        // per-request numbers exactly (same RNG keying, no station waits).
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default();
+        let plan = Optimizer::new(cfg.clone()).optimize(&g).unwrap().plan;
+        let arrivals: Vec<f64> = (0..8).map(|i| i as f64 * 100.0).collect();
+
+        let coord = Coordinator::new(cfg.clone());
+        let mut p_seq = coord.platform();
+        let dep = coord.deploy(&mut p_seq, &g, &plan).unwrap();
+        let seq = coord.serve_trace(&mut p_seq, &dep, &arrivals);
+
+        let coord_pipe = Coordinator::new(cfg.with_pipeline(1));
+        let mut p_pipe = coord_pipe.platform();
+        let dep_pipe = coord_pipe.deploy(&mut p_pipe, &g, &plan).unwrap();
+        let pipe = coord_pipe.serve_trace_pipelined(&mut p_pipe, &dep_pipe, &arrivals);
+
+        assert_eq!(seq.requests.len(), pipe.requests.len());
+        for (a, b) in seq.requests.iter().zip(&pipe.requests) {
+            assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+            assert_eq!(a.dollars.to_bits(), b.dollars.to_bits());
+            assert_eq!(a.ok, b.ok);
+        }
+        assert_eq!(seq.dollars.to_bits(), pipe.dollars.to_bits());
+        let stats = pipe.pipeline.expect("pipelined trace carries stats");
+        // No contention on sparse arrivals beyond the first admissions.
+        assert_eq!(stats.stall_s(), 0.0);
+        assert!(seq.pipeline.is_none());
     }
 
     #[test]

@@ -42,11 +42,13 @@ pub mod trace;
 
 pub use config::AmpsConfig;
 pub use coordinator::{
-    BatchFailure, BatchReport, Coordinator, JobReport, RequestSummary, RetryRecord, ServeError,
-    ServeScratch, TraceReport,
+    BatchFailure, BatchReport, Coordinator, JobReport, PipelineReport, PipelineStats,
+    RequestSummary, RetryRecord, ServeError, ServeScratch, TraceReport,
 };
 pub use optimizer::{OptimizeError, Optimizer};
-pub use plan::{ExecutionPlan, PartitionPlan};
+pub use plan::{ExecutionPlan, PartitionPlan, PipelinePlan};
 pub use plancache::PlanCache;
-pub use sweep::{PointStats, SweepGrid, SweepPoint, SweepReport};
+pub use sweep::{
+    PipelinePoint, PipelineSweepReport, PointStats, SweepGrid, SweepPoint, SweepReport,
+};
 pub use trace::Timeline;

@@ -58,15 +58,15 @@ struct Candidate {
 /// Pass-1 result for one cut: the separable optima over memory mixes,
 /// cached so later passes never re-evaluate columns.
 pub(crate) struct FastEval {
-    ci: usize,
+    pub(crate) ci: usize,
     /// Separable min-cost memory mix and its time/cost.
-    mems: Vec<u32>,
-    time: f64,
-    cost: f64,
+    pub(crate) mems: Vec<u32>,
+    pub(crate) time: f64,
+    pub(crate) cost: f64,
     /// Separable min-time memory mix and its time/cost (the SLO fallback).
-    min_mems: Vec<u32>,
-    min_time: f64,
-    min_cost: f64,
+    pub(crate) min_mems: Vec<u32>,
+    pub(crate) min_time: f64,
+    pub(crate) min_cost: f64,
 }
 
 /// Pass-1 verdict for one cut. Deliberately **SLO-independent**: whether a
@@ -253,9 +253,9 @@ pub(crate) struct BatchShared {
     pub(crate) profile: Profile,
     pub(crate) cuts: Vec<Vec<usize>>,
     /// Pass-1 verdict per cut (SLO-independent).
-    evals: Vec<CutEval>,
+    pub(crate) evals: Vec<CutEval>,
     /// Indices of feasible evals, stable-sorted by separable min cost.
-    order: Vec<usize>,
+    pub(crate) order: Vec<usize>,
     /// Segment-column memo table shared by every point on this batch.
     pub(crate) cache: SegmentColumnCache,
 }

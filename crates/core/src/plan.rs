@@ -136,6 +136,67 @@ impl ExecutionPlan {
     }
 }
 
+/// An [`ExecutionPlan`] annotated with its pipelined stage timing — the
+/// joint batch–partition planner's output (DESIGN.md §6e). Under
+/// pipelined execution throughput is bound by the *bottleneck* stage, not
+/// the summed chain, so the planner reports both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelinePlan {
+    /// The underlying partition/memory plan.
+    pub plan: ExecutionPlan,
+    /// Predicted per-stage durations in chain order (cold chain, the same
+    /// accounting as [`ExecutionPlan::predicted_time_s`], which is their
+    /// sum).
+    pub stage_times_s: Vec<f64>,
+    /// The slowest stage — the steady-state pipeline period.
+    pub bottleneck_s: f64,
+}
+
+impl PipelinePlan {
+    /// Steady-state request throughput under pipelined execution:
+    /// one request leaves the chain per bottleneck period.
+    pub fn steady_rps(&self) -> f64 {
+        if self.bottleneck_s > 0.0 {
+            1.0 / self.bottleneck_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Stage imbalance: `bottleneck × stages / fill` — 1.0 for a
+    /// perfectly balanced cut, approaching `stages` for a lopsided one.
+    pub fn imbalance(&self) -> f64 {
+        let fill: f64 = self.stage_times_s.iter().sum();
+        if fill > 0.0 {
+            self.bottleneck_s * self.stage_times_s.len() as f64 / fill
+        } else {
+            1.0
+        }
+    }
+
+    /// Pipelined makespan for `n` requests on a clean run: fill the
+    /// pipeline once, then one request per bottleneck period.
+    pub fn makespan_s(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.stage_times_s.iter().sum::<f64>() + (n - 1) as f64 * self.bottleneck_s
+    }
+}
+
+impl std::fmt::Display for PipelinePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} | bottleneck {:.3}s, imbalance {:.2}, steady {:.2} req/s",
+            self.plan,
+            self.bottleneck_s,
+            self.imbalance(),
+            self.steady_rps()
+        )
+    }
+}
+
 impl std::fmt::Display for ExecutionPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}: {} lambda(s) [", self.model, self.partitions.len())?;
@@ -217,5 +278,22 @@ mod tests {
         let s = plan().to_string();
         assert!(s.contains("2 lambda(s)"));
         assert!(s.contains("@512MB"));
+    }
+
+    #[test]
+    fn pipeline_plan_metrics() {
+        let pp = PipelinePlan {
+            plan: plan(),
+            stage_times_s: vec![1.0, 2.0],
+            bottleneck_s: 2.0,
+        };
+        assert!((pp.steady_rps() - 0.5).abs() < 1e-12);
+        // imbalance = 2.0 * 2 / 3.0
+        assert!((pp.imbalance() - 4.0 / 3.0).abs() < 1e-12);
+        // makespan(3) = fill 3.0 + 2 periods of 2.0
+        assert!((pp.makespan_s(3) - 7.0).abs() < 1e-12);
+        assert_eq!(pp.makespan_s(0), 0.0);
+        let s = pp.to_string();
+        assert!(s.contains("bottleneck"));
     }
 }

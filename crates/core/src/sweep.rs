@@ -27,10 +27,10 @@
 //! discussion would pick.
 
 use crate::colcache::CacheCounters;
-use crate::optimizer::{BatchShared, OptimizeError, Optimizer};
-use crate::plan::ExecutionPlan;
+use crate::optimizer::{BatchShared, CutEval, OptimizeError, Optimizer};
+use crate::plan::{ExecutionPlan, PartitionPlan, PipelinePlan};
 use ampsinf_model::LayerGraph;
-use ampsinf_profiler::batched_unique;
+use ampsinf_profiler::{batched_unique, quick_eval};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -170,6 +170,45 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
+    /// Points whose plan solved.
+    pub fn solved(&self) -> usize {
+        self.points.iter().filter(|p| p.outcome.is_ok()).count()
+    }
+}
+
+/// One planned grid point of a pipelined sweep.
+#[derive(Debug, Clone)]
+pub struct PipelinePoint {
+    /// The point's SLO in seconds (bounds the *fill* — one request's
+    /// end-to-end chain time — not the steady-state period).
+    pub slo_s: f64,
+    /// The point's batch size.
+    pub batch: u64,
+    /// The stall-aware plan, or why none exists at this point.
+    pub outcome: Result<PipelinePlan, OptimizeError>,
+    /// Another same-batch point has a bottleneck at least as short *and*
+    /// a cost at least as low.
+    pub dominated: bool,
+}
+
+/// Result of [`Optimizer::optimize_pipelined`]: every grid point in grid
+/// order plus the overall throughput-best point.
+#[derive(Debug, Clone)]
+pub struct PipelineSweepReport {
+    /// Every grid point, batch-major in grid order
+    /// (`points[bi * slos.len() + si]`).
+    pub points: Vec<PipelinePoint>,
+    /// Index (into `points`) of the highest-steady-throughput solved
+    /// point (ties: cheaper, then earlier in grid order). `None` when no
+    /// point solved.
+    pub best: Option<usize>,
+    /// Cuts enumerated, summed over distinct batches.
+    pub cuts_considered: usize,
+    /// Wall-clock of the whole sweep.
+    pub total_time: Duration,
+}
+
+impl PipelineSweepReport {
     /// Points whose plan solved.
     pub fn solved(&self) -> usize {
         self.points.iter().filter(|p| p.outcome.is_ok()).count()
@@ -396,6 +435,231 @@ impl Optimizer {
         }
         out
     }
+
+    /// Plans every point of `grid` for **pipelined** execution: batch size
+    /// and partition are chosen *jointly* against steady-state throughput
+    /// under the SLO. Under pipelined stage execution the makespan is
+    /// bottleneck-stage-bound — `fill + (n−1)·max_i tᵢ`, not `n·Σtᵢ` — so
+    /// among configurations whose *fill* (one request's chain time) meets
+    /// the SLO and whose cost stays within `cost_tolerance` of the
+    /// cheapest such configuration, the planner picks the cut whose
+    /// slowest stage is shortest, i.e. the cut that best balances stage
+    /// times and therefore minimizes pipeline stalls.
+    ///
+    /// Reuses [`Optimizer::optimize_sweep`]'s amortization: the profile,
+    /// cut enumeration, and every cut's separable column optima are built
+    /// once per distinct batch and shared by every SLO point.
+    pub fn optimize_pipelined(&self, graph: &LayerGraph, grid: &SweepGrid) -> PipelineSweepReport {
+        let t0 = Instant::now();
+        let threads = self.resolve_threads();
+        let shared_by_batch: Vec<(u64, Result<BatchShared, OptimizeError>)> =
+            batched_unique(graph, &grid.batches)
+                .into_iter()
+                .map(|(b, profile)| {
+                    let mut cfg = self.config().clone();
+                    cfg.batch_size = b;
+                    let built = Optimizer::new(cfg).build_shared(profile, threads);
+                    (b, built)
+                })
+                .collect();
+
+        let mut points = Vec::with_capacity(grid.len());
+        for &batch in &grid.batches {
+            let shared = &shared_by_batch
+                .iter()
+                .find(|(seen, _)| *seen == batch)
+                .expect("every grid batch was profiled")
+                .1;
+            for &slo in &grid.slos {
+                let outcome = match shared {
+                    Err(e) => Err(e.clone()),
+                    Ok(sh) => self.solve_pipelined_point(graph, sh, slo),
+                };
+                points.push(PipelinePoint {
+                    slo_s: slo,
+                    batch,
+                    outcome,
+                    dominated: false,
+                });
+            }
+        }
+
+        mark_pipeline_dominance(&mut points, grid.batches.len(), grid.slos.len());
+
+        // Grid-best: max steady throughput (min bottleneck), then min
+        // cost, then earliest grid index.
+        let mut best: Option<usize> = None;
+        for (i, p) in points.iter().enumerate() {
+            let Ok(pp) = &p.outcome else { continue };
+            let better = match best {
+                None => true,
+                Some(j) => {
+                    let cur = points[j].outcome.as_ref().expect("best is solved");
+                    pp.bottleneck_s < cur.bottleneck_s
+                        || (pp.bottleneck_s == cur.bottleneck_s
+                            && pp.plan.predicted_cost < cur.plan.predicted_cost)
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+
+        let cuts_considered: usize = shared_by_batch
+            .iter()
+            .filter_map(|(_, s)| s.as_ref().ok().map(|sh| sh.cuts.len()))
+            .sum();
+
+        PipelineSweepReport {
+            points,
+            best,
+            cuts_considered,
+            total_time: t0.elapsed(),
+        }
+    }
+
+    /// Solves one pipelined grid point against a [`BatchShared`].
+    ///
+    /// Candidate configurations are each feasible cut's two separable
+    /// memory mixes from pass 1 (min-cost and min-time). The twin
+    /// objectives become: (1) the fill must meet the SLO; (2) cost within
+    /// `cost_tolerance` of the cheapest SLO-feasible candidate; (3) among
+    /// those, minimize the bottleneck stage duration (ties: cheaper, then
+    /// pass-1 cost rank, min-cost mix before min-time mix).
+    fn solve_pipelined_point(
+        &self,
+        graph: &LayerGraph,
+        sh: &BatchShared,
+        slo: f64,
+    ) -> Result<PipelinePlan, OptimizeError> {
+        let cfg = self.config();
+        // Pass A: the cost floor over SLO-feasible candidates.
+        let mut floor = f64::INFINITY;
+        for &oi in &sh.order {
+            let CutEval::Feasible(fe) = &sh.evals[oi] else {
+                continue;
+            };
+            if fe.time <= slo + 1e-9 {
+                floor = floor.min(fe.cost);
+            }
+            if fe.min_time <= slo + 1e-9 {
+                floor = floor.min(fe.min_cost);
+            }
+        }
+        if floor.is_infinite() {
+            return Err(OptimizeError::SloInfeasible);
+        }
+        let budget = floor * (1.0 + cfg.cost_tolerance) + 1e-15;
+
+        // Pass B: among budget-feasible candidates, minimize the
+        // bottleneck stage. Stage durations come from `quick_eval` — the
+        // same arithmetic pass 1 used for the totals.
+        let n = sh.profile.num_layers();
+        let mut best: Option<PipelinePlan> = None;
+        for &oi in &sh.order {
+            let CutEval::Feasible(fe) = &sh.evals[oi] else {
+                continue;
+            };
+            let cut = &sh.cuts[fe.ci];
+            let mut mixes: Vec<(&[u32], f64, f64)> = vec![(&fe.mems, fe.time, fe.cost)];
+            if fe.min_mems != fe.mems {
+                mixes.push((&fe.min_mems, fe.min_time, fe.min_cost));
+            }
+            for (mems, time, cost) in mixes {
+                if time > slo + 1e-9 || cost > budget {
+                    continue;
+                }
+                let mut stage_times = Vec::with_capacity(cut.len());
+                let mut start = 0usize;
+                let mut ok = true;
+                for (i, (&end, &mem)) in cut.iter().zip(mems).enumerate() {
+                    match quick_eval(
+                        &sh.profile,
+                        start,
+                        end,
+                        mem,
+                        &cfg.quotas,
+                        &cfg.prices,
+                        &cfg.perf,
+                        &cfg.store,
+                        i == 0,
+                        end == n - 1,
+                    ) {
+                        Ok(e) => stage_times.push(e.duration_s),
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    start = end + 1;
+                }
+                if !ok {
+                    continue;
+                }
+                let bottleneck = stage_times.iter().copied().fold(0.0f64, f64::max);
+                let replace = match &best {
+                    None => true,
+                    Some(b) => {
+                        bottleneck < b.bottleneck_s
+                            || (bottleneck == b.bottleneck_s && cost < b.plan.predicted_cost)
+                    }
+                };
+                if replace {
+                    let mut partitions = Vec::with_capacity(cut.len());
+                    let mut s = 0usize;
+                    for (&end, &mem) in cut.iter().zip(mems) {
+                        partitions.push(PartitionPlan {
+                            start: s,
+                            end,
+                            memory_mb: mem,
+                        });
+                        s = end + 1;
+                    }
+                    best = Some(PipelinePlan {
+                        plan: ExecutionPlan {
+                            model: graph.name.clone(),
+                            partitions,
+                            predicted_time_s: time,
+                            predicted_cost: cost,
+                        },
+                        stage_times_s: stage_times,
+                        bottleneck_s: bottleneck,
+                    });
+                }
+            }
+        }
+        best.ok_or(OptimizeError::SloInfeasible)
+    }
+}
+
+/// Marks per-batch dominance over (bottleneck, cost) in place: a point is
+/// dominated when another solved same-batch point has a bottleneck no
+/// longer *and* a cost no higher (exact ties keep the lower index).
+fn mark_pipeline_dominance(
+    points: &mut [PipelinePoint],
+    num_batches: usize,
+    slos_per_batch: usize,
+) {
+    let bc = |p: &PipelinePoint| {
+        let pp = p.outcome.as_ref().expect("solved point");
+        (pp.bottleneck_s, pp.plan.predicted_cost)
+    };
+    for bi in 0..num_batches {
+        let base = bi * slos_per_batch;
+        let solved: Vec<usize> = (base..base + slos_per_batch)
+            .filter(|&i| points[i].outcome.is_ok())
+            .collect();
+        for &i in &solved {
+            let (ti, ci) = bc(&points[i]);
+            points[i].dominated = solved.iter().any(|&j| {
+                if j == i {
+                    return false;
+                }
+                let (tj, cj) = bc(&points[j]);
+                tj <= ti && cj <= ci && (tj < ti || cj < ci || j < i)
+            });
+        }
+    }
 }
 
 /// Marks per-batch dominance and knees in place; returns the ascending
@@ -567,6 +831,111 @@ mod tests {
         let pareto = mark_pareto(&mut pts, 1, 2);
         assert_eq!(pareto, vec![1]);
         assert!(!pts[1].dominated);
+    }
+
+    fn pipe_point(slo: f64, batch: u64, bottleneck: f64, cost: f64) -> PipelinePoint {
+        PipelinePoint {
+            slo_s: slo,
+            batch,
+            outcome: Ok(PipelinePlan {
+                plan: ExecutionPlan {
+                    model: "m".into(),
+                    partitions: vec![PartitionPlan {
+                        start: 0,
+                        end: 0,
+                        memory_mb: 512,
+                    }],
+                    predicted_time_s: bottleneck,
+                    predicted_cost: cost,
+                },
+                stage_times_s: vec![bottleneck],
+                bottleneck_s: bottleneck,
+            }),
+            dominated: false,
+        }
+    }
+
+    #[test]
+    fn pipeline_dominance_is_per_batch_with_tie_break() {
+        let mut pts = vec![
+            pipe_point(0.1, 1, 1.0, 2.0),
+            pipe_point(0.2, 1, 1.0, 2.0), // exact tie → dominated by index 0
+            pipe_point(0.3, 1, 2.0, 1.0), // incomparable → kept
+            pipe_point(0.1, 8, 9.0, 9.0), // other batch: untouched by batch 1
+            pipe_point(0.2, 8, 9.5, 9.5), // dominated within batch 8
+            pipe_point(0.3, 8, 0.5, 9.9), // incomparable → kept
+        ];
+        mark_pipeline_dominance(&mut pts, 2, 3);
+        assert!(!pts[0].dominated);
+        assert!(pts[1].dominated);
+        assert!(!pts[2].dominated);
+        assert!(!pts[3].dominated);
+        assert!(pts[4].dominated);
+        assert!(!pts[5].dominated);
+    }
+
+    #[test]
+    fn pipelined_point_balances_stages_within_budget() {
+        let g = ampsinf_model::zoo::resnet50();
+        let opt = Optimizer::new(AmpsConfig::default().with_threads(1));
+        let free = opt.optimize(&g).unwrap().plan;
+        let grid = SweepGrid::from_slos(vec![free.predicted_time_s * 2.0]);
+        let report = opt.optimize_pipelined(&g, &grid);
+        assert_eq!(report.points.len(), 1);
+        assert_eq!(report.best, Some(0));
+        let pp = report.points[0].outcome.as_ref().unwrap();
+        pp.plan.validate(g.num_layers()).unwrap();
+        // Stage times are the same arithmetic as the chain prediction.
+        let fill: f64 = pp.stage_times_s.iter().sum();
+        assert!(
+            (fill - pp.plan.predicted_time_s).abs() < 1e-9,
+            "fill {fill} vs predicted {}",
+            pp.plan.predicted_time_s
+        );
+        assert!(pp.bottleneck_s <= pp.plan.predicted_time_s + 1e-12);
+        assert!(pp.steady_rps() > 0.0);
+        // The tolerance budget holds against the cheapest SLO-feasible
+        // candidate, which the optimizer's own plan upper-bounds.
+        let cfg = AmpsConfig::default();
+        assert!(
+            pp.plan.predicted_cost <= free.predicted_cost * (1.0 + cfg.cost_tolerance) + 1e-12,
+            "pipelined {} vs optimize {}",
+            pp.plan.predicted_cost,
+            free.predicted_cost
+        );
+    }
+
+    #[test]
+    fn pipelined_sweep_is_deterministic_and_rejects_tight_slo() {
+        let g = ampsinf_model::zoo::mobilenet_v1();
+        let opt = Optimizer::new(AmpsConfig::default().with_threads(1));
+        let free = opt.optimize(&g).unwrap().plan.predicted_time_s;
+        let grid = SweepGrid::from_slos(vec![free * 1e-6, free * 3.0]).with_batches(vec![1, 4]);
+        let a = opt.optimize_pipelined(&g, &grid);
+        let b = opt.optimize_pipelined(&g, &grid);
+        assert_eq!(a.points.len(), 4);
+        // The hopeless SLO at batch 1 is infeasible.
+        assert!(matches!(
+            a.points[0].outcome,
+            Err(OptimizeError::SloInfeasible)
+        ));
+        assert!(a.solved() >= 1);
+        assert!(a.best.is_some());
+        assert_eq!(a.best, b.best);
+        for (x, y) in a.points.iter().zip(&b.points) {
+            match (&x.outcome, &y.outcome) {
+                (Ok(px), Ok(py)) => assert_eq!(px, py),
+                (Err(ex), Err(ey)) => assert_eq!(ex, ey),
+                _ => panic!("outcome mismatch"),
+            }
+        }
+        // Best is the max-throughput point: no solved point beats it.
+        let best = a.points[a.best.unwrap()].outcome.as_ref().unwrap();
+        for p in &a.points {
+            if let Ok(pp) = &p.outcome {
+                assert!(pp.bottleneck_s >= best.bottleneck_s - 1e-15);
+            }
+        }
     }
 
     #[test]

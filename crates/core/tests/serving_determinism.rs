@@ -53,7 +53,11 @@ fn run_trace(
     let coord = Coordinator::new(cfg.clone());
     let mut platform = coord.platform();
     let dep = coord.deploy(&mut platform, g, plan).unwrap();
-    let trace = coord.serve_trace(&mut platform, &dep, arrivals);
+    let trace = if cfg.pipeline_depth > 0 {
+        coord.serve_trace_pipelined(&mut platform, &dep, arrivals)
+    } else {
+        coord.serve_trace(&mut platform, &dep, arrivals)
+    };
     (
         trace,
         platform.total_cost().to_bits(),
@@ -108,6 +112,18 @@ fn assert_traces_bit_identical(a: &TraceReport, b: &TraceReport) {
         assert_eq!(x.wasted_s.to_bits(), y.wasted_s.to_bits());
         assert_eq!(x.retries, y.retries);
         assert_eq!(x.ok, y.ok);
+    }
+    assert_eq!(a.pipeline.is_some(), b.pipeline.is_some());
+    if let (Some(p), Some(q)) = (&a.pipeline, &b.pipeline) {
+        assert_eq!(p.stations_per_stage, q.stations_per_stage);
+        assert_eq!(p.span_s.to_bits(), q.span_s.to_bits());
+        assert_eq!(p.stage_busy_s.len(), q.stage_busy_s.len());
+        for (x, y) in p.stage_busy_s.iter().zip(&q.stage_busy_s) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in p.stage_stall_s.iter().zip(&q.stage_stall_s) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }
 
@@ -286,6 +302,120 @@ fn heavy_tail_trace_bit_identical_under_faults_and_warm_pool() {
         assert_traces_bit_identical(&baseline.0, &other.0);
         assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
         assert_eq!(baseline.2, other.2, "invocations at {t} threads");
+    }
+}
+
+#[test]
+fn pipelined_trace_bit_identical_across_thread_counts() {
+    // DESIGN.md §6e: the pipelined engine keeps the sequential engine's
+    // guarantee — per-lane station state travels with the lane's task, so
+    // the report is bit-identical at every thread count.
+    let (g, plan, cfg) = plan_cfg();
+    let cfg = cfg.with_serve_lanes(8).with_pipeline(2);
+    let arrivals: Vec<f64> = (0..24)
+        .map(|i| {
+            if i < 8 {
+                0.1 * i as f64
+            } else {
+                30.0 * i as f64
+            }
+        })
+        .collect();
+    let baseline = run_trace(
+        &cfg.clone().with_serve_threads(THREADS[0]),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    assert_eq!(baseline.0.requests.len(), 24);
+    assert_eq!(baseline.0.failures, 0);
+    let stats = baseline.0.pipeline.as_ref().expect("pipelined stats");
+    assert!(stats.utilization() > 0.0, "stations never ran");
+    for t in &THREADS[1..] {
+        let other = run_trace(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
+        assert_traces_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+        assert_eq!(baseline.2, other.2, "invocations at {t} threads");
+    }
+}
+
+#[test]
+fn pipelined_trace_bit_identical_under_faults_and_flaky_store() {
+    let (g, plan, mut cfg) = plan_cfg();
+    cfg.store = StoreKind::flaky_s3(0.3);
+    let cfg = cfg
+        .with_serve_lanes(4)
+        .with_pipeline(2)
+        .with_retries(2)
+        .with_faults(FaultPlan::uniform(0.2, 31));
+    let arrivals: Vec<f64> = (0..20).map(|i| 2.0 * i as f64).collect();
+    let baseline = run_trace(
+        &cfg.clone().with_serve_threads(THREADS[0]),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    let disturbed = baseline.0.failures > 0 || baseline.0.requests.iter().any(|r| r.retries > 0);
+    assert!(disturbed, "faults injected nothing");
+    for t in &THREADS[1..] {
+        let other = run_trace(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
+        assert_traces_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+    }
+}
+
+#[test]
+fn pipelined_heavy_tail_bit_identical_with_faults_and_warm_pool() {
+    // The full gauntlet: skewed lane costs, fault injection, billed
+    // provisioned warm pool, stations overlapping stages — bit-identical
+    // at every thread count.
+    let (g, plan, cfg) = plan_cfg();
+    let cfg = cfg
+        .with_serve_lanes(8)
+        .with_pipeline(2)
+        .with_retries(2)
+        .with_faults(FaultPlan::uniform(0.2, 23))
+        .with_warm_pool(WarmPoolPolicy::provisioned(2));
+    let arrivals = heavy_tail_arrivals();
+    let baseline = run_trace(
+        &cfg.clone().with_serve_threads(THREADS[0]),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    let disturbed = baseline.0.failures > 0 || baseline.0.requests.iter().any(|r| r.retries > 0);
+    assert!(disturbed, "faults injected nothing");
+    for t in &THREADS[1..] {
+        let other = run_trace(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
+        assert_traces_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+        assert_eq!(baseline.2, other.2, "invocations at {t} threads");
+    }
+}
+
+#[test]
+fn pipelined_request_fates_match_sequential_under_faults() {
+    // RNG streams are keyed per request index in both engines, so a given
+    // request draws the same fault fate whether or not stages overlap —
+    // pipelining changes the clock, never the outcome.
+    let (g, plan, cfg) = plan_cfg();
+    let cfg = cfg
+        .with_serve_lanes(4)
+        .with_retries(2)
+        .with_faults(FaultPlan::uniform(0.25, 17));
+    let arrivals: Vec<f64> = (0..16).map(|i| 0.5 * i as f64).collect();
+    let seq = run_trace(&cfg.clone().with_serve_threads(1), &g, &plan, &arrivals);
+    let pipe = run_trace(
+        &cfg.clone().with_pipeline(2).with_serve_threads(1),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    let disturbed = seq.0.requests.iter().any(|r| r.retries > 0) || seq.0.failures > 0;
+    assert!(disturbed, "faults injected nothing");
+    for (a, b) in seq.0.requests.iter().zip(&pipe.0.requests) {
+        assert_eq!(a.retries, b.retries, "fault fates must match");
+        assert_eq!(a.ok, b.ok);
     }
 }
 

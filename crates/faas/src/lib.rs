@@ -78,7 +78,7 @@ pub use platform::{
 pub use pricing::PriceSheet;
 pub use quotas::Quotas;
 pub use rng::SmallRng;
-pub use runtime::{PartitionWork, WorkPhases};
+pub use runtime::{PartitionWork, StationPool, WorkPhases};
 pub use stepfn::{StepExecution, StepFunction, StepState};
 pub use storage::{ObjectKey, ObjectStore, StoreKind};
 pub use vm::{VmInstance, VmType};

@@ -677,6 +677,16 @@ impl Platform {
         self.functions.get(id.0).map_or(0, |f| f.cold_starts)
     }
 
+    /// Idle warm seconds accrued by warm reuses so far, across all
+    /// functions: the gap between an instance going free and its next
+    /// warm invocation, summed over every reuse. Unlike
+    /// [`Platform::settle_warm_pool`] this is a non-draining read — the
+    /// pipelined serving mode reads it to show how much less its stations
+    /// let warm containers sit idle than the sequential chain does.
+    pub fn warm_idle_accrued(&self) -> f64 {
+        self.functions.iter().map(|f| f.idle_warm_s).sum()
+    }
+
     /// Live container instances of a function.
     pub fn instance_count(&self, id: FunctionId) -> usize {
         self.functions.get(id.0).map_or(0, |f| f.instances.len())

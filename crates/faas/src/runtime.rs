@@ -128,6 +128,89 @@ pub fn whole_model(graph: &LayerGraph) -> PartitionWork {
     PartitionWork::from_segment(graph, 0, graph.num_layers() - 1)
 }
 
+/// A bounded set of pipeline stations for one chain stage: the
+/// simulation-side mirror of the stage's warm-instance budget.
+///
+/// A request that is *ready* for the stage (its input tensor is
+/// checkpointed in storage) is admitted at `max(ready, earliest station
+/// free time)`; while fewer than `depth` stations exist, a fresh one opens
+/// and the request starts immediately. Admission is strictly
+/// first-ready-first-served in the caller's iteration order, so a pool
+/// driven in request-index order is deterministic by construction — the
+/// property the sharded serving engine's bit-identical reports rest on.
+///
+/// The pool accumulates the two scalars pipeline reports surface: `busy_s`
+/// (station-occupied seconds — the utilization numerator) and `stall_s`
+/// (ready-but-waiting seconds — the cost of an imbalanced cut).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationPool {
+    /// Per-station next-free times; grows lazily up to `depth` entries.
+    free_at: Vec<f64>,
+    depth: usize,
+    busy_s: f64,
+    stall_s: f64,
+}
+
+impl StationPool {
+    /// A pool of at most `depth` stations (at least one).
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "a station pool needs at least one station");
+        StationPool {
+            free_at: Vec::new(),
+            depth,
+            busy_s: 0.0,
+            stall_s: 0.0,
+        }
+    }
+
+    /// Admits a request that became ready at `ready`: returns
+    /// `(station, start)` where `start = max(ready, earliest free)`. The
+    /// difference `start − ready` is recorded as stall. The station stays
+    /// occupied until [`StationPool::release`] is called for it.
+    pub fn admit(&mut self, ready: f64) -> (usize, f64) {
+        if self.free_at.len() < self.depth {
+            self.free_at.push(f64::INFINITY); // occupied until released
+            return (self.free_at.len() - 1, ready);
+        }
+        // Earliest-free station; ties keep the lowest index so the choice
+        // is a pure function of the pool state.
+        let (station, free) = self
+            .free_at
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            .expect("depth >= 1");
+        let start = ready.max(free);
+        self.stall_s += start - ready;
+        self.free_at[station] = f64::INFINITY;
+        (station, start)
+    }
+
+    /// Releases `station` (occupied since `start`) at `until`, accruing
+    /// the occupancy as busy time.
+    pub fn release(&mut self, station: usize, start: f64, until: f64) {
+        debug_assert!(until >= start, "station released before it started");
+        self.busy_s += until - start;
+        self.free_at[station] = until;
+    }
+
+    /// Station-occupied seconds accumulated so far.
+    pub fn busy_s(&self) -> f64 {
+        self.busy_s
+    }
+
+    /// Ready-but-waiting seconds accumulated so far.
+    pub fn stall_s(&self) -> f64 {
+        self.stall_s
+    }
+
+    /// The configured station budget.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +298,52 @@ mod tests {
     fn chain_requires_full_coverage() {
         let g = zoo::mobilenet_v1();
         PartitionWork::chain(&g, &[10, 20]);
+    }
+
+    #[test]
+    fn station_pool_depth_one_serializes() {
+        let mut pool = StationPool::new(1);
+        let (s0, t0) = pool.admit(0.0);
+        assert_eq!((s0, t0), (0, 0.0));
+        pool.release(s0, t0, 2.0);
+        // Ready at 1.0 but the single station is busy until 2.0.
+        let (s1, t1) = pool.admit(1.0);
+        assert_eq!((s1, t1), (0, 2.0));
+        pool.release(s1, t1, 3.0);
+        assert_eq!(pool.stall_s(), 1.0);
+        assert_eq!(pool.busy_s(), 3.0);
+    }
+
+    #[test]
+    fn station_pool_depth_two_overlaps() {
+        let mut pool = StationPool::new(2);
+        let (s0, t0) = pool.admit(0.0);
+        let (s1, t1) = pool.admit(0.5); // second station opens, no wait
+        assert_ne!(s0, s1);
+        assert_eq!(t1, 0.5);
+        pool.release(s0, t0, 4.0);
+        pool.release(s1, t1, 1.0);
+        // Third admission takes the earlier-free station (freed at 1.0).
+        let (s2, t2) = pool.admit(0.9);
+        assert_eq!(s2, s1);
+        assert_eq!(t2, 1.0);
+        assert!((pool.stall_s() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn station_pool_tie_takes_lowest_index() {
+        let mut pool = StationPool::new(2);
+        let (a, ta) = pool.admit(0.0);
+        let (b, tb) = pool.admit(0.0);
+        pool.release(a, ta, 5.0);
+        pool.release(b, tb, 5.0);
+        let (c, _) = pool.admit(0.0);
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn station_pool_rejects_zero_depth() {
+        let _ = StationPool::new(0);
     }
 }

@@ -316,6 +316,16 @@ pub struct LoadReport {
     /// Epoch boundaries where the adaptive controller switched to a
     /// different plan (adaptive runs only).
     pub replans: u64,
+    /// Seconds requests spent waiting for a free pipeline station, summed
+    /// over stages (pipelined runs only; stage 0's share is admission
+    /// queueing, later stages' share measures cut imbalance).
+    pub stall_s: f64,
+    /// Mean fraction of the run each stage's stations were busy
+    /// (pipelined runs only; 0 otherwise).
+    pub pipeline_utilization: f64,
+    /// Per-stage station utilization in chain order (empty unless the run
+    /// was pipelined).
+    pub stage_utilization: Vec<f64>,
 }
 
 impl LoadReport {
@@ -391,6 +401,12 @@ fn report_from_trace(
         plan_hits: 0,
         plan_misses: 0,
         replans: 0,
+        stall_s: trace.pipeline.as_ref().map_or(0.0, |p| p.stall_s()),
+        pipeline_utilization: trace.pipeline.as_ref().map_or(0.0, |p| p.utilization()),
+        stage_utilization: trace
+            .pipeline
+            .as_ref()
+            .map_or_else(Vec::new, |p| p.stage_utilization()),
     }
 }
 
@@ -420,7 +436,11 @@ pub fn run_open_loop(
         .deploy(&mut platform, graph, plan)
         .map_err(|e| e.to_string())?;
     let arrivals = load.arrivals();
-    let trace = coord.serve_trace(&mut platform, &dep, &arrivals);
+    let trace = if cfg.pipeline_depth > 0 {
+        coord.serve_trace_pipelined(&mut platform, &dep, &arrivals)
+    } else {
+        coord.serve_trace(&mut platform, &dep, &arrivals)
+    };
     Ok(report_from_trace(&trace, &arrivals, load, cfg))
 }
 
@@ -477,6 +497,14 @@ pub fn run_adaptive_loop(
     let arrivals = load.arrivals();
     if arrivals.is_empty() {
         return Err("adaptive run needs at least one request".into());
+    }
+    if cfg.pipeline_depth > 0 {
+        return Err(
+            "pipelined execution does not combine with the adaptive controller: \
+             stations are bound to one plan's stages, and the controller switches \
+             plans between epochs"
+                .into(),
+        );
     }
     let n_tiers = adaptive.slo_tiers.len();
 
@@ -686,7 +714,66 @@ mod tests {
             plan_hits: 0,
             plan_misses: 0,
             replans: 0,
+            stall_s: 0.0,
+            pipeline_utilization: 0.0,
+            stage_utilization: Vec::new(),
         }
+    }
+
+    #[test]
+    fn pipelined_open_loop_reports_stage_metrics() {
+        let (g, plan, cfg) = setup();
+        let cfg = cfg.with_pipeline(2);
+        let load = LoadSpec::poisson(2.0, 30, 11).with_shape(ArrivalShape::bursty());
+        let r = run_open_loop(&g, &plan, &cfg, &load).unwrap();
+        assert_eq!(r.stage_utilization.len(), plan.num_lambdas());
+        assert!(r.pipeline_utilization > 0.0 && r.pipeline_utilization <= 1.0 + 1e-12);
+        assert!(r.stall_s >= 0.0);
+        assert!(r
+            .stage_utilization
+            .iter()
+            .all(|&u| (0.0..=1.0 + 1e-12).contains(&u)));
+    }
+
+    #[test]
+    fn pipelined_open_loop_shrinks_burst_makespan() {
+        // All requests land nearly at once: the sequential lane serializes
+        // whole chains, the pipelined lane overlaps stages.
+        let (g, plan, cfg) = setup();
+        if plan.num_lambdas() < 2 {
+            return; // nothing to pipeline
+        }
+        let cfg = cfg.with_serve_lanes(1).with_serve_threads(1);
+        let load = LoadSpec::poisson(1000.0, 20, 5);
+        let seq = run_open_loop(&g, &plan, &cfg, &load).unwrap();
+        let pipe = run_open_loop(&g, &plan, &cfg.clone().with_pipeline(1), &load).unwrap();
+        assert!(
+            pipe.makespan_s < seq.makespan_s,
+            "pipelined {} vs sequential {}",
+            pipe.makespan_s,
+            seq.makespan_s
+        );
+        assert_eq!(pipe.latencies_s.len(), seq.latencies_s.len());
+    }
+
+    #[test]
+    fn sequential_reports_have_no_pipeline_metrics() {
+        let (g, plan, cfg) = setup();
+        let load = LoadSpec::poisson(2.0, 5, 3);
+        let r = run_open_loop(&g, &plan, &cfg, &load).unwrap();
+        assert_eq!(r.stall_s, 0.0);
+        assert_eq!(r.pipeline_utilization, 0.0);
+        assert!(r.stage_utilization.is_empty());
+    }
+
+    #[test]
+    fn adaptive_loop_rejects_pipelining() {
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default().with_pipeline(1);
+        let load = LoadSpec::poisson(2.0, 8, 1);
+        let adaptive = AdaptiveSpec::new(4, vec![10.0]);
+        let err = run_adaptive_loop(&g, &cfg, &load, &adaptive).unwrap_err();
+        assert!(err.contains("adaptive"), "{err}");
     }
 
     #[test]

@@ -93,6 +93,47 @@ fn run(args: &[String]) -> i32 {
                                 b3.predicted_time_s, b3.predicted_cost
                             );
                         }
+                        let profile = Profile::of(&g);
+                        if let Some(b4) = baselines::b4_bucket_scan(&g, &cfg, r.plan.num_lambdas())
+                        {
+                            let bottleneck = baselines::stage_times(&profile, &b4, &cfg)
+                                .map(|t| t.into_iter().fold(0.0f64, f64::max))
+                                .unwrap_or(f64::NAN);
+                            println!(
+                                "pipeserve bucket-scan for reference: {} stage(s), {:.2}s \
+                                 ${:.6}, bottleneck {:.3}s",
+                                b4.num_lambdas(),
+                                b4.predicted_time_s,
+                                b4.predicted_cost,
+                                bottleneck
+                            );
+                        }
+                        if cfg.pipeline_depth > 0 {
+                            // Joint batch–partition planning against the
+                            // pipelined (bottleneck-bound) makespan.
+                            let slo = cfg.slo_s.unwrap_or(1e9);
+                            let grid =
+                                SweepGrid::from_slos(vec![slo]).with_batches(vec![cfg.batch_size]);
+                            let rep = Optimizer::new(cfg.clone()).optimize_pipelined(&g, &grid);
+                            match &rep.points[0].outcome {
+                                Ok(pp) => {
+                                    println!("pipelined plan: {pp}");
+                                    let stages: Vec<String> = pp
+                                        .stage_times_s
+                                        .iter()
+                                        .map(|t| format!("{t:.3}s"))
+                                        .collect();
+                                    println!(
+                                        "  stage times: [{}] (fill {:.2}s, steady-state \
+                                         makespan(n) = fill + (n-1) x {:.3}s)",
+                                        stages.join(", "),
+                                        pp.stage_times_s.iter().sum::<f64>(),
+                                        pp.bottleneck_s
+                                    );
+                                }
+                                Err(e) => println!("pipelined plan: {e}"),
+                            }
+                        }
                         if let Some(path) = json_out {
                             if let Err(e) = std::fs::write(&path, r.plan.to_json()) {
                                 return fail(&format!("writing {path}: {e}"));
@@ -127,13 +168,24 @@ fn run(args: &[String]) -> i32 {
                     None => 1,
                 };
                 let parallel = args.iter().any(|a| a == "--parallel");
+                if cfg.pipeline_depth > 0 && parallel {
+                    return fail(
+                        "--pipeline and --parallel are mutually exclusive: --parallel \
+                         fans whole chains out with unbounded concurrency, --pipeline \
+                         overlaps stages under per-stage station budgets; pick one",
+                    );
+                }
                 match Optimizer::new(cfg.clone()).optimize(&g) {
                     Ok(r) => {
-                        println!("{}", r.plan);
+                        let plan = match pipeline_plan_or(&g, &cfg, r.plan) {
+                            Ok(p) => p,
+                            Err(e) => return fail(&e),
+                        };
+                        println!("{plan}");
                         print_fault_plan(&cfg);
                         let coord = Coordinator::new(cfg);
                         let mut platform = coord.platform();
-                        let dep = match coord.deploy(&mut platform, &g, &r.plan) {
+                        let dep = match coord.deploy(&mut platform, &g, &plan) {
                             Ok(d) => d,
                             Err(e) => return fail(&format!("deploy: {e}")),
                         };
@@ -153,6 +205,29 @@ fn run(args: &[String]) -> i32 {
                                 job.wasted_dollars,
                             );
                             (job.e2e_s, job.dollars)
+                        } else if coord.config().pipeline_depth > 0 {
+                            let p = coord.serve_pipelined(&mut platform, &dep, images, 0.0);
+                            println!(
+                                "pipeline: {} succeeded, {} failed over {} station(s)/stage",
+                                p.requests.len() - p.failed,
+                                p.failed,
+                                p.stats.stations_per_stage
+                            );
+                            let utils: Vec<String> = p
+                                .stats
+                                .stage_utilization()
+                                .iter()
+                                .map(|u| format!("{:.0}%", u * 100.0))
+                                .collect();
+                            println!(
+                                "pipeline: utilization {:.1}% [{}], stall {:.2}s, \
+                                 warm idle {:.2}s",
+                                p.stats.utilization() * 100.0,
+                                utils.join(", "),
+                                p.stats.stall_s(),
+                                p.warm_idle_s
+                            );
+                            (p.e2e_s, p.dollars)
                         } else {
                             let b = if parallel {
                                 coord.serve_parallel(&mut platform, &dep, images, 0.0)
@@ -231,6 +306,35 @@ fn parse_policy(spec: &str) -> Result<WarmPoolPolicy, String> {
 /// Open-loop load mode (`serve --requests M --rate R`): shaped arrivals
 /// against the planned deployment on the work-stealing serving engine,
 /// with a throughput / percentile summary instead of per-image reports.
+/// Under `--pipeline`, replace the sequential optimum with the joint
+/// planner's stage-balanced plan (minimum bottleneck within
+/// `cost_tolerance` of the sequential cost floor); otherwise keep `seq`.
+fn pipeline_plan_or(
+    g: &LayerGraph,
+    cfg: &AmpsConfig,
+    seq: ExecutionPlan,
+) -> Result<ExecutionPlan, String> {
+    if cfg.pipeline_depth == 0 {
+        return Ok(seq);
+    }
+    let grid =
+        SweepGrid::from_slos(vec![cfg.slo_s.unwrap_or(1e9)]).with_batches(vec![cfg.batch_size]);
+    let rep = Optimizer::new(cfg.clone()).optimize_pipelined(g, &grid);
+    match rep.points.into_iter().next().map(|p| p.outcome) {
+        Some(Ok(pp)) => {
+            println!(
+                "pipelined planning: bottleneck {:.3}s, imbalance {:.2} \
+                 (stage-balanced within cost tolerance of the sequential optimum)",
+                pp.bottleneck_s,
+                pp.imbalance()
+            );
+            Ok(pp.plan)
+        }
+        Some(Err(e)) => Err(format!("pipelined planning failed: {e}")),
+        None => Ok(seq),
+    }
+}
+
 fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
     let requests = match flag_value(args, "--requests").unwrap().parse::<usize>() {
         Ok(n) if n > 0 => n,
@@ -287,6 +391,13 @@ fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
         .with_warm_pool(policy);
     let load = LoadSpec::poisson(rate, requests, 0).with_shape(shape);
 
+    if cfg.pipeline_depth > 0 && args.iter().any(|a| a == "--adaptive") {
+        return fail(
+            "--pipeline and --adaptive are mutually exclusive: pipeline stations \
+             are bound to one plan's stages, and the adaptive controller switches \
+             plans between epochs; drop one of the flags",
+        );
+    }
     let adaptive = if args.iter().any(|a| a == "--adaptive") {
         let tiers = match flag_value(args, "--slo-tiers") {
             Some(v) => {
@@ -326,9 +437,13 @@ fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
             Ok(r) => r,
             Err(e) => return fail(&format!("optimization failed: {e}")),
         };
-        println!("{}", planned.plan);
+        let plan = match pipeline_plan_or(g, &cfg, planned.plan) {
+            Ok(p) => p,
+            Err(e) => return fail(&e),
+        };
+        println!("{plan}");
         print_fault_plan(&cfg);
-        match run_open_loop(g, &planned.plan, &cfg, &load) {
+        match run_open_loop(g, &plan, &cfg, &load) {
             Ok(r) => r,
             Err(e) => return fail(&format!("load run: {e}")),
         }
@@ -374,6 +489,21 @@ fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
          (${:.6} billed)",
         rep.policy, rep.pre_warmed, rep.idle_s, rep.idle_dollars
     );
+    if cfg.pipeline_depth > 0 {
+        let utils: Vec<String> = rep
+            .stage_utilization
+            .iter()
+            .map(|u| format!("{:.0}%", u * 100.0))
+            .collect();
+        println!(
+            "pipeline: depth {} station(s)/stage/lane, utilization {:.1}% [{}], \
+             stall {:.2}s",
+            cfg.pipeline_depth,
+            rep.pipeline_utilization * 100.0,
+            utils.join(", "),
+            rep.stall_s
+        );
+    }
     if adaptive.is_some() || verbose {
         println!(
             "plan cache: {} hit(s), {} miss(es), {} re-plan(s)",
@@ -544,6 +674,20 @@ fn usage() {
                                 serving workers; workers are clamped to the\n\
                                 lane count (a lane never splits across\n\
                                 threads), so --threads > --lanes is rejected\n\
+           --pipeline           overlap partition stages across requests:\n\
+                                stage i of request k runs concurrently with\n\
+                                stage i-1 of request k+1. Each stage owns a\n\
+                                fixed set of stations (warm-instance slots)\n\
+                                per lane; a request occupies one station of\n\
+                                each stage in turn and admission is strictly\n\
+                                FIFO by arrival, so reports stay bit-identical\n\
+                                at every thread count. With plan: choose the\n\
+                                cut jointly against the pipelined (bottleneck-\n\
+                                bound) makespan. Excludes --parallel and\n\
+                                --adaptive\n\
+           --pipe-depth <n>     stations per stage per lane (default 1; n\n\
+                                requests may occupy one stage concurrently,\n\
+                                requires --pipeline)\n\
            --adaptive           load mode: re-plan between epochs from an\n\
                                 online (SLO, batch) plan cache seeded by an\n\
                                 amortized sweep (requires --slo-tiers)\n\
@@ -675,6 +819,35 @@ fn parse_cfg(args: &[String]) -> Result<(AmpsConfig, Option<u64>, Option<String>
             return Err(format!("--flaky-store rate {v} must be in [0,1)"));
         }
         cfg.store = StoreKind::flaky_s3(rate);
+    }
+    let pipeline = args.iter().any(|a| a == "--pipeline");
+    match flag_value(args, "--pipe-depth") {
+        Some(v) => {
+            if !pipeline {
+                return Err(
+                    "--pipe-depth requires --pipeline (depth is the number of stations \
+                     each pipeline stage owns; without --pipeline there are no stations)"
+                        .into(),
+                );
+            }
+            let d: usize = v
+                .parse()
+                .map_err(|_| format!("bad --pipe-depth value {v} (need a positive integer)"))?;
+            if d == 0 {
+                return Err(
+                    "--pipe-depth 0 is invalid: every stage needs at least one station \
+                     to run at all (1 = strict FIFO per stage, N = up to N requests \
+                     in-flight per stage per lane)"
+                        .into(),
+                );
+            }
+            cfg.pipeline_depth = d;
+        }
+        None => {
+            if pipeline {
+                cfg.pipeline_depth = 1;
+            }
+        }
     }
     let quantize = match flag_value(args, "--quantize") {
         Some(v) => Some(v.parse().map_err(|_| format!("bad --quantize value {v}"))?),
