@@ -104,6 +104,22 @@ fn main() {
             .collect::<Vec<_>>()
     });
 
+    // Branch-parallel DAG planning (chain incumbent + fork/join candidate
+    // evaluation + spine polish) on Inception-v3 at batch 64 under the
+    // chain's own free-running latency as SLO — the ext-branches scenario,
+    // where the DAG actually wins.
+    let g = zoo::inception_v3();
+    let base = AmpsConfig::default().with_batch(64);
+    let free = Optimizer::new(base.clone().with_threads(1))
+        .optimize(&g)
+        .expect("feasible");
+    let slo = free.plan.predicted_time_s;
+    b.bench("optimize_dag/inception_v3/batch64", 5, || {
+        Optimizer::new(base.clone().with_slo(slo).with_threads(1))
+            .optimize_dag(&g)
+            .expect("feasible")
+    });
+
     // Bench targets run from the package directory; the committed baseline
     // lives at the repo root. Override with BENCH_BASELINE=<path>.
     b.compare_with_baseline("../../BENCH_optimizer.json");

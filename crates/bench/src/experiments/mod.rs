@@ -35,6 +35,7 @@ pub fn registry() -> Vec<Experiment> {
         ("fig13", related::fig13),
         ("overhead", overhead::overhead),
         ("ext-store", extensions::ext_store),
+        ("ext-branches", extensions::ext_branches),
         ("ext-quota", extensions::ext_quota),
         ("ext-quantize", extensions::ext_quantize),
         ("ext-pipeline", extensions::ext_pipeline),

@@ -17,10 +17,10 @@
 
 use crate::config::AmpsConfig;
 use crate::cuts::segment_feasible;
-use crate::plan::{ExecutionPlan, PartitionPlan};
+use crate::plan::{DagPlan, ExecutionPlan, PartitionPlan};
 use ampsinf_faas::SmallRng;
 use ampsinf_model::LayerGraph;
-use ampsinf_profiler::{quick_eval, Profile};
+use ampsinf_profiler::{quick_eval, quick_eval_node, Profile};
 
 /// Evaluates a complete plan's predicted chain time and cost (cold chain,
 /// same arithmetic as the optimizer / platform).
@@ -53,6 +53,78 @@ pub fn predict(profile: &Profile, plan: &mut ExecutionPlan, cfg: &AmpsConfig) ->
     plan.predicted_time_s = time;
     plan.predicted_cost = cost;
     true
+}
+
+/// Evaluates a DAG plan's predicted *critical-path* latency and *summed*
+/// cost (cold run, same arithmetic as the platform): a node becomes
+/// ready when every object it reads has been written, so parallel
+/// branches overlap in time while each still bills its own sandbox and
+/// every scatter/gather object bills its own request fee. The two
+/// numbers diverge exactly where the chain's cannot — fan-out of `k`
+/// costs `k` sandboxes but only `max(branch)` wall-clock.
+pub fn predict_dag(profile: &Profile, plan: &mut DagPlan, cfg: &AmpsConfig) -> bool {
+    let Some((finish, cost)) = dag_schedule(profile, plan, cfg) else {
+        return false;
+    };
+    plan.predicted_time_s = finish.iter().copied().fold(0.0f64, f64::max);
+    plan.predicted_cost = cost;
+    true
+}
+
+/// Per-node predicted durations of a DAG plan (the same arithmetic as
+/// [`predict_dag`], reported per node). `None` when any node cannot run.
+pub fn dag_node_times(profile: &Profile, plan: &DagPlan, cfg: &AmpsConfig) -> Option<Vec<f64>> {
+    dag_evals(profile, plan, cfg).map(|evals| evals.into_iter().map(|(t, _)| t).collect())
+}
+
+/// `(duration, dollars)` of every node, evaluated in isolation.
+fn dag_evals(profile: &Profile, plan: &DagPlan, cfg: &AmpsConfig) -> Option<Vec<(f64, f64)>> {
+    let mut evals = Vec::with_capacity(plan.nodes.len());
+    for (v, node) in plan.nodes.iter().enumerate() {
+        let reads: Vec<u64> = plan
+            .inputs_of(v)
+            .into_iter()
+            .map(|o| plan.objects[o].bytes)
+            .collect();
+        let writes: Vec<u64> = plan
+            .outputs_of(v)
+            .into_iter()
+            .map(|o| plan.objects[o].bytes)
+            .collect();
+        let e = quick_eval_node(
+            profile,
+            node.start,
+            node.end,
+            node.memory_mb,
+            &cfg.quotas,
+            &cfg.prices,
+            &cfg.perf,
+            &cfg.store,
+            &reads,
+            &writes,
+        )
+        .ok()?;
+        evals.push((e.duration_s, e.dollars));
+    }
+    Some(evals)
+}
+
+/// Ready-time recurrence over the node DAG: returns per-node finish
+/// instants (node `v` starts at the max of its producers' finishes) and
+/// the summed dollars.
+fn dag_schedule(profile: &Profile, plan: &DagPlan, cfg: &AmpsConfig) -> Option<(Vec<f64>, f64)> {
+    let evals = dag_evals(profile, plan, cfg)?;
+    let cost = evals.iter().map(|&(_, d)| d).sum();
+    let mut finish = vec![0.0f64; plan.nodes.len()];
+    for v in 0..plan.nodes.len() {
+        let ready = plan
+            .parents_of(v)
+            .into_iter()
+            .map(|u| finish[u])
+            .fold(0.0f64, f64::max);
+        finish[v] = ready + evals[v].0;
+    }
+    Some((finish, cost))
 }
 
 /// Baseline 1: random feasible cut + one random memory for all lambdas.
@@ -462,6 +534,90 @@ mod tests {
         assert_eq!(times.len(), plan.num_lambdas());
         let sum: f64 = times.iter().sum();
         assert!((sum - plan.predicted_time_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_dag_matches_predict_on_chain_shape() {
+        // Degenerate DAG ≡ chain: same time and cost, bit for bit.
+        let g = zoo::resnet50();
+        let cfg = AmpsConfig::default();
+        let profile = Profile::of(&g);
+        let chain = b2_greedy_max(&g, &cfg).unwrap();
+        let mut dag = DagPlan::from_chain(&chain, |end| profile.output_bytes(end));
+        assert!(predict_dag(&profile, &mut dag, &cfg));
+        assert_eq!(
+            dag.predicted_time_s.to_bits(),
+            chain.predicted_time_s.to_bits()
+        );
+        assert_eq!(dag.predicted_cost.to_bits(), chain.predicted_cost.to_bits());
+    }
+
+    #[test]
+    fn predict_dag_critical_path_beats_node_sum_on_fork() {
+        // A fork of two nodes overlaps their durations: the critical path
+        // is strictly below the summed node times while cost still bills
+        // every sandbox.
+        use crate::plan::{DagNode, DagObject};
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default();
+        let profile = Profile::of(&g);
+        let n = g.num_layers();
+        let q = n / 4;
+        let mut dag = DagPlan {
+            model: g.name.clone(),
+            nodes: vec![
+                DagNode {
+                    start: 0,
+                    end: q,
+                    memory_mb: 1024,
+                },
+                DagNode {
+                    start: q + 1,
+                    end: 2 * q,
+                    memory_mb: 1024,
+                },
+                DagNode {
+                    start: 2 * q + 1,
+                    end: 3 * q,
+                    memory_mb: 1024,
+                },
+                DagNode {
+                    start: 3 * q + 1,
+                    end: n - 1,
+                    memory_mb: 1024,
+                },
+            ],
+            objects: vec![
+                DagObject {
+                    producer: 0,
+                    consumers: vec![1, 2],
+                    bytes: 100_000,
+                },
+                DagObject {
+                    producer: 1,
+                    consumers: vec![3],
+                    bytes: 100_000,
+                },
+                DagObject {
+                    producer: 2,
+                    consumers: vec![3],
+                    bytes: 100_000,
+                },
+            ],
+            predicted_time_s: 0.0,
+            predicted_cost: 0.0,
+        };
+        assert!(predict_dag(&profile, &mut dag, &cfg));
+        let times = dag_node_times(&profile, &dag, &cfg).unwrap();
+        let sum: f64 = times.iter().sum();
+        assert!(
+            dag.predicted_time_s < sum - 1e-9,
+            "critical path {} should overlap the fork, sum {}",
+            dag.predicted_time_s,
+            sum
+        );
+        let expect = times[0] + times[1].max(times[2]) + times[3];
+        assert!((dag.predicted_time_s - expect).abs() < 1e-12);
     }
 
     #[test]

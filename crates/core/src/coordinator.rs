@@ -20,7 +20,7 @@
 //! alone — workers only race for *which lane advances next*.
 
 use crate::config::AmpsConfig;
-use crate::plan::ExecutionPlan;
+use crate::plan::{DagPlan, ExecutionPlan};
 use ampsinf_faas::platform::{
     DeployError, FailedInvocation, FunctionId, InvocationWork, InvokeError, Platform,
 };
@@ -241,6 +241,137 @@ impl ServeScratch {
     }
 }
 
+/// Per-node invocation scalars of a deployed DAG node, precomputed at
+/// deploy time so the serving hot path only patches storage keys.
+#[derive(Debug, Clone, Copy)]
+struct DagNodeWork {
+    load_bytes: u64,
+    flops: u64,
+    resident_bytes: u64,
+    tmp_bytes: u64,
+}
+
+/// A deployed branch-parallel DAG of partition lambdas
+/// ([`Coordinator::deploy_dag`]). Node `v` becomes ready when every
+/// object it reads has been written — fan-out nodes of a scatter all read
+/// the same object and therefore start concurrently; the gather node
+/// waits for the last branch. A chain-shaped plan degenerates to exactly
+/// the [`Deployment`] wiring, and the DAG engines reproduce the chain
+/// engines bit-for-bit on it.
+#[derive(Debug, Clone)]
+pub struct DagDeployment {
+    /// Function ids in node (topological) order.
+    pub functions: Vec<FunctionId>,
+    /// Wall-clock deployment duration (uploads proceed in parallel).
+    pub deploy_s: f64,
+    /// Per-node invocation scalars in node order.
+    scalars: Vec<DagNodeWork>,
+    /// Object indices each node reads, in object order.
+    node_reads: Vec<Vec<usize>>,
+    /// `(object index, bytes)` each node writes, in object order.
+    node_writes: Vec<Vec<(usize, u64)>>,
+    /// Producer node of each object (ready-time recurrence input).
+    object_producer: Vec<usize>,
+}
+
+impl DagDeployment {
+    /// Number of inter-node storage objects.
+    pub fn num_objects(&self) -> usize {
+        self.object_producer.len()
+    }
+}
+
+/// Reusable per-request buffers for the DAG serving hot path: one
+/// [`InvocationWork`] per node, one storage key per object, and the
+/// per-node completion times the ready recurrence folds over.
+#[derive(Debug, Clone)]
+pub struct DagServeScratch {
+    works: Vec<InvocationWork>,
+    keys: Vec<ObjectKey>,
+    /// Completion time of each node for the request in flight.
+    finish: Vec<f64>,
+    buf: String,
+    primed: bool,
+}
+
+impl DagServeScratch {
+    /// Scratch sized for `dep`'s node count.
+    pub fn for_deployment(dep: &DagDeployment) -> Self {
+        DagServeScratch {
+            works: vec![InvocationWork::default(); dep.functions.len()],
+            keys: Vec::with_capacity(dep.num_objects()),
+            finish: vec![0.0; dep.functions.len()],
+            buf: String::new(),
+            primed: false,
+        }
+    }
+
+    /// Refills every node's work profile from the deployment's scalars and
+    /// the current per-object keys.
+    fn fill_works(&mut self, dep: &DagDeployment) {
+        let keys = &self.keys;
+        for (v, w) in self.works.iter_mut().enumerate() {
+            let s = dep.scalars[v];
+            w.load_bytes = s.load_bytes;
+            w.flops = s.flops;
+            w.resident_bytes = s.resident_bytes;
+            w.tmp_bytes = s.tmp_bytes;
+            w.reads.clear();
+            w.reads.extend(dep.node_reads[v].iter().map(|&o| keys[o]));
+            w.writes.clear();
+            w.writes.extend(
+                dep.node_writes[v]
+                    .iter()
+                    .map(|&(o, bytes)| (keys[o], bytes)),
+            );
+        }
+    }
+
+    /// Interns this request's object keys (`{tag}/b{o}`, one per object in
+    /// object order — identical to the chain's boundary keys on a
+    /// chain-shaped plan) and refills the per-node work profiles.
+    pub fn prepare(&mut self, platform: &mut Platform, dep: &DagDeployment, tag: &str) {
+        self.works.clear();
+        self.works
+            .resize(dep.functions.len(), InvocationWork::default());
+        self.finish.resize(dep.functions.len(), 0.0);
+        self.keys.clear();
+        self.primed = false;
+        for o in 0..dep.num_objects() {
+            self.buf.clear();
+            let _ = write!(self.buf, "{tag}/b{o}");
+            self.keys.push(platform.store.intern(&self.buf));
+        }
+        self.fill_works(dep);
+    }
+
+    /// Prepares this request with *anonymous* object keys — the trace
+    /// engine's hot path. Keys are drawn one per object in object order,
+    /// so a chain-shaped plan draws exactly the chain engine's key
+    /// sequence (flaky-store fate parity).
+    pub fn prepare_anon(&mut self, platform: &mut Platform, dep: &DagDeployment) {
+        let k = dep.functions.len();
+        let m = dep.num_objects();
+        if !self.primed || self.works.len() != k {
+            self.works.clear();
+            self.works.resize(k, InvocationWork::default());
+            self.finish.resize(k, 0.0);
+            self.keys.clear();
+            for _ in 0..m {
+                self.keys.push(platform.store.fresh_key());
+            }
+            self.fill_works(dep);
+            self.primed = true;
+            return;
+        }
+        // The wiring is fixed per plan: swap every object's key in place.
+        for o in 0..m {
+            self.keys[o] = platform.store.fresh_key();
+        }
+        self.fill_works(dep);
+    }
+}
+
 /// Scalar per-request result of [`Coordinator::serve_trace`] — everything
 /// the load generator aggregates, without the per-outcome detail of a
 /// [`JobReport`] (which would dominate allocation on 100k-request runs).
@@ -435,6 +566,65 @@ impl Coordinator {
         })
     }
 
+    /// Packages and deploys every node of a branch-parallel DAG `plan`.
+    ///
+    /// Each node gets its own lambda (`{model}-node{v}`); each
+    /// [`DagObject`](crate::plan::DagObject) becomes one storage object
+    /// per request, uploaded once by its producer and downloaded once per
+    /// consumer — the scatter/gather request fees and lifetime-billed
+    /// bytes ride on exactly those transfers. The staged input that feeds
+    /// a node's `/tmp` and resident footprint is the sum of the objects it
+    /// reads (the root's image arrives with the trigger, as in the chain).
+    pub fn deploy_dag(
+        &self,
+        platform: &mut Platform,
+        graph: &LayerGraph,
+        plan: &DagPlan,
+    ) -> Result<DagDeployment, DeployError> {
+        plan.validate(graph.num_layers())
+            .expect("structurally valid plan");
+        let n = plan.nodes.len();
+        let mut functions = Vec::with_capacity(n);
+        let mut scalars = Vec::with_capacity(n);
+        let mut node_reads = Vec::with_capacity(n);
+        let mut node_writes = Vec::with_capacity(n);
+        let mut deploy_s = 0.0f64;
+        for (v, node) in plan.nodes.iter().enumerate() {
+            let work = PartitionWork::from_segment(graph, node.start, node.end);
+            let spec = work.function_spec(format!("{}-node{v}", plan.model), node.memory_mb);
+            let (fid, d) = platform.deploy(spec)?;
+            functions.push(fid);
+            deploy_s = deploy_s.max(d); // parallel uploads
+            let reads = plan.inputs_of(v);
+            let writes: Vec<(usize, u64)> = plan
+                .outputs_of(v)
+                .into_iter()
+                .map(|o| (o, plan.objects[o].bytes))
+                .collect();
+            let input_bytes = if reads.is_empty() {
+                work.seg.input_bytes
+            } else {
+                reads.iter().map(|&o| plan.objects[o].bytes).sum()
+            };
+            scalars.push(DagNodeWork {
+                load_bytes: work.seg.weight_bytes,
+                flops: work.seg.flops,
+                resident_bytes: 2 * work.seg.weight_bytes + work.seg.activation_bytes + input_bytes,
+                tmp_bytes: work.seg.weight_bytes + input_bytes,
+            });
+            node_reads.push(reads);
+            node_writes.push(writes);
+        }
+        Ok(DagDeployment {
+            functions,
+            deploy_s,
+            scalars,
+            node_reads,
+            node_writes,
+            object_producer: plan.objects.iter().map(|o| o.producer).collect(),
+        })
+    }
+
     /// Serves one request through the chain, starting at `t0`.
     ///
     /// `tag` disambiguates intermediate-object keys between requests.
@@ -530,6 +720,113 @@ impl Coordinator {
             .sum();
         let dollars: f64 = outcomes.iter().map(|o| o.dollars).sum::<f64>() + retry_dollars;
         let inference_s = now - t0;
+        Ok(JobReport {
+            deploy_s: dep.deploy_s,
+            load_s,
+            import_s,
+            predict_s,
+            inference_s,
+            e2e_s: dep.deploy_s + inference_s,
+            dollars,
+            outcomes,
+            retries,
+            wasted_s: retry_s + stall_s,
+            wasted_dollars: retry_dollars + stall_dollars,
+        })
+    }
+
+    /// Serves one request through a DAG deployment, starting at `t0`.
+    ///
+    /// Node `v` is invoked at the *checkpoint-ready* instant: the maximum
+    /// over its parents' completion times (the instant the last object it
+    /// reads finished its PUT), or `t0` for the root. Scatter siblings
+    /// therefore run concurrently in simulated time; `inference_s` is the
+    /// critical path (max node completion − `t0`) while `dollars` sums
+    /// every sandbox — the two axes a branch plan trades against each
+    /// other. Retry/backoff/billing semantics match
+    /// [`serve_one`](Self::serve_one) exactly.
+    pub fn serve_one_dag(
+        &self,
+        platform: &mut Platform,
+        dep: &DagDeployment,
+        t0: f64,
+        tag: &str,
+    ) -> Result<JobReport, ServeError> {
+        let mut scratch = DagServeScratch::for_deployment(dep);
+        scratch.prepare(platform, dep, tag);
+        self.serve_one_dag_with(platform, dep, t0, &mut scratch)
+    }
+
+    /// [`serve_one_dag`](Self::serve_one_dag) over prepared scratch — the
+    /// DAG twin of [`serve_one_with`](Self::serve_one_with).
+    pub fn serve_one_dag_with(
+        &self,
+        platform: &mut Platform,
+        dep: &DagDeployment,
+        t0: f64,
+        scratch: &mut DagServeScratch,
+    ) -> Result<JobReport, ServeError> {
+        let k = dep.functions.len();
+        let mut outcomes: Vec<InvocationOutcome> = Vec::with_capacity(k);
+        let mut retries: Vec<RetryRecord> = Vec::new();
+        for v in 0..k {
+            let mut now = t0;
+            for &o in &dep.node_reads[v] {
+                now = now.max(scratch.finish[dep.object_producer[o]]);
+            }
+            let work = &scratch.works[v];
+            let mut attempt: u32 = 0;
+            let out = loop {
+                match platform.invoke(dep.functions[v], now, work) {
+                    Ok(out) => break out,
+                    Err(failed) => {
+                        attempt += 1;
+                        if attempt > self.cfg.invoke_retries || !failed.reason.is_transient() {
+                            let wasted: f64 = retries.iter().map(|r| r.failed.dollars).sum::<f64>()
+                                + failed.dollars;
+                            let spent: f64 =
+                                outcomes.iter().map(|o| o.dollars).sum::<f64>() + wasted;
+                            return Err(ServeError {
+                                reason: failed.reason,
+                                lambda: v,
+                                attempts: attempt,
+                                elapsed_s: failed.end - t0,
+                                dollars: spent,
+                            });
+                        }
+                        let backoff_s = self.cfg.backoff_base_s * 2f64.powi(attempt as i32 - 1);
+                        now = failed.end + backoff_s;
+                        retries.push(RetryRecord {
+                            lambda: v,
+                            failed,
+                            backoff_s,
+                        });
+                    }
+                }
+            };
+            scratch.finish[v] = out.end;
+            outcomes.push(out);
+        }
+        let load_s: f64 = outcomes.iter().map(|o| o.breakdown.load_s).sum();
+        let import_s: f64 = outcomes.iter().map(|o| o.breakdown.import_s).sum();
+        let predict_s: f64 = outcomes.iter().map(|o| o.breakdown.compute_s).sum();
+        let retry_dollars: f64 = retries.iter().map(|r| r.failed.dollars).sum();
+        let retry_s: f64 = retries
+            .iter()
+            .map(|r| r.failed.duration() + r.backoff_s)
+            .sum();
+        let stall_s: f64 = outcomes.iter().map(|o| o.storage_retry_s).sum();
+        let stall_dollars: f64 = outcomes
+            .iter()
+            .zip(&dep.functions)
+            .map(|(o, fid)| {
+                let mem = platform.spec(*fid).map_or(0, |s| s.memory_mb);
+                self.cfg.prices.lambda_compute_cost(o.storage_retry_s, mem)
+            })
+            .sum();
+        let dollars: f64 = outcomes.iter().map(|o| o.dollars).sum::<f64>() + retry_dollars;
+        // Critical path, not sum: concurrent branches overlap.
+        let inference_s = scratch.finish[..k].iter().fold(t0, |a, &b| a.max(b)) - t0;
         Ok(JobReport {
             deploy_s: dep.deploy_s,
             load_s,
@@ -752,7 +1049,11 @@ impl Coordinator {
                 self.serve_lite(p, &deps[d], t0, scratch)
             },
         );
-        self.finish_trace(platform, deps, requests, shards, None)
+        let fids: Vec<FunctionId> = deps
+            .iter()
+            .flat_map(|d| d.functions.iter().copied())
+            .collect();
+        self.finish_trace(platform, &fids, requests, shards, None)
     }
 
     /// [`serve_trace`](Self::serve_trace) with pipelined stage execution
@@ -806,13 +1107,86 @@ impl Coordinator {
             shards.push(shard);
         }
         stats.span_s = arrivals.first().copied().unwrap_or(0.0);
-        self.finish_trace(
+        self.finish_trace(platform, &dep.functions, requests, shards, Some(stats))
+    }
+
+    /// Serves an arrival trace through a branch-parallel DAG deployment —
+    /// the DAG twin of [`serve_trace`](Self::serve_trace), on the same
+    /// work-stealing lane machinery: request `i` runs on lane
+    /// `i % serve_lanes` with its RNG streams keyed by index
+    /// ([`Platform::begin_request`]), each request executes its nodes in
+    /// topological index order with the deterministic `(request, node)`
+    /// ready recurrence of [`serve_lite_dag`](Self::serve_lite_dag), and
+    /// results merge in global index order — so the report is
+    /// bit-identical at every thread count, faults on or off. On a
+    /// chain-shaped plan ([`DagPlan::from_chain`]) it reproduces
+    /// [`serve_trace`](Self::serve_trace) bit-for-bit.
+    pub fn serve_trace_dag(
+        &self,
+        platform: &mut Platform,
+        dep: &DagDeployment,
+        arrivals: &[f64],
+    ) -> TraceReport {
+        let (requests, lane_outs) = self.run_lanes_generic(
             platform,
-            std::slice::from_ref(dep),
-            requests,
-            shards,
-            Some(stats),
-        )
+            arrivals,
+            |_lane| DagServeScratch::for_deployment(dep),
+            |p, scratch: &mut DagServeScratch, _idx, t0| {
+                scratch.prepare_anon(p, dep);
+                self.serve_lite_dag(p, dep, t0, scratch)
+            },
+        );
+        let shards = lane_outs.into_iter().map(|(p, _)| p).collect();
+        self.finish_trace(platform, &dep.functions, requests, shards, None)
+    }
+
+    /// [`serve_trace_dag`](Self::serve_trace_dag) with pipeline-station
+    /// admission: every DAG node owns [`AmpsConfig::pipeline_depth`]
+    /// stations per lane, and node `v` of a later request starts as soon
+    /// as its input objects are checkpointed *and* a station frees.
+    /// Station state travels with the lane task, so the report stays
+    /// bit-identical at every thread count; on a chain-shaped plan it
+    /// reproduces [`serve_trace_pipelined`](Self::serve_trace_pipelined)
+    /// bit-for-bit.
+    pub fn serve_trace_dag_pipelined(
+        &self,
+        platform: &mut Platform,
+        dep: &DagDeployment,
+        arrivals: &[f64],
+    ) -> TraceReport {
+        let depth = self.cfg.pipeline_depth.max(1);
+        let k = dep.functions.len();
+        let n = arrivals.len();
+        let lanes = self.cfg.serve_lanes.max(1).min(n.max(1));
+        let (requests, lane_outs) = self.run_lanes_generic(
+            platform,
+            arrivals,
+            |_lane| {
+                let stations: Vec<StationPool> = (0..k).map(|_| StationPool::new(depth)).collect();
+                (DagServeScratch::for_deployment(dep), stations)
+            },
+            |p, lane_state: &mut (DagServeScratch, Vec<StationPool>), _idx, t0| {
+                let (scratch, stations) = lane_state;
+                scratch.prepare_anon(p, dep);
+                self.serve_lite_dag_pipelined(p, dep, t0, scratch, stations)
+            },
+        );
+        let mut stats = PipelineStats {
+            stations_per_stage: depth * lanes,
+            stage_busy_s: vec![0.0; k],
+            stage_stall_s: vec![0.0; k],
+            span_s: 0.0,
+        };
+        let mut shards = Vec::with_capacity(lane_outs.len());
+        for (shard, (_, stations)) in lane_outs {
+            for (i, st) in stations.iter().enumerate() {
+                stats.stage_busy_s[i] += st.busy_s();
+                stats.stage_stall_s[i] += st.stall_s();
+            }
+            shards.push(shard);
+        }
+        stats.span_s = arrivals.first().copied().unwrap_or(0.0);
+        self.finish_trace(platform, &dep.functions, requests, shards, Some(stats))
     }
 
     /// Shared trace aggregation: settle storage and warm pools per shard
@@ -822,7 +1196,7 @@ impl Coordinator {
     fn finish_trace(
         &self,
         platform: &mut Platform,
-        deps: &[Deployment],
+        functions: &[FunctionId],
         requests: Vec<RequestSummary>,
         shards: Vec<Platform>,
         pipeline: Option<PipelineStats>,
@@ -850,10 +1224,7 @@ impl Coordinator {
         for shard in shards {
             platform.absorb_shard(shard);
         }
-        let mut fids: Vec<FunctionId> = deps
-            .iter()
-            .flat_map(|d| d.functions.iter().copied())
-            .collect();
+        let mut fids: Vec<FunctionId> = functions.to_vec();
         fids.sort_by_key(|f| f.0);
         fids.dedup();
         let cold_starts = fids.iter().map(|&f| platform.cold_starts(f)).sum();
@@ -1028,6 +1399,159 @@ impl Coordinator {
         }
     }
 
+    /// [`serve_one_dag_with`](Self::serve_one_dag_with) reduced to the
+    /// scalars a [`RequestSummary`] carries — the DAG twin of
+    /// [`serve_lite`](Self::serve_lite). On a chain-shaped plan the
+    /// ready recurrence degenerates to `now = previous end` and the
+    /// result is bit-identical to the chain engine's.
+    fn serve_lite_dag(
+        &self,
+        platform: &mut Platform,
+        dep: &DagDeployment,
+        t0: f64,
+        scratch: &mut DagServeScratch,
+    ) -> RequestSummary {
+        let k = dep.functions.len();
+        let mut dollars = 0.0f64;
+        let mut retry_dollars = 0.0f64;
+        let mut retry_s = 0.0f64;
+        let mut stall_s = 0.0f64;
+        let mut stall_dollars = 0.0f64;
+        let mut n_retries: u32 = 0;
+        for v in 0..k {
+            // Checkpoint-ready: every object this node reads is written.
+            let mut now = t0;
+            for &o in &dep.node_reads[v] {
+                now = now.max(scratch.finish[dep.object_producer[o]]);
+            }
+            let mut attempt: u32 = 0;
+            let out = loop {
+                match platform.invoke(dep.functions[v], now, &scratch.works[v]) {
+                    Ok(out) => break out,
+                    Err(failed) => {
+                        attempt += 1;
+                        if attempt > self.cfg.invoke_retries || !failed.reason.is_transient() {
+                            let spent = dollars + retry_dollars + failed.dollars;
+                            return RequestSummary {
+                                arrival_s: t0,
+                                latency_s: failed.end - t0,
+                                dollars: spent,
+                                retries: n_retries,
+                                wasted_s: failed.end - t0,
+                                wasted_dollars: spent,
+                                ok: false,
+                            };
+                        }
+                        let backoff_s = self.cfg.backoff_base_s * 2f64.powi(attempt as i32 - 1);
+                        now = failed.end + backoff_s;
+                        n_retries += 1;
+                        retry_dollars += failed.dollars;
+                        retry_s += failed.duration() + backoff_s;
+                    }
+                }
+            };
+            scratch.finish[v] = out.end;
+            dollars += out.dollars;
+            stall_s += out.storage_retry_s;
+            if out.storage_retry_s > 0.0 {
+                let mem = platform.spec(dep.functions[v]).map_or(0, |s| s.memory_mb);
+                stall_dollars += self
+                    .cfg
+                    .prices
+                    .lambda_compute_cost(out.storage_retry_s, mem);
+            }
+        }
+        let done = scratch.finish[..k].iter().fold(t0, |a, &b| a.max(b));
+        RequestSummary {
+            arrival_s: t0,
+            latency_s: done - t0,
+            dollars: dollars + retry_dollars,
+            retries: n_retries,
+            wasted_s: retry_s + stall_s,
+            wasted_dollars: retry_dollars + stall_dollars,
+            ok: true,
+        }
+    }
+
+    /// [`serve_lite_dag`](Self::serve_lite_dag) with pipeline-station
+    /// admission, the DAG twin of
+    /// [`serve_lite_pipelined`](Self::serve_lite_pipelined): node `v` of
+    /// a later request enters its station pool as soon as its input
+    /// objects are checkpointed and a station frees, so stages overlap
+    /// across requests and branches overlap within one.
+    fn serve_lite_dag_pipelined(
+        &self,
+        platform: &mut Platform,
+        dep: &DagDeployment,
+        t0: f64,
+        scratch: &mut DagServeScratch,
+        stations: &mut [StationPool],
+    ) -> RequestSummary {
+        let k = dep.functions.len();
+        let mut dollars = 0.0f64;
+        let mut retry_dollars = 0.0f64;
+        let mut retry_s = 0.0f64;
+        let mut stall_s = 0.0f64;
+        let mut stall_dollars = 0.0f64;
+        let mut n_retries: u32 = 0;
+        for (v, pool) in stations.iter_mut().enumerate().take(k) {
+            let mut ready = t0;
+            for &o in &dep.node_reads[v] {
+                ready = ready.max(scratch.finish[dep.object_producer[o]]);
+            }
+            let (station, start) = pool.admit(ready);
+            let mut now = start;
+            let mut attempt: u32 = 0;
+            let out = loop {
+                match platform.invoke(dep.functions[v], now, &scratch.works[v]) {
+                    Ok(out) => break out,
+                    Err(failed) => {
+                        attempt += 1;
+                        if attempt > self.cfg.invoke_retries || !failed.reason.is_transient() {
+                            pool.release(station, start, failed.end);
+                            let spent = dollars + retry_dollars + failed.dollars;
+                            return RequestSummary {
+                                arrival_s: t0,
+                                latency_s: failed.end - t0,
+                                dollars: spent,
+                                retries: n_retries,
+                                wasted_s: failed.end - t0,
+                                wasted_dollars: spent,
+                                ok: false,
+                            };
+                        }
+                        let backoff_s = self.cfg.backoff_base_s * 2f64.powi(attempt as i32 - 1);
+                        now = failed.end + backoff_s;
+                        n_retries += 1;
+                        retry_dollars += failed.dollars;
+                        retry_s += failed.duration() + backoff_s;
+                    }
+                }
+            };
+            pool.release(station, start, out.end);
+            scratch.finish[v] = out.end;
+            dollars += out.dollars;
+            stall_s += out.storage_retry_s;
+            if out.storage_retry_s > 0.0 {
+                let mem = platform.spec(dep.functions[v]).map_or(0, |s| s.memory_mb);
+                stall_dollars += self
+                    .cfg
+                    .prices
+                    .lambda_compute_cost(out.storage_retry_s, mem);
+            }
+        }
+        let done = scratch.finish[..k].iter().fold(t0, |a, &b| a.max(b));
+        RequestSummary {
+            arrival_s: t0,
+            latency_s: done - t0,
+            dollars: dollars + retry_dollars,
+            retries: n_retries,
+            wasted_s: retry_s + stall_s,
+            wasted_dollars: retry_dollars + stall_dollars,
+            ok: true,
+        }
+    }
+
     /// Runs `f` once per request across [`AmpsConfig::serve_lanes`]
     /// warm-pool shards, executed by up to [`AmpsConfig::serve_threads`]
     /// workers (0 = auto), and merges deterministically: per-request
@@ -1128,6 +1652,45 @@ impl Coordinator {
         I: Fn(usize) -> S + Sync,
         F: Fn(&mut Platform, &mut ServeScratch, &mut S, usize, usize, f64) -> R + Sync,
     {
+        let (results, lanes) = self.run_lanes_generic(
+            base,
+            starts,
+            |lane| {
+                let scratches: Vec<ServeScratch> =
+                    deps.iter().map(ServeScratch::for_deployment).collect();
+                (scratches, init(lane))
+            },
+            move |p, lane_state: &mut (Vec<ServeScratch>, S), idx, t0| {
+                let d = assign(idx);
+                f(p, &mut lane_state.0[d], &mut lane_state.1, d, idx, t0)
+            },
+        );
+        (
+            results,
+            lanes.into_iter().map(|(p, (_, s))| (p, s)).collect(),
+        )
+    }
+
+    /// The scratch-agnostic core of the lane machinery: like
+    /// [`run_lanes_stateful`](Self::run_lanes_stateful) but the entire
+    /// per-lane mutable state — chain scratches, DAG scratches, station
+    /// pools, anything — is the caller-built `S`. This is what lets the
+    /// DAG engines reuse the work-stealing queue, the chunking, and the
+    /// deterministic merge without the chain's [`ServeScratch`] being
+    /// baked into the lane task.
+    fn run_lanes_generic<R, S, F, I>(
+        &self,
+        base: &Platform,
+        starts: &[f64],
+        init: I,
+        f: F,
+    ) -> (Vec<R>, Vec<(Platform, S)>)
+    where
+        R: Send,
+        S: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut Platform, &mut S, usize, f64) -> R + Sync,
+    {
         let n = starts.len();
         let lanes = self.cfg.serve_lanes.max(1).min(n.max(1));
         let workers = match self.cfg.serve_threads {
@@ -1145,7 +1708,6 @@ impl Coordinator {
             /// Requests of this lane already processed.
             done: usize,
             platform: Platform,
-            scratches: Vec<ServeScratch>,
             state: S,
             out: Vec<R>,
         }
@@ -1156,7 +1718,6 @@ impl Coordinator {
                 lane,
                 done: 0,
                 platform,
-                scratches: deps.iter().map(ServeScratch::for_deployment).collect(),
                 state: init(lane),
                 out: Vec::with_capacity(Self::lane_len(n, lanes, lane)),
             }
@@ -1167,16 +1728,8 @@ impl Coordinator {
             let stop = (task.done + chunk).min(total);
             while task.done < stop {
                 let idx = task.lane + task.done * lanes;
-                let d = assign(idx);
                 task.platform.begin_request(idx as u64);
-                let r = f(
-                    &mut task.platform,
-                    &mut task.scratches[d],
-                    &mut task.state,
-                    d,
-                    idx,
-                    starts[idx],
-                );
+                let r = f(&mut task.platform, &mut task.state, idx, starts[idx]);
                 task.out.push(r);
                 task.done += 1;
             }
@@ -1487,6 +2040,189 @@ mod tests {
         // No contention on sparse arrivals beyond the first admissions.
         assert_eq!(stats.stall_s(), 0.0);
         assert!(seq.pipeline.is_none());
+    }
+
+    /// A hand-built branch-parallel DAG plan over [`zoo::branchy_cnn`]'s
+    /// single region: spine → {3×3 path, 5×5 path} → gather tail, with
+    /// the scatter object read by both branches and one gather object per
+    /// branch. Prediction stamped by [`crate::baselines::predict_dag`].
+    fn branchy_dag(g: &ampsinf_model::LayerGraph, cfg: &AmpsConfig) -> crate::plan::DagPlan {
+        use crate::plan::{DagNode, DagObject, DagPlan};
+        let regions = g.branch_regions();
+        let r = &regions[0];
+        let n = g.num_layers();
+        let mem = 512u32;
+        let nodes = vec![
+            DagNode {
+                start: 0,
+                end: r.entry,
+                memory_mb: mem,
+            },
+            DagNode {
+                start: r.branches[0].0,
+                end: r.branches[0].1,
+                memory_mb: mem,
+            },
+            DagNode {
+                start: r.branches[1].0,
+                end: r.branches[1].1,
+                memory_mb: mem,
+            },
+            DagNode {
+                start: r.merge,
+                end: n - 1,
+                memory_mb: mem,
+            },
+        ];
+        let objects = vec![
+            DagObject {
+                producer: 0,
+                consumers: vec![1, 2],
+                bytes: g.cut_transfer_bytes(r.entry),
+            },
+            DagObject {
+                producer: 1,
+                consumers: vec![3],
+                bytes: g.span_io_bytes(r.branches[0].0, r.branches[0].1).1,
+            },
+            DagObject {
+                producer: 2,
+                consumers: vec![3],
+                bytes: g.span_io_bytes(r.branches[1].0, r.branches[1].1).1,
+            },
+        ];
+        let mut plan = DagPlan {
+            model: g.name.clone(),
+            nodes,
+            objects,
+            predicted_time_s: 0.0,
+            predicted_cost: 0.0,
+        };
+        plan.validate(n).unwrap();
+        assert!(crate::baselines::predict_dag(
+            &ampsinf_profiler::Profile::of(g),
+            &mut plan,
+            cfg
+        ));
+        plan
+    }
+
+    #[test]
+    fn serve_one_dag_matches_prediction() {
+        // The DAG twin of `serve_one_matches_prediction`: the critical
+        // path and summed cost predicted by `predict_dag` must equal the
+        // platform's measured cold behaviour, scatter/gather fees
+        // included — prediction IS simulation on branches too.
+        let g = zoo::branchy_cnn();
+        let cfg = AmpsConfig::default();
+        let plan = branchy_dag(&g, &cfg);
+        assert_eq!(plan.width(), 2);
+        let coord = Coordinator::new(cfg);
+        let mut platform = coord.platform();
+        let dep = coord.deploy_dag(&mut platform, &g, &plan).unwrap();
+        let report = coord
+            .serve_one_dag(&mut platform, &dep, 0.0, "req0")
+            .unwrap();
+        assert!(
+            (report.inference_s - plan.predicted_time_s).abs() < 1e-6,
+            "measured {} vs predicted {}",
+            report.inference_s,
+            plan.predicted_time_s
+        );
+        assert!(
+            (report.dollars - plan.predicted_cost).abs() < 1e-9,
+            "measured {} vs predicted {}",
+            report.dollars,
+            plan.predicted_cost
+        );
+        // Branches overlap: the critical path is shorter than the sum of
+        // node durations, and every node still bills.
+        let sum_s: f64 = report
+            .outcomes
+            .iter()
+            .map(InvocationOutcome::duration)
+            .sum();
+        assert_eq!(report.outcomes.len(), 4);
+        assert!(report.inference_s < sum_s - 1e-9);
+        // All three objects (scatter + two gathers) were checkpointed.
+        for o in 0..3 {
+            assert!(platform.store.size_of(&format!("req0/b{o}")).is_some());
+        }
+        assert!(platform.settle_storage(1000.0) > 0.0);
+        assert!(report.retries.is_empty());
+        assert_eq!(report.wasted_s, 0.0);
+    }
+
+    #[test]
+    fn dag_chain_shape_reproduces_chain_engine_bitwise() {
+        // The degenerate-DAG invariant: executing a chain-shaped DagPlan
+        // through the DAG engines reproduces the chain engines' reports
+        // bit-for-bit, sequential and pipelined.
+        let g = zoo::resnet50();
+        let cfg = AmpsConfig::default();
+        let plan = Optimizer::new(cfg.clone()).optimize(&g).unwrap().plan;
+        assert!(plan.num_lambdas() >= 2);
+        let dag = crate::plan::DagPlan::from_chain(&plan, |e| g.cut_transfer_bytes(e));
+        assert!(dag.is_chain());
+        let arrivals: Vec<f64> = (0..12).map(|i| i as f64 * 0.5).collect();
+
+        let coord = Coordinator::new(cfg.clone());
+        let mut p_chain = coord.platform();
+        let dep = coord.deploy(&mut p_chain, &g, &plan).unwrap();
+        let chain = coord.serve_trace(&mut p_chain, &dep, &arrivals);
+
+        let mut p_dag = coord.platform();
+        let ddep = coord.deploy_dag(&mut p_dag, &g, &dag).unwrap();
+        let via_dag = coord.serve_trace_dag(&mut p_dag, &ddep, &arrivals);
+        assert_eq!(chain, via_dag);
+        for (a, b) in chain.requests.iter().zip(&via_dag.requests) {
+            assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+            assert_eq!(a.dollars.to_bits(), b.dollars.to_bits());
+        }
+
+        let coord_pipe = Coordinator::new(cfg.with_pipeline(2));
+        let mut pp_chain = coord_pipe.platform();
+        let pdep = coord_pipe.deploy(&mut pp_chain, &g, &plan).unwrap();
+        let chain_pipe = coord_pipe.serve_trace_pipelined(&mut pp_chain, &pdep, &arrivals);
+
+        let mut pp_dag = coord_pipe.platform();
+        let pddep = coord_pipe.deploy_dag(&mut pp_dag, &g, &dag).unwrap();
+        let dag_pipe = coord_pipe.serve_trace_dag_pipelined(&mut pp_dag, &pddep, &arrivals);
+        assert_eq!(chain_pipe, dag_pipe);
+    }
+
+    #[test]
+    fn dag_trace_pipelined_bounds_scale_out_on_bursty_trace() {
+        // On a burst of simultaneous arrivals, the unpipelined DAG trace
+        // engine scales out (one cold sandbox per request per node) while
+        // the station-gated engine reuses its bounded stations warm —
+        // fewer cold starts, queueing surfaced as station stall.
+        let g = zoo::branchy_cnn();
+        let cfg = AmpsConfig::default();
+        let plan = branchy_dag(&g, &cfg);
+        let arrivals = vec![0.0; 8];
+
+        let coord = Coordinator::new(cfg.clone());
+        let mut p_seq = coord.platform();
+        let dep = coord.deploy_dag(&mut p_seq, &g, &plan).unwrap();
+        let seq = coord.serve_trace_dag(&mut p_seq, &dep, &arrivals);
+        assert_eq!(seq.failures, 0);
+
+        let coord_pipe = Coordinator::new(cfg.with_pipeline(1));
+        let mut p_pipe = coord_pipe.platform();
+        let dep_pipe = coord_pipe.deploy_dag(&mut p_pipe, &g, &plan).unwrap();
+        let pipe = coord_pipe.serve_trace_dag_pipelined(&mut p_pipe, &dep_pipe, &arrivals);
+        assert_eq!(pipe.failures, 0);
+        assert!(
+            pipe.cold_starts < seq.cold_starts,
+            "stations should reuse warm sandboxes: {} vs {}",
+            pipe.cold_starts,
+            seq.cold_starts
+        );
+        let stats = pipe.pipeline.expect("pipelined trace carries stats");
+        assert_eq!(stats.stage_busy_s.len(), plan.num_lambdas());
+        assert!(stats.utilization() > 0.0);
+        assert!(stats.stall_s() > 0.0);
     }
 
     #[test]

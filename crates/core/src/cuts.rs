@@ -10,6 +10,7 @@
 //! solutions"), then enumerate combinations under a budget.
 
 use crate::config::AmpsConfig;
+use ampsinf_model::{BranchRegion, LayerGraph};
 use ampsinf_profiler::Profile;
 
 /// Exhaustive enumeration threshold: models with at most this many layers
@@ -79,6 +80,30 @@ pub fn segment_feasible(profile: &Profile, start: usize, end: usize, cfg: &AmpsC
         && profile
             .memory_floor(start, end, &cfg.quotas, &cfg.perf)
             .is_some()
+}
+
+/// Branch-cut candidates alongside the chain cuts: the model's fork/join
+/// regions (see [`LayerGraph::branch_regions`]) filtered to those the
+/// platform can actually host — every branch span must be deployable as
+/// its own partition node (constraints (4), (5), (7); the layer-count cap
+/// (6) is waived for branch spans, which the topology fixes rather than
+/// the planner). Regions are returned in ascending entry order.
+pub fn branch_candidates(
+    graph: &LayerGraph,
+    profile: &Profile,
+    cfg: &AmpsConfig,
+) -> Vec<BranchRegion> {
+    graph
+        .branch_regions()
+        .into_iter()
+        .filter(|r| {
+            r.branches.iter().all(|&(s, e)| {
+                profile.fits_deployment(s, e, &cfg.quotas)
+                    && profile.fits_tmp(s, e, &cfg.quotas)
+                    && profile.memory_floor(s, e, &cfg.quotas, &cfg.perf).is_some()
+            })
+        })
+        .collect()
 }
 
 /// Enumerates feasible cuts over the candidate boundaries, smallest
@@ -280,6 +305,34 @@ mod tests {
         let cfg = AmpsConfig::default();
         let cuts = enumerate_cuts(&profile, &cfg);
         assert!(!cuts.is_empty(), "the giant/giant boundary must be offered");
+    }
+
+    #[test]
+    fn branch_candidates_on_inception_and_resnet() {
+        let cfg = AmpsConfig::default();
+        let g = zoo::inception_v3();
+        let profile = Profile::of(&g);
+        let regions = branch_candidates(&g, &profile, &cfg);
+        // Every mixed block is a fork/join region with 3–4 branches.
+        assert!(regions.len() >= 10, "found {}", regions.len());
+        for r in &regions {
+            assert!(r.width() >= 2 && r.width() <= 4, "{r:?}");
+            assert!(r.entry < r.merge);
+            // Branches tile the interior contiguously.
+            let mut at = r.entry + 1;
+            for &(s, e) in &r.branches {
+                assert_eq!(s, at);
+                at = e + 1;
+            }
+            assert_eq!(at, r.merge);
+        }
+        // ResNet50 conv-shortcut blocks fork into two branches; identity
+        // blocks (merge reads the entry tensor directly) are excluded.
+        let g = zoo::resnet50();
+        let profile = Profile::of(&g);
+        let regions = branch_candidates(&g, &profile, &cfg);
+        assert!(!regions.is_empty());
+        assert!(regions.iter().all(|r| r.width() == 2));
     }
 
     #[test]

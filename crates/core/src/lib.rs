@@ -42,11 +42,12 @@ pub mod trace;
 
 pub use config::AmpsConfig;
 pub use coordinator::{
-    BatchFailure, BatchReport, Coordinator, JobReport, PipelineReport, PipelineStats,
-    RequestSummary, RetryRecord, ServeError, ServeScratch, TraceReport,
+    BatchFailure, BatchReport, Coordinator, DagDeployment, DagServeScratch, JobReport,
+    PipelineReport, PipelineStats, RequestSummary, RetryRecord, ServeError, ServeScratch,
+    TraceReport,
 };
-pub use optimizer::{OptimizeError, Optimizer};
-pub use plan::{ExecutionPlan, PartitionPlan, PipelinePlan};
+pub use optimizer::{DagReport, OptimizeError, Optimizer};
+pub use plan::{DagNode, DagObject, DagPlan, ExecutionPlan, PartitionPlan, PipelinePlan};
 pub use plancache::PlanCache;
 pub use sweep::{
     PipelinePoint, PipelineSweepReport, PointStats, SweepGrid, SweepPoint, SweepReport,

@@ -4,7 +4,7 @@
 //! execution parameter; only `serve_lanes` (the warm-pool sharding) is a
 //! model parameter.
 
-use ampsinf_core::{AmpsConfig, BatchReport, Coordinator, Optimizer, TraceReport};
+use ampsinf_core::{AmpsConfig, BatchReport, Coordinator, DagPlan, Optimizer, TraceReport};
 use ampsinf_faas::{FaultPlan, StoreKind, WarmPoolPolicy};
 use ampsinf_model::zoo;
 
@@ -428,6 +428,188 @@ fn auto_thread_default_matches_explicit_counts() {
     let one = run_batch(&cfg.clone().with_serve_threads(1), &g, &plan, 8);
     assert_batches_bit_identical(&auto.0, &one.0);
     assert_eq!(auto.1, one.1);
+}
+
+// ---------------------------------------------------------------------
+// Branch fan-out (DAG) engines: the same bit-identity guarantee holds
+// when a request fans out across parallel partition nodes. The (request,
+// node) recurrence is deterministic — node v starts at the max of its
+// parents' checkpoint-ready times, fault streams are keyed per request —
+// so the merged report cannot depend on the thread count.
+// ---------------------------------------------------------------------
+
+/// The optimizer's real branch-parallel plan for Inception-v3: planned at
+/// batch 64 (where branch concurrency beats the chain at equal SLO and
+/// equal cost), then served on the unbatched request stream like every
+/// other plan.
+fn dag_plan_cfg() -> (ampsinf_model::LayerGraph, DagPlan, AmpsConfig) {
+    let g = zoo::inception_v3();
+    let base = AmpsConfig {
+        batch_size: 64,
+        ..Default::default()
+    };
+    let free = Optimizer::new(base.clone()).optimize(&g).unwrap();
+    let report = Optimizer::new(AmpsConfig {
+        slo_s: Some(free.plan.predicted_time_s),
+        ..base
+    })
+    .optimize_dag(&g)
+    .unwrap();
+    let dag = report.dag.expect("DAG plan must win at batch 64");
+    (g, dag, AmpsConfig::default())
+}
+
+fn run_trace_dag(
+    cfg: &AmpsConfig,
+    g: &ampsinf_model::LayerGraph,
+    plan: &DagPlan,
+    arrivals: &[f64],
+) -> (TraceReport, u64, u64) {
+    let coord = Coordinator::new(cfg.clone());
+    let mut platform = coord.platform();
+    let dep = coord.deploy_dag(&mut platform, g, plan).unwrap();
+    let trace = if cfg.pipeline_depth > 0 {
+        coord.serve_trace_dag_pipelined(&mut platform, &dep, arrivals)
+    } else {
+        coord.serve_trace_dag(&mut platform, &dep, arrivals)
+    };
+    (
+        trace,
+        platform.total_cost().to_bits(),
+        platform.invocation_count(),
+    )
+}
+
+#[test]
+fn dag_trace_bit_identical_across_thread_counts() {
+    let (g, plan, cfg) = dag_plan_cfg();
+    assert!(plan.width() >= 2, "plan must actually fan out");
+    let cfg = cfg.with_serve_lanes(4);
+    let arrivals: Vec<f64> = (0..12).map(|i| 1.5 * i as f64).collect();
+    let baseline = run_trace_dag(
+        &cfg.clone().with_serve_threads(THREADS[0]),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    assert_eq!(baseline.0.requests.len(), 12);
+    assert_eq!(baseline.0.failures, 0);
+    for t in &THREADS[1..] {
+        let other = run_trace_dag(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
+        assert_traces_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+        assert_eq!(baseline.2, other.2, "invocations at {t} threads");
+    }
+}
+
+#[test]
+fn dag_trace_bit_identical_under_faults_and_flaky_store() {
+    let (g, plan, mut cfg) = dag_plan_cfg();
+    cfg.store = StoreKind::flaky_s3(0.3);
+    let cfg = cfg
+        .with_serve_lanes(4)
+        .with_retries(2)
+        .with_faults(FaultPlan::uniform(0.15, 31));
+    let arrivals: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+    let baseline = run_trace_dag(
+        &cfg.clone().with_serve_threads(THREADS[0]),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    let disturbed = baseline.0.failures > 0 || baseline.0.requests.iter().any(|r| r.retries > 0);
+    assert!(disturbed, "faults injected nothing");
+    for t in &THREADS[1..] {
+        let other = run_trace_dag(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
+        assert_traces_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+        assert_eq!(baseline.2, other.2, "invocations at {t} threads");
+    }
+}
+
+#[test]
+fn dag_pipelined_trace_bit_identical_across_thread_counts() {
+    let (g, plan, cfg) = dag_plan_cfg();
+    let cfg = cfg.with_serve_lanes(4).with_pipeline(2);
+    let arrivals: Vec<f64> = (0..12).map(|i| 0.5 * i as f64).collect();
+    let baseline = run_trace_dag(
+        &cfg.clone().with_serve_threads(THREADS[0]),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    assert_eq!(baseline.0.failures, 0);
+    let stats = baseline.0.pipeline.as_ref().expect("pipelined stats");
+    assert!(stats.utilization() > 0.0, "stations never ran");
+    for t in &THREADS[1..] {
+        let other = run_trace_dag(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
+        assert_traces_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+        assert_eq!(baseline.2, other.2, "invocations at {t} threads");
+    }
+}
+
+#[test]
+fn chain_shaped_dag_plan_matches_chain_engine_at_every_thread_count() {
+    // Degenerate DAG ≡ existing engine: a chain-shaped DagPlan must
+    // reproduce the chain engine's TraceReport bit-for-bit — same
+    // scratch-key draws, same invocation scalars, same billing — at
+    // every thread count, sequential and pipelined.
+    let (g, chain_plan, cfg) = plan_cfg();
+    let dag_plan = DagPlan::from_chain(&chain_plan, |e| g.cut_transfer_bytes(e));
+    assert!(dag_plan.is_chain());
+    let arrivals: Vec<f64> = (0..16)
+        .map(|i| {
+            if i < 6 {
+                0.2 * i as f64
+            } else {
+                10.0 * i as f64
+            }
+        })
+        .collect();
+    for pipeline in [0, 2] {
+        let mut cfg = cfg.clone().with_serve_lanes(4);
+        cfg.pipeline_depth = pipeline;
+        for t in THREADS {
+            let cfg = cfg.clone().with_serve_threads(t);
+            let chain = run_trace(&cfg, &g, &chain_plan, &arrivals);
+            let dag = run_trace_dag(&cfg, &g, &dag_plan, &arrivals);
+            assert_traces_bit_identical(&chain.0, &dag.0);
+            assert_eq!(
+                chain.1, dag.1,
+                "ledger total ({t} threads, pipe {pipeline})"
+            );
+            assert_eq!(chain.2, dag.2, "invocations ({t} threads, pipe {pipeline})");
+        }
+    }
+}
+
+#[test]
+fn chain_shaped_dag_request_fates_match_chain_engine_under_faults() {
+    // Request-fate equivalence under fault injection: every request
+    // draws the same fault fate (retry count, success) from the DAG
+    // engine as from the chain engine on the same chain-shaped plan.
+    let (g, chain_plan, cfg) = plan_cfg();
+    let dag_plan = DagPlan::from_chain(&chain_plan, |e| g.cut_transfer_bytes(e));
+    let cfg = cfg
+        .with_serve_lanes(4)
+        .with_retries(2)
+        .with_faults(FaultPlan::uniform(0.25, 17));
+    let arrivals: Vec<f64> = (0..16).map(|i| 0.5 * i as f64).collect();
+    let chain = run_trace(
+        &cfg.clone().with_serve_threads(1),
+        &g,
+        &chain_plan,
+        &arrivals,
+    );
+    let dag = run_trace_dag(&cfg.clone().with_serve_threads(1), &g, &dag_plan, &arrivals);
+    let disturbed = chain.0.failures > 0 || chain.0.requests.iter().any(|r| r.retries > 0);
+    assert!(disturbed, "faults injected nothing");
+    assert_traces_bit_identical(&chain.0, &dag.0);
+    for (a, b) in chain.0.requests.iter().zip(&dag.0.requests) {
+        assert_eq!(a.retries, b.retries, "fault fates must match");
+        assert_eq!(a.ok, b.ok);
+    }
 }
 
 #[test]

@@ -5,7 +5,8 @@
 
 use ampsinf_faas::platform::{FunctionSpec, InvocationWork, Platform};
 use ampsinf_faas::{
-    CostItem, CostLedger, LambdaPerf, PerfModel, PriceSheet, Quotas, SmallRng, StoreKind, MB,
+    CostItem, CostLedger, LambdaPerf, PerfModel, PriceSheet, Quotas, SmallRng, StoreKind,
+    WarmPoolPolicy, MB,
 };
 
 fn spec(mem: u32, weights_mb: u64) -> FunctionSpec {
@@ -214,6 +215,123 @@ fn deployment_validation_is_exact() {
         let ok = p.validate_spec(&s).is_ok();
         assert_eq!(ok, total <= 250 * MB);
     }
+}
+
+/// Warm-pool settlement must be safe to call at any cadence: the
+/// per-function watermark only moves forward, an instance whose whole
+/// warm window (`busy_until + keep_alive`) falls at or before the
+/// watermark accrues zero new idle, and no schedule of settlements
+/// produces negative idle or dollars. Checked across scale-to-zero,
+/// finite keep-alive, provisioned, and the Lambda default.
+#[test]
+fn warm_pool_repeated_settlement_matches_single_settlement() {
+    let policies = [
+        WarmPoolPolicy::scale_to_zero(),
+        WarmPoolPolicy::keep_alive(20.0),
+        WarmPoolPolicy::provisioned(2),
+        WarmPoolPolicy::lambda_default(),
+    ];
+    let mut rng = SmallRng::seed_from_u64(9);
+    for policy in policies {
+        for round in 0..8 {
+            // Two platforms replay the identical invoke schedule; `a`
+            // settles at random instants between invocations, `b` only
+            // once at the horizon. Total idle and dollars must agree.
+            let mut a = Platform::aws_2020().with_warm_pool(policy);
+            let mut b = Platform::aws_2020().with_warm_pool(policy);
+            let (fa, _) = a.deploy(spec(1024, 10)).unwrap();
+            let (fb, _) = b.deploy(spec(1024, 10)).unwrap();
+            a.pre_warm(policy.pre_warm);
+            b.pre_warm(policy.pre_warm);
+            let w = work(10, 1);
+            let (mut idle_a, mut dollars_a) = (0.0f64, 0.0f64);
+            let mut watermark = 0.0f64;
+            let mut start = uniform(&mut rng, 0.5, 5.0);
+            for _ in 0..rng.range_inclusive(3, 8) {
+                let oa = a.invoke(fa, start, &w).unwrap();
+                let ob = b.invoke(fb, start, &w).unwrap();
+                assert_eq!(oa.end.to_bits(), ob.end.to_bits(), "schedules diverged");
+                // Settlement may land anywhere up to the next arrival —
+                // never beyond it, because settling is a statement that
+                // the clock has reached `until`.
+                let gap = uniform(&mut rng, 0.5, 40.0);
+                if rng.next_f64() < 0.6 {
+                    let until = oa.end + uniform(&mut rng, 0.0, gap);
+                    let (i, d) = a.settle_warm_pool(until);
+                    assert!(i >= 0.0, "negative idle {i} ({policy}, round {round})");
+                    assert!(d >= 0.0, "negative dollars {d} ({policy}, round {round})");
+                    idle_a += i;
+                    dollars_a += d;
+                    watermark = watermark.max(until);
+                    // Re-settling at or before the watermark adds nothing.
+                    let (z, zd) = a.settle_warm_pool(uniform(&mut rng, 0.0, watermark));
+                    assert_eq!(z, 0.0, "watermark not monotone ({policy})");
+                    assert_eq!(zd, 0.0);
+                }
+                start = oa.end + gap;
+            }
+            let horizon = start + 50.0;
+            let (ia, da) = a.settle_warm_pool(horizon);
+            idle_a += ia;
+            dollars_a += da;
+            let (ib, db) = b.settle_warm_pool(horizon);
+            assert!(
+                (idle_a - ib).abs() < 1e-9,
+                "interleaved {idle_a} vs single {ib} idle ({policy}, round {round})"
+            );
+            assert!(
+                (dollars_a - db).abs() < 1e-9,
+                "interleaved {dollars_a} vs single {db} dollars ({policy}, round {round})"
+            );
+        }
+    }
+}
+
+/// The exact scenario of the watermark bug class: once an instance's
+/// entire warm window has been settled, later settlements — at the same
+/// instant, later, or earlier — must accrue zero new idle for it.
+#[test]
+fn warm_pool_lapsed_window_accrues_zero_new_idle() {
+    let mut p = Platform::aws_2020().with_warm_pool(WarmPoolPolicy::keep_alive(15.0));
+    let (f, _) = p.deploy(spec(1024, 10)).unwrap();
+    let out = p.invoke(f, 0.0, &work(10, 1)).unwrap();
+    // Settle far past the lapse: exactly one keep-alive window of idle.
+    let (first, first_d) = p.settle_warm_pool(out.end + 100.0);
+    assert!((first - 15.0).abs() < 1e-9, "one full window, got {first}");
+    assert_eq!(first_d, 0.0, "keep-alive idle is free");
+    // The warm window [end, end+15] now lies entirely at or before the
+    // watermark: no repetition may re-bill any part of it.
+    assert_eq!(p.settle_warm_pool(out.end + 100.0), (0.0, 0.0));
+    assert_eq!(p.settle_warm_pool(out.end + 500.0), (0.0, 0.0));
+    assert_eq!(p.settle_warm_pool(out.end), (0.0, 0.0), "backwards settle");
+}
+
+/// Per-policy idle tails: scale-to-zero never idles, keep-alive caps the
+/// tail at its horizon, provisioned accrues exactly the incremental
+/// interval per instance — and bills it.
+#[test]
+fn warm_pool_policy_tails_are_exact() {
+    let w = work(10, 1);
+
+    let mut zero = Platform::aws_2020().with_warm_pool(WarmPoolPolicy::scale_to_zero());
+    let (f, _) = zero.deploy(spec(1024, 10)).unwrap();
+    let out = zero.invoke(f, 0.0, &w).unwrap();
+    assert_eq!(zero.settle_warm_pool(out.end + 1000.0), (0.0, 0.0));
+
+    let mut prov = Platform::aws_2020().with_warm_pool(WarmPoolPolicy::provisioned(2));
+    let (f, _) = prov.deploy(spec(1024, 10)).unwrap();
+    prov.pre_warm(2);
+    let out = prov.invoke(f, 0.0, &w).unwrap();
+    let (i1, d1) = prov.settle_warm_pool(out.end);
+    // Both instances idled from t = 0; the reused one stopped idling at
+    // the warm start, the spare idled the whole span.
+    assert!(i1 > 0.0 && d1 > 0.0, "provisioned idle must be billed");
+    let (i2, d2) = prov.settle_warm_pool(out.end + 10.0);
+    assert!(
+        (i2 - 20.0).abs() < 1e-9,
+        "2 instances x 10s increment, got {i2}"
+    );
+    assert!(d2 > 0.0);
 }
 
 #[test]

@@ -223,6 +223,161 @@ impl LayerGraph {
             .count()
     }
 
+    /// Bytes flowing across the *span* `[start, end]` rather than across a
+    /// full topological cut: `(in, out)` where `in` sums tensors produced
+    /// before `start` and consumed inside the span, and `out` sums tensors
+    /// produced inside and consumed after `end`. Unlike
+    /// [`LayerGraph::cut_transfer_bytes`], tensors that merely pass *by*
+    /// the span (live across it but never touched by it) are excluded —
+    /// exactly what a parallel branch of a fork/join region moves when it
+    /// runs in its own sandbox.
+    pub fn span_io_bytes(&self, start: usize, end: usize) -> (u64, u64) {
+        assert!(start <= end && end < self.nodes.len(), "bad span bounds");
+        let mut in_bytes = 0u64;
+        for idx in 0..start {
+            let consumed_inside = self.nodes[start..=end]
+                .iter()
+                .any(|m| m.inputs.contains(&idx));
+            if consumed_inside {
+                in_bytes += self.nodes[idx].output_shape.bytes();
+            }
+        }
+        let mut out_bytes = 0u64;
+        for idx in start..=end {
+            // The final layer's output is what the model returns to the
+            // user even though no later layer consumes it.
+            let consumed_after = (end + 1 == self.nodes.len() && idx == end)
+                || self
+                    .nodes
+                    .iter()
+                    .skip(end + 1)
+                    .any(|m| m.inputs.contains(&idx));
+            if consumed_after {
+                out_bytes += self.nodes[idx].output_shape.bytes();
+            }
+        }
+        (in_bytes, out_bytes)
+    }
+
+    /// Enumerates the fork/join regions of the DAG: spans `(entry, merge)`
+    /// where the single tensor leaving `entry` fans out into ≥ 2
+    /// independent contiguous branches that rejoin at the merge layer.
+    /// These are the maximal-antichain boundaries a branch-parallel plan
+    /// can exploit: each branch can run as its own concurrent sandbox, fed
+    /// by a scatter of the entry tensor and drained by a gather into the
+    /// merge.
+    ///
+    /// A region qualifies only when (a) exactly one live tensor crosses
+    /// the boundary after `entry` (so the scatter is one object), (b) no
+    /// interior tensor is consumed past `merge` (so the gather collects
+    /// everything), (c) the merge consumes interior tensors only, and (d)
+    /// the interior splits into ≥ 2 connected components, each a
+    /// contiguous run of the topological order (so each branch is a valid
+    /// contiguous partition span). ResNet's conv-shortcut blocks yield two
+    /// branches, Inception mixed blocks three or four; identity-skip
+    /// blocks (where the merge reads the entry tensor directly) are
+    /// excluded by (c).
+    pub fn branch_regions(&self) -> Vec<BranchRegion> {
+        let n = self.nodes.len();
+        let mut regions = Vec::new();
+        'merges: for b in 0..n {
+            if !self.nodes[b].op.is_merge() {
+                continue;
+            }
+            let Some(&lo) = self.nodes[b].inputs.iter().min() else {
+                continue;
+            };
+            if lo == 0 {
+                continue;
+            }
+            // Entry fixpoint: the largest `a` such that every layer
+            // strictly between `a` and `b` draws only on `a` or interior
+            // layers.
+            let mut a = lo - 1;
+            loop {
+                let m = (a + 1..b)
+                    .flat_map(|i| self.nodes[i].inputs.iter().copied())
+                    .min()
+                    .unwrap_or(a);
+                if m >= a {
+                    break;
+                }
+                a = m;
+            }
+            // (c) the merge must consume interior tensors only (identity
+            // skips read the entry tensor directly and are excluded).
+            if self.nodes[b].inputs.iter().any(|&i| i <= a) {
+                continue;
+            }
+            // (a) exactly one tensor enters the region.
+            if self.cut_tensor_count(a) != 1 {
+                continue;
+            }
+            // (b) neither the entry tensor nor any interior tensor may be
+            // consumed past the merge (the gather must collect everything
+            // the rest of the network will ever need).
+            for i in a..b {
+                if self.nodes.iter().skip(b + 1).any(|m| m.inputs.contains(&i)) {
+                    continue 'merges;
+                }
+            }
+            let len = b - a - 1;
+            if len < 2 {
+                continue;
+            }
+            // (d) union-find over interior edges; each component must be a
+            // contiguous run of layer indices.
+            let mut parent: Vec<usize> = (0..len).collect();
+            fn root(parent: &mut [usize], mut x: usize) -> usize {
+                while parent[x] != x {
+                    parent[x] = parent[parent[x]];
+                    x = parent[x];
+                }
+                x
+            }
+            for i in a + 1..b {
+                for &j in &self.nodes[i].inputs {
+                    if j > a {
+                        let (ri, rj) = (root(&mut parent, i - a - 1), root(&mut parent, j - a - 1));
+                        if ri != rj {
+                            parent[ri.max(rj)] = ri.min(rj);
+                        }
+                    }
+                }
+            }
+            // (root, min, max, count) per component.
+            let mut comp: Vec<(usize, usize, usize, usize)> = Vec::new();
+            for x in 0..len {
+                let r = root(&mut parent, x);
+                if let Some(c) = comp.iter_mut().find(|c| c.0 == r) {
+                    c.1 = c.1.min(x);
+                    c.2 = c.2.max(x);
+                    c.3 += 1;
+                } else {
+                    comp.push((r, x, x, 1));
+                }
+            }
+            if comp.len() < 2 {
+                continue;
+            }
+            // Contiguity: every component covers exactly its index range.
+            if comp.iter().any(|&(_, mn, mx, sz)| mx - mn + 1 != sz) {
+                continue;
+            }
+            let mut branches: Vec<(usize, usize)> = comp
+                .iter()
+                .map(|&(_, mn, mx, _)| (mn + a + 1, mx + a + 1))
+                .collect();
+            branches.sort_unstable();
+            regions.push(BranchRegion {
+                entry: a,
+                merge: b,
+                branches,
+            });
+        }
+        regions
+    }
+
     /// Aggregate statistics for the contiguous segment `[start, end]`
     /// (inclusive bounds over topological positions).
     pub fn segment(&self, start: usize, end: usize) -> CutAccounting {
@@ -253,6 +408,28 @@ impl LayerGraph {
             output_bytes: out_bytes,
             activation_bytes: act_bytes,
         }
+    }
+}
+
+/// A fork/join region of the layer DAG (see
+/// [`LayerGraph::branch_regions`]): the single tensor leaving `entry`
+/// fans out into ≥ 2 independent contiguous branches that rejoin at the
+/// `merge` layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchRegion {
+    /// Layer whose output every branch consumes (the scatter source).
+    pub entry: usize,
+    /// Merge layer consuming every branch's output (the gather sink).
+    pub merge: usize,
+    /// Interior branches as disjoint contiguous `(start, end)` layer
+    /// spans (inclusive), sorted; together they cover `entry+1 ..= merge-1`.
+    pub branches: Vec<(usize, usize)>,
+}
+
+impl BranchRegion {
+    /// Fan-out width (number of parallel branches).
+    pub fn width(&self) -> usize {
+        self.branches.len()
     }
 }
 
@@ -407,6 +584,84 @@ mod tests {
         // feeds both conv_b and add, but it is one tensor).
         assert_eq!(g.cut_tensor_count(1), 1);
         assert_eq!(g.cut_transfer_bytes(1), 8 * 8 * 4 * 4);
+    }
+
+    /// input → pool-ish entry → (branch1: 2 convs, branch2: 1 conv) →
+    /// concat: a miniature Inception block.
+    fn forked() -> LayerGraph {
+        let mut g = LayerGraph::new("forked");
+        let inp = g.add(
+            "input",
+            LayerOp::Input {
+                shape: TensorShape::map(8, 8, 4),
+            },
+            &[],
+        );
+        let entry = g.add(
+            "entry",
+            LayerOp::ActivationLayer {
+                activation: Activation::Relu,
+            },
+            &[inp],
+        );
+        let conv = |filters| LayerOp::Conv2D {
+            filters,
+            kernel: (3, 3),
+            strides: (1, 1),
+            padding: Padding::Same,
+            use_bias: false,
+            activation: Activation::Relu,
+        };
+        let a1 = g.add("a1", conv(4), &[entry]);
+        let a2 = g.add("a2", conv(4), &[a1]);
+        let b1 = g.add("b1", conv(8), &[entry]);
+        let cat = g.add("cat", LayerOp::Concat, &[a2, b1]);
+        g.add(
+            "out",
+            LayerOp::ActivationLayer {
+                activation: Activation::Relu,
+            },
+            &[cat],
+        );
+        g
+    }
+
+    #[test]
+    fn branch_regions_found_on_fork() {
+        let g = forked();
+        let regions = g.branch_regions();
+        assert_eq!(regions.len(), 1);
+        let r = &regions[0];
+        assert_eq!(r.entry, g.find("entry").unwrap());
+        assert_eq!(r.merge, g.find("cat").unwrap());
+        assert_eq!(r.branches, vec![(2, 3), (4, 4)]);
+        assert_eq!(r.width(), 2);
+    }
+
+    #[test]
+    fn branch_regions_exclude_identity_skip() {
+        // residual(): add consumes conv_a (the entry tensor) directly —
+        // only one real branch exists, so no region may be reported.
+        assert!(residual().branch_regions().is_empty());
+        // Pure chains have no merges at all.
+        assert!(chain().branch_regions().is_empty());
+    }
+
+    #[test]
+    fn span_io_excludes_bystander_tensors() {
+        let g = forked();
+        let px = 8 * 8 * 4; // entry/branch-a tensor elements
+                            // Branch a (layers 2..=3): reads entry once, emits a2's output.
+        assert_eq!(g.span_io_bytes(2, 3), (px * 4, px * 4));
+        // Branch b (layer 4): reads the same entry tensor; its 8-channel
+        // output crosses to the concat. The live a1→a2 internal tensor
+        // and a2's output pass *by* layer 4 but are not billed to it.
+        assert_eq!(g.span_io_bytes(4, 4), (px * 4, 2 * px * 4));
+        // A full cut after layer 4 would carry both branch outputs.
+        assert_eq!(g.cut_transfer_bytes(4), 3 * px * 4);
+        // Final span: output is what the model returns.
+        let last = g.num_layers() - 1;
+        assert_eq!(g.span_io_bytes(last, last).1, g.cut_transfer_bytes(last));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod serialize;
 pub mod summary;
 pub mod zoo;
 
-pub use graph::{CutAccounting, LayerGraph, LayerNode};
+pub use graph::{BranchRegion, CutAccounting, LayerGraph, LayerNode};
 pub use layer::{Activation, LayerOp, Padding, TensorShape};
 
 /// Bytes per weight/activation scalar (float32, as in the paper's

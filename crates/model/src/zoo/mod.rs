@@ -26,7 +26,7 @@ pub use densenet::densenet121;
 pub use inception::inception_v3;
 pub use mobilenet::mobilenet_v1;
 pub use resnet::resnet50;
-pub use toy::{linear_chain, tiny_cnn};
+pub use toy::{branchy_cnn, linear_chain, tiny_cnn};
 pub use vgg::{vgg16, vgg19};
 pub use xception::xception;
 

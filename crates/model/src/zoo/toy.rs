@@ -104,6 +104,82 @@ pub fn tiny_cnn() -> LayerGraph {
     g
 }
 
+/// A small Inception-style CNN with one two-way branch region
+/// (stem → {3×3 path of two convs, 5×5 path of one conv} → concat →
+/// head): the minimal model on which a branch-parallel DAG plan differs
+/// from every chain plan. Used by the DAG engine and determinism tests,
+/// where zoo-scale models would dominate runtime.
+pub fn branchy_cnn() -> LayerGraph {
+    let mut g = LayerGraph::new("branchy_cnn");
+    let inp = g.add(
+        "input",
+        LayerOp::Input {
+            shape: TensorShape::map(32, 32, 3),
+        },
+        &[],
+    );
+    let stem = g.add(
+        "stem",
+        LayerOp::Conv2D {
+            filters: 16,
+            kernel: (3, 3),
+            strides: (1, 1),
+            padding: Padding::Same,
+            use_bias: false,
+            activation: Activation::Relu,
+        },
+        &[inp],
+    );
+    let a1 = g.add(
+        "branch3x3_1",
+        LayerOp::Conv2D {
+            filters: 24,
+            kernel: (3, 3),
+            strides: (1, 1),
+            padding: Padding::Same,
+            use_bias: false,
+            activation: Activation::Relu,
+        },
+        &[stem],
+    );
+    let a2 = g.add(
+        "branch3x3_2",
+        LayerOp::Conv2D {
+            filters: 24,
+            kernel: (3, 3),
+            strides: (1, 1),
+            padding: Padding::Same,
+            use_bias: false,
+            activation: Activation::Relu,
+        },
+        &[a1],
+    );
+    let b1 = g.add(
+        "branch5x5",
+        LayerOp::Conv2D {
+            filters: 16,
+            kernel: (5, 5),
+            strides: (1, 1),
+            padding: Padding::Same,
+            use_bias: false,
+            activation: Activation::Relu,
+        },
+        &[stem],
+    );
+    let cat = g.add("mixed", LayerOp::Concat, &[a2, b1]);
+    let gap = g.add("gap", LayerOp::GlobalAvgPool, &[cat]);
+    g.add(
+        "predictions",
+        LayerOp::Dense {
+            units: 10,
+            use_bias: true,
+            activation: Activation::Softmax,
+        },
+        &[gap],
+    );
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +198,18 @@ mod tests {
         assert!(g.validate().is_ok());
         // conv1 432 + bn 64 + conv2 2304 + bn 64 + dense 170.
         assert_eq!(g.total_params(), 432 + 64 + 2304 + 64 + 170);
+    }
+
+    #[test]
+    fn branchy_cnn_has_one_branch_region() {
+        let g = branchy_cnn();
+        assert!(g.validate().is_ok());
+        let regions = g.branch_regions();
+        assert_eq!(regions.len(), 1, "{regions:?}");
+        let r = &regions[0];
+        assert_eq!(g.nodes()[r.entry].name, "stem");
+        assert_eq!(g.nodes()[r.merge].name, "mixed");
+        assert_eq!(r.branches, vec![(2, 3), (4, 4)]);
     }
 
     #[test]

@@ -353,6 +353,92 @@ pub fn quick_eval(
     })
 }
 
+/// Closed-form evaluation of one *DAG partition node*: the same
+/// arithmetic as [`quick_eval`], but with explicit storage objects
+/// instead of the chain's implicit one-in/one-out wiring — `read_bytes`
+/// carries one entry per input object (one GET + fee each), `write_bytes`
+/// one per output object (one PUT + fee each). A scatter consumer reads
+/// its branch input as one object; a gather node reads one object per
+/// branch. The staged input (which feeds `/tmp` and the resident
+/// footprint exactly as in the chain) is the sum of `read_bytes`, or the
+/// model input size for the root node (whose image arrives with the
+/// trigger — no GET, like the chain's first partition).
+///
+/// For a chain-shaped node list this is bit-equal to [`quick_eval`]:
+/// `tests::quick_eval_node_matches_quick_eval_on_chain` pins it.
+#[allow(clippy::too_many_arguments)]
+pub fn quick_eval_node(
+    profile: &Profile,
+    start: usize,
+    end: usize,
+    memory_mb: u32,
+    quotas: &Quotas,
+    prices: &PriceSheet,
+    perf: &PerfModel,
+    store: &StoreKind,
+    read_bytes: &[u64],
+    write_bytes: &[u64],
+) -> Result<SegmentEval, EvalError> {
+    use ampsinf_faas::perf::LambdaPerf;
+
+    if !quotas.is_valid_memory(memory_mb) {
+        return Err(EvalError::Deploy(format!("invalid memory {memory_mb}")));
+    }
+    let weights = profile.weights(start, end);
+    let package = CODE_BYTES + DEPS_BYTES + weights;
+    if package > u64::from(quotas.deploy_limit_mb) * MB {
+        return Err(EvalError::Deploy("package too large".into()));
+    }
+    let input_bytes = if read_bytes.is_empty() {
+        profile.input_bytes(start)
+    } else {
+        read_bytes.iter().sum()
+    };
+    let tmp = weights + input_bytes;
+    if tmp > u64::from(quotas.tmp_limit_mb) * MB {
+        return Err(EvalError::Invoke("tmp exceeded".into()));
+    }
+    let resident = 2 * weights + profile.activations(start, end) + input_bytes;
+    let footprint_mb = perf.runtime_footprint_mb + resident as f64 / MB as f64;
+    let lp = LambdaPerf::new(perf, memory_mb);
+    if lp.is_oom(footprint_mb) {
+        return Err(EvalError::Invoke("out of memory".into()));
+    }
+
+    let mut b = DurationBreakdown {
+        cold_s: lp.cold_start(package),
+        import_s: lp.cpu_time(lp.import_work(), footprint_mb),
+        load_s: lp.cpu_time(lp.load_work(weights), footprint_mb),
+        compute_s: lp.cpu_time(lp.compute_work(profile.flops(start, end)), footprint_mb),
+        transfer_s: 0.0,
+        fixed_s: perf.fixed_overhead_s,
+    };
+    let mut fees = 0.0;
+    let xfer = |bytes: u64| bytes as f64 / (store.bandwidth_mbps * 1e6) + store.request_latency_s;
+    for &r in read_bytes {
+        b.transfer_s += xfer(r);
+        if store.billed_requests {
+            fees += prices.s3_get_request;
+        }
+    }
+    for &w in write_bytes {
+        b.transfer_s += xfer(w);
+        if store.billed_requests {
+            fees += prices.s3_put_request;
+        }
+    }
+    let duration = b.total();
+    if duration > quotas.timeout_s {
+        return Err(EvalError::Invoke("timeout".into()));
+    }
+    let dollars = prices.lambda_compute_cost(duration, memory_mb) + prices.lambda_request + fees;
+    Ok(SegmentEval {
+        duration_s: duration,
+        dollars,
+        breakdown: b,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,6 +678,92 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn quick_eval_node_matches_quick_eval_on_chain() {
+        // A chain-shaped node (one read, one write, chain cut bytes) must
+        // be bit-equal to the chain evaluator — the degenerate-DAG
+        // invariant the serving engines rely on.
+        let (q, pr, pe) = defaults();
+        let g = zoo::resnet50();
+        let prof = Profile::of(&g);
+        let n = g.num_layers();
+        let s3 = StoreKind::s3();
+        for (s, e, first, last) in [
+            (0usize, n / 3, true, false),
+            (n / 3 + 1, 2 * n / 3, false, false),
+            (2 * n / 3 + 1, n - 1, false, true),
+        ] {
+            for mem in [1024u32, 2048] {
+                let reads: Vec<u64> = if first {
+                    vec![]
+                } else {
+                    vec![prof.input_bytes(s)]
+                };
+                let writes: Vec<u64> = if last {
+                    vec![]
+                } else {
+                    vec![prof.output_bytes(e)]
+                };
+                let node = quick_eval_node(&prof, s, e, mem, &q, &pr, &pe, &s3, &reads, &writes);
+                let chain = quick_eval(&prof, s, e, mem, &q, &pr, &pe, &s3, first, last);
+                match (node, chain) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+                        assert_eq!(a.dollars.to_bits(), b.dollars.to_bits());
+                    }
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("[{s},{e}]@{mem}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quick_eval_node_bills_each_object() {
+        // A gather node reading k objects pays k GET fees and k request
+        // latencies; splitting one read into two of the same total bytes
+        // adds exactly one latency + one fee.
+        let (q, pr, pe) = defaults();
+        let g = zoo::mobilenet_v1();
+        let prof = Profile::of(&g);
+        let s3 = StoreKind::s3();
+        let one = quick_eval_node(
+            &prof,
+            20,
+            40,
+            1024,
+            &q,
+            &pr,
+            &pe,
+            &s3,
+            &[1_000_000],
+            &[500_000],
+        )
+        .unwrap();
+        let two = quick_eval_node(
+            &prof,
+            20,
+            40,
+            1024,
+            &q,
+            &pr,
+            &pe,
+            &s3,
+            &[600_000, 400_000],
+            &[500_000],
+        )
+        .unwrap();
+        assert!(
+            (two.breakdown.transfer_s - one.breakdown.transfer_s - s3.request_latency_s).abs()
+                < 1e-12
+        );
+        let fee_delta = two.dollars - one.dollars;
+        let expect = pr.s3_get_request
+            + (pr.lambda_compute_cost(two.duration_s, 1024)
+                - pr.lambda_compute_cost(one.duration_s, 1024));
+        assert!((fee_delta - expect).abs() < 1e-15);
     }
 
     #[test]

@@ -70,6 +70,16 @@ fn run(args: &[String]) -> i32 {
                         g.weight_bytes() as f64 / 1024.0 / 1024.0
                     );
                 }
+                if args.iter().any(|a| a == "--dag") {
+                    if cfg.pipeline_depth > 0 {
+                        return fail(
+                            "--dag and --pipeline are incompatible in plan mode: the joint \
+                             pipelined planner balances the stages of a chain, while --dag \
+                             fans branch regions out as concurrent nodes; pick one",
+                        );
+                    }
+                    return plan_dag(&g, cfg, args, json_out);
+                }
                 let verbose = args.iter().any(|a| a == "--verbose");
                 match Optimizer::new(cfg.clone()).optimize(&g) {
                     Ok(r) => {
@@ -148,11 +158,45 @@ fn run(args: &[String]) -> i32 {
             (Err(e), _) | (_, Err(e)) => fail(&e),
         },
         "sweep" => match (load_model(args.get(1)), parse_cfg(&args[1..])) {
-            (Ok(g), Ok((cfg, _, _))) => run_sweep(&g, cfg, args),
+            (Ok(g), Ok((cfg, _, _))) => {
+                if args.iter().any(|a| a == "--dag") {
+                    return fail(
+                        "sweep is chain-only: the amortized SLO x batch grid shares chain \
+                         segment columns across points and has no DAG counterpart; use \
+                         `plan --dag` at individual (--slo, --batch) points instead",
+                    );
+                }
+                run_sweep(&g, cfg, args)
+            }
             (Err(e), _) | (_, Err(e)) => fail(&e),
         },
         "serve" => match (load_model(args.get(1)), parse_cfg(&args[1..])) {
             (Ok(g), Ok((cfg, _, _))) => {
+                let dag = args.iter().any(|a| a == "--dag");
+                if dag {
+                    if args.iter().any(|a| a == "--parallel") {
+                        return fail(
+                            "--dag and --parallel are incompatible: a DAG plan already fans \
+                             out within each request (branch nodes run concurrently), and \
+                             the --parallel batch engine only executes chains; drop one",
+                        );
+                    }
+                    if args.iter().any(|a| a == "--adaptive") {
+                        return fail(
+                            "--dag and --adaptive are incompatible: the adaptive \
+                             controller's plan cache stores chain plans keyed by \
+                             (SLO, batch) and cannot swap DAG plans between epochs",
+                        );
+                    }
+                    if flag_value(args, "--requests").is_some() {
+                        return fail(
+                            "--dag and --requests are incompatible: open-loop load mode \
+                             runs on the chain serving harness; use --images <n> to fan \
+                             a DAG plan out over a burst of requests",
+                        );
+                    }
+                    return serve_dag(&g, cfg, args);
+                }
                 if flag_value(args, "--requests").is_some() {
                     return serve_load(&g, cfg, args);
                 }
@@ -262,6 +306,169 @@ fn run(args: &[String]) -> i32 {
             2
         }
     }
+}
+
+/// `plan --dag`: chain-vs-DAG comparison. Runs the standard chain
+/// optimization, then evaluates branch-parallel candidates over the
+/// graph's fork/join regions with every scatter/gather request fee and
+/// storage lifetime billed; a DAG is reported only when it beats the
+/// chain incumbent under the paper's selection rule.
+fn plan_dag(g: &LayerGraph, cfg: AmpsConfig, args: &[String], json_out: Option<String>) -> i32 {
+    let verbose = args.iter().any(|a| a == "--verbose");
+    match Optimizer::new(cfg.clone()).optimize_dag(g) {
+        Ok(r) => {
+            let chain = &r.chain.plan;
+            println!("chain incumbent: {chain}");
+            print_fault_plan(&cfg);
+            println!(
+                "searched {} cuts, {} MIQPs, {:?} ({} threads); {} branch region(s) considered",
+                r.chain.cuts_considered,
+                r.chain.miqps_solved,
+                r.chain.solve_time,
+                r.chain.threads_used,
+                r.regions_considered
+            );
+            if verbose {
+                print_solver_stats(&r.chain);
+            }
+            match &r.dag {
+                Some(dag) => {
+                    println!("dag plan: {dag}");
+                    let bytes: u64 = dag.objects.iter().map(|o| o.bytes).sum();
+                    let gets: usize = dag.objects.iter().map(|o| o.consumers.len()).sum();
+                    println!(
+                        "  {} of {} region(s) parallelized, width {}; {} checkpoint \
+                         object(s) ({:.1} MB): {} put(s), {} get(s) billed per request",
+                        r.regions_used,
+                        r.regions_considered,
+                        dag.width(),
+                        dag.objects.len(),
+                        bytes as f64 / 1024.0 / 1024.0,
+                        dag.objects.len(),
+                        gets
+                    );
+                    println!(
+                        "  critical path {:.4}s vs chain {:.4}s ({:+.2}%); \
+                         cost ${:.6} vs ${:.6} ({:+.2}%)",
+                        dag.predicted_time_s,
+                        chain.predicted_time_s,
+                        100.0 * (dag.predicted_time_s / chain.predicted_time_s - 1.0),
+                        dag.predicted_cost,
+                        chain.predicted_cost,
+                        100.0 * (dag.predicted_cost / chain.predicted_cost - 1.0)
+                    );
+                }
+                None => println!(
+                    "no branch plan beats the chain at this SLO/batch point \
+                     ({} region(s) considered); the chain incumbent stands",
+                    r.regions_considered
+                ),
+            }
+            if let Some(path) = json_out {
+                let json = match &r.dag {
+                    Some(d) => d.to_json(),
+                    None => chain.to_json(),
+                };
+                if let Err(e) = std::fs::write(&path, json) {
+                    return fail(&format!("writing {path}: {e}"));
+                }
+                println!("plan written to {path}");
+            }
+            0
+        }
+        Err(e) => fail(&format!("optimization failed: {e}")),
+    }
+}
+
+/// `serve --dag`: plan with [`plan_dag`]'s objective, then deploy the
+/// winning DAG (or the chain incumbent as a degenerate DAG when no branch
+/// plan wins) and execute requests through the fan-out/fan-in engine.
+fn serve_dag(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
+    let images = match flag_value(args, "--images") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return fail(&format!("bad --images value {v} (need a positive integer)")),
+        },
+        None => 1,
+    };
+    let report = match Optimizer::new(cfg.clone()).optimize_dag(g) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("optimization failed: {e}")),
+    };
+    let plan = match report.dag {
+        Some(d) => {
+            println!(
+                "dag plan ({} of {} region(s) parallelized): {d}",
+                report.regions_used, report.regions_considered
+            );
+            d
+        }
+        None => {
+            println!(
+                "no branch plan beats the chain here ({} region(s) considered); \
+                 serving the chain incumbent as a degenerate DAG",
+                report.regions_considered
+            );
+            DagPlan::from_chain(&report.chain.plan, |e| g.cut_transfer_bytes(e))
+        }
+    };
+    print_fault_plan(&cfg);
+    let coord = Coordinator::new(cfg);
+    let mut platform = coord.platform();
+    let dep = match coord.deploy_dag(&mut platform, g, &plan) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("deploy: {e}")),
+    };
+    if images == 1 && coord.config().pipeline_depth == 0 {
+        let job = match coord.serve_one_dag(&mut platform, &dep, 0.0, "cli") {
+            Ok(j) => j,
+            Err(e) => return fail(&format!("serve: {e}")),
+        };
+        println!(
+            "deploy {:.2}s  load {:.2}s  predict {:.2}s  critical path {:.2}s",
+            job.deploy_s, job.load_s, job.predict_s, job.inference_s
+        );
+        print_reliability(job.retries.len(), 0, job.wasted_s, job.wasted_dollars);
+        let mut dollars = job.dollars;
+        dollars += platform.settle_storage(job.e2e_s);
+        println!("1 image(s): {:.2}s end-to-end, ${:.6}", job.e2e_s, dollars);
+        return 0;
+    }
+    // A burst of requests through the trace engine (all arrive at t = 0);
+    // storage and warm-pool idle are settled inside the engine.
+    let arrivals = vec![0.0; images];
+    let trace = if coord.config().pipeline_depth > 0 {
+        coord.serve_trace_dag_pipelined(&mut platform, &dep, &arrivals)
+    } else {
+        coord.serve_trace_dag(&mut platform, &dep, &arrivals)
+    };
+    println!(
+        "batch: {} succeeded, {} failed",
+        trace.requests.len() - trace.failures,
+        trace.failures
+    );
+    let retries: usize = trace.requests.iter().map(|r| r.retries as usize).sum();
+    let wasted_s: f64 = trace.requests.iter().map(|r| r.wasted_s).sum();
+    let wasted_dollars: f64 = trace.requests.iter().map(|r| r.wasted_dollars).sum();
+    print_reliability(retries, trace.failures, wasted_s, wasted_dollars);
+    if let Some(stats) = &trace.pipeline {
+        println!(
+            "pipeline: {} station(s)/node, utilization {:.1}%, stall {:.2}s",
+            stats.stations_per_stage,
+            stats.utilization() * 100.0,
+            stats.stall_s()
+        );
+    }
+    println!(
+        "{} image(s) fanned out: {:.2}s end-to-end, ${:.6} \
+         (storage settlement ${:.6}, warm idle ${:.6} included)",
+        images,
+        trace.last_completion_s,
+        trace.dollars + trace.settled_dollars + trace.idle_dollars,
+        trace.settled_dollars,
+        trace.idle_dollars
+    );
+    0
 }
 
 /// Parses a `--policy` spec: `default`, `zero`, `prewarm:N`,
@@ -650,6 +857,21 @@ fn usage() {
            --tolerance <f>      cost tolerance spent on speed (default 0.1)\n\
            --threads <n>        optimizer worker threads (0 = auto, 1 = sequential)\n\
            --quota-2021         10,240 MB / 1 MB-step quota preset\n\
+           --dag                branch-parallel planning/serving: on fork/join\n\
+                                regions (Inception blocks, residual forks) the\n\
+                                plan may fan out into concurrent Lambda nodes\n\
+                                and fan back in at the join, with scatter\n\
+                                (1 put, k gets) and gather (k puts, 1 get)\n\
+                                checkpoint traffic billed per object. A DAG is\n\
+                                selected only when it beats the best chain\n\
+                                under the same SLO/cost objective. Accepted\n\
+                                combinations: plan --dag with --slo/--batch/\n\
+                                --tolerance/--quantize/--json/--verbose;\n\
+                                serve --dag with --images/--pipeline/\n\
+                                --pipe-depth and the reliability options.\n\
+                                Rejected: sweep --dag, plan --dag --pipeline,\n\
+                                serve --dag with --parallel, --adaptive or\n\
+                                --requests\n\
            --verbose            print solver statistics (plan only)\n\
            --quantize <bytes>   weight width 1..4 (plan only)\n\
            --json <path>        write the plan as JSON (plan only)\n\
