@@ -120,6 +120,14 @@ fn main() {
             .expect("feasible")
     });
 
+    // Amortized chain-vs-DAG grid: 16 SLO points against the same shared
+    // pass-1 columns, region candidates and node/spine memos. At 1 thread
+    // the row isolates memo sharing across points, not parallelism.
+    let dag_grid = SweepGrid::slo_range(slo * 0.9, slo * 1.5, 16);
+    b.bench("optimize_dag_sweep/inception_v3/16pt", 5, || {
+        Optimizer::new(base.clone().with_threads(1)).optimize_dag_sweep(&g, &dag_grid)
+    });
+
     // Bench targets run from the package directory; the committed baseline
     // lives at the repo root. Override with BENCH_BASELINE=<path>.
     b.compare_with_baseline("../../BENCH_optimizer.json");

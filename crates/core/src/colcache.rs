@@ -18,7 +18,7 @@
 
 use crate::config::AmpsConfig;
 use crate::miqp_build::{evaluate_segment, presolve_dominated, PartitionColumns};
-use ampsinf_profiler::Profile;
+use ampsinf_profiler::{quick_eval_node, Profile};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
@@ -52,14 +52,81 @@ impl CacheCounters {
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Tallies one hit (for memo tables outside this module that follow
+    /// the same attribution discipline).
+    pub(crate) fn add_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies one miss.
+    pub(crate) fn add_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
-/// Thread-shared memo table `(start, end) → presolved PartitionColumns`.
+/// Raw per-memory evaluations of one DAG node: for each feasible memory
+/// of the span, in ascending grid order, the `quick_eval_node` outcome
+/// under the node's explicit object reads/writes (`None` records an
+/// evaluation error, e.g. a memory that cannot hold the batch buffers).
+///
+/// Unlike the chain's segment columns these are deliberately **not**
+/// presolved: the DAG search's min-dollar pick and the polish scan both
+/// tie-break toward the smallest memory over the *raw* grid, and a
+/// dominance presolve could drop an exact-cost-tie column the raw scan
+/// would have chosen — so caching the raw grid is what keeps warm plans
+/// bit-identical to cold ones.
+#[derive(Debug)]
+pub struct NodeColumns {
+    /// Feasible memory sizes, ascending.
+    pub memories: Vec<u32>,
+    /// `(duration_s, dollars)` per memory, parallel to `memories`.
+    pub evals: Vec<Option<(f64, f64)>>,
+}
+
+impl NodeColumns {
+    /// Min-dollar `(memory, dollars)` over the raw grid, scanning in
+    /// ascending order with a strict improvement test so ties break
+    /// toward the smallest block.
+    pub fn min_cost(&self) -> Option<(u32, f64)> {
+        let mut best: Option<(u32, f64)> = None;
+        for (&m, ev) in self.memories.iter().zip(&self.evals) {
+            if let Some((_, dollars)) = ev {
+                if best.is_none_or(|(_, c)| *dollars < c) {
+                    best = Some((m, *dollars));
+                }
+            }
+        }
+        best
+    }
+
+    /// The evaluation at one memory size, if feasible.
+    pub fn eval_at(&self, mem: u32) -> Option<(f64, f64)> {
+        self.memories
+            .iter()
+            .position(|&m| m == mem)
+            .and_then(|i| self.evals[i])
+    }
+}
+
+/// Node entries of one `(start, end)` span, distinguished by their object
+/// read/write byte lists. Spans see only a handful of distinct io shapes
+/// (chain interior, gather-fed, scatter-feeding), so a linear scan beats
+/// hashing the byte lists — and lookups allocate nothing on a hit.
+type NodeSlot = Vec<(Box<[u64]>, Box<[u64]>, Arc<NodeColumns>)>;
+
+/// Thread-shared memo table `(start, end) → presolved PartitionColumns`,
+/// plus the DAG search's raw node-evaluation memo (same discipline:
+/// values computed outside the lock; racing duplicates are bit-identical
+/// because the evaluation is pure).
 #[derive(Debug, Default)]
 pub struct SegmentColumnCache {
     map: RwLock<HashMap<(usize, usize), CachedColumns>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    nodes: RwLock<HashMap<(usize, usize), NodeSlot>>,
+    node_hits: AtomicUsize,
+    node_misses: AtomicUsize,
 }
 
 impl SegmentColumnCache {
@@ -141,6 +208,78 @@ impl SegmentColumnCache {
         Some(parts)
     }
 
+    /// Returns the raw node columns of span `[start, end]` under the given
+    /// object reads/writes, evaluating and inserting them on first use.
+    /// The hit/miss is additionally tallied into `extra` when given (the
+    /// DAG search threads one per point, mirroring the `_tracked` chain
+    /// accessors).
+    #[allow(clippy::too_many_arguments)]
+    pub fn node_columns_tracked(
+        &self,
+        profile: &Profile,
+        start: usize,
+        end: usize,
+        reads: &[u64],
+        writes: &[u64],
+        cfg: &AmpsConfig,
+        extra: Option<&CacheCounters>,
+    ) -> Arc<NodeColumns> {
+        if let Some(slot) = self
+            .nodes
+            .read()
+            .expect("node cache lock")
+            .get(&(start, end))
+        {
+            if let Some((_, _, cols)) = slot
+                .iter()
+                .find(|(r, w, _)| &**r == reads && &**w == writes)
+            {
+                self.node_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = extra {
+                    c.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Arc::clone(cols);
+            }
+        }
+        self.node_misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = extra {
+            c.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let memories = profile.feasible_memories(start, end, &cfg.quotas, &cfg.perf);
+        let evals: Vec<Option<(f64, f64)>> = memories
+            .iter()
+            .map(|&m| {
+                quick_eval_node(
+                    profile,
+                    start,
+                    end,
+                    m,
+                    &cfg.quotas,
+                    &cfg.prices,
+                    &cfg.perf,
+                    &cfg.store,
+                    reads,
+                    writes,
+                )
+                .ok()
+                .map(|e| (e.duration_s, e.dollars))
+            })
+            .collect();
+        let cols = Arc::new(NodeColumns { memories, evals });
+        let mut table = self.nodes.write().expect("node cache lock");
+        let slot = table.entry((start, end)).or_default();
+        // A racing thread may have inserted the same io shape meanwhile;
+        // keep the first copy so every reader shares one allocation.
+        if let Some((_, _, existing)) = slot
+            .iter()
+            .find(|(r, w, _)| &**r == reads && &**w == writes)
+        {
+            return Arc::clone(existing);
+        }
+        slot.push((reads.into(), writes.into(), Arc::clone(&cols)));
+        cols
+    }
+
     /// Lookups served from the table.
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
@@ -150,5 +289,16 @@ impl SegmentColumnCache {
     /// miss for the same key; the *values* are identical regardless).
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Node-column lookups served from the table.
+    pub fn node_hits(&self) -> usize {
+        self.node_hits.load(Ordering::Relaxed)
+    }
+
+    /// Node-column lookups that evaluated the span's memory grid (racing
+    /// threads may duplicate one; values are identical regardless).
+    pub fn node_misses(&self) -> usize {
+        self.node_misses.load(Ordering::Relaxed)
     }
 }

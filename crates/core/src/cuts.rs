@@ -12,6 +12,9 @@
 use crate::config::AmpsConfig;
 use ampsinf_model::{BranchRegion, LayerGraph};
 use ampsinf_profiler::Profile;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Exhaustive enumeration threshold: models with at most this many layers
 /// enumerate every boundary position.
@@ -104,6 +107,169 @@ pub fn branch_candidates(
             })
         })
         .collect()
+}
+
+/// One solved spine span: `(start, end, memory)` partitions covering the
+/// chain layers between two accepted regions (or a model end).
+pub(crate) type SpineParts = Vec<(usize, usize, u32)>;
+
+/// The spine-span memo table (see [`DagShared::spines`]).
+type SpineMemo = RwLock<HashMap<(usize, usize), Option<Arc<SpineParts>>>>;
+
+/// SLO-independent shared state of the DAG region search for one
+/// `(model, batch)`: the hostable fork/join regions, the thinned spine
+/// boundary candidates, the per-region scatter/gather byte tables, and
+/// the spine-span memo. The trial plans of a greedy round differ from the
+/// incumbent's in at most the two spine spans a new region splits — and a
+/// span's min-cost partitioning is determined entirely by the identities
+/// of its flanking regions — so one memo entry per `(prev, next)` pair
+/// serves every trial, every round, and (in a sweep) every SLO point of
+/// the batch.
+pub(crate) struct DagShared {
+    /// Hostable fork/join regions, ascending by entry.
+    pub(crate) regions: Vec<BranchRegion>,
+    /// Thinned spine boundary candidates ([`candidate_boundaries`]).
+    pub(crate) cand: Vec<usize>,
+    /// Per region: the scatter object's bytes (the entry tensor).
+    pub(crate) scatter: Vec<u64>,
+    /// Per region, per branch: the gather object's bytes (the branch
+    /// output, batch-scaled).
+    pub(crate) gather: Vec<Vec<u64>>,
+    /// Spine-span memo keyed by `(prev region + 1, next region + 1)`
+    /// (0 = the model end on that side); `None` records an unsolvable
+    /// span. Values are pure functions of the key, so racing trials may
+    /// duplicate a solve but never disagree.
+    spines: SpineMemo,
+    spine_hits: AtomicUsize,
+    spine_solves: AtomicUsize,
+    /// Per-region branch-node memo: the min-cost memory per branch, or
+    /// `None` when some branch has no feasible evaluation.
+    branches: RwLock<HashMap<usize, Option<Arc<Vec<u32>>>>>,
+}
+
+impl DagShared {
+    /// Builds the shared state: region candidates, spine boundary
+    /// candidates, and the scatter/gather byte tables (each region's
+    /// [`LayerGraph::region_gather_bytes`] row, batch-scaled, computed
+    /// once instead of per trial).
+    pub(crate) fn new(graph: &LayerGraph, profile: &Profile, cfg: &AmpsConfig) -> Self {
+        let regions = branch_candidates(graph, profile, cfg);
+        let cand = candidate_boundaries(profile, cfg);
+        let scatter: Vec<u64> = regions
+            .iter()
+            .map(|r| profile.output_bytes(r.entry))
+            .collect();
+        let gather: Vec<Vec<u64>> = regions
+            .iter()
+            .map(|r| {
+                graph
+                    .region_gather_bytes(r)
+                    .into_iter()
+                    .map(|b| b * cfg.batch_size)
+                    .collect()
+            })
+            .collect();
+        DagShared {
+            regions,
+            cand,
+            scatter,
+            gather,
+            spines: RwLock::new(HashMap::new()),
+            spine_hits: AtomicUsize::new(0),
+            spine_solves: AtomicUsize::new(0),
+            branches: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The memoized spine span between `prev` and `next` (region indices,
+    /// `None` = the model end), solving via `f` on first use. `track`
+    /// receives the per-call hit/miss tally on top of the shared totals.
+    pub(crate) fn spine_or<F>(
+        &self,
+        prev: Option<usize>,
+        next: Option<usize>,
+        track: Option<&crate::colcache::CacheCounters>,
+        f: F,
+    ) -> Option<Arc<SpineParts>>
+    where
+        F: FnOnce() -> Option<SpineParts>,
+    {
+        let key = (prev.map_or(0, |i| i + 1), next.map_or(0, |i| i + 1));
+        if let Some(v) = self.spines.read().expect("spine memo lock").get(&key) {
+            self.spine_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = track {
+                c.add_hit();
+            }
+            return v.clone();
+        }
+        self.spine_solves.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = track {
+            c.add_miss();
+        }
+        let val = f().map(Arc::new);
+        self.spines
+            .write()
+            .expect("spine memo lock")
+            .entry(key)
+            .or_insert(val)
+            .clone()
+    }
+
+    /// The memoized per-branch min-cost memories of one region, solving
+    /// via `f` on first use.
+    pub(crate) fn branch_mems_or<F>(&self, region: usize, f: F) -> Option<Arc<Vec<u32>>>
+    where
+        F: FnOnce() -> Option<Vec<u32>>,
+    {
+        if let Some(v) = self.branches.read().expect("branch memo lock").get(&region) {
+            return v.clone();
+        }
+        let val = f().map(Arc::new);
+        self.branches
+            .write()
+            .expect("branch memo lock")
+            .entry(region)
+            .or_insert(val)
+            .clone()
+    }
+
+    /// Spine spans served from the memo.
+    pub(crate) fn spine_hits(&self) -> usize {
+        self.spine_hits.load(Ordering::Relaxed)
+    }
+
+    /// Spine spans actually solved (memo misses; racing trials may
+    /// duplicate one — the parts are identical regardless).
+    pub(crate) fn spine_solves(&self) -> usize {
+        self.spine_solves.load(Ordering::Relaxed)
+    }
+}
+
+/// Inserts region `i` into the `accepted` trial set (region indices
+/// sorted ascending by entry), returning the sorted trial or `None` when
+/// the insertion would overlap a neighbor along the layer order. Because
+/// `accepted` is already pairwise disjoint, checking `i` against its two
+/// prospective neighbors is equivalent to the full adjacent-pair scan —
+/// and a region always spans `entry < merge`, so an entry tie is itself
+/// an overlap.
+pub(crate) fn insert_region_sorted(
+    accepted: &[usize],
+    regions: &[BranchRegion],
+    i: usize,
+) -> Option<Vec<usize>> {
+    let entry = regions[i].entry;
+    let pos = accepted.partition_point(|&j| regions[j].entry < entry);
+    if pos > 0 && regions[accepted[pos - 1]].merge > entry {
+        return None;
+    }
+    if pos < accepted.len() && regions[i].merge > regions[accepted[pos]].entry {
+        return None;
+    }
+    let mut trial = Vec::with_capacity(accepted.len() + 1);
+    trial.extend_from_slice(&accepted[..pos]);
+    trial.push(i);
+    trial.extend_from_slice(&accepted[pos..]);
+    Some(trial)
 }
 
 /// Enumerates feasible cuts over the candidate boundaries, smallest
@@ -354,5 +520,41 @@ mod tests {
         }
         // The single-partition cut (8 layers) must be excluded.
         assert!(cuts.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn insert_region_sorted_matches_clone_sort_scan() {
+        // In-place insertion must agree with the reference discipline it
+        // replaced: clone + push + sort by entry + adjacent-overlap scan.
+        let mk = |entry: usize, merge: usize| BranchRegion {
+            entry,
+            merge,
+            branches: vec![(entry + 1, merge - 1)],
+        };
+        let regions = [mk(0, 4), mk(4, 8), mk(6, 10), mk(10, 12)];
+        let reference = |accepted: &[usize], i: usize| -> Option<Vec<usize>> {
+            let mut t = accepted.to_vec();
+            t.push(i);
+            t.sort_unstable_by_key(|&j| regions[j].entry);
+            if t.windows(2)
+                .any(|w| regions[w[0]].merge > regions[w[1]].entry)
+            {
+                return None;
+            }
+            Some(t)
+        };
+        let sets: [&[usize]; 5] = [&[], &[0], &[1], &[0, 3], &[0, 1, 3]];
+        for accepted in sets {
+            for i in 0..regions.len() {
+                if accepted.contains(&i) {
+                    continue;
+                }
+                assert_eq!(
+                    insert_region_sorted(accepted, &regions, i),
+                    reference(accepted, i),
+                    "accepted={accepted:?} i={i}"
+                );
+            }
+        }
     }
 }

@@ -46,10 +46,11 @@ pub use coordinator::{
     PipelineReport, PipelineStats, RequestSummary, RetryRecord, ServeError, ServeScratch,
     TraceReport,
 };
-pub use optimizer::{DagReport, OptimizeError, Optimizer};
+pub use optimizer::{DagReport, DagSearchStats, OptimizeError, Optimizer};
 pub use plan::{DagNode, DagObject, DagPlan, ExecutionPlan, PartitionPlan, PipelinePlan};
 pub use plancache::PlanCache;
 pub use sweep::{
-    PipelinePoint, PipelineSweepReport, PointStats, SweepGrid, SweepPoint, SweepReport,
+    DagSweepPoint, DagSweepReport, PipelinePoint, PipelineSweepReport, PointStats, SweepGrid,
+    SweepPoint, SweepReport,
 };
 pub use trace::Timeline;

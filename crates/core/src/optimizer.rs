@@ -8,16 +8,16 @@
 //! cost but slightly below its completion time in §5.3).
 
 use crate::baselines::predict_dag;
-use crate::colcache::{CacheCounters, SegmentColumnCache};
+use crate::colcache::{CacheCounters, NodeColumns, SegmentColumnCache};
 use crate::config::AmpsConfig;
-use crate::cuts::{branch_candidates, candidate_boundaries, enumerate_cuts, segment_feasible};
+use crate::cuts::{enumerate_cuts, insert_region_sorted, segment_feasible, DagShared};
 use crate::miqp_build::{
     build_from_presolved, evaluate_columns, separable_min_cost_cols, separable_min_time_cols,
     CutMiqp,
 };
 use crate::plan::{DagNode, DagObject, DagPlan, ExecutionPlan, PartitionPlan};
-use ampsinf_model::{BranchRegion, LayerGraph};
-use ampsinf_profiler::{quick_eval_node, Profile};
+use ampsinf_model::LayerGraph;
+use ampsinf_profiler::Profile;
 use ampsinf_solver::bb::{solve_miqp_with, BbStatus};
 use ampsinf_solver::{BbOptions, MiqpProblem, QpWorkspace};
 use std::collections::HashMap;
@@ -318,6 +318,29 @@ pub struct OptimizerReport {
     pub threads_used: usize,
 }
 
+/// Counters of one DAG region search, following the
+/// [`PointStats`](crate::sweep::PointStats) conventions: plans are
+/// thread-invariant, these counts need not be (racing trials may
+/// duplicate a memoized evaluation, each tallying a miss).
+#[derive(Debug, Clone, Default)]
+pub struct DagSearchStats {
+    /// Trial plans the greedy rounds evaluated (thread-independent: every
+    /// insertable region is tried exactly once per round).
+    pub trials_evaluated: usize,
+    /// Node-evaluation memo hits during the search.
+    pub node_memo_hits: usize,
+    /// Node-evaluation memo misses — spans whose memory grid was actually
+    /// evaluated.
+    pub node_memo_misses: usize,
+    /// Spine spans served from the span memo.
+    pub spine_span_hits: usize,
+    /// Spine spans actually (re-)solved — span memo misses; adding one
+    /// region to the accepted set re-solves only the spans it splits.
+    pub spine_spans_solved: usize,
+    /// Wall-clock of the region search (on top of the chain solve).
+    pub search_time: Duration,
+}
+
 /// Result of a chain-vs-DAG optimization (see [`Optimizer::optimize_dag`]):
 /// the chain incumbent always, plus the branch-parallel plan when — and
 /// only when — it wins under the same objective with scatter/gather
@@ -336,6 +359,8 @@ pub struct DagReport {
     /// Regions the returned DAG actually parallelizes (0 when `dag` is
     /// `None`).
     pub regions_used: usize,
+    /// Region-search counters (trials, memo hits/misses, spans solved).
+    pub search: DagSearchStats,
 }
 
 /// Lock-free `min` on an `f64` stored as bits in an `AtomicU64`.
@@ -1069,42 +1094,147 @@ impl Optimizer {
     /// fastest within `cost_tolerance` of the optimum), so callers never
     /// pay for parallelism that the communication fees eat.
     pub fn optimize_dag(&self, graph: &LayerGraph) -> Result<DagReport, OptimizeError> {
-        let chain = self.optimize(graph)?;
+        let t0 = Instant::now();
+        let threads = self.resolve_threads();
+        let p1 = Instant::now();
+        // One batched profile serves both the chain solve and the region
+        // search (the chain pass's `BatchShared` carries it, along with
+        // the segment/node memo tables the search reads).
         let profile = Profile::batched(graph, self.cfg.batch_size);
-        let regions = branch_candidates(graph, &profile, &self.cfg);
-        let regions_considered = regions.len();
-        let tol = self.cfg.cost_tolerance;
+        let shared = self.build_shared(profile, threads)?;
+        let pass1_time = p1.elapsed();
+        let p2 = Instant::now();
+        let sol = self.solve_point(graph, &shared, threads, None, None, None)?;
+        let pass2_time = p2.elapsed();
+        let chain = OptimizerReport {
+            plan: sol.plan,
+            cuts_considered: shared.cuts.len(),
+            miqps_solved: sol.miqps_solved,
+            miqps_pruned: sol.miqps_pruned,
+            bb_nodes: sol.bb_nodes,
+            qp_relaxations: sol.qp_relaxations,
+            warm_start_hits: sol.warm_start_hits,
+            column_cache_hits: shared.cache.hits(),
+            column_cache_misses: shared.cache.misses(),
+            solve_time: t0.elapsed(),
+            pass1_time,
+            pass2_time,
+            threads_used: threads,
+        };
+        let ds = DagShared::new(graph, &shared.profile, &self.cfg);
+        let s0 = Instant::now();
+        let (dag, regions_used, mut search) =
+            self.dag_search(graph, &shared, &ds, &chain.plan, threads);
+        search.search_time = s0.elapsed();
+        Ok(DagReport {
+            chain,
+            dag,
+            regions_considered: ds.regions.len(),
+            regions_used,
+            search,
+        })
+    }
 
-        let mut used = vec![false; regions.len()];
+    /// The greedy region search against a chain incumbent. Each round
+    /// evaluates every still-insertable region as a trial plan; a trial's
+    /// construction is independent of the round's running incumbent, so
+    /// with `threads > 1` the trials are built concurrently into
+    /// per-trial slots and the acceptance scan replays sequentially in
+    /// region order — the same speculative-work/deterministic-replay
+    /// discipline as pass 2, making the accepted set bit-identical to the
+    /// serial loop at every thread count. Returns the winning DAG (if
+    /// any), the accepted-region count, and the search counters (with
+    /// `search_time` left for the caller to stamp).
+    pub(crate) fn dag_search(
+        &self,
+        graph: &LayerGraph,
+        sh: &BatchShared,
+        ds: &DagShared,
+        chain_plan: &ExecutionPlan,
+        threads: usize,
+    ) -> (Option<DagPlan>, usize, DagSearchStats) {
+        let tol = self.cfg.cost_tolerance;
+        let node_track = CacheCounters::new();
+        let spine_track = CacheCounters::new();
+        let mut trials_evaluated = 0usize;
+        let mut used = vec![false; ds.regions.len()];
+        // Accepted regions, kept sorted ascending by entry so each trial
+        // set is one in-place insertion, not a clone + re-sort.
         let mut accepted: Vec<usize> = Vec::new();
         let mut best: Option<DagPlan> = None;
         loop {
+            // Regions whose insertion keeps the accepted set disjoint
+            // along the layer order (they must share one spine).
+            let work: Vec<(usize, Vec<usize>)> = (0..ds.regions.len())
+                .filter(|&i| !used[i])
+                .filter_map(|i| insert_region_sorted(&accepted, &ds.regions, i).map(|t| (i, t)))
+                .collect();
+            if work.is_empty() {
+                break;
+            }
+            trials_evaluated += work.len();
+            let plans: Vec<Option<DagPlan>> = if threads > 1 && work.len() > 1 {
+                let next = AtomicUsize::new(0);
+                let parts: Vec<(usize, Option<DagPlan>)> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..threads.min(work.len()))
+                        .map(|_| {
+                            s.spawn(|| {
+                                let mut local = Vec::new();
+                                loop {
+                                    let wi = next.fetch_add(1, Ordering::Relaxed);
+                                    if wi >= work.len() {
+                                        break;
+                                    }
+                                    local.push((
+                                        wi,
+                                        self.build_dag(
+                                            graph,
+                                            sh,
+                                            ds,
+                                            &work[wi].1,
+                                            Some(&node_track),
+                                            Some(&spine_track),
+                                        ),
+                                    ));
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("dag trial worker panicked"))
+                        .collect()
+                });
+                let mut slots: Vec<Option<Option<DagPlan>>> =
+                    (0..work.len()).map(|_| None).collect();
+                for (wi, p) in parts {
+                    slots[wi] = Some(p);
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every trial ran exactly once"))
+                    .collect()
+            } else {
+                work.iter()
+                    .map(|(_, t)| {
+                        self.build_dag(graph, sh, ds, t, Some(&node_track), Some(&spine_track))
+                    })
+                    .collect()
+            };
+            // Deterministic replay of the acceptance scan in region
+            // order. A trial must beat the round's incumbent *and* stay a
+            // winner against the chain anchor — without the second test,
+            // each round could ratchet cost up by one tolerance band and
+            // the accumulated plan would drift past the chain it is
+            // supposed to beat.
             let (mut inc_t, mut inc_c) = match &best {
                 Some(d) => (d.predicted_time_s, d.predicted_cost),
-                None => (chain.plan.predicted_time_s, chain.plan.predicted_cost),
+                None => (chain_plan.predicted_time_s, chain_plan.predicted_cost),
             };
             let mut round: Option<(usize, DagPlan)> = None;
-            for (i, &taken) in used.iter().enumerate() {
-                if taken {
-                    continue;
-                }
-                let mut trial_idx = accepted.clone();
-                trial_idx.push(i);
-                trial_idx.sort_unstable_by_key(|&j| regions[j].entry);
-                let trial: Vec<&BranchRegion> = trial_idx.iter().map(|&j| &regions[j]).collect();
-                // Regions must be disjoint along the layer order to share
-                // one spine.
-                if trial.windows(2).any(|w| w[0].merge > w[1].entry) {
-                    continue;
-                }
-                let Some(plan) = self.build_dag(graph, &profile, &trial) else {
-                    continue;
-                };
-                // A trial must beat the round's incumbent *and* stay a
-                // winner against the chain anchor — without the second
-                // test, each round could ratchet cost up by one tolerance
-                // band and the accumulated plan would drift past the
-                // chain it is supposed to beat.
+            for ((i, _), plan) in work.iter().zip(plans) {
+                let Some(plan) = plan else { continue };
                 let beats_inc = Self::wins(
                     plan.predicted_time_s,
                     plan.predicted_cost,
@@ -1115,20 +1245,22 @@ impl Optimizer {
                 let beats_chain = Self::wins(
                     plan.predicted_time_s,
                     plan.predicted_cost,
-                    chain.plan.predicted_time_s,
-                    chain.plan.predicted_cost,
+                    chain_plan.predicted_time_s,
+                    chain_plan.predicted_cost,
                     tol,
                 );
                 if beats_inc && beats_chain {
                     inc_t = plan.predicted_time_s;
                     inc_c = plan.predicted_cost;
-                    round = Some((i, plan));
+                    round = Some((*i, plan));
                 }
             }
             match round {
                 Some((i, plan)) => {
                     used[i] = true;
-                    accepted.push(i);
+                    let pos =
+                        accepted.partition_point(|&j| ds.regions[j].entry < ds.regions[i].entry);
+                    accepted.insert(pos, i);
                     best = Some(plan);
                 }
                 None => break,
@@ -1138,18 +1270,21 @@ impl Optimizer {
             Self::wins(
                 d.predicted_time_s,
                 d.predicted_cost,
-                chain.plan.predicted_time_s,
-                chain.plan.predicted_cost,
+                chain_plan.predicted_time_s,
+                chain_plan.predicted_cost,
                 tol,
             )
         });
         let regions_used = if dag.is_some() { accepted.len() } else { 0 };
-        Ok(DagReport {
-            chain,
-            dag,
-            regions_considered,
-            regions_used,
-        })
+        let stats = DagSearchStats {
+            trials_evaluated,
+            node_memo_hits: node_track.hits(),
+            node_memo_misses: node_track.misses(),
+            spine_span_hits: spine_track.hits(),
+            spine_spans_solved: spine_track.misses(),
+            search_time: Duration::ZERO,
+        };
+        (dag, regions_used, stats)
     }
 
     /// The paper's selection rule over two candidates, as a strict win
@@ -1166,38 +1301,23 @@ impl Optimizer {
     }
 
     /// Min-dollar `(memory, dollars)` for one DAG node span with explicit
-    /// object reads/writes. The memory grid is scanned in ascending order
-    /// with a strict improvement test, so ties break toward the smallest
-    /// block and the result is deterministic.
+    /// object reads/writes, served from the shared node-column memo — the
+    /// grid is evaluated once per `(span, io)` shape and every later
+    /// lookup is a scan over cached values. [`NodeColumns::min_cost`]
+    /// scans ascending with a strict improvement test, so ties break
+    /// toward the smallest block exactly like the pre-memo loop.
     fn dag_node_best(
         &self,
-        profile: &Profile,
+        sh: &BatchShared,
         s: usize,
         e: usize,
         reads: &[u64],
         writes: &[u64],
+        track: Option<&CacheCounters>,
     ) -> Option<(u32, f64)> {
-        let cfg = &self.cfg;
-        let mut best: Option<(u32, f64)> = None;
-        for m in profile.feasible_memories(s, e, &cfg.quotas, &cfg.perf) {
-            if let Ok(ev) = quick_eval_node(
-                profile,
-                s,
-                e,
-                m,
-                &cfg.quotas,
-                &cfg.prices,
-                &cfg.perf,
-                &cfg.store,
-                reads,
-                writes,
-            ) {
-                if best.is_none_or(|(_, c)| ev.dollars < c) {
-                    best = Some((m, ev.dollars));
-                }
-            }
-        }
-        best
+        sh.cache
+            .node_columns_tracked(&sh.profile, s, e, reads, writes, &self.cfg, track)
+            .min_cost()
     }
 
     /// Min-cost chain partitioning of the spine segment `[a, b]`: a DP
@@ -1207,15 +1327,18 @@ impl Optimizer {
     /// root), `last_writes` leave its last node (the scatter object, or
     /// nothing at the model tail), and interior boundaries carry the full
     /// chain cut. Returns `(start, end, memory)` per partition.
+    #[allow(clippy::too_many_arguments)]
     fn dag_spine(
         &self,
-        profile: &Profile,
+        sh: &BatchShared,
         cand: &[usize],
         a: usize,
         b: usize,
         first_reads: &[u64],
         last_writes: &[u64],
+        track: Option<&CacheCounters>,
     ) -> Option<Vec<(usize, usize, u32)>> {
+        let profile = &sh.profile;
         let mut ends: Vec<usize> = cand.iter().copied().filter(|&k| k >= a && k < b).collect();
         ends.push(b);
         // best[j] = cheapest cover of `[a, ends[j]]`: (dollars, predecessor
@@ -1248,7 +1371,7 @@ impl Optimizer {
                     chain_out = [profile.output_bytes(e)];
                     &chain_out
                 };
-                let Some((mem, c)) = self.dag_node_best(profile, s, e, reads, writes) else {
+                let Some((mem, c)) = self.dag_node_best(sh, s, e, reads, writes, track) else {
                     continue;
                 };
                 let total = base + c;
@@ -1278,54 +1401,52 @@ impl Optimizer {
     }
 
     /// Assembles and polishes a branch-parallel plan for one disjoint,
-    /// ascending set of fork/join regions. Spine segments between regions
-    /// are re-cut by [`Optimizer::dag_spine`]; each branch runs as its own
-    /// node at its min-cost memory; scatter/gather objects carry the
-    /// region traffic. Returns `None` when any piece is infeasible or the
-    /// SLO cannot be met.
+    /// ascending trial set of fork/join regions (indices into
+    /// `ds.regions`). Spine segments between regions come from the
+    /// spine-span memo (solved on first use by [`Optimizer::dag_spine`]);
+    /// each branch runs as its own node at its memoized min-cost memory;
+    /// scatter/gather objects carry the region traffic from `ds`'s
+    /// precomputed byte tables. Returns `None` when any piece is
+    /// infeasible or the SLO cannot be met.
     fn build_dag(
         &self,
         graph: &LayerGraph,
-        profile: &Profile,
-        regions: &[&BranchRegion],
+        sh: &BatchShared,
+        ds: &DagShared,
+        trial: &[usize],
+        node_track: Option<&CacheCounters>,
+        spine_track: Option<&CacheCounters>,
     ) -> Option<DagPlan> {
-        let cfg = &self.cfg;
+        let profile = &sh.profile;
         let n = profile.num_layers();
-        let batch = cfg.batch_size;
-        if regions.is_empty() {
+        if trial.is_empty() {
             return None;
         }
-        let cand = candidate_boundaries(profile, cfg);
-        let gather_reads = |r: &BranchRegion| -> Vec<u64> {
-            r.branches
-                .iter()
-                .map(|&(s, e)| graph.span_io_bytes(s, e).1 * batch)
-                .collect()
-        };
 
         let mut nodes: Vec<DagNode> = Vec::new();
         let mut objects: Vec<DagObject> = Vec::new();
         // Gather objects of the region just closed, waiting for the next
         // spine segment's first node: `(branch node index, bytes)`.
         let mut pending_gather: Vec<(usize, u64)> = Vec::new();
-        for ri in 0..=regions.len() {
-            let a = if ri == 0 { 0 } else { regions[ri - 1].merge };
-            let b = if ri == regions.len() {
-                n - 1
-            } else {
-                regions[ri].entry
-            };
-            let first_reads: Vec<u64> = if ri == 0 {
-                Vec::new() // the root's image arrives with the trigger
-            } else {
-                gather_reads(regions[ri - 1])
-            };
-            let last_writes: Vec<u64> = if ri == regions.len() {
-                Vec::new() // the tail returns its prediction in the response
-            } else {
-                vec![profile.output_bytes(b)]
-            };
-            let parts = self.dag_spine(profile, &cand, a, b, &first_reads, &last_writes)?;
+        for ri in 0..=trial.len() {
+            let prev = (ri > 0).then(|| trial[ri - 1]);
+            let next = trial.get(ri).copied();
+            let parts = ds.spine_or(prev, next, spine_track, || {
+                let a = prev.map_or(0, |p| ds.regions[p].merge);
+                let b = next.map_or(n - 1, |q| ds.regions[q].entry);
+                // The root's image arrives with the trigger; the tail
+                // returns its prediction in the response.
+                let first_reads: &[u64] = prev.map_or(&[], |p| &ds.gather[p]);
+                let scatter_out;
+                let last_writes: &[u64] = match next {
+                    Some(q) => {
+                        scatter_out = [ds.scatter[q]];
+                        &scatter_out
+                    }
+                    None => &[],
+                };
+                self.dag_spine(sh, &ds.cand, a, b, first_reads, last_writes, node_track)
+            })?;
             let seg_base = nodes.len();
             for (k, &(s, e, mem)) in parts.iter().enumerate() {
                 let idx = nodes.len();
@@ -1349,27 +1470,41 @@ impl Optimizer {
                     bytes,
                 });
             }
-            if ri < regions.len() {
-                let r = regions[ri];
-                let scatter_bytes = profile.output_bytes(r.entry);
+            if let Some(q) = next {
+                let r = &ds.regions[q];
+                let mems = ds.branch_mems_or(q, || {
+                    r.branches
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &(s, e))| {
+                            self.dag_node_best(
+                                sh,
+                                s,
+                                e,
+                                &[ds.scatter[q]],
+                                &[ds.gather[q][k]],
+                                node_track,
+                            )
+                            .map(|(m, _)| m)
+                        })
+                        .collect()
+                })?;
                 let producer = nodes.len() - 1; // spine node ending at r.entry
                 let mut consumers = Vec::with_capacity(r.branches.len());
-                for &(s, e) in &r.branches {
-                    let out = graph.span_io_bytes(s, e).1 * batch;
-                    let (mem, _) = self.dag_node_best(profile, s, e, &[scatter_bytes], &[out])?;
+                for (k, &(s, e)) in r.branches.iter().enumerate() {
                     let idx = nodes.len();
                     consumers.push(idx);
-                    pending_gather.push((idx, out));
+                    pending_gather.push((idx, ds.gather[q][k]));
                     nodes.push(DagNode {
                         start: s,
                         end: e,
-                        memory_mb: mem,
+                        memory_mb: mems[k],
                     });
                 }
                 objects.push(DagObject {
                     producer,
                     consumers,
-                    bytes: scatter_bytes,
+                    bytes: ds.scatter[q],
                 });
             }
         }
@@ -1382,129 +1517,86 @@ impl Optimizer {
             predicted_cost: 0.0,
         };
         debug_assert_eq!(plan.validate(n), Ok(()));
-        self.polish_dag(profile, plan)
+        self.polish_dag(sh, plan, node_track)
     }
 
     /// Memory polish for a freshly built min-cost DAG, mirroring the
     /// chain's treatment: first repair the SLO with the best
     /// time-per-dollar single-node upgrades (the MIQP's "cheapest mix
     /// meeting the deadline" role), then spend the `cost_tolerance`
-    /// budget on further upgrades. Every step re-predicts the whole plan,
-    /// so upgrades off the critical path (which buy no latency) are never
-    /// taken.
-    fn polish_dag(&self, profile: &Profile, mut plan: DagPlan) -> Option<DagPlan> {
+    /// budget on further upgrades. Every candidate's full-plan effect is
+    /// still measured (so upgrades off the critical path, which buy no
+    /// latency, are never taken) — but the evaluations come from the
+    /// shared node-column memo and the schedule is recomputed only from
+    /// the changed node down ([`dag_schedule_from`]), which is what makes
+    /// a trial near-free on warm caches.
+    fn polish_dag(
+        &self,
+        sh: &BatchShared,
+        mut plan: DagPlan,
+        track: Option<&CacheCounters>,
+    ) -> Option<DagPlan> {
         let cfg = &self.cfg;
+        let profile = &sh.profile;
         let n = plan.nodes.len();
         // Per-node object byte lists and parent sets are memory-independent,
-        // so hoist them: each upgrade trial then re-evaluates only the one
-        // node it changes (the schedule recurrence below reproduces
-        // `predict_dag`'s arithmetic bit-for-bit).
-        let io: Vec<(Vec<u64>, Vec<u64>)> = (0..n)
+        // so hoist them — and with them each node's whole memory grid from
+        // the shared memo: an upgrade trial is then a cached lookup plus a
+        // suffix re-schedule, never a fresh evaluation.
+        let parents: Vec<Vec<usize>> = (0..n).map(|v| plan.parents_of(v)).collect();
+        let cols: Vec<Arc<NodeColumns>> = (0..n)
             .map(|v| {
-                let reads = plan
-                    .inputs_of(v)
-                    .into_iter()
-                    .map(|o| plan.objects[o].bytes)
-                    .collect();
-                let writes = plan
-                    .outputs_of(v)
-                    .into_iter()
-                    .map(|o| plan.objects[o].bytes)
-                    .collect();
-                (reads, writes)
+                let (reads, writes) = plan.node_io_bytes(v);
+                sh.cache.node_columns_tracked(
+                    profile,
+                    plan.nodes[v].start,
+                    plan.nodes[v].end,
+                    &reads,
+                    &writes,
+                    cfg,
+                    track,
+                )
             })
             .collect();
-        let parents: Vec<Vec<usize>> = (0..n).map(|v| plan.parents_of(v)).collect();
-        let eval_one = |v: usize, mem: u32| -> Option<(f64, f64)> {
-            let node = plan.nodes[v];
-            quick_eval_node(
-                profile,
-                node.start,
-                node.end,
-                mem,
-                &cfg.quotas,
-                &cfg.prices,
-                &cfg.perf,
-                &cfg.store,
-                &io[v].0,
-                &io[v].1,
-            )
-            .ok()
-            .map(|e| (e.duration_s, e.dollars))
-        };
-        let schedule = |evals: &[(f64, f64)]| -> (f64, f64) {
-            let mut finish = vec![0.0f64; n];
-            for v in 0..n {
-                let ready = parents[v].iter().map(|&u| finish[u]).fold(0.0f64, f64::max);
-                finish[v] = ready + evals[v].0;
-            }
-            let time = finish.iter().copied().fold(0.0f64, f64::max);
-            let cost = evals.iter().map(|&(_, d)| d).sum();
-            (time, cost)
-        };
 
         let mut mems: Vec<u32> = plan.nodes.iter().map(|nd| nd.memory_mb).collect();
         let mut evals: Vec<(f64, f64)> = Vec::with_capacity(n);
         for (v, &m) in mems.iter().enumerate() {
-            evals.push(eval_one(v, m)?);
+            evals.push(cols[v].eval_at(m)?);
         }
-        let (mut time, mut cost) = schedule(&evals);
+        let mut finish = vec![0.0f64; n];
+        let mut scratch = vec![0.0f64; n];
+        let (mut time, mut cost) = dag_schedule(&parents, &evals, &mut finish);
 
-        // One greedy upgrade step: the best Δtime/Δcost single-node memory
-        // bump (optionally within a cost budget). Strict improvement with
-        // ascending node/grid iteration keeps ties deterministic.
-        let step = |mems: &mut Vec<u32>,
-                    evals: &mut Vec<(f64, f64)>,
-                    time: &mut f64,
-                    cost: &mut f64,
-                    budget: Option<f64>|
-         -> bool {
-            // (ratio, node, memory_mb, (time_s, dollars), new_time, new_cost)
-            type Upgrade = (f64, usize, u32, (f64, f64), f64, f64);
-            let mut best: Option<Upgrade> = None;
-            for v in 0..n {
-                let node = plan.nodes[v];
-                for m in profile.feasible_memories(node.start, node.end, &cfg.quotas, &cfg.perf) {
-                    if m <= mems[v] {
-                        continue;
-                    }
-                    let Some(ev) = eval_one(v, m) else { continue };
-                    let old = evals[v];
-                    evals[v] = ev;
-                    let (nt, nc) = schedule(evals);
-                    evals[v] = old;
-                    let dt = *time - nt;
-                    let dc = nc - *cost;
-                    if dt <= 1e-12 {
-                        continue;
-                    }
-                    if budget.is_some_and(|b| nc > b + 1e-15) {
-                        continue;
-                    }
-                    let ratio = dt / dc.max(1e-12);
-                    if best.is_none_or(|(r, ..)| ratio > r) {
-                        best = Some((ratio, v, m, ev, nt, nc));
-                    }
-                }
-            }
-            let Some((_, v, m, ev, nt, nc)) = best else {
-                return false;
-            };
-            mems[v] = m;
-            evals[v] = ev;
-            *time = nt;
-            *cost = nc;
-            true
-        };
         if let Some(slo) = cfg.slo_s {
             while time > slo + 1e-12 {
-                if !step(&mut mems, &mut evals, &mut time, &mut cost, None) {
+                if !upgrade_step(
+                    &cols,
+                    &parents,
+                    &mut mems,
+                    &mut evals,
+                    &mut time,
+                    &mut cost,
+                    None,
+                    &mut finish,
+                    &mut scratch,
+                ) {
                     return None;
                 }
             }
         }
         let budget = cost * (1.0 + cfg.cost_tolerance);
-        while step(&mut mems, &mut evals, &mut time, &mut cost, Some(budget)) {}
+        while upgrade_step(
+            &cols,
+            &parents,
+            &mut mems,
+            &mut evals,
+            &mut time,
+            &mut cost,
+            Some(budget),
+            &mut finish,
+            &mut scratch,
+        ) {}
 
         for (node, &m) in plan.nodes.iter_mut().zip(&mems) {
             node.memory_mb = m;
@@ -1515,6 +1607,157 @@ impl Optimizer {
         }
         Some(plan)
     }
+}
+
+/// Forward schedule of a whole DAG: fills `finish` per node and returns
+/// the plan-level `(time, cost)` with `predict_dag`'s exact arithmetic —
+/// full-array max fold for the makespan, ordered sum for the cost.
+fn dag_schedule(parents: &[Vec<usize>], evals: &[(f64, f64)], finish: &mut [f64]) -> (f64, f64) {
+    for v in 0..evals.len() {
+        let ready = parents[v].iter().map(|&u| finish[u]).fold(0.0f64, f64::max);
+        finish[v] = ready + evals[v].0;
+    }
+    let time = finish.iter().copied().fold(0.0f64, f64::max);
+    let cost = evals.iter().map(|&(_, d)| d).sum();
+    (time, cost)
+}
+
+/// Schedule with node `v`'s evaluation replaced by `ev`, reusing the
+/// incumbent's `base` finish times. Parents precede children in a
+/// `DagPlan`'s node order, so `base[..v]` is unaffected by the
+/// substitution and only the suffix is recomputed — while the time fold
+/// still runs over the full array in index order and the cost is the
+/// full ordered sum with element `v` substituted, the same operation
+/// sequence as a cold [`dag_schedule`], hence bit-identical results.
+fn dag_schedule_from(
+    parents: &[Vec<usize>],
+    evals: &[(f64, f64)],
+    v: usize,
+    ev: (f64, f64),
+    base: &[f64],
+    scratch: &mut [f64],
+) -> (f64, f64) {
+    scratch[..v].copy_from_slice(&base[..v]);
+    for w in v..evals.len() {
+        let ready = parents[w]
+            .iter()
+            .map(|&u| scratch[u])
+            .fold(0.0f64, f64::max);
+        let d = if w == v { ev.0 } else { evals[w].0 };
+        scratch[w] = ready + d;
+    }
+    let time = scratch.iter().copied().fold(0.0f64, f64::max);
+    let cost = evals
+        .iter()
+        .enumerate()
+        .map(|(w, &(_, d))| if w == v { ev.1 } else { d })
+        .sum();
+    (time, cost)
+}
+
+/// One greedy polish step: the best Δtime/Δcost single-node memory bump
+/// over the cached grids (optionally within a cost budget), or `false`
+/// when no upgrade helps. Strict improvement with ascending node/grid
+/// iteration keeps ties deterministic; on acceptance the incumbent
+/// `finish` array is refreshed so later trials re-schedule from it.
+#[allow(clippy::too_many_arguments)]
+fn upgrade_step(
+    cols: &[Arc<NodeColumns>],
+    parents: &[Vec<usize>],
+    mems: &mut [u32],
+    evals: &mut [(f64, f64)],
+    time: &mut f64,
+    cost: &mut f64,
+    budget: Option<f64>,
+    finish: &mut [f64],
+    scratch: &mut [f64],
+) -> bool {
+    let n = mems.len();
+    // Exact critical-node marking on the incumbent schedule: seeds are
+    // the makespan-achieving nodes, and a parent is marked when its
+    // finish *equals* the child's ready time (comparisons of values from
+    // the same forward pass — no re-derived sums). A node off every
+    // tight path cannot move the makespan: the tight paths recompute to
+    // bitwise the same finishes, so such a candidate is exactly a
+    // `dt <= 1e-12` skip and is pruned without scheduling.
+    let mut crit = vec![false; n];
+    for v in 0..n {
+        crit[v] = finish[v] == *time;
+    }
+    for w in (0..n).rev() {
+        if !crit[w] {
+            continue;
+        }
+        let ready = parents[w].iter().map(|&u| finish[u]).fold(0.0f64, f64::max);
+        for &u in &parents[w] {
+            if finish[u] == ready {
+                crit[u] = true;
+            }
+        }
+    }
+    // Margins for the optimistic bounds below: a one-node substitution
+    // perturbs the schedule's path sums and the cost sum by at most
+    // ~n·ulp of their magnitudes (~1e-14 relative) — the 1e-13 slack
+    // strictly covers that, so a pruned candidate provably fails the
+    // exact test too and the argmax is unchanged bit for bit.
+    let tmargin = 1e-13 * time.max(1.0);
+    let cmargin = 1e-13 * cost.abs().max(1.0);
+    // (ratio, node, memory_mb, (time_s, dollars), new_time, new_cost)
+    type Upgrade = (f64, usize, u32, (f64, f64), f64, f64);
+    let mut best: Option<Upgrade> = None;
+    for v in 0..n {
+        if !crit[v] {
+            continue;
+        }
+        for (&m, cev) in cols[v].memories.iter().zip(&cols[v].evals) {
+            if m <= mems[v] {
+                continue;
+            }
+            let Some(ev) = *cev else { continue };
+            // Rounding is monotone, so a no-faster duration can only
+            // raise finishes: dt <= 0, an exact skip.
+            if ev.0 >= evals[v].0 {
+                continue;
+            }
+            // The makespan drops by at most the node's duration drop and
+            // the cost moves by at least the node's dollar delta; when
+            // even those optima cannot pass the exact filters, skip the
+            // O(n) re-schedule.
+            let dt_ub = (evals[v].0 - ev.0) + tmargin;
+            if dt_ub <= 1e-12 {
+                continue;
+            }
+            let dc_lb = (ev.1 - evals[v].1) - cmargin;
+            if budget.is_some_and(|b| *cost + dc_lb > b + 1e-13) {
+                continue;
+            }
+            if best.is_some_and(|(r, ..)| dt_ub / dc_lb.max(1e-12) <= r) {
+                continue;
+            }
+            let (nt, nc) = dag_schedule_from(parents, evals, v, ev, finish, scratch);
+            let dt = *time - nt;
+            let dc = nc - *cost;
+            if dt <= 1e-12 {
+                continue;
+            }
+            if budget.is_some_and(|b| nc > b + 1e-15) {
+                continue;
+            }
+            let ratio = dt / dc.max(1e-12);
+            if best.is_none_or(|(r, ..)| ratio > r) {
+                best = Some((ratio, v, m, ev, nt, nc));
+            }
+        }
+    }
+    let Some((_, v, m, ev, nt, nc)) = best else {
+        return false;
+    };
+    mems[v] = m;
+    evals[v] = ev;
+    *time = nt;
+    *cost = nc;
+    dag_schedule(parents, evals, finish);
+    true
 }
 
 #[cfg(test)]

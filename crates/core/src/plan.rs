@@ -255,6 +255,22 @@ impl DagPlan {
             .collect()
     }
 
+    /// The byte lists node `v` reads and writes, in object order — the
+    /// explicit-object arguments its `quick_eval_node` pricing takes.
+    pub fn node_io_bytes(&self, v: usize) -> (Vec<u64>, Vec<u64>) {
+        let reads = self
+            .inputs_of(v)
+            .into_iter()
+            .map(|o| self.objects[o].bytes)
+            .collect();
+        let writes = self
+            .outputs_of(v)
+            .into_iter()
+            .map(|o| self.objects[o].bytes)
+            .collect();
+        (reads, writes)
+    }
+
     /// Parent node indices of `v` (deduplicated, ascending).
     pub fn parents_of(&self, v: usize) -> Vec<usize> {
         let mut ps: Vec<usize> = self

@@ -27,8 +27,9 @@
 //! discussion would pick.
 
 use crate::colcache::CacheCounters;
-use crate::optimizer::{BatchShared, CutEval, OptimizeError, Optimizer};
-use crate::plan::{ExecutionPlan, PartitionPlan, PipelinePlan};
+use crate::cuts::DagShared;
+use crate::optimizer::{BatchShared, CutEval, DagSearchStats, OptimizeError, Optimizer};
+use crate::plan::{DagPlan, ExecutionPlan, PartitionPlan, PipelinePlan};
 use ampsinf_model::LayerGraph;
 use ampsinf_profiler::{batched_unique, quick_eval};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -173,6 +174,95 @@ impl SweepReport {
     /// Points whose plan solved.
     pub fn solved(&self) -> usize {
         self.points.iter().filter(|p| p.outcome.is_ok()).count()
+    }
+}
+
+/// One planned grid point of a DAG sweep: the chain incumbent plus the
+/// branch-parallel plan when one wins at this point.
+#[derive(Debug, Clone)]
+pub struct DagSweepPoint {
+    /// The point's SLO in seconds.
+    pub slo_s: f64,
+    /// The point's batch size.
+    pub batch: u64,
+    /// The chain incumbent, or why none exists at this point.
+    pub outcome: Result<ExecutionPlan, OptimizeError>,
+    /// The branch-parallel plan when it beats the chain under the twin
+    /// objectives (`None`: the chain stands).
+    pub dag: Option<DagPlan>,
+    /// Fork/join regions the winning DAG uses (0 when `dag` is `None`).
+    pub regions_used: usize,
+    /// Chain-solver statistics for this point.
+    pub stats: PointStats,
+    /// Region-search statistics for this point (memo hits attribute to
+    /// the point that touched the entry, like `PointStats`' cache
+    /// columns).
+    pub search: DagSearchStats,
+    /// Another same-batch point's *effective* plan is at least as fast
+    /// *and* as cheap.
+    pub dominated: bool,
+    /// The knee of its batch's effective-plan Pareto frontier.
+    pub knee: bool,
+}
+
+impl DagSweepPoint {
+    /// The point's effective `(time, cost)`: the DAG's when it won, the
+    /// chain's otherwise, `None` when the point is infeasible.
+    pub fn effective(&self) -> Option<(f64, f64)> {
+        match (&self.dag, &self.outcome) {
+            (Some(d), _) => Some((d.predicted_time_s, d.predicted_cost)),
+            (None, Ok(p)) => Some((p.predicted_time_s, p.predicted_cost)),
+            (None, Err(_)) => None,
+        }
+    }
+}
+
+/// Result of [`Optimizer::optimize_dag_sweep`]: every grid point in grid
+/// order, the Pareto frontier over *effective* plans (the DAG's when it
+/// won, the chain's otherwise), and cumulative memo statistics.
+#[derive(Debug, Clone)]
+pub struct DagSweepReport {
+    /// Every grid point, batch-major in grid order
+    /// (`points[bi * slos.len() + si]`).
+    pub points: Vec<DagSweepPoint>,
+    /// Indices (into `points`) of the per-batch effective-plan Pareto
+    /// frontiers, ascending.
+    pub pareto: Vec<usize>,
+    /// Fork/join regions considered, summed over distinct batches.
+    pub regions_considered: usize,
+    /// Cuts enumerated, summed over distinct batches.
+    pub cuts_considered: usize,
+    /// Cumulative segment-column cache hits (shared pass 1 + all points).
+    pub cache_hits: usize,
+    /// Cumulative segment-column cache misses.
+    pub cache_misses: usize,
+    /// Cumulative node-evaluation memo hits, summed over distinct batches.
+    pub node_memo_hits: usize,
+    /// Cumulative node-evaluation memo misses (each evaluated one span's
+    /// memory grid exactly once per io shape).
+    pub node_memo_misses: usize,
+    /// Cumulative spine-span memo hits, summed over distinct batches.
+    pub spine_span_hits: usize,
+    /// Cumulative spine spans actually solved.
+    pub spine_spans_solved: usize,
+    /// Wall-clock spent building the per-batch shared state (pass 1 and
+    /// the region/byte-table precomputation).
+    pub pass1_time: Duration,
+    /// Wall-clock of the whole sweep.
+    pub total_time: Duration,
+    /// Worker threads the sweep was allowed to use.
+    pub threads_used: usize,
+}
+
+impl DagSweepReport {
+    /// Points whose chain plan solved.
+    pub fn solved(&self) -> usize {
+        self.points.iter().filter(|p| p.outcome.is_ok()).count()
+    }
+
+    /// Points whose branch-parallel plan beat the chain.
+    pub fn dag_wins(&self) -> usize {
+        self.points.iter().filter(|p| p.dag.is_some()).count()
     }
 }
 
@@ -436,6 +526,239 @@ impl Optimizer {
         out
     }
 
+    /// Plans every point of `grid` with the branch-parallel search of
+    /// [`Optimizer::optimize_dag`]: each point gets the chain incumbent
+    /// *and* the greedy fork/join region search against it.
+    ///
+    /// Reuses [`Optimizer::optimize_sweep`]'s amortization for the chain
+    /// side (shared pass 1, tight-to-loose bound seeding, prebuilt MIQPs,
+    /// parallel batch chains) and adds the DAG side's own sharing: the
+    /// region candidates, scatter/gather byte tables, spine-span memo,
+    /// and node-evaluation memo are built once per distinct batch
+    /// ([`DagShared`] is SLO-independent) and warmed further by every
+    /// point of the batch. The contract matches `optimize_sweep`'s: every
+    /// point's chain plan *and* DAG verdict are bit-identical to an
+    /// independent [`Optimizer::optimize_dag`] call at that `(slo,
+    /// batch)` — at every thread count, seeding on or off — because every
+    /// memoized value is a pure function of its key.
+    pub fn optimize_dag_sweep(&self, graph: &LayerGraph, grid: &SweepGrid) -> DagSweepReport {
+        let t0 = Instant::now();
+        let threads = self.resolve_threads();
+
+        // Shared pass 1 plus the DAG search's shared tables, once per
+        // distinct batch.
+        let p1 = Instant::now();
+        type DagBatch = (BatchShared, DagShared);
+        let shared_by_batch: Vec<(u64, Result<DagBatch, OptimizeError>)> =
+            batched_unique(graph, &grid.batches)
+                .into_iter()
+                .map(|(b, profile)| {
+                    let mut cfg = self.config().clone();
+                    cfg.batch_size = b;
+                    let built = Optimizer::new(cfg.clone())
+                        .build_shared(profile, threads)
+                        .map(|sh| {
+                            let ds = DagShared::new(graph, &sh.profile, &cfg);
+                            (sh, ds)
+                        });
+                    (b, built)
+                })
+                .collect();
+        let pass1_time = p1.elapsed();
+
+        struct DagGroup<'a> {
+            bi: usize,
+            batch: u64,
+            shared: &'a Result<(BatchShared, DagShared), OptimizeError>,
+            exec_order: Vec<usize>,
+        }
+        let groups: Vec<DagGroup<'_>> = grid
+            .batches
+            .iter()
+            .enumerate()
+            .map(|(bi, &b)| {
+                let shared = &shared_by_batch
+                    .iter()
+                    .find(|(seen, _)| *seen == b)
+                    .expect("every grid batch was profiled")
+                    .1;
+                let mut exec_order: Vec<usize> = (0..grid.slos.len()).collect();
+                exec_order.sort_by(|&a, &c| {
+                    grid.slos[a]
+                        .partial_cmp(&grid.slos[c])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                DagGroup {
+                    bi,
+                    batch: b,
+                    shared,
+                    exec_order,
+                }
+            })
+            .collect();
+
+        // Same deterministic thread split as `optimize_sweep`: batch
+        // chains concurrently, leftover threads inside each point (where
+        // they also fan out the region trials).
+        let run_group = |g: &DagGroup<'_>, inner: usize| -> Vec<DagSweepPoint> {
+            let mut out = Vec::with_capacity(g.exec_order.len());
+            let mut bound: Option<f64> = None;
+            let mut prebuilt = crate::optimizer::PrebuiltCache::new();
+            for &si in &g.exec_order {
+                let slo = grid.slos[si];
+                let t = Instant::now();
+                let mut cfg = self.config().clone();
+                cfg.batch_size = g.batch;
+                cfg.slo_s = Some(slo);
+                let seed = if cfg.sweep_seed_bounds { bound } else { None };
+                let point_opt = Optimizer::new(cfg);
+                let counters = CacheCounters::new();
+                let mut point = match g.shared {
+                    Err(e) => DagSweepPoint {
+                        slo_s: slo,
+                        batch: g.batch,
+                        outcome: Err(e.clone()),
+                        dag: None,
+                        regions_used: 0,
+                        stats: PointStats::default(),
+                        search: DagSearchStats::default(),
+                        dominated: false,
+                        knee: false,
+                    },
+                    Ok((sh, ds)) => {
+                        match point_opt.solve_point(
+                            graph,
+                            sh,
+                            inner,
+                            seed,
+                            Some(&counters),
+                            Some(&mut prebuilt),
+                        ) {
+                            Err(e) => DagSweepPoint {
+                                slo_s: slo,
+                                batch: g.batch,
+                                outcome: Err(e),
+                                dag: None,
+                                regions_used: 0,
+                                stats: PointStats {
+                                    seeded: seed.is_some(),
+                                    ..PointStats::default()
+                                },
+                                search: DagSearchStats::default(),
+                                dominated: false,
+                                knee: false,
+                            },
+                            Ok(ps) => {
+                                bound = Some(bound.map_or(ps.best_cost, |b| b.min(ps.best_cost)));
+                                let stats = PointStats {
+                                    miqps_solved: ps.miqps_solved,
+                                    miqps_pruned: ps.miqps_pruned,
+                                    bb_nodes: ps.bb_nodes,
+                                    qp_relaxations: ps.qp_relaxations,
+                                    warm_start_hits: ps.warm_start_hits,
+                                    cache_hits: counters.hits(),
+                                    cache_misses: counters.misses(),
+                                    seeded: ps.seeded,
+                                    seed_fallback: ps.seed_fallback,
+                                    solve_time: Duration::ZERO,
+                                };
+                                let s0 = Instant::now();
+                                let (dag, regions_used, mut search) =
+                                    point_opt.dag_search(graph, sh, ds, &ps.plan, inner);
+                                search.search_time = s0.elapsed();
+                                DagSweepPoint {
+                                    slo_s: slo,
+                                    batch: g.batch,
+                                    outcome: Ok(ps.plan),
+                                    dag,
+                                    regions_used,
+                                    stats,
+                                    search,
+                                    dominated: false,
+                                    knee: false,
+                                }
+                            }
+                        }
+                    }
+                };
+                point.stats.solve_time = t.elapsed();
+                out.push(point);
+            }
+            out
+        };
+        let workers = threads.min(groups.len()).max(1);
+        let inner = (threads / workers).max(1);
+        let chains: Vec<Vec<DagSweepPoint>> = if workers == 1 {
+            groups.iter().map(|g| run_group(g, inner)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let parts: Vec<Vec<(usize, Vec<DagSweepPoint>)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let gi = next.fetch_add(1, Ordering::Relaxed);
+                                if gi >= groups.len() {
+                                    break;
+                                }
+                                local.push((gi, run_group(&groups[gi], inner)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("dag sweep chain worker panicked"))
+                    .collect()
+            });
+            let mut slots: Vec<Option<Vec<DagSweepPoint>>> =
+                (0..groups.len()).map(|_| None).collect();
+            for part in parts {
+                for (gi, chain) in part {
+                    slots[gi] = Some(chain);
+                }
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every chain ran exactly once"))
+                .collect()
+        };
+
+        // Deterministic merge into grid order.
+        let n = grid.slos.len();
+        let mut points: Vec<Option<DagSweepPoint>> = (0..grid.len()).map(|_| None).collect();
+        for (g, chain) in groups.iter().zip(chains) {
+            for (si, point) in g.exec_order.iter().zip(chain) {
+                points[g.bi * n + si] = Some(point);
+            }
+        }
+        let mut points: Vec<DagSweepPoint> = points
+            .into_iter()
+            .map(|p| p.expect("every grid point planned exactly once"))
+            .collect();
+
+        let pareto = mark_frontier(&mut points, grid.batches.len(), n, true);
+
+        let ok_shared = || shared_by_batch.iter().filter_map(|(_, s)| s.as_ref().ok());
+        DagSweepReport {
+            points,
+            pareto,
+            regions_considered: ok_shared().map(|(_, ds)| ds.regions.len()).sum(),
+            cuts_considered: ok_shared().map(|(sh, _)| sh.cuts.len()).sum(),
+            cache_hits: ok_shared().map(|(sh, _)| sh.cache.hits()).sum(),
+            cache_misses: ok_shared().map(|(sh, _)| sh.cache.misses()).sum(),
+            node_memo_hits: ok_shared().map(|(sh, _)| sh.cache.node_hits()).sum(),
+            node_memo_misses: ok_shared().map(|(sh, _)| sh.cache.node_misses()).sum(),
+            spine_span_hits: ok_shared().map(|(_, ds)| ds.spine_hits()).sum(),
+            spine_spans_solved: ok_shared().map(|(_, ds)| ds.spine_solves()).sum(),
+            pass1_time,
+            total_time: t0.elapsed(),
+            threads_used: threads,
+        }
+    }
+
     /// Plans every point of `grid` for **pipelined** execution: batch size
     /// and partition are chosen *jointly* against steady-state throughput
     /// under the SLO. Under pipelined stage execution the makespan is
@@ -632,102 +955,144 @@ impl Optimizer {
     }
 }
 
-/// Marks per-batch dominance over (bottleneck, cost) in place: a point is
-/// dominated when another solved same-batch point has a bottleneck no
-/// longer *and* a cost no higher (exact ties keep the lower index).
-fn mark_pipeline_dominance(
-    points: &mut [PipelinePoint],
-    num_batches: usize,
-    slos_per_batch: usize,
-) {
-    let bc = |p: &PipelinePoint| {
-        let pp = p.outcome.as_ref().expect("solved point");
-        (pp.bottleneck_s, pp.plan.predicted_cost)
-    };
-    for bi in 0..num_batches {
-        let base = bi * slos_per_batch;
-        let solved: Vec<usize> = (base..base + slos_per_batch)
-            .filter(|&i| points[i].outcome.is_ok())
-            .collect();
-        for &i in &solved {
-            let (ti, ci) = bc(&points[i]);
-            points[i].dominated = solved.iter().any(|&j| {
-                if j == i {
-                    return false;
-                }
-                let (tj, cj) = bc(&points[j]);
-                tj <= ti && cj <= ci && (tj < ti || cj < ci || j < i)
-            });
-        }
+/// A sweep point every frontier marking understands: an optional
+/// `(x, y)` metric pair (both lower-is-better; `None` skips the point)
+/// plus the dominated/knee flags to set.
+trait FrontierPoint {
+    /// The point's metric pair, or `None` when it has no plan to rank.
+    fn metric(&self) -> Option<(f64, f64)>;
+    /// Records that another same-batch point dominates this one.
+    fn set_dominated(&mut self, dominated: bool);
+    /// Records that this point is its frontier's knee (ignored by point
+    /// types without the concept).
+    fn set_knee(&mut self) {}
+}
+
+impl FrontierPoint for SweepPoint {
+    fn metric(&self) -> Option<(f64, f64)> {
+        self.outcome
+            .as_ref()
+            .ok()
+            .map(|p| (p.predicted_time_s, p.predicted_cost))
+    }
+    fn set_dominated(&mut self, dominated: bool) {
+        self.dominated = dominated;
+    }
+    fn set_knee(&mut self) {
+        self.knee = true;
     }
 }
 
-/// Marks per-batch dominance and knees in place; returns the ascending
-/// frontier indices. A point is dominated when another solved same-batch
-/// point is no slower *and* no dearer (exact (time, cost) ties keep the
-/// lower index, mirroring the column presolve's tie-break).
-fn mark_pareto(points: &mut [SweepPoint], num_batches: usize, slos_per_batch: usize) -> Vec<usize> {
-    let tc = |p: &SweepPoint| {
-        let plan = p.outcome.as_ref().expect("solved point");
-        (plan.predicted_time_s, plan.predicted_cost)
-    };
+impl FrontierPoint for DagSweepPoint {
+    fn metric(&self) -> Option<(f64, f64)> {
+        self.effective()
+    }
+    fn set_dominated(&mut self, dominated: bool) {
+        self.dominated = dominated;
+    }
+    fn set_knee(&mut self) {
+        self.knee = true;
+    }
+}
+
+impl FrontierPoint for PipelinePoint {
+    fn metric(&self) -> Option<(f64, f64)> {
+        self.outcome
+            .as_ref()
+            .ok()
+            .map(|pp| (pp.bottleneck_s, pp.plan.predicted_cost))
+    }
+    fn set_dominated(&mut self, dominated: bool) {
+        self.dominated = dominated;
+    }
+}
+
+/// Marks per-batch dominance over the points' metric pairs in place;
+/// returns the ascending frontier indices. A point is dominated when
+/// another rankable same-batch point is no worse on both axes (exact
+/// ties keep the lower index, mirroring the column presolve's
+/// tie-break). With `knees`, each frontier of ≥ 3 points also gets its
+/// knee flagged: the point farthest (perpendicular) from the chord
+/// between the frontier's endpoints, in normalized metric space, ties
+/// keeping the earliest along the frontier.
+fn mark_frontier<P: FrontierPoint>(
+    points: &mut [P],
+    num_batches: usize,
+    per_batch: usize,
+    knees: bool,
+) -> Vec<usize> {
     let mut pareto = Vec::new();
     for bi in 0..num_batches {
-        let base = bi * slos_per_batch;
-        let solved: Vec<usize> = (base..base + slos_per_batch)
-            .filter(|&i| points[i].outcome.is_ok())
+        let base = bi * per_batch;
+        let solved: Vec<usize> = (base..base + per_batch)
+            .filter(|&i| points[i].metric().is_some())
             .collect();
+        let tc = |points: &[P], i: usize| points[i].metric().expect("rankable point");
+        let mut frontier: Vec<usize> = Vec::new();
         for &i in &solved {
-            let (ti, ci) = tc(&points[i]);
-            points[i].dominated = solved.iter().any(|&j| {
+            let (ti, ci) = tc(points, i);
+            let dominated = solved.iter().any(|&j| {
                 if j == i {
                     return false;
                 }
-                let (tj, cj) = tc(&points[j]);
+                let (tj, cj) = tc(points, j);
                 tj <= ti && cj <= ci && (tj < ti || cj < ci || j < i)
             });
+            points[i].set_dominated(dominated);
+            if !dominated {
+                frontier.push(i);
+            }
         }
-        let mut frontier: Vec<usize> = solved
-            .iter()
-            .copied()
-            .filter(|&i| !points[i].dominated)
-            .collect();
-        // Knee: the frontier point farthest (perpendicular) from the
-        // chord between the frontier's endpoints, in normalized
-        // (time, cost) space. Ties keep the earliest along the frontier.
         frontier.sort_by(|&a, &b| {
-            tc(&points[a])
+            tc(points, a)
                 .0
-                .partial_cmp(&tc(&points[b]).0)
+                .partial_cmp(&tc(points, b).0)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        if frontier.len() >= 3 {
-            let (t_lo, c_hi) = tc(&points[frontier[0]]);
-            let (t_hi, c_lo) = tc(&points[*frontier.last().unwrap()]);
+        if knees && frontier.len() >= 3 {
+            let (t_lo, c_hi) = tc(points, frontier[0]);
+            let (t_hi, c_lo) = tc(points, *frontier.last().unwrap());
             let span_t = (t_hi - t_lo).abs().max(1e-12);
             let span_c = (c_hi - c_lo).abs().max(1e-12);
-            let norm = |i: usize| {
-                let (t, c) = tc(&points[i]);
+            let norm = |points: &[P], i: usize| {
+                let (t, c) = tc(points, i);
                 ((t - t_lo) / span_t, (c - c_lo) / span_c)
             };
-            let (x1, y1) = norm(frontier[0]);
-            let (x2, y2) = norm(*frontier.last().unwrap());
+            let (x1, y1) = norm(points, frontier[0]);
+            let (x2, y2) = norm(points, *frontier.last().unwrap());
             let mut knee: Option<(usize, f64)> = None;
             for &i in &frontier[1..frontier.len() - 1] {
-                let (x, y) = norm(i);
+                let (x, y) = norm(points, i);
                 let dist = ((x2 - x1) * (y1 - y) - (x1 - x) * (y2 - y1)).abs();
                 if knee.is_none_or(|(_, d)| dist > d) {
                     knee = Some((i, dist));
                 }
             }
             if let Some((i, _)) = knee {
-                points[i].knee = true;
+                points[i].set_knee();
             }
         }
         pareto.extend(frontier.iter().copied());
     }
     pareto.sort_unstable();
     pareto
+}
+
+/// Marks per-batch dominance over (bottleneck, cost) in place
+/// ([`mark_frontier`] without knees; exact ties keep the lower index).
+fn mark_pipeline_dominance(
+    points: &mut [PipelinePoint],
+    num_batches: usize,
+    slos_per_batch: usize,
+) {
+    mark_frontier(points, num_batches, slos_per_batch, false);
+}
+
+/// Marks per-batch dominance and knees in place; returns the ascending
+/// frontier indices ([`mark_frontier`] over the chain plans' (time,
+/// cost)).
+fn mark_pareto(points: &mut [SweepPoint], num_batches: usize, slos_per_batch: usize) -> Vec<usize> {
+    mark_frontier(points, num_batches, slos_per_batch, true)
 }
 
 #[cfg(test)]

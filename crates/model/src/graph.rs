@@ -259,6 +259,18 @@ impl LayerGraph {
         (in_bytes, out_bytes)
     }
 
+    /// Per-branch output bytes of one fork/join region — the gather
+    /// object sizes a branch-parallel plan must checkpoint between each
+    /// branch and the merge node, in branch order. A DAG search calls
+    /// [`LayerGraph::span_io_bytes`] for the same spans on every trial
+    /// plan; this hook lets it precompute the table once per region set.
+    pub fn region_gather_bytes(&self, r: &BranchRegion) -> Vec<u64> {
+        r.branches
+            .iter()
+            .map(|&(s, e)| self.span_io_bytes(s, e).1)
+            .collect()
+    }
+
     /// Enumerates the fork/join regions of the DAG: spans `(entry, merge)`
     /// where the single tensor leaving `entry` fans out into ≥ 2
     /// independent contiguous branches that rejoin at the merge layer.
@@ -662,6 +674,20 @@ mod tests {
         // Final span: output is what the model returns.
         let last = g.num_layers() - 1;
         assert_eq!(g.span_io_bytes(last, last).1, g.cut_transfer_bytes(last));
+    }
+
+    #[test]
+    fn region_gather_bytes_matches_span_io() {
+        let g = forked();
+        let regions = g.branch_regions();
+        assert!(!regions.is_empty());
+        for r in &regions {
+            let table = g.region_gather_bytes(r);
+            assert_eq!(table.len(), r.branches.len());
+            for (b, &(s, e)) in table.iter().zip(&r.branches) {
+                assert_eq!(*b, g.span_io_bytes(s, e).1);
+            }
+        }
     }
 
     #[test]

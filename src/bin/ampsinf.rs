@@ -160,11 +160,14 @@ fn run(args: &[String]) -> i32 {
         "sweep" => match (load_model(args.get(1)), parse_cfg(&args[1..])) {
             (Ok(g), Ok((cfg, _, _))) => {
                 if args.iter().any(|a| a == "--dag") {
-                    return fail(
-                        "sweep is chain-only: the amortized SLO x batch grid shares chain \
-                         segment columns across points and has no DAG counterpart; use \
-                         `plan --dag` at individual (--slo, --batch) points instead",
-                    );
+                    if cfg.pipeline_depth > 0 {
+                        return fail(
+                            "--dag and --pipeline are incompatible in sweep mode: the \
+                             pipelined sweep balances chain stages while --dag fans \
+                             branch regions out as concurrent nodes; pick one",
+                        );
+                    }
+                    return run_dag_sweep(&g, cfg, args);
                 }
                 run_sweep(&g, cfg, args)
             }
@@ -330,6 +333,7 @@ fn plan_dag(g: &LayerGraph, cfg: AmpsConfig, args: &[String], json_out: Option<S
             );
             if verbose {
                 print_solver_stats(&r.chain);
+                print_dag_search_stats(&r.search);
             }
             match &r.dag {
                 Some(dag) => {
@@ -728,24 +732,23 @@ fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
     0
 }
 
-/// `sweep` mode: plan an entire SLO × batch grid in one amortized call
-/// and print the per-batch Pareto frontier (knee flagged) plus the cache
-/// amortization summary.
-fn run_sweep(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
+/// Parses the grid flags shared by `sweep` and `sweep --dag`:
+/// `--slo-from`, `--slo-to`, `--points` (all required) and `--batches`.
+fn parse_grid(args: &[String]) -> Result<SweepGrid, String> {
     let from = match flag_value(args, "--slo-from").map(str::parse::<f64>) {
         Some(Ok(v)) if v.is_finite() && v > 0.0 => v,
-        Some(_) => return fail("bad --slo-from value (need a positive number of seconds)"),
-        None => return fail("sweep requires --slo-from <seconds>"),
+        Some(_) => return Err("bad --slo-from value (need a positive number of seconds)".into()),
+        None => return Err("sweep requires --slo-from <seconds>".into()),
     };
     let to = match flag_value(args, "--slo-to").map(str::parse::<f64>) {
         Some(Ok(v)) if v.is_finite() && v >= from => v,
-        Some(_) => return fail("bad --slo-to value (need seconds >= --slo-from)"),
-        None => return fail("sweep requires --slo-to <seconds>"),
+        Some(_) => return Err("bad --slo-to value (need seconds >= --slo-from)".into()),
+        None => return Err("sweep requires --slo-to <seconds>".into()),
     };
     let points = match flag_value(args, "--points").map(str::parse::<usize>) {
         Some(Ok(n)) if n >= 1 => n,
-        Some(_) => return fail("bad --points value (need a positive integer)"),
-        None => return fail("sweep requires --points <n>"),
+        Some(_) => return Err("bad --points value (need a positive integer)".into()),
+        None => return Err("sweep requires --points <n>".into()),
     };
     let batches = match flag_value(args, "--batches") {
         Some(v) => {
@@ -754,13 +757,24 @@ fn run_sweep(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
             match parsed {
                 Ok(b) if !b.is_empty() && b.iter().all(|&x| x >= 1) => b,
                 _ => {
-                    return fail(&format!(
+                    return Err(format!(
                         "bad --batches value {v} (need comma-separated positive integers)"
                     ))
                 }
             }
         }
         None => vec![1],
+    };
+    Ok(SweepGrid::slo_range(from, to, points).with_batches(batches))
+}
+
+/// `sweep` mode: plan an entire SLO × batch grid in one amortized call
+/// and print the per-batch Pareto frontier (knee flagged) plus the cache
+/// amortization summary.
+fn run_sweep(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
+    let grid = match parse_grid(args) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
     };
     let cfg = if args.iter().any(|a| a == "--no-seed") {
         cfg.with_sweep_seeding(false)
@@ -769,7 +783,6 @@ fn run_sweep(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
     };
 
     let verbose = args.iter().any(|a| a == "--verbose");
-    let grid = SweepGrid::slo_range(from, to, points).with_batches(batches);
     let report = Optimizer::new(cfg).optimize_sweep(g, &grid);
 
     println!(
@@ -840,6 +853,108 @@ fn run_sweep(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
     0
 }
 
+/// `sweep --dag` mode: amortized chain-vs-DAG planning over the SLO ×
+/// batch grid. Segment columns, branch-region candidates and the
+/// node/spine memos are shared across every point of a batch; the table
+/// prints both verdicts per point, and the frontier/knee marks apply to
+/// each point's *effective* plan (the DAG when it won, else the chain).
+fn run_dag_sweep(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
+    let grid = match parse_grid(args) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let cfg = if args.iter().any(|a| a == "--no-seed") {
+        cfg.with_sweep_seeding(false)
+    } else {
+        cfg
+    };
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let report = Optimizer::new(cfg).optimize_dag_sweep(g, &grid);
+
+    println!(
+        "dag sweep: {} point(s) ({} SLO x {} batch), {} solved, {} DAG win(s) \
+         over {} branch region(s)",
+        report.points.len(),
+        grid.slos.len(),
+        grid.batches.len(),
+        report.solved(),
+        report.dag_wins(),
+        report.regions_considered
+    );
+    println!(
+        "{:>3} {:>6} {:>10} {:>10} {:>12} {:>10} {:>12} {:>5}  {:<10}",
+        "#", "batch", "slo(s)", "chain(s)", "chain($)", "dag(s)", "dag($)", "win", "frontier"
+    );
+    for (i, p) in report.points.iter().enumerate() {
+        match &p.outcome {
+            Ok(plan) => {
+                let marker = if p.knee {
+                    "knee *"
+                } else if p.dominated {
+                    "dominated"
+                } else {
+                    "pareto"
+                };
+                match &p.dag {
+                    Some(d) => println!(
+                        "{i:>3} {:>6} {:>10.3} {:>10.3} {:>12.6} {:>10.3} {:>12.6} {:>5}  {marker}",
+                        p.batch,
+                        p.slo_s,
+                        plan.predicted_time_s,
+                        plan.predicted_cost,
+                        d.predicted_time_s,
+                        d.predicted_cost,
+                        "dag",
+                    ),
+                    None => println!(
+                        "{i:>3} {:>6} {:>10.3} {:>10.3} {:>12.6} {:>10} {:>12} {:>5}  {marker}",
+                        p.batch,
+                        p.slo_s,
+                        plan.predicted_time_s,
+                        plan.predicted_cost,
+                        "-",
+                        "-",
+                        "chain",
+                    ),
+                }
+            }
+            Err(e) => println!("{i:>3} {:>6} {:>10.3}  {e}", p.batch, p.slo_s),
+        }
+        if verbose {
+            println!(
+                "      search: {} trial(s), {} region(s) accepted, node evals {} hit / \
+                 {} miss, spine spans {} reused / {} solved, {:?}",
+                p.search.trials_evaluated,
+                p.regions_used,
+                p.search.node_memo_hits,
+                p.search.node_memo_misses,
+                p.search.spine_span_hits,
+                p.search.spine_spans_solved,
+                p.search.search_time
+            );
+        }
+    }
+    println!(
+        "columns: {} cache hits, {} misses cumulative (shared pass 1: {:?})",
+        report.cache_hits, report.cache_misses, report.pass1_time
+    );
+    println!(
+        "dag memos: node evals {} hit / {} miss, spine spans {} reused / {} solved",
+        report.node_memo_hits,
+        report.node_memo_misses,
+        report.spine_span_hits,
+        report.spine_spans_solved
+    );
+    println!(
+        "planned {} point(s) over {} cut(s) in {:?} on {} thread(s)",
+        report.points.len(),
+        report.cuts_considered,
+        report.total_time,
+        report.threads_used
+    );
+    0
+}
+
 fn usage() {
     eprintln!(
         "usage: ampsinf <command>\n\
@@ -867,9 +982,12 @@ fn usage() {
                                 under the same SLO/cost objective. Accepted\n\
                                 combinations: plan --dag with --slo/--batch/\n\
                                 --tolerance/--quantize/--json/--verbose;\n\
+                                sweep --dag with the sweep grid options\n\
+                                (amortized chain-vs-DAG verdicts per point,\n\
+                                frontier marked on the effective plans);\n\
                                 serve --dag with --images/--pipeline/\n\
                                 --pipe-depth and the reliability options.\n\
-                                Rejected: sweep --dag, plan --dag --pipeline,\n\
+                                Rejected: plan/sweep --dag with --pipeline,\n\
                                 serve --dag with --parallel, --adaptive or\n\
                                 --requests\n\
            --verbose            print solver statistics (plan only)\n\
@@ -967,6 +1085,22 @@ fn print_solver_stats(r: &amps_inf::core::optimizer::OptimizerReport) {
     println!(
         "columns: {} cache hits, {} misses",
         r.column_cache_hits, r.column_cache_misses
+    );
+}
+
+/// `--verbose` companion block for the DAG region search: how much of the
+/// trial work resolved from the node/spine memos, and the search wall
+/// time excluding the chain solve.
+fn print_dag_search_stats(s: &amps_inf::core::DagSearchStats) {
+    println!(
+        "dag search: {} trial(s) evaluated, node evals {} hit / {} miss, \
+         spine spans {} reused / {} solved, {:?}",
+        s.trials_evaluated,
+        s.node_memo_hits,
+        s.node_memo_misses,
+        s.spine_span_hits,
+        s.spine_spans_solved,
+        s.search_time
     );
 }
 

@@ -137,6 +137,36 @@ fn sweep_prints_frontier_table() {
 }
 
 #[test]
+fn dag_sweep_prints_chain_vs_dag_table() {
+    let (stdout, stderr, ok) = run(&[
+        "sweep",
+        "inception_v3",
+        "--dag",
+        "--slo-from",
+        "22",
+        "--slo-to",
+        "40",
+        "--points",
+        "3",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("dag sweep: 3 point(s)"), "{stdout}");
+    assert!(stdout.contains("chain($)"), "{stdout}");
+    assert!(
+        stdout.contains("pareto") || stdout.contains("knee"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("dag memos:"), "{stdout}");
+}
+
+#[test]
+fn dag_sweep_shares_grid_validation_with_chain_sweep() {
+    let (_, stderr, ok) = run(&["sweep", "inception_v3", "--dag"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires --slo-from"), "{stderr}");
+}
+
+#[test]
 fn sweep_requires_grid_flags() {
     let (_, stderr, ok) = run(&["sweep", "mobilenet"]);
     assert!(!ok);
