@@ -88,6 +88,45 @@ fn bench_serving(b: &mut Bencher) {
         trace.last_completion_s
     });
 
+    // Branch-parallel DAG serving: the inception-v3 batch-64 winner (9 of
+    // 11 regions parallelized, 47 nodes) through the same open-loop
+    // work-stealing engine. Bit-equal dollars across thread counts is the
+    // determinism contract; the single-CPU container means the threads=8
+    // row measures overhead, not speedup (see BENCH_serving.json notes).
+    let dag_cfg = AmpsConfig {
+        batch_size: 64,
+        ..AmpsConfig::default()
+    }
+    .with_serve_lanes(64);
+    let dag_plan = Optimizer::new(dag_cfg.clone())
+        .optimize_dag(&zoo::inception_v3())
+        .unwrap()
+        .dag
+        .expect("inception_v3 at batch 64 must have a branch-parallel winner");
+    let inception = zoo::inception_v3();
+    let mut dag_dollars = Vec::new();
+    for threads in [1usize, 8] {
+        let coord = Coordinator::new(dag_cfg.clone().with_serve_threads(threads));
+        b.bench_items(
+            &format!("open_loop_dag/inception_v3/100k/threads={threads}"),
+            3,
+            REQUESTS,
+            || {
+                let mut platform = coord.platform();
+                let dep = coord
+                    .deploy_dag(&mut platform, &inception, &dag_plan)
+                    .unwrap();
+                let trace = coord.serve_trace_dag(&mut platform, &dep, &arrivals);
+                dag_dollars.push(trace.dollars.to_bits());
+                trace.last_completion_s
+            },
+        );
+    }
+    assert!(
+        dag_dollars.windows(2).all(|w| w[0] == w[1]),
+        "DAG thread counts disagreed on dollars"
+    );
+
     // The key-interning / scratch-reuse win shows up serially: the same
     // engine, single lane, no threads — pure hot-path allocation savings.
     let seq_cfg = AmpsConfig::default();

@@ -231,9 +231,12 @@ impl ServeScratch {
             return;
         }
         // Chain layout is fixed: partition i writes exactly boundary i and
-        // partition i+1 reads it — patch the keys in place.
+        // partition i+1 reads it — patch the keys in place. The block's
+        // keys are the same values `k - 1` individual `fresh_key` calls
+        // would have drawn.
+        let base = platform.store.fresh_block(k.saturating_sub(1));
         for i in 0..k.saturating_sub(1) {
-            let key = platform.store.fresh_key();
+            let key = base.offset(i as u32);
             self.keys[i] = key;
             self.works[i].writes[0].0 = key;
             self.works[i + 1].reads[0] = key;
@@ -266,30 +269,146 @@ pub struct DagDeployment {
     pub deploy_s: f64,
     /// Per-node invocation scalars in node order.
     scalars: Vec<DagNodeWork>,
-    /// Object indices each node reads, in object order.
-    node_reads: Vec<Vec<usize>>,
-    /// `(object index, bytes)` each node writes, in object order.
-    node_writes: Vec<Vec<(usize, u64)>>,
-    /// Producer node of each object (ready-time recurrence input).
-    object_producer: Vec<usize>,
+    /// CSR offsets into `reads_obj`/`read_producer`: node `v` reads the
+    /// entries in `reads_off[v]..reads_off[v + 1]`.
+    reads_off: Vec<u32>,
+    /// Object index of every read, node-major, in object order within a
+    /// node — the per-request invocation template the hot path patches
+    /// keys into.
+    reads_obj: Vec<u32>,
+    /// Producer node of the matching `reads_obj` entry, so the ready-time
+    /// recurrence folds over one flat slice with no per-object
+    /// indirection.
+    read_producer: Vec<u32>,
+    /// CSR offsets into `writes`: node `v` writes the entries in
+    /// `writes_off[v]..writes_off[v + 1]`.
+    writes_off: Vec<u32>,
+    /// `(object index, bytes)` of every write, node-major, in object
+    /// order within a node.
+    writes: Vec<(u32, u64)>,
+    /// Number of inter-node storage objects.
+    num_objects: usize,
 }
 
 impl DagDeployment {
     /// Number of inter-node storage objects.
     pub fn num_objects(&self) -> usize {
-        self.object_producer.len()
+        self.num_objects
+    }
+
+    /// Object indices node `v` reads, in object order.
+    #[inline]
+    fn reads_of(&self, v: usize) -> &[u32] {
+        &self.reads_obj[self.reads_off[v] as usize..self.reads_off[v + 1] as usize]
+    }
+
+    /// Producer nodes of the objects node `v` reads (parallel to
+    /// [`reads_of`](Self::reads_of)).
+    #[inline]
+    fn producers_of(&self, v: usize) -> &[u32] {
+        &self.read_producer[self.reads_off[v] as usize..self.reads_off[v + 1] as usize]
+    }
+
+    /// `(object, bytes)` pairs node `v` writes, in object order.
+    #[inline]
+    fn writes_of(&self, v: usize) -> &[(u32, u64)] {
+        &self.writes[self.writes_off[v] as usize..self.writes_off[v + 1] as usize]
+    }
+}
+
+/// Per-node observability of a DAG trace (DESIGN.md §7): how long every
+/// node's sandboxes executed, how long ready work sat waiting in front of
+/// each node, and how much of the requests' end-to-end latency each node
+/// sat on. Accumulated per lane inside [`DagServeScratch`] and summed in
+/// lane order, so the values are bit-identical at every thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagNodeStats {
+    /// Execution stations per node the occupancy is measured against:
+    /// `pipeline_depth × lanes` for the pipelined engine, whose stations
+    /// genuinely bound per-node concurrency. The sequential engine
+    /// scales instances out on demand (no per-node capacity bound) and
+    /// reports 0 — use [`DagNodeStats::mean_concurrency`] there.
+    pub stations_per_node: usize,
+    /// Successful-attempt execution seconds per node.
+    pub busy_s: Vec<f64>,
+    /// Seconds requests spent stalled in front of each node: the gap
+    /// between its inputs being checkpointed and the successful attempt
+    /// starting (retry backoff, and station waits when pipelined), plus
+    /// storage-retry stalls inside the attempt.
+    pub stall_s: Vec<f64>,
+    /// Seconds each node contributed to request critical paths: per
+    /// request, the walk from the last-finishing node back through each
+    /// node's latest-finishing input producer (first such producer on
+    /// ties) accumulates the successful-attempt duration of every node on
+    /// the path.
+    pub crit_s: Vec<f64>,
+    /// Wall-clock span of the run (first arrival → last completion).
+    pub span_s: f64,
+}
+
+impl DagNodeStats {
+    /// Fraction of the run each node's stations spent executing (0 when
+    /// the engine has no station bound — see
+    /// [`DagNodeStats::stations_per_node`]).
+    pub fn occupancy(&self, node: usize) -> f64 {
+        if self.span_s > 0.0 && self.stations_per_node > 0 {
+            self.busy_s[node] / (self.span_s * self.stations_per_node as f64)
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean number of concurrently-executing instances of `node` over
+    /// the run (busy seconds per wall-clock second) — the scale-out
+    /// measure for the unbounded sequential engine.
+    pub fn mean_concurrency(&self, node: usize) -> f64 {
+        if self.span_s > 0.0 {
+            self.busy_s[node] / self.span_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of all critical-path seconds attributed to `node`.
+    pub fn critical_share(&self, node: usize) -> f64 {
+        let total: f64 = self.crit_s.iter().sum();
+        if total > 0.0 {
+            self.crit_s[node] / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Total stall across all nodes.
+    pub fn stall_s(&self) -> f64 {
+        self.stall_s.iter().sum()
+    }
+
+    /// Total busy across all nodes.
+    pub fn busy_s(&self) -> f64 {
+        self.busy_s.iter().sum()
     }
 }
 
 /// Reusable per-request buffers for the DAG serving hot path: one
-/// [`InvocationWork`] per node, one storage key per object, and the
-/// per-node completion times the ready recurrence folds over.
+/// [`InvocationWork`] per node whose storage-key slots are patched in
+/// place each request, the per-node completion/duration times the ready
+/// recurrence and critical-path walk fold over, and the per-node
+/// busy/stall/critical accumulators the trace engines merge in lane
+/// order.
 #[derive(Debug, Clone)]
 pub struct DagServeScratch {
     works: Vec<InvocationWork>,
     keys: Vec<ObjectKey>,
     /// Completion time of each node for the request in flight.
     finish: Vec<f64>,
+    /// Successful-attempt duration of each node for the request in
+    /// flight (critical-path walk input).
+    dur: Vec<f64>,
+    /// Per-node accumulators across this lane's requests.
+    busy_s: Vec<f64>,
+    stall_s: Vec<f64>,
+    crit_s: Vec<f64>,
     buf: String,
     primed: bool,
 }
@@ -297,19 +416,23 @@ pub struct DagServeScratch {
 impl DagServeScratch {
     /// Scratch sized for `dep`'s node count.
     pub fn for_deployment(dep: &DagDeployment) -> Self {
+        let k = dep.functions.len();
         DagServeScratch {
-            works: vec![InvocationWork::default(); dep.functions.len()],
+            works: vec![InvocationWork::default(); k],
             keys: Vec::with_capacity(dep.num_objects()),
-            finish: vec![0.0; dep.functions.len()],
+            finish: vec![0.0; k],
+            dur: vec![0.0; k],
+            busy_s: vec![0.0; k],
+            stall_s: vec![0.0; k],
+            crit_s: vec![0.0; k],
             buf: String::new(),
             primed: false,
         }
     }
 
-    /// Refills every node's work profile from the deployment's scalars and
-    /// the current per-object keys.
-    fn fill_works(&mut self, dep: &DagDeployment) {
-        let keys = &self.keys;
+    /// Refills every node's work profile from the deployment's scalars
+    /// and per-object keys produced by `key_of`.
+    fn fill_works(&mut self, dep: &DagDeployment, key_of: impl Fn(u32) -> ObjectKey) {
         for (v, w) in self.works.iter_mut().enumerate() {
             let s = dep.scalars[v];
             w.load_bytes = s.load_bytes;
@@ -317,24 +440,33 @@ impl DagServeScratch {
             w.resident_bytes = s.resident_bytes;
             w.tmp_bytes = s.tmp_bytes;
             w.reads.clear();
-            w.reads.extend(dep.node_reads[v].iter().map(|&o| keys[o]));
+            w.reads.extend(dep.reads_of(v).iter().map(|&o| key_of(o)));
             w.writes.clear();
             w.writes.extend(
-                dep.node_writes[v]
+                dep.writes_of(v)
                     .iter()
-                    .map(|&(o, bytes)| (keys[o], bytes)),
+                    .map(|&(o, bytes)| (key_of(o), bytes)),
             );
         }
+    }
+
+    /// Resizes the per-node buffers for `dep` (no-op when already sized).
+    fn resize_for(&mut self, dep: &DagDeployment) {
+        let k = dep.functions.len();
+        self.works.clear();
+        self.works.resize(k, InvocationWork::default());
+        self.finish.resize(k, 0.0);
+        self.dur.resize(k, 0.0);
+        self.busy_s.resize(k, 0.0);
+        self.stall_s.resize(k, 0.0);
+        self.crit_s.resize(k, 0.0);
     }
 
     /// Interns this request's object keys (`{tag}/b{o}`, one per object in
     /// object order — identical to the chain's boundary keys on a
     /// chain-shaped plan) and refills the per-node work profiles.
     pub fn prepare(&mut self, platform: &mut Platform, dep: &DagDeployment, tag: &str) {
-        self.works.clear();
-        self.works
-            .resize(dep.functions.len(), InvocationWork::default());
-        self.finish.resize(dep.functions.len(), 0.0);
+        self.resize_for(dep);
         self.keys.clear();
         self.primed = false;
         for o in 0..dep.num_objects() {
@@ -342,33 +474,48 @@ impl DagServeScratch {
             let _ = write!(self.buf, "{tag}/b{o}");
             self.keys.push(platform.store.intern(&self.buf));
         }
-        self.fill_works(dep);
+        let keys = std::mem::take(&mut self.keys);
+        self.fill_works(dep, |o| keys[o as usize]);
+        self.keys = keys;
     }
 
     /// Prepares this request with *anonymous* object keys — the trace
-    /// engine's hot path. Keys are drawn one per object in object order,
-    /// so a chain-shaped plan draws exactly the chain engine's key
-    /// sequence (flaky-store fate parity).
+    /// engine's hot path. Keys are drawn as one contiguous block in
+    /// object order, so a chain-shaped plan draws exactly the chain
+    /// engine's key sequence (flaky-store fate parity). The first call
+    /// builds the full work profiles; every later call only allocates the
+    /// key block and patches the keys into the existing read/write slots
+    /// — per-request setup is O(reads + writes) stores with no Vec
+    /// growth, clearing, or per-object allocator calls.
     pub fn prepare_anon(&mut self, platform: &mut Platform, dep: &DagDeployment) {
         let k = dep.functions.len();
-        let m = dep.num_objects();
+        let base = platform.store.fresh_block(dep.num_objects());
         if !self.primed || self.works.len() != k {
-            self.works.clear();
-            self.works.resize(k, InvocationWork::default());
-            self.finish.resize(k, 0.0);
-            self.keys.clear();
-            for _ in 0..m {
-                self.keys.push(platform.store.fresh_key());
-            }
-            self.fill_works(dep);
+            self.resize_for(dep);
+            self.fill_works(dep, |o| base.offset(o));
             self.primed = true;
             return;
         }
-        // The wiring is fixed per plan: swap every object's key in place.
-        for o in 0..m {
-            self.keys[o] = platform.store.fresh_key();
+        // The wiring is fixed per plan: every read/write slot position is
+        // the same for every request, so only the keys change.
+        for (v, w) in self.works.iter_mut().enumerate() {
+            for (slot, &o) in dep.reads_of(v).iter().enumerate() {
+                w.reads[slot] = base.offset(o);
+            }
+            for (slot, &(o, _)) in dep.writes_of(v).iter().enumerate() {
+                w.writes[slot].0 = base.offset(o);
+            }
         }
-        self.fill_works(dep);
+    }
+
+    /// Drains this lane's per-node accumulators into `stats` (summed in
+    /// lane order by the trace engines).
+    fn drain_into(&mut self, stats: &mut DagNodeStats) {
+        for v in 0..self.busy_s.len() {
+            stats.busy_s[v] += self.busy_s[v];
+            stats.stall_s[v] += self.stall_s[v];
+            stats.crit_s[v] += self.crit_s[v];
+        }
     }
 }
 
@@ -502,6 +649,11 @@ pub struct TraceReport {
     /// ([`Coordinator::serve_trace_pipelined`]); `None` on the sequential
     /// engine.
     pub pipeline: Option<PipelineStats>,
+    /// Per-node busy/stall/critical-path measurements when the trace ran
+    /// a single DAG deployment ([`Coordinator::serve_trace_dag`] and its
+    /// pipelined twin); `None` on the chain engines and the
+    /// multi-deployment adaptive engine.
+    pub dag_nodes: Option<DagNodeStats>,
 }
 
 /// One lane's collection slot in [`Coordinator::run_lanes`]: its
@@ -586,8 +738,13 @@ impl Coordinator {
         let n = plan.nodes.len();
         let mut functions = Vec::with_capacity(n);
         let mut scalars = Vec::with_capacity(n);
-        let mut node_reads = Vec::with_capacity(n);
-        let mut node_writes = Vec::with_capacity(n);
+        let mut reads_off = Vec::with_capacity(n + 1);
+        let mut reads_obj = Vec::new();
+        let mut read_producer = Vec::new();
+        let mut writes_off = Vec::with_capacity(n + 1);
+        let mut writes = Vec::new();
+        reads_off.push(0u32);
+        writes_off.push(0u32);
         let mut deploy_s = 0.0f64;
         for (v, node) in plan.nodes.iter().enumerate() {
             let work = PartitionWork::from_segment(graph, node.start, node.end);
@@ -596,11 +753,15 @@ impl Coordinator {
             functions.push(fid);
             deploy_s = deploy_s.max(d); // parallel uploads
             let reads = plan.inputs_of(v);
-            let writes: Vec<(usize, u64)> = plan
-                .outputs_of(v)
-                .into_iter()
-                .map(|o| (o, plan.objects[o].bytes))
-                .collect();
+            for &o in &reads {
+                reads_obj.push(o as u32);
+                read_producer.push(plan.objects[o].producer as u32);
+            }
+            reads_off.push(reads_obj.len() as u32);
+            for o in plan.outputs_of(v) {
+                writes.push((o as u32, plan.objects[o].bytes));
+            }
+            writes_off.push(writes.len() as u32);
             let input_bytes = if reads.is_empty() {
                 work.seg.input_bytes
             } else {
@@ -612,16 +773,17 @@ impl Coordinator {
                 resident_bytes: 2 * work.seg.weight_bytes + work.seg.activation_bytes + input_bytes,
                 tmp_bytes: work.seg.weight_bytes + input_bytes,
             });
-            node_reads.push(reads);
-            node_writes.push(writes);
         }
         Ok(DagDeployment {
             functions,
             deploy_s,
             scalars,
-            node_reads,
-            node_writes,
-            object_producer: plan.objects.iter().map(|o| o.producer).collect(),
+            reads_off,
+            reads_obj,
+            read_producer,
+            writes_off,
+            writes,
+            num_objects: plan.objects.len(),
         })
     }
 
@@ -771,8 +933,8 @@ impl Coordinator {
         let mut retries: Vec<RetryRecord> = Vec::new();
         for v in 0..k {
             let mut now = t0;
-            for &o in &dep.node_reads[v] {
-                now = now.max(scratch.finish[dep.object_producer[o]]);
+            for &p in dep.producers_of(v) {
+                now = now.max(scratch.finish[p as usize]);
             }
             let work = &scratch.works[v];
             let mut attempt: u32 = 0;
@@ -1127,6 +1289,7 @@ impl Coordinator {
         dep: &DagDeployment,
         arrivals: &[f64],
     ) -> TraceReport {
+        let k = dep.functions.len();
         let (requests, lane_outs) = self.run_lanes_generic(
             platform,
             arrivals,
@@ -1136,8 +1299,61 @@ impl Coordinator {
                 self.serve_lite_dag(p, dep, t0, scratch)
             },
         );
+        let mut stats = DagNodeStats {
+            // 0: the sequential engine scales instances out on demand, so
+            // no station count bounds per-node concurrency.
+            stations_per_node: 0,
+            busy_s: vec![0.0; k],
+            stall_s: vec![0.0; k],
+            crit_s: vec![0.0; k],
+            span_s: arrivals.first().copied().unwrap_or(0.0),
+        };
+        let mut shards = Vec::with_capacity(lane_outs.len());
+        for (shard, mut scratch) in lane_outs {
+            scratch.drain_into(&mut stats);
+            shards.push(shard);
+        }
+        let mut report = self.finish_trace(platform, &dep.functions, requests, shards, None);
+        stats.span_s = (report.last_completion_s - stats.span_s).max(0.0);
+        report.dag_nodes = Some(stats);
+        report
+    }
+
+    /// [`serve_trace_dag`](Self::serve_trace_dag) over several DAG
+    /// deployments: request `i` runs `deps[assign(i)]` — the plan-cache
+    /// engine's DAG entry point, where an adaptive controller switches
+    /// effective plans (chain-shaped or branch-parallel, both deployed as
+    /// DAGs) between load epochs. `assign` must be a pure function of the
+    /// request index; every returned index must be `< deps.len()`, and
+    /// all deployments must live on `platform`. Per-node stats are not
+    /// folded here (node indices mean different things across
+    /// deployments), so `dag_nodes` stays `None`.
+    pub fn serve_trace_assigned_dag(
+        &self,
+        platform: &mut Platform,
+        deps: &[DagDeployment],
+        assign: &(dyn Fn(usize) -> usize + Sync),
+        arrivals: &[f64],
+    ) -> TraceReport {
+        let (requests, lane_outs) = self.run_lanes_generic(
+            platform,
+            arrivals,
+            |_lane| -> Vec<DagServeScratch> {
+                deps.iter().map(DagServeScratch::for_deployment).collect()
+            },
+            |p, scratches: &mut Vec<DagServeScratch>, idx, t0| {
+                let d = assign(idx);
+                let scratch = &mut scratches[d];
+                scratch.prepare_anon(p, &deps[d]);
+                self.serve_lite_dag(p, &deps[d], t0, scratch)
+            },
+        );
         let shards = lane_outs.into_iter().map(|(p, _)| p).collect();
-        self.finish_trace(platform, &dep.functions, requests, shards, None)
+        let fids: Vec<FunctionId> = deps
+            .iter()
+            .flat_map(|d| d.functions.iter().copied())
+            .collect();
+        self.finish_trace(platform, &fids, requests, shards, None)
     }
 
     /// [`serve_trace_dag`](Self::serve_trace_dag) with pipeline-station
@@ -1177,16 +1393,27 @@ impl Coordinator {
             stage_stall_s: vec![0.0; k],
             span_s: 0.0,
         };
+        let mut node_stats = DagNodeStats {
+            stations_per_node: depth * lanes,
+            busy_s: vec![0.0; k],
+            stall_s: vec![0.0; k],
+            crit_s: vec![0.0; k],
+            span_s: arrivals.first().copied().unwrap_or(0.0),
+        };
         let mut shards = Vec::with_capacity(lane_outs.len());
-        for (shard, (_, stations)) in lane_outs {
+        for (shard, (mut scratch, stations)) in lane_outs {
             for (i, st) in stations.iter().enumerate() {
                 stats.stage_busy_s[i] += st.busy_s();
                 stats.stage_stall_s[i] += st.stall_s();
             }
+            scratch.drain_into(&mut node_stats);
             shards.push(shard);
         }
         stats.span_s = arrivals.first().copied().unwrap_or(0.0);
-        self.finish_trace(platform, &dep.functions, requests, shards, Some(stats))
+        let mut report = self.finish_trace(platform, &dep.functions, requests, shards, Some(stats));
+        node_stats.span_s = (report.last_completion_s - node_stats.span_s).max(0.0);
+        report.dag_nodes = Some(node_stats);
+        report
     }
 
     /// Shared trace aggregation: settle storage and warm pools per shard
@@ -1250,6 +1477,7 @@ impl Coordinator {
             idle_s,
             idle_dollars,
             pipeline,
+            dag_nodes: None,
         }
     }
 
@@ -1420,10 +1648,11 @@ impl Coordinator {
         let mut n_retries: u32 = 0;
         for v in 0..k {
             // Checkpoint-ready: every object this node reads is written.
-            let mut now = t0;
-            for &o in &dep.node_reads[v] {
-                now = now.max(scratch.finish[dep.object_producer[o]]);
+            let mut ready = t0;
+            for &p in dep.producers_of(v) {
+                ready = ready.max(scratch.finish[p as usize]);
             }
+            let mut now = ready;
             let mut attempt: u32 = 0;
             let out = loop {
                 match platform.invoke(dep.functions[v], now, &scratch.works[v]) {
@@ -1451,6 +1680,9 @@ impl Coordinator {
                 }
             };
             scratch.finish[v] = out.end;
+            scratch.dur[v] = out.end - out.start;
+            scratch.busy_s[v] += out.end - out.start;
+            scratch.stall_s[v] += (out.start - ready) + out.storage_retry_s;
             dollars += out.dollars;
             stall_s += out.storage_retry_s;
             if out.storage_retry_s > 0.0 {
@@ -1462,6 +1694,7 @@ impl Coordinator {
             }
         }
         let done = scratch.finish[..k].iter().fold(t0, |a, &b| a.max(b));
+        self.accumulate_critical_path(dep, scratch, k);
         RequestSummary {
             arrival_s: t0,
             latency_s: done - t0,
@@ -1470,6 +1703,42 @@ impl Coordinator {
             wasted_s: retry_s + stall_s,
             wasted_dollars: retry_dollars + stall_dollars,
             ok: true,
+        }
+    }
+
+    /// Walks one served request's critical path — from the last-finishing
+    /// node back through each node's latest-finishing input producer
+    /// (first such producer on ties, making the walk deterministic) — and
+    /// adds every visited node's successful-attempt duration to the
+    /// lane's `crit_s` accumulator. O(path length) per request.
+    fn accumulate_critical_path(
+        &self,
+        dep: &DagDeployment,
+        scratch: &mut DagServeScratch,
+        k: usize,
+    ) {
+        if k == 0 {
+            return;
+        }
+        let mut v = 0usize;
+        for u in 1..k {
+            if scratch.finish[u] > scratch.finish[v] {
+                v = u;
+            }
+        }
+        loop {
+            scratch.crit_s[v] += scratch.dur[v];
+            let producers = dep.producers_of(v);
+            let Some(&first) = producers.first() else {
+                break;
+            };
+            let mut best = first as usize;
+            for &p in &producers[1..] {
+                if scratch.finish[p as usize] > scratch.finish[best] {
+                    best = p as usize;
+                }
+            }
+            v = best;
         }
     }
 
@@ -1496,8 +1765,8 @@ impl Coordinator {
         let mut n_retries: u32 = 0;
         for (v, pool) in stations.iter_mut().enumerate().take(k) {
             let mut ready = t0;
-            for &o in &dep.node_reads[v] {
-                ready = ready.max(scratch.finish[dep.object_producer[o]]);
+            for &p in dep.producers_of(v) {
+                ready = ready.max(scratch.finish[p as usize]);
             }
             let (station, start) = pool.admit(ready);
             let mut now = start;
@@ -1530,6 +1799,9 @@ impl Coordinator {
             };
             pool.release(station, start, out.end);
             scratch.finish[v] = out.end;
+            scratch.dur[v] = out.end - out.start;
+            scratch.busy_s[v] += out.end - out.start;
+            scratch.stall_s[v] += (out.start - ready) + out.storage_retry_s;
             dollars += out.dollars;
             stall_s += out.storage_retry_s;
             if out.storage_retry_s > 0.0 {
@@ -1541,6 +1813,7 @@ impl Coordinator {
             }
         }
         let done = scratch.finish[..k].iter().fold(t0, |a, &b| a.max(b));
+        self.accumulate_critical_path(dep, scratch, k);
         RequestSummary {
             arrival_s: t0,
             latency_s: done - t0,
@@ -2173,7 +2446,11 @@ mod tests {
 
         let mut p_dag = coord.platform();
         let ddep = coord.deploy_dag(&mut p_dag, &g, &dag).unwrap();
-        let via_dag = coord.serve_trace_dag(&mut p_dag, &ddep, &arrivals);
+        let mut via_dag = coord.serve_trace_dag(&mut p_dag, &ddep, &arrivals);
+        // The DAG engine adds per-node observability on top of the chain
+        // report; everything the chain engine reports must match bitwise.
+        assert!(via_dag.dag_nodes.is_some());
+        via_dag.dag_nodes = None;
         assert_eq!(chain, via_dag);
         for (a, b) in chain.requests.iter().zip(&via_dag.requests) {
             assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
@@ -2187,7 +2464,9 @@ mod tests {
 
         let mut pp_dag = coord_pipe.platform();
         let pddep = coord_pipe.deploy_dag(&mut pp_dag, &g, &dag).unwrap();
-        let dag_pipe = coord_pipe.serve_trace_dag_pipelined(&mut pp_dag, &pddep, &arrivals);
+        let mut dag_pipe = coord_pipe.serve_trace_dag_pipelined(&mut pp_dag, &pddep, &arrivals);
+        assert!(dag_pipe.dag_nodes.is_some());
+        dag_pipe.dag_nodes = None;
         assert_eq!(chain_pipe, dag_pipe);
     }
 

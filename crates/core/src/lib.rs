@@ -42,12 +42,14 @@ pub mod trace;
 
 pub use config::AmpsConfig;
 pub use coordinator::{
-    BatchFailure, BatchReport, Coordinator, DagDeployment, DagServeScratch, JobReport,
-    PipelineReport, PipelineStats, RequestSummary, RetryRecord, ServeError, ServeScratch,
-    TraceReport,
+    BatchFailure, BatchReport, Coordinator, DagDeployment, DagNodeStats, DagServeScratch,
+    JobReport, PipelineReport, PipelineStats, RequestSummary, RetryRecord, ServeError,
+    ServeScratch, TraceReport,
 };
 pub use optimizer::{DagReport, DagSearchStats, OptimizeError, Optimizer};
-pub use plan::{DagNode, DagObject, DagPlan, ExecutionPlan, PartitionPlan, PipelinePlan};
+pub use plan::{
+    DagNode, DagObject, DagPlan, EffectivePlan, ExecutionPlan, PartitionPlan, PipelinePlan,
+};
 pub use plancache::PlanCache;
 pub use sweep::{
     DagSweepPoint, DagSweepReport, PipelinePoint, PipelineSweepReport, PointStats, SweepGrid,

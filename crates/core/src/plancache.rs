@@ -20,8 +20,8 @@ use ampsinf_model::LayerGraph;
 
 use crate::config::AmpsConfig;
 use crate::optimizer::{OptimizeError, Optimizer};
-use crate::plan::ExecutionPlan;
-use crate::sweep::SweepReport;
+use crate::plan::{EffectivePlan, ExecutionPlan};
+use crate::sweep::{DagSweepReport, SweepReport};
 
 /// Cache key: model name, SLO bit pattern (`None` = unconstrained),
 /// batch size.
@@ -32,6 +32,7 @@ type PlanKey = (String, Option<u64>, u64);
 #[derive(Debug, Default)]
 pub struct PlanCache {
     entries: HashMap<PlanKey, Result<ExecutionPlan, OptimizeError>>,
+    effective: HashMap<PlanKey, Result<EffectivePlan, OptimizeError>>,
     hits: u64,
     misses: u64,
 }
@@ -42,14 +43,15 @@ impl PlanCache {
         Self::default()
     }
 
-    /// Number of cached points (feasible and infeasible).
+    /// Number of cached points (feasible and infeasible), chain and
+    /// effective tables combined.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.len() + self.effective.len()
     }
 
     /// Whether the cache holds no points.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.effective.is_empty()
     }
 
     /// Lookups served from the cache so far.
@@ -75,6 +77,60 @@ impl PlanCache {
             }
         }
         inserted
+    }
+
+    /// Seeds the *effective*-plan table with every point of a completed
+    /// DAG sweep: the point's branch-parallel winner when the search beat
+    /// the chain, otherwise its chain incumbent (infeasible points cache
+    /// their error). Returns how many points were newly inserted;
+    /// already-cached keys keep their existing entry.
+    pub fn seed_from_dag_sweep(&mut self, model: &str, report: &DagSweepReport) -> usize {
+        let mut inserted = 0;
+        for p in &report.points {
+            let key = (model.to_string(), Some(p.slo_s.to_bits()), p.batch);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.effective.entry(key) {
+                let outcome = match (&p.dag, &p.outcome) {
+                    (Some(dag), _) => Ok(EffectivePlan::Dag(dag.clone())),
+                    (None, Ok(chain)) => Ok(EffectivePlan::Chain(chain.clone())),
+                    (None, Err(err)) => Err(err.clone()),
+                };
+                e.insert(outcome);
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// The *effective* plan (chain or DAG, whichever the twin-objective
+    /// search recommends) at `(graph.name, slo_s, batch)`, planning on a
+    /// miss via [`Optimizer::optimize_dag`]. The effective table is
+    /// keyed separately from [`PlanCache::get_or_plan`]'s chain table —
+    /// the same `(SLO, batch)` point may hold both a chain plan and an
+    /// effective plan, and their hit/miss counters are shared.
+    pub fn get_or_plan_effective(
+        &mut self,
+        graph: &LayerGraph,
+        cfg: &AmpsConfig,
+        slo_s: Option<f64>,
+        batch: u64,
+    ) -> Result<EffectivePlan, OptimizeError> {
+        let key = (graph.name.clone(), slo_s.map(f64::to_bits), batch);
+        if let Some(cached) = self.effective.get(&key) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let mut point_cfg = cfg.clone();
+        point_cfg.slo_s = slo_s;
+        point_cfg.batch_size = batch;
+        let outcome = Optimizer::new(point_cfg)
+            .optimize_dag(graph)
+            .map(|r| match r.dag {
+                Some(dag) => EffectivePlan::Dag(dag),
+                None => EffectivePlan::Chain(r.chain.plan),
+            });
+        self.effective.insert(key, outcome.clone());
+        outcome
     }
 
     /// The plan at `(graph.name, slo_s, batch)`, planning on a miss.
@@ -157,6 +213,79 @@ mod tests {
         let tight = 1e-6; // no plan can finish in a microsecond
         assert!(cache.get_or_plan(&g, &cfg, Some(tight), 1).is_err());
         assert!(cache.get_or_plan(&g, &cfg, Some(tight), 1).is_err());
+        assert_eq!(cache.misses(), 1, "second probe must be a hit");
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn effective_miss_plans_and_hit_returns_same_plan() {
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default();
+        let mut cache = PlanCache::new();
+        let a = cache.get_or_plan_effective(&g, &cfg, None, 1).unwrap();
+        let b = cache.get_or_plan_effective(&g, &cfg, None, 1).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        // A straight chain has no branches to parallelize: the effective
+        // plan is the chain incumbent.
+        assert!(matches!(a, EffectivePlan::Chain(_)));
+    }
+
+    #[test]
+    fn effective_table_is_keyed_apart_from_the_chain_table() {
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default();
+        let mut cache = PlanCache::new();
+        let chain = cache.get_or_plan(&g, &cfg, None, 1).unwrap();
+        let effective = cache.get_or_plan_effective(&g, &cfg, None, 1).unwrap();
+        assert_eq!(cache.len(), 2, "same point, two tables");
+        assert_eq!(cache.misses(), 2, "neither lookup may serve the other");
+        assert_eq!(effective, EffectivePlan::Chain(chain));
+    }
+
+    #[test]
+    fn dag_sweep_seed_yields_branch_parallel_effective_plans() {
+        // Inception-v3 at batch 64 is the canonical branch-parallel win:
+        // the seeded effective plan must be the sweep's DAG winner, and
+        // looking it up must not re-solve.
+        let g = zoo::inception_v3();
+        let cfg = AmpsConfig {
+            batch_size: 64,
+            ..Default::default()
+        };
+        let free = Optimizer::new(cfg.clone())
+            .optimize(&g)
+            .unwrap()
+            .plan
+            .predicted_time_s;
+        let slo = free * 2.0;
+        let grid = SweepGrid::from_slos(vec![slo]).with_batches(vec![64]);
+        let report = Optimizer::new(cfg.clone()).optimize_dag_sweep(&g, &grid);
+        let mut cache = PlanCache::new();
+        assert_eq!(cache.seed_from_dag_sweep(&g.name, &report), 1);
+        assert_eq!(cache.seed_from_dag_sweep(&g.name, &report), 0, "idempotent");
+        let cached = cache
+            .get_or_plan_effective(&g, &cfg, Some(slo), 64)
+            .unwrap();
+        let direct = report.points[0].dag.clone().expect("DAG must win");
+        assert_eq!(cached, EffectivePlan::Dag(direct));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn effective_infeasible_outcomes_are_cached_not_resolved() {
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default();
+        let mut cache = PlanCache::new();
+        let tight = 1e-6;
+        assert!(cache
+            .get_or_plan_effective(&g, &cfg, Some(tight), 1)
+            .is_err());
+        assert!(cache
+            .get_or_plan_effective(&g, &cfg, Some(tight), 1)
+            .is_err());
         assert_eq!(cache.misses(), 1, "second probe must be a hit");
         assert_eq!(cache.hits(), 1);
     }

@@ -125,6 +125,20 @@ fn assert_traces_bit_identical(a: &TraceReport, b: &TraceReport) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
     }
+    assert_eq!(a.dag_nodes.is_some(), b.dag_nodes.is_some());
+    if let (Some(p), Some(q)) = (&a.dag_nodes, &b.dag_nodes) {
+        assert_eq!(p.stations_per_node, q.stations_per_node);
+        assert_eq!(p.span_s.to_bits(), q.span_s.to_bits());
+        for (x, y) in p.busy_s.iter().zip(&q.busy_s) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in p.stall_s.iter().zip(&q.stall_s) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in p.crit_s.iter().zip(&q.crit_s) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
 }
 
 #[test]
@@ -528,6 +542,42 @@ fn dag_trace_bit_identical_under_faults_and_flaky_store() {
 }
 
 #[test]
+fn dag_heavy_tail_bit_identical_under_faults_flaky_store_and_warm_pool() {
+    // The full gauntlet on the DAG engine: heavy-tail arrivals (front
+    // burst + stretching gaps skew lane chunks), a flaky store (per-key
+    // fate draws), fault injection (retries) and a billed provisioned
+    // pool (per-lane idle settlement). Every report field — including
+    // the per-node busy/stall/critical accounting — must merge
+    // bit-identically at every thread count.
+    let (g, plan, mut cfg) = dag_plan_cfg();
+    cfg.store = StoreKind::flaky_s3(0.2);
+    let cfg = cfg
+        .with_serve_lanes(8)
+        .with_retries(2)
+        .with_faults(FaultPlan::uniform(0.1, 47))
+        .with_warm_pool(WarmPoolPolicy::provisioned(2));
+    let arrivals = heavy_tail_arrivals();
+    let baseline = run_trace_dag(
+        &cfg.clone().with_serve_threads(THREADS[0]),
+        &g,
+        &plan,
+        &arrivals,
+    );
+    let disturbed = baseline.0.requests.iter().any(|r| r.retries > 0);
+    assert!(disturbed, "faults/flaky store injected nothing");
+    assert!(baseline.0.pre_warmed > 0, "policy pre-warmed nothing");
+    assert!(baseline.0.idle_dollars > 0.0, "provisioned idle unbilled");
+    let stats = baseline.0.dag_nodes.as_ref().expect("node stats");
+    assert!(stats.busy_s() > 0.0, "nodes never ran");
+    for t in &THREADS[1..] {
+        let other = run_trace_dag(&cfg.clone().with_serve_threads(*t), &g, &plan, &arrivals);
+        assert_traces_bit_identical(&baseline.0, &other.0);
+        assert_eq!(baseline.1, other.1, "ledger total at {t} threads");
+        assert_eq!(baseline.2, other.2, "invocations at {t} threads");
+    }
+}
+
+#[test]
 fn dag_pipelined_trace_bit_identical_across_thread_counts() {
     let (g, plan, cfg) = dag_plan_cfg();
     let cfg = cfg.with_serve_lanes(4).with_pipeline(2);
@@ -573,7 +623,11 @@ fn chain_shaped_dag_plan_matches_chain_engine_at_every_thread_count() {
         for t in THREADS {
             let cfg = cfg.clone().with_serve_threads(t);
             let chain = run_trace(&cfg, &g, &chain_plan, &arrivals);
-            let dag = run_trace_dag(&cfg, &g, &dag_plan, &arrivals);
+            let mut dag = run_trace_dag(&cfg, &g, &dag_plan, &arrivals);
+            // The DAG engine additionally reports per-node stats; the
+            // chain engine has no node axis. Everything else is bitwise.
+            assert!(dag.0.dag_nodes.is_some());
+            dag.0.dag_nodes = None;
             assert_traces_bit_identical(&chain.0, &dag.0);
             assert_eq!(
                 chain.1, dag.1,
@@ -602,9 +656,11 @@ fn chain_shaped_dag_request_fates_match_chain_engine_under_faults() {
         &chain_plan,
         &arrivals,
     );
-    let dag = run_trace_dag(&cfg.clone().with_serve_threads(1), &g, &dag_plan, &arrivals);
+    let mut dag = run_trace_dag(&cfg.clone().with_serve_threads(1), &g, &dag_plan, &arrivals);
     let disturbed = chain.0.failures > 0 || chain.0.requests.iter().any(|r| r.retries > 0);
     assert!(disturbed, "faults injected nothing");
+    assert!(dag.0.dag_nodes.is_some());
+    dag.0.dag_nodes = None;
     assert_traces_bit_identical(&chain.0, &dag.0);
     for (a, b) in chain.0.requests.iter().zip(&dag.0.requests) {
         assert_eq!(a.retries, b.retries, "fault fates must match");

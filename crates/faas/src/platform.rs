@@ -529,8 +529,29 @@ impl Platform {
             "shards must come from the same deployment"
         );
         for (mine, theirs) in self.functions.iter_mut().zip(shard.functions) {
-            mine.instances.extend(theirs.instances);
-            mine.instances.sort_by(f64::total_cmp);
+            // Both pools honor the sorted-free-time discipline, so a
+            // stable linear merge (ties keep `mine` first, matching the
+            // former extend-and-stable-sort) replaces the O(n log n) sort.
+            if mine.instances.is_empty() {
+                mine.instances = theirs.instances;
+            } else if !theirs.instances.is_empty() {
+                let a = std::mem::take(&mut mine.instances);
+                let b = theirs.instances;
+                let mut merged = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    if a[i].total_cmp(&b[j]).is_le() {
+                        merged.push(a[i]);
+                        i += 1;
+                    } else {
+                        merged.push(b[j]);
+                        j += 1;
+                    }
+                }
+                merged.extend_from_slice(&a[i..]);
+                merged.extend_from_slice(&b[j..]);
+                mine.instances = merged;
+            }
             mine.cold_starts += theirs.cold_starts;
             mine.pre_warmed += theirs.pre_warmed;
             mine.idle_warm_s += theirs.idle_warm_s;

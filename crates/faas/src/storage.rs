@@ -8,6 +8,27 @@
 use crate::ledger::{CostItem, CostLedger};
 use crate::pricing::PriceSheet;
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+/// Multiplicative hasher for the name table's dense `u32` keys: one
+/// multiply beats SipHash on the intern path, and key values are already
+/// unique, so spreading their bits is all a hash needs to do here.
+#[derive(Debug, Default, Clone)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("the name table hashes u32 keys only")
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.0 = u64::from(v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type KeyMap<V> = HashMap<u32, V, BuildHasherDefault<KeyHasher>>;
 
 /// Storage backend characteristics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +109,15 @@ impl ObjectKey {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// The key `i` slots after this one. Only meaningful inside a
+    /// contiguous block handed out by [`ObjectStore::fresh_block`], whose
+    /// keys are guaranteed consecutive — the DAG serving hot path derives
+    /// a request's per-object keys from the block base with plain index
+    /// arithmetic instead of one allocator call per object.
+    pub fn offset(self, i: u32) -> ObjectKey {
+        ObjectKey(self.0 + i)
+    }
 }
 
 /// The object store: tracks objects, transfer timing, and fees.
@@ -95,8 +125,11 @@ impl ObjectKey {
 pub struct ObjectStore {
     /// Backend characteristics.
     pub kind: StoreKind,
-    /// Interned key strings, indexed by [`ObjectKey`].
-    names: Vec<String>,
+    /// Key → name for *named* keys only (merges and settlement look keys
+    /// up by index, never iterate, so map order is irrelevant). Anonymous
+    /// keys — the serving hot path's entire per-request traffic — carry
+    /// no entry at all, so allocating them never touches a string table.
+    names: KeyMap<String>,
     /// Name → interned key.
     lookup: HashMap<String, ObjectKey>,
     /// Live object metadata, indexed by [`ObjectKey`] (`None` = never
@@ -160,7 +193,7 @@ impl ObjectStore {
     pub fn new(kind: StoreKind) -> Self {
         ObjectStore {
             kind,
-            names: Vec::new(),
+            names: KeyMap::default(),
             lookup: HashMap::new(),
             metas: Vec::new(),
             history: Vec::new(),
@@ -174,8 +207,8 @@ impl ObjectStore {
         if let Some(&k) = self.lookup.get(name) {
             return k;
         }
-        let k = ObjectKey(u32::try_from(self.names.len()).expect("intern table overflow"));
-        self.names.push(name.to_string());
+        let k = ObjectKey(u32::try_from(self.metas.len()).expect("intern table overflow"));
+        self.names.insert(k.0, name.to_string());
         self.lookup.insert(name.to_string(), k);
         self.metas.push(None);
         k
@@ -188,16 +221,29 @@ impl ObjectStore {
     /// like named keys but are unreachable by name (each call returns a
     /// distinct key, so they never collide).
     pub fn fresh_key(&mut self) -> ObjectKey {
-        let k = ObjectKey(u32::try_from(self.names.len()).expect("intern table overflow"));
-        self.names.push(String::new());
+        let k = ObjectKey(u32::try_from(self.metas.len()).expect("intern table overflow"));
         self.metas.push(None);
         k
+    }
+
+    /// Allocates `n` anonymous keys in one call and returns the first;
+    /// the block is contiguous, so key `i` of the block is
+    /// `base.offset(i)`. Equivalent to `n` [`ObjectStore::fresh_key`]
+    /// calls (same key values, same table growth) but with one bounds
+    /// check and two bulk extends instead of `n` of each — the per-request
+    /// setup cost of a DAG with `n` inter-node objects.
+    pub fn fresh_block(&mut self, n: usize) -> ObjectKey {
+        let len = self.metas.len();
+        let base = ObjectKey(u32::try_from(len).expect("intern table overflow"));
+        u32::try_from(len + n).expect("intern table overflow");
+        self.metas.resize(len + n, None);
+        base
     }
 
     /// The name an [`ObjectKey`] was interned under (empty for anonymous
     /// keys from [`ObjectStore::fresh_key`]).
     pub fn name_of(&self, key: ObjectKey) -> &str {
-        &self.names[key.0 as usize]
+        self.names.get(&key.0).map_or("", String::as_str)
     }
 
     /// Re-keys the failure-draw stream for substream `stream`. The sharded
@@ -218,19 +264,32 @@ impl ObjectStore {
     pub fn absorb(&mut self, other: ObjectStore) {
         let ObjectStore {
             names,
+            lookup,
             metas,
             history,
             ..
         } = other;
-        let mut remap = Vec::with_capacity(names.len());
-        for name in &names {
+        if lookup.is_empty() {
+            // Every shard key is anonymous (the serving hot path's usual
+            // case): the remap is the identity shifted by this store's
+            // key count, so the tables bulk-append — no per-key allocator
+            // or intern-table traffic, no remap buffer.
+            let base = u32::try_from(self.metas.len()).expect("intern table overflow");
+            u32::try_from(self.metas.len() + metas.len()).expect("intern table overflow");
+            self.metas.extend(metas);
+            self.history
+                .extend(history.into_iter().map(|(k, m)| (ObjectKey(k.0 + base), m)));
+            return;
+        }
+        let mut remap = Vec::with_capacity(metas.len());
+        self.metas.reserve(metas.len());
+        for idx in 0..metas.len() {
             // Anonymous shard keys stay anonymous — and stay distinct:
             // interning their shared empty name would collapse every
             // shard's per-request objects onto one key.
-            remap.push(if name.is_empty() {
-                self.fresh_key()
-            } else {
-                self.intern(name)
+            remap.push(match names.get(&(idx as u32)) {
+                Some(name) => self.intern(name),
+                None => self.fresh_key(),
             });
         }
         for (idx, meta) in metas.into_iter().enumerate() {

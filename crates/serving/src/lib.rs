@@ -29,7 +29,8 @@ pub mod serfer;
 
 pub use batch_baseline::{run_batch_baseline, BatchBaselineReport};
 pub use loadgen::{
-    run_adaptive_loop, run_open_loop, AdaptiveSpec, ArrivalShape, LoadReport, LoadSpec,
+    run_adaptive_loop, run_adaptive_loop_dag, run_open_loop, run_open_loop_dag, AdaptiveSpec,
+    ArrivalShape, LoadReport, LoadSpec,
 };
 pub use sagemaker::{SageConfig, SageReport, SageSetting};
 pub use serfer::{run_serfer, SerferReport};

@@ -20,9 +20,11 @@
 use std::collections::HashMap;
 
 use ampsinf_core::coordinator::Deployment;
-use ampsinf_core::plan::ExecutionPlan;
+use ampsinf_core::plan::{DagPlan, EffectivePlan, ExecutionPlan};
 use ampsinf_core::sweep::SweepGrid;
-use ampsinf_core::{AmpsConfig, Coordinator, Optimizer, PlanCache, TraceReport};
+use ampsinf_core::{
+    AmpsConfig, Coordinator, DagDeployment, DagNodeStats, Optimizer, PlanCache, TraceReport,
+};
 use ampsinf_faas::SmallRng;
 use ampsinf_model::LayerGraph;
 
@@ -326,6 +328,11 @@ pub struct LoadReport {
     /// Per-stage station utilization in chain order (empty unless the run
     /// was pipelined).
     pub stage_utilization: Vec<f64>,
+    /// Per-DAG-node busy/stall/critical-path accounting (`Some` only for
+    /// single-DAG open-loop runs — [`run_open_loop_dag`]; the adaptive
+    /// engine serves several deployments whose node indices don't line
+    /// up, so it reports `None`).
+    pub dag_nodes: Option<DagNodeStats>,
 }
 
 impl LoadReport {
@@ -407,6 +414,7 @@ fn report_from_trace(
             .pipeline
             .as_ref()
             .map_or_else(Vec::new, |p| p.stage_utilization()),
+        dag_nodes: trace.dag_nodes.clone(),
     }
 }
 
@@ -440,6 +448,40 @@ pub fn run_open_loop(
         coord.serve_trace_pipelined(&mut platform, &dep, &arrivals)
     } else {
         coord.serve_trace(&mut platform, &dep, &arrivals)
+    };
+    Ok(report_from_trace(&trace, &arrivals, load, cfg))
+}
+
+/// Runs an open-loop workload against a deployed branch-parallel
+/// [`DagPlan`].
+///
+/// The DAG twin of [`run_open_loop`]: the same arrival shapes, warm-pool
+/// policies and fault injection drive [`Coordinator::serve_trace_dag`]'s
+/// work-stealing sharded engine (or the station-pipelined
+/// [`Coordinator::serve_trace_dag_pipelined`] when
+/// [`AmpsConfig::pipeline_depth`] > 0), and the report is bit-identical
+/// at every thread count. On top of the chain report, the run surfaces
+/// [`LoadReport::dag_nodes`]: per-node busy/stall seconds, station
+/// occupancy and critical-path shares — where the width actually went.
+///
+/// A chain-shaped plan ([`DagPlan::from_chain`]) reproduces the chain
+/// engine's [`run_open_loop`] report bit-for-bit.
+pub fn run_open_loop_dag(
+    graph: &LayerGraph,
+    plan: &DagPlan,
+    cfg: &AmpsConfig,
+    load: &LoadSpec,
+) -> Result<LoadReport, String> {
+    let coord = Coordinator::new(cfg.clone());
+    let mut platform = coord.platform();
+    let dep = coord
+        .deploy_dag(&mut platform, graph, plan)
+        .map_err(|e| e.to_string())?;
+    let arrivals = load.arrivals();
+    let trace = if cfg.pipeline_depth > 0 {
+        coord.serve_trace_dag_pipelined(&mut platform, &dep, &arrivals)
+    } else {
+        coord.serve_trace_dag(&mut platform, &dep, &arrivals)
     };
     Ok(report_from_trace(&trace, &arrivals, load, cfg))
 }
@@ -567,6 +609,112 @@ pub fn run_adaptive_loop(
 
     let epoch_requests = adaptive.epoch_requests;
     let trace = coord.serve_trace_assigned(
+        &mut platform,
+        &deps,
+        &|i| epoch_dep[i / epoch_requests],
+        &arrivals,
+    );
+    let mut report = report_from_trace(&trace, &arrivals, load, cfg);
+    report.plan_hits = cache.hits();
+    report.plan_misses = cache.misses();
+    report.replans = replans;
+    Ok(report)
+}
+
+/// Runs an open-loop workload with online re-planning over *effective*
+/// plans — chain or branch-parallel DAG, whichever the twin-objective
+/// search recommends per SLO tier.
+///
+/// The DAG twin of [`run_adaptive_loop`]: the cache is seeded by one
+/// amortized [`Optimizer::optimize_dag_sweep`] over the spec's tiers, so
+/// each tier resolves to an [`EffectivePlan`] without ever solving on
+/// the serving path. Every distinct tier deploys through the one DAG
+/// engine (chain incumbents wrap via [`DagPlan::from_chain`], which the
+/// engine executes bit-identically to the chain path), and requests run
+/// on [`Coordinator::serve_trace_assigned_dag`] with a per-epoch
+/// assignment that is a pure function of the request index — the report
+/// stays bit-identical at every thread count.
+pub fn run_adaptive_loop_dag(
+    graph: &LayerGraph,
+    cfg: &AmpsConfig,
+    load: &LoadSpec,
+    adaptive: &AdaptiveSpec,
+) -> Result<LoadReport, String> {
+    let arrivals = load.arrivals();
+    if arrivals.is_empty() {
+        return Err("adaptive run needs at least one request".into());
+    }
+    if cfg.pipeline_depth > 0 {
+        return Err(
+            "pipelined execution does not combine with the adaptive controller: \
+             stations are bound to one plan's stages, and the controller switches \
+             plans between epochs"
+                .into(),
+        );
+    }
+    let n_tiers = adaptive.slo_tiers.len();
+
+    // Seed the effective-plan cache with one amortized DAG sweep.
+    let mut cache = PlanCache::new();
+    let grid = SweepGrid::from_slos(adaptive.slo_tiers.clone()).with_batches(vec![cfg.batch_size]);
+    let sweep = Optimizer::new(cfg.clone()).optimize_dag_sweep(graph, &grid);
+    cache.seed_from_dag_sweep(&graph.name, &sweep);
+
+    let coord = Coordinator::new(cfg.clone());
+    let mut platform = coord.platform();
+    let mut deps: Vec<DagDeployment> = Vec::new();
+    let mut dep_of_tier: HashMap<Option<u64>, usize> = HashMap::new();
+    let mut epoch_dep: Vec<usize> = Vec::new();
+    let mut replans = 0u64;
+    for epoch in arrivals.chunks(adaptive.epoch_requests) {
+        // Observed epoch rate → pressure in (0, 1) against the mean.
+        let span = epoch[epoch.len() - 1] - epoch[0];
+        let rate = if epoch.len() >= 2 && span > 0.0 {
+            (epoch.len() - 1) as f64 / span
+        } else {
+            load.rate_rps
+        };
+        let pressure = rate / (rate + load.rate_rps);
+        let tier = (((1.0 - pressure) * n_tiers as f64) as usize).min(n_tiers - 1);
+
+        // Tier → effective plan, falling back loose-ward, then
+        // unconstrained.
+        let mut chosen: Option<(Option<f64>, EffectivePlan)> = None;
+        for slo in adaptive.slo_tiers[tier..]
+            .iter()
+            .copied()
+            .map(Some)
+            .chain([None])
+        {
+            if let Ok(plan) = cache.get_or_plan_effective(graph, cfg, slo, cfg.batch_size) {
+                chosen = Some((slo, plan));
+                break;
+            }
+        }
+        let Some((slo, plan)) = chosen else {
+            return Err("no feasible plan at any SLO tier".into());
+        };
+        let key = slo.map(f64::to_bits);
+        let dep_idx = match dep_of_tier.get(&key) {
+            Some(&i) => i,
+            None => {
+                let dag = plan.to_dag(|k| graph.cut_transfer_bytes(k));
+                let dep = coord
+                    .deploy_dag(&mut platform, graph, &dag)
+                    .map_err(|e| e.to_string())?;
+                deps.push(dep);
+                dep_of_tier.insert(key, deps.len() - 1);
+                deps.len() - 1
+            }
+        };
+        if epoch_dep.last().is_some_and(|&prev| prev != dep_idx) {
+            replans += 1;
+        }
+        epoch_dep.push(dep_idx);
+    }
+
+    let epoch_requests = adaptive.epoch_requests;
+    let trace = coord.serve_trace_assigned_dag(
         &mut platform,
         &deps,
         &|i| epoch_dep[i / epoch_requests],
@@ -717,6 +865,7 @@ mod tests {
             stall_s: 0.0,
             pipeline_utilization: 0.0,
             stage_utilization: Vec::new(),
+            dag_nodes: None,
         }
     }
 
@@ -1018,6 +1167,179 @@ mod tests {
                 assert_eq!(base.pre_warmed, other.pre_warmed, "{policy}");
             }
         }
+    }
+
+    fn dag_setup() -> (ampsinf_model::LayerGraph, DagPlan, AmpsConfig) {
+        let g = zoo::inception_v3();
+        let cfg = AmpsConfig {
+            batch_size: 64,
+            ..Default::default()
+        };
+        let report = Optimizer::new(cfg.clone()).optimize_dag(&g).unwrap();
+        let dag = report.dag.expect("DAG plan must win at batch 64");
+        (g, dag, cfg)
+    }
+
+    #[test]
+    fn dag_open_loop_bit_identical_across_thread_counts() {
+        // The DAG twin of the chain invariance test, under the full
+        // gauntlet: bursty arrivals, a flaky store, fault injection and a
+        // billed provisioned pool. The whole report — per-node stats
+        // included — must be bit-identical at 1, 2 and 8 threads.
+        use ampsinf_faas::{FaultPlan, StoreKind, WarmPoolPolicy};
+        let (g, plan, mut cfg) = dag_setup();
+        cfg.store = StoreKind::flaky_s3(0.2);
+        let cfg = cfg
+            .with_serve_lanes(4)
+            .with_retries(2)
+            .with_faults(FaultPlan::uniform(0.1, 29))
+            .with_warm_pool(WarmPoolPolicy::provisioned(2));
+        let load = LoadSpec::poisson(3.0, 16, 9).with_shape(ArrivalShape::bursty());
+        let base = run_open_loop_dag(&g, &plan, &cfg.clone().with_serve_threads(1), &load).unwrap();
+        assert!(
+            base.latencies_s.iter().any(|_| true),
+            "run must serve something"
+        );
+        for t in [2usize, 8] {
+            let other =
+                run_open_loop_dag(&g, &plan, &cfg.clone().with_serve_threads(t), &load).unwrap();
+            assert_eq!(
+                base.latencies_s
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>(),
+                other
+                    .latencies_s
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>(),
+                "latencies at {t} threads"
+            );
+            assert_eq!(base.dollars.to_bits(), other.dollars.to_bits());
+            assert_eq!(base.makespan_s.to_bits(), other.makespan_s.to_bits());
+            assert_eq!(base.cold_starts, other.cold_starts);
+            assert_eq!(base.failures, other.failures);
+            assert_eq!(base.idle_dollars.to_bits(), other.idle_dollars.to_bits());
+            let (a, b) = (
+                base.dag_nodes.as_ref().unwrap(),
+                other.dag_nodes.as_ref().unwrap(),
+            );
+            assert_eq!(a.span_s.to_bits(), b.span_s.to_bits());
+            for (x, y) in a.busy_s.iter().zip(&b.busy_s) {
+                assert_eq!(x.to_bits(), y.to_bits(), "node busy at {t} threads");
+            }
+            for (x, y) in a.crit_s.iter().zip(&b.crit_s) {
+                assert_eq!(x.to_bits(), y.to_bits(), "node crit at {t} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn dag_open_loop_reports_node_stats() {
+        let (g, plan, cfg) = dag_setup();
+        let load = LoadSpec::poisson(5.0, 12, 3);
+        let r = run_open_loop_dag(&g, &plan, &cfg, &load).unwrap();
+        let stats = r.dag_nodes.as_ref().expect("DAG runs report node stats");
+        assert_eq!(stats.busy_s.len(), plan.nodes.len());
+        assert!(stats.busy_s.iter().all(|&b| b > 0.0), "every node ran");
+        assert!(stats.stall_s.iter().all(|&s| s >= 0.0));
+        assert_eq!(stats.stations_per_node, 0, "sequential engine is unbounded");
+        assert!(stats.mean_concurrency(0) > 0.0);
+        let crit_total: f64 = (0..plan.nodes.len()).map(|v| stats.critical_share(v)).sum();
+        assert!(
+            (crit_total - 1.0).abs() < 1e-9,
+            "critical-path shares must sum to 1, got {crit_total}"
+        );
+    }
+
+    #[test]
+    fn chain_shaped_dag_open_loop_matches_chain_load_report() {
+        // A chain wrapped as a degenerate DAG must reproduce the chain
+        // engine's LoadReport bit-for-bit through the open-loop path.
+        let (g, plan, cfg) = setup();
+        let cfg = cfg.with_serve_lanes(4);
+        let dag = DagPlan::from_chain(&plan, |e| g.cut_transfer_bytes(e));
+        assert!(dag.is_chain());
+        let load = LoadSpec::poisson(3.0, 16, 9).with_shape(ArrivalShape::bursty());
+        for t in [1usize, 8] {
+            let cfg = cfg.clone().with_serve_threads(t);
+            let chain = run_open_loop(&g, &plan, &cfg, &load).unwrap();
+            let via_dag = run_open_loop_dag(&g, &dag, &cfg, &load).unwrap();
+            assert_eq!(
+                chain
+                    .latencies_s
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>(),
+                via_dag
+                    .latencies_s
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>(),
+                "latencies at {t} threads"
+            );
+            assert_eq!(chain.dollars.to_bits(), via_dag.dollars.to_bits());
+            assert_eq!(chain.makespan_s.to_bits(), via_dag.makespan_s.to_bits());
+            assert_eq!(chain.cold_starts, via_dag.cold_starts);
+            assert_eq!(chain.peak_instances, via_dag.peak_instances);
+            assert_eq!(chain.invocations, via_dag.invocations);
+            assert_eq!(chain.failures, via_dag.failures);
+            assert!(via_dag.dag_nodes.is_some(), "DAG path adds node stats");
+        }
+    }
+
+    #[test]
+    fn dag_adaptive_loop_swaps_effective_plans_and_stays_thread_invariant() {
+        // The effective-plan controller on a chain model: every tier's
+        // effective plan is the chain incumbent wrapped as a degenerate
+        // DAG, deployed through the one DAG engine. The flash crowd must
+        // force a re-plan, the seeded cache must serve every epoch, and
+        // the report must be bit-identical at every thread count.
+        let (g, plan, cfg) = setup();
+        let free = plan.predicted_time_s;
+        let adaptive = AdaptiveSpec::new(8, vec![free * 1.05, free * 4.0]);
+        let load = LoadSpec::poisson(2.0, 48, 33).with_shape(ArrivalShape::flash_crowd());
+        let cfg = cfg.with_serve_lanes(4);
+        let base = run_adaptive_loop_dag(&g, &cfg.clone().with_serve_threads(1), &load, &adaptive)
+            .unwrap();
+        assert_eq!(base.latencies_s.len() + base.failures, 48);
+        assert!(base.plan_hits > 0, "seeded cache must serve the controller");
+        assert_eq!(base.plan_misses, 0, "seeded tiers must not re-solve");
+        assert!(base.replans >= 1, "the flash crowd must force a re-plan");
+        assert!(
+            base.dag_nodes.is_none(),
+            "multi-deployment engine has no single node axis"
+        );
+        for t in [2usize, 8] {
+            let other =
+                run_adaptive_loop_dag(&g, &cfg.clone().with_serve_threads(t), &load, &adaptive)
+                    .unwrap();
+            assert_eq!(
+                base.latencies_s
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>(),
+                other
+                    .latencies_s
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>(),
+                "adaptive DAG latencies at {t} threads"
+            );
+            assert_eq!(base.dollars.to_bits(), other.dollars.to_bits());
+            assert_eq!(base.replans, other.replans);
+            assert_eq!(base.plan_hits, other.plan_hits);
+        }
+    }
+
+    #[test]
+    fn dag_adaptive_loop_rejects_pipelining() {
+        let g = zoo::mobilenet_v1();
+        let cfg = AmpsConfig::default().with_pipeline(1);
+        let load = LoadSpec::poisson(2.0, 8, 1);
+        let adaptive = AdaptiveSpec::new(4, vec![10.0]);
+        let err = run_adaptive_loop_dag(&g, &cfg, &load, &adaptive).unwrap_err();
+        assert!(err.contains("adaptive"), "{err}");
     }
 
     #[test]

@@ -18,7 +18,10 @@ use amps_inf::core::sweep::SweepGrid;
 use amps_inf::faas::WarmPoolPolicy;
 use amps_inf::model::summary::ModelSummary;
 use amps_inf::prelude::*;
-use amps_inf::serving::{run_adaptive_loop, run_open_loop, AdaptiveSpec, ArrivalShape, LoadSpec};
+use amps_inf::serving::{
+    run_adaptive_loop, run_adaptive_loop_dag, run_open_loop, run_open_loop_dag, AdaptiveSpec,
+    ArrivalShape, LoadSpec,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -176,32 +179,11 @@ fn run(args: &[String]) -> i32 {
         "serve" => match (load_model(args.get(1)), parse_cfg(&args[1..])) {
             (Ok(g), Ok((cfg, _, _))) => {
                 let dag = args.iter().any(|a| a == "--dag");
-                if dag {
-                    if args.iter().any(|a| a == "--parallel") {
-                        return fail(
-                            "--dag and --parallel are incompatible: a DAG plan already fans \
-                             out within each request (branch nodes run concurrently), and \
-                             the --parallel batch engine only executes chains; drop one",
-                        );
-                    }
-                    if args.iter().any(|a| a == "--adaptive") {
-                        return fail(
-                            "--dag and --adaptive are incompatible: the adaptive \
-                             controller's plan cache stores chain plans keyed by \
-                             (SLO, batch) and cannot swap DAG plans between epochs",
-                        );
-                    }
-                    if flag_value(args, "--requests").is_some() {
-                        return fail(
-                            "--dag and --requests are incompatible: open-loop load mode \
-                             runs on the chain serving harness; use --images <n> to fan \
-                             a DAG plan out over a burst of requests",
-                        );
-                    }
-                    return serve_dag(&g, cfg, args);
-                }
                 if flag_value(args, "--requests").is_some() {
-                    return serve_load(&g, cfg, args);
+                    return serve_load(&g, cfg, args, dag);
+                }
+                if dag {
+                    return serve_dag(&g, cfg, args);
                 }
                 let images = match flag_value(args, "--images") {
                     Some(v) => match v.parse::<usize>() {
@@ -387,6 +369,9 @@ fn plan_dag(g: &LayerGraph, cfg: AmpsConfig, args: &[String], json_out: Option<S
 /// `serve --dag`: plan with [`plan_dag`]'s objective, then deploy the
 /// winning DAG (or the chain incumbent as a degenerate DAG when no branch
 /// plan wins) and execute requests through the fan-out/fan-in engine.
+/// `--parallel` forces the burst trace engine even for a single image
+/// (each DAG request already fans its branch nodes out concurrently, so
+/// the flag only picks the engine, not the within-request concurrency).
 fn serve_dag(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
     let images = match flag_value(args, "--images") {
         Some(v) => match v.parse::<usize>() {
@@ -395,6 +380,8 @@ fn serve_dag(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
         },
         None => 1,
     };
+    let parallel = args.iter().any(|a| a == "--parallel");
+    let verbose = args.iter().any(|a| a == "--verbose");
     let report = match Optimizer::new(cfg.clone()).optimize_dag(g) {
         Ok(r) => r,
         Err(e) => return fail(&format!("optimization failed: {e}")),
@@ -423,7 +410,7 @@ fn serve_dag(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
         Ok(d) => d,
         Err(e) => return fail(&format!("deploy: {e}")),
     };
-    if images == 1 && coord.config().pipeline_depth == 0 {
+    if images == 1 && coord.config().pipeline_depth == 0 && !parallel {
         let job = match coord.serve_one_dag(&mut platform, &dep, 0.0, "cli") {
             Ok(j) => j,
             Err(e) => return fail(&format!("serve: {e}")),
@@ -463,6 +450,11 @@ fn serve_dag(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
             stats.stall_s()
         );
     }
+    if verbose {
+        if let Some(stats) = &trace.dag_nodes {
+            print_dag_node_stats(stats, &plan);
+        }
+    }
     println!(
         "{} image(s) fanned out: {:.2}s end-to-end, ${:.6} \
          (storage settlement ${:.6}, warm idle ${:.6} included)",
@@ -473,6 +465,51 @@ fn serve_dag(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
         trace.idle_dollars
     );
     0
+}
+
+/// Per-node busy/stall/occupancy/critical-path table for `--verbose`
+/// DAG runs — where the plan's width actually went.
+fn print_dag_node_stats(stats: &DagNodeStats, plan: &DagPlan) {
+    // The pipelined engine's stations genuinely bound per-node
+    // concurrency, so the utilization column is an occupancy percentage;
+    // the sequential engine scales instances out on demand and reports
+    // mean concurrency instead.
+    let bounded = stats.stations_per_node > 0;
+    if bounded {
+        println!(
+            "nodes ({} station(s)/node over {:.1}s span):",
+            stats.stations_per_node, stats.span_s
+        );
+    } else {
+        println!(
+            "nodes (scale-out on demand over {:.1}s span):",
+            stats.span_s
+        );
+    }
+    println!(
+        "  {:>4}  {:>12}  {:>10}  {:>10}  {:>9}  {:>9}",
+        "node",
+        "layers",
+        "busy(s)",
+        "stall(s)",
+        if bounded { "occupancy" } else { "mean-conc" },
+        "critical"
+    );
+    for (i, n) in plan.nodes.iter().enumerate() {
+        let util = if bounded {
+            format!("{:>8.1}%", stats.occupancy(i) * 100.0)
+        } else {
+            format!("{:>8.1}x", stats.mean_concurrency(i))
+        };
+        println!(
+            "  {:>4}  {:>12}  {:>10.2}  {:>10.2}  {util}  {:>8.1}%",
+            i,
+            format!("L{}..L{}", n.start, n.end),
+            stats.busy_s[i],
+            stats.stall_s[i],
+            stats.critical_share(i) * 100.0
+        );
+    }
 }
 
 /// Parses a `--policy` spec: `default`, `zero`, `prewarm:N`,
@@ -546,7 +583,15 @@ fn pipeline_plan_or(
     }
 }
 
-fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
+/// Open-loop load mode (`serve --requests M --rate R`): shaped arrivals
+/// against the planned deployment on the work-stealing serving engine,
+/// with a throughput / percentile summary instead of per-image reports.
+/// With `dag`, planning runs the chain-vs-DAG objective and the winning
+/// (or chain-degenerate) DAG serves on the sharded DAG engine —
+/// `--adaptive` swaps *effective* plans (chain or DAG per SLO tier)
+/// between epochs, and `--verbose` prints the per-node
+/// busy/stall/occupancy/critical-path table.
+fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String], dag: bool) -> i32 {
     let requests = match flag_value(args, "--requests").unwrap().parse::<usize>() {
         Ok(n) if n > 0 => n,
         _ => return fail("bad --requests value (need a positive integer)"),
@@ -638,11 +683,53 @@ fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
         None
     };
 
+    let mut dag_plan: Option<DagPlan> = None;
     let rep = if let Some(adaptive) = &adaptive {
-        match run_adaptive_loop(g, &cfg, &load, adaptive) {
+        let run = if dag {
+            run_adaptive_loop_dag(g, &cfg, &load, adaptive)
+        } else {
+            run_adaptive_loop(g, &cfg, &load, adaptive)
+        };
+        match run {
             Ok(r) => r,
             Err(e) => return fail(&format!("adaptive load run: {e}")),
         }
+    } else if dag {
+        if cfg.pipeline_depth > 0 && args.iter().any(|a| a == "--parallel") {
+            return fail(
+                "--pipeline and --parallel are mutually exclusive: --parallel \
+                 fans whole chains out with unbounded concurrency, --pipeline \
+                 overlaps stages under per-stage station budgets; pick one",
+            );
+        }
+        let report = match Optimizer::new(cfg.clone()).optimize_dag(g) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("optimization failed: {e}")),
+        };
+        let plan = match report.dag {
+            Some(d) => {
+                println!(
+                    "dag plan ({} of {} region(s) parallelized): {d}",
+                    report.regions_used, report.regions_considered
+                );
+                d
+            }
+            None => {
+                println!(
+                    "no branch plan beats the chain here ({} region(s) considered); \
+                     serving the chain incumbent as a degenerate DAG",
+                    report.regions_considered
+                );
+                DagPlan::from_chain(&report.chain.plan, |e| g.cut_transfer_bytes(e))
+            }
+        };
+        print_fault_plan(&cfg);
+        let r = match run_open_loop_dag(g, &plan, &cfg, &load) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("load run: {e}")),
+        };
+        dag_plan = Some(plan);
+        r
     } else {
         let planned = match Optimizer::new(cfg.clone()).optimize(g) {
             Ok(r) => r,
@@ -714,6 +801,11 @@ fn serve_load(g: &LayerGraph, cfg: AmpsConfig, args: &[String]) -> i32 {
             utils.join(", "),
             rep.stall_s
         );
+    }
+    if verbose {
+        if let (Some(stats), Some(plan)) = (&rep.dag_nodes, &dag_plan) {
+            print_dag_node_stats(stats, plan);
+        }
     }
     if adaptive.is_some() || verbose {
         println!(
@@ -985,12 +1077,19 @@ fn usage() {
                                 sweep --dag with the sweep grid options\n\
                                 (amortized chain-vs-DAG verdicts per point,\n\
                                 frontier marked on the effective plans);\n\
-                                serve --dag with --images/--pipeline/\n\
-                                --pipe-depth and the reliability options.\n\
-                                Rejected: plan/sweep --dag with --pipeline,\n\
-                                serve --dag with --parallel, --adaptive or\n\
-                                --requests\n\
-           --verbose            print solver statistics (plan only)\n\
+                                serve --dag with --images/--parallel/\n\
+                                --pipeline/--pipe-depth, the reliability\n\
+                                options, and the full open-loop load mode:\n\
+                                --requests/--rate/--shape/--policy/--lanes/\n\
+                                --threads run the DAG on the work-stealing\n\
+                                sharded engine (bit-identical at every\n\
+                                thread count), and --adaptive swaps\n\
+                                effective plans (chain or DAG per SLO tier)\n\
+                                between epochs off one amortized DAG sweep.\n\
+                                Rejected: plan/sweep --dag with --pipeline\n\
+           --verbose            print solver statistics (plan only); in\n\
+                                serve --dag load mode, print the per-node\n\
+                                busy/stall/occupancy/critical-path table\n\
            --quantize <bytes>   weight width 1..4 (plan only)\n\
            --json <path>        write the plan as JSON (plan only)\n\
            --images <n>         requests to serve (serve only)\n\
